@@ -1,0 +1,84 @@
+//! E1/E8 — owner-lookup throughput per distribution format (§4.1).
+//!
+//! The paper claims `GENERAL_BLOCK` "can be implemented efficiently"; this
+//! bench puts every format's `owner()` on the same footing, including a
+//! processor-section target and a 2-D composed distribution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_bench::mapping_1d;
+use hpf_core::{DataSpace, DistributeSpec, FormatSpec, GeneralBlock};
+use hpf_index::{triplet, Idx, IndexDomain, Section};
+
+fn bench(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let np = 32usize;
+    let mut g = c.benchmark_group("owner_lookup");
+
+    let weights: Vec<u64> = (0..n).map(|i| (i % 97 + 1) as u64).collect();
+    let gb = GeneralBlock::balanced(&weights, np).unwrap();
+    let bounds: Vec<i64> = (1..np).map(|j| gb.bound(j)).collect();
+
+    let cases = vec![
+        ("block", mapping_1d(n, np, FormatSpec::Block)),
+        ("block_balanced", mapping_1d(n, np, FormatSpec::BlockBalanced)),
+        ("cyclic1", mapping_1d(n, np, FormatSpec::Cyclic(1))),
+        ("cyclic8", mapping_1d(n, np, FormatSpec::Cyclic(8))),
+        ("general_block", mapping_1d(n, np, FormatSpec::GeneralBlock(bounds))),
+    ];
+    for (name, map) in &cases {
+        g.bench_function(*name, |b| {
+            let mut i = 1i64;
+            b.iter(|| {
+                i = i % n as i64 + 1;
+                black_box(map.owner(&Idx::d1(black_box(i))))
+            })
+        });
+    }
+
+    // distribution to a processor section (every other processor)
+    let mut ds = DataSpace::new(np);
+    ds.declare_processors("Q", IndexDomain::of_shape(&[np]).unwrap()).unwrap();
+    let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+    ds.distribute(
+        a,
+        &DistributeSpec::to_section(
+            vec![FormatSpec::Block],
+            "Q",
+            Section::from_triplets(vec![triplet(1, np as i64, 2)]),
+        ),
+    )
+    .unwrap();
+    let sec = ds.effective(a).unwrap();
+    g.bench_function("block_to_section", |b| {
+        let mut i = 1i64;
+        b.iter(|| {
+            i = i % n as i64 + 1;
+            black_box(sec.owner(&Idx::d1(black_box(i))))
+        })
+    });
+
+    // 2-D (CYCLIC(2), BLOCK) on a grid
+    let side = 1000i64;
+    let mut ds = DataSpace::new(16);
+    ds.declare_processors("G", IndexDomain::of_shape(&[4, 4]).unwrap()).unwrap();
+    let m = ds
+        .declare("M", IndexDomain::standard(&[(1, side), (1, side)]).unwrap())
+        .unwrap();
+    ds.distribute(
+        m,
+        &DistributeSpec::to(vec![FormatSpec::Cyclic(2), FormatSpec::Block], "G"),
+    )
+    .unwrap();
+    let m2 = ds.effective(m).unwrap();
+    g.bench_function("cyclic2_block_2d", |b| {
+        let mut i = 1i64;
+        b.iter(|| {
+            i = i % side + 1;
+            black_box(m2.owner(&Idx::d2(black_box(i), black_box(side + 1 - i))))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E6 — CONSTRUCT overhead (Definition 4): owner lookup through an
+//! alignment vs the base's direct lookup, for affine, offset, replicated
+//! and expression (MIN-truncated) alignments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_core::{AlignExpr, AlignSpec, DataSpace, DistributeSpec, FormatSpec};
+use hpf_index::{Idx, IndexDomain};
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000i64;
+    let np = 16usize;
+    let mut g = c.benchmark_group("construct");
+
+    let build = |spec: Option<AlignSpec>| {
+        let mut ds = DataSpace::new(np);
+        let b = ds
+            .declare("B", IndexDomain::standard(&[(1, 4 * n)]).unwrap())
+            .unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        match spec {
+            None => ds.effective(b).unwrap(),
+            Some(s) => {
+                let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+                ds.align(a, b, &s).unwrap();
+                ds.effective(a).unwrap()
+            }
+        }
+    };
+
+    let d = AlignExpr::dummy;
+    let cases = vec![
+        ("direct_base", build(None)),
+        ("identity_align", build(Some(AlignSpec::identity(1)))),
+        ("affine_2i_plus_5", build(Some(AlignSpec::with_exprs(1, vec![d(0) * 2 + 5])))),
+        (
+            "expr_min_truncated",
+            build(Some(AlignSpec::with_exprs(
+                1,
+                vec![(d(0) * 2).min(AlignExpr::c(2 * n))],
+            ))),
+        ),
+    ];
+    for (name, map) in &cases {
+        g.bench_function(*name, |bch| {
+            let mut i = 1i64;
+            bch.iter(|| {
+                i = i % n + 1;
+                black_box(map.owners(&Idx::d1(black_box(i))))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 — communication analysis of the §8.1.1 staggered-grid statement
+//! under the competing mapping schemes, and the analysis cost itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::{staggered_mappings, staggered_statement, StaggeredScheme};
+use hpf_core::FormatSpec;
+use hpf_runtime::comm_analysis;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("staggered_comm_analysis");
+    for n in [64i64, 256] {
+        for (label, scheme) in [
+            ("template_cyclic", StaggeredScheme::Template(vec![
+                FormatSpec::Cyclic(1),
+                FormatSpec::Cyclic(1),
+            ])),
+            ("template_block", StaggeredScheme::Template(vec![
+                FormatSpec::Block,
+                FormatSpec::Block,
+            ])),
+            ("direct_block", StaggeredScheme::Direct(FormatSpec::Block)),
+        ] {
+            let maps = staggered_mappings(n, 2, &scheme);
+            let stmt = staggered_statement(n, &maps);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(comm_analysis(&maps, 4, &stmt)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Microbench — the regular-section algebra that powers every
+//! communication set: triplet intersection (CRT), rect intersection
+//! volumes, and affine images.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_index::{span, triplet, Rect};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("section_algebra");
+    let a = triplet(3, 3_000_000, 7);
+    let b = triplet(10, 2_999_999, 12);
+    g.bench_function("triplet_intersect_crt", |bch| {
+        bch.iter(|| black_box(black_box(a).intersect(black_box(&b))))
+    });
+    let r1 = Rect::new(vec![span(1, 4096), triplet(1, 8192, 2)]);
+    let r2 = Rect::new(vec![span(2048, 6144), triplet(3, 8190, 3)]);
+    g.bench_function("rect_intersection_volume", |bch| {
+        bch.iter(|| black_box(black_box(&r1).intersection_volume(black_box(&r2))))
+    });
+    g.bench_function("rect_affine_image", |bch| {
+        bch.iter(|| black_box(black_box(&r1).affine_image(&[(2, -1), (3, 5)]).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

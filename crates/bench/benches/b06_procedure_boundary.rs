@@ -1,0 +1,44 @@
+//! E3 — procedure-boundary cost (§7, §8.1.2): entering/leaving a call
+//! frame under inheritance (free) vs explicit redistribution (remap both
+//! ways), for the paper's A(1000) CYCLIC(3) & A(2:996:2) scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_core::{
+    Actual, CallFrame, DataSpace, DistributeSpec, Dummy, DummySpec, FormatSpec, ProcedureDef,
+};
+use hpf_index::{triplet, IndexDomain, Section};
+
+fn bench(c: &mut Criterion) {
+    let mut ds = DataSpace::new(4);
+    let a = ds.declare("A", IndexDomain::of_shape(&[1000]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    let sec = Section::from_triplets(vec![triplet(2, 996, 2)]);
+
+    let mut g = c.benchmark_group("procedure_boundary");
+    let inherit = ProcedureDef::new("S", vec![Dummy::new("X", DummySpec::Inherit)]);
+    g.bench_function("inherit_enter_exit", |b| {
+        b.iter(|| {
+            let f = CallFrame::enter(&ds, &inherit, &[Actual::section(a, sec.clone())])
+                .unwrap();
+            black_box(f.exit().unwrap())
+        })
+    });
+    let explicit = ProcedureDef::new(
+        "S",
+        vec![Dummy::new(
+            "X",
+            DummySpec::Explicit(DistributeSpec::new(vec![FormatSpec::Block])),
+        )],
+    );
+    g.bench_function("explicit_remap_enter_exit", |b| {
+        b.iter(|| {
+            let f = CallFrame::enter(&ds, &explicit, &[Actual::section(a, sec.clone())])
+                .unwrap();
+            black_box(f.exit().unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E5 — forest surgery throughput: REALIGN/REDISTRIBUTE churn on a family
+//! of allocatable arrays (§4.2/§5.2/§6 semantics, including child
+//! freezing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_core::{AlignSpec, DataSpace, DistributeSpec, FormatSpec};
+use hpf_index::IndexDomain;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forest_surgery");
+    g.bench_function("realign_redistribute_cycle", |b| {
+        let mut ds = DataSpace::new(8);
+        let base1 = ds.declare("B1", IndexDomain::of_shape(&[1024]).unwrap()).unwrap();
+        let base2 = ds.declare("B2", IndexDomain::of_shape(&[1024]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::of_shape(&[1024]).unwrap()).unwrap();
+        ds.set_dynamic(a);
+        ds.set_dynamic(base1);
+        ds.distribute(base1, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(base2, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        b.iter(|| {
+            ds.realign(a, base1, &AlignSpec::identity(1)).unwrap();
+            ds.redistribute(base1, &DistributeSpec::new(vec![FormatSpec::Cyclic(4)]))
+                .unwrap();
+            ds.realign(a, base2, &AlignSpec::identity(1)).unwrap();
+            ds.redistribute(base1, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+            black_box(ds.effective(a).unwrap())
+        })
+    });
+    g.bench_function("allocate_deallocate_cycle", |b| {
+        let mut ds = DataSpace::new(8);
+        let w = ds.declare_allocatable("W", 1).unwrap();
+        ds.distribute(w, &DistributeSpec::new(vec![FormatSpec::Cyclic(2)])).unwrap();
+        b.iter(|| {
+            ds.allocate(w, IndexDomain::of_shape(&[4096]).unwrap()).unwrap();
+            let e = ds.effective(w).unwrap();
+            ds.deallocate(w).unwrap();
+            black_box(e)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

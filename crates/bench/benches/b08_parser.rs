@@ -1,0 +1,34 @@
+//! Frontend throughput: lexing+parsing+elaborating the §6 program.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_frontend::{parse, Elaborator};
+
+const SRC: &str = r#"
+      REAL, ALLOCATABLE :: A(:,:), B(:,:)
+      REAL, ALLOCATABLE :: C(:), D(:)
+!HPF$ PROCESSORS PR(8)
+!HPF$ PROCESSORS GRID(2,4)
+!HPF$ DISTRIBUTE A(CYCLIC,BLOCK) TO GRID
+!HPF$ DISTRIBUTE (BLOCK) :: C,D
+!HPF$ DYNAMIC B,C
+      READ 6,M,N
+      ALLOCATE(A(N*M,N*M))
+      ALLOCATE(B(N,N))
+!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)
+      ALLOCATE(C(10000), D(10000))
+!HPF$ REDISTRIBUTE C(CYCLIC) TO PR
+      END
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("parse_section6", |b| b.iter(|| black_box(parse(black_box(SRC)).unwrap())));
+    g.bench_function("elaborate_section6", |b| {
+        let e = Elaborator::new(8).with_input("M", 3).with_input("N", 8);
+        b.iter(|| black_box(e.run(black_box(SRC)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

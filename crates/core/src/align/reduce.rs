@@ -1,0 +1,397 @@
+use crate::align::expr::AlignExpr;
+use crate::align::func::{AlignmentFn, AxisMap};
+use crate::align::spec::{AligneeAxis, AlignSpec, BaseSubscript};
+use crate::HpfError;
+use hpf_index::{IndexDomain, Triplet};
+
+/// Apply the §5.1 transformation sequence to an `ALIGN` directive,
+/// producing the alignment function in reduced normal form:
+///
+/// 1. every `:` alignee axis is matched (in order) with a subscript
+///    triplet of the base, checked for extent
+///    (`U−L+1 ≤ MAX(INT((UT−LT+ST)/ST), 0)`), and rewritten to the affine
+///    expression `(J − L)·ST + LT`;
+/// 2. every `*` alignee axis is replaced by a fresh dummy used nowhere
+///    else (collapse);
+/// 3. every `*` base subscript denotes replication over that base
+///    dimension;
+/// 4. dummyless expressions are evaluated; single-dummy expressions become
+///    affine maps when structurally linear, general expression maps
+///    otherwise; multi-dummy expressions are rejected (skew);
+/// 5. every dummy may feed at most one base subscript.
+///
+/// ```
+/// use hpf_core::{reduce, AlignExpr, AlignSpec};
+/// use hpf_index::{Idx, IndexDomain};
+///
+/// // ALIGN P(I,J) WITH T(2*I-1, 2*J-1) — the §8.1.1 staggered alignment
+/// let spec = AlignSpec::with_exprs(
+///     2,
+///     vec![AlignExpr::dummy(0) * 2 - 1, AlignExpr::dummy(1) * 2 - 1],
+/// );
+/// let f = reduce(
+///     &spec,
+///     &IndexDomain::standard(&[(1, 8), (1, 8)]).unwrap(),
+///     &IndexDomain::standard(&[(0, 16), (0, 16)]).unwrap(),
+/// ).unwrap();
+/// assert_eq!(f.image_point(&Idx::d2(3, 5)), Idx::d2(5, 9));
+/// ```
+pub fn reduce(
+    spec: &AlignSpec,
+    alignee: &IndexDomain,
+    base: &IndexDomain,
+) -> Result<AlignmentFn, HpfError> {
+    if spec.alignee.len() != alignee.rank() {
+        return Err(HpfError::AligneeRank {
+            array: "<alignee>".to_string(),
+            axes: spec.alignee.len(),
+            rank: alignee.rank(),
+        });
+    }
+    if spec.base.len() != base.rank() {
+        return Err(HpfError::BaseRank {
+            array: "<base>".to_string(),
+            subscripts: spec.base.len(),
+            rank: base.rank(),
+        });
+    }
+
+    // classify the alignee axes
+    let mut dummy_dim: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut colon_dims: Vec<usize> = Vec::new();
+    for (d, ax) in spec.alignee.iter().enumerate() {
+        match ax {
+            AligneeAxis::Colon => colon_dims.push(d),
+            AligneeAxis::Star => {} // fresh unused dummy: simply never referenced
+            AligneeAxis::Dummy(id) => {
+                if dummy_dim.insert(*id, d).is_some() {
+                    return Err(HpfError::DummyReused(*id));
+                }
+            }
+        }
+    }
+
+    let triplet_count = spec
+        .base
+        .iter()
+        .filter(|b| matches!(b, BaseSubscript::Triplet { .. }))
+        .count();
+    if triplet_count != colon_dims.len() {
+        return Err(HpfError::ColonTripletCount {
+            colons: colon_dims.len(),
+            triplets: triplet_count,
+        });
+    }
+
+    let mut axes: Vec<AxisMap> = Vec::with_capacity(base.rank());
+    let mut used_dims: Vec<bool> = vec![false; alignee.rank()];
+    let mut next_colon = 0usize;
+
+    for (j, sub) in spec.base.iter().enumerate() {
+        let map = match sub {
+            BaseSubscript::Star => AxisMap::Replicated,
+            BaseSubscript::Triplet { lower, upper, stride } => {
+                // fill defaults from the *base* dimension j
+                let lt = lower.unwrap_or_else(|| base.lower(j));
+                let ut = upper.unwrap_or_else(|| base.upper(j));
+                let st = stride.unwrap_or(1);
+                let trip =
+                    Triplet::new(lt, ut, st).map_err(|_| HpfError::BadAlignExpr(
+                        "subscript triplet stride must be nonzero".into(),
+                    ))?;
+                let d = colon_dims[next_colon];
+                next_colon += 1;
+                // §5.1 extent rule
+                let alignee_extent = alignee.extent(d);
+                if alignee_extent > trip.len() {
+                    return Err(HpfError::ColonExtent {
+                        dim: d,
+                        alignee: alignee_extent,
+                        triplet: trip.len(),
+                    });
+                }
+                mark_used(&mut used_dims, d)?;
+                // (J − L)·ST + LT
+                AxisMap::Affine { dim: d, a: st, c: lt - alignee.lower(d) * st }
+            }
+            BaseSubscript::Expr(e) => {
+                let dummies = e.dummies();
+                match dummies.len() {
+                    0 => {
+                        let v = e.eval_const()?;
+                        AxisMap::Const(v.clamp(base.lower(j), base.upper(j)))
+                    }
+                    1 => {
+                        let id = dummies[0];
+                        let d = *dummy_dim
+                            .get(&id)
+                            .ok_or(HpfError::UnknownDummy(id))?;
+                        mark_used(&mut used_dims, d)?;
+                        // rewrite the expression's dummy id to the dimension
+                        let expr = rewrite_dummy(e, id, d);
+                        match expr.linear_in(d) {
+                            Some((0, c)) => {
+                                AxisMap::Const(c.clamp(base.lower(j), base.upper(j)))
+                            }
+                            Some((a, c)) => AxisMap::Affine { dim: d, a, c },
+                            None => AxisMap::Expr { dim: d, expr },
+                        }
+                    }
+                    _ => return Err(HpfError::SkewExpression),
+                }
+            }
+        };
+        axes.push(map);
+    }
+
+    AlignmentFn::from_parts(alignee.clone(), base.clone(), axes)
+}
+
+fn mark_used(used: &mut [bool], d: usize) -> Result<(), HpfError> {
+    if used[d] {
+        return Err(HpfError::DummyReused(d));
+    }
+    used[d] = true;
+    Ok(())
+}
+
+fn rewrite_dummy(e: &AlignExpr, from: usize, to: usize) -> AlignExpr {
+    match e {
+        AlignExpr::Const(v) => AlignExpr::Const(*v),
+        AlignExpr::Dummy(d) if *d == from => AlignExpr::Dummy(to),
+        AlignExpr::Dummy(d) => AlignExpr::Dummy(*d),
+        AlignExpr::Add(a, b) => AlignExpr::Add(
+            Box::new(rewrite_dummy(a, from, to)),
+            Box::new(rewrite_dummy(b, from, to)),
+        ),
+        AlignExpr::Sub(a, b) => AlignExpr::Sub(
+            Box::new(rewrite_dummy(a, from, to)),
+            Box::new(rewrite_dummy(b, from, to)),
+        ),
+        AlignExpr::Mul(a, b) => AlignExpr::Mul(
+            Box::new(rewrite_dummy(a, from, to)),
+            Box::new(rewrite_dummy(b, from, to)),
+        ),
+        AlignExpr::Neg(a) => AlignExpr::Neg(Box::new(rewrite_dummy(a, from, to))),
+        AlignExpr::Max(a, b) => AlignExpr::Max(
+            Box::new(rewrite_dummy(a, from, to)),
+            Box::new(rewrite_dummy(b, from, to)),
+        ),
+        AlignExpr::Min(a, b) => AlignExpr::Min(
+            Box::new(rewrite_dummy(a, from, to)),
+            Box::new(rewrite_dummy(b, from, to)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_index::{span, Idx};
+    use AlignExpr as E;
+
+    fn dom(bounds: &[(i64, i64)]) -> IndexDomain {
+        IndexDomain::standard(bounds).unwrap()
+    }
+
+    #[test]
+    fn paper_replication_example() {
+        // ALIGN A(:) WITH D(:,*) — A(1:N), D(1:N,1:M), N=4, M=3
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon],
+            vec![BaseSubscript::COLON, BaseSubscript::Star],
+        );
+        let f = reduce(&spec, &dom(&[(1, 4)]), &dom(&[(1, 4), (1, 3)])).unwrap();
+        // α(J) = {(J, k) | 1 ≤ k ≤ M}
+        let img = f.image_rect(&Idx::d1(2));
+        assert_eq!(img.dims()[0], Triplet::scalar(2));
+        assert_eq!(img.dims()[1], span(1, 3));
+    }
+
+    #[test]
+    fn paper_collapse_example() {
+        // ALIGN B(:,*) WITH E(:) — B(1:N,1:M), E(1:N)
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon, AligneeAxis::Star],
+            vec![BaseSubscript::COLON],
+        );
+        let f = reduce(&spec, &dom(&[(1, 4), (1, 3)]), &dom(&[(1, 4)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d2(3, 1)), Idx::d1(3));
+        assert_eq!(f.image_point(&Idx::d2(3, 3)), Idx::d1(3));
+        assert_eq!(f.collapsed_dims(), vec![1]);
+    }
+
+    #[test]
+    fn staggered_grid_alignments() {
+        // ALIGN P(I,J) WITH T(2*I−1, 2*J−1) — P(1:N,1:N), T(0:2N,0:2N), N=8
+        let spec = AlignSpec::with_exprs(
+            2,
+            vec![E::dummy(0) * 2 - 1, E::dummy(1) * 2 - 1],
+        );
+        let f = reduce(&spec, &dom(&[(1, 8), (1, 8)]), &dom(&[(0, 16), (0, 16)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d2(1, 1)), Idx::d2(1, 1));
+        assert_eq!(f.image_point(&Idx::d2(8, 8)), Idx::d2(15, 15));
+        // ALIGN U(I,J) WITH T(2*I, 2*J−1) — U(0:N,1:N)
+        let spec = AlignSpec::with_exprs(2, vec![E::dummy(0) * 2, E::dummy(1) * 2 - 1]);
+        let f = reduce(&spec, &dom(&[(0, 8), (1, 8)]), &dom(&[(0, 16), (0, 16)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d2(0, 1)), Idx::d2(0, 1));
+        assert_eq!(f.image_point(&Idx::d2(8, 8)), Idx::d2(16, 15));
+    }
+
+    #[test]
+    fn allocatable_example_triplets() {
+        // REALIGN B(:,:) WITH A(M::M, 1::M) — B(1:N,1:N), A(1:N*M,1:N*M)
+        // with N=4, M=3: B(i,j) ↦ A(3i, 3j−2)
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon, AligneeAxis::Colon],
+            vec![
+                BaseSubscript::Triplet { lower: Some(3), upper: None, stride: Some(3) },
+                BaseSubscript::Triplet { lower: Some(1), upper: None, stride: Some(3) },
+            ],
+        );
+        let f = reduce(&spec, &dom(&[(1, 4), (1, 4)]), &dom(&[(1, 12), (1, 12)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d2(1, 1)), Idx::d2(3, 1));
+        assert_eq!(f.image_point(&Idx::d2(4, 4)), Idx::d2(12, 10));
+    }
+
+    #[test]
+    fn section_alignment_8_1_2() {
+        // ALIGN X(I) WITH A(2*I) — X(1:498), A(1:1000)
+        let spec = AlignSpec::with_exprs(1, vec![E::dummy(0) * 2]);
+        let f = reduce(&spec, &dom(&[(1, 498)]), &dom(&[(1, 1000)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d1(1)), Idx::d1(2));
+        assert_eq!(f.image_point(&Idx::d1(498)), Idx::d1(996));
+    }
+
+    #[test]
+    fn colon_extent_rule_enforced() {
+        // alignee 1:10 cannot spread over a triplet of length 5
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon],
+            vec![BaseSubscript::Triplet { lower: Some(1), upper: Some(5), stride: None }],
+        );
+        let err = reduce(&spec, &dom(&[(1, 10)]), &dom(&[(1, 20)])).unwrap_err();
+        assert!(matches!(err, HpfError::ColonExtent { alignee: 10, triplet: 5, .. }));
+    }
+
+    #[test]
+    fn colon_triplet_count_mismatch() {
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon, AligneeAxis::Colon],
+            vec![BaseSubscript::COLON, BaseSubscript::Star],
+        );
+        assert!(matches!(
+            reduce(&spec, &dom(&[(1, 4), (1, 4)]), &dom(&[(1, 4), (1, 4)])),
+            Err(HpfError::ColonTripletCount { colons: 2, triplets: 1 })
+        ));
+    }
+
+    #[test]
+    fn skew_rejected() {
+        // B(I+J) uses two dummies in one subscript
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0), AligneeAxis::Dummy(1)],
+            vec![BaseSubscript::Expr(E::dummy(0) + E::dummy(1)), BaseSubscript::Star],
+        );
+        assert_eq!(
+            reduce(&spec, &dom(&[(1, 4), (1, 4)]), &dom(&[(1, 8), (1, 4)])),
+            Err(HpfError::SkewExpression)
+        );
+    }
+
+    #[test]
+    fn dummy_in_two_subscripts_rejected() {
+        // WITH B(I, I) — same dummy feeding two base dims
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0)],
+            vec![BaseSubscript::Expr(E::dummy(0)), BaseSubscript::Expr(E::dummy(0))],
+        );
+        assert!(matches!(
+            reduce(&spec, &dom(&[(1, 4)]), &dom(&[(1, 4), (1, 4)])),
+            Err(HpfError::DummyReused(_))
+        ));
+    }
+
+    #[test]
+    fn undeclared_dummy_rejected() {
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0)],
+            vec![BaseSubscript::Expr(E::dummy(7))],
+        );
+        assert_eq!(
+            reduce(&spec, &dom(&[(1, 4)]), &dom(&[(1, 4)])),
+            Err(HpfError::UnknownDummy(7))
+        );
+    }
+
+    #[test]
+    fn transpose_permutation_allowed() {
+        // ALIGN A(I,J) WITH B(J,I) — permutation is not skew
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0), AligneeAxis::Dummy(1)],
+            vec![BaseSubscript::Expr(E::dummy(1)), BaseSubscript::Expr(E::dummy(0))],
+        );
+        let f = reduce(&spec, &dom(&[(1, 3), (1, 5)]), &dom(&[(1, 5), (1, 3)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d2(2, 4)), Idx::d2(4, 2));
+    }
+
+    #[test]
+    fn dummyless_expr_becomes_const() {
+        // ALIGN A(:) WITH D(:, 2) — plant A along column 2
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon],
+            vec![BaseSubscript::COLON, BaseSubscript::Expr(E::c(2))],
+        );
+        let f = reduce(&spec, &dom(&[(1, 4)]), &dom(&[(1, 4), (1, 3)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d1(3)), Idx::d2(3, 2));
+    }
+
+    #[test]
+    fn constant_folding_degenerate_linear() {
+        // J − J + 5 has a = 0 → constant 5
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0)],
+            vec![BaseSubscript::Expr(E::dummy(0) - E::dummy(0) + 5)],
+        );
+        let f = reduce(&spec, &dom(&[(1, 4)]), &dom(&[(1, 9)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d1(1)), Idx::d1(5));
+        assert_eq!(f.collapsed_dims(), vec![0]);
+    }
+
+    #[test]
+    fn min_truncation_expr_survives() {
+        // ALIGN A(I) WITH B(MIN(I, 6))
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0)],
+            vec![BaseSubscript::Expr(E::dummy(0).min(E::c(6)))],
+        );
+        let f = reduce(&spec, &dom(&[(1, 10)]), &dom(&[(1, 10)])).unwrap();
+        assert_eq!(f.image_point(&Idx::d1(3)), Idx::d1(3));
+        assert_eq!(f.image_point(&Idx::d1(9)), Idx::d1(6));
+    }
+
+    #[test]
+    fn rank_mismatches() {
+        let spec = AlignSpec::identity(2);
+        assert!(matches!(
+            reduce(&spec, &dom(&[(1, 4)]), &dom(&[(1, 4), (1, 4)])),
+            Err(HpfError::AligneeRank { .. })
+        ));
+        assert!(matches!(
+            reduce(&spec, &dom(&[(1, 4), (1, 4)]), &dom(&[(1, 4)])),
+            Err(HpfError::BaseRank { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_alignee_dummy_rejected() {
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0), AligneeAxis::Dummy(0)],
+            vec![BaseSubscript::Expr(E::dummy(0)), BaseSubscript::Star],
+        );
+        assert!(matches!(
+            reduce(&spec, &dom(&[(1, 4), (1, 4)]), &dom(&[(1, 4), (1, 4)])),
+            Err(HpfError::DummyReused(0))
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+use crate::align::expr::AlignExpr;
+use std::fmt;
+
+/// One axis of the alignee in an `ALIGN`/`REALIGN` directive (§5):
+///
+/// > Every axis of the alignee is specified as either ":" or "*" or an
+/// > align-dummy, which is a scalar integer variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AligneeAxis {
+    /// `:` — spread along the matching base triplet.
+    Colon,
+    /// `*` — the axis is collapsed.
+    Star,
+    /// A named align-dummy (directive-scoped id).
+    Dummy(usize),
+}
+
+/// One base subscript of an `ALIGN`/`REALIGN` directive (§5.1): a
+/// dummyless expression, a dummy-use expression, a subscript triplet, or
+/// `*` (replication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseSubscript {
+    /// A scalar integer expression in zero or one align-dummies.
+    Expr(AlignExpr),
+    /// A subscript triplet with optional parts (`M::M` leaves the upper
+    /// bound to default to the base dimension's upper bound).
+    Triplet {
+        /// Lower bound (default: the base dimension's lower bound).
+        lower: Option<i64>,
+        /// Upper bound (default: the base dimension's upper bound).
+        upper: Option<i64>,
+        /// Stride (default 1).
+        stride: Option<i64>,
+    },
+    /// `*` — replication across this base dimension.
+    Star,
+}
+
+impl BaseSubscript {
+    /// The full-dimension triplet `:`.
+    pub const COLON: BaseSubscript = BaseSubscript::Triplet { lower: None, upper: None, stride: None };
+}
+
+/// A parsed `ALIGN A(s1,...,sn) WITH B(t1,...,tm)` directive body —
+/// everything §5.1 needs to construct the alignment function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignSpec {
+    /// The alignee axes `s1..sn`.
+    pub alignee: Vec<AligneeAxis>,
+    /// The base subscripts `t1..tm`.
+    pub base: Vec<BaseSubscript>,
+}
+
+impl AlignSpec {
+    /// Build from explicit parts.
+    pub fn new(alignee: Vec<AligneeAxis>, base: Vec<BaseSubscript>) -> Self {
+        AlignSpec { alignee, base }
+    }
+
+    /// The identity alignment `A(:,...,:) WITH B(:,...,:)` of a given rank.
+    pub fn identity(rank: usize) -> Self {
+        AlignSpec {
+            alignee: vec![AligneeAxis::Colon; rank],
+            base: vec![BaseSubscript::COLON; rank],
+        }
+    }
+
+    /// `A(I1,...,In) WITH B(e1,...,em)` from expressions, declaring the
+    /// dummies `0..rank`.
+    pub fn with_exprs(rank: usize, base: Vec<AlignExpr>) -> Self {
+        AlignSpec {
+            alignee: (0..rank).map(AligneeAxis::Dummy).collect(),
+            base: base.into_iter().map(BaseSubscript::Expr).collect(),
+        }
+    }
+}
+
+impl fmt::Display for AlignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, a) in self.alignee.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            match a {
+                AligneeAxis::Colon => write!(f, ":")?,
+                AligneeAxis::Star => write!(f, "*")?,
+                AligneeAxis::Dummy(d) => write!(f, "J{d}")?,
+            }
+        }
+        write!(f, ") WITH (")?;
+        for (k, b) in self.base.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            match b {
+                BaseSubscript::Expr(e) => write!(f, "{e}")?,
+                BaseSubscript::Triplet { lower, upper, stride } => {
+                    if let Some(l) = lower {
+                        write!(f, "{l}")?;
+                    }
+                    write!(f, ":")?;
+                    if let Some(u) = upper {
+                        write!(f, "{u}")?;
+                    }
+                    if let Some(s) = stride {
+                        write!(f, ":{s}")?;
+                    }
+                }
+                BaseSubscript::Star => write!(f, "*")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_shape() {
+        let s = AlignSpec::identity(2);
+        assert_eq!(s.alignee.len(), 2);
+        assert!(matches!(s.alignee[0], AligneeAxis::Colon));
+        assert!(matches!(s.base[1], BaseSubscript::Triplet { .. }));
+    }
+
+    #[test]
+    fn display() {
+        let s = AlignSpec::new(
+            vec![AligneeAxis::Colon, AligneeAxis::Star],
+            vec![
+                BaseSubscript::Triplet { lower: Some(2), upper: None, stride: Some(2) },
+                BaseSubscript::Star,
+            ],
+        );
+        assert_eq!(s.to_string(), "(:,*) WITH (2::2,*)");
+    }
+}

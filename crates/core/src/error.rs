@@ -1,0 +1,293 @@
+use hpf_index::IndexError;
+use hpf_procs::ProcsError;
+use std::fmt;
+
+/// Errors produced by the distribution/alignment model.
+///
+/// Each variant that encodes a *language rule* carries the paper section
+/// that states the rule, so diagnostics read like conformance reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HpfError {
+    /// An index-domain operation failed.
+    Index(IndexError),
+    /// A processor-space operation failed.
+    Procs(ProcsError),
+
+    // ---- DISTRIBUTE (§4) ----
+    /// §4.1: "The length of this list must be n" — the distribution format
+    /// list must have one entry per array dimension.
+    FormatListRank {
+        /// Array being distributed.
+        array: String,
+        /// Number of formats supplied.
+        formats: usize,
+        /// Rank of the array.
+        rank: usize,
+    },
+    /// §4.1: "The rank of R must be n, reduced by the number of colons" —
+    /// non-collapsed dimensions must match the target rank.
+    TargetRank {
+        /// Array being distributed.
+        array: String,
+        /// Number of non-colon formats.
+        distributed_dims: usize,
+        /// Rank of the distribution target.
+        target_rank: usize,
+    },
+    /// §4.1.2: a `GENERAL_BLOCK(G)` bound array was malformed.
+    BadGeneralBlock(String),
+    /// §4.1.3: `CYCLIC(k)` requires `k ≥ 1`.
+    BadCyclicArg(i64),
+    /// An `INDIRECT` (extension) map did not cover the whole dimension.
+    BadIndirectMap(String),
+
+    // ---- ALIGN (§5) ----
+    /// The alignee axis list does not match the alignee's rank.
+    AligneeRank {
+        /// The alignee array.
+        array: String,
+        /// Axes supplied in the directive.
+        axes: usize,
+        /// Rank of the alignee.
+        rank: usize,
+    },
+    /// The base subscript list does not match the base's rank.
+    BaseRank {
+        /// The alignment base array.
+        array: String,
+        /// Subscripts supplied in the directive.
+        subscripts: usize,
+        /// Rank of the base.
+        rank: usize,
+    },
+    /// §5.1: a `:` alignee axis must fit in its matching base triplet
+    /// (`U−L+1 ≤ MAX(INT(UT−LT+ST)/ST, 0)`).
+    ColonExtent {
+        /// Alignee dimension (0-based).
+        dim: usize,
+        /// Alignee extent.
+        alignee: usize,
+        /// Matching triplet length.
+        triplet: usize,
+    },
+    /// §5.1: the number of `:` alignee axes must equal the number of
+    /// subscript triplets in the base.
+    ColonTripletCount {
+        /// Colons in the alignee.
+        colons: usize,
+        /// Triplets in the base.
+        triplets: usize,
+    },
+    /// §5.1: "Each J_i may occur in at most one y_j (this excludes the
+    /// possibility to specify skew alignments)".
+    DummyReused(usize),
+    /// A base subscript used a dummy that no alignee axis declares.
+    UnknownDummy(usize),
+    /// A base subscript expression used more than one dummy (skew).
+    SkewExpression,
+    /// An alignment expression was not evaluable (e.g. division by zero in
+    /// a folded spec expression).
+    BadAlignExpr(String),
+
+    // ---- alignment forest (§2.4, §4.2, §5.2, §6) ----
+    /// No array of this name/id exists in the data space.
+    UnknownArray(String),
+    /// An array of this name already exists in the scope.
+    DuplicateArray(String),
+    /// §2.4 constraint 1: "Each array occurring as an alignment base must
+    /// not be aligned to another array."
+    BaseIsSecondary(String),
+    /// §2.4 constraint 1 (dual): an array that serves as an alignment base
+    /// cannot itself become an alignee in the specification part.
+    AligneeHasChildren(String),
+    /// §2.4 constraint 2: "Each array occurring as an alignee can be
+    /// aligned with only one alignment base."
+    AlreadyAligned(String),
+    /// A `DISTRIBUTE` was applied to a secondary array (only primary
+    /// arrays carry direct distributions, §2.4).
+    NotPrimary(String),
+    /// An array received two mapping directives in the specification part.
+    AlreadyMapped(String),
+    /// §4.2/§5.2: `REDISTRIBUTE`/`REALIGN` "may only be used for arrays
+    /// that have been declared as DYNAMIC".
+    NotDynamic(String),
+    /// The operation requires the array to be currently created/allocated.
+    NotAllocated(String),
+    /// `ALLOCATE` on an array that is already allocated.
+    AlreadyAllocated(String),
+    /// `ALLOCATE`/`DEALLOCATE` on an array without the ALLOCATABLE
+    /// attribute.
+    NotAllocatable(String),
+    /// The allocation shape's rank differs from the declared rank.
+    AllocRank {
+        /// The array being allocated.
+        array: String,
+        /// Declared rank.
+        declared: usize,
+        /// Rank of the allocation shape.
+        given: usize,
+    },
+    /// §6: "a local array which is not declared ALLOCATABLE cannot be
+    /// aligned in the specification-part of a program unit to an
+    /// allocatable array."
+    StaticAlignedToAllocatable {
+        /// The static alignee.
+        alignee: String,
+        /// The allocatable base.
+        base: String,
+    },
+
+    // ---- procedures (§7) ----
+    /// §7 case 3 (inheritance matching): the incoming distribution does not
+    /// match the specification, and no interface block allows remapping —
+    /// "the program is not HPF-conforming".
+    DistributionMismatch {
+        /// The dummy argument.
+        dummy: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Number of actuals differs from the number of dummies.
+    ArgumentCount {
+        /// Procedure name.
+        procedure: String,
+        /// Dummies declared.
+        dummies: usize,
+        /// Actuals supplied.
+        actuals: usize,
+    },
+    /// Actual argument rank differs from dummy rank.
+    ArgumentRank {
+        /// The dummy argument.
+        dummy: String,
+        /// Dummy rank.
+        expected: usize,
+        /// Actual rank.
+        found: usize,
+    },
+    /// Generic non-conformance with a rule reference.
+    NotConforming(String),
+}
+
+impl fmt::Display for HpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use HpfError::*;
+        match self {
+            Index(e) => write!(f, "{e}"),
+            Procs(e) => write!(f, "{e}"),
+            FormatListRank { array, formats, rank } => write!(
+                f,
+                "§4.1: array `{array}` has rank {rank} but the distribution format list \
+                 has {formats} entries"
+            ),
+            TargetRank { array, distributed_dims, target_rank } => write!(
+                f,
+                "§4.1: array `{array}` distributes {distributed_dims} dimension(s) but the \
+                 target has rank {target_rank}"
+            ),
+            BadGeneralBlock(r) => write!(f, "§4.1.2: invalid GENERAL_BLOCK bound array: {r}"),
+            BadCyclicArg(k) => write!(f, "§4.1.3: CYCLIC({k}) requires k ≥ 1"),
+            BadIndirectMap(r) => write!(f, "invalid INDIRECT map: {r}"),
+            AligneeRank { array, axes, rank } => write!(
+                f,
+                "§5: alignee `{array}` has rank {rank} but {axes} axes were specified"
+            ),
+            BaseRank { array, subscripts, rank } => write!(
+                f,
+                "§5: alignment base `{array}` has rank {rank} but {subscripts} subscripts \
+                 were specified"
+            ),
+            ColonExtent { dim, alignee, triplet } => write!(
+                f,
+                "§5.1: alignee dimension {} (extent {alignee}) exceeds its matching \
+                 subscript triplet (length {triplet})",
+                dim + 1
+            ),
+            ColonTripletCount { colons, triplets } => write!(
+                f,
+                "§5.1: {colons} ':' alignee axes but {triplets} subscript triplets in the base"
+            ),
+            DummyReused(d) => write!(
+                f,
+                "§5.1: align-dummy #{d} occurs in more than one base subscript \
+                 (skew alignments are excluded)"
+            ),
+            UnknownDummy(d) => write!(f, "§5: base subscript uses undeclared align-dummy #{d}"),
+            SkewExpression => write!(
+                f,
+                "§5.1: a base subscript expression may use at most one align-dummy"
+            ),
+            BadAlignExpr(r) => write!(f, "§5.1: invalid alignment expression: {r}"),
+            UnknownArray(n) => write!(f, "unknown array `{n}`"),
+            DuplicateArray(n) => write!(f, "array `{n}` already declared in this scope"),
+            BaseIsSecondary(n) => write!(
+                f,
+                "§2.4(1): `{n}` is aligned to another array and therefore cannot be used \
+                 as an alignment base"
+            ),
+            AligneeHasChildren(n) => write!(
+                f,
+                "§2.4(1): `{n}` is an alignment base and therefore cannot be aligned \
+                 to another array"
+            ),
+            AlreadyAligned(n) => write!(
+                f,
+                "§2.4(2): `{n}` is already aligned to an alignment base"
+            ),
+            NotPrimary(n) => write!(
+                f,
+                "§2.4: `{n}` is a secondary array; only primary arrays may be \
+                 distributed directly"
+            ),
+            AlreadyMapped(n) => write!(
+                f,
+                "array `{n}` already has a mapping directive in this specification part"
+            ),
+            NotDynamic(n) => write!(
+                f,
+                "§4.2/§5.2: `{n}` was not declared DYNAMIC and cannot be \
+                 redistributed/realigned"
+            ),
+            NotAllocated(n) => write!(f, "array `{n}` is not currently allocated"),
+            AlreadyAllocated(n) => write!(f, "array `{n}` is already allocated"),
+            NotAllocatable(n) => write!(f, "array `{n}` lacks the ALLOCATABLE attribute"),
+            AllocRank { array, declared, given } => write!(
+                f,
+                "ALLOCATE `{array}`: declared rank {declared}, allocation rank {given}"
+            ),
+            StaticAlignedToAllocatable { alignee, base } => write!(
+                f,
+                "§6: static array `{alignee}` cannot be aligned in the specification part \
+                 to allocatable array `{base}`"
+            ),
+            DistributionMismatch { dummy, reason } => write!(
+                f,
+                "§7(3): distribution of actual does not match the specification for \
+                 dummy `{dummy}`: {reason} (program is not HPF-conforming)"
+            ),
+            ArgumentCount { procedure, dummies, actuals } => write!(
+                f,
+                "call to `{procedure}`: {dummies} dummy argument(s), {actuals} actual(s)"
+            ),
+            ArgumentRank { dummy, expected, found } => write!(
+                f,
+                "dummy `{dummy}` has rank {expected} but the actual has rank {found}"
+            ),
+            NotConforming(r) => write!(f, "program not conforming: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for HpfError {}
+
+impl From<IndexError> for HpfError {
+    fn from(e: IndexError) -> Self {
+        HpfError::Index(e)
+    }
+}
+
+impl From<ProcsError> for HpfError {
+    fn from(e: ProcsError) -> Self {
+        HpfError::Procs(e)
+    }
+}

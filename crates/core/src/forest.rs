@@ -1,0 +1,911 @@
+use crate::align::func::AlignmentFn;
+use crate::align::reduce::reduce;
+use crate::align::spec::AlignSpec;
+use crate::dist::dist::{DistributeSpec, Distribution};
+use crate::mapping::EffectiveDist;
+use crate::procset::ProcSet;
+use crate::HpfError;
+use hpf_index::{Idx, IndexDomain, Region};
+use hpf_procs::{ProcId, ProcSpace, ProcTarget};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of an array within a [`DataSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub usize);
+
+/// The mapping state of an array in the alignment forest (§2.4): the root
+/// of a tree is **primary** (carries a direct distribution), everything
+/// else is **secondary** (carries an alignment to its primary).
+#[derive(Debug, Clone)]
+pub enum MappingState {
+    /// Not yet created/allocated, or awaiting its mapping.
+    Unmapped,
+    /// A primary array with its effective distribution.
+    Primary(Arc<EffectiveDist>),
+    /// A secondary array: aligned to `base` with alignment function `align`.
+    Secondary {
+        /// The alignment base (always a primary array).
+        base: ArrayId,
+        /// The alignment function from this array to the base.
+        align: Arc<AlignmentFn>,
+    },
+}
+
+/// The specification-part mapping attribute of an allocatable array (§6):
+/// "the associated attributes are propagated to each associated ALLOCATE
+/// statement".
+#[derive(Debug, Clone)]
+pub enum SpecMapping {
+    /// A `DISTRIBUTE` directive to re-bind at every allocation.
+    Dist(DistributeSpec),
+    /// An `ALIGN` directive to re-reduce at every allocation.
+    Align {
+        /// The alignment base.
+        base: ArrayId,
+        /// The directive body.
+        spec: AlignSpec,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ArrayRecord {
+    name: String,
+    declared_rank: usize,
+    allocatable: bool,
+    dynamic: bool,
+    domain: Option<IndexDomain>,
+    mapping: MappingState,
+    explicit: bool,
+    spec: Option<SpecMapping>,
+    children: Vec<ArrayId>,
+}
+
+impl ArrayRecord {
+    fn is_alive(&self) -> bool {
+        self.domain.is_some()
+    }
+}
+
+/// The data space `A` of §2.4: "all arrays that are accessible in a given
+/// scope, and have been created, at a given time during the execution of a
+/// program unit", organized as an **alignment forest** whose trees have
+/// height ≤ 1.
+///
+/// All forest mutations (`align`, `distribute`, `redistribute`, `realign`,
+/// `allocate`, `deallocate`) enforce the §2.4 constraints and the `DYNAMIC`
+/// rule, returning [`HpfError`] with the paper-rule reference on violation.
+#[derive(Debug, Clone)]
+pub struct DataSpace {
+    procs: ProcSpace,
+    arrays: Vec<ArrayRecord>,
+    by_name: HashMap<String, ArrayId>,
+}
+
+/// Name of the implicit abstract-processor arrangement every
+/// [`DataSpace`] declares (§3's language-defined AP).
+pub const AP_NAME: &str = "__AP";
+
+impl DataSpace {
+    /// Create a data space over `np` abstract processors. The implicit
+    /// 1-D arrangement [`AP_NAME`] covering all of AP is pre-declared.
+    pub fn new(np: usize) -> Self {
+        let mut procs = ProcSpace::new(np);
+        procs
+            .declare_array(AP_NAME, IndexDomain::of_shape(&[np]).expect("rank 1"))
+            .expect("fresh space");
+        DataSpace { procs, arrays: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Create a data space sharing an existing processor configuration
+    /// (used by procedure-local scopes, §7).
+    pub fn with_procs(procs: ProcSpace) -> Self {
+        let mut procs = procs;
+        if procs.by_name(AP_NAME).is_err() {
+            let np = procs.ap_size();
+            procs
+                .declare_array(AP_NAME, IndexDomain::of_shape(&[np]).expect("rank 1"))
+                .expect("AP fits by construction");
+        }
+        DataSpace { procs, arrays: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The processor space.
+    pub fn procs(&self) -> &ProcSpace {
+        &self.procs
+    }
+
+    /// Declare a processor arrangement (the `PROCESSORS` directive, §3).
+    pub fn declare_processors(
+        &mut self,
+        name: &str,
+        domain: IndexDomain,
+    ) -> Result<(), HpfError> {
+        self.procs.declare_array(name, domain)?;
+        Ok(())
+    }
+
+    /// Declare a conceptually scalar processor arrangement (§3), with data
+    /// residing on the control processor.
+    pub fn declare_scalar_processors(&mut self, name: &str) -> Result<(), HpfError> {
+        self.procs
+            .declare_scalar(name, hpf_procs::ScalarPolicy::ControlProcessor)?;
+        Ok(())
+    }
+
+    /// Declare a processor arrangement at an explicit equivalence offset.
+    pub fn declare_processors_at(
+        &mut self,
+        name: &str,
+        domain: IndexDomain,
+        offset: usize,
+    ) -> Result<(), HpfError> {
+        self.procs.declare_array_at(name, domain, offset)?;
+        Ok(())
+    }
+
+    /// Number of abstract processors.
+    pub fn np(&self) -> usize {
+        self.procs.ap_size()
+    }
+
+    // ---------------------------------------------------------------- decl
+
+    /// Declare a static (non-allocatable) array. It is created immediately
+    /// and receives the implicit compiler distribution until a directive
+    /// maps it.
+    pub fn declare(&mut self, name: &str, domain: IndexDomain) -> Result<ArrayId, HpfError> {
+        let id = self.insert(name, domain.rank(), false)?;
+        self.arrays[id.0].domain = Some(domain.clone());
+        let dist = self.implicit_distribution(name, &domain)?;
+        self.arrays[id.0].mapping = MappingState::Primary(Arc::new(dist));
+        Ok(id)
+    }
+
+    /// Declare an allocatable array of the given rank (not yet created).
+    pub fn declare_allocatable(
+        &mut self,
+        name: &str,
+        rank: usize,
+    ) -> Result<ArrayId, HpfError> {
+        self.insert(name, rank, true)
+    }
+
+    fn insert(&mut self, name: &str, rank: usize, allocatable: bool) -> Result<ArrayId, HpfError> {
+        if self.by_name.contains_key(name) {
+            return Err(HpfError::DuplicateArray(name.to_string()));
+        }
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArrayRecord {
+            name: name.to_string(),
+            declared_rank: rank,
+            allocatable,
+            dynamic: false,
+            domain: None,
+            mapping: MappingState::Unmapped,
+            explicit: false,
+            spec: None,
+            children: Vec::new(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Grant the `DYNAMIC` attribute (required by `REDISTRIBUTE`/`REALIGN`).
+    pub fn set_dynamic(&mut self, id: ArrayId) {
+        self.arrays[id.0].dynamic = true;
+    }
+
+    // ------------------------------------------------------------- lookups
+
+    /// Look up an array by name.
+    pub fn by_name(&self, name: &str) -> Result<ArrayId, HpfError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HpfError::UnknownArray(name.to_string()))
+    }
+
+    /// Array name.
+    pub fn name(&self, id: ArrayId) -> &str {
+        &self.arrays[id.0].name
+    }
+
+    /// Current index domain (None while an allocatable is unallocated).
+    pub fn domain(&self, id: ArrayId) -> Option<&IndexDomain> {
+        self.arrays[id.0].domain.as_ref()
+    }
+
+    /// True iff the array is currently created (§2.4's "have been created").
+    pub fn is_alive(&self, id: ArrayId) -> bool {
+        self.arrays[id.0].is_alive()
+    }
+
+    /// True iff declared `ALLOCATABLE`.
+    pub fn is_allocatable(&self, id: ArrayId) -> bool {
+        self.arrays[id.0].allocatable
+    }
+
+    /// True iff declared `DYNAMIC`.
+    pub fn is_dynamic(&self, id: ArrayId) -> bool {
+        self.arrays[id.0].dynamic
+    }
+
+    /// True iff the array is a primary array (root of its alignment tree).
+    pub fn is_primary(&self, id: ArrayId) -> bool {
+        matches!(self.arrays[id.0].mapping, MappingState::Primary(_))
+    }
+
+    /// The alignment base, if the array is secondary.
+    pub fn base_of(&self, id: ArrayId) -> Option<ArrayId> {
+        match self.arrays[id.0].mapping {
+            MappingState::Secondary { base, .. } => Some(base),
+            _ => None,
+        }
+    }
+
+    /// The alignment function, if the array is secondary.
+    pub fn alignment_of(&self, id: ArrayId) -> Option<Arc<AlignmentFn>> {
+        match &self.arrays[id.0].mapping {
+            MappingState::Secondary { align, .. } => Some(align.clone()),
+            _ => None,
+        }
+    }
+
+    /// Arrays aligned to this one (its children in the alignment tree).
+    pub fn children(&self, id: ArrayId) -> &[ArrayId] {
+        &self.arrays[id.0].children
+    }
+
+    /// All declared arrays.
+    pub fn all_arrays(&self) -> impl Iterator<Item = ArrayId> + '_ {
+        (0..self.arrays.len()).map(ArrayId)
+    }
+
+    // ------------------------------------------------------ spec directives
+
+    /// `!HPF$ DISTRIBUTE array(formats) [TO target]` in the specification
+    /// part (§4.1).
+    pub fn distribute(&mut self, id: ArrayId, spec: &DistributeSpec) -> Result<(), HpfError> {
+        let rec = &self.arrays[id.0];
+        if matches!(rec.mapping, MappingState::Secondary { .. }) {
+            return Err(HpfError::NotPrimary(rec.name.clone()));
+        }
+        if rec.explicit {
+            return Err(HpfError::AlreadyMapped(rec.name.clone()));
+        }
+        if rec.allocatable && !rec.is_alive() {
+            // §6: propagate to every ALLOCATE
+            self.arrays[id.0].spec = Some(SpecMapping::Dist(spec.clone()));
+            self.arrays[id.0].explicit = true;
+            return Ok(());
+        }
+        let name = rec.name.clone();
+        let domain = rec.domain.clone().ok_or_else(|| HpfError::NotAllocated(name.clone()))?;
+        let dist = self.bind_distribution(&name, &domain, spec)?;
+        let rec = &mut self.arrays[id.0];
+        rec.mapping = MappingState::Primary(Arc::new(EffectiveDist::direct(dist)));
+        rec.explicit = true;
+        Ok(())
+    }
+
+    /// `!HPF$ ALIGN alignee(...) WITH base(...)` in the specification part
+    /// (§5). Enforces both §2.4 forest constraints.
+    pub fn align(&mut self, alignee: ArrayId, base: ArrayId, spec: &AlignSpec) -> Result<(), HpfError> {
+        if alignee == base {
+            return Err(HpfError::NotConforming(format!(
+                "array `{}` cannot be aligned to itself",
+                self.name(alignee)
+            )));
+        }
+        let arec = &self.arrays[alignee.0];
+        let brec = &self.arrays[base.0];
+        if matches!(arec.mapping, MappingState::Secondary { .. }) {
+            return Err(HpfError::AlreadyAligned(arec.name.clone()));
+        }
+        if arec.explicit {
+            return Err(HpfError::AlreadyMapped(arec.name.clone()));
+        }
+        if !arec.children.is_empty() {
+            return Err(HpfError::AligneeHasChildren(arec.name.clone()));
+        }
+        if matches!(brec.mapping, MappingState::Secondary { .. }) {
+            return Err(HpfError::BaseIsSecondary(brec.name.clone()));
+        }
+        if brec.allocatable && !arec.allocatable {
+            return Err(HpfError::StaticAlignedToAllocatable {
+                alignee: arec.name.clone(),
+                base: brec.name.clone(),
+            });
+        }
+        if arec.allocatable && !arec.is_alive() {
+            self.arrays[alignee.0].spec = Some(SpecMapping::Align { base, spec: spec.clone() });
+            self.arrays[alignee.0].explicit = true;
+            return Ok(());
+        }
+        // both alive: reduce now
+        let adom = arec.domain.clone().ok_or_else(|| HpfError::NotAllocated(arec.name.clone()))?;
+        let bdom = brec.domain.clone().ok_or_else(|| HpfError::NotAllocated(brec.name.clone()))?;
+        let f = reduce(spec, &adom, &bdom)?;
+        let rec = &mut self.arrays[alignee.0];
+        rec.mapping = MappingState::Secondary { base, align: Arc::new(f) };
+        rec.explicit = true;
+        self.arrays[base.0].children.push(alignee);
+        Ok(())
+    }
+
+    // ------------------------------------------------------ executable part
+
+    /// `!HPF$ REDISTRIBUTE array(formats) [TO target]` (§4.2): dynamically
+    /// change the distribution of a `DYNAMIC` array.
+    ///
+    /// If the array is secondary it is first disconnected and becomes the
+    /// primary of a new degenerate tree; arrays aligned *to* it keep their
+    /// alignment relation invariant (their effective distribution follows
+    /// automatically through `CONSTRUCT`).
+    pub fn redistribute(&mut self, id: ArrayId, spec: &DistributeSpec) -> Result<(), HpfError> {
+        let rec = &self.arrays[id.0];
+        if !rec.dynamic {
+            return Err(HpfError::NotDynamic(rec.name.clone()));
+        }
+        if !rec.is_alive() {
+            return Err(HpfError::NotAllocated(rec.name.clone()));
+        }
+        let name = rec.name.clone();
+        let domain = rec.domain.clone().expect("alive");
+        // bind first — a failing directive must leave the forest untouched
+        let dist = self.bind_distribution(&name, &domain, spec)?;
+        // §4.2: a secondary distributee is disconnected first
+        self.disconnect_from_base(id);
+        self.arrays[id.0].mapping =
+            MappingState::Primary(Arc::new(EffectiveDist::direct(dist)));
+        Ok(())
+    }
+
+    /// `!HPF$ REALIGN alignee(...) WITH base(...)` (§5.2), following the
+    /// paper's three steps:
+    ///
+    /// 1. if the alignee roots a non-degenerate tree, its secondaries are
+    ///    disconnected and become primaries *with their current
+    ///    distribution*; if it is secondary, it is disconnected;
+    /// 2. the alignee becomes a new secondary of the base;
+    /// 3. its distribution is `CONSTRUCT(α, δ_base)` (maintained lazily).
+    pub fn realign(&mut self, alignee: ArrayId, base: ArrayId, spec: &AlignSpec) -> Result<(), HpfError> {
+        if alignee == base {
+            return Err(HpfError::NotConforming(format!(
+                "array `{}` cannot be realigned to itself",
+                self.name(alignee)
+            )));
+        }
+        let arec = &self.arrays[alignee.0];
+        if !arec.dynamic {
+            return Err(HpfError::NotDynamic(arec.name.clone()));
+        }
+        if !arec.is_alive() {
+            return Err(HpfError::NotAllocated(arec.name.clone()));
+        }
+        if !self.arrays[base.0].is_alive() {
+            return Err(HpfError::NotAllocated(self.arrays[base.0].name.clone()));
+        }
+        // validate everything before any forest mutation, so a failing
+        // directive leaves the forest untouched. The base must satisfy
+        // §2.4 constraint 1 *after* step 1 — which only changes its status
+        // when the base is currently aligned to the alignee itself (it
+        // gets promoted in step 1a).
+        match self.arrays[base.0].mapping {
+            MappingState::Secondary { base: bb, .. } if bb != alignee => {
+                return Err(HpfError::BaseIsSecondary(self.arrays[base.0].name.clone()))
+            }
+            _ => {}
+        }
+        let adom = self.arrays[alignee.0].domain.clone().expect("alive");
+        let bdom = self.arrays[base.0].domain.clone().expect("alive");
+        let f = reduce(spec, &adom, &bdom)?;
+        // step 1a: disconnect our children, freezing their distributions
+        let children = std::mem::take(&mut self.arrays[alignee.0].children);
+        for c in children {
+            let frozen = self.effective(c)?;
+            self.arrays[c.0].mapping = MappingState::Primary(frozen);
+        }
+        // step 1b: disconnect ourselves from any old base
+        self.disconnect_from_base(alignee);
+        // step 2: connect to the new base
+        self.arrays[alignee.0].mapping =
+            MappingState::Secondary { base, align: Arc::new(f) };
+        self.arrays[base.0].children.push(alignee);
+        Ok(())
+    }
+
+    /// `ALLOCATE(array(shape))` (§6): create the array and apply its
+    /// propagated specification-part mapping (or the implicit one).
+    pub fn allocate(&mut self, id: ArrayId, domain: IndexDomain) -> Result<(), HpfError> {
+        let rec = &self.arrays[id.0];
+        if !rec.allocatable {
+            return Err(HpfError::NotAllocatable(rec.name.clone()));
+        }
+        if rec.is_alive() {
+            return Err(HpfError::AlreadyAllocated(rec.name.clone()));
+        }
+        if domain.rank() != rec.declared_rank {
+            return Err(HpfError::AllocRank {
+                array: rec.name.clone(),
+                declared: rec.declared_rank,
+                given: domain.rank(),
+            });
+        }
+        let name = rec.name.clone();
+        self.arrays[id.0].domain = Some(domain.clone());
+        match self.arrays[id.0].spec.clone() {
+            None => {
+                let dist = self.implicit_distribution(&name, &domain)?;
+                self.arrays[id.0].mapping = MappingState::Primary(Arc::new(dist));
+            }
+            Some(SpecMapping::Dist(spec)) => {
+                let dist = self.bind_distribution(&name, &domain, &spec)?;
+                self.arrays[id.0].mapping =
+                    MappingState::Primary(Arc::new(EffectiveDist::direct(dist)));
+            }
+            Some(SpecMapping::Align { base, spec }) => {
+                let brec = &self.arrays[base.0];
+                let bname = brec.name.clone();
+                if !brec.is_alive() {
+                    self.arrays[id.0].domain = None;
+                    return Err(HpfError::NotAllocated(bname));
+                }
+                if matches!(brec.mapping, MappingState::Secondary { .. }) {
+                    self.arrays[id.0].domain = None;
+                    return Err(HpfError::BaseIsSecondary(bname));
+                }
+                let bdom = self.arrays[base.0].domain.clone().expect("alive");
+                let f = match reduce(&spec, &domain, &bdom) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        self.arrays[id.0].domain = None;
+                        return Err(e);
+                    }
+                };
+                self.arrays[id.0].mapping =
+                    MappingState::Secondary { base, align: Arc::new(f) };
+                self.arrays[base.0].children.push(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// `DEALLOCATE(array)` (§6): remove the array from the alignment
+    /// forest; "each array A directly aligned to B is made into a new tree
+    /// with primary A" (keeping its current distribution).
+    pub fn deallocate(&mut self, id: ArrayId) -> Result<(), HpfError> {
+        let rec = &self.arrays[id.0];
+        if !rec.allocatable {
+            return Err(HpfError::NotAllocatable(rec.name.clone()));
+        }
+        if !rec.is_alive() {
+            return Err(HpfError::NotAllocated(rec.name.clone()));
+        }
+        let children = std::mem::take(&mut self.arrays[id.0].children);
+        for c in children {
+            let frozen = self.effective(c)?;
+            self.arrays[c.0].mapping = MappingState::Primary(frozen);
+        }
+        self.disconnect_from_base(id);
+        let rec = &mut self.arrays[id.0];
+        rec.domain = None;
+        rec.mapping = MappingState::Unmapped;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ semantics
+
+    /// The array's effective distribution `δ_A`: direct for primaries,
+    /// `CONSTRUCT(α, δ_B)` for secondaries (Definition 4).
+    pub fn effective(&self, id: ArrayId) -> Result<Arc<EffectiveDist>, HpfError> {
+        match &self.arrays[id.0].mapping {
+            MappingState::Unmapped => {
+                Err(HpfError::NotAllocated(self.arrays[id.0].name.clone()))
+            }
+            MappingState::Primary(e) => Ok(e.clone()),
+            MappingState::Secondary { base, align } => {
+                let b = self.effective(*base)?;
+                Ok(Arc::new(EffectiveDist::Aligned { align: align.clone(), base: b }))
+            }
+        }
+    }
+
+    /// Owners of one element.
+    pub fn owners(&self, id: ArrayId, i: &Idx) -> Result<ProcSet, HpfError> {
+        Ok(self.effective(id)?.owners(i))
+    }
+
+    /// The region of the array owned by processor `p`.
+    pub fn owned_region(&self, id: ArrayId, p: ProcId) -> Result<Region, HpfError> {
+        Ok(self.effective(id)?.owned_region(p))
+    }
+
+    /// Overwrite an array's mapping with a closed effective distribution,
+    /// making it a primary. Used by the §7 procedure machinery (dummy
+    /// arguments own their mapping) and by experiment harnesses; ordinary
+    /// programs use the directive methods instead.
+    pub fn force_primary_mapping(&mut self, id: ArrayId, eff: Arc<EffectiveDist>) {
+        self.disconnect_from_base(id);
+        self.arrays[id.0].mapping = MappingState::Primary(eff);
+        self.arrays[id.0].explicit = true;
+    }
+
+    // ------------------------------------------------------------- internal
+
+    fn disconnect_from_base(&mut self, id: ArrayId) {
+        if let MappingState::Secondary { base, .. } = self.arrays[id.0].mapping {
+            self.arrays[base.0].children.retain(|&c| c != id);
+        }
+    }
+
+    fn default_target(&self) -> Result<ProcTarget, HpfError> {
+        Ok(ProcTarget::whole(&self.procs, self.procs.by_name(AP_NAME)?)?)
+    }
+
+    fn implicit_distribution(
+        &self,
+        name: &str,
+        domain: &IndexDomain,
+    ) -> Result<EffectiveDist, HpfError> {
+        if domain.rank() == 0 {
+            // scalars: replicate over all processors (§3 scalar policy)
+            return Ok(EffectiveDist::Replicated {
+                domain: domain.clone(),
+                procs: ProcSet::all(self.np()),
+            });
+        }
+        let target = self.default_target()?;
+        Ok(EffectiveDist::direct(Distribution::implicit(name, domain, target, &self.procs)?))
+    }
+
+    fn bind_distribution(
+        &self,
+        name: &str,
+        domain: &IndexDomain,
+        spec: &DistributeSpec,
+    ) -> Result<Distribution, HpfError> {
+        let target = match &spec.target {
+            None => self.default_target()?,
+            Some(t) => t.resolve(&self.procs)?,
+        };
+        Distribution::new(name, domain, &spec.formats, target, &self.procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::spec::{AligneeAxis, BaseSubscript};
+    use crate::dist::format::FormatSpec;
+    use crate::AlignExpr as E;
+
+    fn space() -> DataSpace {
+        DataSpace::new(4)
+    }
+
+    fn dom1(n: i64) -> IndexDomain {
+        IndexDomain::standard(&[(1, n)]).unwrap()
+    }
+
+    #[test]
+    fn declare_and_implicit_distribution() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        assert!(ds.is_primary(a));
+        // implicit = BLOCK on the last dim over AP
+        assert_eq!(ds.owners(a, &Idx::d1(1)).unwrap(), ProcSet::One(ProcId(1)));
+        assert_eq!(ds.owners(a, &Idx::d1(16)).unwrap(), ProcSet::One(ProcId(4)));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let mut ds = space();
+        ds.declare("A", dom1(4)).unwrap();
+        assert!(matches!(ds.declare("A", dom1(4)), Err(HpfError::DuplicateArray(_))));
+    }
+
+    #[test]
+    fn distribute_then_second_directive_rejected() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        assert!(matches!(
+            ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])),
+            Err(HpfError::AlreadyMapped(_))
+        ));
+    }
+
+    #[test]
+    fn align_forest_constraints() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(8)).unwrap();
+        let b = ds.declare("B", dom1(8)).unwrap();
+        let c = ds.declare("C", dom1(8)).unwrap();
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        assert!(!ds.is_primary(a));
+        assert_eq!(ds.base_of(a), Some(b));
+        assert_eq!(ds.children(b), &[a]);
+        // constraint 1: C cannot align to secondary A
+        assert!(matches!(
+            ds.align(c, a, &AlignSpec::identity(1)),
+            Err(HpfError::BaseIsSecondary(_))
+        ));
+        // constraint 2: A cannot be aligned twice
+        assert!(matches!(
+            ds.align(a, c, &AlignSpec::identity(1)),
+            Err(HpfError::AlreadyAligned(_))
+        ));
+        // constraint 1 dual: B (a base) cannot become an alignee
+        assert!(matches!(
+            ds.align(b, c, &AlignSpec::identity(1)),
+            Err(HpfError::AligneeHasChildren(_))
+        ));
+        // self-alignment rejected
+        assert!(ds.align(c, c, &AlignSpec::identity(1)).is_err());
+    }
+
+    #[test]
+    fn secondary_cannot_be_distributed() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(8)).unwrap();
+        let b = ds.declare("B", dom1(8)).unwrap();
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        assert!(matches!(
+            ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])),
+            Err(HpfError::NotPrimary(_))
+        ));
+    }
+
+    #[test]
+    fn construct_follows_base_distribution() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        let b = ds.declare("B", dom1(16)).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        for v in 1..=16 {
+            assert_eq!(
+                ds.owners(a, &Idx::d1(v)).unwrap(),
+                ds.owners(b, &Idx::d1(v)).unwrap(),
+                "collocation guarantee broken at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn redistribute_requires_dynamic() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        assert!(matches!(
+            ds.redistribute(a, &DistributeSpec::new(vec![FormatSpec::Block])),
+            Err(HpfError::NotDynamic(_))
+        ));
+        ds.set_dynamic(a);
+        ds.redistribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        assert_eq!(ds.owners(a, &Idx::d1(2)).unwrap(), ProcSet::One(ProcId(2)));
+    }
+
+    #[test]
+    fn redistribute_base_carries_children() {
+        // §4.2: children stay aligned; their distribution follows
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        let b = ds.declare("B", dom1(16)).unwrap();
+        ds.set_dynamic(b);
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        ds.redistribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        assert_eq!(ds.base_of(a), Some(b)); // still aligned
+        for v in 1..=16 {
+            assert_eq!(
+                ds.owners(a, &Idx::d1(v)).unwrap(),
+                ds.owners(b, &Idx::d1(v)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn redistribute_secondary_detaches_it() {
+        // §4.2: "B is disconnected from A and made into a new degenerate tree"
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        let b = ds.declare("B", dom1(16)).unwrap();
+        ds.set_dynamic(a);
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        ds.redistribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        assert!(ds.is_primary(a));
+        assert_eq!(ds.base_of(a), None);
+        assert!(ds.children(b).is_empty());
+    }
+
+    #[test]
+    fn realign_steps() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        let b = ds.declare("B", dom1(16)).unwrap();
+        let c = ds.declare("C", dom1(16)).unwrap();
+        ds.set_dynamic(a);
+        // C aligned to A; A primary
+        ds.align(c, a, &AlignSpec::identity(1)).unwrap();
+        let c_owner_before = ds.owners(c, &Idx::d1(7)).unwrap();
+        // REALIGN A WITH B: step 1 freezes C as primary, step 2 attaches A to B
+        ds.realign(a, b, &AlignSpec::identity(1)).unwrap();
+        assert!(ds.is_primary(c), "former child must become primary");
+        assert_eq!(
+            ds.owners(c, &Idx::d1(7)).unwrap(),
+            c_owner_before,
+            "child keeps its current distribution"
+        );
+        assert_eq!(ds.base_of(a), Some(b));
+        assert_eq!(ds.children(b), &[a]);
+    }
+
+    #[test]
+    fn realign_requires_dynamic_and_rejects_secondary_base() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(8)).unwrap();
+        let b = ds.declare("B", dom1(8)).unwrap();
+        let c = ds.declare("C", dom1(8)).unwrap();
+        assert!(matches!(
+            ds.realign(a, b, &AlignSpec::identity(1)),
+            Err(HpfError::NotDynamic(_))
+        ));
+        ds.set_dynamic(a);
+        ds.align(b, c, &AlignSpec::identity(1)).unwrap();
+        assert!(matches!(
+            ds.realign(a, b, &AlignSpec::identity(1)),
+            Err(HpfError::BaseIsSecondary(_))
+        ));
+    }
+
+    #[test]
+    fn realign_to_own_child_after_freeze() {
+        // A primary, B child of A; REALIGN A WITH B is legal because step 1
+        // promotes B to primary first
+        let mut ds = space();
+        let a = ds.declare("A", dom1(8)).unwrap();
+        let b = ds.declare("B", dom1(8)).unwrap();
+        ds.set_dynamic(a);
+        ds.align(b, a, &AlignSpec::identity(1)).unwrap();
+        ds.realign(a, b, &AlignSpec::identity(1)).unwrap();
+        assert!(ds.is_primary(b));
+        assert_eq!(ds.base_of(a), Some(b));
+    }
+
+    #[test]
+    fn allocatable_lifecycle_with_propagated_distribute() {
+        // §6: REAL, ALLOCATABLE :: C(:); DISTRIBUTE (BLOCK) :: C
+        let mut ds = space();
+        let c = ds.declare_allocatable("C", 1).unwrap();
+        ds.distribute(c, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        assert!(!ds.is_alive(c));
+        assert!(ds.effective(c).is_err());
+        ds.allocate(c, dom1(100)).unwrap();
+        assert!(ds.is_alive(c));
+        assert_eq!(ds.owners(c, &Idx::d1(1)).unwrap(), ProcSet::One(ProcId(1)));
+        ds.deallocate(c).unwrap();
+        assert!(!ds.is_alive(c));
+        // the attribute propagates to the *next* allocation too
+        ds.allocate(c, dom1(8)).unwrap();
+        assert_eq!(ds.owners(c, &Idx::d1(3)).unwrap(), ProcSet::One(ProcId(2)));
+    }
+
+    #[test]
+    fn allocate_errors() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(4)).unwrap();
+        assert!(matches!(ds.allocate(a, dom1(4)), Err(HpfError::NotAllocatable(_))));
+        let c = ds.declare_allocatable("C", 2).unwrap();
+        assert!(matches!(ds.allocate(c, dom1(4)), Err(HpfError::AllocRank { .. })));
+        let d2 = IndexDomain::standard(&[(1, 4), (1, 4)]).unwrap();
+        ds.allocate(c, d2.clone()).unwrap();
+        assert!(matches!(ds.allocate(c, d2), Err(HpfError::AlreadyAllocated(_))));
+        assert!(matches!(ds.deallocate(a), Err(HpfError::NotAllocatable(_))));
+    }
+
+    #[test]
+    fn static_cannot_align_to_allocatable() {
+        let mut ds = space();
+        let a = ds.declare("A", dom1(8)).unwrap();
+        let b = ds.declare_allocatable("B", 1).unwrap();
+        assert!(matches!(
+            ds.align(a, b, &AlignSpec::identity(1)),
+            Err(HpfError::StaticAlignedToAllocatable { .. })
+        ));
+    }
+
+    #[test]
+    fn deallocate_promotes_children() {
+        // §6: DEALLOCATE(B) → arrays aligned to B become primaries
+        let mut ds = space();
+        let b = ds.declare_allocatable("B", 1).unwrap();
+        let a = ds.declare_allocatable("A", 1).unwrap();
+        ds.allocate(b, dom1(16)).unwrap();
+        ds.allocate(a, dom1(16)).unwrap();
+        ds.set_dynamic(a);
+        ds.realign(a, b, &AlignSpec::identity(1)).unwrap();
+        let owners_before = ds.owners(a, &Idx::d1(5)).unwrap();
+        ds.deallocate(b).unwrap();
+        assert!(ds.is_primary(a));
+        assert_eq!(ds.owners(a, &Idx::d1(5)).unwrap(), owners_before);
+    }
+
+    #[test]
+    fn paper_section6_example() {
+        // the full §6 program: A,B 2-D alloc; C,D 1-D alloc; PR(4);
+        // DISTRIBUTE A(CYCLIC,BLOCK); DISTRIBUTE (BLOCK) :: C,D; DYNAMIC B,C
+        let mut ds = space(); // AP of 4 plays PR(32) at miniature scale
+        ds.declare_processors("PR", IndexDomain::of_shape(&[4]).unwrap()).unwrap();
+        let a = ds.declare_allocatable("A", 2).unwrap();
+        let b = ds.declare_allocatable("B", 2).unwrap();
+        let c = ds.declare_allocatable("C", 1).unwrap();
+        let d = ds.declare_allocatable("D", 1).unwrap();
+        // grid target for the 2-D cyclic×block: use PR twice? the paper
+        // distributes A(CYCLIC,BLOCK) without a TO clause — rank-2 formats
+        // need a rank-2 default target, so give one explicitly here:
+        ds.declare_processors("GRID", IndexDomain::of_shape(&[2, 2]).unwrap()).unwrap();
+        ds.distribute(
+            a,
+            &DistributeSpec::to(vec![FormatSpec::Cyclic(1), FormatSpec::Block], "GRID"),
+        )
+        .unwrap();
+        ds.distribute(c, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(d, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.set_dynamic(b);
+        ds.set_dynamic(c);
+
+        // READ M, N  (M=3, N=4); ALLOCATE(A(N*M,N*M)); ALLOCATE(B(N,N))
+        let (m, n) = (3i64, 4i64);
+        let nm = n * m;
+        ds.allocate(a, IndexDomain::standard(&[(1, nm), (1, nm)]).unwrap()).unwrap();
+        ds.allocate(b, IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+        // REALIGN B(:,:) WITH A(M::M, 1::M)
+        ds.realign(
+            b,
+            a,
+            &AlignSpec::new(
+                vec![AligneeAxis::Colon, AligneeAxis::Colon],
+                vec![
+                    BaseSubscript::Triplet { lower: Some(m), upper: None, stride: Some(m) },
+                    BaseSubscript::Triplet { lower: Some(1), upper: None, stride: Some(m) },
+                ],
+            ),
+        )
+        .unwrap();
+        // B(i,j) collocated with A(3i, 3j−2)
+        for i in 1..=n {
+            for j in 1..=n {
+                assert_eq!(
+                    ds.owners(b, &Idx::d2(i, j)).unwrap(),
+                    ds.owners(a, &Idx::d2(m * i, m * j - 2)).unwrap()
+                );
+            }
+        }
+        // ALLOCATE(C(40), D(40)); REDISTRIBUTE C(CYCLIC) TO PR
+        ds.allocate(c, dom1(40)).unwrap();
+        ds.allocate(d, dom1(40)).unwrap();
+        ds.redistribute(c, &DistributeSpec::to(vec![FormatSpec::Cyclic(1)], "PR"))
+            .unwrap();
+        assert_eq!(ds.owners(c, &Idx::d1(1)).unwrap(), ProcSet::One(ProcId(1)));
+        assert_eq!(ds.owners(c, &Idx::d1(2)).unwrap(), ProcSet::One(ProcId(2)));
+        // D keeps its propagated BLOCK
+        assert_eq!(ds.owners(d, &Idx::d1(40)).unwrap(), ProcSet::One(ProcId(4)));
+    }
+
+    #[test]
+    fn align_expr_alignment_through_forest() {
+        // A(I) WITH B(2*I): owners of A(i) = owners of B(2i)
+        let mut ds = space();
+        let b = ds.declare("B", dom1(32)).unwrap();
+        let a = ds.declare("A", dom1(16)).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        ds.align(a, b, &AlignSpec::with_exprs(1, vec![E::dummy(0) * 2])).unwrap();
+        for i in 1..=16 {
+            assert_eq!(
+                ds.owners(a, &Idx::d1(i)).unwrap(),
+                ds.owners(b, &Idx::d1(2 * i)).unwrap()
+            );
+        }
+    }
+}

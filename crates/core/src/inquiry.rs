@@ -1,0 +1,359 @@
+//! Inquiry functions (§7/§8.2).
+//!
+//! The paper's closing argument against templates is that distributions are
+//! *attributes of arrays*: "Even in the case of inherited distributions
+//! which cannot be explicitly specified, inquiry functions can be used to
+//! determine every aspect of the distribution passed into the procedure."
+//! This module is those inquiry functions.
+
+use crate::dist::format::DimFormat;
+use crate::forest::{ArrayId, DataSpace};
+use crate::mapping::EffectiveDist;
+use crate::HpfError;
+use hpf_index::Idx;
+use hpf_procs::ProcId;
+use std::fmt;
+
+/// The format kind of one dimension, as reported by inquiry (mirrors the
+/// HPF `HPF_DISTRIBUTION` intrinsic's per-dimension answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimKind {
+    /// HPF `BLOCK`.
+    Block,
+    /// Vienna balanced block.
+    BlockBalanced,
+    /// `GENERAL_BLOCK`.
+    GeneralBlock,
+    /// `CYCLIC(k)`.
+    Cyclic(u64),
+    /// Not distributed.
+    Collapsed,
+    /// User-defined (extension).
+    Indirect,
+}
+
+impl fmt::Display for DimKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimKind::Block => write!(f, "BLOCK"),
+            DimKind::BlockBalanced => write!(f, "BLOCK_BALANCED"),
+            DimKind::GeneralBlock => write!(f, "GENERAL_BLOCK"),
+            DimKind::Cyclic(1) => write!(f, "CYCLIC"),
+            DimKind::Cyclic(k) => write!(f, "CYCLIC({k})"),
+            DimKind::Collapsed => write!(f, "*"),
+            DimKind::Indirect => write!(f, "INDIRECT"),
+        }
+    }
+}
+
+/// What kind of mapping an array currently has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Format-expressible direct distribution.
+    Direct,
+    /// `CONSTRUCT(α, δ_B)` of a secondary array.
+    Constructed,
+    /// Inherited through a section at a procedure boundary.
+    Inherited,
+    /// Replicated over a fixed processor set.
+    Replicated,
+}
+
+/// A full inquiry report for one array.
+#[derive(Debug, Clone)]
+pub struct ArrayDescriptor {
+    /// Array name.
+    pub name: String,
+    /// Index domain rendering (e.g. `[1:100, 0:9]`), if allocated.
+    pub domain: Option<String>,
+    /// Primary or secondary, with the base name for secondaries.
+    pub role: Role,
+    /// `DYNAMIC` attribute.
+    pub dynamic: bool,
+    /// `ALLOCATABLE` attribute.
+    pub allocatable: bool,
+    /// Currently created.
+    pub allocated: bool,
+    /// Mapping classification.
+    pub kind: Option<MappingKind>,
+    /// Per-dimension formats (only for direct mappings).
+    pub dims: Vec<DimKind>,
+    /// Names of arrays aligned to this one.
+    pub children: Vec<String>,
+}
+
+/// The forest role of an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Root of an alignment tree (possibly degenerate).
+    Primary,
+    /// Aligned to the named base.
+    Secondary {
+        /// The alignment base's name.
+        base: String,
+    },
+    /// Not currently part of the forest (unallocated allocatable).
+    Absent,
+}
+
+impl fmt::Display for ArrayDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(d) = &self.domain {
+            write!(f, "{d}")?;
+        }
+        match &self.role {
+            Role::Primary => write!(f, "  primary")?,
+            Role::Secondary { base } => write!(f, "  aligned→{base}")?,
+            Role::Absent => write!(f, "  (unallocated)")?,
+        }
+        if let Some(k) = self.kind {
+            write!(f, "  [{k:?}")?;
+            if !self.dims.is_empty() {
+                write!(f, ": ")?;
+                for (i, d) in self.dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+            }
+            write!(f, "]")?;
+        }
+        if self.dynamic {
+            write!(f, " DYNAMIC")?;
+        }
+        if self.allocatable {
+            write!(f, " ALLOCATABLE")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classify an effective distribution.
+pub fn mapping_kind(eff: &EffectiveDist) -> MappingKind {
+    match eff {
+        EffectiveDist::Direct(_) => MappingKind::Direct,
+        EffectiveDist::Aligned { .. } => MappingKind::Constructed,
+        EffectiveDist::Embedded { .. } => MappingKind::Inherited,
+        EffectiveDist::Replicated { .. } => MappingKind::Replicated,
+    }
+}
+
+/// Per-dimension format kinds of a direct mapping (empty for composed
+/// mappings, which have no format-list rendering — exactly the §8.2 point).
+pub fn dim_kinds(eff: &EffectiveDist) -> Vec<DimKind> {
+    match eff.as_direct() {
+        None => Vec::new(),
+        Some(d) => d
+            .dim_formats()
+            .iter()
+            .map(|f| match f {
+                None => DimKind::Collapsed,
+                Some(DimFormat::Block) => DimKind::Block,
+                Some(DimFormat::BlockBalanced) => DimKind::BlockBalanced,
+                Some(DimFormat::GeneralBlock(_)) => DimKind::GeneralBlock,
+                Some(DimFormat::Cyclic(k)) => DimKind::Cyclic(*k),
+                Some(DimFormat::Collapsed) => DimKind::Collapsed,
+                Some(DimFormat::Indirect(_)) => DimKind::Indirect,
+            })
+            .collect(),
+    }
+}
+
+/// Build the full descriptor for an array.
+pub fn describe(space: &DataSpace, id: ArrayId) -> ArrayDescriptor {
+    let allocated = space.is_alive(id);
+    let (kind, dims) = match space.effective(id) {
+        Ok(eff) => (Some(mapping_kind(&eff)), dim_kinds(&eff)),
+        Err(_) => (None, Vec::new()),
+    };
+    ArrayDescriptor {
+        name: space.name(id).to_string(),
+        domain: space.domain(id).map(|d| d.to_string()),
+        role: if !allocated {
+            Role::Absent
+        } else if space.is_primary(id) {
+            Role::Primary
+        } else {
+            Role::Secondary {
+                base: space.name(space.base_of(id).expect("secondary")).to_string(),
+            }
+        },
+        dynamic: space.is_dynamic(id),
+        allocatable: space.is_allocatable(id),
+        allocated,
+        kind,
+        dims,
+        children: space.children(id).iter().map(|&c| space.name(c).to_string()).collect(),
+    }
+}
+
+/// One axis of an alignment, as reported by inquiry (mirrors the HPF
+/// `HPF_ALIGNMENT` intrinsic's per-dimension answer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignAxis {
+    /// The base dimension takes the constant subscript.
+    Constant(i64),
+    /// `a·(alignee dim d) + c`.
+    Affine {
+        /// Alignee dimension (0-based) feeding this base dimension.
+        dim: usize,
+        /// Stride.
+        stride: i64,
+        /// Offset.
+        offset: i64,
+    },
+    /// General expression of one alignee dimension (MAX/MIN truncation).
+    Expression(usize),
+    /// Replicated over the base dimension.
+    Replicated,
+}
+
+impl fmt::Display for AlignAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignAxis::Constant(c) => write!(f, "{c}"),
+            AlignAxis::Affine { dim, stride, offset } => {
+                write!(f, "{stride}*J{dim}{offset:+}")
+            }
+            AlignAxis::Expression(d) => write!(f, "expr(J{d})"),
+            AlignAxis::Replicated => write!(f, "*"),
+        }
+    }
+}
+
+/// The alignment of a secondary array, axis by axis — `None` for primary
+/// arrays. This is the §8.2 capability: the alignment is an attribute of
+/// the array, queryable without any template.
+pub fn align_descriptor(space: &DataSpace, id: ArrayId) -> Option<Vec<AlignAxis>> {
+    let f = space.alignment_of(id)?;
+    Some(
+        f.axes()
+            .iter()
+            .map(|ax| match ax {
+                crate::AxisMap::Const(c) => AlignAxis::Constant(*c),
+                crate::AxisMap::Affine { dim, a, c } => {
+                    AlignAxis::Affine { dim: *dim, stride: *a, offset: *c }
+                }
+                crate::AxisMap::Expr { dim, .. } => AlignAxis::Expression(*dim),
+                crate::AxisMap::Replicated => AlignAxis::Replicated,
+            })
+            .collect(),
+    )
+}
+
+/// Number of elements of the array each processor owns — the load picture
+/// used by the §1 load-balancing experiments.
+pub fn ownership_histogram(
+    space: &DataSpace,
+    id: ArrayId,
+) -> Result<Vec<(ProcId, usize)>, HpfError> {
+    let eff = space.effective(id)?;
+    let mut out = Vec::with_capacity(space.np());
+    for p in space.procs().all_procs() {
+        out.push((p, eff.owned_region(p).volume_disjoint()));
+    }
+    Ok(out)
+}
+
+/// The owner set of one element by name — the simplest inquiry.
+pub fn owners_of(
+    space: &DataSpace,
+    name: &str,
+    i: &Idx,
+) -> Result<crate::procset::ProcSet, HpfError> {
+    let id = space.by_name(name)?;
+    space.owners(id, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::spec::AlignSpec;
+    use crate::dist::dist::DistributeSpec;
+    use crate::dist::format::FormatSpec;
+    use hpf_index::IndexDomain;
+
+    #[test]
+    fn descriptor_for_direct_mapping() {
+        let mut ds = DataSpace::new(4);
+        let a = ds.declare("A", IndexDomain::of_shape(&[16, 8]).unwrap()).unwrap();
+        ds.distribute(
+            a,
+            &DistributeSpec::new(vec![FormatSpec::Cyclic(3), FormatSpec::Collapsed]),
+        )
+        .unwrap();
+        let d = describe(&ds, a);
+        assert_eq!(d.role, Role::Primary);
+        assert_eq!(d.kind, Some(MappingKind::Direct));
+        assert_eq!(d.dims, vec![DimKind::Cyclic(3), DimKind::Collapsed]);
+        assert!(d.to_string().contains("CYCLIC(3)"));
+    }
+
+    #[test]
+    fn descriptor_for_secondary() {
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        let d = describe(&ds, a);
+        assert_eq!(d.role, Role::Secondary { base: "B".into() });
+        assert_eq!(d.kind, Some(MappingKind::Constructed));
+        assert!(d.dims.is_empty(), "composed mappings have no format list");
+        let db = describe(&ds, b);
+        assert_eq!(db.children, vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn histogram_counts_block() {
+        let mut ds = DataSpace::new(4);
+        let a = ds.declare("A", IndexDomain::of_shape(&[10]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let h = ownership_histogram(&ds, a).unwrap();
+        let sizes: Vec<usize> = h.iter().map(|&(_, n)| n).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]); // q = ⌈10/4⌉ = 3
+    }
+
+    #[test]
+    fn align_descriptor_reports_axes() {
+        use crate::align::spec::{AligneeAxis, BaseSubscript};
+        use crate::AlignExpr;
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::of_shape(&[32, 8]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        ds.align(
+            a,
+            b,
+            &AlignSpec::new(
+                vec![AligneeAxis::Dummy(0)],
+                vec![
+                    BaseSubscript::Expr(AlignExpr::dummy(0) * 2 - 1),
+                    BaseSubscript::Star,
+                ],
+            ),
+        )
+        .unwrap();
+        let d = align_descriptor(&ds, a).unwrap();
+        assert_eq!(
+            d,
+            vec![
+                AlignAxis::Affine { dim: 0, stride: 2, offset: -1 },
+                AlignAxis::Replicated
+            ]
+        );
+        assert_eq!(d[0].to_string(), "2*J0-1");
+        assert!(align_descriptor(&ds, b).is_none(), "primary has no alignment");
+    }
+
+    #[test]
+    fn unallocated_descriptor() {
+        let mut ds = DataSpace::new(2);
+        let c = ds.declare_allocatable("C", 1).unwrap();
+        let d = describe(&ds, c);
+        assert_eq!(d.role, Role::Absent);
+        assert!(d.allocatable);
+        assert!(!d.allocated);
+        assert_eq!(d.kind, None);
+    }
+}

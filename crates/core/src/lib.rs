@@ -1,0 +1,70 @@
+//! # hpf-core — HPF distribution & alignment without templates
+//!
+//! A faithful implementation of the mapping model of Chapman, Mehrotra &
+//! Zima, *"High Performance Fortran Without Templates: An Alternative Model
+//! for Distribution and Alignment"* (PPoPP 1993 / ICASE 93-17):
+//!
+//! * **Distributions** (§2.2, §4): total index mappings from array index
+//!   domains to processor-target index domains — [`Distribution`], built
+//!   from the per-dimension formats `BLOCK`, `GENERAL_BLOCK`, `CYCLIC(k)`
+//!   and `:` ([`FormatSpec`]/[`DimFormat`]), targeting whole processor
+//!   arrangements **or sections** of them.
+//! * **Alignments** (§2.3, §5): index mappings between array index domains
+//!   — [`AlignSpec`] directives reduced by [`reduce`] into [`AlignmentFn`]s
+//!   (affine/expression axis maps, replication, collapse).
+//! * **CONSTRUCT** (Definition 4): [`EffectiveDist`] composes alignments
+//!   over distributions, and also represents inherited section mappings
+//!   that no format list can express (§8.2).
+//! * **The alignment forest** (§2.4): [`DataSpace`] enforces the two
+//!   forest constraints (height ≤ 1) through `ALIGN`/`DISTRIBUTE` and the
+//!   dynamic `REDISTRIBUTE`/`REALIGN` rules (§4.2, §5.2), plus the
+//!   allocatable lifecycle (§6).
+//! * **Procedure boundaries** (§7): [`CallFrame`] implements the four
+//!   dummy-argument mapping modes (explicit, inherit, inheritance matching,
+//!   implicit) with restore-on-exit and remap-volume accounting.
+//! * **Inquiry** (§8.2): the [`inquiry`] module interrogates any mapping,
+//!   format-expressible or not.
+//!
+//! ```
+//! use hpf_core::{DataSpace, DistributeSpec, FormatSpec, AlignSpec};
+//! use hpf_index::{IndexDomain, Idx};
+//!
+//! // 4 processors; B(1:16) CYCLIC; A(1:16) aligned identically to B
+//! let mut ds = DataSpace::new(4);
+//! let b = ds.declare("B", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+//! let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+//! ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+//! ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+//! // the collocation guarantee of §2.3:
+//! assert_eq!(
+//!     ds.owners(a, &Idx::d1(7)).unwrap(),
+//!     ds.owners(b, &Idx::d1(7)).unwrap(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod align;
+mod dist;
+mod error;
+mod forest;
+pub mod inquiry;
+mod mapping;
+mod procedures;
+mod procset;
+
+pub use align::expr::AlignExpr;
+pub use align::func::{AlignmentFn, AxisMap};
+pub use align::reduce::reduce;
+pub use align::spec::{AligneeAxis, AlignSpec, BaseSubscript};
+pub use dist::dim::DimDist;
+pub use dist::dist::{DistributeSpec, Distribution, TargetSpec};
+pub use dist::format::{DimFormat, FormatSpec, GeneralBlock, IndirectMap};
+pub use error::HpfError;
+pub use forest::{ArrayId, DataSpace, MappingState, SpecMapping, AP_NAME};
+pub use mapping::EffectiveDist;
+pub use procedures::{
+    Actual, CallFrame, CallReport, Dummy, DummySpec, ProcedureDef, RemapEvent, RemapPhase,
+};
+pub use procset::{ProcSet, ProcSetIter};

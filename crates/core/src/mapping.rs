@@ -1,0 +1,443 @@
+use crate::align::func::AlignmentFn;
+use crate::dist::dist::Distribution;
+use crate::procset::ProcSet;
+use hpf_index::{Idx, IndexDomain, Rect, Region, Section, Triplet};
+use hpf_procs::ProcId;
+use std::fmt;
+use std::sync::Arc;
+
+/// The *effective distribution* of an array: a closed representation of
+/// `δ_A` that may or may not be expressible as a distribution format list.
+///
+/// This realizes the paper's central position (§8.2) that "distributions
+/// [...] are considered to be an attribute of an array": a secondary
+/// array's distribution is `CONSTRUCT(α, δ_B)` (Definition 4), a dummy
+/// argument inheriting from a section actual carries a *composed* mapping
+/// ("inherited distributions which cannot be explicitly specified"), and
+/// inquiry functions can interrogate any of them.
+#[derive(Debug, Clone)]
+pub enum EffectiveDist {
+    /// A directly specified, format-based distribution (primary arrays).
+    Direct(Arc<Distribution>),
+    /// `CONSTRUCT(α, δ_base)`: the mapping of a secondary array.
+    Aligned {
+        /// The alignment function `α`.
+        align: Arc<AlignmentFn>,
+        /// The base's effective distribution `δ_B`.
+        base: Arc<EffectiveDist>,
+    },
+    /// A dummy argument's inherited mapping: the section embedding composed
+    /// with the actual argument's mapping (§7, §8.1.2).
+    Embedded {
+        /// The dummy's own (standard, 1-based) index domain.
+        domain: IndexDomain,
+        /// The section of the parent selected by the actual argument.
+        section: Section,
+        /// The actual argument's effective distribution.
+        parent: Arc<EffectiveDist>,
+    },
+    /// Full replication of every element over a fixed processor set
+    /// (scalar processor arrangements with the replication policy, §3).
+    Replicated {
+        /// The array's index domain.
+        domain: IndexDomain,
+        /// The processors holding a copy.
+        procs: ProcSet,
+    },
+}
+
+impl EffectiveDist {
+    /// Wrap a direct distribution.
+    pub fn direct(d: Distribution) -> Self {
+        EffectiveDist::Direct(Arc::new(d))
+    }
+
+    /// Build `CONSTRUCT(α, δ_B)`.
+    pub fn aligned(align: Arc<AlignmentFn>, base: Arc<EffectiveDist>) -> Self {
+        EffectiveDist::Aligned { align, base }
+    }
+
+    /// The index domain the mapping is total on.
+    pub fn domain(&self) -> &IndexDomain {
+        match self {
+            EffectiveDist::Direct(d) => d.domain(),
+            EffectiveDist::Aligned { align, .. } => align.alignee(),
+            EffectiveDist::Embedded { domain, .. } => domain,
+            EffectiveDist::Replicated { domain, .. } => domain,
+        }
+    }
+
+    /// The direct distribution, if this mapping is format-expressible.
+    pub fn as_direct(&self) -> Option<&Distribution> {
+        match self {
+            EffectiveDist::Direct(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Owners of element `i` — Definition 4:
+    /// `δ_A(i) = ∪_{j ∈ α(i)} δ_B(j)`.
+    pub fn owners(&self, i: &Idx) -> ProcSet {
+        match self {
+            EffectiveDist::Direct(d) => d.owners(i),
+            EffectiveDist::Aligned { align, base } => {
+                let img = align.image_rect(i);
+                base.owners_of_rect(&img)
+            }
+            EffectiveDist::Embedded { section, parent, .. } => {
+                let p = section.embed(i).expect("index within dummy domain");
+                parent.owners(&p)
+            }
+            EffectiveDist::Replicated { procs, .. } => procs.clone(),
+        }
+    }
+
+    /// The first owner (a canonical representative; unique unless the
+    /// mapping replicates).
+    pub fn owner(&self, i: &Idx) -> ProcId {
+        self.owners(i).iter().next().expect("Definition 1: images are non-empty")
+    }
+
+    /// Owners of every element of a rect, as one set.
+    pub fn owners_of_rect(&self, r: &Rect) -> ProcSet {
+        match self {
+            EffectiveDist::Direct(d) => d.owners_of_rect(r),
+            EffectiveDist::Replicated { procs, .. } => {
+                if r.is_empty() {
+                    ProcSet::Many(Vec::new())
+                } else {
+                    procs.clone()
+                }
+            }
+            // generic path: pointwise union (rects reaching here are small
+            // — they come from alignment images and section embeddings)
+            _ => {
+                let mut acc: Option<ProcSet> = None;
+                for i in r.iter() {
+                    let o = self.owners(&i);
+                    acc = Some(match acc {
+                        None => o,
+                        Some(a) => a.union(&o),
+                    });
+                }
+                acc.unwrap_or(ProcSet::Many(Vec::new()))
+            }
+        }
+    }
+
+    /// The region of the array's own index space owned by processor `p`
+    /// (elements whose owner set contains `p`).
+    pub fn owned_region(&self, p: ProcId) -> Region {
+        match self {
+            EffectiveDist::Direct(d) => d.owned_region(p),
+            EffectiveDist::Aligned { align, base } => {
+                let base_owned = base.owned_region(p);
+                let mut out = Region::empty(align.alignee().rank());
+                for rect in base_owned.rects() {
+                    for r in align.preimage_region(rect).rects() {
+                        if !out.rects().iter().any(|q| rect_subsumes(q, r)) {
+                            out.push(r.clone());
+                        }
+                    }
+                }
+                dedup_region(out)
+            }
+            EffectiveDist::Embedded { domain, section, parent } => {
+                let parent_owned = parent.owned_region(p);
+                let mut out = Region::empty(domain.rank());
+                for rect in parent_owned.rects() {
+                    if let Some(r) = project_rect_through_section(rect, section) {
+                        out.push(r);
+                    }
+                }
+                dedup_region(out)
+            }
+            EffectiveDist::Replicated { domain, procs } => {
+                if procs.contains(p) {
+                    Region::from_rect(Rect::new(domain.dims().to_vec()))
+                } else {
+                    Region::empty(domain.rank())
+                }
+            }
+        }
+    }
+
+    /// Extensional equality over the whole domain (used for §7 inheritance
+    /// matching when descriptors are not directly comparable). Exhaustive —
+    /// intended for spec-sized domains and tests.
+    pub fn equal_exhaustive(&self, other: &EffectiveDist) -> bool {
+        if self.domain() != other.domain() {
+            return false;
+        }
+        self.domain().iter().all(|i| self.owners(&i) == other.owners(&i))
+    }
+
+    /// Structural match when both are direct; falls back to extensional
+    /// comparison otherwise.
+    pub fn matches(&self, other: &EffectiveDist) -> bool {
+        if let (Some(a), Some(b)) = (self.as_direct(), other.as_direct()) {
+            return a.matches(b);
+        }
+        self.equal_exhaustive(other)
+    }
+
+    /// Total number of (element, owner) pairs that differ between two
+    /// mappings over the same domain — the volume a remapping must move
+    /// (elements whose owner sets differ contribute 1 each).
+    pub fn remap_volume(&self, other: &EffectiveDist) -> usize {
+        debug_assert_eq!(self.domain(), other.domain());
+        self.domain()
+            .iter()
+            .filter(|i| self.owners(i) != other.owners(i))
+            .count()
+    }
+}
+
+impl fmt::Display for EffectiveDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EffectiveDist::Direct(_) => write!(f, "direct"),
+            EffectiveDist::Aligned { align, base } => {
+                write!(f, "CONSTRUCT({align}, {base})")
+            }
+            EffectiveDist::Embedded { section, parent, .. } => {
+                write!(f, "embed{section} ∘ {parent}")
+            }
+            EffectiveDist::Replicated { procs, .. } => write!(f, "replicated{procs}"),
+        }
+    }
+}
+
+fn rect_subsumes(outer: &Rect, inner: &Rect) -> bool {
+    outer.rank() == inner.rank()
+        && outer
+            .dims()
+            .iter()
+            .zip(inner.dims())
+            .all(|(o, i)| i.is_subset_of(o))
+}
+
+fn dedup_region(r: Region) -> Region {
+    let rank = r.rank();
+    let mut out = Region::empty(rank);
+    'outer: for rect in r.rects() {
+        for kept in out.rects() {
+            if rect_subsumes(kept, rect) {
+                continue 'outer;
+            }
+        }
+        out.push(rect.clone());
+    }
+    out
+}
+
+/// Intersect a parent-space rect with a section and rewrite it into
+/// section-relative (1-based) coordinates; `None` if the intersection is
+/// empty.
+fn project_rect_through_section(rect: &Rect, section: &Section) -> Option<Rect> {
+    let mut dims = Vec::with_capacity(section.rank());
+    for (d, sd) in section.dims().iter().enumerate() {
+        match sd {
+            hpf_index::SectionDim::Scalar(v) => {
+                if !rect.dim(d).contains(*v) {
+                    return None;
+                }
+            }
+            hpf_index::SectionDim::Triplet(t) => {
+                let hit = rect.dim(d).intersect(t);
+                if hit.is_empty() {
+                    return None;
+                }
+                // members of `hit` are members of `t`; rewrite to positions
+                let (l, s) = (t.lower(), t.stride());
+                let first = (hit.min().unwrap() - l) / s + 1;
+                let last = (hit.max().unwrap() - l) / s + 1;
+                let stride = (hit.stride() / s).abs().max(1);
+                let (lo, hi) = if first <= last { (first, last) } else { (last, first) };
+                dims.push(Triplet::new(lo, hi, stride).expect("stride > 0"));
+            }
+        }
+    }
+    Some(Rect::new(dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::func::AxisMap;
+    use crate::dist::format::FormatSpec;
+    use hpf_index::{span, triplet};
+    use hpf_procs::{ProcSpace, ProcTarget};
+
+    fn direct_1d(n: i64, np: usize, fmt: FormatSpec) -> EffectiveDist {
+        let mut ps = ProcSpace::new(np);
+        let id = ps.declare_array("P", IndexDomain::of_shape(&[np]).unwrap()).unwrap();
+        let t = ProcTarget::whole(&ps, id).unwrap();
+        let dom = IndexDomain::standard(&[(1, n)]).unwrap();
+        EffectiveDist::direct(Distribution::new("A", &dom, &[fmt], t, &ps).unwrap())
+    }
+
+    #[test]
+    fn construct_identity_alignment_keeps_owners() {
+        // B block-distributed; A(:) aligned identically → same owners
+        let base = Arc::new(direct_1d(16, 4, FormatSpec::Block));
+        let align = Arc::new(
+            AlignmentFn::from_parts(
+                IndexDomain::standard(&[(1, 16)]).unwrap(),
+                IndexDomain::standard(&[(1, 16)]).unwrap(),
+                vec![AxisMap::Affine { dim: 0, a: 1, c: 0 }],
+            )
+            .unwrap(),
+        );
+        let a = EffectiveDist::aligned(align, base.clone());
+        for v in 1..=16 {
+            assert_eq!(a.owners(&Idx::d1(v)), base.owners(&Idx::d1(v)));
+        }
+        // Definition 4 guarantee: A(i) and B(α(i)) collocated
+        assert!(a.equal_exhaustive(&base));
+    }
+
+    #[test]
+    fn construct_with_offset_shifts_owners() {
+        // A(I) WITH B(I+8): A(1..8) lives where B(9..16) lives
+        let base = Arc::new(direct_1d(16, 4, FormatSpec::Block));
+        let align = Arc::new(
+            AlignmentFn::from_parts(
+                IndexDomain::standard(&[(1, 8)]).unwrap(),
+                IndexDomain::standard(&[(1, 16)]).unwrap(),
+                vec![AxisMap::Affine { dim: 0, a: 1, c: 8 }],
+            )
+            .unwrap(),
+        );
+        let a = EffectiveDist::aligned(align, base.clone());
+        assert_eq!(a.owner(&Idx::d1(1)), base.owner(&Idx::d1(9)));
+        assert_eq!(a.owner(&Idx::d1(8)), base.owner(&Idx::d1(16)));
+    }
+
+    #[test]
+    fn construct_replication_unions_owners() {
+        // A(:) WITH D(:,*) where D is (BLOCK, BLOCK) on a 2×2 grid:
+        // A(i) is replicated over the whole processor row owning D(i, :)
+        let mut ps = ProcSpace::new(4);
+        let g = ps.declare_array("G", IndexDomain::of_shape(&[2, 2]).unwrap()).unwrap();
+        let t = ProcTarget::whole(&ps, g).unwrap();
+        let ddom = IndexDomain::standard(&[(1, 8), (1, 6)]).unwrap();
+        let d = Distribution::new(
+            "D",
+            &ddom,
+            &[FormatSpec::Block, FormatSpec::Block],
+            t,
+            &ps,
+        )
+        .unwrap();
+        let base = Arc::new(EffectiveDist::direct(d));
+        let align = Arc::new(
+            AlignmentFn::from_parts(
+                IndexDomain::standard(&[(1, 8)]).unwrap(),
+                ddom,
+                vec![AxisMap::Affine { dim: 0, a: 1, c: 0 }, AxisMap::Replicated],
+            )
+            .unwrap(),
+        );
+        let a = EffectiveDist::aligned(align, base);
+        // row 1 of D lives on grid row 1 = APs {1, 3}
+        let o = a.owners(&Idx::d1(1));
+        assert_eq!(o.len(), 2);
+        assert!(o.contains(ProcId(1)));
+        assert!(o.contains(ProcId(3)));
+        // owned regions: P1 and P3 both own A(1..4)
+        let r1 = a.owned_region(ProcId(1));
+        assert!(r1.contains(&Idx::d1(1)));
+        assert!(r1.contains(&Idx::d1(4)));
+        assert!(!r1.contains(&Idx::d1(5)));
+        let r3 = a.owned_region(ProcId(3));
+        assert!(r3.contains(&Idx::d1(4)));
+    }
+
+    #[test]
+    fn aligned_owned_region_matches_pointwise() {
+        let base = Arc::new(direct_1d(20, 4, FormatSpec::Cyclic(3)));
+        let align = Arc::new(
+            AlignmentFn::from_parts(
+                IndexDomain::standard(&[(1, 10)]).unwrap(),
+                IndexDomain::standard(&[(1, 20)]).unwrap(),
+                vec![AxisMap::Affine { dim: 0, a: 2, c: -1 }],
+            )
+            .unwrap(),
+        );
+        let a = EffectiveDist::aligned(align, base);
+        for p in 1..=4u32 {
+            let region = a.owned_region(ProcId(p));
+            for v in 1..=10i64 {
+                let owns = a.owners(&Idx::d1(v)).contains(ProcId(p));
+                assert_eq!(region.contains(&Idx::d1(v)), owns, "p={p} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_section_mapping() {
+        // the §8.1.2 scenario: A(1:1000) CYCLIC(3), dummy X = A(2:996:2)
+        let parent = Arc::new(direct_1d(1000, 4, FormatSpec::Cyclic(3)));
+        let section = Section::from_triplets(vec![triplet(2, 996, 2)]);
+        let domain = section.domain().unwrap().standardized();
+        let x = EffectiveDist::Embedded {
+            domain: domain.clone(),
+            section: section.clone(),
+            parent: parent.clone(),
+        };
+        // X(k) lives exactly where A(2k) lives
+        for k in [1i64, 2, 100, 498] {
+            assert_eq!(
+                x.owners(&Idx::d1(k)),
+                parent.owners(&Idx::d1(2 * k)),
+                "k={k}"
+            );
+        }
+        // owned regions agree pointwise
+        for p in 1..=4u32 {
+            let region = x.owned_region(ProcId(p));
+            for k in 1..=498i64 {
+                let owns = x.owners(&Idx::d1(k)).contains(ProcId(p));
+                assert_eq!(region.contains(&Idx::d1(k)), owns, "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_mapping() {
+        let dom = IndexDomain::standard(&[(1, 6)]).unwrap();
+        let r = EffectiveDist::Replicated { domain: dom, procs: ProcSet::all(3) };
+        assert_eq!(r.owners(&Idx::d1(1)).len(), 3);
+        assert_eq!(r.owned_region(ProcId(2)).volume_disjoint(), 6);
+        assert!(r.owned_region(ProcId(9)).is_empty());
+    }
+
+    #[test]
+    fn remap_volume_counts_moved_elements() {
+        let a = direct_1d(16, 4, FormatSpec::Block);
+        let b = direct_1d(16, 4, FormatSpec::Cyclic(1));
+        // block: 1111 2222 3333 4444 ; cyclic: 1234 1234 1234 1234
+        // agreeing positions: 1 (P1), 6 (P2), 11 (P3), 16 (P4)
+        assert_eq!(a.remap_volume(&b), 12);
+        assert_eq!(a.remap_volume(&a), 0);
+    }
+
+    #[test]
+    fn owners_of_rect_generic_path() {
+        let base = Arc::new(direct_1d(16, 4, FormatSpec::Block));
+        let align = Arc::new(
+            AlignmentFn::from_parts(
+                IndexDomain::standard(&[(1, 16)]).unwrap(),
+                IndexDomain::standard(&[(1, 16)]).unwrap(),
+                vec![AxisMap::Affine { dim: 0, a: 1, c: 0 }],
+            )
+            .unwrap(),
+        );
+        let a = EffectiveDist::aligned(align, base);
+        let o = a.owners_of_rect(&Rect::new(vec![span(3, 6)]));
+        // elements 3..6 live on P1 (1..4) and P2 (5..8)
+        let v: Vec<u32> = o.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![1, 2]);
+    }
+}

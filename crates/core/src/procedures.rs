@@ -1,0 +1,617 @@
+use crate::align::spec::AlignSpec;
+use crate::dist::dist::{DistributeSpec, Distribution};
+use crate::forest::{ArrayId, DataSpace};
+use crate::mapping::EffectiveDist;
+use crate::HpfError;
+use hpf_index::Section;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a dummy argument receives its distribution (§7):
+///
+/// 1. **explicitly** — `DISTRIBUTE A d [TO r]`: the actual is remapped if
+///    necessary, and remapped back on exit;
+/// 2. **by inheritance** — `DISTRIBUTE A *`: the actual's distribution is
+///    transferred into the procedure;
+/// 3. **by inheritance matching** — `DISTRIBUTE A * d [TO r]`: the
+///    inherited distribution must match the specification; with an
+///    interface block the caller remaps instead, otherwise a mismatch makes
+///    the program non-conforming;
+/// 4. **implicitly** — the compiler provides a distribution.
+#[derive(Debug, Clone)]
+pub enum DummySpec {
+    /// Case 1: `DISTRIBUTE A d [TO r]`.
+    Explicit(DistributeSpec),
+    /// Case 2: `DISTRIBUTE A *`.
+    Inherit,
+    /// Case 3: `DISTRIBUTE A * d [TO r]`.
+    InheritMatching {
+        /// The required distribution.
+        spec: DistributeSpec,
+        /// True when an interface block makes the dummy's attribute visible
+        /// to the caller, allowing the language processor to remap instead
+        /// of rejecting.
+        interface_block: bool,
+    },
+    /// Case 4: no directive.
+    Implicit,
+    /// §7: "it can also be specified by giving an alignment to another
+    /// dummy argument" — align this dummy to the dummy at `base` (0-based
+    /// position in the dummy list).
+    AlignToDummy {
+        /// Position of the base dummy.
+        base: usize,
+        /// The directive body.
+        spec: AlignSpec,
+    },
+}
+
+/// One dummy argument declaration.
+#[derive(Debug, Clone)]
+pub struct Dummy {
+    /// Dummy name (local to the procedure).
+    pub name: String,
+    /// How it receives its distribution.
+    pub spec: DummySpec,
+    /// Whether the dummy is declared `DYNAMIC` inside the procedure.
+    pub dynamic: bool,
+}
+
+impl Dummy {
+    /// A dummy with the given mapping specification.
+    pub fn new(name: &str, spec: DummySpec) -> Self {
+        Dummy { name: name.to_string(), spec, dynamic: false }
+    }
+
+    /// Mark the dummy `DYNAMIC`.
+    pub fn dynamic(mut self) -> Self {
+        self.dynamic = true;
+        self
+    }
+}
+
+/// A procedure interface: name plus dummy argument list.
+#[derive(Debug, Clone)]
+pub struct ProcedureDef {
+    /// Procedure name.
+    pub name: String,
+    /// Dummy arguments in order.
+    pub dummies: Vec<Dummy>,
+}
+
+impl ProcedureDef {
+    /// Build a definition.
+    pub fn new(name: &str, dummies: Vec<Dummy>) -> Self {
+        ProcedureDef { name: name.to_string(), dummies }
+    }
+}
+
+/// An actual argument: an array or a section of one (§8.1.2's
+/// `CALL SUB(A(2:996:2))`).
+#[derive(Debug, Clone)]
+pub struct Actual {
+    /// The caller-side array.
+    pub array: ArrayId,
+    /// The section passed; `None` passes the whole array.
+    pub section: Option<Section>,
+}
+
+impl Actual {
+    /// Pass the whole array.
+    pub fn whole(array: ArrayId) -> Self {
+        Actual { array, section: None }
+    }
+
+    /// Pass a section.
+    pub fn section(array: ArrayId, s: Section) -> Self {
+        Actual { array, section: Some(s) }
+    }
+}
+
+/// When a remap event happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapPhase {
+    /// While mapping actuals to dummies at call entry.
+    Enter,
+    /// While restoring original distributions at exit (§7: "the original
+    /// distribution must be restored on procedure exit").
+    Exit,
+}
+
+/// One data-movement event at a procedure boundary.
+#[derive(Debug, Clone)]
+pub struct RemapEvent {
+    /// The dummy involved.
+    pub dummy: String,
+    /// Entry or exit.
+    pub phase: RemapPhase,
+    /// Number of elements whose owner changed.
+    pub volume: usize,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl fmt::Display for RemapEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            RemapPhase::Enter => "enter",
+            RemapPhase::Exit => "exit",
+        };
+        write!(f, "[{phase}] {}: {} elements ({})", self.dummy, self.volume, self.reason)
+    }
+}
+
+/// An active procedure invocation: a procedure-local data space (the
+/// alignment tree "is local to a procedure", §7) plus the bookkeeping
+/// needed to restore distributions on exit.
+pub struct CallFrame {
+    procedure: String,
+    local: DataSpace,
+    dummies: Vec<ArrayId>,
+    entry_mappings: Vec<Arc<EffectiveDist>>,
+    incoming: Vec<Arc<EffectiveDist>>,
+    events: Vec<RemapEvent>,
+}
+
+impl CallFrame {
+    /// Enter a procedure: map every actual to its dummy per the §7 rules.
+    ///
+    /// The caller's data space is only read — copy-in/copy-out movement is
+    /// reported in [`CallFrame::events`] rather than mutating the caller's
+    /// descriptors (they are restored by exit anyway).
+    pub fn enter(
+        caller: &DataSpace,
+        def: &ProcedureDef,
+        actuals: &[Actual],
+    ) -> Result<CallFrame, HpfError> {
+        if actuals.len() != def.dummies.len() {
+            return Err(HpfError::ArgumentCount {
+                procedure: def.name.clone(),
+                dummies: def.dummies.len(),
+                actuals: actuals.len(),
+            });
+        }
+        let mut local = DataSpace::with_procs(caller.procs().clone());
+        let mut dummies = Vec::with_capacity(def.dummies.len());
+        let mut incoming = Vec::with_capacity(def.dummies.len());
+        let mut events = Vec::new();
+
+        // phase 1: build incoming (inherited) mappings for every dummy
+        for (dummy, actual) in def.dummies.iter().zip(actuals) {
+            let parent_eff = caller.effective(actual.array)?;
+            let parent_dom = caller
+                .domain(actual.array)
+                .ok_or_else(|| HpfError::NotAllocated(caller.name(actual.array).into()))?;
+            let section = match &actual.section {
+                Some(s) => {
+                    s.validate(parent_dom)?;
+                    s.clone()
+                }
+                None => Section::full(parent_dom),
+            };
+            let dummy_domain = section.domain()?.standardized();
+            let inherited = Arc::new(EffectiveDist::Embedded {
+                domain: dummy_domain.clone(),
+                section,
+                parent: parent_eff,
+            });
+            // declare the dummy in the local space, then override its
+            // implicit mapping with the §7-selected one in phase 2
+            let id = local.declare(&dummy.name, dummy_domain)?;
+            if dummy.dynamic {
+                local.set_dynamic(id);
+            }
+            dummies.push(id);
+            incoming.push(inherited);
+        }
+
+        // phase 2: apply the §7 mapping rules
+        let mut entry_mappings = Vec::with_capacity(def.dummies.len());
+        for (k, dummy) in def.dummies.iter().enumerate() {
+            let id = dummies[k];
+            let inherited = incoming[k].clone();
+            let chosen: Arc<EffectiveDist> = match &dummy.spec {
+                DummySpec::Inherit => inherited.clone(),
+                DummySpec::Explicit(dspec) => {
+                    let dom = inherited.domain().clone();
+                    let d = bind_in(&local, &dummy.name, &dom, dspec)?;
+                    let new = Arc::new(EffectiveDist::direct(d));
+                    let volume = inherited.remap_volume(&new);
+                    if volume > 0 {
+                        events.push(RemapEvent {
+                            dummy: dummy.name.clone(),
+                            phase: RemapPhase::Enter,
+                            volume,
+                            reason: format!("explicit DISTRIBUTE {dspec}"),
+                        });
+                    }
+                    new
+                }
+                DummySpec::InheritMatching { spec, interface_block } => {
+                    let dom = inherited.domain().clone();
+                    let d = bind_in(&local, &dummy.name, &dom, spec)?;
+                    let required = Arc::new(EffectiveDist::direct(d));
+                    if inherited.matches(&required) {
+                        inherited.clone()
+                    } else if *interface_block {
+                        let volume = inherited.remap_volume(&required);
+                        events.push(RemapEvent {
+                            dummy: dummy.name.clone(),
+                            phase: RemapPhase::Enter,
+                            volume,
+                            reason: format!(
+                                "inheritance matching via interface block: remap to {spec}"
+                            ),
+                        });
+                        required
+                    } else {
+                        return Err(HpfError::DistributionMismatch {
+                            dummy: dummy.name.clone(),
+                            reason: format!("actual does not match `* {spec}`"),
+                        });
+                    }
+                }
+                DummySpec::Implicit => {
+                    // compiler-provided: keep the inherited mapping — the
+                    // cheapest conforming choice (no movement), cf. §8.1.2:
+                    // "a subroutine will usually be written so that [...]
+                    // the dummy arguments will indeed inherit the
+                    // distribution from the actual argument"
+                    inherited.clone()
+                }
+                DummySpec::AlignToDummy { .. } => {
+                    // resolved in phase 3 (needs the other dummies mapped)
+                    inherited.clone()
+                }
+            };
+            set_mapping(&mut local, id, chosen.clone());
+            entry_mappings.push(chosen);
+        }
+
+        // phase 3: dummy-to-dummy alignments
+        for (k, dummy) in def.dummies.iter().enumerate() {
+            if let DummySpec::AlignToDummy { base, spec } = &dummy.spec {
+                if *base >= dummies.len() || *base == k {
+                    return Err(HpfError::NotConforming(format!(
+                        "dummy `{}` aligned to invalid dummy position {base}",
+                        dummy.name
+                    )));
+                }
+                let id = dummies[k];
+                let base_id = dummies[*base];
+                let adom = local.domain(id).expect("declared").clone();
+                let bdom = local.domain(base_id).expect("declared").clone();
+                let f = crate::align::reduce::reduce(spec, &adom, &bdom)?;
+                let base_eff = local.effective(base_id)?;
+                let new = Arc::new(EffectiveDist::Aligned {
+                    align: Arc::new(f),
+                    base: base_eff,
+                });
+                let volume = incoming[k].remap_volume(&new);
+                if volume > 0 {
+                    events.push(RemapEvent {
+                        dummy: dummy.name.clone(),
+                        phase: RemapPhase::Enter,
+                        volume,
+                        reason: format!("ALIGN with dummy `{}`", def.dummies[*base].name),
+                    });
+                }
+                set_mapping(&mut local, id, new.clone());
+                entry_mappings[k] = new;
+            }
+        }
+
+        Ok(CallFrame {
+            procedure: def.name.clone(),
+            local,
+            dummies,
+            entry_mappings,
+            incoming,
+            events,
+        })
+    }
+
+    /// The procedure name.
+    pub fn procedure(&self) -> &str {
+        &self.procedure
+    }
+
+    /// The procedure-local data space (for declaring locals, aligning them
+    /// to dummies, or redistributing `DYNAMIC` dummies).
+    pub fn local(&self) -> &DataSpace {
+        &self.local
+    }
+
+    /// Mutable access to the local data space.
+    pub fn local_mut(&mut self) -> &mut DataSpace {
+        &mut self.local
+    }
+
+    /// The local array id of dummy `k`.
+    pub fn dummy(&self, k: usize) -> ArrayId {
+        self.dummies[k]
+    }
+
+    /// Remap events recorded so far.
+    pub fn events(&self) -> &[RemapEvent] {
+        &self.events
+    }
+
+    /// Exit the procedure (§7): any dummy whose mapping changed during the
+    /// call — or that was remapped at entry — has the actual's original
+    /// distribution restored, and the movement is recorded.
+    pub fn exit(mut self) -> Result<CallReport, HpfError> {
+        for (k, &id) in self.dummies.iter().enumerate() {
+            let current = self.local.effective(id)?;
+            // restore needed if current differs from what came in
+            let volume = current.remap_volume(&self.incoming[k]);
+            if volume > 0 {
+                let changed_in_body = !Arc::ptr_eq(&current, &self.entry_mappings[k])
+                    && !current.matches(&self.entry_mappings[k]);
+                self.events.push(RemapEvent {
+                    dummy: self.local.name(id).to_string(),
+                    phase: RemapPhase::Exit,
+                    volume,
+                    reason: if changed_in_body {
+                        "restore after REDISTRIBUTE/REALIGN in body".to_string()
+                    } else {
+                        "restore original distribution".to_string()
+                    },
+                });
+            }
+        }
+        Ok(CallReport { procedure: self.procedure, events: self.events })
+    }
+}
+
+/// Summary of a completed call: every remap that entering and exiting the
+/// procedure required.
+#[derive(Debug, Clone)]
+pub struct CallReport {
+    /// The procedure name.
+    pub procedure: String,
+    /// All data-movement events, in order.
+    pub events: Vec<RemapEvent>,
+}
+
+impl CallReport {
+    /// Total elements moved across the boundary (both directions).
+    pub fn total_volume(&self) -> usize {
+        self.events.iter().map(|e| e.volume).sum()
+    }
+}
+
+fn bind_in(
+    local: &DataSpace,
+    name: &str,
+    domain: &hpf_index::IndexDomain,
+    spec: &DistributeSpec,
+) -> Result<Distribution, HpfError> {
+    let target = match &spec.target {
+        None => hpf_procs::ProcTarget::whole(
+            local.procs(),
+            local.procs().by_name(crate::forest::AP_NAME)?,
+        )?,
+        Some(t) => t.resolve(local.procs())?,
+    };
+    Distribution::new(name, domain, &spec.formats, target, local.procs())
+}
+
+/// Overwrite a local array's mapping (procedure-boundary internal use: the
+/// §7 rules, not the spec-part directives, own dummy mappings).
+fn set_mapping(local: &mut DataSpace, id: ArrayId, eff: Arc<EffectiveDist>) {
+    local.force_primary_mapping(id, eff);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::format::FormatSpec;
+    use hpf_index::{triplet, Idx, IndexDomain};
+    use hpf_procs::ProcId;
+
+    fn caller_with_cyclic3_a() -> (DataSpace, ArrayId) {
+        let mut ds = DataSpace::new(4);
+        let a = ds.declare("A", IndexDomain::standard(&[(1, 1000)]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        (ds, a)
+    }
+
+    #[test]
+    fn inherit_section_costs_nothing() {
+        // §8.1.2: CALL SUB(A(2:996:2)) with X inheriting
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new("SUB", vec![Dummy::new("X", DummySpec::Inherit)]);
+        let frame = CallFrame::enter(
+            &caller,
+            &def,
+            &[Actual::section(a, Section::from_triplets(vec![triplet(2, 996, 2)]))],
+        )
+        .unwrap();
+        assert!(frame.events().is_empty(), "inheritance must not move data");
+        // X(k) collocated with A(2k)
+        let x = frame.dummy(0);
+        for k in [1i64, 7, 498] {
+            assert_eq!(
+                frame.local().owners(x, &Idx::d1(k)).unwrap(),
+                caller.owners(a, &Idx::d1(2 * k)).unwrap()
+            );
+        }
+        let report = frame.exit().unwrap();
+        assert_eq!(report.total_volume(), 0);
+    }
+
+    #[test]
+    fn explicit_distribution_remaps_and_restores() {
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new(
+            "SUB",
+            vec![Dummy::new(
+                "X",
+                DummySpec::Explicit(DistributeSpec::new(vec![FormatSpec::Block])),
+            )],
+        );
+        let frame = CallFrame::enter(
+            &caller,
+            &def,
+            &[Actual::section(a, Section::from_triplets(vec![triplet(2, 996, 2)]))],
+        )
+        .unwrap();
+        assert_eq!(frame.events().len(), 1);
+        let enter_vol = frame.events()[0].volume;
+        assert!(enter_vol > 0);
+        let report = frame.exit().unwrap();
+        // restore moves the same elements back
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[1].phase, RemapPhase::Exit);
+        assert_eq!(report.events[1].volume, enter_vol);
+    }
+
+    #[test]
+    fn inheritance_matching_accepts_exact_match() {
+        // actual is CYCLIC(3) over the whole array; dummy requires the same
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new(
+            "SUB",
+            vec![Dummy::new(
+                "X",
+                DummySpec::InheritMatching {
+                    spec: DistributeSpec::new(vec![FormatSpec::Cyclic(3)]),
+                    interface_block: false,
+                },
+            )],
+        );
+        let frame = CallFrame::enter(&caller, &def, &[Actual::whole(a)]).unwrap();
+        assert!(frame.events().is_empty());
+        assert_eq!(frame.exit().unwrap().total_volume(), 0);
+    }
+
+    #[test]
+    fn inheritance_matching_rejects_mismatch() {
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new(
+            "SUB",
+            vec![Dummy::new(
+                "X",
+                DummySpec::InheritMatching {
+                    spec: DistributeSpec::new(vec![FormatSpec::Block]),
+                    interface_block: false,
+                },
+            )],
+        );
+        assert!(matches!(
+            CallFrame::enter(&caller, &def, &[Actual::whole(a)]),
+            Err(HpfError::DistributionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inheritance_matching_with_interface_block_remaps() {
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new(
+            "SUB",
+            vec![Dummy::new(
+                "X",
+                DummySpec::InheritMatching {
+                    spec: DistributeSpec::new(vec![FormatSpec::Block]),
+                    interface_block: true,
+                },
+            )],
+        );
+        let frame = CallFrame::enter(&caller, &def, &[Actual::whole(a)]).unwrap();
+        assert_eq!(frame.events().len(), 1);
+        assert!(frame.events()[0].volume > 0);
+        let report = frame.exit().unwrap();
+        assert_eq!(report.events.len(), 2); // remap in, restore out
+    }
+
+    #[test]
+    fn dynamic_dummy_redistributed_in_body_is_restored() {
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new(
+            "SUB",
+            vec![Dummy::new("X", DummySpec::Inherit).dynamic()],
+        );
+        let mut frame = CallFrame::enter(&caller, &def, &[Actual::whole(a)]).unwrap();
+        let x = frame.dummy(0);
+        frame
+            .local_mut()
+            .redistribute(x, &DistributeSpec::new(vec![FormatSpec::Block]))
+            .unwrap();
+        let report = frame.exit().unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].phase, RemapPhase::Exit);
+        assert!(report.events[0].volume > 0);
+        assert!(report.events[0].reason.contains("restore"));
+    }
+
+    #[test]
+    fn align_to_dummy() {
+        // SUBROUTINE SUB(A, X); ALIGN X(I) WITH A(2*I) — §8.1.2's variant
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new(
+            "SUB",
+            vec![
+                Dummy::new("A", DummySpec::Inherit),
+                Dummy::new(
+                    "X",
+                    DummySpec::AlignToDummy {
+                        base: 0,
+                        spec: AlignSpec::with_exprs(
+                            1,
+                            vec![crate::AlignExpr::dummy(0) * 2],
+                        ),
+                    },
+                ),
+            ],
+        );
+        let section = Section::from_triplets(vec![triplet(2, 996, 2)]);
+        let frame = CallFrame::enter(
+            &caller,
+            &def,
+            &[Actual::whole(a), Actual::section(a, section)],
+        )
+        .unwrap();
+        // X inherits A(2:996:2)'s placement, and the alignment X(I) WITH
+        // A(2*I) describes exactly the same mapping → zero movement
+        assert!(frame.events().is_empty(), "events: {:?}", frame.events());
+        let x = frame.dummy(1);
+        let a_loc = frame.dummy(0);
+        for k in [1i64, 10, 498] {
+            assert_eq!(
+                frame.local().owners(x, &Idx::d1(k)).unwrap(),
+                frame.local().owners(a_loc, &Idx::d1(2 * k)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn argument_count_checked() {
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new("SUB", vec![Dummy::new("X", DummySpec::Inherit)]);
+        assert!(matches!(
+            CallFrame::enter(&caller, &def, &[Actual::whole(a), Actual::whole(a)]),
+            Err(HpfError::ArgumentCount { .. })
+        ));
+    }
+
+    #[test]
+    fn whole_array_inherit_owner_identity() {
+        let (caller, a) = caller_with_cyclic3_a();
+        let def = ProcedureDef::new("SUB", vec![Dummy::new("X", DummySpec::Inherit)]);
+        let frame = CallFrame::enter(&caller, &def, &[Actual::whole(a)]).unwrap();
+        let x = frame.dummy(0);
+        for v in [1i64, 2, 500, 1000] {
+            assert_eq!(
+                frame.local().owners(x, &Idx::d1(v)).unwrap(),
+                caller.owners(a, &Idx::d1(v)).unwrap()
+            );
+        }
+        // the inherited mapping of a dummy is NOT format-expressible in
+        // general, but inquiry still works (§8.2) — here even owner 1 query:
+        assert_eq!(
+            frame.local().owners(x, &Idx::d1(1)).unwrap().as_single(),
+            Some(ProcId(1))
+        );
+    }
+}

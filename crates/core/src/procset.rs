@@ -1,0 +1,207 @@
+use hpf_procs::ProcId;
+use std::fmt;
+
+/// A compact set of abstract processors — the image `δ_A(i)` of Definition 1
+/// (a *non-empty* subset of the processor index domain; emptiness is
+/// representable but never produced by well-formed mappings).
+///
+/// Almost every lookup yields a single owner, so the representation is
+/// optimized for `One`; replication produces `Slice` (contiguous AP ranges)
+/// or `Many`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcSet {
+    /// Exactly one processor.
+    One(ProcId),
+    /// The contiguous AP range `start..=end` (inclusive, both 1-based).
+    Slice {
+        /// First AP number.
+        start: u32,
+        /// Last AP number (inclusive).
+        end: u32,
+    },
+    /// An arbitrary sorted, deduplicated set.
+    Many(Vec<ProcId>),
+}
+
+impl ProcSet {
+    /// The singleton `{p}`.
+    pub fn one(p: ProcId) -> Self {
+        ProcSet::One(p)
+    }
+
+    /// All processors `1..=np`.
+    pub fn all(np: usize) -> Self {
+        ProcSet::Slice { start: 1, end: np as u32 }
+    }
+
+    /// Build from an arbitrary list (sorted + deduplicated; collapses to
+    /// `One`/`Slice` when possible).
+    pub fn from_vec(mut v: Vec<ProcId>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        match v.len() {
+            1 => ProcSet::One(v[0]),
+            n if n >= 2 && (v[n - 1].0 - v[0].0) as usize == n - 1 => {
+                ProcSet::Slice { start: v[0].0, end: v[n - 1].0 }
+            }
+            _ => ProcSet::Many(v),
+        }
+    }
+
+    /// Number of processors in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            ProcSet::One(_) => 1,
+            ProcSet::Slice { start, end } => (end - start + 1) as usize,
+            ProcSet::Many(v) => v.len(),
+        }
+    }
+
+    /// True iff empty (only `Many(vec![])` can be empty).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ProcSet::Many(v) if v.is_empty())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: ProcId) -> bool {
+        match self {
+            ProcSet::One(q) => *q == p,
+            ProcSet::Slice { start, end } => (*start..=*end).contains(&p.0),
+            ProcSet::Many(v) => v.binary_search(&p).is_ok(),
+        }
+    }
+
+    /// The single member, if this is a singleton set.
+    pub fn as_single(&self) -> Option<ProcId> {
+        match self {
+            ProcSet::One(p) => Some(*p),
+            ProcSet::Slice { start, end } if start == end => Some(ProcId(*start)),
+            ProcSet::Many(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> ProcSetIter<'_> {
+        match self {
+            ProcSet::One(p) => ProcSetIter::Slice(p.0..=p.0),
+            ProcSet::Slice { start, end } => ProcSetIter::Slice(*start..=*end),
+            ProcSet::Many(v) => ProcSetIter::Many(v.iter()),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ProcSet) -> ProcSet {
+        // fast path: identical singletons
+        if let (ProcSet::One(a), ProcSet::One(b)) = (self, other) {
+            if a == b {
+                return ProcSet::One(*a);
+            }
+        }
+        let mut v: Vec<ProcId> = self.iter().collect();
+        v.extend(other.iter());
+        ProcSet::from_vec(v)
+    }
+
+    /// True iff the two sets share a member.
+    pub fn intersects(&self, other: &ProcSet) -> bool {
+        let (small, large) =
+            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small.iter().any(|p| large.contains(p))
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcSet::One(p) => write!(f, "{{{p}}}"),
+            ProcSet::Slice { start, end } => write!(f, "{{P{start}..P{end}}}"),
+            ProcSet::Many(v) => {
+                write!(f, "{{")?;
+                for (k, p) in v.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`].
+#[derive(Debug, Clone)]
+pub enum ProcSetIter<'a> {
+    /// Contiguous range.
+    Slice(std::ops::RangeInclusive<u32>),
+    /// Explicit list.
+    Many(std::slice::Iter<'a, ProcId>),
+}
+
+impl Iterator for ProcSetIter<'_> {
+    type Item = ProcId;
+    fn next(&mut self) -> Option<ProcId> {
+        match self {
+            ProcSetIter::Slice(r) => r.next().map(ProcId),
+            ProcSetIter::Many(i) => i.next().copied(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_normalizes() {
+        let s = ProcSet::from_vec(vec![ProcId(3), ProcId(1), ProcId(2), ProcId(2)]);
+        assert_eq!(s, ProcSet::Slice { start: 1, end: 3 });
+        let s = ProcSet::from_vec(vec![ProcId(5)]);
+        assert_eq!(s, ProcSet::One(ProcId(5)));
+        let s = ProcSet::from_vec(vec![ProcId(1), ProcId(3)]);
+        assert_eq!(s, ProcSet::Many(vec![ProcId(1), ProcId(3)]));
+    }
+
+    #[test]
+    fn membership_and_len() {
+        let s = ProcSet::all(8);
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(ProcId(1)));
+        assert!(s.contains(ProcId(8)));
+        assert!(!s.contains(ProcId(9)));
+        let m = ProcSet::Many(vec![ProcId(2), ProcId(7)]);
+        assert!(m.contains(ProcId(7)));
+        assert!(!m.contains(ProcId(3)));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = ProcSet::One(ProcId(1));
+        let b = ProcSet::One(ProcId(2));
+        assert_eq!(a.union(&b), ProcSet::Slice { start: 1, end: 2 });
+        assert!(!a.intersects(&b));
+        assert!(a.union(&b).intersects(&b));
+        assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn single_extraction() {
+        assert_eq!(ProcSet::One(ProcId(4)).as_single(), Some(ProcId(4)));
+        assert_eq!(ProcSet::Slice { start: 4, end: 4 }.as_single(), Some(ProcId(4)));
+        assert_eq!(ProcSet::all(2).as_single(), None);
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let s = ProcSet::from_vec(vec![ProcId(9), ProcId(4), ProcId(6)]);
+        let v: Vec<u32> = s.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![4, 6, 9]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProcSet::One(ProcId(3)).to_string(), "{P3}");
+        assert_eq!(ProcSet::all(4).to_string(), "{P1..P4}");
+    }
+}

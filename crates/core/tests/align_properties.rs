@@ -1,0 +1,178 @@
+//! Property tests on the §5.1 alignment machinery.
+
+use hpf_core::{
+    reduce, AlignExpr, AlignSpec, AligneeAxis, BaseSubscript, HpfError,
+};
+use hpf_index::{Idx, IndexDomain};
+use proptest::prelude::*;
+
+/// A random affine single-dummy alignment spec plus conforming domains.
+#[derive(Debug, Clone)]
+struct AffineCase {
+    n: i64,
+    a: i64,
+    c: i64,
+    base_pad: i64,
+}
+
+fn arb_affine() -> impl Strategy<Value = AffineCase> {
+    (2i64..30, prop_oneof![(-3i64..=-1), (1i64..=3)], -10i64..10, 0i64..8)
+        .prop_map(|(n, a, c, base_pad)| AffineCase { n, a, c, base_pad })
+}
+
+impl AffineCase {
+    fn domains(&self) -> (IndexDomain, IndexDomain) {
+        let alignee = IndexDomain::standard(&[(1, self.n)]).unwrap();
+        // base covers the whole unclamped image plus padding
+        let v1 = self.a + self.c;
+        let v2 = self.a * self.n + self.c;
+        let (lo, hi) = (v1.min(v2) - self.base_pad, v1.max(v2) + self.base_pad);
+        (alignee, IndexDomain::standard(&[(lo, hi)]).unwrap())
+    }
+}
+
+proptest! {
+    /// Reduction of `A(I) WITH B(a*I + c)` yields the affine map exactly:
+    /// every in-range image point equals a·i + c (no clamping needed when
+    /// the base covers the image).
+    #[test]
+    fn affine_reduction_exact(case in arb_affine()) {
+        let (alignee, base) = case.domains();
+        let spec = AlignSpec::with_exprs(
+            1,
+            vec![AlignExpr::dummy(0) * case.a + case.c],
+        );
+        let f = reduce(&spec, &alignee, &base).unwrap();
+        for i in 1..=case.n {
+            let img = f.image_point(&Idx::d1(i));
+            prop_assert_eq!(img, Idx::d1(case.a * i + case.c));
+        }
+    }
+
+    /// Image rects are always within the base domain (Definition 1: the
+    /// image is a subset of I^B), even when the expression overshoots —
+    /// clamping guarantees it.
+    #[test]
+    fn images_stay_in_base(case in arb_affine(), shrink in 0i64..20) {
+        let (alignee, base_full) = case.domains();
+        // shrink the base so clamping must kick in
+        let lo = base_full.lower(0);
+        let hi = (base_full.upper(0) - shrink).max(lo);
+        let base = IndexDomain::standard(&[(lo, hi)]).unwrap();
+        let spec = AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * case.a + case.c]);
+        let f = reduce(&spec, &alignee, &base).unwrap();
+        for i in 1..=case.n {
+            let img = f.image_rect(&Idx::d1(i));
+            for j in img.iter() {
+                prop_assert!(base.contains(&j), "image {} outside base {}", j, base);
+            }
+        }
+    }
+
+    /// preimage ∘ image round-trip: i is always in the preimage of its own
+    /// image rect.
+    #[test]
+    fn preimage_contains_origin(case in arb_affine()) {
+        let (alignee, base) = case.domains();
+        let spec = AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * case.a + case.c]);
+        let f = reduce(&spec, &alignee, &base).unwrap();
+        for i in (1..=case.n).step_by(3) {
+            let img = f.image_rect(&Idx::d1(i));
+            let pre = f.preimage_region(&img);
+            prop_assert!(pre.contains(&Idx::d1(i)), "i = {i} lost by round-trip");
+        }
+    }
+
+    /// Colon-triplet reduction is equivalent to the explicit affine form:
+    /// `A(:) WITH B(l:u:s)` ≡ `A(I) WITH B((I−1)·s + l)`.
+    #[test]
+    fn colon_triplet_equals_affine(n in 2i64..20, l in -5i64..5, s in 1i64..4) {
+        let alignee = IndexDomain::standard(&[(1, n)]).unwrap();
+        let u = l + (n - 1) * s + 2; // triplet long enough
+        let base = IndexDomain::standard(&[(l - 1, u + 1)]).unwrap();
+        let spec_colon = AlignSpec::new(
+            vec![AligneeAxis::Colon],
+            vec![BaseSubscript::Triplet { lower: Some(l), upper: Some(u), stride: Some(s) }],
+        );
+        let spec_affine = AlignSpec::with_exprs(
+            1,
+            vec![(AlignExpr::dummy(0) - 1) * s + l],
+        );
+        let f1 = reduce(&spec_colon, &alignee, &base).unwrap();
+        let f2 = reduce(&spec_affine, &alignee, &base).unwrap();
+        for i in 1..=n {
+            prop_assert_eq!(
+                f1.image_point(&Idx::d1(i)),
+                f2.image_point(&Idx::d1(i)),
+                "i = {}", i
+            );
+        }
+    }
+
+    /// Star alignee axes never influence the image: `A(J,*)` maps every
+    /// (j, k) to the same base point regardless of k.
+    #[test]
+    fn star_collapse_ignores_axis(n in 2i64..12, m in 2i64..12) {
+        let alignee = IndexDomain::standard(&[(1, n), (1, m)]).unwrap();
+        let base = IndexDomain::standard(&[(1, n)]).unwrap();
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Dummy(0), AligneeAxis::Star],
+            vec![BaseSubscript::Expr(AlignExpr::dummy(0))],
+        );
+        let f = reduce(&spec, &alignee, &base).unwrap();
+        for j in 1..=n {
+            let first = f.image_point(&Idx::d2(j, 1));
+            for k in 2..=m {
+                prop_assert_eq!(f.image_point(&Idx::d2(j, k)), first);
+            }
+        }
+        prop_assert_eq!(f.collapsed_dims(), vec![1]);
+    }
+
+    /// Replicated base axes produce images spanning the full dimension.
+    #[test]
+    fn replication_spans_dimension(n in 2i64..12, m in 2i64..12) {
+        let alignee = IndexDomain::standard(&[(1, n)]).unwrap();
+        let base = IndexDomain::standard(&[(1, n), (1, m)]).unwrap();
+        let spec = AlignSpec::new(
+            vec![AligneeAxis::Colon],
+            vec![BaseSubscript::COLON, BaseSubscript::Star],
+        );
+        let f = reduce(&spec, &alignee, &base).unwrap();
+        for i in 1..=n {
+            let img = f.image_rect(&Idx::d1(i));
+            prop_assert_eq!(img.volume(), m as usize);
+        }
+    }
+}
+
+/// Deterministic edge cases around the §5.1 extent rule.
+#[test]
+fn colon_extent_boundaries() {
+    let alignee = IndexDomain::standard(&[(1, 10)]).unwrap();
+    let base = IndexDomain::standard(&[(1, 30)]).unwrap();
+    // triplet of exactly 10 members: fits
+    let fit = AlignSpec::new(
+        vec![AligneeAxis::Colon],
+        vec![BaseSubscript::Triplet { lower: Some(1), upper: Some(28), stride: Some(3) }],
+    );
+    assert!(reduce(&fit, &alignee, &base).is_ok());
+    // 9 members: too small
+    let small = AlignSpec::new(
+        vec![AligneeAxis::Colon],
+        vec![BaseSubscript::Triplet { lower: Some(1), upper: Some(25), stride: Some(3) }],
+    );
+    assert!(matches!(
+        reduce(&small, &alignee, &base),
+        Err(HpfError::ColonExtent { .. })
+    ));
+    // descending triplet of 10 members: fits (array-assignment analogy)
+    let desc = AlignSpec::new(
+        vec![AligneeAxis::Colon],
+        vec![BaseSubscript::Triplet { lower: Some(28), upper: Some(1), stride: Some(-3) }],
+    );
+    let f = reduce(&desc, &alignee, &base).unwrap();
+    // A(1) ↦ B(28), A(10) ↦ B(1)
+    assert_eq!(f.image_point(&Idx::d1(1)), Idx::d1(28));
+    assert_eq!(f.image_point(&Idx::d1(10)), Idx::d1(1));
+}

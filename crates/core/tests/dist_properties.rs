@@ -1,0 +1,173 @@
+//! Property tests on distribution functions (§4.1): totality, partition,
+//! local-index bijectivity and owner-set queries against brute force, over
+//! randomized formats including irregular GENERAL_BLOCK partitions.
+
+use hpf_core::{DataSpace, DistributeSpec, FormatSpec, ProcSet};
+use hpf_index::{triplet, Idx, IndexDomain, Rect};
+use hpf_procs::ProcId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random format, including a random valid GENERAL_BLOCK (by sizes).
+fn arb_format(n: usize, np: usize) -> impl Strategy<Value = FormatSpec> {
+    let sizes = prop::collection::vec(0u32..8, np).prop_map(move |raw| {
+        // normalize random sizes so they sum to n
+        let total: u32 = raw.iter().sum::<u32>().max(1);
+        let mut sizes: Vec<i64> =
+            raw.iter().map(|&r| (r as usize * n / total as usize) as i64).collect();
+        let assigned: i64 = sizes.iter().sum();
+        sizes[np - 1] += n as i64 - assigned;
+        FormatSpec::GeneralBlockSizes(sizes)
+    });
+    prop_oneof![
+        Just(FormatSpec::Block),
+        Just(FormatSpec::BlockBalanced),
+        (1u64..6).prop_map(FormatSpec::Cyclic),
+        sizes,
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    n: usize,
+    np: usize,
+    lower: i64,
+    fmt: FormatSpec,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (4usize..60, 1usize..7, -15i64..15)
+        .prop_flat_map(|(n, np, lower)| {
+            arb_format(n, np).prop_map(move |fmt| Case { n, np, lower, fmt })
+        })
+}
+
+fn build(case: &Case) -> (DataSpace, hpf_core::ArrayId) {
+    let mut ds = DataSpace::new(case.np);
+    let dom =
+        IndexDomain::standard(&[(case.lower, case.lower + case.n as i64 - 1)]).unwrap();
+    let a = ds.declare("A", dom).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![case.fmt.clone()])).unwrap();
+    (ds, a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Totality (Def. 1) + partition: every element has exactly one owner
+    /// and owned regions tile the domain.
+    #[test]
+    fn partition_invariant(case in arb_case()) {
+        let (ds, a) = build(&case);
+        let mut count = 0usize;
+        for p in 1..=case.np as u32 {
+            for i in ds.owned_region(a, ProcId(p)).unwrap().iter() {
+                prop_assert_eq!(
+                    ds.owners(a, &i).unwrap(),
+                    ProcSet::One(ProcId(p))
+                );
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, case.n);
+    }
+
+    /// Local indices are a bijection [1..owned_count] per processor.
+    #[test]
+    fn local_index_bijective(case in arb_case()) {
+        let (ds, a) = build(&case);
+        let eff = ds.effective(a).unwrap();
+        let dist = eff.as_direct().unwrap();
+        let mut per_proc: HashMap<u32, Vec<i64>> = HashMap::new();
+        for i in ds.domain(a).unwrap().clone().iter() {
+            let p = dist.owner(&i);
+            per_proc.entry(p.0).or_default().push(dist.local(&i)[0]);
+        }
+        for (p, mut locals) in per_proc {
+            locals.sort_unstable();
+            let want: Vec<i64> = (1..=locals.len() as i64).collect();
+            prop_assert_eq!(&locals, &want, "P{} locals not 1..k", p);
+        }
+    }
+
+    /// owners_of_rect equals brute-force enumeration for strided windows.
+    #[test]
+    fn owners_of_rect_exact(case in arb_case(), start in 0usize..10, stride in 1i64..5) {
+        let (ds, a) = build(&case);
+        let eff = ds.effective(a).unwrap();
+        let dist = eff.as_direct().unwrap();
+        let lo = case.lower + start as i64;
+        let hi = case.lower + case.n as i64 - 1;
+        if lo > hi { return Ok(()); }
+        let r = Rect::new(vec![triplet(lo, hi, stride)]);
+        let got: Vec<ProcId> = dist.owners_of_rect(&r).iter().collect();
+        let mut want: Vec<ProcId> = r.iter().map(|i| dist.owner(&i)).collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The §4.1.1 BLOCK formulas, symbolically: owner ⌈i'/q⌉ and local
+    /// i' − (j−1)q for arbitrary bounds.
+    #[test]
+    fn block_closed_form(n in 1usize..200, np in 1usize..17, lower in -50i64..50) {
+        let mut ds = DataSpace::new(np);
+        let dom = IndexDomain::standard(&[(lower, lower + n as i64 - 1)]).unwrap();
+        let a = ds.declare("A", dom).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let eff = ds.effective(a).unwrap();
+        let dist = eff.as_direct().unwrap();
+        let q = (n as i64 + np as i64 - 1) / np as i64;
+        for v in lower..lower + n as i64 {
+            let ip = v - lower + 1;
+            let j = (ip + q - 1) / q;
+            prop_assert_eq!(dist.owner(&Idx::d1(v)), ProcId(j as u32));
+            prop_assert_eq!(dist.local(&Idx::d1(v))[0], ip - (j - 1) * q);
+        }
+    }
+
+    /// CYCLIC(k) closed form: δ(i') = ((⌈i'/k⌉ − 1) mod NP) + 1.
+    #[test]
+    fn cyclic_closed_form(n in 1usize..200, np in 1usize..9, k in 1i64..7, lower in -20i64..20) {
+        let mut ds = DataSpace::new(np);
+        let dom = IndexDomain::standard(&[(lower, lower + n as i64 - 1)]).unwrap();
+        let a = ds.declare("A", dom).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(k as u64)])).unwrap();
+        let eff = ds.effective(a).unwrap();
+        let dist = eff.as_direct().unwrap();
+        for v in lower..lower + n as i64 {
+            let ip = v - lower + 1;
+            let seg = (ip + k - 1) / k;
+            let j = ((seg - 1).rem_euclid(np as i64)) + 1;
+            prop_assert_eq!(dist.owner(&Idx::d1(v)), ProcId(j as u32));
+        }
+    }
+
+    /// 2-D distributions factor per dimension: the owner of (i, j) under
+    /// (f1, f2) on an (r × c) grid is determined by the per-axis coords.
+    #[test]
+    fn two_dim_factorization(
+        n1 in 2usize..20, n2 in 2usize..20,
+        rows in 1usize..4, cols in 1usize..4,
+        k1 in 1u64..4, k2 in 1u64..4)
+    {
+        let np = rows * cols;
+        let mut ds = DataSpace::new(np);
+        ds.declare_processors("G", IndexDomain::of_shape(&[rows, cols]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::of_shape(&[n1, n2]).unwrap()).unwrap();
+        ds.distribute(
+            a,
+            &DistributeSpec::to(vec![FormatSpec::Cyclic(k1), FormatSpec::Cyclic(k2)], "G"),
+        ).unwrap();
+        let eff = ds.effective(a).unwrap();
+        let dist = eff.as_direct().unwrap();
+        for i in 1..=n1 as i64 {
+            for j in 1..=n2 as i64 {
+                let c = dist.coords(&Idx::d2(i, j));
+                // column-major grid: AP = c1 + (c2 − 1) × rows
+                let want = c[0] + (c[1] - 1) * rows as i64;
+                prop_assert_eq!(dist.owner(&Idx::d2(i, j)), ProcId(want as u32));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Abstract syntax of the directive sub-language.
+
+/// An integer specification/alignment expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Named parameter or align-dummy.
+    Name(String),
+    /// `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `a − b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a / b` (integer division).
+    Div(Box<Expr>, Box<Expr>),
+    /// `−a`.
+    Neg(Box<Expr>),
+    /// `MAX(a, b)`.
+    Max(Box<Expr>, Box<Expr>),
+    /// `MIN(a, b)`.
+    Min(Box<Expr>, Box<Expr>),
+    /// `LBOUND(array, dim)` — folded to a constant at elaboration.
+    LBound(String, Box<Expr>),
+    /// `UBOUND(array, dim)`.
+    UBound(String, Box<Expr>),
+    /// `SIZE(array, dim)`.
+    Size(String, Box<Expr>),
+}
+
+/// One dimension of a declaration or allocation shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimDecl {
+    /// `expr` (lower bound 1) or `lo:hi`.
+    Explicit {
+        /// Lower bound (default 1).
+        lower: Option<Expr>,
+        /// Upper bound.
+        upper: Expr,
+    },
+    /// `:` — deferred shape (allocatable) or assumed shape (dummy).
+    Deferred,
+}
+
+/// A declared entity: name plus optional per-entity shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Entity name.
+    pub name: String,
+    /// Shape given directly on the entity (overrides `DIMENSION`).
+    pub dims: Option<Vec<DimDecl>>,
+}
+
+/// One dimension of an array section reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionDimAst {
+    /// A scalar subscript.
+    Scalar(Expr),
+    /// `l : u : s` with optional parts (`:` is all-None).
+    Triplet {
+        /// Lower (defaults to the array's lower bound).
+        lower: Option<Expr>,
+        /// Upper (defaults to the array's upper bound).
+        upper: Option<Expr>,
+        /// Stride (defaults to 1).
+        stride: Option<Expr>,
+    },
+}
+
+/// An array reference `NAME` or `NAME(section)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Array name.
+    pub name: String,
+    /// Section, if subscripts were given.
+    pub section: Option<Vec<SectionDimAst>>,
+}
+
+/// A distribution format as parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatAst {
+    /// `BLOCK`.
+    Block,
+    /// `BLOCK_BALANCED` (Vienna extension).
+    BlockBalanced,
+    /// `GENERAL_BLOCK(e1, e2, ...)`.
+    GeneralBlock(Vec<Expr>),
+    /// `CYCLIC` / `CYCLIC(k)`.
+    Cyclic(Option<Expr>),
+    /// `INDIRECT(e1, ...)` — extension: explicit owner table (§1's
+    /// user-defined distribution functions).
+    Indirect(Vec<Expr>),
+    /// `:`.
+    Colon,
+}
+
+/// The `TO` clause of a distribution directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetAst {
+    /// Processor arrangement name.
+    pub name: String,
+    /// Optional section of it.
+    pub section: Option<Vec<SectionDimAst>>,
+}
+
+/// How a `DISTRIBUTE` directive relates to inheritance (§7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InheritAst {
+    /// Plain `DISTRIBUTE A (formats)`.
+    None,
+    /// `DISTRIBUTE A *` — inherit.
+    Inherit,
+    /// `DISTRIBUTE A * (formats)` — inheritance matching.
+    InheritMatching,
+}
+
+/// One alignee axis in an `ALIGN` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxisAst {
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// A named align-dummy.
+    Dummy(String),
+}
+
+/// One base subscript in an `ALIGN` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseSubAst {
+    /// An expression (dummyless or with one align-dummy).
+    Expr(Expr),
+    /// A subscript triplet.
+    Triplet {
+        /// Lower (defaults to the base's lower bound).
+        lower: Option<Expr>,
+        /// Upper (defaults to the base's upper bound).
+        upper: Option<Expr>,
+        /// Stride (defaults to 1).
+        stride: Option<Expr>,
+    },
+    /// `*` — replication.
+    Star,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `PROGRAM name`.
+    Program(String),
+    /// `END` / `END PROGRAM` / `END SUBROUTINE`.
+    End,
+    /// `PARAMETER (N = 64, ...)`.
+    Parameter(Vec<(String, Expr)>),
+    /// A type declaration.
+    Declaration {
+        /// Type keyword as written (`REAL`, `INTEGER`, ...) — mapping
+        /// semantics do not depend on it.
+        ty: String,
+        /// `ALLOCATABLE` attribute present.
+        allocatable: bool,
+        /// `DIMENSION(...)` attribute shape.
+        dimension: Option<Vec<DimDecl>>,
+        /// Declared entities.
+        entities: Vec<Entity>,
+    },
+    /// `!HPF$ PROCESSORS P(32), Q(8)` (no shape = scalar arrangement).
+    Processors(Vec<Entity>),
+    /// `!HPF$ DISTRIBUTE ...` / `!HPF$ REDISTRIBUTE ...`.
+    Distribute {
+        /// True for `REDISTRIBUTE`.
+        redistribute: bool,
+        /// Distributee names.
+        distributees: Vec<String>,
+        /// Formats (empty for bare `DISTRIBUTE A *`).
+        formats: Vec<FormatAst>,
+        /// `TO` clause.
+        target: Option<TargetAst>,
+        /// Inheritance marker (§7 dummy arguments).
+        inherit: InheritAst,
+    },
+    /// `!HPF$ ALIGN ...` / `!HPF$ REALIGN ...`.
+    Align {
+        /// True for `REALIGN`.
+        realign: bool,
+        /// Alignee name.
+        alignee: String,
+        /// Alignee axes.
+        axes: Vec<AxisAst>,
+        /// Base name.
+        base: String,
+        /// Base subscripts.
+        subscripts: Vec<BaseSubAst>,
+    },
+    /// `!HPF$ DYNAMIC A, B`.
+    Dynamic(Vec<String>),
+    /// `ALLOCATE(A(shape), ...)`.
+    Allocate(Vec<(String, Vec<DimDecl>)>),
+    /// `DEALLOCATE(A, ...)`.
+    Deallocate(Vec<String>),
+    /// `READ unit, names...` — values come from the elaborator's inputs.
+    Read(Vec<String>),
+    /// `CALL SUB(args...)`.
+    Call {
+        /// Subroutine name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<ArrayRef>,
+    },
+    /// `SUBROUTINE SUB(X, Y)` — opens a subroutine unit.
+    Subroutine {
+        /// Name.
+        name: String,
+        /// Dummy argument names.
+        dummies: Vec<String>,
+    },
+    /// An array assignment `LHS = T1 + T2 + ...` (element-wise sum).
+    ArrayAssign {
+        /// Left-hand side reference.
+        lhs: ArrayRef,
+        /// Summed terms.
+        terms: Vec<ArrayRef>,
+    },
+}
+
+/// A parsed statement with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedStmt {
+    /// The statement.
+    pub stmt: Stmt,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A program unit: the main program or one subroutine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    /// Unit name.
+    pub name: String,
+    /// Dummy names (empty for the main program).
+    pub dummies: Vec<String>,
+    /// Statements in order.
+    pub stmts: Vec<SpannedStmt>,
+}
+
+/// A whole parsed source file: one main unit plus any subroutines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// The main program unit.
+    pub main: Unit,
+    /// Subroutines by declaration order.
+    pub subroutines: Vec<Unit>,
+}

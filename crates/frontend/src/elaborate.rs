@@ -1,0 +1,668 @@
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::eval::Env;
+use crate::parser::parse;
+use crate::report::{AssignEvent, ElaborationReport, Event};
+use hpf_core::{
+    Actual, AligneeAxis, AlignSpec, ArrayId, BaseSubscript, CallFrame, DataSpace,
+    DistributeSpec, Dummy, DummySpec, FormatSpec, ProcedureDef, TargetSpec,
+};
+use hpf_index::{IndexDomain, Section};
+use std::collections::HashMap;
+
+/// The result of elaborating a source file: the final data space, the
+/// event narrative, and the name → id map.
+#[derive(Debug)]
+pub struct Elaboration {
+    /// The main unit's data space after all statements executed.
+    pub space: DataSpace,
+    /// What happened, in order.
+    pub report: ElaborationReport,
+    /// Array ids by name.
+    pub arrays: HashMap<String, ArrayId>,
+}
+
+impl Elaboration {
+    /// Look up an array id by (case-insensitive) name.
+    pub fn array(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.get(&name.to_ascii_uppercase()).copied()
+    }
+}
+
+/// Configurable elaborator.
+pub struct Elaborator {
+    np: usize,
+    inputs: HashMap<String, i64>,
+    param_arrays: HashMap<String, Vec<i64>>,
+    interface_blocks: bool,
+}
+
+impl Elaborator {
+    /// Elaborate onto `np` abstract processors.
+    pub fn new(np: usize) -> Self {
+        Elaborator {
+            np,
+            inputs: HashMap::new(),
+            param_arrays: HashMap::new(),
+            interface_blocks: false,
+        }
+    }
+
+    /// Provide a value for a `READ` name (and as a pre-set parameter).
+    pub fn with_input(mut self, name: &str, value: i64) -> Self {
+        self.inputs.insert(name.to_ascii_uppercase(), value);
+        self
+    }
+
+    /// Provide an integer parameter array (e.g. the `S` of
+    /// `GENERAL_BLOCK(S)`).
+    pub fn with_param_array(mut self, name: &str, values: Vec<i64>) -> Self {
+        self.param_arrays.insert(name.to_ascii_uppercase(), values);
+        self
+    }
+
+    /// Treat every call as if interface blocks were visible: §7(3)
+    /// inheritance-matching mismatches remap instead of failing.
+    pub fn with_interface_blocks(mut self, on: bool) -> Self {
+        self.interface_blocks = on;
+        self
+    }
+
+    /// Parse and elaborate a source text.
+    pub fn run(&self, src: &str) -> Result<Elaboration, FrontendError> {
+        let file = parse(src)?;
+        let mut ctx = Ctx {
+            space: DataSpace::new(self.np),
+            env: Env {
+                params: self.inputs.clone(),
+                param_arrays: self.param_arrays.clone(),
+                array_bounds: HashMap::new(),
+            },
+            arrays: HashMap::new(),
+            report: ElaborationReport::default(),
+            subroutines: file
+                .subroutines
+                .iter()
+                .map(|u| (u.name.clone(), u.clone()))
+                .collect(),
+            inputs: self.inputs.clone(),
+            interface_blocks: self.interface_blocks,
+        };
+        for s in &file.main.stmts {
+            ctx.statement(s)?;
+        }
+        Ok(Elaboration { space: ctx.space, report: ctx.report, arrays: ctx.arrays })
+    }
+}
+
+struct Ctx {
+    space: DataSpace,
+    env: Env,
+    arrays: HashMap<String, ArrayId>,
+    report: ElaborationReport,
+    subroutines: HashMap<String, Unit>,
+    inputs: HashMap<String, i64>,
+    interface_blocks: bool,
+}
+
+impl Ctx {
+    fn array(&self, name: &str, line: usize) -> Result<ArrayId, FrontendError> {
+        self.arrays
+            .get(name)
+            .copied()
+            .ok_or_else(|| FrontendError::Undeclared { line, name: name.to_string() })
+    }
+
+    fn statement(&mut self, s: &SpannedStmt) -> Result<(), FrontendError> {
+        let line = s.line;
+        match &s.stmt {
+            Stmt::Program(_) | Stmt::End | Stmt::Subroutine { .. } => Ok(()),
+            Stmt::Parameter(pairs) => {
+                for (name, e) in pairs {
+                    let v = self.env.eval(e)?;
+                    self.env.params.insert(name.clone(), v);
+                }
+                Ok(())
+            }
+            Stmt::Declaration { allocatable, dimension, entities, .. } => {
+                for ent in entities {
+                    let dims = ent.dims.as_ref().or(dimension.as_ref());
+                    self.declare_entity(&ent.name, dims, *allocatable, line)?;
+                }
+                Ok(())
+            }
+            Stmt::Processors(ents) => {
+                for ent in ents {
+                    match &ent.dims {
+                        Some(dims) => {
+                            let dom = self.env.eval_shape(dims)?;
+                            let shape = dom.to_string();
+                            self.space.declare_processors(&ent.name, dom)?;
+                            self.report.events.push(Event::Processors {
+                                name: ent.name.clone(),
+                                shape,
+                            });
+                        }
+                        None => {
+                            self.space.declare_scalar_processors(&ent.name)?;
+                            self.report.events.push(Event::Processors {
+                                name: ent.name.clone(),
+                                shape: String::new(),
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Distribute { redistribute, distributees, formats, target, inherit } => {
+                if *inherit != InheritAst::None {
+                    return Err(FrontendError::Parse {
+                        line,
+                        what: "inheritance forms (`DISTRIBUTE A *`) are only valid for \
+                               dummy arguments inside subroutines (§7)"
+                            .into(),
+                    });
+                }
+                let spec = self.distribute_spec(formats, target)?;
+                for name in distributees {
+                    let id = self.array(name, line)?;
+                    if *redistribute {
+                        let before = self.space.effective(id).map_err(FrontendError::Semantic)?;
+                        self.space.redistribute(id, &spec)?;
+                        let after = self.space.effective(id).map_err(FrontendError::Semantic)?;
+                        let moved = before.remap_volume(&after);
+                        self.report
+                            .events
+                            .push(Event::Redistributed { name: name.clone(), moved });
+                    } else {
+                        self.space.distribute(id, &spec)?;
+                        self.report.events.push(Event::Distributed {
+                            name: name.clone(),
+                            spec: spec.to_string(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Align { realign, alignee, axes, base, subscripts } => {
+                let a = self.array(alignee, line)?;
+                let b = self.array(base, line)?;
+                let spec = self.align_spec(axes, subscripts)?;
+                if *realign {
+                    let before = self.space.effective(a).ok();
+                    self.space.realign(a, b, &spec)?;
+                    let after = self.space.effective(a).map_err(FrontendError::Semantic)?;
+                    let moved = before.map(|x| x.remap_volume(&after)).unwrap_or(0);
+                    self.report.events.push(Event::Realigned {
+                        alignee: alignee.clone(),
+                        base: base.clone(),
+                        moved,
+                    });
+                } else {
+                    self.space.align(a, b, &spec)?;
+                    self.report.events.push(Event::Aligned {
+                        alignee: alignee.clone(),
+                        base: base.clone(),
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Dynamic(names) => {
+                for n in names {
+                    let id = self.array(n, line)?;
+                    self.space.set_dynamic(id);
+                    self.report.events.push(Event::Dynamic(n.clone()));
+                }
+                Ok(())
+            }
+            Stmt::Allocate(allocs) => {
+                for (name, dims) in allocs {
+                    let id = self.array(name, line)?;
+                    let dom = self.env.eval_shape(dims)?;
+                    self.env.array_bounds.insert(
+                        name.clone(),
+                        dom.dims().iter().map(|t| (t.lower(), t.upper())).collect(),
+                    );
+                    let rendered = dom.to_string();
+                    self.space.allocate(id, dom)?;
+                    self.report
+                        .events
+                        .push(Event::Allocated { name: name.clone(), domain: rendered });
+                }
+                Ok(())
+            }
+            Stmt::Deallocate(names) => {
+                for name in names {
+                    let id = self.array(name, line)?;
+                    let promoted: Vec<String> = self
+                        .space
+                        .children(id)
+                        .iter()
+                        .map(|&c| self.space.name(c).to_string())
+                        .collect();
+                    self.space.deallocate(id)?;
+                    self.report
+                        .events
+                        .push(Event::Deallocated { name: name.clone(), promoted });
+                }
+                Ok(())
+            }
+            Stmt::Read(names) => {
+                for n in names {
+                    let v = *self
+                        .inputs
+                        .get(n)
+                        .ok_or_else(|| FrontendError::MissingInput(n.clone()))?;
+                    self.env.params.insert(n.clone(), v);
+                    self.report.events.push(Event::Read { name: n.clone(), value: v });
+                }
+                Ok(())
+            }
+            Stmt::Call { name, args } => self.call(name, args, line),
+            Stmt::ArrayAssign { lhs, terms } => {
+                let (lhs_id, lhs_sec) = self.resolve_ref(lhs, line)?;
+                let mut rterms = Vec::with_capacity(terms.len());
+                for t in terms {
+                    let (id, sec) = self.resolve_ref(t, line)?;
+                    rterms.push((t.name.clone(), id, sec));
+                }
+                self.report.events.push(Event::Assignment(AssignEvent {
+                    lhs_name: lhs.name.clone(),
+                    lhs: lhs_id,
+                    lhs_section: lhs_sec,
+                    terms: rterms,
+                }));
+                Ok(())
+            }
+        }
+    }
+
+    fn declare_entity(
+        &mut self,
+        name: &str,
+        dims: Option<&Vec<DimDecl>>,
+        allocatable: bool,
+        _line: usize,
+    ) -> Result<(), FrontendError> {
+        let id = match dims {
+            None => {
+                // scalar
+                let id = self.space.declare(name, IndexDomain::scalar())?;
+                self.report.events.push(Event::Declared {
+                    name: name.to_string(),
+                    domain: "".into(),
+                    allocatable: false,
+                });
+                id
+            }
+            Some(ds) if allocatable || ds.iter().any(|d| matches!(d, DimDecl::Deferred)) => {
+                let id = self.space.declare_allocatable(name, ds.len())?;
+                self.report.events.push(Event::Declared {
+                    name: name.to_string(),
+                    domain: "<deferred>".into(),
+                    allocatable: true,
+                });
+                id
+            }
+            Some(ds) => {
+                let dom = self.env.eval_shape(ds)?;
+                self.env.array_bounds.insert(
+                    name.to_string(),
+                    dom.dims().iter().map(|t| (t.lower(), t.upper())).collect(),
+                );
+                let rendered = dom.to_string();
+                let id = self.space.declare(name, dom)?;
+                self.report.events.push(Event::Declared {
+                    name: name.to_string(),
+                    domain: rendered,
+                    allocatable: false,
+                });
+                id
+            }
+        };
+        self.arrays.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    fn distribute_spec(
+        &self,
+        formats: &[FormatAst],
+        target: &Option<TargetAst>,
+    ) -> Result<DistributeSpec, FrontendError> {
+        let mut fs = Vec::with_capacity(formats.len());
+        for f in formats {
+            fs.push(match f {
+                FormatAst::Block => FormatSpec::Block,
+                FormatAst::BlockBalanced => FormatSpec::BlockBalanced,
+                FormatAst::Cyclic(None) => FormatSpec::Cyclic(1),
+                FormatAst::Cyclic(Some(e)) => {
+                    let k = self.env.eval(e)?;
+                    if k < 1 {
+                        return Err(FrontendError::Semantic(hpf_core::HpfError::BadCyclicArg(k)));
+                    }
+                    FormatSpec::Cyclic(k as u64)
+                }
+                FormatAst::Colon => FormatSpec::Collapsed,
+                FormatAst::GeneralBlock(es) => {
+                    // a single name may refer to a parameter array
+                    if let [Expr::Name(n)] = es.as_slice() {
+                        if let Some(values) = self.env.param_arrays.get(n) {
+                            fs.push(FormatSpec::GeneralBlock(values.clone()));
+                            continue;
+                        }
+                    }
+                    let mut g = Vec::with_capacity(es.len());
+                    for e in es {
+                        g.push(self.env.eval(e)?);
+                    }
+                    FormatSpec::GeneralBlock(g)
+                }
+                FormatAst::Indirect(es) => {
+                    let values: Vec<i64> = if let [Expr::Name(n)] = es.as_slice() {
+                        match self.env.param_arrays.get(n) {
+                            Some(v) => v.clone(),
+                            None => vec![self.env.eval(&es[0])?],
+                        }
+                    } else {
+                        es.iter()
+                            .map(|e| self.env.eval(e))
+                            .collect::<Result<_, _>>()?
+                    };
+                    let coords: Result<Vec<u32>, FrontendError> = values
+                        .iter()
+                        .map(|&v| {
+                            u32::try_from(v).map_err(|_| {
+                                FrontendError::Eval(format!(
+                                    "INDIRECT coordinate {v} is not a processor number"
+                                ))
+                            })
+                        })
+                        .collect();
+                    FormatSpec::Indirect(coords?)
+                }
+            });
+        }
+        let t = match target {
+            None => None,
+            Some(TargetAst { name, section: None }) => Some(TargetSpec::Whole(name.clone())),
+            Some(TargetAst { name, section: Some(dims) }) => {
+                let arr_id = self
+                    .space
+                    .procs()
+                    .by_name(name)
+                    .map_err(hpf_core::HpfError::from)?;
+                let dom = self
+                    .space
+                    .procs()
+                    .get(arr_id)
+                    .domain()
+                    .cloned()
+                    .ok_or_else(|| {
+                        FrontendError::Eval(format!("`{name}` is a scalar arrangement"))
+                    })?;
+                let sec = self.env.eval_section(dims, &dom)?;
+                Some(TargetSpec::Section(name.clone(), sec))
+            }
+        };
+        Ok(DistributeSpec { formats: fs, target: t })
+    }
+
+    fn align_spec(
+        &self,
+        axes: &[AxisAst],
+        subscripts: &[BaseSubAst],
+    ) -> Result<AlignSpec, FrontendError> {
+        let mut dummies: HashMap<String, usize> = HashMap::new();
+        let mut alignee = Vec::with_capacity(axes.len());
+        for ax in axes {
+            alignee.push(match ax {
+                AxisAst::Colon => AligneeAxis::Colon,
+                AxisAst::Star => AligneeAxis::Star,
+                AxisAst::Dummy(n) => {
+                    let next = dummies.len();
+                    let id = *dummies.entry(n.clone()).or_insert(next);
+                    AligneeAxis::Dummy(id)
+                }
+            });
+        }
+        let mut base = Vec::with_capacity(subscripts.len());
+        for sub in subscripts {
+            base.push(match sub {
+                BaseSubAst::Star => BaseSubscript::Star,
+                BaseSubAst::Expr(e) => {
+                    BaseSubscript::Expr(self.env.to_align_expr(e, &dummies)?)
+                }
+                BaseSubAst::Triplet { lower, upper, stride } => BaseSubscript::Triplet {
+                    lower: lower.as_ref().map(|e| self.env.eval(e)).transpose()?,
+                    upper: upper.as_ref().map(|e| self.env.eval(e)).transpose()?,
+                    stride: stride.as_ref().map(|e| self.env.eval(e)).transpose()?,
+                },
+            });
+        }
+        Ok(AlignSpec::new(alignee, base))
+    }
+
+    fn resolve_ref(
+        &self,
+        r: &ArrayRef,
+        line: usize,
+    ) -> Result<(ArrayId, Section), FrontendError> {
+        let id = self.array(&r.name, line)?;
+        let dom = self
+            .space
+            .domain(id)
+            .cloned()
+            .ok_or_else(|| FrontendError::Semantic(hpf_core::HpfError::NotAllocated(r.name.clone())))?;
+        let sec = match &r.section {
+            None => Section::full(&dom),
+            Some(dims) => self.env.eval_section(dims, &dom)?,
+        };
+        Ok((id, sec))
+    }
+
+    /// Elaborate a `CALL`: build the §7 procedure definition from the
+    /// subroutine's specification part, enter the frame, execute the body's
+    /// dynamic directives, and exit (restoring distributions).
+    fn call(&mut self, name: &str, args: &[ArrayRef], line: usize) -> Result<(), FrontendError> {
+        let unit = self
+            .subroutines
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FrontendError::UnknownSubroutine(name.to_string()))?;
+
+        // scan the subroutine's statements for dummy mapping directives
+        let mut dummy_specs: HashMap<String, DummySpec> = HashMap::new();
+        let mut dummy_dynamic: HashMap<String, bool> = HashMap::new();
+        let dummy_pos: HashMap<&str, usize> = unit
+            .dummies
+            .iter()
+            .enumerate()
+            .map(|(k, d)| (d.as_str(), k))
+            .collect();
+        for s in &unit.stmts {
+            match &s.stmt {
+                Stmt::Distribute { distributees, formats, target, inherit, redistribute: false } => {
+                    for d in distributees {
+                        if !dummy_pos.contains_key(d.as_str()) {
+                            continue;
+                        }
+                        let spec = match inherit {
+                            InheritAst::Inherit => DummySpec::Inherit,
+                            InheritAst::InheritMatching => DummySpec::InheritMatching {
+                                spec: self.distribute_spec(formats, target)?,
+                                interface_block: self.interface_blocks,
+                            },
+                            InheritAst::None => {
+                                DummySpec::Explicit(self.distribute_spec(formats, target)?)
+                            }
+                        };
+                        dummy_specs.insert(d.clone(), spec);
+                    }
+                }
+                Stmt::Align { realign: false, alignee, axes, base, subscripts } => {
+                    if let (Some(_), Some(&bpos)) =
+                        (dummy_pos.get(alignee.as_str()), dummy_pos.get(base.as_str()))
+                    {
+                        let spec = self.align_spec(axes, subscripts)?;
+                        dummy_specs.insert(
+                            alignee.clone(),
+                            DummySpec::AlignToDummy { base: bpos, spec },
+                        );
+                    }
+                }
+                Stmt::Dynamic(names) => {
+                    for n in names {
+                        if dummy_pos.contains_key(n.as_str()) {
+                            dummy_dynamic.insert(n.clone(), true);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let def = ProcedureDef::new(
+            name,
+            unit.dummies
+                .iter()
+                .map(|d| {
+                    let mut dm = Dummy::new(
+                        d,
+                        dummy_specs.get(d).cloned().unwrap_or(DummySpec::Implicit),
+                    );
+                    if dummy_dynamic.get(d).copied().unwrap_or(false) {
+                        dm.dynamic = true;
+                    }
+                    dm
+                })
+                .collect(),
+        );
+
+        // resolve actuals
+        let mut actuals = Vec::with_capacity(args.len());
+        for a in args {
+            let id = self.array(&a.name, line)?;
+            match &a.section {
+                None => actuals.push(Actual::whole(id)),
+                Some(dims) => {
+                    let dom = self.space.domain(id).cloned().ok_or_else(|| {
+                        FrontendError::Semantic(hpf_core::HpfError::NotAllocated(a.name.clone()))
+                    })?;
+                    actuals.push(Actual::section(id, self.env.eval_section(dims, &dom)?));
+                }
+            }
+        }
+
+        let mut frame = CallFrame::enter(&self.space, &def, &actuals)?;
+
+        // elaborate the body: local declarations, local mapping directives
+        // (§7: "a local data object may be aligned to a dummy argument"),
+        // and dynamic directives on dummies and locals
+        let mut local_names: HashMap<String, ArrayId> = unit
+            .dummies
+            .iter()
+            .enumerate()
+            .map(|(k, d)| (d.clone(), frame.dummy(k)))
+            .collect();
+        let mut local_env = self.env.clone();
+        for s in &unit.stmts {
+            match &s.stmt {
+                Stmt::Declaration { allocatable, dimension, entities, .. } => {
+                    for ent in entities {
+                        if dummy_pos.contains_key(ent.name.as_str()) {
+                            continue; // dummy shape declaration, already handled
+                        }
+                        let dims = ent.dims.as_ref().or(dimension.as_ref());
+                        let id = match dims {
+                            None => frame
+                                .local_mut()
+                                .declare(&ent.name, IndexDomain::scalar())?,
+                            Some(ds) if *allocatable
+                                || ds.iter().any(|d| matches!(d, DimDecl::Deferred)) =>
+                            {
+                                frame.local_mut().declare_allocatable(&ent.name, ds.len())?
+                            }
+                            Some(ds) => {
+                                let dom = local_env.eval_shape(ds)?;
+                                local_env.array_bounds.insert(
+                                    ent.name.clone(),
+                                    dom.dims()
+                                        .iter()
+                                        .map(|t| (t.lower(), t.upper()))
+                                        .collect(),
+                                );
+                                frame.local_mut().declare(&ent.name, dom)?
+                            }
+                        };
+                        local_names.insert(ent.name.clone(), id);
+                    }
+                }
+                Stmt::Distribute { redistribute, distributees, formats, target, inherit } => {
+                    if *inherit != InheritAst::None {
+                        continue; // dummy mapping directive, already handled
+                    }
+                    let spec = self.distribute_spec(formats, target)?;
+                    for d in distributees {
+                        let is_dummy = dummy_pos.contains_key(d.as_str());
+                        if *redistribute {
+                            let Some(&id) = local_names.get(d) else { continue };
+                            frame
+                                .local_mut()
+                                .redistribute(id, &spec)
+                                .map_err(FrontendError::Semantic)?;
+                        } else if !is_dummy {
+                            // explicit DISTRIBUTE on a local
+                            let Some(&id) = local_names.get(d) else {
+                                return Err(FrontendError::Undeclared {
+                                    line: s.line,
+                                    name: d.clone(),
+                                });
+                            };
+                            frame
+                                .local_mut()
+                                .distribute(id, &spec)
+                                .map_err(FrontendError::Semantic)?;
+                        }
+                    }
+                }
+                Stmt::Align { realign, alignee, base, axes, subscripts } => {
+                    let alignee_is_dummy = dummy_pos.contains_key(alignee.as_str());
+                    if !*realign && alignee_is_dummy {
+                        continue; // dummy-to-dummy spec, already handled
+                    }
+                    let (Some(&a_id), Some(&b_id)) =
+                        (local_names.get(alignee), local_names.get(base))
+                    else {
+                        return Err(FrontendError::Undeclared {
+                            line: s.line,
+                            name: alignee.clone(),
+                        });
+                    };
+                    let spec = self.align_spec(axes, subscripts)?;
+                    if *realign {
+                        frame
+                            .local_mut()
+                            .realign(a_id, b_id, &spec)
+                            .map_err(FrontendError::Semantic)?;
+                    } else {
+                        frame
+                            .local_mut()
+                            .align(a_id, b_id, &spec)
+                            .map_err(FrontendError::Semantic)?;
+                    }
+                }
+                Stmt::Dynamic(names) => {
+                    for n in names {
+                        if let Some(&id) = local_names.get(n) {
+                            frame.local_mut().set_dynamic(id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let report = frame.exit()?;
+        self.report.events.push(Event::Call(report));
+        Ok(())
+    }
+}

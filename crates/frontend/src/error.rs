@@ -1,0 +1,79 @@
+use hpf_core::HpfError;
+use std::fmt;
+
+/// Errors from the directive-language front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Lexical error.
+    Lex {
+        /// Source line.
+        line: usize,
+        /// Description.
+        what: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Source line.
+        line: usize,
+        /// Description.
+        what: String,
+    },
+    /// The input used an HPF `TEMPLATE` directive — deliberately not part
+    /// of this language ("we present a model [...] without the use of
+    /// templates"). The §8-guided rewrite hint is part of the message.
+    TemplateDirective {
+        /// Source line.
+        line: usize,
+    },
+    /// A name was used before being declared.
+    Undeclared {
+        /// Source line.
+        line: usize,
+        /// The name.
+        name: String,
+    },
+    /// An unknown parameter was referenced in a specification expression.
+    UnknownParameter(String),
+    /// A specification expression could not be evaluated.
+    Eval(String),
+    /// Semantic error from the mapping model.
+    Semantic(HpfError),
+    /// A `READ` statement needed a value not supplied to the elaborator.
+    MissingInput(String),
+    /// A `CALL` referenced an unknown subroutine.
+    UnknownSubroutine(String),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex { line, what } => write!(f, "line {line}: {what}"),
+            FrontendError::Parse { line, what } => write!(f, "line {line}: {what}"),
+            FrontendError::TemplateDirective { line } => write!(
+                f,
+                "line {line}: TEMPLATE directives are not part of this model — \
+                 align arrays to each other, or distribute them directly (paper §8: \
+                 \"natural templates are sufficient to describe all features related \
+                 to distribution and alignment\")"
+            ),
+            FrontendError::Undeclared { line, name } => {
+                write!(f, "line {line}: `{name}` used before declaration")
+            }
+            FrontendError::UnknownParameter(n) => write!(f, "unknown parameter `{n}`"),
+            FrontendError::Eval(e) => write!(f, "specification expression: {e}"),
+            FrontendError::Semantic(e) => write!(f, "{e}"),
+            FrontendError::MissingInput(n) => {
+                write!(f, "READ needs a value for `{n}` (pass it via with_input)")
+            }
+            FrontendError::UnknownSubroutine(n) => write!(f, "unknown subroutine `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<HpfError> for FrontendError {
+    fn from(e: HpfError) -> Self {
+        FrontendError::Semantic(e)
+    }
+}

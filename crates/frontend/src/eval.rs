@@ -1,0 +1,289 @@
+use crate::ast::{DimDecl, Expr, SectionDimAst};
+use crate::error::FrontendError;
+use hpf_core::AlignExpr;
+use hpf_index::{IndexDomain, Section, SectionDim, Triplet};
+use std::collections::HashMap;
+
+/// The specification-expression environment: named integer parameters
+/// (from `PARAMETER` and `READ`), integer parameter arrays (for
+/// `GENERAL_BLOCK(S)`), and the bounds of declared arrays (for `LBOUND`,
+/// `UBOUND`, `SIZE` folding).
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Scalar integer parameters.
+    pub params: HashMap<String, i64>,
+    /// Integer parameter arrays.
+    pub param_arrays: HashMap<String, Vec<i64>>,
+    /// Array bounds by name: `(lower, upper)` per dimension.
+    pub array_bounds: HashMap<String, Vec<(i64, i64)>>,
+}
+
+impl Env {
+    /// Evaluate a dummyless specification expression.
+    pub fn eval(&self, e: &Expr) -> Result<i64, FrontendError> {
+        match e {
+            Expr::Int(v) => Ok(*v),
+            Expr::Name(n) => self
+                .params
+                .get(n)
+                .copied()
+                .ok_or_else(|| FrontendError::UnknownParameter(n.clone())),
+            Expr::Add(a, b) => Ok(self.eval(a)? + self.eval(b)?),
+            Expr::Sub(a, b) => Ok(self.eval(a)? - self.eval(b)?),
+            Expr::Mul(a, b) => Ok(self.eval(a)? * self.eval(b)?),
+            Expr::Div(a, b) => {
+                let d = self.eval(b)?;
+                if d == 0 {
+                    return Err(FrontendError::Eval("division by zero".into()));
+                }
+                Ok(self.eval(a)? / d)
+            }
+            Expr::Neg(a) => Ok(-self.eval(a)?),
+            Expr::Max(a, b) => Ok(self.eval(a)?.max(self.eval(b)?)),
+            Expr::Min(a, b) => Ok(self.eval(a)?.min(self.eval(b)?)),
+            Expr::LBound(arr, d) | Expr::UBound(arr, d) | Expr::Size(arr, d) => {
+                let dim = self.eval(d)? - 1;
+                let bounds = self
+                    .array_bounds
+                    .get(arr)
+                    .ok_or_else(|| FrontendError::UnknownParameter(arr.clone()))?;
+                let (lo, up) = *bounds.get(dim as usize).ok_or_else(|| {
+                    FrontendError::Eval(format!("dimension {} out of range for `{arr}`", dim + 1))
+                })?;
+                Ok(match e {
+                    Expr::LBound(..) => lo,
+                    Expr::UBound(..) => up,
+                    _ => (up - lo + 1).max(0),
+                })
+            }
+        }
+    }
+
+    /// Translate an alignment expression into a core [`AlignExpr`]: names
+    /// that match a declared align-dummy become [`AlignExpr::Dummy`];
+    /// everything else is folded to constants (`LBOUND`/`UBOUND`/`SIZE`
+    /// are specification-time constants, as DESIGN.md documents).
+    pub fn to_align_expr(
+        &self,
+        e: &Expr,
+        dummies: &HashMap<String, usize>,
+    ) -> Result<AlignExpr, FrontendError> {
+        // fully constant subtrees fold immediately
+        if let Ok(v) = self.try_fold(e, dummies) {
+            return Ok(AlignExpr::Const(v));
+        }
+        Ok(match e {
+            Expr::Int(v) => AlignExpr::Const(*v),
+            Expr::Name(n) => match dummies.get(n) {
+                Some(id) => AlignExpr::Dummy(*id),
+                None => AlignExpr::Const(self.eval(e)?),
+            },
+            Expr::Add(a, b) => {
+                self.to_align_expr(a, dummies)? + self.to_align_expr(b, dummies)?
+            }
+            Expr::Sub(a, b) => {
+                self.to_align_expr(a, dummies)? - self.to_align_expr(b, dummies)?
+            }
+            Expr::Mul(a, b) => {
+                self.to_align_expr(a, dummies)? * self.to_align_expr(b, dummies)?
+            }
+            Expr::Div(_, _) => {
+                return Err(FrontendError::Eval(
+                    "division of an align-dummy is not a linear alignment".into(),
+                ))
+            }
+            Expr::Neg(a) => -self.to_align_expr(a, dummies)?,
+            Expr::Max(a, b) => self
+                .to_align_expr(a, dummies)?
+                .max(self.to_align_expr(b, dummies)?),
+            Expr::Min(a, b) => self
+                .to_align_expr(a, dummies)?
+                .min(self.to_align_expr(b, dummies)?),
+            Expr::LBound(..) | Expr::UBound(..) | Expr::Size(..) => {
+                AlignExpr::Const(self.eval(e)?)
+            }
+        })
+    }
+
+    /// Fold a subtree to a constant if it references no align-dummy.
+    fn try_fold(&self, e: &Expr, dummies: &HashMap<String, usize>) -> Result<i64, FrontendError> {
+        if self.uses_dummy(e, dummies) {
+            return Err(FrontendError::Eval("uses dummy".into()));
+        }
+        self.eval(e)
+    }
+
+    fn uses_dummy(&self, e: &Expr, dummies: &HashMap<String, usize>) -> bool {
+        match e {
+            Expr::Int(_) => false,
+            Expr::Name(n) => dummies.contains_key(n),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Max(a, b)
+            | Expr::Min(a, b) => {
+                self.uses_dummy(a, dummies) || self.uses_dummy(b, dummies)
+            }
+            Expr::Neg(a) => self.uses_dummy(a, dummies),
+            Expr::LBound(..) | Expr::UBound(..) | Expr::Size(..) => false,
+        }
+    }
+
+    /// Evaluate a declaration shape to an index domain.
+    pub fn eval_shape(&self, dims: &[DimDecl]) -> Result<IndexDomain, FrontendError> {
+        let mut bounds = Vec::with_capacity(dims.len());
+        for d in dims {
+            match d {
+                DimDecl::Deferred => {
+                    return Err(FrontendError::Eval(
+                        "deferred shape where an explicit shape is required".into(),
+                    ))
+                }
+                DimDecl::Explicit { lower, upper } => {
+                    let lo = match lower {
+                        Some(e) => self.eval(e)?,
+                        None => 1,
+                    };
+                    let up = self.eval(upper)?;
+                    bounds.push((lo, up));
+                }
+            }
+        }
+        IndexDomain::standard(&bounds)
+            .map_err(|e| FrontendError::Eval(e.to_string()))
+    }
+
+    /// Evaluate a section reference against its parent domain, applying
+    /// Fortran defaults (`:` spans the whole dimension, stride defaults 1).
+    pub fn eval_section(
+        &self,
+        dims: &[SectionDimAst],
+        parent: &IndexDomain,
+    ) -> Result<Section, FrontendError> {
+        if dims.len() != parent.rank() {
+            return Err(FrontendError::Eval(format!(
+                "section has {} subscripts, array has rank {}",
+                dims.len(),
+                parent.rank()
+            )));
+        }
+        let mut out = Vec::with_capacity(dims.len());
+        for (d, sd) in dims.iter().enumerate() {
+            match sd {
+                SectionDimAst::Scalar(e) => out.push(SectionDim::Scalar(self.eval(e)?)),
+                SectionDimAst::Triplet { lower, upper, stride } => {
+                    let lo = match lower {
+                        Some(e) => self.eval(e)?,
+                        None => parent.lower(d),
+                    };
+                    let up = match upper {
+                        Some(e) => self.eval(e)?,
+                        None => parent.upper(d),
+                    };
+                    let st = match stride {
+                        Some(e) => self.eval(e)?,
+                        None => 1,
+                    };
+                    let t = Triplet::new(lo, up, st)
+                        .map_err(|e| FrontendError::Eval(e.to_string()))?;
+                    out.push(SectionDim::Triplet(t));
+                }
+            }
+        }
+        Ok(Section::new(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::Stmt;
+
+    fn env() -> Env {
+        let mut e = Env::default();
+        e.params.insert("N".into(), 64);
+        e.params.insert("M".into(), 3);
+        e.array_bounds.insert("A".into(), vec![(1, 100), (0, 9)]);
+        e
+    }
+
+    fn expr_of(src: &str) -> Expr {
+        // parse "X = <expr>" as a parameter to extract the expression
+        match parse(&format!("PARAMETER (X = {src})")).unwrap().main.stmts[0].stmt.clone() {
+            Stmt::Parameter(p) => p[0].1.clone(),
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = env();
+        assert_eq!(e.eval(&expr_of("2*N - 1")).unwrap(), 127);
+        assert_eq!(e.eval(&expr_of("N/M")).unwrap(), 21);
+        assert_eq!(e.eval(&expr_of("-(N + 1)")).unwrap(), -65);
+        assert_eq!(e.eval(&expr_of("MAX(N, 100)")).unwrap(), 100);
+        assert_eq!(e.eval(&expr_of("MIN(N, 100)")).unwrap(), 64);
+    }
+
+    #[test]
+    fn bounds_intrinsics() {
+        let e = env();
+        assert_eq!(e.eval(&expr_of("LBOUND(A, 2)")).unwrap(), 0);
+        assert_eq!(e.eval(&expr_of("UBOUND(A, 1)")).unwrap(), 100);
+        assert_eq!(e.eval(&expr_of("SIZE(A, 2)")).unwrap(), 10);
+    }
+
+    #[test]
+    fn unknown_parameter() {
+        assert!(matches!(
+            env().eval(&expr_of("Q + 1")),
+            Err(FrontendError::UnknownParameter(_))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert!(env().eval(&expr_of("N/0")).is_err());
+    }
+
+    #[test]
+    fn align_expr_translation() {
+        let e = env();
+        let mut dummies = HashMap::new();
+        dummies.insert("I".into(), 0usize);
+        // 2*I - 1 with I a dummy
+        let ae = e.to_align_expr(&expr_of("2*I - 1"), &dummies).unwrap();
+        assert_eq!(ae.linear_in(0), Some((2, -1)));
+        // M*I + N folds M and N
+        let ae = e.to_align_expr(&expr_of("M*I + N"), &dummies).unwrap();
+        assert_eq!(ae.linear_in(0), Some((3, 64)));
+        // fully constant folds to Const
+        let ae = e.to_align_expr(&expr_of("N*M"), &dummies).unwrap();
+        assert_eq!(ae, AlignExpr::Const(192));
+    }
+
+    #[test]
+    fn shapes_and_sections() {
+        let e = env();
+        let dom = e
+            .eval_shape(&[
+                DimDecl::Explicit { lower: Some(Expr::Int(0)), upper: expr_of("N") },
+                DimDecl::Explicit { lower: None, upper: expr_of("N") },
+            ])
+            .unwrap();
+        assert_eq!(dom.to_string(), "[0:64, 1:64]");
+        let sec = e
+            .eval_section(
+                &[
+                    SectionDimAst::Triplet { lower: None, upper: None, stride: None },
+                    SectionDimAst::Scalar(Expr::Int(3)),
+                ],
+                &dom,
+            )
+            .unwrap();
+        assert_eq!(sec.rank(), 1);
+        assert_eq!(sec.size(), 65);
+    }
+}

@@ -1,0 +1,203 @@
+use crate::error::FrontendError;
+use crate::token::{Spanned, Tok};
+
+/// Tokenize a directive-language source text.
+///
+/// Line structure follows free-form Fortran: one statement per line,
+/// `!`-to-end-of-line comments, with the special prefix `!HPF$` marking a
+/// directive statement rather than a comment.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, FrontendError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw.trim();
+        if s.is_empty() {
+            continue;
+        }
+        // directive sigil or comment?
+        let upper5 = s.get(..5).map(|p| p.to_ascii_uppercase());
+        if upper5.as_deref() == Some("!HPF$") {
+            out.push(Spanned { tok: Tok::Directive, line });
+            s = s[5..].trim_start();
+        } else if s.starts_with('!') {
+            continue; // plain comment line
+        }
+        let produced = lex_line(s, line, &mut out)?;
+        if produced {
+            out.push(Spanned { tok: Tok::Newline, line });
+        } else if matches!(out.last(), Some(Spanned { tok: Tok::Directive, .. })) {
+            out.pop(); // bare "!HPF$" with nothing after it
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line: src.lines().count() + 1 });
+    Ok(out)
+}
+
+/// Lex one statement body; returns whether any token was produced.
+fn lex_line(s: &str, line: usize, out: &mut Vec<Spanned>) -> Result<bool, FrontendError> {
+    let bytes = s.as_bytes();
+    let mut k = 0usize;
+    let mut any = false;
+    while k < bytes.len() {
+        let c = bytes[k] as char;
+        let tok = match c {
+            ' ' | '\t' | '\r' => {
+                k += 1;
+                continue;
+            }
+            '!' => break, // trailing comment
+            '(' => {
+                k += 1;
+                Tok::LParen
+            }
+            ')' => {
+                k += 1;
+                Tok::RParen
+            }
+            ',' => {
+                k += 1;
+                Tok::Comma
+            }
+            '*' => {
+                k += 1;
+                Tok::Star
+            }
+            '+' => {
+                k += 1;
+                Tok::Plus
+            }
+            '-' => {
+                k += 1;
+                Tok::Minus
+            }
+            '/' => {
+                k += 1;
+                Tok::Slash
+            }
+            '=' => {
+                k += 1;
+                Tok::Equals
+            }
+            ':' => {
+                if bytes.get(k + 1) == Some(&b':') {
+                    k += 2;
+                    Tok::DoubleColon
+                } else {
+                    k += 1;
+                    Tok::Colon
+                }
+            }
+            '0'..='9' => {
+                let start = k;
+                while k < bytes.len() && bytes[k].is_ascii_digit() {
+                    k += 1;
+                }
+                let text = &s[start..k];
+                let v: i64 = text.parse().map_err(|_| FrontendError::Lex {
+                    line,
+                    what: format!("integer literal `{text}` out of range"),
+                })?;
+                Tok::Int(v)
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = k;
+                while k < bytes.len()
+                    && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'_' || bytes[k] == b'$')
+                {
+                    k += 1;
+                }
+                Tok::Ident(s[start..k].to_ascii_uppercase())
+            }
+            other => {
+                return Err(FrontendError::Lex {
+                    line,
+                    what: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        out.push(Spanned { tok, line });
+        any = true;
+    }
+    Ok(any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn directive_line() {
+        let t = toks("!HPF$ DISTRIBUTE A(BLOCK)");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Directive,
+                Tok::Ident("DISTRIBUTE".into()),
+                Tok::Ident("A".into()),
+                Tok::LParen,
+                Tok::Ident("BLOCK".into()),
+                Tok::RParen,
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_directives_kept() {
+        let t = toks("! a comment\nREAL A(4) ! trailing\n!hpf$ DYNAMIC A");
+        assert!(t.contains(&Tok::Directive));
+        assert!(!t.iter().any(|t| matches!(t, Tok::Ident(s) if s == "COMMENT")));
+        assert!(!t.iter().any(|t| matches!(t, Tok::Ident(s) if s == "TRAILING")));
+    }
+
+    #[test]
+    fn triplets_and_double_colon() {
+        let t = toks("A(2:996:2) :: B");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("A".into()),
+                Tok::LParen,
+                Tok::Int(2),
+                Tok::Colon,
+                Tok::Int(996),
+                Tok::Colon,
+                Tok::Int(2),
+                Tok::RParen,
+                Tok::DoubleColon,
+                Tok::Ident("B".into()),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(toks("real")[0], Tok::Ident("REAL".into()));
+    }
+
+    #[test]
+    fn expressions() {
+        let t = toks("T(2*I-1, 2*J-1)");
+        assert!(t.contains(&Tok::Star));
+        assert!(t.contains(&Tok::Minus));
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        assert!(lex("A @ B").is_err());
+    }
+
+    #[test]
+    fn blank_and_empty_directive_lines() {
+        let t = toks("\n\n!HPF$\nREAL A(2)");
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Directive)).count(), 0);
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Newline)).count(), 1);
+    }
+}

@@ -1,0 +1,1051 @@
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Tok};
+
+/// Parse a source text into a [`SourceFile`].
+pub fn parse(src: &str) -> Result<SourceFile, FrontendError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.source_file()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        self.toks.get(self.pos + 1).map(|s| &s.tok).unwrap_or(&Tok::Eof)
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, what: impl Into<String>) -> Result<T, FrontendError> {
+        Err(FrontendError::Parse { line: self.line(), what: what.into() })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), FrontendError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{t}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn end_stmt(&mut self) -> Result<(), FrontendError> {
+        match self.peek() {
+            Tok::Newline => {
+                self.bump();
+                Ok(())
+            }
+            Tok::Eof => Ok(()),
+            other => self.err(format!("unexpected `{other}` at end of statement")),
+        }
+    }
+
+    // -------------------------------------------------------------- units
+
+    fn source_file(&mut self) -> Result<SourceFile, FrontendError> {
+        let mut main_stmts: Vec<SpannedStmt> = Vec::new();
+        let mut main_name = "MAIN".to_string();
+        let mut subroutines = Vec::new();
+        let mut in_main = true;
+        let mut current_sub: Option<Unit> = None;
+
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Newline => {
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            let line = self.line();
+            let stmt = self.statement()?;
+            match stmt {
+                Stmt::Program(name) if in_main => {
+                    main_name = name;
+                }
+                Stmt::Subroutine { name, dummies } => {
+                    if let Some(sub) = current_sub.take() {
+                        subroutines.push(sub);
+                    }
+                    in_main = false;
+                    current_sub =
+                        Some(Unit { name, dummies, stmts: Vec::new() });
+                }
+                Stmt::End => {
+                    if let Some(sub) = current_sub.take() {
+                        subroutines.push(sub);
+                    } else {
+                        in_main = false;
+                    }
+                }
+                s => {
+                    if let Some(sub) = current_sub.as_mut() {
+                        sub.stmts.push(SpannedStmt { stmt: s, line });
+                    } else if in_main {
+                        main_stmts.push(SpannedStmt { stmt: s, line });
+                    } else {
+                        return Err(FrontendError::Parse {
+                            line,
+                            what: "statement outside any program unit".into(),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(sub) = current_sub.take() {
+            subroutines.push(sub);
+        }
+        Ok(SourceFile {
+            main: Unit { name: main_name, dummies: Vec::new(), stmts: main_stmts },
+            subroutines,
+        })
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn statement(&mut self) -> Result<Stmt, FrontendError> {
+        if *self.peek() == Tok::Directive {
+            self.bump();
+            return self.directive();
+        }
+        let kw = match self.peek() {
+            Tok::Ident(s) => s.clone(),
+            other => return self.err(format!("expected statement, found `{other}`")),
+        };
+        match kw.as_str() {
+            "PROGRAM" => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.end_stmt()?;
+                Ok(Stmt::Program(name))
+            }
+            "END" => {
+                self.bump();
+                // optional PROGRAM/SUBROUTINE [name]
+                while matches!(self.peek(), Tok::Ident(_)) {
+                    self.bump();
+                }
+                self.end_stmt()?;
+                Ok(Stmt::End)
+            }
+            "PARAMETER" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let mut pairs = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect(Tok::Equals)?;
+                    let e = self.expr()?;
+                    pairs.push((name, e));
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                self.end_stmt()?;
+                Ok(Stmt::Parameter(pairs))
+            }
+            "REAL" | "INTEGER" | "DOUBLE" | "LOGICAL" | "COMPLEX" => {
+                self.declaration(kw)
+            }
+            "ALLOCATE" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let mut allocs = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect(Tok::LParen)?;
+                    let dims = self.dim_decl_list()?;
+                    self.expect(Tok::RParen)?;
+                    allocs.push((name, dims));
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                self.end_stmt()?;
+                Ok(Stmt::Allocate(allocs))
+            }
+            "DEALLOCATE" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let names = self.name_list()?;
+                self.expect(Tok::RParen)?;
+                self.end_stmt()?;
+                Ok(Stmt::Deallocate(names))
+            }
+            "READ" => {
+                self.bump();
+                // READ unit, names...  (unit may be an int or *)
+                match self.peek() {
+                    Tok::Int(_) | Tok::Star => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                }
+                let names = self.name_list()?;
+                self.end_stmt()?;
+                Ok(Stmt::Read(names))
+            }
+            "CALL" => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let mut args = Vec::new();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.array_ref()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                self.end_stmt()?;
+                Ok(Stmt::Call { name, args })
+            }
+            "SUBROUTINE" => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let mut dummies = Vec::new();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    if *self.peek() != Tok::RParen {
+                        dummies = self.name_list()?;
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                self.end_stmt()?;
+                Ok(Stmt::Subroutine { name, dummies })
+            }
+            _ => self.array_assignment(),
+        }
+    }
+
+    fn directive(&mut self) -> Result<Stmt, FrontendError> {
+        let kw = self.expect_ident()?;
+        match kw.as_str() {
+            "PROCESSORS" => {
+                let mut ents = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    let dims = if *self.peek() == Tok::LParen {
+                        self.bump();
+                        let d = self.dim_decl_list()?;
+                        self.expect(Tok::RParen)?;
+                        Some(d)
+                    } else {
+                        None
+                    };
+                    ents.push(Entity { name, dims });
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.end_stmt()?;
+                Ok(Stmt::Processors(ents))
+            }
+            "DISTRIBUTE" | "REDISTRIBUTE" => self.distribute(kw == "REDISTRIBUTE"),
+            "ALIGN" | "REALIGN" => self.align(kw == "REALIGN"),
+            "DYNAMIC" => {
+                // optional ::
+                if *self.peek() == Tok::DoubleColon {
+                    self.bump();
+                }
+                let names = self.name_list()?;
+                self.end_stmt()?;
+                Ok(Stmt::Dynamic(names))
+            }
+            "TEMPLATE" => Err(FrontendError::TemplateDirective { line: self.line() }),
+            other => self.err(format!("unknown directive `{other}`")),
+        }
+    }
+
+    /// `DISTRIBUTE A (fmts) [TO tgt]`
+    /// `DISTRIBUTE (fmts) [TO tgt] :: A, B`
+    /// `DISTRIBUTE A *` / `DISTRIBUTE A * (fmts) [TO tgt]`
+    fn distribute(&mut self, redistribute: bool) -> Result<Stmt, FrontendError> {
+        if *self.peek() == Tok::LParen {
+            // prefix form: (fmts) [TO tgt] :: names
+            self.bump();
+            let formats = self.format_list()?;
+            self.expect(Tok::RParen)?;
+            let target = self.opt_target()?;
+            self.expect(Tok::DoubleColon)?;
+            let distributees = self.name_list()?;
+            self.end_stmt()?;
+            return Ok(Stmt::Distribute {
+                redistribute,
+                distributees,
+                formats,
+                target,
+                inherit: InheritAst::None,
+            });
+        }
+        let name = self.expect_ident()?;
+        if *self.peek() == Tok::Star {
+            self.bump();
+            if *self.peek() == Tok::LParen {
+                self.bump();
+                let formats = self.format_list()?;
+                self.expect(Tok::RParen)?;
+                let target = self.opt_target()?;
+                self.end_stmt()?;
+                return Ok(Stmt::Distribute {
+                    redistribute,
+                    distributees: vec![name],
+                    formats,
+                    target,
+                    inherit: InheritAst::InheritMatching,
+                });
+            }
+            self.end_stmt()?;
+            return Ok(Stmt::Distribute {
+                redistribute,
+                distributees: vec![name],
+                formats: Vec::new(),
+                target: None,
+                inherit: InheritAst::Inherit,
+            });
+        }
+        self.expect(Tok::LParen)?;
+        let formats = self.format_list()?;
+        self.expect(Tok::RParen)?;
+        let target = self.opt_target()?;
+        self.end_stmt()?;
+        Ok(Stmt::Distribute {
+            redistribute,
+            distributees: vec![name],
+            formats,
+            target,
+            inherit: InheritAst::None,
+        })
+    }
+
+    fn opt_target(&mut self) -> Result<Option<TargetAst>, FrontendError> {
+        if !self.eat_keyword("TO") {
+            return Ok(None);
+        }
+        let name = self.expect_ident()?;
+        let section = if *self.peek() == Tok::LParen {
+            self.bump();
+            let s = self.section_dims()?;
+            self.expect(Tok::RParen)?;
+            Some(s)
+        } else {
+            None
+        };
+        Ok(Some(TargetAst { name, section }))
+    }
+
+    fn format_list(&mut self) -> Result<Vec<FormatAst>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            let f = match self.peek().clone() {
+                Tok::Colon => {
+                    self.bump();
+                    FormatAst::Colon
+                }
+                Tok::Ident(kw) => match kw.as_str() {
+                    "BLOCK" => {
+                        self.bump();
+                        FormatAst::Block
+                    }
+                    "BLOCK_BALANCED" => {
+                        self.bump();
+                        FormatAst::BlockBalanced
+                    }
+                    "CYCLIC" => {
+                        self.bump();
+                        if *self.peek() == Tok::LParen {
+                            self.bump();
+                            let e = self.expr()?;
+                            self.expect(Tok::RParen)?;
+                            FormatAst::Cyclic(Some(e))
+                        } else {
+                            FormatAst::Cyclic(None)
+                        }
+                    }
+                    "GENERAL_BLOCK" | "INDIRECT" => {
+                        let indirect = kw == "INDIRECT";
+                        self.bump();
+                        self.expect(Tok::LParen)?;
+                        // accept (/ e1, e2 /) array constructors too
+                        let slashed = *self.peek() == Tok::Slash;
+                        if slashed {
+                            self.bump();
+                        }
+                        let mut es = vec![self.expr()?];
+                        while *self.peek() == Tok::Comma {
+                            self.bump();
+                            es.push(self.expr()?);
+                        }
+                        if slashed {
+                            self.expect(Tok::Slash)?;
+                        }
+                        self.expect(Tok::RParen)?;
+                        if indirect {
+                            FormatAst::Indirect(es)
+                        } else {
+                            FormatAst::GeneralBlock(es)
+                        }
+                    }
+                    other => {
+                        return self.err(format!("unknown distribution format `{other}`"))
+                    }
+                },
+                other => {
+                    return self.err(format!("expected distribution format, found `{other}`"))
+                }
+            };
+            out.push(f);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `ALIGN A(axes) WITH B(subs)` (axes optional: `ALIGN A WITH B`).
+    fn align(&mut self, realign: bool) -> Result<Stmt, FrontendError> {
+        let alignee = self.expect_ident()?;
+        let mut axes = Vec::new();
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            loop {
+                let ax = match self.peek().clone() {
+                    Tok::Colon => {
+                        self.bump();
+                        AxisAst::Colon
+                    }
+                    Tok::Star => {
+                        self.bump();
+                        AxisAst::Star
+                    }
+                    Tok::Ident(n) => {
+                        self.bump();
+                        AxisAst::Dummy(n)
+                    }
+                    other => {
+                        return self.err(format!("expected alignee axis, found `{other}`"))
+                    }
+                };
+                axes.push(ax);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        if !self.eat_keyword("WITH") {
+            return self.err("expected `WITH` in ALIGN directive");
+        }
+        let base = self.expect_ident()?;
+        let mut subscripts = Vec::new();
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            loop {
+                subscripts.push(self.base_subscript()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        self.end_stmt()?;
+        Ok(Stmt::Align { realign, alignee, axes, base, subscripts })
+    }
+
+    fn base_subscript(&mut self) -> Result<BaseSubAst, FrontendError> {
+        // `*` alone
+        if *self.peek() == Tok::Star
+            && matches!(self.peek2(), Tok::Comma | Tok::RParen)
+        {
+            self.bump();
+            return Ok(BaseSubAst::Star);
+        }
+        // leading colon → triplet with default lower
+        if *self.peek() == Tok::Colon || *self.peek() == Tok::DoubleColon {
+            return self.triplet_tail(None).map(|(l, u, s)| BaseSubAst::Triplet {
+                lower: l,
+                upper: u,
+                stride: s,
+            });
+        }
+        let first = self.expr()?;
+        if *self.peek() == Tok::Colon || *self.peek() == Tok::DoubleColon {
+            return self
+                .triplet_tail(Some(first))
+                .map(|(l, u, s)| BaseSubAst::Triplet { lower: l, upper: u, stride: s });
+        }
+        Ok(BaseSubAst::Expr(first))
+    }
+
+    /// Parse from the first `:` of a triplet; `lower` already consumed.
+    fn triplet_tail(
+        &mut self,
+        lower: Option<Expr>,
+    ) -> Result<(Option<Expr>, Option<Expr>, Option<Expr>), FrontendError> {
+        // current token is Colon or DoubleColon
+        let double = *self.peek() == Tok::DoubleColon;
+        self.bump();
+        if double {
+            // `l::s` — no upper, stride follows (or nothing: `l::` invalid)
+            let stride = self.triplet_part()?;
+            return Ok((lower, None, stride));
+        }
+        let upper = self.triplet_part()?;
+        let stride = if *self.peek() == Tok::Colon {
+            self.bump();
+            self.triplet_part()?
+        } else {
+            None
+        };
+        Ok((lower, upper, stride))
+    }
+
+    fn triplet_part(&mut self) -> Result<Option<Expr>, FrontendError> {
+        match self.peek() {
+            Tok::Comma | Tok::RParen | Tok::Colon => Ok(None),
+            _ => Ok(Some(self.expr()?)),
+        }
+    }
+
+    fn section_dims(&mut self) -> Result<Vec<SectionDimAst>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            let d = if *self.peek() == Tok::Colon || *self.peek() == Tok::DoubleColon {
+                let (l, u, s) = self.triplet_tail(None)?;
+                SectionDimAst::Triplet { lower: l, upper: u, stride: s }
+            } else {
+                let first = self.expr()?;
+                if *self.peek() == Tok::Colon || *self.peek() == Tok::DoubleColon {
+                    let (l, u, s) = self.triplet_tail(Some(first))?;
+                    SectionDimAst::Triplet { lower: l, upper: u, stride: s }
+                } else {
+                    SectionDimAst::Scalar(first)
+                }
+            };
+            out.push(d);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn array_ref(&mut self) -> Result<ArrayRef, FrontendError> {
+        let name = self.expect_ident()?;
+        let section = if *self.peek() == Tok::LParen {
+            self.bump();
+            let s = self.section_dims()?;
+            self.expect(Tok::RParen)?;
+            Some(s)
+        } else {
+            None
+        };
+        Ok(ArrayRef { name, section })
+    }
+
+    fn array_assignment(&mut self) -> Result<Stmt, FrontendError> {
+        let lhs = self.array_ref()?;
+        self.expect(Tok::Equals)?;
+        let mut terms = vec![self.array_ref()?];
+        while *self.peek() == Tok::Plus {
+            self.bump();
+            terms.push(self.array_ref()?);
+        }
+        self.end_stmt()?;
+        Ok(Stmt::ArrayAssign { lhs, terms })
+    }
+
+    fn declaration(&mut self, ty: String) -> Result<Stmt, FrontendError> {
+        self.bump(); // the type keyword
+        if ty == "DOUBLE" {
+            // DOUBLE PRECISION
+            self.eat_keyword("PRECISION");
+        }
+        let mut allocatable = false;
+        let mut dimension = None;
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            let attr = self.expect_ident()?;
+            match attr.as_str() {
+                "ALLOCATABLE" => allocatable = true,
+                "DIMENSION" => {
+                    self.expect(Tok::LParen)?;
+                    dimension = Some(self.dim_decl_list()?);
+                    self.expect(Tok::RParen)?;
+                }
+                "PARAMETER" => {
+                    // INTEGER, PARAMETER :: N = 5, M = 6
+                    self.expect(Tok::DoubleColon)?;
+                    let mut pairs = Vec::new();
+                    loop {
+                        let name = self.expect_ident()?;
+                        self.expect(Tok::Equals)?;
+                        pairs.push((name, self.expr()?));
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.end_stmt()?;
+                    return Ok(Stmt::Parameter(pairs));
+                }
+                other => return self.err(format!("unknown attribute `{other}`")),
+            }
+        }
+        if *self.peek() == Tok::DoubleColon {
+            self.bump();
+        }
+        let mut entities = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let dims = if *self.peek() == Tok::LParen {
+                self.bump();
+                let d = self.dim_decl_list()?;
+                self.expect(Tok::RParen)?;
+                Some(d)
+            } else {
+                None
+            };
+            entities.push(Entity { name, dims });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.end_stmt()?;
+        Ok(Stmt::Declaration { ty, allocatable, dimension, entities })
+    }
+
+    fn dim_decl_list(&mut self) -> Result<Vec<DimDecl>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            let d = if *self.peek() == Tok::Colon {
+                self.bump();
+                DimDecl::Deferred
+            } else {
+                let first = self.expr()?;
+                if *self.peek() == Tok::Colon {
+                    self.bump();
+                    let upper = self.expr()?;
+                    DimDecl::Explicit { lower: Some(first), upper }
+                } else {
+                    DimDecl::Explicit { lower: None, upper: first }
+                }
+            };
+            out.push(d);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name_list(&mut self) -> Result<Vec<String>, FrontendError> {
+        let mut out = vec![self.expect_ident()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            out.push(self.expect_ident()?);
+        }
+        Ok(out)
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.term()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    e = Expr::Add(Box::new(e), Box::new(self.term()?));
+                }
+                Tok::Minus => {
+                    self.bump();
+                    e = Expr::Sub(Box::new(e), Box::new(self.term()?));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.factor()?;
+        loop {
+            match self.peek() {
+                Tok::Star => {
+                    self.bump();
+                    e = Expr::Mul(Box::new(e), Box::new(self.factor()?));
+                }
+                Tok::Slash => {
+                    self.bump();
+                    e = Expr::Div(Box::new(e), Box::new(self.factor()?));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "MAX" | "MIN" => {
+                        self.expect(Tok::LParen)?;
+                        let a = self.expr()?;
+                        self.expect(Tok::Comma)?;
+                        let b = self.expr()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(if name == "MAX" {
+                            Expr::Max(Box::new(a), Box::new(b))
+                        } else {
+                            Expr::Min(Box::new(a), Box::new(b))
+                        })
+                    }
+                    "LBOUND" | "UBOUND" | "SIZE" => {
+                        self.expect(Tok::LParen)?;
+                        let arr = self.expect_ident()?;
+                        self.expect(Tok::Comma)?;
+                        let dim = self.expr()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(match name.as_str() {
+                            "LBOUND" => Expr::LBound(arr, Box::new(dim)),
+                            "UBOUND" => Expr::UBound(arr, Box::new(dim)),
+                            _ => Expr::Size(arr, Box::new(dim)),
+                        })
+                    }
+                    _ => Ok(Expr::Name(name)),
+                }
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let f = parse(src).unwrap();
+        assert_eq!(f.main.stmts.len(), 1, "{:?}", f.main.stmts);
+        f.main.stmts[0].stmt.clone()
+    }
+
+    #[test]
+    fn paper_distribute_examples() {
+        // §4's four example directives
+        match one("!HPF$ DISTRIBUTE A(BLOCK)") {
+            Stmt::Distribute { distributees, formats, target, .. } => {
+                assert_eq!(distributees, vec!["A"]);
+                assert_eq!(formats, vec![FormatAst::Block]);
+                assert!(target.is_none());
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("!HPF$ DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)") {
+            Stmt::Distribute { formats, target, .. } => {
+                assert_eq!(formats, vec![FormatAst::Cyclic(None)]);
+                let t = target.unwrap();
+                assert_eq!(t.name, "Q");
+                assert!(t.section.is_some());
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("!HPF$ DISTRIBUTE C(GENERAL_BLOCK(S))") {
+            Stmt::Distribute { formats, .. } => {
+                assert!(matches!(&formats[0], FormatAst::GeneralBlock(v) if v.len() == 1));
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("!HPF$ DISTRIBUTE (BLOCK, :) :: E,F") {
+            Stmt::Distribute { distributees, formats, .. } => {
+                assert_eq!(distributees, vec!["E", "F"]);
+                assert_eq!(formats, vec![FormatAst::Block, FormatAst::Colon]);
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn inherit_forms() {
+        match one("!HPF$ DISTRIBUTE A *") {
+            Stmt::Distribute { inherit, formats, .. } => {
+                assert_eq!(inherit, InheritAst::Inherit);
+                assert!(formats.is_empty());
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("!HPF$ DISTRIBUTE X *(CYCLIC(3))") {
+            Stmt::Distribute { inherit, formats, .. } => {
+                assert_eq!(inherit, InheritAst::InheritMatching);
+                assert_eq!(formats.len(), 1);
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn align_directives() {
+        match one("!HPF$ ALIGN P(I,J) WITH T(2*I-1,2*J-1)") {
+            Stmt::Align { alignee, axes, base, subscripts, realign } => {
+                assert!(!realign);
+                assert_eq!(alignee, "P");
+                assert_eq!(axes, vec![AxisAst::Dummy("I".into()), AxisAst::Dummy("J".into())]);
+                assert_eq!(base, "T");
+                assert_eq!(subscripts.len(), 2);
+                assert!(matches!(subscripts[0], BaseSubAst::Expr(_)));
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("!HPF$ ALIGN A(:) WITH D(:,*)") {
+            Stmt::Align { axes, subscripts, .. } => {
+                assert_eq!(axes, vec![AxisAst::Colon]);
+                assert!(matches!(subscripts[0], BaseSubAst::Triplet { .. }));
+                assert_eq!(subscripts[1], BaseSubAst::Star);
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)") {
+            Stmt::Align { realign, subscripts, .. } => {
+                assert!(realign);
+                match &subscripts[0] {
+                    BaseSubAst::Triplet { lower: Some(_), upper: None, stride: Some(_) } => {}
+                    s => panic!("{s:?}"),
+                }
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn template_directive_rejected_with_guidance() {
+        let err = parse("!HPF$ TEMPLATE T(100,100)").unwrap_err();
+        assert!(matches!(err, FrontendError::TemplateDirective { line: 1 }));
+        assert!(err.to_string().contains("§8"));
+    }
+
+    #[test]
+    fn declarations() {
+        match one("REAL U(0:N,1:N), P(N,N)") {
+            Stmt::Declaration { ty, allocatable, entities, .. } => {
+                assert_eq!(ty, "REAL");
+                assert!(!allocatable);
+                assert_eq!(entities.len(), 2);
+                assert_eq!(entities[0].name, "U");
+                let dims = entities[0].dims.as_ref().unwrap();
+                assert!(matches!(
+                    &dims[0],
+                    DimDecl::Explicit { lower: Some(Expr::Int(0)), .. }
+                ));
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("REAL, ALLOCATABLE :: A(:,:), C(:)") {
+            Stmt::Declaration { allocatable, entities, .. } => {
+                assert!(allocatable);
+                assert_eq!(entities[0].dims.as_ref().unwrap().len(), 2);
+                assert!(matches!(entities[0].dims.as_ref().unwrap()[0], DimDecl::Deferred));
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("REAL, ALLOCATABLE, DIMENSION(:) :: C, D") {
+            Stmt::Declaration { dimension, entities, .. } => {
+                assert_eq!(dimension.unwrap().len(), 1);
+                assert_eq!(entities.len(), 2);
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn parameters() {
+        match one("PARAMETER (N = 64, NOP = 8)") {
+            Stmt::Parameter(pairs) => {
+                assert_eq!(pairs.len(), 2);
+                assert_eq!(pairs[0].0, "N");
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("INTEGER, PARAMETER :: M = 3") {
+            Stmt::Parameter(pairs) => assert_eq!(pairs[0], ("M".into(), Expr::Int(3))),
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn allocate_deallocate_read() {
+        match one("ALLOCATE(A(N*M,N*M))") {
+            Stmt::Allocate(v) => {
+                assert_eq!(v[0].0, "A");
+                assert_eq!(v[0].1.len(), 2);
+            }
+            s => panic!("{s:?}"),
+        }
+        assert_eq!(one("DEALLOCATE(B)"), Stmt::Deallocate(vec!["B".into()]));
+        assert_eq!(
+            one("READ 6,M,N"),
+            Stmt::Read(vec!["M".into(), "N".into()])
+        );
+    }
+
+    #[test]
+    fn call_with_section() {
+        match one("CALL SUB(A(2:996:2))") {
+            Stmt::Call { name, args } => {
+                assert_eq!(name, "SUB");
+                let sec = args[0].section.as_ref().unwrap();
+                assert!(matches!(
+                    &sec[0],
+                    SectionDimAst::Triplet {
+                        lower: Some(Expr::Int(2)),
+                        upper: Some(Expr::Int(996)),
+                        stride: Some(Expr::Int(2))
+                    }
+                ));
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn array_assignment_statement() {
+        // the §8.1.1 statement
+        match one("P=U(0:N-1,:)+U(1:N,:)+V(:,0:N-1)+V(:,1:N)") {
+            Stmt::ArrayAssign { lhs, terms } => {
+                assert_eq!(lhs.name, "P");
+                assert!(lhs.section.is_none());
+                assert_eq!(terms.len(), 4);
+                assert_eq!(terms[0].name, "U");
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn subroutine_units() {
+        let src = "
+PROGRAM MAIN
+REAL A(1000)
+CALL SUB(A(2:996:2))
+END
+SUBROUTINE SUB(X)
+REAL X(:)
+!HPF$ DISTRIBUTE X *
+END
+";
+        let f = parse(src).unwrap();
+        assert_eq!(f.main.name, "MAIN");
+        assert_eq!(f.main.stmts.len(), 2);
+        assert_eq!(f.subroutines.len(), 1);
+        assert_eq!(f.subroutines[0].name, "SUB");
+        assert_eq!(f.subroutines[0].dummies, vec!["X"]);
+        assert_eq!(f.subroutines[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn expressions_with_intrinsics() {
+        match one("!HPF$ ALIGN X(I) WITH A(MIN(2*I, UBOUND(A,1)))") {
+            Stmt::Align { subscripts, .. } => {
+                assert!(matches!(&subscripts[0], BaseSubAst::Expr(Expr::Min(_, _))));
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_directive() {
+        assert_eq!(
+            one("!HPF$ DYNAMIC B,C"),
+            Stmt::Dynamic(vec!["B".into(), "C".into()])
+        );
+        assert_eq!(one("!HPF$ DYNAMIC :: B"), Stmt::Dynamic(vec!["B".into()]));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(parse("!HPF$ FROBNICATE A").is_err());
+    }
+}

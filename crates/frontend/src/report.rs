@@ -1,0 +1,195 @@
+use hpf_core::{ArrayId, CallReport};
+use hpf_index::Section;
+use std::fmt;
+
+/// One elaboration event — the narrative of what the directives did.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A processor arrangement was declared.
+    Processors {
+        /// Arrangement name.
+        name: String,
+        /// Shape rendering (empty for scalar arrangements).
+        shape: String,
+    },
+    /// An array was declared.
+    Declared {
+        /// Array name.
+        name: String,
+        /// Domain rendering (`<deferred>` for unallocated allocatables).
+        domain: String,
+        /// `ALLOCATABLE` attribute.
+        allocatable: bool,
+    },
+    /// A `DISTRIBUTE` directive was applied (or recorded, for
+    /// allocatables).
+    Distributed {
+        /// Distributee.
+        name: String,
+        /// Directive rendering.
+        spec: String,
+    },
+    /// An `ALIGN` directive was applied (or recorded).
+    Aligned {
+        /// Alignee.
+        alignee: String,
+        /// Base.
+        base: String,
+    },
+    /// `DYNAMIC` was granted.
+    Dynamic(String),
+    /// An `ALLOCATE` executed.
+    Allocated {
+        /// Array.
+        name: String,
+        /// The allocated domain.
+        domain: String,
+    },
+    /// A `DEALLOCATE` executed.
+    Deallocated {
+        /// Array.
+        name: String,
+        /// Former alignees promoted to primaries (§6).
+        promoted: Vec<String>,
+    },
+    /// A `REDISTRIBUTE` executed.
+    Redistributed {
+        /// Array.
+        name: String,
+        /// Elements whose owner changed.
+        moved: usize,
+    },
+    /// A `REALIGN` executed.
+    Realigned {
+        /// Alignee.
+        alignee: String,
+        /// New base.
+        base: String,
+        /// Elements whose owner changed.
+        moved: usize,
+    },
+    /// A `READ` bound an input value.
+    Read {
+        /// Name.
+        name: String,
+        /// Value.
+        value: i64,
+    },
+    /// A `CALL` completed, with its §7 remap accounting.
+    Call(CallReport),
+    /// An array assignment was recognized (to be executed by the runtime).
+    Assignment(AssignEvent),
+}
+
+/// An array-assignment statement in resolved form: array ids plus concrete
+/// sections, ready to hand to `hpf-runtime`.
+#[derive(Debug, Clone)]
+pub struct AssignEvent {
+    /// LHS array name.
+    pub lhs_name: String,
+    /// LHS array id in the elaborated space.
+    pub lhs: ArrayId,
+    /// LHS section.
+    pub lhs_section: Section,
+    /// RHS terms: `(name, id, section)`.
+    pub terms: Vec<(String, ArrayId, Section)>,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Processors { name, shape } => write!(f, "PROCESSORS {name}{shape}"),
+            Event::Declared { name, domain, allocatable } => {
+                write!(f, "declare {name}{domain}")?;
+                if *allocatable {
+                    write!(f, " ALLOCATABLE")?;
+                }
+                Ok(())
+            }
+            Event::Distributed { name, spec } => write!(f, "DISTRIBUTE {name} {spec}"),
+            Event::Aligned { alignee, base } => write!(f, "ALIGN {alignee} WITH {base}"),
+            Event::Dynamic(n) => write!(f, "DYNAMIC {n}"),
+            Event::Allocated { name, domain } => write!(f, "ALLOCATE {name}{domain}"),
+            Event::Deallocated { name, promoted } => {
+                write!(f, "DEALLOCATE {name}")?;
+                if !promoted.is_empty() {
+                    write!(f, " (promoted to primary: {})", promoted.join(", "))?;
+                }
+                Ok(())
+            }
+            Event::Redistributed { name, moved } => {
+                write!(f, "REDISTRIBUTE {name} ({moved} elements moved)")
+            }
+            Event::Realigned { alignee, base, moved } => {
+                write!(f, "REALIGN {alignee} WITH {base} ({moved} elements moved)")
+            }
+            Event::Read { name, value } => write!(f, "READ {name} = {value}"),
+            Event::Call(r) => {
+                write!(f, "CALL {} ({} elements moved across boundary)", r.procedure, r.total_volume())
+            }
+            Event::Assignment(a) => {
+                write!(f, "{}{} = ", a.lhs_name, a.lhs_section)?;
+                for (k, (n, _, s)) in a.terms.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{n}{s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The full elaboration narrative.
+#[derive(Debug, Clone, Default)]
+pub struct ElaborationReport {
+    /// Events in program order.
+    pub events: Vec<Event>,
+}
+
+impl ElaborationReport {
+    /// All recognized array assignments, in order.
+    pub fn assignments(&self) -> Vec<&AssignEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Assignment(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All completed calls.
+    pub fn calls(&self) -> Vec<&CallReport> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total elements moved by dynamic remapping (REDISTRIBUTE + REALIGN +
+    /// procedure boundaries).
+    pub fn total_remap_volume(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Redistributed { moved, .. } | Event::Realigned { moved, .. } => *moved,
+                Event::Call(r) => r.total_volume(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for ElaborationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// A lexical token of the directive sub-language.
+///
+/// Fortran is case-insensitive: the lexer uppercases identifiers, so
+/// keywords compare as uppercase strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (uppercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    DoubleColon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Equals,
+    /// The `!HPF$` sigil introducing a directive line.
+    Directive,
+    /// End of statement (line break).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::DoubleColon => write!(f, "::"),
+            Tok::Star => write!(f, "*"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Equals => write!(f, "="),
+            Tok::Directive => write!(f, "!HPF$"),
+            Tok::Newline => write!(f, "<newline>"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based), for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line number.
+    pub line: usize,
+}

@@ -1,0 +1,136 @@
+//! Differential testing: programs generated from random mapping specs must
+//! elaborate to exactly the owner maps the programmatic `hpf-core` API
+//! produces for the same specs.
+
+use hpf_core::{
+    AlignExpr, AlignSpec, DataSpace, DistributeSpec, FormatSpec,
+};
+use hpf_frontend::Elaborator;
+use hpf_index::{Idx, IndexDomain};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GenCase {
+    n: i64,
+    np: usize,
+    fmt: u8,
+    k: u64,
+    align_a: i64,
+    align_c: i64,
+}
+
+fn arb_case() -> impl Strategy<Value = GenCase> {
+    (4i64..60, 2usize..8, 0u8..4, 1u64..5, 1i64..3, 0i64..6).prop_map(
+        |(n, np, fmt, k, align_a, align_c)| GenCase { n, np, fmt, k, align_a, align_c },
+    )
+}
+
+fn fmt_directive(fmt: u8, k: u64) -> String {
+    match fmt {
+        0 => "BLOCK".into(),
+        1 => "BLOCK_BALANCED".into(),
+        2 => "CYCLIC".into(),
+        _ => format!("CYCLIC({k})"),
+    }
+}
+
+fn fmt_spec(fmt: u8, k: u64) -> FormatSpec {
+    match fmt {
+        0 => FormatSpec::Block,
+        1 => FormatSpec::BlockBalanced,
+        2 => FormatSpec::Cyclic(1),
+        _ => FormatSpec::Cyclic(k),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Source text generated from the spec elaborates to the same owners
+    /// as driving `DataSpace` directly.
+    #[test]
+    fn frontend_matches_api(case in arb_case()) {
+        let base_n = case.align_a * case.n + case.align_c;
+        // --- through the directive language ---
+        let src = format!(
+            r#"
+      PARAMETER (N = {n}, M = {base_n})
+      REAL B(M), A(N)
+!HPF$ PROCESSORS P({np})
+!HPF$ DISTRIBUTE B({fmt}) TO P
+!HPF$ ALIGN A(I) WITH B({a}*I + {c})
+      END
+"#,
+            n = case.n,
+            base_n = base_n,
+            np = case.np,
+            fmt = fmt_directive(case.fmt, case.k),
+            a = case.align_a,
+            c = case.align_c,
+        );
+        let elab = Elaborator::new(case.np).run(&src).unwrap();
+        let (fa, fb) = (elab.array("A").unwrap(), elab.array("B").unwrap());
+
+        // --- through the programmatic API ---
+        let mut ds = DataSpace::new(case.np);
+        ds.declare_processors("P", IndexDomain::of_shape(&[case.np]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::standard(&[(1, base_n)]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::standard(&[(1, case.n)]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::to(vec![fmt_spec(case.fmt, case.k)], "P"))
+            .unwrap();
+        ds.align(
+            a,
+            b,
+            &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * case.align_a + case.align_c]),
+        )
+        .unwrap();
+
+        for i in 1..=case.n {
+            prop_assert_eq!(
+                elab.space.owners(fa, &Idx::d1(i)).unwrap(),
+                ds.owners(a, &Idx::d1(i)).unwrap(),
+                "A({}) differs", i
+            );
+        }
+        for i in 1..=base_n {
+            prop_assert_eq!(
+                elab.space.owners(fb, &Idx::d1(i)).unwrap(),
+                ds.owners(b, &Idx::d1(i)).unwrap(),
+                "B({}) differs", i
+            );
+        }
+    }
+
+    /// The same for REDISTRIBUTE: a generated dynamic program tracks the
+    /// API's forest evolution.
+    #[test]
+    fn dynamic_program_matches_api(case in arb_case(), fmt2 in 0u8..4) {
+        let src = format!(
+            r#"
+      REAL X({n})
+!HPF$ DYNAMIC X
+!HPF$ DISTRIBUTE X({f1})
+!HPF$ REDISTRIBUTE X({f2})
+      END
+"#,
+            n = case.n,
+            f1 = fmt_directive(case.fmt, case.k),
+            f2 = fmt_directive(fmt2, case.k + 1),
+        );
+        let elab = Elaborator::new(case.np).run(&src).unwrap();
+        let fx = elab.array("X").unwrap();
+
+        let mut ds = DataSpace::new(case.np);
+        let x = ds.declare("X", IndexDomain::standard(&[(1, case.n)]).unwrap()).unwrap();
+        ds.set_dynamic(x);
+        ds.distribute(x, &DistributeSpec::new(vec![fmt_spec(case.fmt, case.k)])).unwrap();
+        ds.redistribute(x, &DistributeSpec::new(vec![fmt_spec(fmt2, case.k + 1)])).unwrap();
+
+        for i in 1..=case.n {
+            prop_assert_eq!(
+                elab.space.owners(fx, &Idx::d1(i)).unwrap(),
+                ds.owners(x, &Idx::d1(i)).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Parser robustness: arbitrary input never panics, diagnostics carry
+//! line numbers, and a corpus of realistic-but-wrong programs produces the
+//! intended errors.
+
+use hpf_frontend::{lex, parse, Elaborator, FrontendError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer never panics on arbitrary bytes-as-strings.
+    #[test]
+    fn lexer_total(src in "\\PC*") {
+        let _ = lex(&src);
+    }
+
+    /// The parser never panics on arbitrary ASCII-ish source soup.
+    #[test]
+    fn parser_total(src in "[A-Za-z0-9 ,():*+=!$\\n-]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// The full elaborator never panics either.
+    #[test]
+    fn elaborator_total(src in "[A-Za-z0-9 ,():*+=!$\\n-]{0,160}") {
+        let _ = Elaborator::new(4).run(&src);
+    }
+
+    /// Directive soup built from real keywords also never panics.
+    #[test]
+    fn directive_soup(parts in prop::collection::vec(
+        prop_oneof![
+            Just("!HPF$ "), Just("DISTRIBUTE "), Just("ALIGN "), Just("WITH "),
+            Just("PROCESSORS "), Just("REALIGN "), Just("DYNAMIC "), Just("TO "),
+            Just("BLOCK"), Just("CYCLIC"), Just("A"), Just("B"), Just("("),
+            Just(")"), Just(","), Just(":"), Just("*"), Just("\n"), Just("1"),
+            Just("REAL "), Just("ALLOCATE"), Just("END"),
+        ], 0..40))
+    {
+        let src: String = parts.concat();
+        let _ = Elaborator::new(2).run(&src);
+    }
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let src = "REAL A(4)\nREAL B(4)\n!HPF$ DISTRIBUTE C(BLOCK)\n";
+    match Elaborator::new(2).run(src) {
+        Err(FrontendError::Undeclared { line, name }) => {
+            assert_eq!(line, 3);
+            assert_eq!(name, "C");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn error_corpus() {
+    let np = 4;
+    let cases: Vec<(&str, &str)> = vec![
+        // (source, substring expected in the error message)
+        ("!HPF$ DISTRIBUTE (BLOCK) :: ", "expected identifier"),
+        ("!HPF$ ALIGN A(:) B(:)", "WITH"),
+        ("REAL A(4)\n!HPF$ ALIGN A(:,:) WITH A(:)", "cannot be aligned to itself"),
+        ("REAL A(4), B(2,2)\n!HPF$ ALIGN A(:,:) WITH B(:,:)", "rank"),
+        ("REAL A(4)\n!HPF$ DISTRIBUTE A(BLOCK, BLOCK)", "rank"),
+        ("REAL A(4)\n!HPF$ DISTRIBUTE A(CYCLIC(0))", "CYCLIC"),
+        ("PARAMETER (N = 1/0)", "division by zero"),
+        ("REAL A(N)", "unknown parameter"),
+        ("!HPF$ TEMPLATE T(8)", "TEMPLATE"),
+        ("CALL NOPE()", "unknown subroutine"),
+        ("REAL A(4)\nALLOCATE(A(4))", "ALLOCATABLE"),
+        ("REAL, ALLOCATABLE :: W(:)\nDEALLOCATE(W)", "not currently allocated"),
+    ];
+    for (src, needle) in cases {
+        let err = Elaborator::new(np).run(src).expect_err(src);
+        let msg = err.to_string();
+        assert!(
+            msg.to_lowercase().contains(&needle.to_lowercase()),
+            "source {src:?}: expected {needle:?} in {msg:?}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_ok() {
+    // deep but sane nesting parses fine
+    let mut expr = String::from("1");
+    for _ in 0..40 {
+        expr = format!("({expr}+1)");
+    }
+    let src = format!("PARAMETER (N = {expr})\nREAL A(N)\nEND");
+    let elab = Elaborator::new(2).run(&src).unwrap();
+    assert!(elab.array("A").is_some());
+}
+
+#[test]
+fn comments_and_blank_lines_everywhere() {
+    let src = r#"
+
+! leading comment
+      PROGRAM T   ! trailing on program
+
+      REAL A(8)   ! decl comment
+! comment between
+!HPF$ DISTRIBUTE A(BLOCK)   ! directive comment
+
+      END ! the end
+"#;
+    let elab = Elaborator::new(2).run(src).unwrap();
+    assert!(elab.array("A").is_some());
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors raised by index-domain and section operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A subscript triplet was built with stride 0, which Fortran 90 forbids.
+    ZeroStride,
+    /// An operation combined objects of different rank.
+    RankMismatch {
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank actually supplied.
+        found: usize,
+    },
+    /// Rank exceeds [`crate::MAX_RANK`] (the Fortran 90 limit of 7).
+    RankTooHigh(usize),
+    /// A subscript tuple lies outside the index domain it was used with.
+    OutOfBounds {
+        /// Dimension (0-based) at which the violation occurred.
+        dim: usize,
+        /// The offending subscript value.
+        value: i64,
+    },
+    /// A section does not fit within the domain it sections.
+    SectionOutOfBounds {
+        /// Dimension (0-based) at which the violation occurred.
+        dim: usize,
+    },
+    /// Arithmetic overflow in an index computation.
+    Overflow,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::ZeroStride => write!(f, "subscript triplet stride must be nonzero"),
+            IndexError::RankMismatch { expected, found } => {
+                write!(f, "rank mismatch: expected {expected}, found {found}")
+            }
+            IndexError::RankTooHigh(r) => {
+                write!(f, "rank {r} exceeds the Fortran 90 maximum of {}", crate::MAX_RANK)
+            }
+            IndexError::OutOfBounds { dim, value } => {
+                write!(f, "subscript {value} out of bounds in dimension {}", dim + 1)
+            }
+            IndexError::SectionOutOfBounds { dim } => {
+                write!(f, "section exceeds array bounds in dimension {}", dim + 1)
+            }
+            IndexError::Overflow => write!(f, "arithmetic overflow in index computation"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}

@@ -1,0 +1,158 @@
+//! Integer number theory needed for strided-set intersection.
+//!
+//! Intersecting two subscript triplets is exactly the problem of solving a
+//! pair of simultaneous congruences over a bounded interval, so the crate
+//! carries a small, exact (i128-based) CRT solver.
+
+/// Greatest common divisor (non-negative result; `gcd(0, 0) == 0`).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Least common multiple computed in `i128` to avoid intermediate overflow.
+///
+/// Returns `None` if the result does not fit in `i64` or both inputs are 0.
+pub fn lcm(a: i64, b: i64) -> Option<i64> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    let g = gcd(a, b) as i128;
+    let l = (a as i128 / g) * b as i128;
+    let l = l.abs();
+    i64::try_from(l).ok()
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)` (`g ≥ 0`).
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        (old_r, old_s, old_t) = (-old_r, -old_s, -old_t);
+    }
+    (old_r as i64, old_s as i64, old_t as i64)
+}
+
+/// Solve `x ≡ r1 (mod m1)` and `x ≡ r2 (mod m2)` for positive moduli.
+///
+/// Returns `Some((x0, l))` where `l = lcm(m1, m2)` and `x0` is the unique
+/// solution with `0 ≤ x0 < l`, or `None` if the congruences are
+/// incompatible (i.e. `gcd(m1, m2)` does not divide `r1 − r2`).
+pub fn solve_crt(r1: i64, m1: i64, r2: i64, m2: i64) -> Option<(i64, i64)> {
+    debug_assert!(m1 > 0 && m2 > 0);
+    let (g, p, _q) = extended_gcd(m1, m2);
+    let diff = r2 as i128 - r1 as i128;
+    if diff % g as i128 != 0 {
+        return None;
+    }
+    let l = lcm(m1, m2)?;
+    // x = r1 + m1 * (diff/g) * p  (mod lcm)
+    let m1_i = m1 as i128;
+    let l_i = l as i128;
+    let k = (diff / g as i128) % (l_i / m1_i);
+    let mut x = (r1 as i128 + m1_i * ((k * p as i128) % (l_i / m1_i))) % l_i;
+    if x < 0 {
+        x += l_i;
+    }
+    debug_assert_eq!((x - r1 as i128).rem_euclid(m1 as i128), 0);
+    debug_assert_eq!((x - r2 as i128).rem_euclid(m2 as i128), 0);
+    Some((x as i64, l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(7, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(-4, 6), Some(12));
+        assert_eq!(lcm(0, 6), None);
+        assert_eq!(lcm(i64::MAX, 2), None); // overflow
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for (a, b) in [(12, 18), (-12, 18), (7, 13), (100, 0), (0, 0), (-5, -10)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a as i128 * x as i128 + b as i128 * y as i128, g as i128);
+        }
+    }
+
+    #[test]
+    fn crt_coprime() {
+        // x ≡ 2 (mod 3), x ≡ 3 (mod 5) → x ≡ 8 (mod 15)
+        assert_eq!(solve_crt(2, 3, 3, 5), Some((8, 15)));
+    }
+
+    #[test]
+    fn crt_non_coprime_compatible() {
+        // x ≡ 2 (mod 4), x ≡ 6 (mod 8) → x ≡ 6 (mod 8)
+        assert_eq!(solve_crt(2, 4, 6, 8), Some((6, 8)));
+    }
+
+    #[test]
+    fn crt_incompatible() {
+        // x ≡ 1 (mod 2), x ≡ 0 (mod 4) has no solution
+        assert_eq!(solve_crt(1, 2, 0, 4), None);
+    }
+
+    #[test]
+    fn crt_negative_residues() {
+        let (x, l) = solve_crt(-1, 3, -2, 5).unwrap();
+        assert_eq!(l, 15);
+        assert!((0..15).contains(&x));
+        assert_eq!((x - (-1)).rem_euclid(3), 0);
+        assert_eq!((x - (-2)).rem_euclid(5), 0);
+    }
+
+    #[test]
+    fn crt_exhaustive_small() {
+        for m1 in 1..10i64 {
+            for m2 in 1..10i64 {
+                for r1 in 0..m1 {
+                    for r2 in 0..m2 {
+                        let brute: Vec<i64> = (0..200)
+                            .filter(|x| x % m1 == r1 && x % m2 == r2)
+                            .collect();
+                        match solve_crt(r1, m1, r2, m2) {
+                            Some((x0, l)) => {
+                                assert!(!brute.is_empty());
+                                assert_eq!(brute[0], x0 % l + if x0 % l < 0 { l } else { 0 });
+                                if brute.len() > 1 {
+                                    assert_eq!(brute[1] - brute[0], l);
+                                }
+                            }
+                            None => assert!(brute.is_empty(), "m1={m1} m2={m2} r1={r1} r2={r2}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

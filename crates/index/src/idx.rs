@@ -1,0 +1,208 @@
+use crate::IndexError;
+use std::fmt;
+use std::ops::{Deref, Index};
+
+/// Maximum rank of any index domain (the Fortran 90 limit).
+pub const MAX_RANK: usize = 7;
+
+/// An inline subscript tuple of rank ≤ [`MAX_RANK`].
+///
+/// `Idx` is the value type flowing through every per-element hot path
+/// (`owners()`, `local()`, alignment images), so it is `Copy`, lives
+/// entirely on the stack, and dereferences to `&[i64]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Idx {
+    rank: u8,
+    vals: [i64; MAX_RANK],
+}
+
+impl Idx {
+    /// The rank-0 tuple, used for scalars (§2.2: "scalars can easily be
+    /// accommodated ... by treating them as if they were associated with an
+    /// index domain consisting of exactly one element").
+    pub const SCALAR: Idx = Idx { rank: 0, vals: [0; MAX_RANK] };
+
+    /// Build from a slice. Fails if `vals.len() > MAX_RANK`.
+    pub fn new(vals: &[i64]) -> Result<Self, IndexError> {
+        if vals.len() > MAX_RANK {
+            return Err(IndexError::RankTooHigh(vals.len()));
+        }
+        let mut v = [0i64; MAX_RANK];
+        v[..vals.len()].copy_from_slice(vals);
+        Ok(Idx { rank: vals.len() as u8, vals: v })
+    }
+
+    /// Rank-1 tuple.
+    pub const fn d1(i: i64) -> Self {
+        let mut v = [0i64; MAX_RANK];
+        v[0] = i;
+        Idx { rank: 1, vals: v }
+    }
+
+    /// Rank-2 tuple.
+    pub const fn d2(i: i64, j: i64) -> Self {
+        let mut v = [0i64; MAX_RANK];
+        v[0] = i;
+        v[1] = j;
+        Idx { rank: 2, vals: v }
+    }
+
+    /// Rank-3 tuple.
+    pub const fn d3(i: i64, j: i64, k: i64) -> Self {
+        let mut v = [0i64; MAX_RANK];
+        v[0] = i;
+        v[1] = j;
+        v[2] = k;
+        Idx { rank: 3, vals: v }
+    }
+
+    /// Rank of the tuple.
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.vals[..self.rank as usize]
+    }
+
+    /// Append a component, increasing the rank by one.
+    ///
+    /// # Panics
+    /// Panics if the rank would exceed [`MAX_RANK`].
+    pub fn push(&mut self, v: i64) {
+        assert!((self.rank as usize) < MAX_RANK, "Idx rank overflow");
+        self.vals[self.rank as usize] = v;
+        self.rank += 1;
+    }
+
+    /// A copy with component `d` replaced by `v`.
+    pub fn with(&self, d: usize, v: i64) -> Idx {
+        let mut out = *self;
+        out.vals[d] = v;
+        out
+    }
+
+    /// Remove component `d`, decreasing the rank by one (used by
+    /// rank-reducing scalar subscripts in sections).
+    pub fn without(&self, d: usize) -> Idx {
+        debug_assert!(d < self.rank as usize);
+        let mut out = Idx { rank: self.rank - 1, vals: [0; MAX_RANK] };
+        let mut w = 0;
+        for (r, &v) in self.as_slice().iter().enumerate() {
+            if r != d {
+                out.vals[w] = v;
+                w += 1;
+            }
+        }
+        out
+    }
+}
+
+impl Deref for Idx {
+    type Target = [i64];
+    fn deref(&self) -> &[i64] {
+        self.as_slice()
+    }
+}
+
+impl Index<usize> for Idx {
+    type Output = i64;
+    fn index(&self, d: usize) -> &i64 {
+        &self.as_slice()[d]
+    }
+}
+
+impl fmt::Debug for Idx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Idx{self}")
+    }
+}
+
+impl fmt::Display for Idx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (d, v) in self.as_slice().iter().enumerate() {
+            if d > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<i64> for Idx {
+    fn from(i: i64) -> Idx {
+        Idx::d1(i)
+    }
+}
+
+impl From<(i64, i64)> for Idx {
+    fn from((i, j): (i64, i64)) -> Idx {
+        Idx::d2(i, j)
+    }
+}
+
+impl From<(i64, i64, i64)> for Idx {
+    fn from((i, j, k): (i64, i64, i64)) -> Idx {
+        Idx::d3(i, j, k)
+    }
+}
+
+impl<'a> TryFrom<&'a [i64]> for Idx {
+    type Error = IndexError;
+    fn try_from(s: &'a [i64]) -> Result<Idx, IndexError> {
+        Idx::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let i = Idx::new(&[3, -1, 7]).unwrap();
+        assert_eq!(i.rank(), 3);
+        assert_eq!(i[0], 3);
+        assert_eq!(i[2], 7);
+        assert_eq!(&*i, &[3, -1, 7]);
+        assert_eq!(i, Idx::d3(3, -1, 7));
+    }
+
+    #[test]
+    fn rank_limit_enforced() {
+        assert!(Idx::new(&[0; 8]).is_err());
+        assert!(Idx::new(&[0; 7]).is_ok());
+    }
+
+    #[test]
+    fn push_with_without() {
+        let mut i = Idx::d2(5, 6);
+        i.push(7);
+        assert_eq!(i, Idx::d3(5, 6, 7));
+        assert_eq!(i.with(1, 9), Idx::d3(5, 9, 7));
+        assert_eq!(i.without(1), Idx::d2(5, 7));
+        assert_eq!(i.without(0), Idx::d2(6, 7));
+    }
+
+    #[test]
+    fn scalar_rank_zero() {
+        assert_eq!(Idx::SCALAR.rank(), 0);
+        assert_eq!(Idx::SCALAR.as_slice(), &[] as &[i64]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Idx::d2(4, 5).to_string(), "(4,5)");
+        assert_eq!(Idx::SCALAR.to_string(), "()");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Idx::from(4i64), Idx::d1(4));
+        assert_eq!(Idx::from((1i64, 2i64)), Idx::d2(1, 2));
+        assert_eq!(Idx::try_from(&[1i64, 2, 3][..]).unwrap(), Idx::d3(1, 2, 3));
+    }
+}

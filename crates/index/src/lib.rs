@@ -1,0 +1,62 @@
+//! # hpf-index — index domains and regular-section algebra
+//!
+//! This crate implements §2.1 of Chapman, Mehrotra & Zima,
+//! *"High Performance Fortran Without Templates"* (PPoPP 1993):
+//!
+//! > An index domain `I` of rank (dimension) `n` is an ordered set of
+//! > subscript tuples that can be represented by a subscript-triplet-list
+//! > of length `n`. [...] `I` is called a *standard* index domain iff the
+//! > stride in each subscript triplet is 1.
+//!
+//! The crate provides:
+//!
+//! * [`Triplet`] — Fortran 90 subscript triplets `l:u:s` as explicit
+//!   arithmetic-progression sets, with full set algebra (membership,
+//!   intersection via extended gcd, affine images).
+//! * [`Idx`] — an inline, non-allocating subscript tuple of rank ≤
+//!   [`MAX_RANK`].
+//! * [`IndexDomain`] — rank-*n* index domains with Fortran column-major
+//!   linearization and iteration.
+//! * [`Section`] / [`SectionDim`] — array sections (`A(2:996:2)`,
+//!   `A(3, :)`), including rank-reducing scalar subscripts.
+//! * [`Rect`] and [`Region`] — rectilinear unions of strided boxes, the
+//!   algebra with which distribution inverses and communication sets are
+//!   computed.
+//!
+//! Everything downstream (distribution functions, alignment functions, the
+//! runtime's communication sets) is expressed in terms of these types, so
+//! their operations are written to be exact (no floating point), overflow
+//! checked via `i128` intermediates, and allocation-free on the per-element
+//! hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod error;
+mod gcd;
+mod idx;
+mod region;
+mod section;
+mod triplet;
+
+pub use domain::{ColumnMajorIter, IndexDomain};
+pub use error::IndexError;
+pub use gcd::{extended_gcd, gcd, lcm, solve_crt};
+pub use idx::{Idx, MAX_RANK};
+pub use region::{Rect, RectIter, Region};
+pub use section::{Section, SectionDim};
+pub use triplet::Triplet;
+
+/// Convenience constructor for a [`Triplet`]: `triplet(l, u, s)`.
+///
+/// # Panics
+/// Panics if `s == 0`; use [`Triplet::new`] for a fallible version.
+pub fn triplet(lower: i64, upper: i64, stride: i64) -> Triplet {
+    Triplet::new(lower, upper, stride).expect("stride must be nonzero")
+}
+
+/// Convenience constructor for a stride-1 [`Triplet`]: `span(l, u)`.
+pub fn span(lower: i64, upper: i64) -> Triplet {
+    Triplet::unit(lower, upper)
+}

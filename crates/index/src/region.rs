@@ -1,0 +1,371 @@
+use crate::{Idx, IndexError, Triplet};
+use std::fmt;
+
+/// A rectilinear box of indices: the cartesian product of one triplet per
+/// dimension (strides allowed).
+///
+/// Rects are the currency of mapping *analysis*: a distribution's inverse
+/// (`owned_region`) is a union of rects, the image of a rect under an affine
+/// alignment is a rect, and communication sets are intersections of rects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rect {
+    dims: Vec<Triplet>,
+}
+
+impl Rect {
+    /// Build from per-dimension triplets.
+    pub fn new(dims: Vec<Triplet>) -> Self {
+        Rect { dims }
+    }
+
+    /// Rank of the box.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension triplets.
+    pub fn dims(&self) -> &[Triplet] {
+        &self.dims
+    }
+
+    /// The triplet of dimension `d`.
+    pub fn dim(&self, d: usize) -> &Triplet {
+        &self.dims[d]
+    }
+
+    /// Number of indices in the box.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().map(Triplet::len).product()
+    }
+
+    /// True iff the box holds no index.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Triplet::is_empty)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: &Idx) -> bool {
+        i.rank() == self.rank()
+            && self.dims.iter().zip(i.as_slice()).all(|(t, &v)| t.contains(v))
+    }
+
+    /// Box intersection (exact, per-dimension CRT).
+    pub fn intersect(&self, other: &Rect) -> Result<Rect, IndexError> {
+        if self.rank() != other.rank() {
+            return Err(IndexError::RankMismatch { expected: self.rank(), found: other.rank() });
+        }
+        Ok(Rect {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        })
+    }
+
+    /// Volume of the intersection without materializing it.
+    pub fn intersection_volume(&self, other: &Rect) -> usize {
+        if self.rank() != other.rank() {
+            return 0;
+        }
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(a, b)| a.intersect(b).len())
+            .product()
+    }
+
+    /// Per-dimension affine image `{ a_d·x + c_d }`.
+    pub fn affine_image(&self, coeffs: &[(i64, i64)]) -> Result<Rect, IndexError> {
+        if coeffs.len() != self.rank() {
+            return Err(IndexError::RankMismatch { expected: self.rank(), found: coeffs.len() });
+        }
+        let mut dims = Vec::with_capacity(self.rank());
+        for (t, &(a, c)) in self.dims.iter().zip(coeffs) {
+            dims.push(t.affine_image(a, c)?);
+        }
+        Ok(Rect { dims })
+    }
+
+    /// Iterate the indices of the box in column-major order.
+    pub fn iter(&self) -> RectIter<'_> {
+        RectIter { rect: self, cursor: vec![0; self.rank()], remaining: self.volume() }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (d, t) in self.dims.iter().enumerate() {
+            if d > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Column-major iterator over a [`Rect`].
+#[derive(Debug, Clone)]
+pub struct RectIter<'a> {
+    rect: &'a Rect,
+    cursor: Vec<usize>,
+    remaining: usize,
+}
+
+impl Iterator for RectIter<'_> {
+    type Item = Idx;
+
+    fn next(&mut self) -> Option<Idx> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut out = Idx::SCALAR;
+        for (d, t) in self.rect.dims.iter().enumerate() {
+            out.push(t.nth(self.cursor[d]).expect("cursor valid"));
+        }
+        self.remaining -= 1;
+        for (d, t) in self.rect.dims.iter().enumerate() {
+            self.cursor[d] += 1;
+            if self.cursor[d] < t.len() {
+                break;
+            }
+            self.cursor[d] = 0;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RectIter<'_> {}
+
+/// A finite union of [`Rect`]s of equal rank.
+///
+/// Invariants: all member rects have the same rank and are non-empty.
+/// Members are **not** required to be pairwise disjoint in general — but
+/// every constructor used by distribution inverses produces disjoint rects,
+/// and [`Region::volume_disjoint`] documents where disjointness is assumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    rank: usize,
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region of a given rank.
+    pub fn empty(rank: usize) -> Self {
+        Region { rank, rects: Vec::new() }
+    }
+
+    /// A region of a single box (empty boxes yield the empty region).
+    pub fn from_rect(r: Rect) -> Self {
+        let rank = r.rank();
+        if r.is_empty() {
+            Region::empty(rank)
+        } else {
+            Region { rank, rects: vec![r] }
+        }
+    }
+
+    /// Build from a list of boxes (empty boxes are dropped).
+    pub fn from_rects(rank: usize, rects: Vec<Rect>) -> Result<Self, IndexError> {
+        for r in &rects {
+            if r.rank() != rank {
+                return Err(IndexError::RankMismatch { expected: rank, found: r.rank() });
+            }
+        }
+        Ok(Region { rank, rects: rects.into_iter().filter(|r| !r.is_empty()).collect() })
+    }
+
+    /// Rank of all member boxes.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The member boxes.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// True iff no box is present.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Membership test (linear in the number of boxes).
+    pub fn contains(&self, i: &Idx) -> bool {
+        self.rects.iter().any(|r| r.contains(i))
+    }
+
+    /// Total volume **assuming pairwise-disjoint boxes** (true for all
+    /// distribution inverses produced by this workspace).
+    pub fn volume_disjoint(&self) -> usize {
+        self.rects.iter().map(Rect::volume).sum()
+    }
+
+    /// Add a box (ignored if empty).
+    ///
+    /// # Panics
+    /// Panics on rank mismatch — regions are built internally, a mismatch
+    /// is a programming error.
+    pub fn push(&mut self, r: Rect) {
+        assert_eq!(r.rank(), self.rank, "region rank mismatch");
+        if !r.is_empty() {
+            self.rects.push(r);
+        }
+    }
+
+    /// Region ∩ box.
+    pub fn intersect_rect(&self, r: &Rect) -> Result<Region, IndexError> {
+        let mut out = Region::empty(self.rank);
+        for mine in &self.rects {
+            let i = mine.intersect(r)?;
+            if !i.is_empty() {
+                out.rects.push(i);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Region ∩ region (pairwise box intersection).
+    pub fn intersect(&self, other: &Region) -> Result<Region, IndexError> {
+        let mut out = Region::empty(self.rank);
+        for a in &self.rects {
+            for b in &other.rects {
+                let i = a.intersect(b)?;
+                if !i.is_empty() {
+                    out.rects.push(i);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Volume of `self ∩ other`, assuming **both** operands have internally
+    /// disjoint boxes.
+    pub fn intersection_volume(&self, other: &Region) -> usize {
+        let mut v = 0usize;
+        for a in &self.rects {
+            for b in &other.rects {
+                v += a.intersection_volume(b);
+            }
+        }
+        v
+    }
+
+    /// Iterate all indices (column-major within each box, boxes in order).
+    pub fn iter(&self) -> impl Iterator<Item = Idx> + '_ {
+        self.rects.iter().flat_map(|r| r.iter())
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rects.is_empty() {
+            return write!(f, "∅");
+        }
+        for (k, r) in self.rects.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, triplet};
+
+    #[test]
+    fn rect_volume_membership() {
+        let r = Rect::new(vec![span(1, 4), triplet(0, 10, 5)]);
+        assert_eq!(r.volume(), 4 * 3);
+        assert!(r.contains(&Idx::d2(2, 5)));
+        assert!(!r.contains(&Idx::d2(2, 4)));
+        assert!(!r.contains(&Idx::d1(2)));
+    }
+
+    #[test]
+    fn rect_intersection_exact() {
+        let a = Rect::new(vec![span(1, 10), triplet(1, 20, 2)]);
+        let b = Rect::new(vec![span(5, 15), triplet(1, 20, 3)]);
+        let i = a.intersect(&b).unwrap();
+        // dim0: 5..10, dim1: odd ∩ ≡1 mod 3 → 1,7,13,19
+        assert_eq!(i.dim(0).len(), 6);
+        let d1: Vec<i64> = i.dim(1).iter().collect();
+        assert_eq!(d1, vec![1, 7, 13, 19]);
+        assert_eq!(a.intersection_volume(&b), i.volume());
+    }
+
+    #[test]
+    fn rect_iter_matches_volume() {
+        let r = Rect::new(vec![triplet(0, 6, 3), span(1, 2)]);
+        let pts: Vec<Idx> = r.iter().collect();
+        assert_eq!(pts.len(), r.volume());
+        assert_eq!(pts[0], Idx::d2(0, 1));
+        assert_eq!(pts[1], Idx::d2(3, 1)); // column-major: dim0 fastest
+    }
+
+    #[test]
+    fn rect_affine_image() {
+        let r = Rect::new(vec![span(1, 4), span(1, 3)]);
+        // (i,j) ↦ (2i−1, 2j)  — the staggered-grid alignment shape
+        let img = r.affine_image(&[(2, -1), (2, 0)]).unwrap();
+        assert!(img.dim(0).set_eq(&triplet(1, 7, 2)));
+        assert!(img.dim(1).set_eq(&triplet(2, 6, 2)));
+    }
+
+    #[test]
+    fn region_union_and_intersection() {
+        let mut reg = Region::empty(1);
+        reg.push(Rect::new(vec![span(1, 10)]));
+        reg.push(Rect::new(vec![span(21, 30)]));
+        assert_eq!(reg.volume_disjoint(), 20);
+        assert!(reg.contains(&Idx::d1(25)));
+        assert!(!reg.contains(&Idx::d1(15)));
+
+        let other = Region::from_rect(Rect::new(vec![span(5, 24)]));
+        let inter = reg.intersect(&other).unwrap();
+        assert_eq!(inter.volume_disjoint(), 6 + 4);
+        assert_eq!(reg.intersection_volume(&other), 10);
+    }
+
+    #[test]
+    fn region_drops_empty_rects() {
+        let reg = Region::from_rects(
+            1,
+            vec![Rect::new(vec![Triplet::empty()]), Rect::new(vec![span(1, 2)])],
+        )
+        .unwrap();
+        assert_eq!(reg.rects().len(), 1);
+    }
+
+    #[test]
+    fn region_rank_mismatch() {
+        assert!(Region::from_rects(2, vec![Rect::new(vec![span(1, 2)])]).is_err());
+    }
+
+    #[test]
+    fn region_iter() {
+        let mut reg = Region::empty(1);
+        reg.push(Rect::new(vec![triplet(1, 5, 2)]));
+        reg.push(Rect::new(vec![span(10, 11)]));
+        let v: Vec<i64> = reg.iter().map(|i| i[0]).collect();
+        assert_eq!(v, vec![1, 3, 5, 10, 11]);
+    }
+
+    #[test]
+    fn display() {
+        let r = Rect::new(vec![span(1, 2), triplet(1, 9, 4)]);
+        assert_eq!(r.to_string(), "{1:2 × 1:9:4}");
+        assert_eq!(Region::empty(1).to_string(), "∅");
+    }
+}

@@ -1,0 +1,287 @@
+use crate::{Idx, IndexDomain, IndexError, Triplet};
+use std::fmt;
+
+/// One dimension of an array section: either a subscript triplet (keeps the
+/// dimension) or a scalar subscript (reduces the rank, as in `A(3, 1:5)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionDim {
+    /// A subscript triplet, e.g. `2:996:2`.
+    Triplet(Triplet),
+    /// A rank-reducing scalar subscript, e.g. the `3` in `A(3, :)`.
+    Scalar(i64),
+}
+
+impl SectionDim {
+    /// The set of subscript values selected in this dimension.
+    pub fn as_triplet(&self) -> Triplet {
+        match *self {
+            SectionDim::Triplet(t) => t,
+            SectionDim::Scalar(v) => Triplet::scalar(v),
+        }
+    }
+
+    /// True for scalar (rank-reducing) subscripts.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, SectionDim::Scalar(_))
+    }
+}
+
+impl fmt::Display for SectionDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionDim::Triplet(t) => write!(f, "{t}"),
+            SectionDim::Scalar(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An array section `A(d1, ..., dn)` over the parent domain of `A`.
+///
+/// Sections appear in the paper as distribution targets (`TO Q(1:NOP:2)`,
+/// §4), as the base subscripts of alignment directives (`WITH A(M::M,1::M)`,
+/// §6), and as procedure actual arguments (`CALL SUB(A(2:996:2))`, §8.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Section {
+    dims: Vec<SectionDim>,
+}
+
+impl Section {
+    /// Build a section from explicit per-dimension selectors.
+    pub fn new(dims: Vec<SectionDim>) -> Self {
+        Section { dims }
+    }
+
+    /// The full section of a domain (every dimension `:`).
+    pub fn full(domain: &IndexDomain) -> Self {
+        Section { dims: domain.dims().iter().map(|t| SectionDim::Triplet(*t)).collect() }
+    }
+
+    /// Build from triplets only (no rank-reducing subscripts).
+    pub fn from_triplets(ts: Vec<Triplet>) -> Self {
+        Section { dims: ts.into_iter().map(SectionDim::Triplet).collect() }
+    }
+
+    /// Number of subscript positions (the parent array's rank).
+    pub fn parent_rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Rank of the section itself (non-scalar dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.iter().filter(|d| !d.is_scalar()).count()
+    }
+
+    /// Per-position selectors.
+    pub fn dims(&self) -> &[SectionDim] {
+        &self.dims
+    }
+
+    /// Number of elements selected.
+    pub fn size(&self) -> usize {
+        self.dims.iter().map(|d| d.as_triplet().len()).product()
+    }
+
+    /// Verify the section lies within `parent`, dimension by dimension.
+    pub fn validate(&self, parent: &IndexDomain) -> Result<(), IndexError> {
+        if self.dims.len() != parent.rank() {
+            return Err(IndexError::RankMismatch {
+                expected: parent.rank(),
+                found: self.dims.len(),
+            });
+        }
+        for (d, sd) in self.dims.iter().enumerate() {
+            let t = sd.as_triplet();
+            if t.is_empty() {
+                continue;
+            }
+            let p = parent.dim(d);
+            if !t.is_subset_of(p) {
+                return Err(IndexError::SectionOutOfBounds { dim: d });
+            }
+        }
+        Ok(())
+    }
+
+    /// The index domain of the selected set, *keeping* scalar dimensions as
+    /// singleton triplets (rank equals the parent rank).
+    pub fn domain_full_rank(&self) -> Result<IndexDomain, IndexError> {
+        IndexDomain::new(self.dims.iter().map(|d| d.as_triplet()).collect())
+    }
+
+    /// The index domain of the section with scalar dimensions dropped —
+    /// what a dummy argument sees when the section is passed (§7).
+    pub fn domain(&self) -> Result<IndexDomain, IndexError> {
+        IndexDomain::new(
+            self.dims
+                .iter()
+                .filter(|d| !d.is_scalar())
+                .map(|d| d.as_triplet())
+                .collect(),
+        )
+    }
+
+    /// Map a *section-relative* index (1-based positions within the
+    /// section's standard domain, scalar dims dropped) to the parent
+    /// array's subscript tuple.
+    ///
+    /// This is the affine embedding a dummy argument's inherited
+    /// distribution composes with (§7, §8.1.2): position `p` of
+    /// `A(2:996:2)` is parent element `2 + (p−1)·2`.
+    pub fn embed(&self, rel: &Idx) -> Result<Idx, IndexError> {
+        if rel.rank() != self.rank() {
+            return Err(IndexError::RankMismatch { expected: self.rank(), found: rel.rank() });
+        }
+        let mut out = Idx::SCALAR;
+        let mut r = 0usize;
+        for sd in &self.dims {
+            match sd {
+                SectionDim::Scalar(v) => out.push(*v),
+                SectionDim::Triplet(t) => {
+                    let k = rel[r] - 1;
+                    if k < 0 || k as usize >= t.len() {
+                        return Err(IndexError::OutOfBounds { dim: r, value: rel[r] });
+                    }
+                    out.push(t.nth(k as usize).expect("in range"));
+                    r += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of [`Section::embed`]: parent subscript tuple → 1-based
+    /// section-relative index. `None` if the element is not in the section.
+    pub fn project(&self, parent: &Idx) -> Option<Idx> {
+        if parent.rank() != self.dims.len() {
+            return None;
+        }
+        let mut out = Idx::SCALAR;
+        for (d, sd) in self.dims.iter().enumerate() {
+            match sd {
+                SectionDim::Scalar(v) => {
+                    if parent[d] != *v {
+                        return None;
+                    }
+                }
+                SectionDim::Triplet(t) => {
+                    let p = t.position(parent[d])?;
+                    out.push(p as i64 + 1);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Iterate the selected parent-array indices in column-major order.
+    pub fn iter_parent(&self) -> impl Iterator<Item = Idx> + '_ {
+        let dom = self.domain_full_rank().expect("rank checked at construction");
+        dom.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (d, sd) in self.dims.iter().enumerate() {
+            if d > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{sd}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet;
+
+    fn sec_8_1_2() -> Section {
+        // A(2:996:2) from the paper's §8.1.2 example
+        Section::from_triplets(vec![triplet(2, 996, 2)])
+    }
+
+    #[test]
+    fn section_sizes() {
+        assert_eq!(sec_8_1_2().size(), 498);
+        let s = Section::new(vec![
+            SectionDim::Scalar(3),
+            SectionDim::Triplet(triplet(1, 5, 1)),
+        ]);
+        assert_eq!(s.size(), 5);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.parent_rank(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        let parent = IndexDomain::standard(&[(1, 1000)]).unwrap();
+        assert!(sec_8_1_2().validate(&parent).is_ok());
+        let too_big = Section::from_triplets(vec![triplet(2, 1002, 2)]);
+        assert_eq!(
+            too_big.validate(&parent),
+            Err(IndexError::SectionOutOfBounds { dim: 0 })
+        );
+        let wrong_rank = Section::from_triplets(vec![triplet(1, 2, 1), triplet(1, 2, 1)]);
+        assert!(matches!(
+            wrong_rank.validate(&parent),
+            Err(IndexError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn embed_project_roundtrip() {
+        let s = sec_8_1_2();
+        assert_eq!(s.embed(&Idx::d1(1)).unwrap(), Idx::d1(2));
+        assert_eq!(s.embed(&Idx::d1(498)).unwrap(), Idx::d1(996));
+        assert_eq!(s.project(&Idx::d1(2)), Some(Idx::d1(1)));
+        assert_eq!(s.project(&Idx::d1(3)), None); // odd, not in section
+        for p in 1..=498 {
+            let parent = s.embed(&Idx::d1(p)).unwrap();
+            assert_eq!(s.project(&parent), Some(Idx::d1(p)));
+        }
+    }
+
+    #[test]
+    fn embed_with_scalar_dims() {
+        // A(3, 1:5:2) — rank-1 section of a rank-2 array
+        let s = Section::new(vec![
+            SectionDim::Scalar(3),
+            SectionDim::Triplet(triplet(1, 5, 2)),
+        ]);
+        assert_eq!(s.embed(&Idx::d1(2)).unwrap(), Idx::d2(3, 3));
+        assert_eq!(s.project(&Idx::d2(3, 5)), Some(Idx::d1(3)));
+        assert_eq!(s.project(&Idx::d2(4, 5)), None);
+    }
+
+    #[test]
+    fn embed_bounds_checked() {
+        let s = sec_8_1_2();
+        assert!(s.embed(&Idx::d1(0)).is_err());
+        assert!(s.embed(&Idx::d1(499)).is_err());
+        assert!(s.embed(&Idx::d2(1, 1)).is_err());
+    }
+
+    #[test]
+    fn full_section_is_identity() {
+        let dom = IndexDomain::standard(&[(0, 3), (1, 2)]).unwrap();
+        let s = Section::full(&dom);
+        assert_eq!(s.size(), dom.size());
+        for i in dom.iter() {
+            // full section of a standard domain shifts to 1-based positions
+            let rel = s.project(&i).unwrap();
+            assert_eq!(s.embed(&rel).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn section_domains() {
+        let s = Section::new(vec![
+            SectionDim::Scalar(7),
+            SectionDim::Triplet(triplet(2, 10, 4)),
+        ]);
+        assert_eq!(s.domain().unwrap().to_string(), "[2:10:4]");
+        assert_eq!(s.domain_full_rank().unwrap().to_string(), "[7:7, 2:10:4]");
+    }
+}

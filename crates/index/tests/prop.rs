@@ -1,0 +1,112 @@
+//! Property tests for the regular-section algebra.
+
+use hpf_index::{triplet, Idx, IndexDomain, Rect, Triplet};
+use proptest::prelude::*;
+
+fn arb_triplet() -> impl Strategy<Value = Triplet> {
+    (-50i64..50, -50i64..50, prop_oneof![(-8i64..=-1), (1i64..=8)])
+        .prop_map(|(l, u, s)| triplet(l, u, s))
+}
+
+proptest! {
+    /// Intersection is sound and complete against brute force.
+    #[test]
+    fn triplet_intersection_exact(a in arb_triplet(), b in arb_triplet()) {
+        let got: Vec<i64> = a.intersect(&b).iter().collect();
+        let want: Vec<i64> = (-200..200i64)
+            .filter(|v| a.contains(*v) && b.contains(*v))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Intersection is commutative as a set operation.
+    #[test]
+    fn triplet_intersection_commutative(a in arb_triplet(), b in arb_triplet()) {
+        prop_assert!(a.intersect(&b).set_eq(&b.intersect(&a)));
+    }
+
+    /// `ascending` preserves the set.
+    #[test]
+    fn ascending_preserves_set(a in arb_triplet()) {
+        let asc = a.ascending();
+        prop_assert_eq!(a.len(), asc.len());
+        let mut v1: Vec<i64> = a.iter().collect();
+        v1.sort_unstable();
+        let v2: Vec<i64> = asc.iter().collect();
+        prop_assert_eq!(v1, v2);
+        prop_assert!(asc.stride() > 0);
+    }
+
+    /// position/nth are inverse.
+    #[test]
+    fn position_nth_roundtrip(a in arb_triplet()) {
+        for (k, v) in a.iter().enumerate() {
+            prop_assert_eq!(a.nth(k), Some(v));
+            prop_assert_eq!(a.position(v), Some(k));
+        }
+    }
+
+    /// Affine image has the same cardinality when the coefficient is nonzero.
+    #[test]
+    fn affine_image_cardinality(a in arb_triplet(), c in -20i64..20,
+                                k in prop_oneof![(-5i64..=-1), (1i64..=5)]) {
+        let img = a.affine_image(k, c).unwrap();
+        prop_assert_eq!(img.len(), a.len());
+        // and membership maps through
+        for v in a.iter() {
+            prop_assert!(img.contains(k * v + c));
+        }
+    }
+
+    /// Subset relation agrees with element-wise check.
+    #[test]
+    fn subset_agrees(a in arb_triplet(), b in arb_triplet()) {
+        let want = a.iter().all(|v| b.contains(v));
+        prop_assert_eq!(a.is_subset_of(&b), want);
+    }
+}
+
+fn arb_domain() -> impl Strategy<Value = IndexDomain> {
+    prop::collection::vec((-10i64..10, 1i64..6), 1..4).prop_map(|bs| {
+        IndexDomain::standard(
+            &bs.iter().map(|&(l, e)| (l, l + e - 1)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    /// linearize/delinearize round-trip over whole domains.
+    #[test]
+    fn linearize_roundtrip(d in arb_domain()) {
+        for (pos, i) in d.iter().enumerate() {
+            prop_assert_eq!(d.linearize(&i).unwrap(), pos);
+            prop_assert_eq!(d.delinearize(pos).unwrap(), i);
+        }
+    }
+
+    /// Column-major iteration yields exactly size() distinct indices.
+    #[test]
+    fn iteration_count(d in arb_domain()) {
+        let v: Vec<Idx> = d.iter().collect();
+        prop_assert_eq!(v.len(), d.size());
+        let mut uniq = v.clone();
+        uniq.sort_by_key(|i| i.as_slice().to_vec());
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), v.len());
+    }
+}
+
+proptest! {
+    /// Rect intersection volume is exact against enumeration.
+    #[test]
+    fn rect_intersection_volume(
+        a1 in arb_triplet(), a2 in arb_triplet(),
+        b1 in arb_triplet(), b2 in arb_triplet())
+    {
+        let a = Rect::new(vec![a1, a2]);
+        let b = Rect::new(vec![b1, b2]);
+        let want = a.iter().filter(|i| b.contains(i)).count();
+        prop_assert_eq!(a.intersection_volume(&b), want);
+    }
+}

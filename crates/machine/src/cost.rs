@@ -1,0 +1,67 @@
+/// The classic distributed-memory cost model: a message of `n` elements
+/// over `h` hops costs `latency + n·per_element·(1 + (h−1)·hop_factor)`,
+/// and local computation costs `flop` per element-operation.
+///
+/// Defaults are loosely calibrated to an iPSC/860-class machine (the
+/// hardware HPF targeted): ~75 µs message latency, ~0.4 µs per 8-byte
+/// element (≈ 20 MB/s), ~0.05 µs per flop. Only *ratios* matter for the
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message startup cost (µs).
+    pub latency: f64,
+    /// Per-element transfer cost (µs).
+    pub per_element: f64,
+    /// Per-element-operation compute cost (µs).
+    pub flop: f64,
+    /// Extra per-element cost fraction for each hop beyond the first.
+    pub hop_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { latency: 75.0, per_element: 0.4, flop: 0.05, hop_factor: 0.25 }
+    }
+}
+
+impl CostModel {
+    /// A zero-latency, unit-bandwidth model (useful for pure volume
+    /// comparisons in tests).
+    pub fn unit() -> Self {
+        CostModel { latency: 0.0, per_element: 1.0, flop: 0.0, hop_factor: 0.0 }
+    }
+
+    /// Time (µs) for one message of `elements` elements over `hops` hops.
+    pub fn message_time(&self, elements: u64, hops: u32) -> f64 {
+        if elements == 0 {
+            return 0.0;
+        }
+        let hop_scale = 1.0 + self.hop_factor * hops.saturating_sub(1) as f64;
+        self.latency + elements as f64 * self.per_element * hop_scale
+    }
+
+    /// Time (µs) to perform `ops` element-operations locally.
+    pub fn compute_time(&self, ops: u64) -> f64 {
+        ops as f64 * self.flop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_formula() {
+        let c = CostModel { latency: 100.0, per_element: 2.0, flop: 0.0, hop_factor: 0.5 };
+        assert_eq!(c.message_time(10, 1), 100.0 + 20.0);
+        assert_eq!(c.message_time(10, 3), 100.0 + 20.0 * 2.0); // 1 + 0.5*2
+        assert_eq!(c.message_time(0, 5), 0.0);
+    }
+
+    #[test]
+    fn compute_time_linear() {
+        let c = CostModel::default();
+        assert!(c.compute_time(1000) > c.compute_time(100));
+        assert_eq!(CostModel::unit().compute_time(1000), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # hpf-machine — a distributed-memory machine simulator
+//!
+//! The paper's motivation (§1) is that "an operation on two or more data
+//! objects is likely to be carried out much faster if they all reside in
+//! the same processor". This crate is the substrate that makes that claim
+//! measurable without 1993 hardware: a deterministic model of a
+//! distributed-memory multiprocessor with
+//!
+//! * a [`Topology`] (linear array, ring, 2-D mesh, hypercube) giving hop
+//!   distances between abstract processors,
+//! * a [`CostModel`] in the classic `latency + volume/bandwidth` form, and
+//! * [`CommStats`] — per-(source, destination) traffic matrices with
+//!   BSP-style superstep time estimation ([`Machine::superstep_time`]).
+//!
+//! The mapping experiments (staggered grids, procedure boundaries, load
+//! balancing) produce `CommStats` from owner maps; the machine turns them
+//! into message counts, volumes, hop-weighted times and makespans. Absolute
+//! times are synthetic; *ratios and orderings* between mapping schemes are
+//! the reproducible quantities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod machine;
+mod stats;
+mod topology;
+
+pub use cost::CostModel;
+pub use machine::{Machine, SuperstepReport};
+pub use stats::CommStats;
+pub use topology::Topology;

@@ -1,0 +1,170 @@
+use crate::{CommStats, CostModel, Topology};
+use hpf_procs::ProcId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A simulated distributed-memory machine: `np` processors, a topology and
+/// a cost model.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    np: usize,
+    topology: Topology,
+    cost: CostModel,
+}
+
+/// The time breakdown of one BSP superstep (compute phase + exchange
+/// phase) on a [`Machine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperstepReport {
+    /// Makespan of the compute phase: `max_p compute(p)` (µs).
+    pub compute_time: f64,
+    /// Makespan of the exchange phase: the busiest processor's serialized
+    /// send+receive time, hop-weighted (µs).
+    pub comm_time: f64,
+    /// Total messages exchanged.
+    pub messages: usize,
+    /// Total elements exchanged.
+    pub elements: u64,
+    /// Compute-load imbalance: `max_p load(p) / mean load` (1.0 = perfect).
+    pub imbalance: f64,
+}
+
+impl SuperstepReport {
+    /// Total superstep time (µs).
+    pub fn total_time(&self) -> f64 {
+        self.compute_time + self.comm_time
+    }
+}
+
+impl fmt::Display for SuperstepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compute {:.1}µs + comm {:.1}µs = {:.1}µs ({} msgs, {} elems, imb {:.2})",
+            self.compute_time,
+            self.comm_time,
+            self.total_time(),
+            self.messages,
+            self.elements,
+            self.imbalance
+        )
+    }
+}
+
+impl Machine {
+    /// Build a machine.
+    pub fn new(np: usize, topology: Topology, cost: CostModel) -> Self {
+        Machine { np, topology, cost }
+    }
+
+    /// An `np`-processor machine with crossbar topology and default costs.
+    pub fn simple(np: usize) -> Self {
+        Machine::new(np, Topology::FullCrossbar, CostModel::default())
+    }
+
+    /// Number of processors.
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Hop count between two processors.
+    pub fn hops(&self, a: ProcId, b: ProcId) -> u32 {
+        self.topology.hops(self.np, a, b)
+    }
+
+    /// Evaluate one BSP superstep: per-processor compute loads (in
+    /// element-operations) plus a communication matrix.
+    ///
+    /// The exchange-phase makespan charges every processor the serialized
+    /// cost of the messages it sends and receives (each hop-weighted), and
+    /// takes the maximum — the standard conservative BSP estimate.
+    pub fn superstep_time(&self, loads: &[u64], comm: &CommStats) -> SuperstepReport {
+        debug_assert!(loads.len() <= self.np);
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        let total_load: u64 = loads.iter().sum();
+        let mean = if loads.is_empty() { 0.0 } else { total_load as f64 / loads.len() as f64 };
+        let imbalance = if mean > 0.0 { max_load as f64 / mean } else { 1.0 };
+
+        let mut busy: HashMap<u32, f64> = HashMap::new();
+        for (src, dst, elems) in comm.iter() {
+            let t = self.cost.message_time(elems, self.hops(src, dst));
+            *busy.entry(src.0).or_insert(0.0) += t;
+            *busy.entry(dst.0).or_insert(0.0) += t;
+        }
+        let comm_time = busy.values().copied().fold(0.0, f64::max);
+
+        SuperstepReport {
+            compute_time: self.cost.compute_time(max_load),
+            comm_time,
+            messages: comm.messages(),
+            elements: comm.total_elements(),
+            imbalance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> ProcId {
+        ProcId(n)
+    }
+
+    #[test]
+    fn superstep_combines_compute_and_comm() {
+        let m = Machine::new(4, Topology::FullCrossbar, CostModel::unit());
+        let mut comm = CommStats::new();
+        comm.record(p(1), p(2), 100);
+        comm.record(p(3), p(4), 50);
+        let rep = m.superstep_time(&[10, 10, 10, 10], &comm);
+        // unit model: no latency, no flops; busiest pair carries 100 elems,
+        // charged to both endpoints → comm_time = 100
+        assert_eq!(rep.comm_time, 100.0);
+        assert_eq!(rep.compute_time, 0.0);
+        assert_eq!(rep.messages, 2);
+        assert_eq!(rep.elements, 150);
+        assert!((rep.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_reflects_max_over_mean() {
+        let m = Machine::simple(4);
+        let rep = m.superstep_time(&[40, 0, 0, 0], &CommStats::new());
+        assert!((rep.imbalance - 4.0).abs() < 1e-9);
+        assert_eq!(rep.comm_time, 0.0);
+    }
+
+    #[test]
+    fn hop_weighting_changes_cost() {
+        let linear = Machine::new(8, Topology::Linear, CostModel::default());
+        let mut far = CommStats::new();
+        far.record(p(1), p(8), 1000);
+        let mut near = CommStats::new();
+        near.record(p(1), p(2), 1000);
+        let t_far = linear.superstep_time(&[], &far).comm_time;
+        let t_near = linear.superstep_time(&[], &near).comm_time;
+        assert!(t_far > t_near, "7 hops must cost more than 1");
+    }
+
+    #[test]
+    fn serialization_at_hot_receiver() {
+        let m = Machine::new(4, Topology::FullCrossbar, CostModel::unit());
+        // both messages hit P4 — they serialize there
+        let mut comm = CommStats::new();
+        comm.record(p(1), p(4), 60);
+        comm.record(p(2), p(4), 40);
+        let rep = m.superstep_time(&[], &comm);
+        assert_eq!(rep.comm_time, 100.0);
+    }
+}

@@ -1,0 +1,137 @@
+use hpf_procs::ProcId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A per-(source, destination) traffic matrix: how many elements each
+/// processor pair exchanges in one communication phase.
+///
+/// One `(src, dst)` entry models one *vectorized* message — the standard
+/// HPF-compiler strategy of aggregating all elements a statement moves
+/// between a pair into a single transfer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    pairs: HashMap<(u32, u32), u64>,
+}
+
+impl CommStats {
+    /// An empty traffic matrix.
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Record `elements` flowing `src → dst` (ignored when `src == dst` or
+    /// `elements == 0` — local accesses are free).
+    pub fn record(&mut self, src: ProcId, dst: ProcId, elements: u64) {
+        if src == dst || elements == 0 {
+            return;
+        }
+        *self.pairs.entry((src.0, dst.0)).or_insert(0) += elements;
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        for (&k, &v) in &other.pairs {
+            *self.pairs.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Number of messages (communicating pairs).
+    pub fn messages(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total elements crossing processor boundaries.
+    pub fn total_elements(&self) -> u64 {
+        self.pairs.values().sum()
+    }
+
+    /// True iff no communication happens.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate `(src, dst, elements)` entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, ProcId, u64)> + '_ {
+        self.pairs.iter().map(|(&(s, d), &v)| (ProcId(s), ProcId(d), v))
+    }
+
+    /// Elements received by each processor, as `(proc, elements)` with the
+    /// heaviest receiver first.
+    pub fn inbound_by_proc(&self) -> Vec<(ProcId, u64)> {
+        let mut m: HashMap<u32, u64> = HashMap::new();
+        for (&(_, d), &v) in &self.pairs {
+            *m.entry(d).or_insert(0) += v;
+        }
+        let mut v: Vec<(ProcId, u64)> = m.into_iter().map(|(p, n)| (ProcId(p), n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The heaviest per-processor inbound volume (the BSP bottleneck).
+    pub fn max_inbound(&self) -> u64 {
+        self.inbound_by_proc().first().map(|&(_, n)| n).unwrap_or(0)
+    }
+
+    /// Number of distinct communicating neighbour pairs of one processor
+    /// (fan-in + fan-out of `p`).
+    pub fn degree(&self, p: ProcId) -> usize {
+        self.pairs.keys().filter(|&&(s, d)| s == p.0 || d == p.0).count()
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} messages, {} elements (max inbound {})",
+            self.messages(),
+            self.total_elements(),
+            self.max_inbound()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> ProcId {
+        ProcId(n)
+    }
+
+    #[test]
+    fn record_skips_local_and_empty() {
+        let mut s = CommStats::new();
+        s.record(p(1), p(1), 100);
+        s.record(p(1), p(2), 0);
+        assert!(s.is_empty());
+        s.record(p(1), p(2), 5);
+        s.record(p(1), p(2), 5);
+        assert_eq!(s.messages(), 1);
+        assert_eq!(s.total_elements(), 10);
+    }
+
+    #[test]
+    fn inbound_accounting() {
+        let mut s = CommStats::new();
+        s.record(p(1), p(3), 10);
+        s.record(p(2), p(3), 20);
+        s.record(p(3), p(1), 5);
+        assert_eq!(s.max_inbound(), 30);
+        assert_eq!(s.inbound_by_proc()[0], (p(3), 30));
+        assert_eq!(s.degree(p(3)), 3);
+        assert_eq!(s.degree(p(2)), 1);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CommStats::new();
+        a.record(p(1), p(2), 3);
+        let mut b = CommStats::new();
+        b.record(p(1), p(2), 4);
+        b.record(p(2), p(1), 1);
+        a.merge(&b);
+        assert_eq!(a.total_elements(), 8);
+        assert_eq!(a.messages(), 2);
+    }
+}

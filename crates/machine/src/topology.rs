@@ -1,0 +1,113 @@
+use hpf_procs::ProcId;
+
+/// Interconnect topologies of 1993-era distributed-memory machines.
+///
+/// Abstract processors are numbered `1..=np` (the paper's AP); each
+/// topology defines how many hops a message between two processors takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// All pairs one hop apart (an idealized crossbar; hop weighting off).
+    FullCrossbar,
+    /// A linear processor array: hop = |a − b|.
+    Linear,
+    /// A ring: hop = min(|a−b|, np − |a−b|).
+    Ring,
+    /// A 2-D mesh of `rows × cols` (column-major AP numbering, matching the
+    /// §3 storage association); hop = Manhattan distance.
+    Mesh2D {
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh columns.
+        cols: usize,
+    },
+    /// A hypercube (iPSC-style): hop = popcount((a−1) xor (b−1)).
+    Hypercube,
+}
+
+impl Topology {
+    /// Hop count between two abstract processors (0 for a == b).
+    pub fn hops(&self, np: usize, a: ProcId, b: ProcId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let (x, y) = (a.zero_based(), b.zero_based());
+        match self {
+            Topology::FullCrossbar => 1,
+            Topology::Linear => (x as i64 - y as i64).unsigned_abs() as u32,
+            Topology::Ring => {
+                let d = (x as i64 - y as i64).unsigned_abs() as usize;
+                d.min(np - d) as u32
+            }
+            Topology::Mesh2D { rows, .. } => {
+                let (r1, c1) = (x % rows, x / rows);
+                let (r2, c2) = (y % rows, y / rows);
+                ((r1 as i64 - r2 as i64).unsigned_abs()
+                    + (c1 as i64 - c2 as i64).unsigned_abs()) as u32
+            }
+            Topology::Hypercube => (x ^ y).count_ones(),
+        }
+    }
+
+    /// The largest hop count in the machine (network diameter).
+    pub fn diameter(&self, np: usize) -> u32 {
+        match self {
+            Topology::FullCrossbar => 1,
+            Topology::Linear => np as u32 - 1,
+            Topology::Ring => (np / 2) as u32,
+            Topology::Mesh2D { rows, cols } => (rows - 1 + (cols - 1)) as u32,
+            Topology::Hypercube => usize::BITS - (np - 1).leading_zeros(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> ProcId {
+        ProcId(n)
+    }
+
+    #[test]
+    fn linear_hops() {
+        let t = Topology::Linear;
+        assert_eq!(t.hops(8, p(1), p(1)), 0);
+        assert_eq!(t.hops(8, p(1), p(8)), 7);
+        assert_eq!(t.hops(8, p(5), p(3)), 2);
+        assert_eq!(t.diameter(8), 7);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::Ring;
+        assert_eq!(t.hops(8, p(1), p(8)), 1);
+        assert_eq!(t.hops(8, p(1), p(5)), 4);
+        assert_eq!(t.diameter(8), 4);
+    }
+
+    #[test]
+    fn mesh_manhattan() {
+        // 4×4 mesh, column-major: P1=(0,0), P2=(1,0), P5=(0,1)
+        let t = Topology::Mesh2D { rows: 4, cols: 4 };
+        assert_eq!(t.hops(16, p(1), p(2)), 1);
+        assert_eq!(t.hops(16, p(1), p(5)), 1);
+        assert_eq!(t.hops(16, p(1), p(16)), 6);
+        assert_eq!(t.diameter(16), 6);
+    }
+
+    #[test]
+    fn hypercube_popcount() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.hops(8, p(1), p(2)), 1); // 000 vs 001
+        assert_eq!(t.hops(8, p(1), p(8)), 3); // 000 vs 111
+        assert_eq!(t.hops(8, p(4), p(7)), 2); // 011 vs 110
+        assert_eq!(t.diameter(8), 3);
+    }
+
+    #[test]
+    fn crossbar_uniform() {
+        let t = Topology::FullCrossbar;
+        assert_eq!(t.hops(64, p(3), p(60)), 1);
+        assert_eq!(t.diameter(64), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests on topologies and the cost model.
+
+use hpf_machine::{CommStats, CostModel, Machine, Topology};
+use hpf_procs::ProcId;
+use proptest::prelude::*;
+
+fn arb_topology(np: usize) -> impl Strategy<Value = Topology> {
+    let mesh_rows: Vec<usize> = (1..=np).filter(|r| np % r == 0).collect();
+    prop_oneof![
+        Just(Topology::FullCrossbar),
+        Just(Topology::Linear),
+        Just(Topology::Ring),
+        prop::sample::select(mesh_rows)
+            .prop_map(move |rows| Topology::Mesh2D { rows, cols: np / rows }),
+    ]
+}
+
+proptest! {
+    /// Hop counts are a metric-ish: symmetric, zero iff equal, bounded by
+    /// the diameter.
+    #[test]
+    fn hops_metric((np, topo) in (2usize..33).prop_flat_map(|np| {
+            arb_topology(np).prop_map(move |t| (np, t))
+        }), seed in 0u64..1000)
+    {
+        let a = ProcId((seed % np as u64) as u32 + 1);
+        let b = ProcId(((seed / 7) % np as u64) as u32 + 1);
+        let h_ab = topo.hops(np, a, b);
+        let h_ba = topo.hops(np, b, a);
+        prop_assert_eq!(h_ab, h_ba, "symmetry");
+        prop_assert_eq!(h_ab == 0, a == b, "identity");
+        prop_assert!(h_ab <= topo.diameter(np), "diameter bound: {:?}", topo);
+    }
+
+    /// Hypercube hops on power-of-two machines respect the metric too.
+    #[test]
+    fn hypercube_metric(bits in 1u32..6, x in 0u32..32, y in 0u32..32) {
+        let np = 1usize << bits;
+        let a = ProcId(x % np as u32 + 1);
+        let b = ProcId(y % np as u32 + 1);
+        let t = Topology::Hypercube;
+        prop_assert_eq!(t.hops(np, a, b), t.hops(np, b, a));
+        prop_assert!(t.hops(np, a, b) <= bits);
+        // triangle inequality via xor algebra
+        let c = ProcId((x ^ y) % np as u32 + 1);
+        prop_assert!(t.hops(np, a, b) <= t.hops(np, a, c) + t.hops(np, c, b));
+    }
+
+    /// Message time is monotone in volume and hops.
+    #[test]
+    fn message_time_monotone(n1 in 1u64..10_000, extra in 1u64..10_000, h in 1u32..8) {
+        let c = CostModel::default();
+        prop_assert!(c.message_time(n1 + extra, h) > c.message_time(n1, h));
+        prop_assert!(c.message_time(n1, h + 1) >= c.message_time(n1, h));
+    }
+
+    /// Superstep time is monotone under added traffic.
+    #[test]
+    fn superstep_monotone(vol in 1u64..1000, np in 2usize..9) {
+        let m = Machine::simple(np);
+        let mut light = CommStats::new();
+        light.record(ProcId(1), ProcId(2), vol);
+        let mut heavy = light.clone();
+        heavy.record(ProcId(1), ProcId(2), vol);
+        let t_light = m.superstep_time(&[], &light).comm_time;
+        let t_heavy = m.superstep_time(&[], &heavy).comm_time;
+        prop_assert!(t_heavy > t_light);
+    }
+
+    /// Merging stats preserves totals.
+    #[test]
+    fn merge_preserves_totals(
+        pairs in prop::collection::vec((1u32..9, 1u32..9, 1u64..100), 0..20))
+    {
+        let mut all = CommStats::new();
+        let mut a = CommStats::new();
+        let mut b = CommStats::new();
+        for (k, &(s, d, v)) in pairs.iter().enumerate() {
+            all.record(ProcId(s), ProcId(d), v);
+            if k % 2 == 0 {
+                a.record(ProcId(s), ProcId(d), v);
+            } else {
+                b.record(ProcId(s), ProcId(d), v);
+            }
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.total_elements(), all.total_elements());
+        prop_assert_eq!(a, all);
+    }
+}

@@ -1,0 +1,90 @@
+use hpf_index::IndexDomain;
+use std::fmt;
+
+/// Identifier of a declared processor arrangement within a [`crate::ProcSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrangementId(pub(crate) usize);
+
+/// Where data mapped to a *conceptually scalar* processor arrangement
+/// resides (§3):
+///
+/// > data distributed to a (conceptually) scalar processor arrangement may
+/// > reside in a single control processor (if the machine has one), or may
+/// > reside in an arbitrarily chosen processor, or may be replicated over
+/// > all processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarPolicy {
+    /// Data lives in the machine's control processor (AP processor 1).
+    ControlProcessor,
+    /// Data lives in one arbitrarily chosen processor (we fix it at
+    /// declaration time so the mapping stays deterministic).
+    Arbitrary(crate::ProcId),
+    /// Data is replicated over all processors.
+    ReplicateAll,
+}
+
+/// The shape of a processor arrangement (§3): a processor *array*
+/// arrangement with a non-empty index domain, or a *conceptually scalar*
+/// arrangement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrangementKind {
+    /// Processor array arrangement with its index domain.
+    Array(IndexDomain),
+    /// Conceptually scalar arrangement with its residence policy.
+    Scalar(ScalarPolicy),
+}
+
+/// A named processor arrangement declared by a `PROCESSORS` directive,
+/// mapped onto the abstract processor arrangement AP column-major starting
+/// at `offset` (the EQUIVALENCE-style storage association of §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcArrangement {
+    pub(crate) name: String,
+    pub(crate) kind: ArrangementKind,
+    pub(crate) offset: usize,
+}
+
+impl ProcArrangement {
+    /// Declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Array or scalar shape.
+    pub fn kind(&self) -> &ArrangementKind {
+        &self.kind
+    }
+
+    /// Equivalence offset into AP (0-based abstract processor position at
+    /// which this arrangement's first element lives).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The index domain, for array arrangements.
+    pub fn domain(&self) -> Option<&IndexDomain> {
+        match &self.kind {
+            ArrangementKind::Array(d) => Some(d),
+            ArrangementKind::Scalar(_) => None,
+        }
+    }
+
+    /// Number of abstract processors occupied (1 for scalar arrangements:
+    /// they are associated "with an index domain consisting of exactly one
+    /// element", §2.2).
+    pub fn size(&self) -> usize {
+        match &self.kind {
+            ArrangementKind::Array(d) => d.size(),
+            ArrangementKind::Scalar(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for ProcArrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ArrangementKind::Array(d) => write!(f, "PROCESSORS {}{d}", self.name),
+            ArrangementKind::Scalar(_) => write!(f, "PROCESSORS {}", self.name),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors raised when declaring or querying processor arrangements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcsError {
+    /// An arrangement name was declared twice in the same processor space.
+    DuplicateName(String),
+    /// The named arrangement does not exist.
+    UnknownArrangement(String),
+    /// The arrangement (at its equivalence offset) does not fit in AP.
+    DoesNotFitAp {
+        /// Arrangement name.
+        name: String,
+        /// Equivalence offset into AP (0-based).
+        offset: usize,
+        /// Number of abstract processors the arrangement needs.
+        size: usize,
+        /// Total abstract processors available.
+        ap: usize,
+    },
+    /// A processor arrangement must have a non-empty index domain (§3).
+    EmptyArrangement(String),
+    /// An index was outside an arrangement's index domain.
+    BadProcessorIndex(String),
+    /// A section was invalid for the arrangement it targets.
+    BadSection(String),
+    /// An operation required an array arrangement but got a scalar one.
+    ScalarArrangement(String),
+}
+
+impl fmt::Display for ProcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcsError::DuplicateName(n) => {
+                write!(f, "processor arrangement `{n}` declared twice")
+            }
+            ProcsError::UnknownArrangement(n) => {
+                write!(f, "unknown processor arrangement `{n}`")
+            }
+            ProcsError::DoesNotFitAp { name, offset, size, ap } => write!(
+                f,
+                "arrangement `{name}` needs {size} abstract processors at offset {offset}, \
+                 but AP has only {ap}"
+            ),
+            ProcsError::EmptyArrangement(n) => {
+                write!(f, "processor arrangement `{n}` must have a non-empty index domain (§3)")
+            }
+            ProcsError::BadProcessorIndex(n) => {
+                write!(f, "index out of bounds for processor arrangement `{n}`")
+            }
+            ProcsError::BadSection(n) => {
+                write!(f, "invalid section of processor arrangement `{n}`")
+            }
+            ProcsError::ScalarArrangement(n) => {
+                write!(f, "arrangement `{n}` is conceptually scalar and has no index domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcsError {}

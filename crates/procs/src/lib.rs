@@ -1,0 +1,62 @@
+//! # hpf-procs — processor arrangements and the abstract processor space
+//!
+//! Implements §3 of Chapman, Mehrotra & Zima, *"High Performance Fortran
+//! Without Templates"* (PPoPP 1993):
+//!
+//! > Each implementation of HPF determines uniquely an **implicit abstract
+//! > processor arrangement, AP**, which specifies a linear numbering scheme
+//! > for the physical processors of the underlying machine. [...] Each
+//! > processor arrangement is mapped to AP in the same way as storage
+//! > association is defined for the Fortran 90 EQUIVALENCE statement, with
+//! > abstract processors playing the role of the storage units.
+//!
+//! The crate provides:
+//!
+//! * [`ProcId`] — a 1-based abstract processor number in AP.
+//! * [`ProcSpace`] — the AP plus all declared arrangements.
+//! * [`ProcArrangement`] — a named **processor array arrangement** (with an
+//!   index domain) or **conceptually scalar arrangement**, each mapped onto
+//!   AP column-major at an equivalence offset.
+//! * [`ProcTarget`] — a distribution target: an arrangement or a *section*
+//!   of one (the paper's generalization "arrays may be distributed to
+//!   processor sections").
+//! * [`ScalarPolicy`] — the three §3 options for where data mapped to a
+//!   scalar arrangement lives (control processor / arbitrary / replicated).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrangement;
+mod error;
+mod space;
+mod target;
+
+pub use arrangement::{ArrangementId, ArrangementKind, ProcArrangement, ScalarPolicy};
+pub use error::ProcsError;
+pub use space::ProcSpace;
+pub use target::ProcTarget;
+
+use std::fmt;
+
+/// A 1-based abstract processor number in the implicit linear arrangement
+/// AP (the paper numbers processors `1..NP`, matching Fortran convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// 0-based position in AP (for indexing Rust-side vectors).
+    pub fn zero_based(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Build from a 0-based position.
+    pub fn from_zero_based(p: usize) -> Self {
+        ProcId(p as u32 + 1)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}

@@ -1,0 +1,349 @@
+use crate::{
+    ArrangementId, ArrangementKind, ProcArrangement, ProcId, ProcsError, ScalarPolicy,
+};
+use hpf_index::{Idx, IndexDomain};
+use std::collections::HashMap;
+
+/// The abstract processor arrangement AP plus every declared processor
+/// arrangement (§3).
+///
+/// AP is a linear numbering `1..=ap_size` of the physical processors.
+/// Declared arrangements are laid onto AP column-major at an *equivalence
+/// offset*; two arrangements whose AP footprints overlap share abstract —
+/// and therefore physical — processors, exactly like Fortran 90
+/// `EQUIVALENCE` storage association.
+///
+/// ```
+/// use hpf_index::IndexDomain;
+/// use hpf_procs::{ProcSpace, ProcId};
+///
+/// let mut ps = ProcSpace::new(32);
+/// let pr = ps.declare_array("PR", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+/// let grid = ps.declare_array("GRID", IndexDomain::of_shape(&[4, 8]).unwrap()).unwrap();
+/// // GRID(2,3) is AP processor 1 + (2-1) + (3-1)*4 = P10 ...
+/// assert_eq!(ps.ap_of(grid, &hpf_index::Idx::d2(2, 3)).unwrap(), ProcId(10));
+/// // ... and shares its physical processor with PR(10).
+/// assert_eq!(ps.ap_of(pr, &hpf_index::Idx::d1(10)).unwrap(), ProcId(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcSpace {
+    ap_size: usize,
+    arrangements: Vec<ProcArrangement>,
+    by_name: HashMap<String, ArrangementId>,
+}
+
+impl ProcSpace {
+    /// Create a processor space whose AP has `ap_size` processors.
+    ///
+    /// # Panics
+    /// Panics if `ap_size == 0`.
+    pub fn new(ap_size: usize) -> Self {
+        assert!(ap_size > 0, "AP must contain at least one processor");
+        ProcSpace { ap_size, arrangements: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Number of abstract processors in AP.
+    pub fn ap_size(&self) -> usize {
+        self.ap_size
+    }
+
+    /// All abstract processors, `P1..=Pn`.
+    pub fn all_procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (1..=self.ap_size as u32).map(ProcId)
+    }
+
+    /// Declare a processor array arrangement at equivalence offset 0.
+    pub fn declare_array(
+        &mut self,
+        name: &str,
+        domain: IndexDomain,
+    ) -> Result<ArrangementId, ProcsError> {
+        self.declare_array_at(name, domain, 0)
+    }
+
+    /// Declare a processor array arrangement whose first element is
+    /// associated with AP position `offset` (0-based) — the general form of
+    /// §3 storage association.
+    pub fn declare_array_at(
+        &mut self,
+        name: &str,
+        domain: IndexDomain,
+        offset: usize,
+    ) -> Result<ArrangementId, ProcsError> {
+        if domain.is_empty() || domain.rank() == 0 {
+            return Err(ProcsError::EmptyArrangement(name.to_string()));
+        }
+        let size = domain.size();
+        if offset + size > self.ap_size {
+            return Err(ProcsError::DoesNotFitAp {
+                name: name.to_string(),
+                offset,
+                size,
+                ap: self.ap_size,
+            });
+        }
+        self.insert(name, ArrangementKind::Array(domain), offset)
+    }
+
+    /// Declare a *reshaped view* of an existing arrangement: a new name
+    /// and index domain over exactly the same abstract processors (same
+    /// equivalence offset, same total size).
+    ///
+    /// This is the §9 Vienna Fortran facility the paper mentions
+    /// ("processor arrays could also be reshaped, now expressed by means
+    /// of the HPF VIEW attribute"): `VIEW G(4,8) OF PR(32)`.
+    pub fn declare_reshape(
+        &mut self,
+        name: &str,
+        domain: IndexDomain,
+        of: ArrangementId,
+    ) -> Result<ArrangementId, ProcsError> {
+        let base = self.get(of);
+        if domain.is_empty() || domain.rank() == 0 {
+            return Err(ProcsError::EmptyArrangement(name.to_string()));
+        }
+        if domain.size() != base.size() {
+            return Err(ProcsError::DoesNotFitAp {
+                name: name.to_string(),
+                offset: base.offset,
+                size: domain.size(),
+                ap: base.size(),
+            });
+        }
+        let offset = base.offset;
+        self.insert(name, ArrangementKind::Array(domain), offset)
+    }
+
+    /// Declare a conceptually scalar processor arrangement.
+    pub fn declare_scalar(
+        &mut self,
+        name: &str,
+        policy: ScalarPolicy,
+    ) -> Result<ArrangementId, ProcsError> {
+        if let ScalarPolicy::Arbitrary(p) = policy {
+            if p.0 == 0 || p.zero_based() >= self.ap_size {
+                return Err(ProcsError::BadProcessorIndex(name.to_string()));
+            }
+        }
+        self.insert(name, ArrangementKind::Scalar(policy), 0)
+    }
+
+    fn insert(
+        &mut self,
+        name: &str,
+        kind: ArrangementKind,
+        offset: usize,
+    ) -> Result<ArrangementId, ProcsError> {
+        if self.by_name.contains_key(name) {
+            return Err(ProcsError::DuplicateName(name.to_string()));
+        }
+        let id = ArrangementId(self.arrangements.len());
+        self.arrangements.push(ProcArrangement { name: name.to_string(), kind, offset });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up an arrangement by name.
+    pub fn by_name(&self, name: &str) -> Result<ArrangementId, ProcsError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ProcsError::UnknownArrangement(name.to_string()))
+    }
+
+    /// The arrangement record.
+    pub fn get(&self, id: ArrangementId) -> &ProcArrangement {
+        &self.arrangements[id.0]
+    }
+
+    /// All declared arrangements.
+    pub fn arrangements(&self) -> impl Iterator<Item = (ArrangementId, &ProcArrangement)> {
+        self.arrangements.iter().enumerate().map(|(k, a)| (ArrangementId(k), a))
+    }
+
+    /// Map an arrangement index to its abstract processor: the §3 storage
+    /// association (column-major position + equivalence offset, 1-based).
+    pub fn ap_of(&self, id: ArrangementId, idx: &Idx) -> Result<ProcId, ProcsError> {
+        let arr = self.get(id);
+        match &arr.kind {
+            ArrangementKind::Scalar(_) => Err(ProcsError::ScalarArrangement(arr.name.clone())),
+            ArrangementKind::Array(dom) => {
+                let pos = dom
+                    .linearize(idx)
+                    .map_err(|_| ProcsError::BadProcessorIndex(arr.name.clone()))?;
+                Ok(ProcId((arr.offset + pos) as u32 + 1))
+            }
+        }
+    }
+
+    /// The set of abstract processors a scalar arrangement's data resides
+    /// on, under its [`ScalarPolicy`].
+    pub fn scalar_residence(&self, id: ArrangementId) -> Result<Vec<ProcId>, ProcsError> {
+        let arr = self.get(id);
+        match &arr.kind {
+            ArrangementKind::Array(_) => Err(ProcsError::BadProcessorIndex(arr.name.clone())),
+            ArrangementKind::Scalar(policy) => Ok(match policy {
+                ScalarPolicy::ControlProcessor => vec![ProcId(1)],
+                ScalarPolicy::Arbitrary(p) => vec![*p],
+                ScalarPolicy::ReplicateAll => self.all_procs().collect(),
+            }),
+        }
+    }
+
+    /// Inverse of [`ProcSpace::ap_of`]: the arrangement index living on
+    /// abstract processor `p`, if `p` is inside the arrangement's footprint.
+    pub fn index_of(&self, id: ArrangementId, p: ProcId) -> Option<Idx> {
+        let arr = self.get(id);
+        let dom = arr.domain()?;
+        let pos = p.zero_based().checked_sub(arr.offset)?;
+        if pos >= dom.size() {
+            return None;
+        }
+        Some(dom.delinearize(pos).expect("pos < size"))
+    }
+
+    /// True iff the two arrangements share at least one abstract processor
+    /// ("The sharing of an abstract processor implies the sharing of the
+    /// associated physical processor", §3).
+    pub fn overlap(&self, a: ArrangementId, b: ArrangementId) -> bool {
+        let (aa, ab) = (self.get(a), self.get(b));
+        let (s1, e1) = (aa.offset, aa.offset + aa.size());
+        let (s2, e2) = (ab.offset, ab.offset + ab.size());
+        s1 < e2 && s2 < e1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut ps = ProcSpace::new(32);
+        let pr = ps.declare_array("PR", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+        assert_eq!(ps.by_name("PR").unwrap(), pr);
+        assert!(ps.by_name("NOPE").is_err());
+        assert_eq!(ps.get(pr).name(), "PR");
+        assert_eq!(ps.get(pr).size(), 32);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut ps = ProcSpace::new(4);
+        ps.declare_array("P", IndexDomain::of_shape(&[4]).unwrap()).unwrap();
+        assert_eq!(
+            ps.declare_array("P", IndexDomain::of_shape(&[2]).unwrap()),
+            Err(ProcsError::DuplicateName("P".into()))
+        );
+    }
+
+    #[test]
+    fn must_fit_ap() {
+        let mut ps = ProcSpace::new(8);
+        assert!(matches!(
+            ps.declare_array("BIG", IndexDomain::of_shape(&[9]).unwrap()),
+            Err(ProcsError::DoesNotFitAp { .. })
+        ));
+        assert!(matches!(
+            ps.declare_array_at("OFF", IndexDomain::of_shape(&[8]).unwrap(), 1),
+            Err(ProcsError::DoesNotFitAp { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_arrangement_rejected() {
+        let mut ps = ProcSpace::new(8);
+        assert_eq!(
+            ps.declare_array("E", IndexDomain::standard(&[(5, 4)]).unwrap()),
+            Err(ProcsError::EmptyArrangement("E".into()))
+        );
+    }
+
+    #[test]
+    fn column_major_storage_association() {
+        let mut ps = ProcSpace::new(32);
+        let grid = ps.declare_array("G", IndexDomain::of_shape(&[4, 8]).unwrap()).unwrap();
+        // Fortran EQUIVALENCE: G(1,1)→P1, G(2,1)→P2, ..., G(1,2)→P5 ...
+        assert_eq!(ps.ap_of(grid, &Idx::d2(1, 1)).unwrap(), ProcId(1));
+        assert_eq!(ps.ap_of(grid, &Idx::d2(2, 1)).unwrap(), ProcId(2));
+        assert_eq!(ps.ap_of(grid, &Idx::d2(1, 2)).unwrap(), ProcId(5));
+        assert_eq!(ps.ap_of(grid, &Idx::d2(4, 8)).unwrap(), ProcId(32));
+    }
+
+    #[test]
+    fn equivalence_offset_and_overlap() {
+        let mut ps = ProcSpace::new(16);
+        let a = ps.declare_array("A", IndexDomain::of_shape(&[8]).unwrap()).unwrap();
+        let b = ps.declare_array_at("B", IndexDomain::of_shape(&[8]).unwrap(), 8).unwrap();
+        let c = ps.declare_array_at("C", IndexDomain::of_shape(&[4]).unwrap(), 6).unwrap();
+        assert_eq!(ps.ap_of(b, &Idx::d1(1)).unwrap(), ProcId(9));
+        assert!(!ps.overlap(a, b));
+        assert!(ps.overlap(a, c));
+        assert!(ps.overlap(b, c));
+    }
+
+    #[test]
+    fn index_of_inverse() {
+        let mut ps = ProcSpace::new(40);
+        let g = ps
+            .declare_array_at("G", IndexDomain::standard(&[(0, 3), (1, 5)]).unwrap(), 4)
+            .unwrap();
+        for i in ps.get(g).domain().unwrap().clone().iter() {
+            let p = ps.ap_of(g, &i).unwrap();
+            assert_eq!(ps.index_of(g, p), Some(i));
+        }
+        assert_eq!(ps.index_of(g, ProcId(1)), None); // before the offset
+        assert_eq!(ps.index_of(g, ProcId(40)), None); // past the footprint
+    }
+
+    #[test]
+    fn reshape_views_share_processors() {
+        let mut ps = ProcSpace::new(32);
+        let pr = ps.declare_array("PR", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+        let g = ps
+            .declare_reshape("G", IndexDomain::of_shape(&[4, 8]).unwrap(), pr)
+            .unwrap();
+        // VIEW: G(i,j) is the same physical processor as PR(i + 4(j−1))
+        for i in 1..=4i64 {
+            for j in 1..=8i64 {
+                assert_eq!(
+                    ps.ap_of(g, &Idx::d2(i, j)).unwrap(),
+                    ps.ap_of(pr, &Idx::d1(i + 4 * (j - 1))).unwrap()
+                );
+            }
+        }
+        assert!(ps.overlap(pr, g));
+        // size mismatch rejected
+        assert!(matches!(
+            ps.declare_reshape("H", IndexDomain::of_shape(&[4, 4]).unwrap(), pr),
+            Err(ProcsError::DoesNotFitAp { .. })
+        ));
+    }
+
+    #[test]
+    fn reshape_of_offset_arrangement() {
+        let mut ps = ProcSpace::new(16);
+        let half = ps
+            .declare_array_at("HALF", IndexDomain::of_shape(&[8]).unwrap(), 8)
+            .unwrap();
+        let v = ps
+            .declare_reshape("V", IndexDomain::of_shape(&[2, 4]).unwrap(), half)
+            .unwrap();
+        // the view inherits the equivalence offset
+        assert_eq!(ps.ap_of(v, &Idx::d2(1, 1)).unwrap(), ProcId(9));
+        assert_eq!(ps.ap_of(v, &Idx::d2(2, 4)).unwrap(), ProcId(16));
+    }
+
+    #[test]
+    fn scalar_arrangement_policies() {
+        let mut ps = ProcSpace::new(4);
+        let ctl = ps.declare_scalar("CTL", ScalarPolicy::ControlProcessor).unwrap();
+        let arb = ps.declare_scalar("ARB", ScalarPolicy::Arbitrary(ProcId(3))).unwrap();
+        let rep = ps.declare_scalar("REP", ScalarPolicy::ReplicateAll).unwrap();
+        assert_eq!(ps.scalar_residence(ctl).unwrap(), vec![ProcId(1)]);
+        assert_eq!(ps.scalar_residence(arb).unwrap(), vec![ProcId(3)]);
+        assert_eq!(ps.scalar_residence(rep).unwrap().len(), 4);
+        assert!(ps.ap_of(ctl, &Idx::d1(1)).is_err());
+        assert!(ps.declare_scalar("BAD", ScalarPolicy::Arbitrary(ProcId(9))).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+use crate::{ArrangementId, ProcId, ProcSpace, ProcsError};
+use hpf_index::{Idx, IndexDomain, Section};
+use std::fmt;
+
+/// A distribution target (§4): a processor array arrangement **or a section
+/// thereof** — one of the paper's generalizations over HPF:
+///
+/// > 1. Arrays may be distributed to processor sections.
+///
+/// A target presents a *standard* index domain `[1:e1, ..., 1:er]` to the
+/// distribution functions (the `I^R` of Definition 2); `ap_at` resolves a
+/// target-relative index through the section embedding and the §3 storage
+/// association down to an abstract processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcTarget {
+    arrangement: ArrangementId,
+    section: Section,
+}
+
+impl ProcTarget {
+    /// Target the whole arrangement.
+    pub fn whole(ps: &ProcSpace, id: ArrangementId) -> Result<Self, ProcsError> {
+        let arr = ps.get(id);
+        let dom = arr
+            .domain()
+            .ok_or_else(|| ProcsError::ScalarArrangement(arr.name().to_string()))?;
+        Ok(ProcTarget { arrangement: id, section: Section::full(dom) })
+    }
+
+    /// Target a section of an arrangement, e.g. `Q(1:NOP:2)`.
+    pub fn section(ps: &ProcSpace, id: ArrangementId, section: Section) -> Result<Self, ProcsError> {
+        let arr = ps.get(id);
+        let dom = arr
+            .domain()
+            .ok_or_else(|| ProcsError::ScalarArrangement(arr.name().to_string()))?;
+        section
+            .validate(dom)
+            .map_err(|_| ProcsError::BadSection(arr.name().to_string()))?;
+        if section.size() == 0 {
+            return Err(ProcsError::BadSection(arr.name().to_string()));
+        }
+        Ok(ProcTarget { arrangement: id, section })
+    }
+
+    /// The targeted arrangement.
+    pub fn arrangement(&self) -> ArrangementId {
+        self.arrangement
+    }
+
+    /// The section of the arrangement being targeted.
+    pub fn section_ref(&self) -> &Section {
+        &self.section
+    }
+
+    /// Rank of the target (scalar section subscripts reduce rank).
+    pub fn rank(&self) -> usize {
+        self.section.rank()
+    }
+
+    /// Extent of target dimension `d` (0-based over non-scalar dims) —
+    /// the `NP` of the §4.1 distribution-function definitions.
+    pub fn extent(&self, d: usize) -> usize {
+        self.domain().extent(d)
+    }
+
+    /// Total number of processors in the target.
+    pub fn size(&self) -> usize {
+        self.section.size()
+    }
+
+    /// The standard index domain `[1:e1, ..., 1:er]` the distribution
+    /// functions map into.
+    pub fn domain(&self) -> IndexDomain {
+        self.section.domain().expect("validated at construction").standardized()
+    }
+
+    /// Resolve a target-relative index (1-based per dimension) to the
+    /// abstract processor that owns it.
+    pub fn ap_at(&self, ps: &ProcSpace, rel: &Idx) -> Result<ProcId, ProcsError> {
+        let arr_idx = self
+            .section
+            .embed(rel)
+            .map_err(|_| ProcsError::BadProcessorIndex(ps.get(self.arrangement).name().into()))?;
+        ps.ap_of(self.arrangement, &arr_idx)
+    }
+
+    /// Every abstract processor covered by the target, in column-major
+    /// target order.
+    pub fn all_aps(&self, ps: &ProcSpace) -> Vec<ProcId> {
+        self.domain()
+            .iter()
+            .map(|rel| self.ap_at(ps, &rel).expect("validated target"))
+            .collect()
+    }
+}
+
+impl fmt::Display for ProcTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target#{}{}", self.arrangement.0, self.section)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_index::{triplet, SectionDim};
+
+    fn space() -> (ProcSpace, ArrangementId) {
+        let mut ps = ProcSpace::new(16);
+        let q = ps.declare_array("Q", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        (ps, q)
+    }
+
+    #[test]
+    fn whole_target() {
+        let (ps, q) = space();
+        let t = ProcTarget::whole(&ps, q).unwrap();
+        assert_eq!(t.rank(), 1);
+        assert_eq!(t.extent(0), 16);
+        assert_eq!(t.ap_at(&ps, &Idx::d1(1)).unwrap(), ProcId(1));
+        assert_eq!(t.ap_at(&ps, &Idx::d1(16)).unwrap(), ProcId(16));
+    }
+
+    #[test]
+    fn odd_processor_section() {
+        // the paper's `DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)` target
+        let (ps, q) = space();
+        let t = ProcTarget::section(
+            &ps,
+            q,
+            Section::from_triplets(vec![triplet(1, 16, 2)]),
+        )
+        .unwrap();
+        assert_eq!(t.extent(0), 8);
+        // target position k lives on Q(2k−1) → AP P(2k−1)
+        for k in 1..=8i64 {
+            assert_eq!(t.ap_at(&ps, &Idx::d1(k)).unwrap(), ProcId(2 * k as u32 - 1));
+        }
+        assert_eq!(
+            t.all_aps(&ps),
+            (1..=16).step_by(2).map(ProcId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rank_reducing_section_of_grid() {
+        let mut ps = ProcSpace::new(32);
+        let g = ps.declare_array("G", IndexDomain::of_shape(&[4, 8]).unwrap()).unwrap();
+        // row 3 of the grid: G(3, :) — a rank-1 target of 8 processors
+        let t = ProcTarget::section(
+            &ps,
+            g,
+            Section::new(vec![
+                SectionDim::Scalar(3),
+                SectionDim::Triplet(triplet(1, 8, 1)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(t.rank(), 1);
+        assert_eq!(t.size(), 8);
+        // G(3,j) is AP 3 + (j−1)*4
+        assert_eq!(t.ap_at(&ps, &Idx::d1(1)).unwrap(), ProcId(3));
+        assert_eq!(t.ap_at(&ps, &Idx::d1(2)).unwrap(), ProcId(7));
+    }
+
+    #[test]
+    fn bad_sections_rejected() {
+        let (ps, q) = space();
+        assert!(ProcTarget::section(
+            &ps,
+            q,
+            Section::from_triplets(vec![triplet(1, 17, 1)])
+        )
+        .is_err());
+        assert!(ProcTarget::section(
+            &ps,
+            q,
+            Section::from_triplets(vec![triplet(5, 4, 1)])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scalar_arrangement_cannot_be_target() {
+        let mut ps = ProcSpace::new(4);
+        let s = ps
+            .declare_scalar("S", crate::ScalarPolicy::ControlProcessor)
+            .unwrap();
+        assert!(ProcTarget::whole(&ps, s).is_err());
+    }
+}

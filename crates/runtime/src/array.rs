@@ -1,0 +1,220 @@
+use hpf_core::EffectiveDist;
+use hpf_index::{Idx, IndexDomain, Rect, Region};
+use hpf_procs::ProcId;
+use std::sync::Arc;
+
+/// An array distributed over the simulated machine's processors.
+///
+/// Each processor holds a local buffer covering exactly the region the
+/// mapping assigns to it (`owned_region`); replicated mappings give several
+/// processors a copy of the same element, and writes keep all copies
+/// coherent (the §2.2 footnote's replication semantics).
+#[derive(Debug, Clone)]
+pub struct DistArray<T> {
+    name: String,
+    mapping: Arc<EffectiveDist>,
+    np: usize,
+    regions: Vec<Region>,
+    locals: Vec<Vec<T>>,
+}
+
+impl<T: Clone> DistArray<T> {
+    /// Create with every element initialized to `init`.
+    pub fn new(name: &str, mapping: Arc<EffectiveDist>, np: usize, init: T) -> Self {
+        Self::from_fn(name, mapping, np, |_| init.clone())
+    }
+
+    /// Create with `f(global_index)` as the initial value of each element.
+    pub fn from_fn(
+        name: &str,
+        mapping: Arc<EffectiveDist>,
+        np: usize,
+        mut f: impl FnMut(&Idx) -> T,
+    ) -> Self {
+        let mut regions = Vec::with_capacity(np);
+        let mut locals = Vec::with_capacity(np);
+        for p in 1..=np as u32 {
+            let region = mapping.owned_region(ProcId(p));
+            let mut buf = Vec::with_capacity(region.volume_disjoint());
+            for i in region.iter() {
+                buf.push(f(&i));
+            }
+            regions.push(region);
+            locals.push(buf);
+        }
+        DistArray { name: name.to_string(), mapping, np, regions, locals }
+    }
+
+    /// Array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The mapping the storage follows.
+    pub fn mapping(&self) -> &Arc<EffectiveDist> {
+        &self.mapping
+    }
+
+    /// Global index domain.
+    pub fn domain(&self) -> &IndexDomain {
+        self.mapping.domain()
+    }
+
+    /// Number of processors.
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// The region processor `p` owns.
+    pub fn region_of(&self, p: ProcId) -> &Region {
+        &self.regions[p.zero_based()]
+    }
+
+    /// Local buffer length of processor `p` (its memory footprint).
+    pub fn local_len(&self, p: ProcId) -> usize {
+        self.locals[p.zero_based()].len()
+    }
+
+    /// Total storage over all processors (> domain size iff replicated).
+    pub fn total_storage(&self) -> usize {
+        self.locals.iter().map(Vec::len).sum()
+    }
+
+    /// Position of global index `i` within `p`'s local buffer.
+    fn local_offset(&self, p: ProcId, i: &Idx) -> Option<usize> {
+        let region = &self.regions[p.zero_based()];
+        let mut base = 0usize;
+        for rect in region.rects() {
+            if rect.contains(i) {
+                return Some(base + rect_position(rect, i));
+            }
+            base += rect.volume();
+        }
+        None
+    }
+
+    /// Read element `i` from its (first) owner's local memory.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the array domain.
+    pub fn get(&self, i: &Idx) -> T {
+        let p = self.mapping.owner(i);
+        let off = self
+            .local_offset(p, i)
+            .unwrap_or_else(|| panic!("{}: owner {p} does not hold {i}", self.name));
+        self.locals[p.zero_based()][off].clone()
+    }
+
+    /// Write element `i` into every owner's copy.
+    pub fn set(&mut self, i: &Idx, v: T) {
+        let owners = self.mapping.owners(i);
+        for p in owners.iter() {
+            let off = self
+                .local_offset(p, i)
+                .unwrap_or_else(|| panic!("{}: owner {p} does not hold {i}", self.name));
+            self.locals[p.zero_based()][off] = v.clone();
+        }
+    }
+
+    /// Snapshot the whole array in column-major global order.
+    pub fn to_dense(&self) -> Vec<T> {
+        self.domain().clone().iter().map(|i| self.get(&i)).collect()
+    }
+
+    /// Per-processor `(region, mutable local buffer)` views, for the
+    /// parallel executor.
+    pub(crate) fn parts_mut(&mut self) -> (&[Region], &mut [Vec<T>]) {
+        (&self.regions, &mut self.locals)
+    }
+}
+
+/// Column-major position of `i` within a rect (assumes membership).
+pub(crate) fn rect_position(rect: &Rect, i: &Idx) -> usize {
+    let mut pos = 0usize;
+    let mut w = 1usize;
+    for (d, t) in rect.dims().iter().enumerate() {
+        pos += t.position(i[d]).expect("membership checked") * w;
+        w *= t.len();
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec, ProcSet};
+
+    fn block_array(n: usize, np: usize) -> DistArray<f64> {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64)
+    }
+
+    #[test]
+    fn storage_partitions_elements() {
+        let a = block_array(10, 4);
+        assert_eq!(a.total_storage(), 10);
+        assert_eq!(a.local_len(ProcId(1)), 3);
+        assert_eq!(a.local_len(ProcId(4)), 1);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = block_array(16, 4);
+        assert_eq!(a.get(&Idx::d1(7)), 7.0);
+        a.set(&Idx::d1(7), 99.0);
+        assert_eq!(a.get(&Idx::d1(7)), 99.0);
+        let dense = a.to_dense();
+        assert_eq!(dense[6], 99.0);
+        assert_eq!(dense[0], 1.0);
+    }
+
+    #[test]
+    fn cyclic_local_layout() {
+        let mut ds = DataSpace::new(3);
+        let id = ds.declare("C", IndexDomain::of_shape(&[10]).unwrap()).unwrap();
+        ds.distribute(id, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        let c = DistArray::from_fn("C", ds.effective(id).unwrap(), 3, |i| i[0]);
+        // P1 owns 1,4,7,10
+        assert_eq!(c.local_len(ProcId(1)), 4);
+        for v in [1i64, 4, 7, 10] {
+            assert_eq!(c.get(&Idx::d1(v)), v);
+        }
+    }
+
+    #[test]
+    fn replicated_array_keeps_copies_coherent() {
+        let dom = IndexDomain::of_shape(&[5]).unwrap();
+        let mapping = Arc::new(hpf_core::EffectiveDist::Replicated {
+            domain: dom,
+            procs: ProcSet::all(3),
+        });
+        let mut r = DistArray::new("R", mapping, 3, 0i64);
+        assert_eq!(r.total_storage(), 15); // 3 full copies
+        r.set(&Idx::d1(2), 42);
+        // every copy sees the write
+        for p in 1..=3u32 {
+            assert_eq!(r.local_len(ProcId(p)), 5);
+        }
+        assert_eq!(r.get(&Idx::d1(2)), 42);
+        assert_eq!(r.to_dense(), vec![0, 42, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_dim_storage() {
+        let mut ds = DataSpace::new(4);
+        ds.declare_processors("G", IndexDomain::of_shape(&[2, 2]).unwrap()).unwrap();
+        let id = ds.declare("M", IndexDomain::of_shape(&[6, 6]).unwrap()).unwrap();
+        ds.distribute(
+            id,
+            &DistributeSpec::to(vec![FormatSpec::Block, FormatSpec::Block], "G"),
+        )
+        .unwrap();
+        let m = DistArray::from_fn("M", ds.effective(id).unwrap(), 4, |i| i[0] * 10 + i[1]);
+        assert_eq!(m.total_storage(), 36);
+        for i in m.domain().clone().iter() {
+            assert_eq!(m.get(&i), i[0] * 10 + i[1]);
+        }
+    }
+}

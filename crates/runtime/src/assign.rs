@@ -1,0 +1,256 @@
+use hpf_core::HpfError;
+use hpf_index::{Idx, IndexDomain, Section};
+use std::fmt;
+
+/// One right-hand-side operand: an array reference through a section, e.g.
+/// the `U(0:N-1,:)` of the §8.1.1 statement.
+#[derive(Debug, Clone)]
+pub struct Term {
+    /// Index of the operand array in the executor's array list.
+    pub array: usize,
+    /// The section read.
+    pub section: Section,
+}
+
+impl Term {
+    /// Build a term.
+    pub fn new(array: usize, section: Section) -> Self {
+        Term { array, section }
+    }
+}
+
+/// How RHS element values combine into the LHS value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Sum of all operands (the staggered-grid statement).
+    Sum,
+    /// Arithmetic mean.
+    Average,
+    /// Maximum.
+    Max,
+    /// Copy the single operand (requires exactly one term).
+    Copy,
+}
+
+impl Combine {
+    /// Apply to one element's operand values.
+    pub fn apply(&self, vals: &[f64]) -> f64 {
+        match self {
+            Combine::Sum => vals.iter().sum(),
+            Combine::Average => {
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            }
+            Combine::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Combine::Copy => vals[0],
+        }
+    }
+}
+
+/// An element-wise array assignment over conforming sections:
+///
+/// ```text
+/// LHS(lhs_section) = combine(RHS_1(sec_1), ..., RHS_k(sec_k))
+/// ```
+///
+/// All sections must have the same rank and extents (Fortran 90 array
+/// assignment conformance); corresponding elements are matched in
+/// column-major section order. The §8.1.1 statement
+/// `P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)` is four `Sum` terms.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Index of the LHS array.
+    pub lhs: usize,
+    /// The LHS section written.
+    pub lhs_section: Section,
+    /// RHS operands.
+    pub terms: Vec<Term>,
+    /// Combiner.
+    pub combine: Combine,
+}
+
+impl Assignment {
+    /// Build and validate shape conformance against the arrays' domains.
+    pub fn new(
+        lhs: usize,
+        lhs_section: Section,
+        terms: Vec<Term>,
+        combine: Combine,
+        domains: &[&IndexDomain],
+    ) -> Result<Self, HpfError> {
+        let a = Assignment { lhs, lhs_section, terms, combine };
+        a.validate(domains)?;
+        Ok(a)
+    }
+
+    /// Check rank/extent conformance of all sections and their containment
+    /// in the arrays' domains. `domains[k]` is the domain of array `k`.
+    pub fn validate(&self, domains: &[&IndexDomain]) -> Result<(), HpfError> {
+        let lhs_dom = domains
+            .get(self.lhs)
+            .ok_or_else(|| HpfError::UnknownArray(format!("array #{}", self.lhs)))?;
+        self.lhs_section.validate(lhs_dom)?;
+        let shape: Vec<usize> = section_shape(&self.lhs_section);
+        if matches!(self.combine, Combine::Copy) && self.terms.len() != 1 {
+            return Err(HpfError::NotConforming(
+                "Copy assignment requires exactly one RHS term".into(),
+            ));
+        }
+        for t in &self.terms {
+            let dom = domains
+                .get(t.array)
+                .ok_or_else(|| HpfError::UnknownArray(format!("array #{}", t.array)))?;
+            t.section.validate(dom)?;
+            let ts = section_shape(&t.section);
+            if ts != shape {
+                return Err(HpfError::NotConforming(format!(
+                    "RHS section shape {ts:?} does not conform to LHS shape {shape:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of elements assigned.
+    pub fn element_count(&self) -> usize {
+        self.lhs_section.size()
+    }
+
+    /// The LHS global index at section-relative position `rel` (1-based per
+    /// dimension).
+    pub fn lhs_index(&self, rel: &Idx) -> Idx {
+        self.lhs_section.embed(rel).expect("validated")
+    }
+
+    /// The RHS global index of term `t` at section-relative position `rel`.
+    pub fn rhs_index(&self, t: usize, rel: &Idx) -> Idx {
+        self.terms[t].section.embed(rel).expect("validated")
+    }
+
+    /// Iterate all section-relative positions (column-major, 1-based).
+    pub fn positions(&self) -> impl Iterator<Item = Idx> {
+        let shape = section_shape(&self.lhs_section);
+        IndexDomain::of_shape(&shape).expect("rank checked").iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}{} = ", self.lhs, self.lhs_section)?;
+        for (k, t) in self.terms.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ⊕ ")?;
+            }
+            write!(f, "A{}{}", t.array, t.section)?;
+        }
+        write!(f, "  [{:?}]", self.combine)
+    }
+}
+
+/// The extents of a section's non-scalar dimensions.
+pub(crate) fn section_shape(s: &Section) -> Vec<usize> {
+    s.dims()
+        .iter()
+        .filter(|d| !d.is_scalar())
+        .map(|d| d.as_triplet().len())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_index::{span, triplet, SectionDim};
+
+    #[test]
+    fn combine_ops() {
+        assert_eq!(Combine::Sum.apply(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(Combine::Average.apply(&[2.0, 4.0]), 3.0);
+        assert_eq!(Combine::Max.apply(&[2.0, 4.0, 1.0]), 4.0);
+        assert_eq!(Combine::Copy.apply(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn conformance_checked() {
+        let d1 = IndexDomain::of_shape(&[10]).unwrap();
+        let d2 = IndexDomain::of_shape(&[20]).unwrap();
+        let doms: Vec<&IndexDomain> = vec![&d1, &d2];
+        // A(1:10) = B(1:20:2) — conforming (both 10 elements)
+        assert!(Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 10)]),
+            vec![Term::new(1, Section::from_triplets(vec![triplet(1, 20, 2)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .is_ok());
+        // A(1:10) = B(1:5) — not conforming
+        assert!(Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 10)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 5)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn index_correspondence() {
+        let d1 = IndexDomain::of_shape(&[10]).unwrap();
+        let d2 = IndexDomain::of_shape(&[20]).unwrap();
+        let doms: Vec<&IndexDomain> = vec![&d1, &d2];
+        let a = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 10)]),
+            vec![Term::new(1, Section::from_triplets(vec![triplet(2, 20, 2)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        assert_eq!(a.lhs_index(&Idx::d1(3)), Idx::d1(3));
+        assert_eq!(a.rhs_index(0, &Idx::d1(3)), Idx::d1(6));
+        assert_eq!(a.element_count(), 10);
+        assert_eq!(a.positions().count(), 10);
+    }
+
+    #[test]
+    fn rank_reducing_sections_conform() {
+        // A(:, 3) (rank 1 of rank 2) = B(1:6)
+        let d1 = IndexDomain::of_shape(&[6, 4]).unwrap();
+        let d2 = IndexDomain::of_shape(&[6]).unwrap();
+        let doms: Vec<&IndexDomain> = vec![&d1, &d2];
+        let a = Assignment::new(
+            0,
+            Section::new(vec![
+                SectionDim::Triplet(span(1, 6)),
+                SectionDim::Scalar(3),
+            ]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 6)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        assert_eq!(a.lhs_index(&Idx::d1(2)), Idx::d2(2, 3));
+        assert_eq!(a.rhs_index(0, &Idx::d1(2)), Idx::d1(2));
+    }
+
+    #[test]
+    fn copy_requires_single_term() {
+        let d = IndexDomain::of_shape(&[4]).unwrap();
+        let doms: Vec<&IndexDomain> = vec![&d];
+        assert!(Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 4)]),
+            vec![
+                Term::new(0, Section::from_triplets(vec![span(1, 4)])),
+                Term::new(0, Section::from_triplets(vec![span(1, 4)])),
+            ],
+            Combine::Copy,
+            &doms,
+        )
+        .is_err());
+    }
+}

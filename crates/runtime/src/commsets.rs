@@ -1,0 +1,389 @@
+use crate::assign::Assignment;
+use hpf_core::EffectiveDist;
+use hpf_index::{Rect, Region, Section, SectionDim, Triplet};
+use hpf_machine::CommStats;
+use hpf_procs::ProcId;
+use std::sync::Arc;
+
+/// The result of communication-set analysis for one assignment under the
+/// owner-computes rule: who sends how much to whom, and how much each
+/// processor computes.
+#[derive(Debug, Clone)]
+pub struct CommAnalysis {
+    /// The traffic matrix (vectorized per processor pair).
+    pub comm: CommStats,
+    /// Per-processor compute loads in element-operations
+    /// (`elements computed × RHS terms`).
+    pub loads: Vec<u64>,
+    /// Operand reads satisfied from local memory.
+    pub local_reads: u64,
+    /// Operand reads requiring a transfer.
+    pub remote_reads: u64,
+}
+
+impl CommAnalysis {
+    /// Fraction of operand reads that were remote (0.0 = fully collocated —
+    /// the paper's ideal).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_reads + self.remote_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_reads as f64 / total as f64
+        }
+    }
+}
+
+/// Compute the exact communication sets of `stmt` under the owner-computes
+/// rule, given the effective mapping of every array (`mappings[k]` maps
+/// array `k`).
+///
+/// When every involved mapping partitions its array (no replication), the
+/// analysis is purely region-algebraic: the set moving `q → p` for term `t`
+/// is `sec_t(owned_L(p) ∩ sec_L) ∩ owned_t(q)` — intersections of strided
+/// rects, no element enumeration. Replicated mappings fall back to an exact
+/// element-wise analysis with first-owner-computes semantics.
+pub fn comm_analysis(
+    mappings: &[Arc<EffectiveDist>],
+    np: usize,
+    stmt: &Assignment,
+) -> CommAnalysis {
+    let partitioned = involved_arrays(stmt)
+        .into_iter()
+        .all(|k| is_partition(&mappings[k], np));
+    if partitioned {
+        region_analysis(mappings, np, stmt)
+    } else {
+        elementwise_analysis(mappings, np, stmt)
+    }
+}
+
+fn involved_arrays(stmt: &Assignment) -> Vec<usize> {
+    let mut v = vec![stmt.lhs];
+    v.extend(stmt.terms.iter().map(|t| t.array));
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// A mapping partitions its domain iff total owned volume equals the
+/// domain size (each element exactly one owner).
+fn is_partition(m: &EffectiveDist, np: usize) -> bool {
+    let total: usize =
+        (1..=np as u32).map(|p| m.owned_region(ProcId(p)).volume_disjoint()).sum();
+    total == m.domain().size()
+}
+
+fn region_analysis(
+    mappings: &[Arc<EffectiveDist>],
+    np: usize,
+    stmt: &Assignment,
+) -> CommAnalysis {
+    let mut comm = CommStats::new();
+    let mut loads = vec![0u64; np];
+    let mut local_reads = 0u64;
+    let mut remote_reads = 0u64;
+
+    // cache owned regions of every RHS array per processor
+    let mut rhs_owned: Vec<Vec<Region>> = Vec::with_capacity(stmt.terms.len());
+    for t in &stmt.terms {
+        rhs_owned.push(
+            (1..=np as u32)
+                .map(|q| mappings[t.array].owned_region(ProcId(q)))
+                .collect(),
+        );
+    }
+
+    for p in 1..=np as u32 {
+        let lhs_owned = mappings[stmt.lhs].owned_region(ProcId(p));
+        let positions = project_region(&lhs_owned, &stmt.lhs_section);
+        let n_computed = positions.volume_disjoint() as u64;
+        if n_computed == 0 {
+            continue;
+        }
+        loads[(p - 1) as usize] = n_computed * stmt.terms.len() as u64;
+        for (t, term) in stmt.terms.iter().enumerate() {
+            let reads = embed_region(&positions, &term.section);
+            for q in 1..=np as u32 {
+                let vol = reads.intersection_volume(&rhs_owned[t][q as usize - 1]) as u64;
+                if q == p {
+                    local_reads += vol;
+                } else if vol > 0 {
+                    remote_reads += vol;
+                    comm.record(ProcId(q), ProcId(p), vol);
+                }
+            }
+        }
+    }
+    CommAnalysis { comm, loads, local_reads, remote_reads }
+}
+
+fn elementwise_analysis(
+    mappings: &[Arc<EffectiveDist>],
+    np: usize,
+    stmt: &Assignment,
+) -> CommAnalysis {
+    let mut comm = CommStats::new();
+    let mut loads = vec![0u64; np];
+    let mut local_reads = 0u64;
+    let mut remote_reads = 0u64;
+
+    for rel in stmt.positions() {
+        let li = stmt.lhs_index(&rel);
+        let owners = mappings[stmt.lhs].owners(&li);
+        let computer = owners.iter().next().expect("non-empty image");
+        loads[computer.zero_based()] += stmt.terms.len() as u64;
+        for (t, _) in stmt.terms.iter().enumerate() {
+            let ri = stmt.rhs_index(t, &rel);
+            let r_owners = mappings[stmt.terms[t].array].owners(&ri);
+            if r_owners.contains(computer) {
+                local_reads += 1;
+            } else {
+                remote_reads += 1;
+                comm.record(r_owners.iter().next().expect("non-empty"), computer, 1);
+            }
+        }
+        // replication: the computer forwards the result to the other owners
+        for other in owners.iter() {
+            if other != computer {
+                comm.record(computer, other, 1);
+            }
+        }
+    }
+    CommAnalysis { comm, loads, local_reads, remote_reads }
+}
+
+/// Intersect a global region with a section and rewrite into
+/// section-relative (1-based) position space, dropping scalar dimensions.
+pub(crate) fn project_region(region: &Region, section: &Section) -> Region {
+    let mut out = Region::empty(section.rank());
+    'rects: for rect in region.rects() {
+        let mut dims = Vec::with_capacity(section.rank());
+        for (d, sd) in section.dims().iter().enumerate() {
+            match sd {
+                SectionDim::Scalar(v) => {
+                    if !rect.dim(d).contains(*v) {
+                        continue 'rects;
+                    }
+                }
+                SectionDim::Triplet(t) => {
+                    let hit = rect.dim(d).intersect(t);
+                    if hit.is_empty() {
+                        continue 'rects;
+                    }
+                    let (l, s) = (t.lower(), t.stride());
+                    let first = (hit.min().unwrap() - l) / s + 1;
+                    let last = (hit.max().unwrap() - l) / s + 1;
+                    let stride = (hit.stride() / s).abs().max(1);
+                    let (lo, hi) =
+                        if first <= last { (first, last) } else { (last, first) };
+                    dims.push(Triplet::new(lo, hi, stride).expect("stride > 0"));
+                }
+            }
+        }
+        out.push(Rect::new(dims));
+    }
+    out
+}
+
+/// Map a position-space region back to global indices through a section
+/// (inverse of [`project_region`]'s coordinate change).
+pub(crate) fn embed_region(positions: &Region, section: &Section) -> Region {
+    let rank = section.parent_rank();
+    let mut out = Region::empty(rank);
+    for rect in positions.rects() {
+        let mut dims = Vec::with_capacity(rank);
+        let mut r = 0usize;
+        for sd in section.dims() {
+            match sd {
+                SectionDim::Scalar(v) => dims.push(Triplet::scalar(*v)),
+                SectionDim::Triplet(t) => {
+                    let pos = rect.dim(r);
+                    r += 1;
+                    // position p → l + (p−1)·s
+                    let (l, s) = (t.lower(), t.stride());
+                    dims.push(
+                        pos.affine_image(s, l - s).expect("section bounds are small"),
+                    );
+                }
+            }
+        }
+        out.push(Rect::new(dims));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Combine, Term};
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain};
+
+    /// Brute-force analysis for validation (always element-wise).
+    fn brute(
+        mappings: &[Arc<EffectiveDist>],
+        np: usize,
+        stmt: &Assignment,
+    ) -> CommAnalysis {
+        elementwise_analysis(mappings, np, stmt)
+    }
+
+    fn two_block_arrays(n: usize, np: usize) -> (Vec<Arc<EffectiveDist>>, usize) {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        (vec![ds.effective(a).unwrap(), ds.effective(b).unwrap()], np)
+    }
+
+    #[test]
+    fn identical_distributions_no_comm() {
+        let (maps, np) = two_block_arrays(64, 4);
+        let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 64)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 64)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let a = comm_analysis(&maps, np, &stmt);
+        assert!(a.comm.is_empty());
+        assert_eq!(a.remote_reads, 0);
+        assert_eq!(a.local_reads, 64);
+        assert_eq!(a.loads.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn shifted_read_communicates_boundaries() {
+        // A(1:63) = B(2:64): block boundaries cross processors
+        let (maps, np) = two_block_arrays(64, 4);
+        let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 63)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(2, 64)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let got = comm_analysis(&maps, np, &stmt);
+        let want = brute(&maps, np, &stmt);
+        assert_eq!(got.comm, want.comm);
+        assert_eq!(got.loads, want.loads);
+        assert_eq!(got.remote_reads, want.remote_reads);
+        // each of the 3 internal boundaries moves exactly 1 element
+        assert_eq!(got.remote_reads, 3);
+        assert_eq!(got.comm.messages(), 3);
+    }
+
+    #[test]
+    fn block_vs_cyclic_mismatch_heavy_comm() {
+        let mut ds = DataSpace::new(4);
+        let a = ds.declare("A", IndexDomain::of_shape(&[64]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::of_shape(&[64]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        let maps = vec![ds.effective(a).unwrap(), ds.effective(b).unwrap()];
+        let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 64)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 64)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let got = comm_analysis(&maps, 4, &stmt);
+        let want = brute(&maps, 4, &stmt);
+        assert_eq!(got.comm, want.comm);
+        // 3 of 4 elements remote in every cyclic period
+        assert_eq!(got.remote_reads, 48);
+        assert!((got.remote_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strided_sections_region_path_exact() {
+        let (maps, np) = two_block_arrays(100, 4);
+        let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![hpf_index::triplet(1, 50, 1)]),
+            vec![Term::new(1, Section::from_triplets(vec![hpf_index::triplet(2, 100, 2)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let got = comm_analysis(&maps, np, &stmt);
+        let want = brute(&maps, np, &stmt);
+        assert_eq!(got.comm, want.comm);
+        assert_eq!(got.local_reads, want.local_reads);
+        assert_eq!(got.remote_reads, want.remote_reads);
+        assert_eq!(got.loads, want.loads);
+    }
+
+    #[test]
+    fn replicated_rhs_falls_back_exactly() {
+        // B replicated everywhere → all reads local, no comm
+        let mut ds = DataSpace::new(4);
+        let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let rep = Arc::new(EffectiveDist::Replicated {
+            domain: IndexDomain::of_shape(&[16]).unwrap(),
+            procs: hpf_core::ProcSet::all(4),
+        });
+        let maps = vec![ds.effective(a).unwrap(), rep];
+        let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 16)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 16)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let got = comm_analysis(&maps, 4, &stmt);
+        assert!(got.comm.is_empty());
+        assert_eq!(got.local_reads, 16);
+    }
+
+    #[test]
+    fn replicated_lhs_broadcasts_writes() {
+        // LHS replicated over all 4: computer sends each element to 3 peers
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::of_shape(&[8]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let rep = Arc::new(EffectiveDist::Replicated {
+            domain: IndexDomain::of_shape(&[8]).unwrap(),
+            procs: hpf_core::ProcSet::all(4),
+        });
+        let maps = vec![rep, ds.effective(b).unwrap()];
+        let doms: Vec<&IndexDomain> = maps.iter().map(|m| m.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 8)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 8)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let got = comm_analysis(&maps, 4, &stmt);
+        // 8 elements × 3 other owners of the replicated LHS
+        let write_traffic: u64 = got.comm.total_elements() - got.remote_reads;
+        assert_eq!(write_traffic, 24);
+    }
+
+    #[test]
+    fn project_embed_roundtrip() {
+        let section = Section::from_triplets(vec![hpf_index::triplet(2, 20, 2)]);
+        let region = Region::from_rect(Rect::new(vec![span(5, 15)]));
+        let pos = project_region(&region, &section);
+        // positions of values 6,8,10,12,14 → 3..7
+        let back = embed_region(&pos, &section);
+        let vals: Vec<i64> = back.iter().map(|i| i[0]).collect();
+        assert_eq!(vals, vec![6, 8, 10, 12, 14]);
+    }
+}

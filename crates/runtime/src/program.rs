@@ -1,0 +1,239 @@
+//! Multi-statement execution: a sequence of array assignments over a
+//! shared set of distributed arrays, with cumulative communication and
+//! load statistics — the unit the E-series experiments price on the
+//! machine model.
+
+use crate::assign::Assignment;
+use crate::commsets::CommAnalysis;
+use crate::exec::SeqExecutor;
+use crate::par::ParExecutor;
+use crate::DistArray;
+use hpf_core::HpfError;
+use hpf_machine::{CommStats, Machine, SuperstepReport};
+
+/// A program: distributed arrays plus an ordered statement list. Each
+/// statement executes as one BSP superstep (exchange, then compute).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The arrays, referenced by position from the statements.
+    pub arrays: Vec<DistArray<f64>>,
+    stmts: Vec<Assignment>,
+}
+
+impl Program {
+    /// Create over a set of arrays.
+    pub fn new(arrays: Vec<DistArray<f64>>) -> Self {
+        Program { arrays, stmts: Vec::new() }
+    }
+
+    /// Append a statement (validated against the arrays' domains).
+    pub fn push(&mut self, stmt: Assignment) -> Result<(), HpfError> {
+        let doms: Vec<&hpf_index::IndexDomain> =
+            self.arrays.iter().map(|a| a.domain()).collect();
+        stmt.validate(&doms)?;
+        self.stmts.push(stmt);
+        Ok(())
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True iff no statements were added.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Execute every statement in order with the sequential executor,
+    /// returning the per-statement analyses.
+    pub fn run(&mut self) -> Result<Vec<CommAnalysis>, HpfError> {
+        let mut out = Vec::with_capacity(self.stmts.len());
+        for stmt in &self.stmts {
+            out.push(SeqExecutor.execute(&mut self.arrays, stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute in order with the parallel executor.
+    pub fn run_parallel(&mut self, threads: usize) -> Result<Vec<CommAnalysis>, HpfError> {
+        let exec = ParExecutor::with_threads(threads);
+        let mut out = Vec::with_capacity(self.stmts.len());
+        for stmt in &self.stmts {
+            out.push(exec.execute(&mut self.arrays, stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Price a set of per-statement analyses on a machine: the sum of the
+    /// per-superstep estimates plus the merged traffic matrix.
+    pub fn price(analyses: &[CommAnalysis], machine: &Machine) -> (f64, CommStats, Vec<SuperstepReport>) {
+        let mut total = 0.0;
+        let mut traffic = CommStats::new();
+        let mut reports = Vec::with_capacity(analyses.len());
+        for a in analyses {
+            let rep = machine.superstep_time(&a.loads, &a.comm);
+            total += rep.total_time();
+            traffic.merge(&a.comm);
+            reports.push(rep);
+        }
+        (total, traffic, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Combine, Term};
+    use crate::exec::dense_reference;
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+
+    fn setup() -> Program {
+        let np = 4;
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        Program::new(vec![
+            DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 2) as f64),
+        ])
+    }
+
+    fn full(n: i64) -> Section {
+        Section::from_triplets(vec![span(1, n)])
+    }
+
+    #[test]
+    fn sequences_compose() {
+        let mut prog = setup();
+        let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+        // A = B; then B = A + B (reads the updated A)
+        let s1 = Assignment::new(
+            0,
+            full(32),
+            vec![Term::new(1, full(32))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let s2 = Assignment::new(
+            1,
+            full(32),
+            vec![Term::new(0, full(32)), Term::new(1, full(32))],
+            Combine::Sum,
+            &doms,
+        )
+        .unwrap();
+        prog.push(s1).unwrap();
+        prog.push(s2).unwrap();
+        assert_eq!(prog.len(), 2);
+        let analyses = prog.run().unwrap();
+        assert_eq!(analyses.len(), 2);
+        // A = B = 2i; then B = A + B = 4i
+        for i in 1..=32i64 {
+            assert_eq!(prog.arrays[0].get(&hpf_index::Idx::d1(i)), (2 * i) as f64);
+            assert_eq!(prog.arrays[1].get(&hpf_index::Idx::d1(i)), (4 * i) as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let build_stmts = |prog: &mut Program| {
+            let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+            let s1 = Assignment::new(
+                0,
+                Section::from_triplets(vec![span(2, 32)]),
+                vec![Term::new(1, Section::from_triplets(vec![span(1, 31)]))],
+                Combine::Copy,
+                &doms,
+            )
+            .unwrap();
+            let s2 = Assignment::new(
+                1,
+                full(32),
+                vec![Term::new(0, full(32))],
+                Combine::Copy,
+                &doms,
+            )
+            .unwrap();
+            prog.push(s1).unwrap();
+            prog.push(s2).unwrap();
+        };
+        let mut seq = setup();
+        build_stmts(&mut seq);
+        let mut par = setup();
+        build_stmts(&mut par);
+        seq.run().unwrap();
+        par.run_parallel(3).unwrap();
+        assert_eq!(seq.arrays[0].to_dense(), par.arrays[0].to_dense());
+        assert_eq!(seq.arrays[1].to_dense(), par.arrays[1].to_dense());
+    }
+
+    #[test]
+    fn pricing_accumulates() {
+        let mut prog = setup();
+        let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+        let s = Assignment::new(
+            0,
+            full(32),
+            vec![Term::new(1, full(32))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        prog.push(s.clone()).unwrap();
+        prog.push(s).unwrap();
+        let analyses = prog.run().unwrap();
+        let machine = Machine::simple(4);
+        let (total, traffic, reports) = Program::price(&analyses, &machine);
+        assert_eq!(reports.len(), 2);
+        assert!((total - (reports[0].total_time() + reports[1].total_time())).abs() < 1e-9);
+        assert_eq!(
+            traffic.total_elements(),
+            analyses[0].comm.total_elements() + analyses[1].comm.total_elements()
+        );
+    }
+
+    #[test]
+    fn invalid_statement_rejected() {
+        let mut prog = setup();
+        let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+        let bad = Assignment::new(
+            0,
+            full(32),
+            vec![Term::new(1, full(16))],
+            Combine::Copy,
+            &doms,
+        );
+        assert!(bad.is_err());
+        // rank mismatch detected at push-time too
+        let half = Assignment {
+            lhs: 0,
+            lhs_section: full(32),
+            terms: vec![Term::new(1, full(16))],
+            combine: Combine::Copy,
+        };
+        assert!(prog.push(half).is_err());
+    }
+
+    #[test]
+    fn dense_reference_still_oracle() {
+        let mut prog = setup();
+        let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+        let s = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 16)]),
+            vec![Term::new(1, Section::from_triplets(vec![hpf_index::triplet(2, 32, 2)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let expect = dense_reference(&prog.arrays, &s);
+        prog.push(s).unwrap();
+        prog.run().unwrap();
+        assert_eq!(prog.arrays[0].to_dense(), expect);
+    }
+}

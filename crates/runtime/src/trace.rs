@@ -1,0 +1,76 @@
+use crate::commsets::CommAnalysis;
+use hpf_machine::{Machine, SuperstepReport};
+use std::fmt;
+
+/// A complete cost picture of one executed statement on a simulated
+/// machine: the communication analysis plus the machine-model time
+/// estimate.
+#[derive(Debug, Clone)]
+pub struct StatementTrace {
+    /// A short label (usually the statement's display form).
+    pub label: String,
+    /// The owner-computes communication analysis.
+    pub analysis: CommAnalysis,
+    /// The machine-model superstep estimate.
+    pub report: SuperstepReport,
+}
+
+impl StatementTrace {
+    /// Evaluate an analysis on a machine.
+    pub fn new(label: &str, analysis: CommAnalysis, machine: &Machine) -> Self {
+        let report = machine.superstep_time(&analysis.loads, &analysis.comm);
+        StatementTrace { label: label.to_string(), analysis, report }
+    }
+
+    /// One row of the experiment tables: label, messages, moved elements,
+    /// remote fraction, estimated time.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} {:>8} {:>12} {:>9.1}% {:>12.1}µs",
+            self.label,
+            self.report.messages,
+            self.report.elements,
+            self.analysis.remote_fraction() * 100.0,
+            self.report.total_time(),
+        )
+    }
+
+    /// The table header matching [`StatementTrace::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<28} {:>8} {:>12} {:>10} {:>14}",
+            "scheme", "msgs", "elements", "remote%", "est.time"
+        )
+    }
+}
+
+impl fmt::Display for StatementTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label, self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_machine::CommStats;
+    use hpf_procs::ProcId;
+
+    #[test]
+    fn trace_formats_row() {
+        let mut comm = CommStats::new();
+        comm.record(ProcId(1), ProcId(2), 10);
+        let analysis = CommAnalysis {
+            comm,
+            loads: vec![5, 5],
+            local_reads: 30,
+            remote_reads: 10,
+        };
+        let m = Machine::simple(2);
+        let t = StatementTrace::new("test-scheme", analysis, &m);
+        let row = t.row();
+        assert!(row.contains("test-scheme"));
+        assert!(StatementTrace::header().contains("remote%"));
+        assert!((t.analysis.remote_fraction() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+use hpf_core::HpfError;
+use std::fmt;
+
+/// Errors of the template model — including the §8.2 limitations the paper
+/// documents, surfaced as checked errors so the critique is executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// An underlying mapping-model error.
+    Core(HpfError),
+    /// Entity name already declared.
+    Duplicate(String),
+    /// Unknown entity name.
+    Unknown(String),
+    /// §8.2(1): "Templates cannot handle allocatable arrays. [...] Methods
+    /// to avoid this dilemma would include the definition of allocatable
+    /// templates [...] (neither of which are a serious alternative)."
+    TemplateNotAllocatable(String),
+    /// §8.2(2): "Templates cannot be passed across procedure boundaries."
+    /// Raised when a procedure-local description needs the caller's
+    /// template.
+    TemplateNotVisibleInProcedure {
+        /// The template that would be needed.
+        template: String,
+        /// The procedure that cannot see it.
+        procedure: String,
+    },
+    /// Templates may only appear in directives; they cannot be read,
+    /// written or passed (they are "not first class objects").
+    TemplateNotFirstClass(String),
+    /// The entity is already aligned.
+    AlreadyAligned(String),
+    /// A distribution was given to an aligned entity.
+    AlignedEntityDistributed(String),
+    /// Alignment would create a cycle.
+    AlignmentCycle(String),
+    /// No distribution reachable through the align chain.
+    NoDistribution(String),
+    /// Template shapes are fixed at entry to the program unit: they use
+    /// specification expressions, so run-time shapes are impossible
+    /// ("the size of templates has to be a specification expression").
+    TemplateShapeNotSpecTime(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Core(e) => write!(f, "{e}"),
+            TemplateError::Duplicate(n) => write!(f, "entity `{n}` already declared"),
+            TemplateError::Unknown(n) => write!(f, "unknown entity `{n}`"),
+            TemplateError::TemplateNotAllocatable(n) => write!(
+                f,
+                "§8.2(1): template `{n}` cannot be ALLOCATABLE — template shapes are \
+                 specification expressions fixed at unit entry"
+            ),
+            TemplateError::TemplateNotVisibleInProcedure { template, procedure } => write!(
+                f,
+                "§8.2(2): template `{template}` cannot be passed across the procedure \
+                 boundary into `{procedure}`; the dummy's mapping cannot be described"
+            ),
+            TemplateError::TemplateNotFirstClass(n) => write!(
+                f,
+                "template `{n}` is not a first-class object (directives only)"
+            ),
+            TemplateError::AlreadyAligned(n) => write!(f, "`{n}` is already aligned"),
+            TemplateError::AlignedEntityDistributed(n) => {
+                write!(f, "`{n}` is aligned; only ultimate align targets are distributed")
+            }
+            TemplateError::AlignmentCycle(n) => {
+                write!(f, "aligning `{n}` would create an alignment cycle")
+            }
+            TemplateError::NoDistribution(n) => write!(
+                f,
+                "no distribution reachable from `{n}` through its align chain"
+            ),
+            TemplateError::TemplateShapeNotSpecTime(n) => write!(
+                f,
+                "template `{n}`'s shape must be a specification expression"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl From<HpfError> for TemplateError {
+    fn from(e: HpfError) -> Self {
+        TemplateError::Core(e)
+    }
+}

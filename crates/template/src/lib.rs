@@ -1,0 +1,36 @@
+//! # hpf-template — the HPF 1.0-draft TEMPLATE model (baseline)
+//!
+//! This crate implements the *template-based* mapping model the paper
+//! argues against (§8), as the comparison baseline:
+//!
+//! > HPF provides the notion of a TEMPLATE, which is like an array whose
+//! > elements have no content and therefore occupy no storage; it is merely
+//! > an abstract index space that can be distributed and with which arrays
+//! > may be aligned.
+//!
+//! The model here covers what the §8 discussion needs:
+//!
+//! * templates as **tagged index domains** ("distinct definitions of
+//!   templates [...] are to be considered as different, independent of
+//!   their associated index domain"),
+//! * `ALIGN` to arrays *or templates*, with align chains of arbitrary
+//!   height resolved through the ultimate align target,
+//! * `DISTRIBUTE` of templates/root targets,
+//! * and — crucially — the paper's §8.2 critique as *checked errors*:
+//!   templates are not first-class, so they cannot be `ALLOCATABLE`
+//!   ([`TemplateError::TemplateNotAllocatable`]) and cannot be passed
+//!   across procedure boundaries
+//!   ([`TemplateError::TemplateNotVisibleInProcedure`]).
+//!
+//! Alignment syntax and distribution formats are shared with `hpf-core`
+//! (the two models agree on those), so experiments can express the *same*
+//! program in both models and compare the resulting owner maps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+
+pub use error::TemplateError;
+pub use model::{EntityId, EntityKind, TemplateModel};

@@ -1,0 +1,449 @@
+use crate::TemplateError;
+use hpf_core::{
+    reduce, AlignSpec, AlignmentFn, DistributeSpec, Distribution, EffectiveDist, ProcSet,
+};
+use hpf_index::{Idx, IndexDomain, Region};
+use hpf_procs::{ProcId, ProcSpace, ProcTarget};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of an entity (array or template) in a [`TemplateModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntityId(usize);
+
+/// What an entity is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKind {
+    /// A data array.
+    Array,
+    /// A template: "an abstract index space that can be distributed and
+    /// with which arrays may be aligned" — occupies no storage, tagged by
+    /// identity.
+    Template,
+}
+
+#[derive(Debug, Clone)]
+struct Entity {
+    name: String,
+    kind: EntityKind,
+    domain: IndexDomain,
+    align: Option<(EntityId, Arc<AlignmentFn>)>,
+    dist: Option<Arc<Distribution>>,
+}
+
+/// The HPF 1.0-draft mapping model: arrays and templates, align chains of
+/// arbitrary height, distributions on ultimate align targets.
+///
+/// Each template created "must be interpreted as a tagged index domain"
+/// (§8): two templates with identical shapes are distinct entities here by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct TemplateModel {
+    procs: ProcSpace,
+    entities: Vec<Entity>,
+    by_name: HashMap<String, EntityId>,
+}
+
+impl TemplateModel {
+    /// Create a model over `np` abstract processors.
+    pub fn new(np: usize) -> Self {
+        let mut procs = ProcSpace::new(np);
+        procs
+            .declare_array("__AP", IndexDomain::of_shape(&[np]).expect("rank 1"))
+            .expect("fresh space");
+        TemplateModel { procs, entities: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The processor space.
+    pub fn procs(&self) -> &ProcSpace {
+        &self.procs
+    }
+
+    /// Declare a processor arrangement.
+    pub fn declare_processors(
+        &mut self,
+        name: &str,
+        domain: IndexDomain,
+    ) -> Result<(), TemplateError> {
+        self.procs.declare_array(name, domain).map_err(hpf_core::HpfError::from)?;
+        Ok(())
+    }
+
+    /// `!HPF$ TEMPLATE T(shape)` — create a tagged abstract index space.
+    pub fn template(&mut self, name: &str, domain: IndexDomain) -> Result<EntityId, TemplateError> {
+        self.insert(name, EntityKind::Template, domain)
+    }
+
+    /// Declare a data array.
+    pub fn array(&mut self, name: &str, domain: IndexDomain) -> Result<EntityId, TemplateError> {
+        self.insert(name, EntityKind::Array, domain)
+    }
+
+    /// §8.2(1), executable: `ALLOCATABLE` templates do not exist. The HPF
+    /// draft fixes template shapes at unit entry via specification
+    /// expressions, so an allocatable template is a contradiction — this
+    /// method always fails, and the test suite pins that behaviour.
+    pub fn allocatable_template(&mut self, name: &str) -> Result<EntityId, TemplateError> {
+        Err(TemplateError::TemplateNotAllocatable(name.to_string()))
+    }
+
+    fn insert(
+        &mut self,
+        name: &str,
+        kind: EntityKind,
+        domain: IndexDomain,
+    ) -> Result<EntityId, TemplateError> {
+        if self.by_name.contains_key(name) {
+            return Err(TemplateError::Duplicate(name.to_string()));
+        }
+        let id = EntityId(self.entities.len());
+        self.entities.push(Entity { name: name.to_string(), kind, domain, align: None, dist: None });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up by name.
+    pub fn by_name(&self, name: &str) -> Result<EntityId, TemplateError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TemplateError::Unknown(name.to_string()))
+    }
+
+    /// Entity name.
+    pub fn name(&self, id: EntityId) -> &str {
+        &self.entities[id.0].name
+    }
+
+    /// Entity kind.
+    pub fn kind(&self, id: EntityId) -> EntityKind {
+        self.entities[id.0].kind
+    }
+
+    /// Entity index domain.
+    pub fn domain(&self, id: EntityId) -> &IndexDomain {
+        &self.entities[id.0].domain
+    }
+
+    /// `!HPF$ ALIGN alignee(...) WITH target(...)` — target may be an array
+    /// or a template; chains are allowed (the alignee's ultimate align
+    /// target is found by walking them).
+    pub fn align(
+        &mut self,
+        alignee: EntityId,
+        target: EntityId,
+        spec: &AlignSpec,
+    ) -> Result<(), TemplateError> {
+        if self.entities[alignee.0].align.is_some() {
+            return Err(TemplateError::AlreadyAligned(self.name(alignee).to_string()));
+        }
+        if self.entities[alignee.0].dist.is_some() {
+            return Err(TemplateError::AlignedEntityDistributed(
+                self.name(alignee).to_string(),
+            ));
+        }
+        // cycle check: walking from target must not reach alignee
+        let mut cur = Some(target);
+        while let Some(c) = cur {
+            if c == alignee {
+                return Err(TemplateError::AlignmentCycle(self.name(alignee).to_string()));
+            }
+            cur = self.entities[c.0].align.as_ref().map(|(t, _)| *t);
+        }
+        let f = reduce(spec, &self.entities[alignee.0].domain, &self.entities[target.0].domain)?;
+        self.entities[alignee.0].align = Some((target, Arc::new(f)));
+        Ok(())
+    }
+
+    /// `!HPF$ DISTRIBUTE target(formats) [TO procs]` — only ultimate align
+    /// targets (unaligned entities) may be distributed.
+    pub fn distribute(&mut self, id: EntityId, spec: &DistributeSpec) -> Result<(), TemplateError> {
+        if self.entities[id.0].align.is_some() {
+            return Err(TemplateError::AlignedEntityDistributed(self.name(id).to_string()));
+        }
+        let target = match &spec.target {
+            None => ProcTarget::whole(
+                &self.procs,
+                self.procs.by_name("__AP").map_err(hpf_core::HpfError::from)?,
+            )
+            .map_err(hpf_core::HpfError::from)?,
+            Some(t) => t.resolve(&self.procs)?,
+        };
+        let d = Distribution::new(
+            &self.entities[id.0].name,
+            &self.entities[id.0].domain,
+            &spec.formats,
+            target,
+            &self.procs,
+        )?;
+        self.entities[id.0].dist = Some(Arc::new(d));
+        Ok(())
+    }
+
+    /// The ultimate align target of an entity (itself if unaligned) and
+    /// the chain depth walked to reach it.
+    pub fn ultimate_target(&self, id: EntityId) -> (EntityId, usize) {
+        let mut cur = id;
+        let mut depth = 0;
+        while let Some((t, _)) = &self.entities[cur.0].align {
+            cur = *t;
+            depth += 1;
+        }
+        (cur, depth)
+    }
+
+    /// Resolve the effective distribution by composing the align chain on
+    /// top of the ultimate target's distribution.
+    pub fn resolve(&self, id: EntityId) -> Result<Arc<EffectiveDist>, TemplateError> {
+        let e = &self.entities[id.0];
+        match (&e.align, &e.dist) {
+            (None, Some(d)) => Ok(Arc::new(EffectiveDist::Direct(d.clone()))),
+            (None, None) => Err(TemplateError::NoDistribution(e.name.clone())),
+            (Some((t, f)), _) => {
+                let base = self.resolve(*t)?;
+                Ok(Arc::new(EffectiveDist::Aligned { align: f.clone(), base }))
+            }
+        }
+    }
+
+    /// Owners of one element of an entity.
+    pub fn owners(&self, id: EntityId, i: &Idx) -> Result<ProcSet, TemplateError> {
+        Ok(self.resolve(id)?.owners(i))
+    }
+
+    /// The region of an entity owned by processor `p`.
+    pub fn owned_region(&self, id: EntityId, p: ProcId) -> Result<Region, TemplateError> {
+        Ok(self.resolve(id)?.owned_region(p))
+    }
+
+    /// §8.2(2), executable: describing a dummy argument's mapping inside a
+    /// procedure requires referring to the actual's template — which is not
+    /// visible there. If the entity's ultimate align target is a template,
+    /// this fails exactly as the paper describes; if it is an array (or the
+    /// entity is unaligned), the description works.
+    pub fn describe_in_procedure(
+        &self,
+        id: EntityId,
+        procedure: &str,
+    ) -> Result<Arc<EffectiveDist>, TemplateError> {
+        let (root, _) = self.ultimate_target(id);
+        if self.entities[root.0].kind == EntityKind::Template && root != id {
+            return Err(TemplateError::TemplateNotVisibleInProcedure {
+                template: self.entities[root.0].name.clone(),
+                procedure: procedure.to_string(),
+            });
+        }
+        self.resolve(id)
+    }
+
+    /// Templates occupy no storage and cannot be read or written — any
+    /// attempt to use one as data is a compile-time error in HPF; here it
+    /// is a checked error.
+    pub fn read_element(&self, id: EntityId, _i: &Idx) -> Result<(), TemplateError> {
+        match self.entities[id.0].kind {
+            EntityKind::Template => {
+                Err(TemplateError::TemplateNotFirstClass(self.name(id).to_string()))
+            }
+            EntityKind::Array => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_core::{AlignExpr as E, FormatSpec};
+
+    fn dom2(b: &[(i64, i64); 2]) -> IndexDomain {
+        IndexDomain::standard(b).unwrap()
+    }
+
+    /// Build the §8.1.1 Thole staggered-grid program in the template model.
+    fn thole(n: i64, np_side: usize, formats: Vec<FormatSpec>) -> (TemplateModel, EntityId, EntityId, EntityId) {
+        let mut m = TemplateModel::new(np_side * np_side);
+        m.declare_processors(
+            "PGRID",
+            IndexDomain::of_shape(&[np_side, np_side]).unwrap(),
+        )
+        .unwrap();
+        let t = m.template("T", dom2(&[(0, 2 * n), (0, 2 * n)])).unwrap();
+        let p = m.array("P", dom2(&[(1, n), (1, n)])).unwrap();
+        let u = m.array("U", dom2(&[(0, n), (1, n)])).unwrap();
+        let v = m.array("V", dom2(&[(1, n), (0, n)])).unwrap();
+        // ALIGN P(I,J) WITH T(2*I−1, 2*J−1)
+        m.align(p, t, &AlignSpec::with_exprs(2, vec![E::dummy(0) * 2 - 1, E::dummy(1) * 2 - 1]))
+            .unwrap();
+        // ALIGN U(I,J) WITH T(2*I, 2*J−1)
+        m.align(u, t, &AlignSpec::with_exprs(2, vec![E::dummy(0) * 2, E::dummy(1) * 2 - 1]))
+            .unwrap();
+        // ALIGN V(I,J) WITH T(2*I−1, 2*J)
+        m.align(v, t, &AlignSpec::with_exprs(2, vec![E::dummy(0) * 2 - 1, E::dummy(1) * 2]))
+            .unwrap();
+        m.distribute(t, &DistributeSpec::to(formats, "PGRID")).unwrap();
+        (m, p, u, v)
+    }
+
+    #[test]
+    fn template_is_tagged_index_domain() {
+        let mut m = TemplateModel::new(4);
+        let t1 = m.template("T1", dom2(&[(1, 8), (1, 8)])).unwrap();
+        let t2 = m.template("T2", dom2(&[(1, 8), (1, 8)])).unwrap();
+        assert_ne!(t1, t2, "same shape, distinct identity");
+        assert_eq!(m.kind(t1), EntityKind::Template);
+        assert!(m.read_element(t1, &Idx::d2(1, 1)).is_err());
+    }
+
+    #[test]
+    fn align_chain_and_ultimate_target() {
+        let mut m = TemplateModel::new(4);
+        let t = m.template("T", dom2(&[(1, 16), (1, 16)])).unwrap();
+        let b = m.array("B", dom2(&[(1, 16), (1, 16)])).unwrap();
+        let a = m.array("A", dom2(&[(1, 16), (1, 16)])).unwrap();
+        m.align(b, t, &AlignSpec::identity(2)).unwrap();
+        m.align(a, b, &AlignSpec::identity(2)).unwrap(); // height-2 chain!
+        let (root, depth) = m.ultimate_target(a);
+        assert_eq!(root, t);
+        assert_eq!(depth, 2);
+        // resolution works through the chain once T is distributed
+        m.declare_processors("G", IndexDomain::of_shape(&[2, 2]).unwrap()).unwrap();
+        m.distribute(t, &DistributeSpec::to(vec![FormatSpec::Block, FormatSpec::Block], "G"))
+            .unwrap();
+        for i in [Idx::d2(1, 1), Idx::d2(9, 9), Idx::d2(16, 1)] {
+            assert_eq!(m.owners(a, &i).unwrap(), m.owners(b, &i).unwrap());
+        }
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut m = TemplateModel::new(2);
+        let a = m.array("A", dom2(&[(1, 4), (1, 4)])).unwrap();
+        let b = m.array("B", dom2(&[(1, 4), (1, 4)])).unwrap();
+        m.align(a, b, &AlignSpec::identity(2)).unwrap();
+        assert!(matches!(
+            m.align(b, a, &AlignSpec::identity(2)),
+            Err(TemplateError::AlignmentCycle(_))
+        ));
+    }
+
+    #[test]
+    fn aligned_entity_cannot_be_distributed() {
+        let mut m = TemplateModel::new(2);
+        let t = m.template("T", dom2(&[(1, 4), (1, 4)])).unwrap();
+        let a = m.array("A", dom2(&[(1, 4), (1, 4)])).unwrap();
+        m.align(a, t, &AlignSpec::identity(2)).unwrap();
+        assert!(matches!(
+            m.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block, FormatSpec::Collapsed])),
+            Err(TemplateError::AlignedEntityDistributed(_))
+        ));
+    }
+
+    #[test]
+    fn unresolved_without_distribution() {
+        let mut m = TemplateModel::new(2);
+        let t = m.template("T", dom2(&[(1, 4), (1, 4)])).unwrap();
+        let a = m.array("A", dom2(&[(1, 4), (1, 4)])).unwrap();
+        m.align(a, t, &AlignSpec::identity(2)).unwrap();
+        assert!(matches!(m.resolve(a), Err(TemplateError::NoDistribution(_))));
+    }
+
+    #[test]
+    fn thole_cyclic_separates_all_neighbours() {
+        // §8.1.1: "the distribution (CYCLIC,CYCLIC)::T results in the worst
+        // possible effect, viz. different processor allocations for any two
+        // neighbors"
+        let n = 8;
+        let (m, p, u, _v) = thole(n, 2, vec![FormatSpec::Cyclic(1), FormatSpec::Cyclic(1)]);
+        for i in 1..=n {
+            for j in 1..=n {
+                // P(I,J) vs its stencil operand U(I,J)
+                let po = m.owners(p, &Idx::d2(i, j)).unwrap();
+                let uo = m.owners(u, &Idx::d2(i, j)).unwrap();
+                assert!(!po.intersects(&uo), "P({i},{j}) collocated with U({i},{j})!");
+                let uo2 = m.owners(u, &Idx::d2(i - 1, j)).unwrap();
+                assert!(!po.intersects(&uo2), "P({i},{j}) collocated with U({},{j})!", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn thole_block_collocates_interior() {
+        // with (BLOCK,BLOCK) on T(0:2N,0:2N) most neighbours are collocated
+        let n = 8;
+        let (m, p, u, _v) = thole(n, 2, vec![FormatSpec::Block, FormatSpec::Block]);
+        let mut local = 0usize;
+        let mut remote = 0usize;
+        for i in 1..=n {
+            for j in 1..=n {
+                let po = m.owners(p, &Idx::d2(i, j)).unwrap();
+                for uo in [
+                    m.owners(u, &Idx::d2(i, j)).unwrap(),
+                    m.owners(u, &Idx::d2(i - 1, j)).unwrap(),
+                ] {
+                    if po.intersects(&uo) {
+                        local += 1;
+                    } else {
+                        remote += 1;
+                    }
+                }
+            }
+        }
+        assert!(local > remote, "local={local} remote={remote}");
+    }
+
+    #[test]
+    fn critique_allocatable_template() {
+        let mut m = TemplateModel::new(2);
+        assert!(matches!(
+            m.allocatable_template("T"),
+            Err(TemplateError::TemplateNotAllocatable(_))
+        ));
+    }
+
+    #[test]
+    fn critique_template_across_procedure() {
+        // §8.1.2: A(1000) CYCLIC(3) via template; SUB cannot describe X's
+        // mapping because T is invisible there
+        let mut m = TemplateModel::new(4);
+        let t = m.template("T", IndexDomain::of_shape(&[1000]).unwrap()).unwrap();
+        let a = m.array("A", IndexDomain::of_shape(&[1000]).unwrap()).unwrap();
+        m.align(a, t, &AlignSpec::identity(1)).unwrap();
+        m.distribute(t, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        // inside the caller, A resolves fine
+        assert!(m.resolve(a).is_ok());
+        // inside SUB, the description fails: the root is a template
+        assert!(matches!(
+            m.describe_in_procedure(a, "SUB"),
+            Err(TemplateError::TemplateNotVisibleInProcedure { .. })
+        ));
+        // an array-rooted mapping, by contrast, crosses the boundary fine
+        let b = m.array("B", IndexDomain::of_shape(&[500]).unwrap()).unwrap();
+        let c = m.array("C", IndexDomain::of_shape(&[500]).unwrap()).unwrap();
+        m.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        m.align(c, b, &AlignSpec::identity(1)).unwrap();
+        assert!(m.describe_in_procedure(c, "SUB").is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names() {
+        let mut m = TemplateModel::new(2);
+        m.template("T", dom2(&[(1, 4), (1, 4)])).unwrap();
+        assert!(matches!(
+            m.template("T", dom2(&[(1, 4), (1, 4)])),
+            Err(TemplateError::Duplicate(_))
+        ));
+        assert!(matches!(m.by_name("X"), Err(TemplateError::Unknown(_))));
+        assert_eq!(m.by_name("T").unwrap(), EntityId(0));
+    }
+
+    #[test]
+    fn double_align_rejected() {
+        let mut m = TemplateModel::new(2);
+        let t = m.template("T", dom2(&[(1, 4), (1, 4)])).unwrap();
+        let a = m.array("A", dom2(&[(1, 4), (1, 4)])).unwrap();
+        m.align(a, t, &AlignSpec::identity(2)).unwrap();
+        assert!(matches!(
+            m.align(a, t, &AlignSpec::identity(2)),
+            Err(TemplateError::AlreadyAligned(_))
+        ));
+    }
+}

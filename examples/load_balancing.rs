@@ -1,0 +1,90 @@
+//! `GENERAL_BLOCK` load balancing (paper §1, §4.1.2).
+//!
+//! The paper generalizes HPF with `GENERAL_BLOCK`, "which is important for
+//! the support of load balancing, and can be implemented efficiently". This
+//! example distributes a triangular workload — row `i` of a lower-triangular
+//! solve costs `i` operations — three ways and compares the resulting
+//! compute makespans on the simulated machine:
+//!
+//! * `BLOCK` — equal element counts, terrible load balance;
+//! * `CYCLIC` — good balance but (for a sweep reading the previous row)
+//!   heavy neighbour communication;
+//! * `GENERAL_BLOCK` with weight-balanced bounds — balanced *and* local.
+//!
+//! Run with: `cargo run --release --example load_balancing`
+
+use hpf::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 4096;
+const NP: usize = 8;
+
+fn mapping(ds: &mut DataSpace, name: &str, spec: DistributeSpec) -> Arc<EffectiveDist> {
+    let id = ds.declare(name, IndexDomain::of_shape(&[N]).unwrap()).unwrap();
+    ds.distribute(id, &spec).unwrap();
+    ds.effective(id).unwrap()
+}
+
+fn main() {
+    // triangular weights: row i costs i element-operations
+    let weights: Vec<u64> = (1..=N as u64).collect();
+    let machine = Machine::new(NP, Topology::Ring, CostModel::default());
+
+    let mut ds = DataSpace::new(NP);
+    let block = mapping(&mut ds, "B", DistributeSpec::new(vec![FormatSpec::Block]));
+    let cyclic = mapping(&mut ds, "C", DistributeSpec::new(vec![FormatSpec::Cyclic(1)]));
+    // the §4.1.2 bound array G, computed by the library's balancer
+    let gb = GeneralBlock::balanced(&weights, NP).unwrap();
+    let bounds: Vec<i64> = (1..NP).map(|j| gb.bound(j)).collect();
+    let general = mapping(
+        &mut ds,
+        "G",
+        DistributeSpec::new(vec![FormatSpec::GeneralBlock(bounds.clone())]),
+    );
+
+    println!("triangular workload, N = {N}, NP = {NP} (ring)\n");
+    println!(
+        "{:<16} {:>14} {:>12} {:>12} {:>10}",
+        "scheme", "max proc load", "mean load", "imbalance", "comm elems"
+    );
+
+    for (label, map) in [
+        ("BLOCK", &block),
+        ("CYCLIC", &cyclic),
+        ("GENERAL_BLOCK", &general),
+    ] {
+        // per-processor weighted loads
+        let mut loads = vec![0u64; NP];
+        for p in 1..=NP as u32 {
+            for i in map.owned_region(ProcId(p)).iter() {
+                loads[(p - 1) as usize] += weights[(i[0] - 1) as usize];
+            }
+        }
+        // the sweep statement X(2:N) = X(1:N-1): neighbour communication
+        let doms = vec![map.domain()];
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, N as i64)]),
+            vec![Term::new(0, Section::from_triplets(vec![span(1, N as i64 - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let analysis = comm_analysis(&[map.clone()], NP, &stmt);
+        let rep = machine.superstep_time(&loads, &analysis.comm);
+        let max = *loads.iter().max().unwrap();
+        let mean = loads.iter().sum::<u64>() as f64 / NP as f64;
+        println!(
+            "{label:<16} {max:>14} {mean:>12.0} {:>11.2}x {:>10}",
+            rep.imbalance,
+            analysis.comm.total_elements(),
+        );
+    }
+
+    println!(
+        "\nGENERAL_BLOCK bounds G = {bounds:?}\n\
+         → near-perfect balance (imbalance ≈ 1.0) with only {} boundary\n\
+         transfers, vs CYCLIC's full-array neighbour traffic.",
+        NP - 1
+    );
+}

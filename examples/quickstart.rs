@@ -1,0 +1,53 @@
+//! Quickstart: the paper's model in twenty lines.
+//!
+//! Declares two arrays over four processors, distributes one `CYCLIC`,
+//! aligns the other to it, and shows the §2.3 collocation guarantee plus
+//! the §8.2 inquiry machinery.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hpf::prelude::*;
+
+fn main() -> Result<(), HpfError> {
+    // a machine with 4 abstract processors (the paper's AP, §3)
+    let mut ds = DataSpace::new(4);
+
+    // REAL B(16), A(16)
+    let b = ds.declare("B", IndexDomain::of_shape(&[16]).unwrap())?;
+    let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap())?;
+
+    // !HPF$ DISTRIBUTE B(CYCLIC)          (§4.1.3)
+    ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)]))?;
+
+    // !HPF$ ALIGN A(I) WITH B(17-I)       (§5: reversal alignment)
+    ds.align(a, b, &AlignSpec::with_exprs(1, vec![-AlignExpr::dummy(0) + 17]))?;
+
+    println!("B is CYCLIC over 4 processors; A(I) is aligned WITH B(17-I).\n");
+    println!("{:<6} {:<12} {:<6} {:<12}", "B(i)", "owner", "A(i)", "owner");
+    for i in 1..=8 {
+        println!(
+            "B({i:<2})  {:<12} A({i:<2})  {:<12}",
+            ds.owners(b, &Idx::d1(i))?.to_string(),
+            ds.owners(a, &Idx::d1(i))?.to_string(),
+        );
+    }
+
+    // the §2.3 guarantee: A(i) and B(17−i) always share a processor
+    for i in 1..=16 {
+        assert_eq!(ds.owners(a, &Idx::d1(i))?, ds.owners(b, &Idx::d1(17 - i))?);
+    }
+    println!("\ncollocation guarantee holds: A(i) lives with B(17-i) for all i");
+
+    // inquiry (§8.2): descriptors for both arrays
+    println!("\ndescriptors:");
+    for id in [b, a] {
+        println!("  {}", inquiry::describe(&ds, id));
+    }
+
+    // per-processor load picture
+    println!("\nownership histogram of B:");
+    for (p, n) in inquiry::ownership_histogram(&ds, b)? {
+        println!("  {p}: {n} elements");
+    }
+    Ok(())
+}

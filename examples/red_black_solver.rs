@@ -1,0 +1,105 @@
+//! Red-black Gauss–Seidel on the distributed runtime: a real numerical
+//! solver whose sweeps are *strided-section* assignments — the section
+//! algebra the model is built on (§2.1), exercised until convergence.
+//!
+//! Solves u″ = 0 on [0, N+1] with u(0) = 0, u(N+1) = 1 (exact solution is
+//! the straight line u(i) = i/(N+1)), by alternating:
+//!
+//! ```text
+//! U(2:N:2)   = (U(1:N-1:2) + U(3:N+1:2)) / 2    ! even (red) sweep
+//! U(3:N-1:2) = (U(2:N-2:2) + U(4:N:2)) / 2      ! odd (black) sweep
+//! ```
+//!
+//! and compares the per-sweep communication of BLOCK vs CYCLIC mappings:
+//! BLOCK pays only block-boundary ghosts; CYCLIC makes *every* read remote
+//! — the same §1 collocation story, now on a converging computation.
+//!
+//! Run with: `cargo run --release --example red_black_solver`
+
+use hpf::prelude::*;
+
+const N: i64 = 255; // interior points; boundaries at 0 and N+1
+const NP: usize = 4;
+
+fn solve(fmt: FormatSpec, label: &str) -> (usize, u64) {
+    let mut ds = DataSpace::new(NP);
+    let u = ds
+        .declare("U", IndexDomain::standard(&[(0, N + 1)]).unwrap())
+        .unwrap();
+    ds.distribute(u, &DistributeSpec::new(vec![fmt])).unwrap();
+    let map = ds.effective(u).unwrap();
+
+    // boundary conditions: u(0) = 0, u(N+1) = 1, interior starts at 0
+    let mut arrays = vec![DistArray::from_fn("U", map, NP, |i| {
+        if i[0] == N + 1 {
+            1.0
+        } else {
+            0.0
+        }
+    })];
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+
+    let red = Assignment::new(
+        0,
+        Section::from_triplets(vec![triplet(2, N, 2)]),
+        vec![
+            Term::new(0, Section::from_triplets(vec![triplet(1, N - 1, 2)])),
+            Term::new(0, Section::from_triplets(vec![triplet(3, N + 1, 2)])),
+        ],
+        Combine::Average,
+        &doms,
+    )
+    .unwrap();
+    let black = Assignment::new(
+        0,
+        Section::from_triplets(vec![triplet(1, N, 2)]),
+        vec![
+            Term::new(0, Section::from_triplets(vec![triplet(0, N - 1, 2)])),
+            Term::new(0, Section::from_triplets(vec![triplet(2, N + 1, 2)])),
+        ],
+        Combine::Average,
+        &doms,
+    )
+    .unwrap();
+
+    let exec = SeqExecutor;
+    let mut sweeps = 0usize;
+    let mut comm_per_iter;
+    loop {
+        let a1 = exec.execute(&mut arrays, &red).unwrap();
+        let a2 = exec.execute(&mut arrays, &black).unwrap();
+        comm_per_iter = a1.comm.total_elements() + a2.comm.total_elements();
+        sweeps += 1;
+        // convergence: max deviation from the exact line
+        let err = arrays[0]
+            .domain()
+            .clone()
+            .iter()
+            .map(|i| (arrays[0].get(&i) - i[0] as f64 / (N + 1) as f64).abs())
+            .fold(0.0f64, f64::max);
+        if err < 1e-3 || sweeps >= 200_000 {
+            println!(
+                "  {label:<8} converged to max|err| < 1e-3 in {sweeps} red+black sweeps, \
+                 comm {comm_per_iter} elems/sweep"
+            );
+            break;
+        }
+    }
+    (sweeps, comm_per_iter)
+}
+
+fn main() {
+    println!(
+        "red-black Gauss-Seidel, u'' = 0, N = {N} interior points, NP = {NP}\n\
+         (strided-section sweeps: U(2:N:2) = avg of odd neighbours, etc.)\n"
+    );
+    let (s1, c1) = solve(FormatSpec::Block, "BLOCK");
+    let (s2, c2) = solve(FormatSpec::Cyclic(1), "CYCLIC");
+    assert_eq!(s1, s2, "mapping must not change the numerics");
+    println!(
+        "\nidentical convergence ({s1} sweeps — mappings never change numerics),\n\
+         but CYCLIC moves {c2} elements per sweep where BLOCK moves {c1}\n\
+         ({}x): §1's collocation argument on a live solver.",
+        if c1 > 0 { c2 / c1 } else { 0 }
+    );
+}

@@ -1,0 +1,81 @@
+//! Procedure boundaries and array sections (paper §7, §8.1.2).
+//!
+//! `A(1000)` is distributed `CYCLIC(3)` and the section `A(2:996:2)` is
+//! passed to a subroutine. The §8.1.2 point: the dummy's inherited
+//! distribution *cannot be written as a format list* — but in the paper's
+//! model it is still a first-class attribute of the dummy that inquiry
+//! functions can interrogate, and inheritance costs no data movement.
+//!
+//! Run with: `cargo run --example subroutine_sections`
+
+use hpf::prelude::*;
+
+fn main() {
+    let src = r#"
+      PROGRAM MAIN
+      REAL A(1000)
+!HPF$ DISTRIBUTE A(CYCLIC(3))
+      CALL INHERIT_SUB(A(2:996:2))
+      CALL EXPLICIT_SUB(A(2:996:2))
+      END
+
+      SUBROUTINE INHERIT_SUB(X)
+      REAL X(:)
+!HPF$ DISTRIBUTE X *
+      END
+
+      SUBROUTINE EXPLICIT_SUB(X)
+      REAL X(:)
+!HPF$ DISTRIBUTE X(CYCLIC(3))
+      END
+"#;
+    let elab = Elaborator::new(4).run(src).expect("elaboration");
+    println!("program: A(1000) CYCLIC(3) over 4 processors");
+    println!("passing the section A(2:996:2) to two subroutines:\n");
+    for call in elab.report.calls() {
+        println!("CALL {}:", call.procedure);
+        if call.events.is_empty() {
+            println!("  no data movement (inherited distribution)");
+        }
+        for e in &call.events {
+            println!("  {e}");
+        }
+    }
+
+    // the same scenario through the programmatic API, with inquiry
+    let mut ds = DataSpace::new(4);
+    let a = ds.declare("A", IndexDomain::of_shape(&[1000]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    let def = ProcedureDef::new("SUB", vec![Dummy::new("X", DummySpec::Inherit)]);
+    let frame = CallFrame::enter(
+        &ds,
+        &def,
+        &[Actual::section(a, Section::from_triplets(vec![triplet(2, 996, 2)]))],
+    )
+    .unwrap();
+    let x = frame.dummy(0);
+
+    println!("\ninside SUB, the dummy X:");
+    let desc = inquiry::describe(frame.local(), x);
+    println!("  {desc}");
+    println!(
+        "  mapping kind: {:?} — no format list can express it (§8.2),",
+        inquiry::mapping_kind(&frame.local().effective(x).unwrap())
+    );
+    println!("  yet every aspect is inquirable:");
+    for k in [1i64, 2, 250, 498] {
+        println!(
+            "    owner of X({k:>3}) = {}   (= owner of A({:>3}))",
+            frame.local().owners(x, &Idx::d1(k)).unwrap(),
+            2 * k,
+        );
+    }
+    let hist = inquiry::ownership_histogram(frame.local(), x).unwrap();
+    println!("  per-processor element counts: {:?}", hist.iter().map(|&(_, n)| n).collect::<Vec<_>>());
+
+    let report = frame.exit().unwrap();
+    println!(
+        "\nexit restores the actual's distribution: {} elements moved",
+        report.total_volume()
+    );
+}

@@ -1,0 +1,234 @@
+//! Property tests on the alignment forest (§2.4): random storms of
+//! REDISTRIBUTE/REALIGN/ALLOCATE/DEALLOCATE must preserve the paper's
+//! invariants at every step.
+
+use hpf::prelude::*;
+use proptest::prelude::*;
+
+/// A randomized forest operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Redistribute { target: usize, fmt: u8 },
+    Realign { alignee: usize, base: usize },
+    Allocate { which: usize, n: u8 },
+    Deallocate { which: usize },
+}
+
+fn arb_op(arrays: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..arrays, 0..4u8).prop_map(|(target, fmt)| Op::Redistribute { target, fmt }),
+        (0..arrays, 0..arrays).prop_map(|(alignee, base)| Op::Realign { alignee, base }),
+        (0..arrays, 2..20u8).prop_map(|(which, n)| Op::Allocate { which, n }),
+        (0..arrays).prop_map(|which| Op::Deallocate { which }),
+    ]
+}
+
+fn fmt_of(k: u8) -> FormatSpec {
+    match k {
+        0 => FormatSpec::Block,
+        1 => FormatSpec::BlockBalanced,
+        2 => FormatSpec::Cyclic(1),
+        _ => FormatSpec::Cyclic(3),
+    }
+}
+
+/// The §2.4 invariants, checked exhaustively.
+fn check_invariants(ds: &DataSpace) {
+    for id in ds.all_arrays() {
+        if !ds.is_alive(id) {
+            assert!(ds.children(id).is_empty(), "dead array with children");
+            continue;
+        }
+        match ds.base_of(id) {
+            None => {
+                // primary: effective() must resolve
+                assert!(ds.is_primary(id), "alive non-primary without base");
+                ds.effective(id).expect("primary must resolve");
+            }
+            Some(base) => {
+                // secondary: base alive, primary (height ≤ 1), and lists us
+                assert!(ds.is_alive(base), "base of {} is dead", ds.name(id));
+                assert!(
+                    ds.is_primary(base),
+                    "§2.4(1): base {} is itself aligned",
+                    ds.name(base)
+                );
+                assert!(
+                    ds.children(base).contains(&id),
+                    "child link missing for {}",
+                    ds.name(id)
+                );
+                // collocation guarantee (Definition 4) on a sample point
+                let eff = ds.effective(id).expect("secondary must resolve");
+                let dom = ds.domain(id).unwrap().clone();
+                if let Some(first) = dom.iter().next() {
+                    assert!(!eff.owners(&first).is_empty());
+                }
+            }
+        }
+        // child lists point back
+        for &c in ds.children(id) {
+            assert_eq!(ds.base_of(c), Some(id), "asymmetric forest edge");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of dynamic operations leaves a legal forest, and every
+    /// element of every alive array keeps a non-empty owner set
+    /// (Definition 1's totality).
+    #[test]
+    fn forest_storm_preserves_invariants(ops in prop::collection::vec(arb_op(5), 1..40)) {
+        let mut ds = DataSpace::new(4);
+        let mut ids = Vec::new();
+        for k in 0..5usize {
+            let id = ds.declare_allocatable(&format!("A{k}"), 1).unwrap();
+            ds.set_dynamic(id);
+            ids.push(id);
+        }
+        for op in ops {
+            // all ops may legitimately fail (not allocated, base dead, ...);
+            // what must never happen is an invariant-breaking success
+            match op {
+                Op::Redistribute { target, fmt } => {
+                    let _ = ds.redistribute(ids[target], &DistributeSpec::new(vec![fmt_of(fmt)]));
+                }
+                Op::Realign { alignee, base } => {
+                    if alignee != base {
+                        let _ = ds.realign(ids[alignee], ids[base], &AlignSpec::identity(1));
+                    }
+                }
+                Op::Allocate { which, n } => {
+                    let _ = ds.allocate(ids[which], IndexDomain::of_shape(&[n as usize]).unwrap());
+                }
+                Op::Deallocate { which } => {
+                    let _ = ds.deallocate(ids[which]);
+                }
+            }
+            check_invariants(&ds);
+        }
+        // totality at the end
+        for &id in &ids {
+            if ds.is_alive(id) {
+                let dom = ds.domain(id).unwrap().clone();
+                for i in dom.iter() {
+                    prop_assert!(!ds.owners(id, &i).unwrap().is_empty());
+                }
+            }
+        }
+    }
+
+    /// Identity realign between equal-shaped arrays preserves the §2.3
+    /// collocation guarantee whatever the base's distribution.
+    #[test]
+    fn collocation_invariant_under_redistribution(fmt1 in 0..4u8, fmt2 in 0..4u8, n in 4..40usize) {
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        ds.set_dynamic(b);
+        ds.distribute(b, &DistributeSpec::new(vec![fmt_of(fmt1)])).unwrap();
+        ds.align(a, b, &AlignSpec::identity(1)).unwrap();
+        // redistribute the base: §4.2 keeps the alignment invariant
+        ds.redistribute(b, &DistributeSpec::new(vec![fmt_of(fmt2)])).unwrap();
+        for i in 1..=n as i64 {
+            prop_assert_eq!(
+                ds.owners(a, &Idx::d1(i)).unwrap(),
+                ds.owners(b, &Idx::d1(i)).unwrap()
+            );
+        }
+    }
+
+    /// owned_region partitions the domain for every non-replicated format,
+    /// under arbitrary axis bounds.
+    #[test]
+    fn owned_regions_partition(fmt in 0..4u8, lower in -20i64..20, extent in 1..60usize, np in 1..8usize) {
+        let mut ds = DataSpace::new(np);
+        let dom = IndexDomain::standard(&[(lower, lower + extent as i64 - 1)]).unwrap();
+        let a = ds.declare("A", dom.clone()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![fmt_of(fmt)])).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for p in 1..=np as u32 {
+            for i in ds.owned_region(a, ProcId(p)).unwrap().iter() {
+                prop_assert!(seen.insert(i[0]), "element {} owned twice", i[0]);
+                prop_assert_eq!(
+                    ds.owners(a, &i).unwrap().as_single().unwrap(),
+                    ProcId(p)
+                );
+            }
+        }
+        prop_assert_eq!(seen.len(), extent);
+    }
+
+    /// CONSTRUCT with affine alignments: A(i) owners equal B(a·i+c) owners
+    /// pointwise (the Definition 4 equation), for random strides/offsets.
+    #[test]
+    fn construct_matches_definition4(
+        fmt in 0..4u8,
+        a_coef in 1..4i64,
+        c_off in 0..8i64,
+        n in 4..24i64)
+    {
+        let base_n = a_coef * n + c_off;
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::standard(&[(1, base_n)]).unwrap()).unwrap();
+        let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![fmt_of(fmt)])).unwrap();
+        ds.align(a, b, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * a_coef + c_off]))
+            .unwrap();
+        for i in 1..=n {
+            prop_assert_eq!(
+                ds.owners(a, &Idx::d1(i)).unwrap(),
+                ds.owners(b, &Idx::d1(a_coef * i + c_off)).unwrap(),
+                "i = {}", i
+            );
+        }
+    }
+}
+
+/// Regression: a failing REALIGN/REDISTRIBUTE must leave the forest
+/// untouched (found by the storm test — the §5.2 steps used to mutate
+/// before validating).
+#[test]
+fn failing_directives_are_atomic() {
+    let mut ds = DataSpace::new(4);
+    let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+    let b = ds.declare("B", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+    let c = ds.declare("C", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+    ds.set_dynamic(a);
+    ds.set_dynamic(c);
+    // A aligned to B; C aligned to B
+    ds.realign(a, b, &AlignSpec::identity(1)).unwrap();
+    ds.realign(c, b, &AlignSpec::identity(1)).unwrap();
+
+    // failing REALIGN: target base A is secondary (and not aligned to C)
+    let before_children: Vec<_> = ds.children(b).to_vec();
+    assert!(matches!(
+        ds.realign(c, a, &AlignSpec::identity(1)),
+        Err(HpfError::BaseIsSecondary(_))
+    ));
+    // forest unchanged: C still aligned to B, B still lists both children
+    assert_eq!(ds.base_of(c), Some(b));
+    assert_eq!(ds.children(b), &before_children[..]);
+
+    // failing REDISTRIBUTE: malformed GENERAL_BLOCK must not detach C
+    assert!(ds
+        .redistribute(c, &DistributeSpec::new(vec![FormatSpec::GeneralBlock(vec![99])]))
+        .is_err());
+    assert_eq!(ds.base_of(c), Some(b), "C must still be aligned to B");
+    assert_eq!(ds.children(b), &before_children[..]);
+
+    // failing REALIGN with a bad alignment spec (extent violation)
+    let small = ds.declare("S", IndexDomain::of_shape(&[4]).unwrap()).unwrap();
+    let err = ds.realign(
+        c,
+        small,
+        &AlignSpec::new(
+            vec![hpf::core::AligneeAxis::Colon],
+            vec![hpf::core::BaseSubscript::COLON],
+        ),
+    );
+    assert!(matches!(err, Err(HpfError::ColonExtent { .. })));
+    assert_eq!(ds.base_of(c), Some(b), "C must survive the failed realign");
+}

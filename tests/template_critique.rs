@@ -1,0 +1,186 @@
+//! §8 executable: everything the template model can express, the paper's
+//! model expresses too (with identical owner maps) — and the two §8.2
+//! failure modes of templates do not afflict the template-free model.
+
+use hpf::prelude::*;
+use proptest::prelude::*;
+
+fn fmt_of(k: u8) -> FormatSpec {
+    match k {
+        0 => FormatSpec::Block,
+        1 => FormatSpec::Cyclic(1),
+        2 => FormatSpec::Cyclic(3),
+        _ => FormatSpec::BlockBalanced,
+    }
+}
+
+/// Any single-array-aligned-to-template program rewrites into the
+/// template-free model by replacing the template with a same-shape array
+/// (the "natural template"), preserving every owner.
+#[test]
+fn natural_templates_suffice_for_single_alignment() {
+    for (a, c) in [(1i64, 0i64), (2, -1), (2, 0), (3, 2)] {
+        let n = 16i64;
+        let base_n = a * n + c.max(0) + 4;
+        // template model
+        let mut tm = TemplateModel::new(4);
+        let t = tm.template("T", IndexDomain::standard(&[(1, base_n)]).unwrap()).unwrap();
+        let arr = tm.array("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        tm.align(arr, t, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * a + c]))
+            .unwrap();
+        tm.distribute(t, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        // template-free: T becomes a real array with the same shape
+        let mut ds = DataSpace::new(4);
+        let tb = ds.declare("TB", IndexDomain::standard(&[(1, base_n)]).unwrap()).unwrap();
+        let ar = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        ds.distribute(tb, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        ds.align(ar, tb, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * a + c]))
+            .unwrap();
+        for i in 1..=n {
+            assert_eq!(
+                tm.owners(arr, &Idx::d1(i)).unwrap(),
+                ds.owners(ar, &Idx::d1(i)).unwrap(),
+                "a={a} c={c} i={i}"
+            );
+        }
+    }
+}
+
+/// Height-2 template chains flatten into the height-1 forest by composing
+/// the alignments, preserving owners.
+#[test]
+fn chains_flatten_to_height_one() {
+    let n = 12i64;
+    // template model: A → B → T, with B(I) ↦ T(2I), A(I) ↦ B(I+2)
+    let mut tm = TemplateModel::new(4);
+    let t = tm.template("T", IndexDomain::standard(&[(1, 40)]).unwrap()).unwrap();
+    let b = tm.array("B", IndexDomain::standard(&[(1, 18)]).unwrap()).unwrap();
+    let a = tm.array("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    tm.align(b, t, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * 2])).unwrap();
+    tm.align(a, b, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) + 2])).unwrap();
+    tm.distribute(t, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+    assert_eq!(tm.ultimate_target(a), (t, 2));
+
+    // paper's model: composed alignment A(I) ↦ TB(2(I+2)) directly, height 1
+    let mut ds = DataSpace::new(4);
+    let tb = ds.declare("TB", IndexDomain::standard(&[(1, 40)]).unwrap()).unwrap();
+    let ar = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    ds.distribute(tb, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+    ds.align(
+        ar,
+        tb,
+        &AlignSpec::with_exprs(1, vec![(AlignExpr::dummy(0) + 2) * 2]),
+    )
+    .unwrap();
+    for i in 1..=n {
+        assert_eq!(
+            tm.owners(a, &Idx::d1(i)).unwrap(),
+            ds.owners(ar, &Idx::d1(i)).unwrap(),
+            "i={i}"
+        );
+    }
+}
+
+/// §8.2(1): templates cannot be allocatable — but the model's arrays can,
+/// with directives propagated to every allocation (§6).
+#[test]
+fn allocatable_gap() {
+    let mut tm = TemplateModel::new(4);
+    assert!(matches!(
+        tm.allocatable_template("T"),
+        Err(TemplateError::TemplateNotAllocatable(_))
+    ));
+
+    // the template-free model handles the same need directly
+    let mut ds = DataSpace::new(4);
+    let w = ds.declare_allocatable("W", 1).unwrap();
+    ds.distribute(w, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+    for n in [10usize, 30, 7] {
+        ds.allocate(w, IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        assert_eq!(
+            ds.owners(w, &Idx::d1(2)).unwrap(),
+            ProcSet::One(ProcId(2)),
+            "n={n}"
+        );
+        ds.deallocate(w).unwrap();
+    }
+}
+
+/// §8.2(2): template-rooted mappings cannot be described across procedure
+/// boundaries; array-rooted (and inherited) mappings can.
+#[test]
+fn procedure_boundary_gap() {
+    let mut tm = TemplateModel::new(4);
+    let t = tm.template("T", IndexDomain::of_shape(&[100]).unwrap()).unwrap();
+    let a = tm.array("A", IndexDomain::of_shape(&[100]).unwrap()).unwrap();
+    tm.align(a, t, &AlignSpec::identity(1)).unwrap();
+    tm.distribute(t, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    assert!(matches!(
+        tm.describe_in_procedure(a, "SUB"),
+        Err(TemplateError::TemplateNotVisibleInProcedure { .. })
+    ));
+
+    // paper's model: the dummy's mapping is an attribute of the dummy
+    let mut ds = DataSpace::new(4);
+    let ar = ds.declare("A", IndexDomain::of_shape(&[100]).unwrap()).unwrap();
+    ds.distribute(ar, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+    let def = ProcedureDef::new("SUB", vec![Dummy::new("X", DummySpec::Inherit)]);
+    let frame = CallFrame::enter(
+        &ds,
+        &def,
+        &[Actual::section(ar, Section::from_triplets(vec![triplet(2, 96, 2)]))],
+    )
+    .unwrap();
+    let x = frame.dummy(0);
+    // fully describable inside the procedure: kind, owners, regions
+    let eff = frame.local().effective(x).unwrap();
+    assert_eq!(
+        hpf::core::inquiry::mapping_kind(&eff),
+        hpf::core::inquiry::MappingKind::Inherited
+    );
+    let hist = hpf::core::inquiry::ownership_histogram(frame.local(), x).unwrap();
+    assert_eq!(hist.iter().map(|&(_, n)| n).sum::<usize>(), 48);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Model equivalence on random affine alignments to a (natural)
+    /// template: template resolution and height-1 CONSTRUCT agree
+    /// everywhere.
+    #[test]
+    fn models_agree_on_affine_alignments(
+        fmt in 0..4u8,
+        a in 1..3i64,
+        c in 0..6i64,
+        n in 4..24i64)
+    {
+        let base_n = a * n + c + 2;
+        let mut tm = TemplateModel::new(4);
+        let t = tm.template("T", IndexDomain::standard(&[(1, base_n)]).unwrap()).unwrap();
+        let arr = tm.array("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        tm.align(arr, t, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * a + c])).unwrap();
+        tm.distribute(t, &DistributeSpec::new(vec![fmt_of(fmt)])).unwrap();
+
+        let mut ds = DataSpace::new(4);
+        let tb = ds.declare("TB", IndexDomain::standard(&[(1, base_n)]).unwrap()).unwrap();
+        let ar = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        ds.distribute(tb, &DistributeSpec::new(vec![fmt_of(fmt)])).unwrap();
+        ds.align(ar, tb, &AlignSpec::with_exprs(1, vec![AlignExpr::dummy(0) * a + c])).unwrap();
+
+        for i in 1..=n {
+            prop_assert_eq!(
+                tm.owners(arr, &Idx::d1(i)).unwrap(),
+                ds.owners(ar, &Idx::d1(i)).unwrap()
+            );
+        }
+        // owned regions agree too
+        for p in 1..=4u32 {
+            let r1 = tm.owned_region(arr, ProcId(p)).unwrap();
+            let r2 = ds.owned_region(ar, ProcId(p)).unwrap();
+            for i in 1..=n {
+                prop_assert_eq!(r1.contains(&Idx::d1(i)), r2.contains(&Idx::d1(i)));
+            }
+        }
+    }
+}
