@@ -1,0 +1,532 @@
+//! One dimension's distribution function (§4.1).
+//!
+//! A [`DimDist`] maps the 1-based *positions* `1..=n` of one array
+//! dimension onto the 1-based coordinates `1..=np` of one target
+//! dimension, and answers the three per-element questions every layer
+//! above asks:
+//!
+//! * `coord(pos)` — which target coordinate owns the position (the paper's
+//!   `δ` restricted to one dimension),
+//! * `local(pos)` — the 1-based local index of the position within its
+//!   owner (the `local` formulas of §4.1.1/§4.1.3),
+//! * `global(coord, local)` — the inverse of `local` given the owner.
+//!
+//! All three are O(1) for `BLOCK`, `BLOCK_BALANCED`, `CYCLIC(k)`, and
+//! `INDIRECT` (after construction), and O(log NP) via binary search for
+//! `GENERAL_BLOCK`.
+
+use super::format::DimFormat;
+use crate::HpfError;
+use hpf_index::Triplet;
+
+/// The distribution of one array dimension onto one target dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimDist {
+    format: DimFormat,
+    /// Lower bound of the dimension's global index triplet.
+    lower: i64,
+    /// Stride of the dimension's global index triplet (1 for standard
+    /// domains).
+    stride: i64,
+    /// Extent of the dimension.
+    n: usize,
+    /// Extent of the target dimension (1 for collapsed dimensions).
+    np: usize,
+    /// Precomputed `⌈n/np⌉` for `BLOCK`.
+    q: i64,
+    /// Precomputed `⌊n/np⌋` and `n mod np` for `BLOCK_BALANCED`.
+    base: i64,
+    rem: i64,
+}
+
+impl DimDist {
+    /// Bind a format to a dimension described by its global index triplet
+    /// and a target dimension of extent `np`.
+    pub fn new(format: DimFormat, dim: &Triplet, np: usize) -> Result<Self, HpfError> {
+        let n = dim.len();
+        let np = if matches!(format, DimFormat::Collapsed) { 1 } else { np };
+        if np == 0 {
+            return Err(HpfError::BadGeneralBlock("zero-extent target dimension".into()));
+        }
+        let asc = dim.ascending();
+        Ok(DimDist {
+            format,
+            lower: asc.min().unwrap_or(0),
+            stride: asc.stride().abs().max(1),
+            n,
+            np,
+            q: ((n as i64 + np as i64 - 1) / np as i64).max(1),
+            base: n as i64 / np as i64,
+            rem: (n % np) as i64,
+        })
+    }
+
+    /// The bound format.
+    pub fn format(&self) -> &DimFormat {
+        &self.format
+    }
+
+    /// Extent of the dimension.
+    pub fn extent(&self) -> usize {
+        self.n
+    }
+
+    /// Extent of the target dimension.
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// True iff the dimension is not distributed.
+    pub fn is_collapsed(&self) -> bool {
+        matches!(self.format, DimFormat::Collapsed)
+    }
+
+    /// 1-based position of a global subscript along this dimension.
+    #[inline]
+    pub fn pos_of(&self, global: i64) -> i64 {
+        (global - self.lower) / self.stride + 1
+    }
+
+    /// Global subscript of a 1-based position.
+    #[inline]
+    pub fn global_at(&self, pos: i64) -> i64 {
+        self.lower + (pos - 1) * self.stride
+    }
+
+    /// The 1-based target coordinate owning position `pos` — the §4.1
+    /// distribution functions.
+    #[inline]
+    pub fn coord(&self, pos: i64) -> i64 {
+        match &self.format {
+            // §4.1.1: δ(i') = ⌈i'/q⌉
+            DimFormat::Block => (pos + self.q - 1) / self.q,
+            DimFormat::BlockBalanced => {
+                let cut = self.rem * (self.base + 1);
+                if pos <= cut {
+                    (pos + self.base) / (self.base + 1)
+                } else {
+                    self.rem + (pos - cut + self.base - 1) / self.base
+                }
+            }
+            DimFormat::GeneralBlock(g) => g.block_of(pos),
+            // §4.1.3: δ(i') = ((⌈i'/k⌉ − 1) mod NP) + 1
+            DimFormat::Cyclic(k) => {
+                let k = *k as i64;
+                ((pos + k - 1) / k - 1).rem_euclid(self.np as i64) + 1
+            }
+            DimFormat::Collapsed => 1,
+            DimFormat::Indirect(m) => m.coord_of(pos),
+        }
+    }
+
+    /// The 1-based local index of position `pos` within its owner.
+    #[inline]
+    pub fn local(&self, pos: i64) -> i64 {
+        match &self.format {
+            // §4.1.1: local(i') = i' − (j − 1)·q
+            DimFormat::Block => pos - (self.coord(pos) - 1) * self.q,
+            DimFormat::BlockBalanced => pos - self.balanced_start(self.coord(pos)) + 1,
+            DimFormat::GeneralBlock(g) => pos - g.bound(self.coord(pos) as usize - 1),
+            DimFormat::Cyclic(k) => {
+                let k = *k as i64;
+                let seg = (pos + k - 1) / k; // 1-based segment number
+                let cycle = (seg - 1) / self.np as i64; // completed rounds
+                cycle * k + (pos - 1).rem_euclid(k) + 1
+            }
+            DimFormat::Collapsed => pos,
+            DimFormat::Indirect(m) => m.rank_of(pos),
+        }
+    }
+
+    /// The position held by `(coord, local)`, or `None` if that owner has
+    /// no such local index — the inverse of [`DimDist::local`].
+    pub fn global(&self, coord: i64, local: i64) -> Option<i64> {
+        if coord < 1 || coord > self.np as i64 || local < 1 {
+            return None;
+        }
+        let pos = match &self.format {
+            DimFormat::Block => {
+                if local > self.q {
+                    return None;
+                }
+                (coord - 1) * self.q + local
+            }
+            DimFormat::BlockBalanced => {
+                let size = self.balanced_size(coord);
+                if local > size {
+                    return None;
+                }
+                self.balanced_start(coord) + local - 1
+            }
+            DimFormat::GeneralBlock(g) => {
+                let j = coord as usize;
+                if local > g.size(j) as i64 {
+                    return None;
+                }
+                g.bound(j - 1) + local
+            }
+            DimFormat::Cyclic(k) => {
+                let k = *k as i64;
+                let cycle = (local - 1) / k;
+                let off = (local - 1) % k;
+                (cycle * self.np as i64 + coord - 1) * k + off + 1
+            }
+            DimFormat::Collapsed => local,
+            DimFormat::Indirect(m) => {
+                return m.positions_of(coord).get(local as usize - 1).copied();
+            }
+        };
+        (pos >= 1 && pos <= self.n as i64).then_some(pos)
+    }
+
+    /// Number of positions owned by `coord`.
+    pub fn count(&self, coord: i64) -> usize {
+        if coord < 1 || coord > self.np as i64 {
+            return 0;
+        }
+        match &self.format {
+            DimFormat::Block => {
+                let start = (coord - 1) * self.q + 1;
+                let end = (coord * self.q).min(self.n as i64);
+                (end - start + 1).max(0) as usize
+            }
+            DimFormat::BlockBalanced => self.balanced_size(coord) as usize,
+            DimFormat::GeneralBlock(g) => g.size(coord as usize),
+            DimFormat::Cyclic(k) => {
+                let k = *k as i64;
+                let (np, n) = (self.np as i64, self.n as i64);
+                let segs = (n + k - 1) / k; // total segments (last may be short)
+                if coord > segs {
+                    return 0;
+                }
+                let owned_segs = (segs - coord) / np + 1; // s = coord, coord+np, ...
+                let mut count = owned_segs * k;
+                // if the short trailing segment is mine, trim the overhang
+                let last_owned = coord + (owned_segs - 1) * np;
+                if last_owned == segs {
+                    count -= segs * k - n;
+                }
+                count.max(0) as usize
+            }
+            DimFormat::Collapsed => self.n,
+            DimFormat::Indirect(m) => m.count(coord),
+        }
+    }
+
+    /// The positions owned by `coord`, as a small set of disjoint triplets
+    /// in *position* space (ascending).
+    pub fn preimage(&self, coord: i64) -> Vec<Triplet> {
+        if coord < 1 || coord > self.np as i64 {
+            return Vec::new();
+        }
+        let n = self.n as i64;
+        match &self.format {
+            DimFormat::Block => {
+                let start = (coord - 1) * self.q + 1;
+                let end = (coord * self.q).min(n);
+                if start > end {
+                    Vec::new()
+                } else {
+                    vec![Triplet::unit(start, end)]
+                }
+            }
+            DimFormat::BlockBalanced => {
+                let start = self.balanced_start(coord);
+                let end = start + self.balanced_size(coord) - 1;
+                if start > end {
+                    Vec::new()
+                } else {
+                    vec![Triplet::unit(start, end)]
+                }
+            }
+            DimFormat::GeneralBlock(g) => {
+                let j = coord as usize;
+                let start = g.bound(j - 1) + 1;
+                let end = g.bound(j);
+                if start > end {
+                    Vec::new()
+                } else {
+                    vec![Triplet::unit(start, end)]
+                }
+            }
+            DimFormat::Cyclic(k) => {
+                let k = *k as i64;
+                let period = self.np as i64 * k;
+                let mut out = Vec::with_capacity(k as usize);
+                for off in 0..k {
+                    let start = (coord - 1) * k + 1 + off;
+                    if start <= n {
+                        out.push(
+                            Triplet::new(start, n, period).expect("positive stride"),
+                        );
+                    }
+                }
+                out
+            }
+            DimFormat::Collapsed => {
+                if n == 0 {
+                    Vec::new()
+                } else {
+                    vec![Triplet::unit(1, n)]
+                }
+            }
+            DimFormat::Indirect(m) => runs_to_triplets(m.positions_of(coord)),
+        }
+    }
+
+    /// The set of target coordinates hit by the positions of an ascending
+    /// triplet, ascending and deduplicated. Uses block-jumping for the
+    /// monotone formats and period capping for `CYCLIC`, so the cost is
+    /// O(NP log NP) rather than O(len).
+    pub fn coords_of(&self, positions: &Triplet) -> Vec<i64> {
+        let t = positions.ascending();
+        let t = t.clamped(1, self.n as i64);
+        if t.is_empty() {
+            return Vec::new();
+        }
+        let (first, last, step) = (
+            t.min().expect("non-empty"),
+            t.max().expect("non-empty"),
+            t.stride().abs().max(1),
+        );
+        match &self.format {
+            DimFormat::Collapsed => vec![1],
+            DimFormat::Cyclic(k) => {
+                // positions mod NP·k determine the coordinate: one period
+                // of the triplet covers every reachable coordinate
+                let period = self.np as i64 * *k as i64;
+                let mut out = Vec::new();
+                let mut pos = first;
+                let mut steps = 0i64;
+                while pos <= last && steps < period {
+                    out.push(self.coord(pos));
+                    pos += step;
+                    steps += 1;
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            DimFormat::Indirect(_) => {
+                let mut out: Vec<i64> = t.iter().map(|p| self.coord(p)).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            // monotone formats: jump from block boundary to block boundary
+            _ => {
+                let mut out = Vec::new();
+                let mut pos = first;
+                while pos <= last {
+                    let c = self.coord(pos);
+                    out.push(c);
+                    // first position of the next non-empty block
+                    let mut next = None;
+                    let mut cc = c + 1;
+                    while cc <= self.np as i64 {
+                        if let Some(start) = self.global(cc, 1) {
+                            next = Some(start);
+                            break;
+                        }
+                        cc += 1;
+                    }
+                    let Some(next_start) = next else { break };
+                    // first triplet member ≥ next_start
+                    let jumps = (next_start - first + step - 1) / step;
+                    pos = first + jumps * step;
+                }
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// First position of balanced block `j` (1-based).
+    #[inline]
+    fn balanced_start(&self, j: i64) -> i64 {
+        if j <= self.rem {
+            (j - 1) * (self.base + 1) + 1
+        } else {
+            self.rem * (self.base + 1) + (j - 1 - self.rem) * self.base + 1
+        }
+    }
+
+    /// Size of balanced block `j`.
+    #[inline]
+    fn balanced_size(&self, j: i64) -> i64 {
+        if j <= self.rem {
+            self.base + 1
+        } else {
+            self.base
+        }
+    }
+}
+
+/// Compress an ascending position list into maximal stride-1 runs.
+fn runs_to_triplets(positions: &[i64]) -> Vec<Triplet> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < positions.len() {
+        let start = positions[i];
+        let mut end = start;
+        while i + 1 < positions.len() && positions[i + 1] == end + 1 {
+            end += 1;
+            i += 1;
+        }
+        out.push(Triplet::unit(start, end));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::format::FormatSpec;
+    use hpf_index::triplet;
+
+    fn dim(fmt: FormatSpec, n: usize, np: usize) -> DimDist {
+        let bound = fmt.bind(n, np).unwrap();
+        DimDist::new(bound, &Triplet::unit(1, n as i64), np).unwrap()
+    }
+
+    /// Every format partitions positions: each owned exactly once, counts
+    /// agree, and `global(coord, local)` inverts `local(pos)`.
+    #[test]
+    fn partition_and_roundtrip_all_formats() {
+        let cases: Vec<(FormatSpec, usize, usize)> = vec![
+            (FormatSpec::Block, 14, 4),
+            (FormatSpec::Block, 4, 7),
+            (FormatSpec::BlockBalanced, 17, 4),
+            (FormatSpec::BlockBalanced, 3, 5),
+            (FormatSpec::Cyclic(1), 12, 3),
+            (FormatSpec::Cyclic(3), 20, 4),
+            (FormatSpec::Cyclic(5), 7, 3),
+            (FormatSpec::GeneralBlock(vec![2, 7, 99]), 10, 3),
+            (FormatSpec::GeneralBlockSizes(vec![0, 6, 4]), 10, 3),
+            (FormatSpec::Indirect(vec![2, 1, 2, 3, 3, 1, 1, 2]), 8, 3),
+            (FormatSpec::Collapsed, 9, 1),
+        ];
+        for (fmt, n, np) in cases {
+            let d = dim(fmt.clone(), n, np);
+            let mut seen = vec![false; n];
+            let mut per_coord = vec![0usize; d.np()];
+            for pos in 1..=n as i64 {
+                let c = d.coord(pos);
+                assert!((1..=d.np() as i64).contains(&c), "{fmt:?}: coord {c} of {pos}");
+                let l = d.local(pos);
+                assert!(l >= 1, "{fmt:?}: local {l} of {pos}");
+                let back = d.global(c, l);
+                assert_eq!(back, Some(pos), "{fmt:?}: round-trip of {pos} via ({c},{l})");
+                assert!(!seen[pos as usize - 1]);
+                seen[pos as usize - 1] = true;
+                per_coord[c as usize - 1] += 1;
+            }
+            assert!(seen.iter().all(|&s| s), "{fmt:?}: not total");
+            for c in 1..=d.np() as i64 {
+                assert_eq!(
+                    d.count(c),
+                    per_coord[c as usize - 1],
+                    "{fmt:?}: count({c}) mismatch"
+                );
+                // locals are a bijection 1..=count
+                for l in 1..=d.count(c) as i64 {
+                    let pos = d.global(c, l).expect("within count");
+                    assert_eq!(d.local(pos), l);
+                    assert_eq!(d.coord(pos), c);
+                }
+                assert_eq!(d.global(c, d.count(c) as i64 + 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn preimage_matches_pointwise_ownership() {
+        let cases: Vec<(FormatSpec, usize, usize)> = vec![
+            (FormatSpec::Block, 14, 4),
+            (FormatSpec::BlockBalanced, 17, 4),
+            (FormatSpec::Cyclic(3), 25, 4),
+            (FormatSpec::GeneralBlockSizes(vec![3, 0, 7]), 10, 3),
+            (FormatSpec::Indirect(vec![1, 2, 1, 1, 2, 1]), 6, 2),
+            (FormatSpec::Collapsed, 6, 1),
+        ];
+        for (fmt, n, np) in cases {
+            let d = dim(fmt.clone(), n, np);
+            for c in 1..=d.np() as i64 {
+                let mut covered = vec![false; n];
+                for t in d.preimage(c) {
+                    for pos in t.iter() {
+                        assert_eq!(d.coord(pos), c, "{fmt:?}: preimage({c}) strayed");
+                        assert!(!covered[pos as usize - 1], "{fmt:?}: duplicate in preimage");
+                        covered[pos as usize - 1] = true;
+                    }
+                }
+                let want: usize =
+                    (1..=n as i64).filter(|&p| d.coord(p) == c).count();
+                assert_eq!(covered.iter().filter(|&&b| b).count(), want, "{fmt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coords_of_strided_windows_exact() {
+        let cases: Vec<(FormatSpec, usize, usize)> = vec![
+            (FormatSpec::Block, 100, 8),
+            (FormatSpec::BlockBalanced, 97, 8),
+            (FormatSpec::Cyclic(4), 100, 6),
+            (FormatSpec::GeneralBlockSizes(vec![50, 0, 30, 20]), 100, 4),
+            (FormatSpec::Indirect((0..60).map(|i| (i % 5) + 1).collect()), 60, 5),
+        ];
+        for (fmt, n, np) in cases {
+            let d = dim(fmt.clone(), n, np);
+            for (lo, hi, s) in [(1, n as i64, 1), (3, 77, 2), (5, 98, 7), (10, 10, 1)] {
+                let hi = hi.min(n as i64);
+                if lo > hi {
+                    continue;
+                }
+                let t = triplet(lo, hi, s);
+                let got = d.coords_of(&t);
+                let mut want: Vec<i64> = t.iter().map(|p| d.coord(p)).collect();
+                want.sort_unstable();
+                want.dedup();
+                assert_eq!(got, want, "{fmt:?} window {lo}:{hi}:{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_formulas_match_paper() {
+        // §4.1.1 with N = 14, NP = 4 → q = 4
+        let d = dim(FormatSpec::Block, 14, 4);
+        for pos in 1..=14i64 {
+            let j = (pos + 3) / 4;
+            assert_eq!(d.coord(pos), j);
+            assert_eq!(d.local(pos), pos - (j - 1) * 4);
+        }
+        assert_eq!(d.count(4), 2);
+    }
+
+    #[test]
+    fn balanced_blocks_differ_by_at_most_one() {
+        for n in 1..=40usize {
+            for np in 1..=8usize {
+                let d = dim(FormatSpec::BlockBalanced, n, np);
+                let counts: Vec<usize> = (1..=np as i64).map(|c| d.count(c)).collect();
+                let max = *counts.iter().max().unwrap();
+                let min = *counts.iter().min().unwrap();
+                assert!(max - min <= 1, "n={n} np={np}: {counts:?}");
+                assert_eq!(counts.iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn nonunit_lower_bound_positions() {
+        let bound = FormatSpec::Cyclic(2).bind(10, 2).unwrap();
+        let d = DimDist::new(bound, &Triplet::unit(-3, 6), 2).unwrap();
+        assert_eq!(d.pos_of(-3), 1);
+        assert_eq!(d.pos_of(6), 10);
+        assert_eq!(d.global_at(1), -3);
+        assert_eq!(d.global_at(10), 6);
+    }
+}

@@ -1,0 +1,493 @@
+//! Whole-array distributions (Definition 2, §4) and the `DISTRIBUTE`
+//! directive body.
+
+use super::dim::DimDist;
+use super::format::{DimFormat, FormatSpec};
+use crate::procset::ProcSet;
+use crate::HpfError;
+use hpf_index::{Idx, IndexDomain, Rect, Region, Section, Triplet};
+use hpf_procs::{ProcId, ProcSpace, ProcTarget};
+use std::fmt;
+
+/// The target clause of a `DISTRIBUTE` directive, *by name*: resolved
+/// against a [`ProcSpace`] when the distribution is bound. Distribution
+/// onto sections of arrangements is the paper's §4 generalization 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetSpec {
+    /// `TO R` — the whole arrangement `R`.
+    Whole(String),
+    /// `TO R(section)` — a section of `R`, e.g. `Q(1:NOP:2)`.
+    Section(String, Section),
+}
+
+impl TargetSpec {
+    /// Resolve the named target against a processor space.
+    pub fn resolve(&self, ps: &ProcSpace) -> Result<ProcTarget, HpfError> {
+        match self {
+            TargetSpec::Whole(name) => {
+                Ok(ProcTarget::whole(ps, ps.by_name(name)?)?)
+            }
+            TargetSpec::Section(name, section) => {
+                Ok(ProcTarget::section(ps, ps.by_name(name)?, section.clone())?)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TargetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetSpec::Whole(n) => write!(f, "{n}"),
+            TargetSpec::Section(n, s) => write!(f, "{n}{s}"),
+        }
+    }
+}
+
+/// The body of a `DISTRIBUTE`/`REDISTRIBUTE` directive (§4.1): one format
+/// per array dimension plus an optional target clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributeSpec {
+    /// One format per array dimension.
+    pub formats: Vec<FormatSpec>,
+    /// The `TO` clause; `None` targets the implicit arrangement AP.
+    pub target: Option<TargetSpec>,
+}
+
+impl DistributeSpec {
+    /// `DISTRIBUTE (formats)` with no target clause.
+    pub fn new(formats: Vec<FormatSpec>) -> Self {
+        DistributeSpec { formats, target: None }
+    }
+
+    /// `DISTRIBUTE (formats) TO name`.
+    pub fn to(formats: Vec<FormatSpec>, name: &str) -> Self {
+        DistributeSpec { formats, target: Some(TargetSpec::Whole(name.to_string())) }
+    }
+
+    /// `DISTRIBUTE (formats) TO name(section)`.
+    pub fn to_section(formats: Vec<FormatSpec>, name: &str, section: Section) -> Self {
+        DistributeSpec {
+            formats,
+            target: Some(TargetSpec::Section(name.to_string(), section)),
+        }
+    }
+}
+
+impl fmt::Display for DistributeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, spec) in self.formats.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{spec}")?;
+        }
+        write!(f, ")")?;
+        if let Some(t) = &self.target {
+            write!(f, " TO {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A bound distribution `δ` (Definition 2): a total mapping from an array
+/// index domain to the index domain of a processor target, factored per
+/// dimension.
+///
+/// Construction resolves the target's storage association once, so
+/// [`Distribution::owner`] is an O(rank) arithmetic evaluation with no
+/// processor-space lookups — the property the paper claims for
+/// `GENERAL_BLOCK` ("can be implemented efficiently") holds for every
+/// format here.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    name: String,
+    domain: IndexDomain,
+    /// Per array dimension (directive order).
+    dims: Vec<DimDist>,
+    /// Per array dimension: the bound format (always `Some` for explicit
+    /// directives; `None` marks dimensions an *implicit* compiler
+    /// distribution left unformatted).
+    dim_formats: Vec<Option<DimFormat>>,
+    /// Array dimensions that consume a target dimension, in order.
+    distributed_dims: Vec<usize>,
+    target: ProcTarget,
+    /// AP number at target coordinates (1, …, 1).
+    ap_base: i64,
+    /// AP increment per unit step in each target dimension (the §3
+    /// storage association is affine in every coordinate).
+    ap_mult: Vec<i64>,
+    /// AP per target position, column-major (for inverse queries).
+    proc_of_rel: Vec<ProcId>,
+}
+
+impl Distribution {
+    /// Bind a `DISTRIBUTE` format list to an array and a resolved target
+    /// (§4.1). Validates the three conformance rules: format-list length,
+    /// target rank, and per-format well-formedness.
+    pub fn new(
+        name: &str,
+        domain: &IndexDomain,
+        formats: &[FormatSpec],
+        target: ProcTarget,
+        ps: &ProcSpace,
+    ) -> Result<Self, HpfError> {
+        let rank = domain.rank();
+        if formats.len() != rank {
+            return Err(HpfError::FormatListRank {
+                array: name.to_string(),
+                formats: formats.len(),
+                rank,
+            });
+        }
+        let distributed_dims: Vec<usize> = formats
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_collapsed())
+            .map(|(d, _)| d)
+            .collect();
+        if distributed_dims.len() != target.rank() {
+            return Err(HpfError::TargetRank {
+                array: name.to_string(),
+                distributed_dims: distributed_dims.len(),
+                target_rank: target.rank(),
+            });
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut dim_formats = Vec::with_capacity(rank);
+        let mut tdim = 0usize;
+        for (d, f) in formats.iter().enumerate() {
+            let np = if f.is_collapsed() {
+                1
+            } else {
+                let e = target.extent(tdim);
+                tdim += 1;
+                e
+            };
+            let bound = f.bind(domain.extent(d), np)?;
+            dim_formats.push(Some(bound.clone()));
+            dims.push(DimDist::new(bound, domain.dim(d), np)?);
+        }
+        Self::assemble(name, domain, dims, dim_formats, distributed_dims, target, ps)
+    }
+
+    /// The *implicit* compiler-chosen distribution for an array no
+    /// directive has mapped (§2.4: every created array has a
+    /// distribution): `BLOCK` on the last dimension over the target, the
+    /// remaining dimensions collapsed.
+    pub fn implicit(
+        name: &str,
+        domain: &IndexDomain,
+        target: ProcTarget,
+        ps: &ProcSpace,
+    ) -> Result<Self, HpfError> {
+        let rank = domain.rank();
+        debug_assert!(rank >= 1, "scalars are replicated, not distributed");
+        let mut dims = Vec::with_capacity(rank);
+        let mut dim_formats: Vec<Option<DimFormat>> = Vec::with_capacity(rank);
+        for d in 0..rank {
+            if d + 1 == rank {
+                let bound = FormatSpec::Block.bind(domain.extent(d), target.extent(0))?;
+                dim_formats.push(Some(bound.clone()));
+                dims.push(DimDist::new(bound, domain.dim(d), target.extent(0))?);
+            } else {
+                dim_formats.push(None);
+                dims.push(DimDist::new(DimFormat::Collapsed, domain.dim(d), 1)?);
+            }
+        }
+        Self::assemble(name, domain, dims, dim_formats, vec![rank - 1], target, ps)
+    }
+
+    fn assemble(
+        name: &str,
+        domain: &IndexDomain,
+        dims: Vec<DimDist>,
+        dim_formats: Vec<Option<DimFormat>>,
+        distributed_dims: Vec<usize>,
+        target: ProcTarget,
+        ps: &ProcSpace,
+    ) -> Result<Self, HpfError> {
+        let trank = target.rank();
+        let ones = Idx::new(&vec![1i64; trank]).expect("target rank ≤ MAX_RANK");
+        let ap_base = target.ap_at(ps, &ones)?.0 as i64;
+        let mut ap_mult = Vec::with_capacity(trank);
+        for d in 0..trank {
+            if target.extent(d) > 1 {
+                let p = target.ap_at(ps, &ones.with(d, 2))?;
+                ap_mult.push(p.0 as i64 - ap_base);
+            } else {
+                ap_mult.push(0);
+            }
+        }
+        let proc_of_rel = target.all_aps(ps);
+        Ok(Distribution {
+            name: name.to_string(),
+            domain: domain.clone(),
+            dims,
+            dim_formats,
+            distributed_dims,
+            target,
+            ap_base,
+            ap_mult,
+            proc_of_rel,
+        })
+    }
+
+    /// The array name the directive bound.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The index domain the mapping is total on.
+    pub fn domain(&self) -> &IndexDomain {
+        &self.domain
+    }
+
+    /// The resolved processor target.
+    pub fn target(&self) -> &ProcTarget {
+        &self.target
+    }
+
+    /// Per-dimension bound formats (`None` for dimensions an implicit
+    /// distribution left unformatted).
+    pub fn dim_formats(&self) -> &[Option<DimFormat>] {
+        &self.dim_formats
+    }
+
+    /// The per-dimension distribution functions.
+    pub fn dim_dists(&self) -> &[DimDist] {
+        &self.dims
+    }
+
+    /// Array dimensions that consume a target dimension, in order.
+    pub fn distributed_dims(&self) -> &[usize] {
+        &self.distributed_dims
+    }
+
+    /// Number of processors in the target.
+    pub fn num_procs(&self) -> usize {
+        self.proc_of_rel.len()
+    }
+
+    /// The target coordinates (1-based, one per target dimension) of an
+    /// element — the tuple the §4.1 distribution functions produce.
+    #[inline]
+    pub fn coords(&self, i: &Idx) -> Idx {
+        let mut out = Idx::SCALAR;
+        for &d in &self.distributed_dims {
+            let dd = &self.dims[d];
+            out.push(dd.coord(dd.pos_of(i[d])));
+        }
+        out
+    }
+
+    /// The unique owner of element `i` — Definition 2's `δ(i)`, O(rank).
+    #[inline]
+    pub fn owner(&self, i: &Idx) -> ProcId {
+        let mut ap = self.ap_base;
+        for (t, &d) in self.distributed_dims.iter().enumerate() {
+            let dd = &self.dims[d];
+            ap += (dd.coord(dd.pos_of(i[d])) - 1) * self.ap_mult[t];
+        }
+        ProcId(ap as u32)
+    }
+
+    /// Owner set of element `i` (direct distributions never replicate, so
+    /// this is always a singleton).
+    #[inline]
+    pub fn owners(&self, i: &Idx) -> ProcSet {
+        ProcSet::One(self.owner(i))
+    }
+
+    /// The per-dimension local indices of element `i` within its owner
+    /// (§4.1.1/§4.1.3 `local` formulas; collapsed dimensions keep their
+    /// position).
+    #[inline]
+    pub fn local(&self, i: &Idx) -> Idx {
+        let mut out = Idx::SCALAR;
+        for (d, dd) in self.dims.iter().enumerate() {
+            out.push(dd.local(dd.pos_of(i[d])));
+        }
+        out
+    }
+
+    /// The element at per-dimension local indices `local` on the owner at
+    /// target coordinates `coords`; `None` if that processor holds no such
+    /// local element. Inverse of [`Distribution::local`] +
+    /// [`Distribution::coords`].
+    pub fn global(&self, coords: &Idx, local: &Idx) -> Option<Idx> {
+        let mut out = Idx::SCALAR;
+        let mut t = 0usize;
+        for (d, dd) in self.dims.iter().enumerate() {
+            let c = if dd.is_collapsed() {
+                1
+            } else {
+                let c = coords[t];
+                t += 1;
+                c
+            };
+            let pos = dd.global(c, local[d])?;
+            out.push(dd.global_at(pos));
+        }
+        Some(out)
+    }
+
+    /// Exact owner set of every element of a rect, without per-element
+    /// enumeration: per-dimension coordinate sets are combined through the
+    /// affine storage association.
+    pub fn owners_of_rect(&self, r: &Rect) -> ProcSet {
+        if r.is_empty() {
+            return ProcSet::Many(Vec::new());
+        }
+        // per distributed dimension: target coordinates hit by the window
+        let mut per_dim: Vec<Vec<i64>> = Vec::with_capacity(self.distributed_dims.len());
+        for &d in &self.distributed_dims {
+            let dd = &self.dims[d];
+            let t = r.dim(d);
+            // convert the global window to position space
+            let positions = global_to_positions(dd, t);
+            let coords = dd.coords_of(&positions);
+            if coords.is_empty() {
+                return ProcSet::Many(Vec::new());
+            }
+            per_dim.push(coords);
+        }
+        // cartesian combination through the affine AP formula
+        let mut aps: Vec<ProcId> = Vec::new();
+        let mut stack = vec![0usize; per_dim.len()];
+        loop {
+            let mut ap = self.ap_base;
+            for (t, coords) in per_dim.iter().enumerate() {
+                ap += (coords[stack[t]] - 1) * self.ap_mult[t];
+            }
+            aps.push(ProcId(ap as u32));
+            // odometer increment
+            let mut k = 0usize;
+            loop {
+                if k == per_dim.len() {
+                    return ProcSet::from_vec(aps);
+                }
+                stack[k] += 1;
+                if stack[k] < per_dim[k].len() {
+                    break;
+                }
+                stack[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// The region of the array's own index space owned by processor `p`
+    /// (Definition 3's `δ⁻¹(p)`), as a disjoint rect union.
+    pub fn owned_region(&self, p: ProcId) -> Region {
+        let rank = self.domain.rank();
+        let mut out = Region::empty(rank);
+        let tdom = self.target.domain();
+        for (rel_linear, &owner) in self.proc_of_rel.iter().enumerate() {
+            if owner != p {
+                continue;
+            }
+            let rel = tdom.delinearize(rel_linear).expect("within target");
+            // per-dimension preimages in global index space
+            let mut per_dim: Vec<Vec<Triplet>> = Vec::with_capacity(rank);
+            let mut t = 0usize;
+            let mut empty = false;
+            for dd in self.dims.iter() {
+                let pre = if dd.is_collapsed() {
+                    dd.preimage(1)
+                } else {
+                    let c = rel[t];
+                    t += 1;
+                    dd.preimage(c)
+                };
+                let glob: Vec<Triplet> = pre
+                    .iter()
+                    .map(|tp| positions_to_global(dd, tp))
+                    .collect();
+                if glob.is_empty() {
+                    empty = true;
+                    break;
+                }
+                per_dim.push(glob);
+            }
+            if empty {
+                continue;
+            }
+            // cartesian product of per-dimension triplets
+            let mut stack = vec![0usize; rank];
+            'outer: loop {
+                let dims: Vec<Triplet> =
+                    (0..rank).map(|d| per_dim[d][stack[d]]).collect();
+                out.push(Rect::new(dims));
+                let mut k = 0usize;
+                loop {
+                    if k == rank {
+                        break 'outer;
+                    }
+                    stack[k] += 1;
+                    if stack[k] < per_dim[k].len() {
+                        break;
+                    }
+                    stack[k] = 0;
+                    k += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural equality of two distributions: same domain, same bound
+    /// formats, same target. This is the §7 "inheritance matching"
+    /// comparison for format-expressible mappings.
+    pub fn matches(&self, other: &Distribution) -> bool {
+        self.domain == other.domain
+            && self.dim_formats == other.dim_formats
+            && self.target == other.target
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, df) in self.dim_formats.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match df {
+                None | Some(DimFormat::Collapsed) => write!(f, ":")?,
+                Some(DimFormat::Block) => write!(f, "BLOCK")?,
+                Some(DimFormat::BlockBalanced) => write!(f, "BLOCK_BALANCED")?,
+                Some(DimFormat::GeneralBlock(_)) => write!(f, "GENERAL_BLOCK")?,
+                Some(DimFormat::Cyclic(1)) => write!(f, "CYCLIC")?,
+                Some(DimFormat::Cyclic(k)) => write!(f, "CYCLIC({k})")?,
+                Some(DimFormat::Indirect(_)) => write!(f, "INDIRECT")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convert a global-index window along one dimension to position space.
+fn global_to_positions(dd: &DimDist, t: &Triplet) -> Triplet {
+    let asc = t.ascending();
+    match (asc.min(), asc.max()) {
+        (Some(lo), Some(hi)) => {
+            let step = (asc.stride() / dd_stride(dd)).abs().max(1);
+            Triplet::new(dd.pos_of(lo), dd.pos_of(hi), step).expect("positive stride")
+        }
+        _ => Triplet::new(1, 0, 1).expect("empty"),
+    }
+}
+
+/// Convert a position-space triplet back to global indices.
+fn positions_to_global(dd: &DimDist, t: &Triplet) -> Triplet {
+    let a = dd_stride(dd);
+    let lo = dd.global_at(t.min().expect("non-empty preimage triplet"));
+    let hi = dd.global_at(t.max().expect("non-empty preimage triplet"));
+    Triplet::new(lo, hi, (t.stride() * a).abs().max(1)).expect("positive stride")
+}
+
+/// The dimension's global stride (positions advance by this much).
+fn dd_stride(dd: &DimDist) -> i64 {
+    dd.global_at(2) - dd.global_at(1)
+}

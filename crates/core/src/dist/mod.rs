@@ -1,0 +1,22 @@
+//! Distributions (§2.2, §4): total index mappings from array index domains
+//! to processor-target index domains.
+//!
+//! The module is split the way the paper presents the material:
+//!
+//! * [`format`] — the distribution *formats* of §4.1: `BLOCK` (HPF and
+//!   Vienna-balanced), `GENERAL_BLOCK` (§4.1.2, by bounds or by sizes, plus
+//!   the [`format::GeneralBlock::balanced`] weighted partitioner),
+//!   `CYCLIC(k)` (§4.1.3), the collapsing `:`, and the `INDIRECT`
+//!   extension;
+//! * [`dim`] — [`dim::DimDist`], one dimension's distribution function
+//!   with O(1) owner/local↔global answers for the regular formats and
+//!   binary search for `GENERAL_BLOCK`;
+//! * [`dist`] — [`dist::Distribution`] (Definition 2's `δ`), composed per
+//!   dimension and resolved onto a [`hpf_procs::ProcTarget`] — a whole
+//!   processor arrangement *or a section of one* (§4's generalization) —
+//!   plus the directive-level [`dist::DistributeSpec`]/[`dist::TargetSpec`].
+
+pub mod dim;
+#[allow(clippy::module_inception)]
+pub mod dist;
+pub mod format;

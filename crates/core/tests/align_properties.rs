@@ -16,7 +16,7 @@ struct AffineCase {
 }
 
 fn arb_affine() -> impl Strategy<Value = AffineCase> {
-    (2i64..30, prop_oneof![(-3i64..=-1), (1i64..=3)], -10i64..10, 0i64..8)
+    (2i64..30, prop_oneof![-3i64..=-1, 1i64..=3], -10i64..10, 0i64..8)
         .prop_map(|(n, a, c, base_pad)| AffineCase { n, a, c, base_pad })
 }
 

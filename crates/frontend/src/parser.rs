@@ -14,6 +14,9 @@ struct Parser {
     pos: usize,
 }
 
+/// The three optional expressions of a subscript triplet `l:u:s`.
+type TripletParts = (Option<Expr>, Option<Expr>, Option<Expr>);
+
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
@@ -543,7 +546,7 @@ impl Parser {
     fn triplet_tail(
         &mut self,
         lower: Option<Expr>,
-    ) -> Result<(Option<Expr>, Option<Expr>, Option<Expr>), FrontendError> {
+    ) -> Result<TripletParts, FrontendError> {
         // current token is Colon or DoubleColon
         let double = *self.peek() == Tok::DoubleColon;
         self.bump();

@@ -37,21 +37,4 @@ pub use hpf_procs as procs;
 pub use hpf_runtime as runtime;
 pub use hpf_template as template;
 
-/// The most common imports in one place.
-pub mod prelude {
-    pub use hpf_core::{
-        inquiry, Actual, AlignExpr, AlignSpec, AligneeAxis, AlignmentFn, ArrayId, AxisMap,
-        BaseSubscript, CallFrame, DataSpace, DistributeSpec, Distribution, Dummy, DummySpec,
-        EffectiveDist, FormatSpec, GeneralBlock, HpfError, ProcSet, ProcedureDef, TargetSpec,
-    };
-    pub use hpf_frontend::{Elaboration, Elaborator};
-    pub use hpf_index::{span, triplet, Idx, IndexDomain, Rect, Region, Section, SectionDim, Triplet};
-    pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
-    pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
-    pub use hpf_runtime::{
-        comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Combine,
-        CommAnalysis, DistArray, GhostReport, ParExecutor, Program, RemapAnalysis,
-        SeqExecutor, StatementTrace, Term,
-    };
-    pub use hpf_template::{TemplateError, TemplateModel};
-}
+pub mod prelude;

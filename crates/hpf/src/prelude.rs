@@ -1,0 +1,36 @@
+//! The most common imports in one place: `use hpf::prelude::*;`.
+//!
+//! Re-exports the surface every test, example, and downstream program
+//! touches:
+//!
+//! * from `hpf-core` — the mapping model: [`DataSpace`], the directive
+//!   bodies [`DistributeSpec`]/[`FormatSpec`]/[`TargetSpec`] and
+//!   [`AlignSpec`], the resolved [`Distribution`]/[`EffectiveDist`],
+//!   procedure boundaries ([`CallFrame`] and friends), and [`inquiry`];
+//! * from `hpf-index` — [`IndexDomain`], [`Idx`], [`Section`],
+//!   [`Triplet`], the region algebra, and the [`span`]/[`triplet`]
+//!   constructors;
+//! * from `hpf-procs` — [`ProcId`], [`ProcSpace`], [`ProcTarget`];
+//! * from `hpf-machine` — the machine simulator entry points;
+//! * from `hpf-runtime` — distributed arrays and the owner-computes
+//!   executors;
+//! * from `hpf-frontend` — the `!HPF$` [`Elaborator`];
+//! * from `hpf-template` — the §8 template-model baseline.
+
+pub use hpf_core::{
+    inquiry, Actual, AlignExpr, AlignSpec, AligneeAxis, AlignmentFn, ArrayId, AxisMap,
+    BaseSubscript, CallFrame, DataSpace, DistributeSpec, Distribution, Dummy, DummySpec,
+    EffectiveDist, FormatSpec, GeneralBlock, HpfError, ProcSet, ProcedureDef, TargetSpec,
+};
+pub use hpf_frontend::{Elaboration, Elaborator};
+pub use hpf_index::{
+    span, triplet, Idx, IndexDomain, Rect, Region, Section, SectionDim, Triplet,
+};
+pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
+pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
+pub use hpf_runtime::{
+    comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Combine,
+    CommAnalysis, DistArray, GhostReport, ParExecutor, Program, RemapAnalysis, SeqExecutor,
+    StatementTrace, Term,
+};
+pub use hpf_template::{TemplateError, TemplateModel};

@@ -4,7 +4,7 @@ use hpf_index::{triplet, Idx, IndexDomain, Rect, Triplet};
 use proptest::prelude::*;
 
 fn arb_triplet() -> impl Strategy<Value = Triplet> {
-    (-50i64..50, -50i64..50, prop_oneof![(-8i64..=-1), (1i64..=8)])
+    (-50i64..50, -50i64..50, prop_oneof![-8i64..=-1, 1i64..=8])
         .prop_map(|(l, u, s)| triplet(l, u, s))
 }
 
@@ -49,7 +49,7 @@ proptest! {
     /// Affine image has the same cardinality when the coefficient is nonzero.
     #[test]
     fn affine_image_cardinality(a in arb_triplet(), c in -20i64..20,
-                                k in prop_oneof![(-5i64..=-1), (1i64..=5)]) {
+                                k in prop_oneof![-5i64..=-1, 1i64..=5]) {
         let img = a.affine_image(k, c).unwrap();
         prop_assert_eq!(img.len(), a.len());
         // and membership maps through

@@ -54,9 +54,9 @@ pub(crate) fn snapshot_operands(arrays: &[DistArray<f64>], stmt: &Assignment) ->
     let mut domains = HashMap::new();
     let mut data = HashMap::new();
     for t in &stmt.terms {
-        if !data.contains_key(&t.array) {
+        if let std::collections::hash_map::Entry::Vacant(e) = data.entry(t.array) {
             domains.insert(t.array, arrays[t.array].domain().clone());
-            data.insert(t.array, arrays[t.array].to_dense());
+            e.insert(arrays[t.array].to_dense());
         }
     }
     Snapshots { domains, data }

@@ -63,7 +63,7 @@ impl ParExecutor {
             let rest = work.split_off(chunk.min(work.len()));
             batches.push(std::mem::replace(&mut work, rest));
         }
-        let stmt_ref = &*stmt;
+        let stmt_ref = stmt;
         let snap_ref = &snap;
         crossbeam::thread::scope(|scope| {
             for mut batch in batches {

@@ -77,9 +77,9 @@ pub fn remap_analysis(
         let mut comm = CommStats::new();
         let mut stationary = 0usize;
         let mut moved = 0usize;
-        for q in 0..np {
-            for p in 0..np {
-                let vol = old_regions[q].intersection_volume(&new_regions[p]);
+        for (q, old_region) in old_regions.iter().enumerate() {
+            for (p, new_region) in new_regions.iter().enumerate() {
+                let vol = old_region.intersection_volume(new_region);
                 if vol == 0 {
                     continue;
                 }

@@ -1,0 +1,66 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships a minimal, API-compatible implementation of the one
+//! `crossbeam` facility `hpf-runtime` uses: `crossbeam::thread::scope`
+//! with `scope.spawn(|_| ...)`. It is implemented on top of
+//! `std::thread::scope`, which provides the same structured-concurrency
+//! guarantee (all spawned threads join before `scope` returns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (see crate docs).
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle to a scope in which scoped threads can be spawned,
+    /// mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a reference to the
+        /// scope (crossbeam convention), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope for spawning scoped threads, mirroring
+    /// `crossbeam::thread::scope`.
+    ///
+    /// Unlike crossbeam, a panicking child thread propagates its panic when
+    /// the scope joins (std semantics) instead of being collected into the
+    /// `Err` variant; callers that `.expect()` the result behave the same
+    /// either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_share() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        let (a, b) = partial.split_at_mut(1);
+        super::thread::scope(|scope| {
+            let d = &data;
+            scope.spawn(move |_| a[0] = d[0] + d[1]);
+            scope.spawn(move |_| b[0] = d[2] + d[3]);
+        })
+        .unwrap();
+        assert_eq!(partial, vec![3, 7]);
+    }
+}

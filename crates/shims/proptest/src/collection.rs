@@ -1,0 +1,79 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specifications accepted by [`vec`]: an exact `usize`, `a..b`,
+/// or `a..=b`.
+pub trait SizeRange {
+    /// Sample a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty length range");
+        self.start() + rng.below(self.end() - self.start() + 1)
+    }
+}
+
+/// A strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.pick(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len)`.
+pub fn vec<S, L>(element: S, len: L) -> VecStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Debug,
+    L: SizeRange,
+{
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut r = TestRng::for_test("collection");
+        let fixed = vec(0u32..8, 5usize);
+        for _ in 0..50 {
+            let v = fixed.pick(&mut r);
+            assert_eq!(v.len(), 5);
+            assert!(v.iter().all(|&x| x < 8));
+        }
+        let ranged = vec(0i64..3, 1..40usize);
+        for _ in 0..100 {
+            let v = ranged.pick(&mut r);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A strategy choosing uniformly from a fixed list of values.
+#[derive(Clone)]
+pub struct Select<T> {
+    items: Arc<Vec<T>>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+}
+
+/// `prop::sample::select(values)` — uniform choice from a non-empty list.
+pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select from an empty list");
+    Select { items: Arc::new(items) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_listed_values() {
+        let mut r = TestRng::for_test("sample");
+        let s = select(vec![2usize, 3, 5, 7]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = s.pick(&mut r);
+            assert!([2, 3, 5, 7].contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,226 @@
+//! The [`Strategy`] trait and the core combinators.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking tree: a strategy is just a
+/// deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Generate one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| f(inner.pick(rng))))
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy + 'static,
+        S::Value: 'static,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| f(inner.pick(rng)).pick(rng)))
+    }
+
+    /// Filter generated values by retrying (up to a bound) until the
+    /// predicate holds.
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| {
+            for _ in 0..1000 {
+                let v = inner.pick(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter: predicate rejected 1000 consecutive candidates");
+        }))
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| inner.pick(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(pub(crate) Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: Clone + Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy producing always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice among type-erased strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the (non-empty) list of arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Clone + Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.arms.len());
+        self.arms[k].pick(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_range_i128(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.in_range_i128(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8, S9 9);
+}
+
+/// String strategies: a `&str` is interpreted as a regex-like pattern
+/// (see [`crate::string`] for the supported subset).
+impl Strategy for &'static str {
+    type Value = String;
+    fn pick(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (1usize..5).pick(&mut r);
+            assert!((1..5).contains(&v));
+            let (a, b) = (0i64..3, 10u8..=12).pick(&mut r);
+            assert!((0..3).contains(&a) && (10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_union() {
+        let mut r = rng();
+        let doubled = (1i64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = doubled.pick(&mut r);
+            assert_eq!(v % 2, 0);
+            assert!((2..20).contains(&v));
+        }
+        let nested = (1usize..4).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..100 {
+            let (n, k) = nested.pick(&mut r);
+            assert!(k < n);
+        }
+        let u = crate::prop_oneof![Just(1i32), Just(2i32), 10i32..20];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = u.pick(&mut r);
+            assert!(v == 1 || v == 2 || (10..20).contains(&v));
+            seen.insert(v.min(3));
+        }
+        assert!(seen.len() >= 3, "all arms must be reachable");
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        let evens = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(evens.pick(&mut r) % 2, 0);
+        }
+    }
+}

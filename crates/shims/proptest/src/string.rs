@@ -1,0 +1,222 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax (what this workspace's tests use, plus a little):
+//!
+//! * literal characters,
+//! * character classes `[...]` with ranges (`A-Z`), escapes (`\n`, `\t`,
+//!   `\\`, `\]`), and a literal `-` when first or last,
+//! * the escape `\PC` — any printable ASCII character (proptest's
+//!   Unicode-printable class, restricted to ASCII here),
+//! * `\d`, `\w`, `\s` shorthands,
+//! * postfix repetitions `*` (0..=32), `+` (1..=32), `?`, `{m}`, `{m,n}`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Choose uniformly among these characters.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7F).map(|b| b as char).collect()
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // proptest spells "printable" as \PC; consume the C
+                        if chars.get(i + 1) == Some(&'C') {
+                            i += 1;
+                        }
+                        i += 1;
+                        Atom::Class(printable_ascii())
+                    }
+                    Some('d') => {
+                        i += 1;
+                        Atom::Class(('0'..='9').collect())
+                    }
+                    Some('w') => {
+                        i += 1;
+                        let mut cs: Vec<char> = ('a'..='z').collect();
+                        cs.extend('A'..='Z');
+                        cs.extend('0'..='9');
+                        cs.push('_');
+                        Atom::Class(cs)
+                    }
+                    Some('s') => {
+                        i += 1;
+                        Atom::Class(vec![' ', '\t', '\n'])
+                    }
+                    Some('n') => {
+                        i += 1;
+                        Atom::Literal('\n')
+                    }
+                    Some('t') => {
+                        i += 1;
+                        Atom::Literal('\t')
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    None => Atom::Literal('\\'),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut cs = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some(&e) => e,
+                            None => '\\',
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // range `a-b` (a `-` before `]` is a literal)
+                    if chars.get(i + 1) == Some(&'-')
+                        && i + 2 < chars.len()
+                        && chars[i + 2] != ']'
+                    {
+                        let hi = chars[i + 2];
+                        for v in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(v) {
+                                cs.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        cs.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                assert!(!cs.is_empty(), "empty character class in pattern {pattern:?}");
+                Atom::Class(cs)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // postfix repetition
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below(piece.max - piece.min + 1);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(cs) => out.push(cs[rng.below(cs.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string")
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("\\PC*", &mut r);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_ranges_escapes_and_counted_repetition() {
+        let mut r = rng();
+        // mirrors the parser_robustness pattern (trailing literal `-`)
+        let pat = "[A-Za-z0-9 ,():*+=!$\\n-]{0,200}";
+        for _ in 0..50 {
+            let s = generate(pat, &mut r);
+            assert!(s.chars().count() <= 200);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric()
+                        || " ,():*+=!$\n-".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a{3}", &mut r), "aaa");
+        let s = generate("x?", &mut r);
+        assert!(s.is_empty() || s == "x");
+    }
+}

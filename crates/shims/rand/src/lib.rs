@@ -1,0 +1,122 @@
+//! Offline shim for the `rand` crate.
+//!
+//! No crates.io access is available in the build environment, so this
+//! provides the tiny slice of the rand API the workspace uses:
+//! `rand::rngs::StdRng`, `rand::SeedableRng::seed_from_u64`, and
+//! `rand::RngExt::random_range`. The generator is SplitMix64 — not
+//! cryptographic, but statistically fine for generating benchmark
+//! workloads, and deterministic per seed like the real `StdRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core uniform-integer sampling, named after rand 0.9's `Rng` extension
+/// trait (`random_range` replaced `gen_range`).
+pub trait RngExt {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the given range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Sample uniformly from `self`.
+    fn sample<G: RngExt>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: RngExt>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<G: RngExt>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The shim's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = a.random_range(1..=17u64);
+            let y: u64 = b.random_range(1..=17u64);
+            assert_eq!(x, y);
+            assert!((1..=17).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        let mut uniq = xs.clone();
+        uniq.dedup();
+        assert_eq!(xs.len(), uniq.len(), "SplitMix64 must not repeat immediately");
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v: i64 = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

@@ -70,7 +70,7 @@ fn main() {
             &doms,
         )
         .unwrap();
-        let analysis = comm_analysis(&[map.clone()], NP, &stmt);
+        let analysis = comm_analysis(std::slice::from_ref(map), NP, &stmt);
         let rep = machine.superstep_time(&loads, &analysis.comm);
         let max = *loads.iter().max().unwrap();
         let mean = loads.iter().sum::<u64>() as f64 / NP as f64;

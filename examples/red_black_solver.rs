@@ -100,6 +100,6 @@ fn main() {
         "\nidentical convergence ({s1} sweeps — mappings never change numerics),\n\
          but CYCLIC moves {c2} elements per sweep where BLOCK moves {c1}\n\
          ({}x): §1's collocation argument on a live solver.",
-        if c1 > 0 { c2 / c1 } else { 0 }
+        c2.checked_div(c1).unwrap_or(0)
     );
 }
