@@ -1,0 +1,49 @@
+//! B12 — compiled execution plans: cold (inspect + execute every call)
+//! vs warm (cached-plan replay) timesteps of the §8.1.1 staggered-grid
+//! statement. The warm path skips validation, ownership lookups, and the
+//! region-algebraic communication analysis, executing pack → exchange →
+//! compute straight from the compiled schedule.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::{staggered_mappings, staggered_statement, StaggeredScheme};
+use hpf_core::FormatSpec;
+use hpf_runtime::{Assignment, DistArray, PlanCache, SeqExecutor};
+
+fn arrays(n: i64) -> (Vec<DistArray<f64>>, Assignment) {
+    let maps = staggered_mappings(n, 2, &StaggeredScheme::Direct(FormatSpec::Block));
+    let stmt = staggered_statement(n, &maps);
+    let arrays = vec![
+        DistArray::new("P", maps[0].clone(), 4, 0.0),
+        DistArray::from_fn("U", maps[1].clone(), 4, |i| (i[0] + i[1]) as f64),
+        DistArray::from_fn("V", maps[2].clone(), 4, |i| (i[0] - i[1]) as f64),
+    ];
+    (arrays, stmt)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_cache");
+    g.sample_size(20);
+    for n in [128i64, 512] {
+        let (base, stmt) = arrays(n);
+        // cold: every timestep pays inspection (the pre-plan behavior)
+        g.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            let mut arr = base.clone();
+            b.iter(|| black_box(SeqExecutor.execute(&mut arr, &stmt).unwrap()))
+        });
+        // warm: one inspection, then cached-plan replays
+        g.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            let mut arr = base.clone();
+            let mut cache = PlanCache::new();
+            cache.plan_for(&arr, &stmt).unwrap(); // populate
+            b.iter(|| {
+                let plan = cache.plan_for(&arr, &stmt).unwrap();
+                plan.execute_seq(&mut arr);
+                black_box(plan.analysis().remote_reads)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -63,7 +63,7 @@ pub use dist::dist::{DistributeSpec, Distribution, TargetSpec};
 pub use dist::format::{DimFormat, FormatSpec, GeneralBlock, IndirectMap};
 pub use error::HpfError;
 pub use forest::{ArrayId, DataSpace, MappingState, SpecMapping, AP_NAME};
-pub use mapping::EffectiveDist;
+pub use mapping::{EffectiveDist, MappingId};
 pub use procedures::{
     Actual, CallFrame, CallReport, Dummy, DummySpec, ProcedureDef, RemapEvent, RemapPhase,
 };

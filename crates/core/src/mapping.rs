@@ -193,6 +193,50 @@ impl EffectiveDist {
     }
 }
 
+/// A cheap identity token for a shared mapping, used to key runtime plan
+/// caches: two tokens compare equal iff they were taken from the *same*
+/// `Arc<EffectiveDist>` allocation.
+///
+/// Pointer identity is exactly the invalidation granularity a compiled
+/// execution plan needs — a `REDISTRIBUTE`/`REALIGN` event produces a new
+/// `EffectiveDist` (and hence a new `Arc`), while timestep iteration reuses
+/// the same one. The token retains the `Arc`, so an identity held in a
+/// cache keeps its mapping alive and allocator address reuse can never
+/// produce a false match.
+#[derive(Debug, Clone)]
+pub struct MappingId(Arc<EffectiveDist>);
+
+impl MappingId {
+    /// The identity of a shared mapping.
+    pub fn of(mapping: &Arc<EffectiveDist>) -> Self {
+        MappingId(Arc::clone(mapping))
+    }
+
+    /// The mapping the token identifies.
+    pub fn mapping(&self) -> &Arc<EffectiveDist> {
+        &self.0
+    }
+
+    /// True iff `mapping` is the allocation this token identifies.
+    pub fn is(&self, mapping: &Arc<EffectiveDist>) -> bool {
+        Arc::ptr_eq(&self.0, mapping)
+    }
+}
+
+impl PartialEq for MappingId {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for MappingId {}
+
+impl std::hash::Hash for MappingId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (Arc::as_ptr(&self.0) as usize).hash(state);
+    }
+}
+
 impl fmt::Display for EffectiveDist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -421,6 +465,25 @@ mod tests {
         // agreeing positions: 1 (P1), 6 (P2), 11 (P3), 16 (P4)
         assert_eq!(a.remap_volume(&b), 12);
         assert_eq!(a.remap_volume(&a), 0);
+    }
+
+    #[test]
+    fn mapping_id_is_allocation_identity() {
+        let a = Arc::new(direct_1d(16, 4, FormatSpec::Block));
+        let b = Arc::new(direct_1d(16, 4, FormatSpec::Block));
+        // same Arc → equal; structurally identical but distinct Arc → unequal
+        assert_eq!(MappingId::of(&a), MappingId::of(&a.clone()));
+        assert_ne!(MappingId::of(&a), MappingId::of(&b));
+        assert!(MappingId::of(&a).is(&a));
+        assert!(!MappingId::of(&a).is(&b));
+        // the token keeps the mapping alive and hands it back
+        let id = MappingId::of(&a);
+        assert_eq!(id.mapping().domain(), a.domain());
+        // usable as a hash key
+        let mut set = std::collections::HashSet::new();
+        set.insert(MappingId::of(&a));
+        assert!(set.contains(&MappingId::of(&a)));
+        assert!(!set.contains(&MappingId::of(&b)));
     }
 
     #[test]

@@ -20,7 +20,8 @@
 pub use hpf_core::{
     inquiry, Actual, AlignExpr, AlignSpec, AligneeAxis, AlignmentFn, ArrayId, AxisMap,
     BaseSubscript, CallFrame, DataSpace, DistributeSpec, Distribution, Dummy, DummySpec,
-    EffectiveDist, FormatSpec, GeneralBlock, HpfError, ProcSet, ProcedureDef, TargetSpec,
+    EffectiveDist, FormatSpec, GeneralBlock, HpfError, MappingId, ProcSet, ProcedureDef,
+    TargetSpec,
 };
 pub use hpf_frontend::{Elaboration, Elaborator};
 pub use hpf_index::{
@@ -30,7 +31,7 @@ pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
     comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Combine,
-    CommAnalysis, DistArray, GhostReport, ParExecutor, Program, RemapAnalysis, SeqExecutor,
-    StatementTrace, Term,
+    CommAnalysis, DistArray, ExecPlan, GhostReport, ParExecutor, PlanCache, Program,
+    RemapAnalysis, SeqExecutor, StatementTrace, Term,
 };
 pub use hpf_template::{TemplateError, TemplateModel};

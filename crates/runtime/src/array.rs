@@ -15,6 +15,9 @@ pub struct DistArray<T> {
     mapping: Arc<EffectiveDist>,
     np: usize,
     regions: Vec<Region>,
+    /// Per processor: cumulative base offset of each rect of its region in
+    /// the local buffer, so addressing never re-sums preceding rect volumes.
+    rect_bases: Vec<Vec<usize>>,
     locals: Vec<Vec<T>>,
 }
 
@@ -32,6 +35,7 @@ impl<T: Clone> DistArray<T> {
         mut f: impl FnMut(&Idx) -> T,
     ) -> Self {
         let mut regions = Vec::with_capacity(np);
+        let mut rect_bases = Vec::with_capacity(np);
         let mut locals = Vec::with_capacity(np);
         for p in 1..=np as u32 {
             let region = mapping.owned_region(ProcId(p));
@@ -39,10 +43,17 @@ impl<T: Clone> DistArray<T> {
             for i in region.iter() {
                 buf.push(f(&i));
             }
+            let mut bases = Vec::with_capacity(region.rects().len());
+            let mut base = 0usize;
+            for rect in region.rects() {
+                bases.push(base);
+                base += rect.volume();
+            }
             regions.push(region);
+            rect_bases.push(bases);
             locals.push(buf);
         }
-        DistArray { name: name.to_string(), mapping, np, regions, locals }
+        DistArray { name: name.to_string(), mapping, np, regions, rect_bases, locals }
     }
 
     /// Array name.
@@ -80,17 +91,23 @@ impl<T: Clone> DistArray<T> {
         self.locals.iter().map(Vec::len).sum()
     }
 
-    /// Position of global index `i` within `p`'s local buffer.
-    fn local_offset(&self, p: ProcId, i: &Idx) -> Option<usize> {
+    /// Position of global index `i` within `p`'s local buffer: the
+    /// precomputed base offset of the containing rect plus the column-major
+    /// position inside it — O(rank) per rect checked, no volume re-summing.
+    pub(crate) fn local_offset(&self, p: ProcId, i: &Idx) -> Option<usize> {
         let region = &self.regions[p.zero_based()];
-        let mut base = 0usize;
-        for rect in region.rects() {
+        let bases = &self.rect_bases[p.zero_based()];
+        for (rect, &base) in region.rects().iter().zip(bases) {
             if rect.contains(i) {
                 return Some(base + rect_position(rect, i));
             }
-            base += rect.volume();
         }
         None
+    }
+
+    /// Read-only view of processor `p0`'s (zero-based) local buffer.
+    pub(crate) fn local(&self, p0: usize) -> &[T] {
+        &self.locals[p0]
     }
 
     /// Read element `i` from its (first) owner's local memory.
@@ -180,6 +197,21 @@ mod tests {
         assert_eq!(c.local_len(ProcId(1)), 4);
         for v in [1i64, 4, 7, 10] {
             assert_eq!(c.get(&Idx::d1(v)), v);
+        }
+    }
+
+    #[test]
+    fn local_offsets_match_fill_order() {
+        // CYCLIC(2): strided multi-rect ownership; the precomputed rect
+        // bases must reproduce the construction fill order exactly
+        let mut ds = DataSpace::new(3);
+        let id = ds.declare("C", IndexDomain::of_shape(&[17]).unwrap()).unwrap();
+        ds.distribute(id, &DistributeSpec::new(vec![FormatSpec::Cyclic(2)])).unwrap();
+        let c = DistArray::from_fn("C", ds.effective(id).unwrap(), 3, |i| i[0]);
+        for p in (1..=3u32).map(ProcId) {
+            for (k, i) in c.region_of(p).iter().enumerate() {
+                assert_eq!(c.local_offset(p, &i), Some(k), "{p} {i}");
+            }
         }
     }
 

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// One right-hand-side operand: an array reference through a section, e.g.
 /// the `U(0:N-1,:)` of the §8.1.1 statement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Term {
     /// Index of the operand array in the executor's array list.
     pub array: usize,
@@ -20,7 +20,7 @@ impl Term {
 }
 
 /// How RHS element values combine into the LHS value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Combine {
     /// Sum of all operands (the staggered-grid statement).
     Sum,
@@ -60,7 +60,10 @@ impl Combine {
 /// assignment conformance); corresponding elements are matched in
 /// column-major section order. The §8.1.1 statement
 /// `P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)` is four `Sum` terms.
-#[derive(Debug, Clone)]
+///
+/// Equality and hashing are structural — the runtime's plan cache uses
+/// them to recognize a statement repeated across timesteps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Assignment {
     /// Index of the LHS array.
     pub lhs: usize,
@@ -94,6 +97,13 @@ impl Assignment {
             .ok_or_else(|| HpfError::UnknownArray(format!("array #{}", self.lhs)))?;
         self.lhs_section.validate(lhs_dom)?;
         let shape: Vec<usize> = section_shape(&self.lhs_section);
+        if self.terms.is_empty() {
+            // Max of zero terms would be −∞ and Average 0.0; neither is a
+            // meaningful array assignment, so reject at validation time.
+            return Err(HpfError::NotConforming(
+                "assignment requires at least one RHS term".into(),
+            ));
+        }
         if matches!(self.combine, Combine::Copy) && self.terms.len() != 1 {
             return Err(HpfError::NotConforming(
                 "Copy assignment requires exactly one RHS term".into(),
@@ -235,6 +245,22 @@ mod tests {
         .unwrap();
         assert_eq!(a.lhs_index(&Idx::d1(2)), Idx::d2(2, 3));
         assert_eq!(a.rhs_index(0, &Idx::d1(2)), Idx::d1(2));
+    }
+
+    #[test]
+    fn zero_terms_rejected_for_every_combine() {
+        let d = IndexDomain::of_shape(&[4]).unwrap();
+        let doms: Vec<&IndexDomain> = vec![&d];
+        for combine in [Combine::Sum, Combine::Average, Combine::Max, Combine::Copy] {
+            let err = Assignment::new(
+                0,
+                Section::from_triplets(vec![span(1, 4)]),
+                vec![],
+                combine,
+                &doms,
+            );
+            assert!(err.is_err(), "{combine:?} with zero terms must not validate");
+        }
     }
 
     #[test]

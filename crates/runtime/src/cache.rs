@@ -1,0 +1,159 @@
+//! Plan caching: amortize inspection across timesteps.
+//!
+//! Iterative solvers (red–black sweeps, stencil timesteps) execute the
+//! *same* statements over the *same* mappings thousands of times. A
+//! [`PlanCache`] keys each statement's compiled [`ExecPlan`] by the
+//! statement's structure plus the [`MappingId`] of every involved array,
+//! so a repeated statement replays its schedule — no re-validation, no
+//! re-inspection, no re-running the region-algebraic communication
+//! analysis — while a `REDISTRIBUTE`/`REALIGN` (which produces new mapping
+//! allocations) invalidates exactly the affected entries.
+
+use crate::array::DistArray;
+use crate::assign::Assignment;
+use crate::plan::ExecPlan;
+use hpf_core::HpfError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cache of compiled execution plans, keyed by statement shape and
+/// mapping identity.
+///
+/// At most one entry is kept per distinct statement (statements hash and
+/// compare structurally): when a statement's mappings change (an array was
+/// remapped), the stale plan is replaced in place, so the cache never
+/// grows beyond the program's statement count.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    entries: HashMap<Assignment, Arc<ExecPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for `stmt` over `arrays`: a cached replay if the statement
+    /// was seen before under the same mapping allocations, otherwise a
+    /// fresh inspection (cached for next time).
+    pub fn plan_for(
+        &mut self,
+        arrays: &[DistArray<f64>],
+        stmt: &Assignment,
+    ) -> Result<Arc<ExecPlan>, HpfError> {
+        if let Some(plan) = self.entries.get(stmt) {
+            if plan.is_valid_for(arrays) {
+                self.hits += 1;
+                return Ok(plan.clone());
+            }
+        }
+        self.misses += 1;
+        let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
+        self.entries.insert(stmt.clone(), plan.clone());
+        Ok(plan)
+    }
+
+    /// Cached-replay count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fresh-inspection count (cold misses plus remap invalidations).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Combine, Term};
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+
+    fn arrays(n: usize, np: usize, fmt_b: FormatSpec) -> Vec<DistArray<f64>> {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![fmt_b])).unwrap();
+        vec![
+            DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 2) as f64),
+        ]
+    }
+
+    fn copy_stmt(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repeat_statement_hits() {
+        let mut cache = PlanCache::new();
+        let arrs = arrays(32, 4, FormatSpec::Cyclic(1));
+        let stmt = copy_stmt(32, &arrs);
+        let p1 = cache.plan_for(&arrs, &stmt).unwrap();
+        let p2 = cache.plan_for(&arrs, &stmt).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "replay must reuse the compiled plan");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn remap_invalidates_in_place() {
+        let mut cache = PlanCache::new();
+        let mut arrs = arrays(32, 4, FormatSpec::Cyclic(1));
+        let stmt = copy_stmt(32, &arrs);
+        let p1 = cache.plan_for(&arrs, &stmt).unwrap();
+        // remap B: a new mapping allocation → the entry is stale
+        arrs[1] = arrays(32, 4, FormatSpec::Block).into_iter().nth(1).unwrap();
+        let p2 = cache.plan_for(&arrs, &stmt).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // replaced, not accumulated
+        assert_eq!(cache.len(), 1);
+        // and the fresh plan is hit on the next replay
+        cache.plan_for(&arrs, &stmt).unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_statements_coexist() {
+        let mut cache = PlanCache::new();
+        let arrs = arrays(32, 4, FormatSpec::Cyclic(1));
+        let s1 = copy_stmt(32, &arrs);
+        let s2 = copy_stmt(16, &arrs);
+        cache.plan_for(&arrs, &s1).unwrap();
+        cache.plan_for(&arrs, &s2).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

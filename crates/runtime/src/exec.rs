@@ -1,16 +1,19 @@
 use crate::assign::Assignment;
-use crate::commsets::{comm_analysis, CommAnalysis};
+use crate::commsets::CommAnalysis;
+use crate::plan::ExecPlan;
 use crate::DistArray;
 use hpf_core::HpfError;
-use hpf_index::IndexDomain;
-use std::collections::HashMap;
-use std::sync::Arc;
 
-/// Sequential owner-computes executor.
+/// Sequential owner-computes executor: a thin driver that inspects a fresh
+/// [`ExecPlan`] and replays it once.
 ///
-/// Semantics: the whole right-hand side is evaluated before any element of
-/// the left-hand side is stored (Fortran 90 array-assignment semantics), so
-/// statements like `A(2:N) = A(1:N-1)` are safe.
+/// Semantics: the whole right-hand side is packed before any element of
+/// the left-hand side is stored (Fortran 90 array-assignment semantics),
+/// so statements like `A(2:N) = A(1:N-1)` are safe.
+///
+/// For statements executed repeatedly (solver sweeps, timesteps), use
+/// [`crate::Program`] or a [`crate::PlanCache`] so inspection is amortized
+/// instead of re-run per call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SeqExecutor;
 
@@ -22,72 +25,39 @@ impl SeqExecutor {
         arrays: &mut [DistArray<f64>],
         stmt: &Assignment,
     ) -> Result<CommAnalysis, HpfError> {
-        let domains: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
-        stmt.validate(&domains)?;
-        let np = arrays[stmt.lhs].np();
+        let plan = ExecPlan::inspect(arrays, stmt)?;
+        plan.execute_seq(arrays);
+        Ok(plan.analysis().clone())
+    }
 
-        // snapshot every RHS operand (handles LHS-on-RHS aliasing)
-        let snapshots = snapshot_operands(arrays, stmt);
-
-        // evaluate and store
-        let values = evaluate(&snapshots, stmt);
-        let lhs = &mut arrays[stmt.lhs];
-        for (rel, v) in stmt.positions().zip(values) {
-            let gi = stmt.lhs_index(&rel);
-            lhs.set(&gi, v);
-        }
-
-        // exact communication analysis from the mappings
-        let mappings: Vec<Arc<hpf_core::EffectiveDist>> =
-            arrays.iter().map(|a| a.mapping().clone()).collect();
-        Ok(comm_analysis(&mappings, np, stmt))
+    /// Replay an already-inspected plan (the executor half of the
+    /// inspector–executor split).
+    ///
+    /// # Panics
+    /// Panics if `plan` is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_plan(&self, arrays: &mut [DistArray<f64>], plan: &ExecPlan) {
+        plan.execute_seq(arrays);
     }
 }
 
-/// Dense snapshots of the arrays an assignment reads, keyed by array index.
-pub(crate) struct Snapshots {
-    pub(crate) domains: HashMap<usize, IndexDomain>,
-    pub(crate) data: HashMap<usize, Vec<f64>>,
-}
-
-pub(crate) fn snapshot_operands(arrays: &[DistArray<f64>], stmt: &Assignment) -> Snapshots {
-    let mut domains = HashMap::new();
-    let mut data = HashMap::new();
-    for t in &stmt.terms {
-        if let std::collections::hash_map::Entry::Vacant(e) = data.entry(t.array) {
-            domains.insert(t.array, arrays[t.array].domain().clone());
-            e.insert(arrays[t.array].to_dense());
-        }
-    }
-    Snapshots { domains, data }
-}
-
-pub(crate) fn evaluate(snap: &Snapshots, stmt: &Assignment) -> Vec<f64> {
-    let mut out = Vec::with_capacity(stmt.element_count());
-    let mut vals = vec![0.0f64; stmt.terms.len()];
-    for rel in stmt.positions() {
-        for (t, term) in stmt.terms.iter().enumerate() {
-            let gi = stmt.rhs_index(t, &rel);
-            let dom = &snap.domains[&term.array];
-            let pos = dom.linearize(&gi).expect("validated sections stay in bounds");
-            vals[t] = snap.data[&term.array][pos];
-        }
-        out.push(stmt.combine.apply(&vals));
-    }
-    out
-}
-
-/// Compute the expected dense value of the LHS array after `stmt`, reading
-/// the arrays' *current* values — the oracle the executors are tested
-/// against.
+/// Compute the expected dense value of the LHS array after `stmt` by naive
+/// element-wise evaluation, reading the arrays' *current* values — the
+/// oracle the plan-based executors are tested against. Deliberately simple
+/// and O(global size); never on the execution path.
 pub fn dense_reference(arrays: &[DistArray<f64>], stmt: &Assignment) -> Vec<f64> {
-    let snap = snapshot_operands(arrays, stmt);
-    let values = evaluate(&snap, stmt);
     let lhs_dom = arrays[stmt.lhs].domain().clone();
     let mut dense = arrays[stmt.lhs].to_dense();
-    for (rel, v) in stmt.positions().zip(values) {
-        let gi = stmt.lhs_index(&rel);
-        dense[lhs_dom.linearize(&gi).expect("validated")] = v;
+    let mut vals = vec![0.0f64; stmt.terms.len()];
+    let mut updates = Vec::with_capacity(stmt.element_count());
+    for rel in stmt.positions() {
+        for (t, term) in stmt.terms.iter().enumerate() {
+            vals[t] = arrays[term.array].get(&stmt.rhs_index(t, &rel));
+        }
+        updates.push((stmt.lhs_index(&rel), stmt.combine.apply(&vals)));
+    }
+    for (gi, v) in updates {
+        dense[lhs_dom.linearize(&gi).expect("validated sections stay in bounds")] = v;
     }
     dense
 }
@@ -97,7 +67,7 @@ mod tests {
     use super::*;
     use crate::assign::{Combine, Term};
     use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
-    use hpf_index::{span, triplet, Section};
+    use hpf_index::{span, triplet, IndexDomain, Section};
 
     fn setup(n: usize, np: usize, fmts: &[FormatSpec]) -> Vec<DistArray<f64>> {
         let mut ds = DataSpace::new(np);
@@ -196,6 +166,24 @@ mod tests {
         .unwrap();
         let expect = dense_reference(&arrays, &stmt);
         SeqExecutor.execute(&mut arrays, &stmt).unwrap();
+        assert_eq!(arrays[0].to_dense(), expect);
+    }
+
+    #[test]
+    fn execute_plan_replays() {
+        let mut arrays = setup(24, 3, &[FormatSpec::Block, FormatSpec::Cyclic(2)]);
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 24)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 24)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = crate::ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let expect = dense_reference(&arrays, &stmt);
+        SeqExecutor.execute_plan(&mut arrays, &plan);
         assert_eq!(arrays[0].to_dense(), expect);
     }
 }

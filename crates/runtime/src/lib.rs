@@ -14,9 +14,14 @@
 //! * [`comm_analysis`] — *exact* communication sets computed with the
 //!   regular-section algebra (no per-element enumeration for affine
 //!   mappings);
+//! * [`ExecPlan`] / [`PlanCache`] — the inspector–executor split: a
+//!   statement is lowered **once** into per-processor flat offsets and
+//!   ghost gather schedules, then replayed every timestep from a cache
+//!   keyed by statement shape and mapping identity;
 //! * [`SeqExecutor`] / [`ParExecutor`] — sequential and
-//!   crossbeam-parallel owner-computes execution, verified element-for-
-//!   element against a dense reference;
+//!   crossbeam-parallel owner-computes execution, thin drivers over the
+//!   same compiled plans, verified element-for-element against a dense
+//!   reference;
 //! * [`remap_analysis`] — the exact traffic of a `REDISTRIBUTE`/`REALIGN`
 //!   event (§4.2/§5.2) and of §7 copy-in/copy-out;
 //! * [`ghost_regions`] — SUPERB-style overlap areas per processor and
@@ -28,20 +33,24 @@
 
 mod array;
 mod assign;
+mod cache;
 mod commsets;
 mod exec;
 mod ghost;
 mod par;
+mod plan;
 mod program;
 mod remap;
 mod trace;
 
 pub use array::DistArray;
 pub use assign::{Assignment, Combine, Term};
+pub use cache::PlanCache;
 pub use commsets::{comm_analysis, CommAnalysis};
 pub use exec::{dense_reference, SeqExecutor};
 pub use ghost::{ghost_regions, GhostReport};
 pub use par::ParExecutor;
+pub use plan::{ExecPlan, GatherRef, ProcPlan, TermSchedule};
 pub use program::Program;
 pub use remap::{remap_analysis, RemapAnalysis};
 pub use trace::StatementTrace;

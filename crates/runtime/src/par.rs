@@ -1,20 +1,20 @@
 use crate::assign::Assignment;
-use crate::commsets::{comm_analysis, CommAnalysis};
-use crate::exec::{snapshot_operands, Snapshots};
+use crate::commsets::CommAnalysis;
+use crate::plan::ExecPlan;
 use crate::DistArray;
 use hpf_core::HpfError;
-use hpf_index::{Idx, IndexDomain, Region};
-use std::sync::Arc;
 
-/// Parallel owner-computes executor: the per-processor compute phases run
-/// concurrently on real threads (crossbeam scoped threads), one simulated
-/// processor's local buffer per unit of work — the same decomposition a
-/// real SPMD node program would have.
+/// Parallel owner-computes executor: a thin driver over the same compiled
+/// [`ExecPlan`] the sequential executor replays, with the per-processor
+/// compute phases spread over real threads (crossbeam scoped threads), one
+/// simulated processor's local buffer per unit of work — the same
+/// decomposition a real SPMD node program would have.
 ///
 /// Produces bit-identical results to [`crate::SeqExecutor`] (verified by
 /// the test suite): each simulated processor writes only its own local
-/// buffer, and all operand reads come from a pre-exchange snapshot, exactly
-/// like a BSP superstep (communicate, then compute locally).
+/// buffer, and all operand reads come from the pre-packed exchange
+/// buffers, exactly like a BSP superstep (communicate, then compute
+/// locally).
 #[derive(Debug, Clone, Copy)]
 pub struct ParExecutor {
     /// Number of OS threads to spread the simulated processors over.
@@ -36,81 +36,26 @@ impl ParExecutor {
     }
 
     /// Execute `stmt` over `arrays` (same semantics as
-    /// [`crate::SeqExecutor::execute`]).
+    /// [`crate::SeqExecutor::execute`]): inspect a fresh plan, replay it
+    /// once with a parallel compute phase.
     pub fn execute(
         &self,
         arrays: &mut [DistArray<f64>],
         stmt: &Assignment,
     ) -> Result<CommAnalysis, HpfError> {
-        let domains: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
-        stmt.validate(&domains)?;
-        let np = arrays[stmt.lhs].np();
-        let mappings: Vec<Arc<hpf_core::EffectiveDist>> =
-            arrays.iter().map(|a| a.mapping().clone()).collect();
-
-        // superstep phase 1 (exchange): snapshot operand values
-        let snap = snapshot_operands(arrays, stmt);
-
-        // superstep phase 2 (compute): each simulated processor fills the
-        // part of the LHS it owns, in parallel
-        let lhs = &mut arrays[stmt.lhs];
-        let (regions, locals) = lhs.parts_mut();
-        let mut work: Vec<(&Region, &mut Vec<f64>)> =
-            regions.iter().zip(locals.iter_mut()).collect();
-        let chunk = work.len().div_ceil(self.threads).max(1);
-        let mut batches: Vec<Vec<(&Region, &mut Vec<f64>)>> = Vec::new();
-        while !work.is_empty() {
-            let rest = work.split_off(chunk.min(work.len()));
-            batches.push(std::mem::replace(&mut work, rest));
-        }
-        let stmt_ref = stmt;
-        let snap_ref = &snap;
-        crossbeam::thread::scope(|scope| {
-            for mut batch in batches {
-                scope.spawn(move |_| {
-                    for (region, local) in batch.iter_mut() {
-                        compute_region(region, local, stmt_ref, snap_ref);
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
-
-        Ok(comm_analysis(&mappings, np, stmt))
+        let plan = ExecPlan::inspect(arrays, stmt)?;
+        plan.execute_par(arrays, self.threads);
+        Ok(plan.analysis().clone())
     }
-}
 
-/// Fill one processor's local buffer: for every owned global index that the
-/// LHS section selects, evaluate the statement at the corresponding
-/// section-relative position.
-fn compute_region(
-    region: &Region,
-    local: &mut [f64],
-    stmt: &Assignment,
-    snap: &Snapshots,
-) {
-    let mut vals = vec![0.0f64; stmt.terms.len()];
-    let mut offset = 0usize;
-    for rect in region.rects() {
-        for gi in rect.iter() {
-            if let Some(rel) = project_index(&gi, stmt) {
-                for (t, term) in stmt.terms.iter().enumerate() {
-                    let ri = stmt.rhs_index(t, &rel);
-                    let dom = &snap.domains[&term.array];
-                    let pos = dom.linearize(&ri).expect("validated");
-                    vals[t] = snap.data[&term.array][pos];
-                }
-                local[offset] = stmt.combine.apply(&vals);
-            }
-            offset += 1;
-        }
+    /// Replay an already-inspected plan with a parallel compute phase.
+    ///
+    /// # Panics
+    /// Panics if `plan` is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_plan(&self, arrays: &mut [DistArray<f64>], plan: &ExecPlan) {
+        plan.execute_par(arrays, self.threads);
     }
-}
-
-/// Section-relative position of a global LHS index, or `None` if the
-/// section does not select it.
-fn project_index(gi: &Idx, stmt: &Assignment) -> Option<Idx> {
-    stmt.lhs_section.project(gi)
 }
 
 #[cfg(test)]
@@ -119,7 +64,7 @@ mod tests {
     use crate::assign::{Combine, Term};
     use crate::exec::{dense_reference, SeqExecutor};
     use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
-    use hpf_index::{span, triplet, Section};
+    use hpf_index::{span, triplet, IndexDomain, Section};
 
     fn arrays_2d(n: usize, np_side: usize) -> Vec<DistArray<f64>> {
         let np = np_side * np_side;
@@ -215,5 +160,30 @@ mod tests {
         let expect = dense_reference(&arrays, &stmt);
         ParExecutor::with_threads(1).execute(&mut arrays, &stmt).unwrap();
         assert_eq!(arrays[0].to_dense(), expect);
+    }
+
+    #[test]
+    fn parallel_plan_replay_matches_seq_replay() {
+        let mut seq = arrays_2d(12, 2);
+        let mut par = arrays_2d(12, 2);
+        let doms: Vec<&IndexDomain> = seq.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, 11), span(1, 12)]),
+            vec![
+                Term::new(1, Section::from_triplets(vec![span(1, 10), span(1, 12)])),
+                Term::new(1, Section::from_triplets(vec![span(3, 12), span(1, 12)])),
+            ],
+            Combine::Average,
+            &doms,
+        )
+        .unwrap();
+        let plan_seq = ExecPlan::inspect(&seq, &stmt).unwrap();
+        let plan_par = ExecPlan::inspect(&par, &stmt).unwrap();
+        for _ in 0..3 {
+            SeqExecutor.execute_plan(&mut seq, &plan_seq);
+            ParExecutor::with_threads(4).execute_plan(&mut par, &plan_par);
+        }
+        assert_eq!(seq[0].to_dense(), par[0].to_dense());
     }
 }

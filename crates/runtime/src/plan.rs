@@ -1,0 +1,419 @@
+//! Compiled execution plans — the **inspector** half of an
+//! inspector–executor runtime.
+//!
+//! The paper's central payoff is that distribution/alignment information
+//! makes communication sets *statically computable* (§1, §8.1.1). This
+//! module exploits that at execution time the way HPF-descended runtimes
+//! do: an [`ExecPlan`] is inspected **once** from an [`Assignment`] and the
+//! arrays' [`EffectiveDist`] mappings, and then replayed every timestep.
+//!
+//! A plan contains, per simulated processor:
+//!
+//! * the **precomputed flat offsets** into the LHS local buffer of every
+//!   element the processor computes (owner-computes rule), and
+//! * per RHS term, a **gather schedule**: for each element read, the owning
+//!   processor and flat offset in that owner's local buffer — local reads
+//!   point back into the processor's own segment, remote reads are the
+//!   statement's *ghost elements* (SUPERB-style overlap areas, the paper's
+//!   reference \[11\]).
+//!
+//! Execution is then pack → exchange → compute: each processor's operand
+//! buffers are assembled from its own local segment plus ghost data only —
+//! there is **no dense global snapshot** anywhere on the path, so the cost
+//! per replay is O(elements computed + elements read), independent of how
+//! many ownership lookups inspection needed. The frozen [`CommAnalysis`]
+//! rides along, so replays also skip the region-algebraic analysis.
+
+use crate::array::DistArray;
+use crate::assign::{Assignment, Combine};
+use crate::commsets::{comm_analysis, project_region, CommAnalysis};
+use hpf_core::{HpfError, MappingId};
+use hpf_index::IndexDomain;
+use hpf_procs::ProcId;
+use std::sync::Arc;
+
+/// One gather source: which processor's local buffer to read, and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatherRef {
+    /// Zero-based source processor.
+    pub src: u32,
+    /// Flat offset into the source processor's local buffer.
+    pub offset: usize,
+}
+
+/// The gather schedule of one processor for one RHS term.
+#[derive(Debug, Clone)]
+pub struct TermSchedule {
+    /// Index of the operand array.
+    pub array: usize,
+    /// One source per element computed, in the processor's element order.
+    pub sources: Vec<GatherRef>,
+    /// How many of the sources are remote — the term's ghost volume on
+    /// this processor.
+    pub ghost_elements: usize,
+}
+
+/// Everything one processor must do to execute the statement: which LHS
+/// slots it fills and where each operand element comes from.
+#[derive(Debug, Clone)]
+pub struct ProcPlan {
+    /// The processor.
+    pub proc: ProcId,
+    /// Flat offsets into the LHS local buffer, one per computed element.
+    pub lhs_offsets: Vec<usize>,
+    /// Per-term gather schedules (parallel to the statement's terms).
+    pub terms: Vec<TermSchedule>,
+}
+
+impl ProcPlan {
+    /// Total ghost elements this processor receives across all terms.
+    pub fn ghost_elements(&self) -> usize {
+        self.terms.iter().map(|t| t.ghost_elements).sum()
+    }
+}
+
+/// A compiled execution plan for one assignment under fixed mappings.
+///
+/// Built by [`ExecPlan::inspect`]; replayed by [`ExecPlan::execute_seq`] /
+/// [`ExecPlan::execute_par`]. A plan is bound to the exact
+/// `Arc<EffectiveDist>` allocations it was inspected from (see
+/// [`MappingId`]); [`ExecPlan::is_valid_for`] checks that binding, and the
+/// executors assert it, so a remapped array can never be driven through a
+/// stale schedule.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    lhs: usize,
+    combine: Combine,
+    per_proc: Vec<ProcPlan>,
+    analysis: CommAnalysis,
+    /// Identity of every involved array's mapping at inspection time.
+    mappings: Vec<(usize, MappingId)>,
+}
+
+impl ExecPlan {
+    /// Inspect `stmt` over `arrays`: validate conformance, lower the
+    /// owner-computes iteration into per-processor flat offsets and gather
+    /// schedules, and freeze the exact communication analysis.
+    pub fn inspect(
+        arrays: &[DistArray<f64>],
+        stmt: &Assignment,
+    ) -> Result<ExecPlan, HpfError> {
+        let domains: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        stmt.validate(&domains)?;
+        let np = arrays[stmt.lhs].np();
+
+        let mut per_proc = Vec::with_capacity(np);
+        for p in (1..=np as u32).map(ProcId) {
+            let lhs_arr = &arrays[stmt.lhs];
+            // the section-relative positions this processor computes
+            let positions = project_region(lhs_arr.region_of(p), &stmt.lhs_section);
+            let volume = positions.volume_disjoint();
+            let mut lhs_offsets = Vec::with_capacity(volume);
+            for rel in positions.iter() {
+                let gi = stmt.lhs_index(&rel);
+                lhs_offsets.push(
+                    lhs_arr.local_offset(p, &gi).expect("owner holds its region"),
+                );
+            }
+            let mut terms = Vec::with_capacity(stmt.terms.len());
+            for (t, term) in stmt.terms.iter().enumerate() {
+                let src_arr = &arrays[term.array];
+                let own = src_arr.region_of(p);
+                let mut sources = Vec::with_capacity(volume);
+                let mut ghost_elements = 0usize;
+                for rel in positions.iter() {
+                    let ri = stmt.rhs_index(t, &rel);
+                    // prefer the processor's own copy (replication makes
+                    // ownership non-exclusive); otherwise gather from the
+                    // first owner — a ghost element
+                    let src = if own.contains(&ri) {
+                        p
+                    } else {
+                        ghost_elements += 1;
+                        src_arr.mapping().owner(&ri)
+                    };
+                    let offset = src_arr
+                        .local_offset(src, &ri)
+                        .expect("owner holds its region");
+                    sources.push(GatherRef { src: src.zero_based() as u32, offset });
+                }
+                terms.push(TermSchedule { array: term.array, sources, ghost_elements });
+            }
+            per_proc.push(ProcPlan { proc: p, lhs_offsets, terms });
+        }
+
+        let maps: Vec<Arc<hpf_core::EffectiveDist>> =
+            arrays.iter().map(|a| a.mapping().clone()).collect();
+        let analysis = comm_analysis(&maps, np, stmt);
+
+        let mut involved = vec![stmt.lhs];
+        involved.extend(stmt.terms.iter().map(|t| t.array));
+        involved.sort_unstable();
+        involved.dedup();
+        let mappings = involved
+            .into_iter()
+            .map(|k| (k, MappingId::of(arrays[k].mapping())))
+            .collect();
+
+        Ok(ExecPlan { lhs: stmt.lhs, combine: stmt.combine, per_proc, analysis, mappings })
+    }
+
+    /// The frozen communication analysis of the statement.
+    pub fn analysis(&self) -> &CommAnalysis {
+        &self.analysis
+    }
+
+    /// The per-processor schedules.
+    pub fn per_proc(&self) -> &[ProcPlan] {
+        &self.per_proc
+    }
+
+    /// Index of the LHS array.
+    pub fn lhs(&self) -> usize {
+        self.lhs
+    }
+
+    /// Identity of every involved array's mapping at inspection time.
+    pub fn mappings(&self) -> &[(usize, MappingId)] {
+        &self.mappings
+    }
+
+    /// Total ghost elements exchanged per replay, over all processors.
+    pub fn ghost_elements(&self) -> usize {
+        self.per_proc.iter().map(ProcPlan::ghost_elements).sum()
+    }
+
+    /// True iff every involved array still carries the exact mapping
+    /// allocation the plan was inspected from.
+    pub fn is_valid_for(&self, arrays: &[DistArray<f64>]) -> bool {
+        self.mappings
+            .iter()
+            .all(|(k, id)| arrays.get(*k).is_some_and(|a| id.is(a.mapping())))
+    }
+
+    /// Pack phase for one processor: assemble its per-term operand buffers
+    /// from its own local segment plus ghost data.
+    fn pack(&self, arrays: &[DistArray<f64>], pp: &ProcPlan) -> Vec<Vec<f64>> {
+        pp.terms
+            .iter()
+            .map(|ts| {
+                let src_arr = &arrays[ts.array];
+                ts.sources
+                    .iter()
+                    .map(|g| src_arr.local(g.src as usize)[g.offset])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Replay the plan sequentially: pack/exchange every processor's
+    /// operand buffers (reads only — Fortran 90 semantics even when the
+    /// LHS appears on the RHS), then compute into the LHS local buffers.
+    ///
+    /// # Panics
+    /// Panics if the plan is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_seq(&self, arrays: &mut [DistArray<f64>]) {
+        assert!(self.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        let packed: Vec<Vec<Vec<f64>>> =
+            self.per_proc.iter().map(|pp| self.pack(arrays, pp)).collect();
+        let (_, locals) = arrays[self.lhs].parts_mut();
+        for (pp, bufs) in self.per_proc.iter().zip(&packed) {
+            compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, self.combine);
+        }
+    }
+
+    /// Replay the plan with the compute phase spread over `threads` OS
+    /// threads, one simulated processor's local buffer per unit of work —
+    /// bit-identical to [`ExecPlan::execute_seq`].
+    ///
+    /// # Panics
+    /// Panics if the plan is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_par(&self, arrays: &mut [DistArray<f64>], threads: usize) {
+        assert!(self.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        let threads = threads.max(1);
+        let packed: Vec<Vec<Vec<f64>>> =
+            self.per_proc.iter().map(|pp| self.pack(arrays, pp)).collect();
+        let (_, locals) = arrays[self.lhs].parts_mut();
+        // per_proc is ordered 1..=np, matching the local-buffer order
+        let mut work: Vec<ProcWork<'_>> = self
+            .per_proc
+            .iter()
+            .zip(&packed)
+            .zip(locals.iter_mut())
+            .map(|((pp, bufs), local)| (pp, bufs, local))
+            .collect();
+        let chunk = work.len().div_ceil(threads).max(1);
+        let mut batches: Vec<Vec<ProcWork<'_>>> = Vec::new();
+        while !work.is_empty() {
+            let rest = work.split_off(chunk.min(work.len()));
+            batches.push(std::mem::replace(&mut work, rest));
+        }
+        let combine = self.combine;
+        crossbeam::thread::scope(|scope| {
+            for mut batch in batches {
+                scope.spawn(move |_| {
+                    for (pp, bufs, local) in batch.iter_mut() {
+                        compute_proc(pp, local, bufs, combine);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+}
+
+/// One unit of parallel compute work: a processor's schedule, its packed
+/// operand buffers, and its LHS local buffer.
+type ProcWork<'a> = (&'a ProcPlan, &'a Vec<Vec<f64>>, &'a mut Vec<f64>);
+
+/// Compute phase for one processor: combine the packed operand buffers
+/// element by element into the precomputed LHS slots.
+fn compute_proc(pp: &ProcPlan, local: &mut [f64], bufs: &[Vec<f64>], combine: Combine) {
+    let mut vals = vec![0.0f64; bufs.len()];
+    for (k, &off) in pp.lhs_offsets.iter().enumerate() {
+        for (v, b) in vals.iter_mut().zip(bufs) {
+            *v = b[k];
+        }
+        local[off] = combine.apply(&vals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::Term;
+    use crate::exec::dense_reference;
+    use crate::ghost::ghost_regions;
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, Section};
+
+    fn setup(n: usize, np: usize, fmts: &[FormatSpec]) -> Vec<DistArray<f64>> {
+        let mut ds = DataSpace::new(np);
+        let mut out = Vec::new();
+        for (k, f) in fmts.iter().enumerate() {
+            let name = format!("A{k}");
+            let id = ds.declare(&name, IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+            ds.distribute(id, &DistributeSpec::new(vec![f.clone()])).unwrap();
+            out.push(DistArray::from_fn(
+                &name,
+                ds.effective(id).unwrap(),
+                np,
+                |i| (i[0] * (k as i64 + 3)) as f64,
+            ));
+        }
+        out
+    }
+
+    fn shift_stmt(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_replay_matches_reference() {
+        let mut arrays = setup(40, 4, &[FormatSpec::Block, FormatSpec::Cyclic(3)]);
+        let stmt = shift_stmt(40, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let expect = dense_reference(&arrays, &stmt);
+        plan.execute_seq(&mut arrays);
+        assert_eq!(arrays[0].to_dense(), expect);
+        // replay again on the mutated state — still the dense semantics
+        let expect2 = dense_reference(&arrays, &stmt);
+        plan.execute_seq(&mut arrays);
+        assert_eq!(arrays[0].to_dense(), expect2);
+    }
+
+    #[test]
+    fn plan_ghosts_match_region_algebra() {
+        let arrays = setup(64, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(64, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let maps: Vec<_> = arrays.iter().map(|a| a.mapping().clone()).collect();
+        let ghosts = ghost_regions(&maps, 4, &stmt);
+        for (pp, g) in plan.per_proc().iter().zip(&ghosts) {
+            assert_eq!(pp.ghost_elements(), g.volume, "{}", pp.proc);
+        }
+        // and both agree with the frozen analysis's remote reads
+        assert_eq!(plan.ghost_elements() as u64, plan.analysis().remote_reads);
+    }
+
+    #[test]
+    fn aliasing_shift_reads_old_values() {
+        // A(2:16) = A(1:15) with the LHS on the RHS: pack-before-compute
+        // must preserve Fortran array-assignment semantics
+        let mut arrays = setup(16, 4, &[FormatSpec::Block]);
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, 16)]),
+            vec![Term::new(0, Section::from_triplets(vec![span(1, 15)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let expect = dense_reference(&arrays, &stmt);
+        ExecPlan::inspect(&arrays, &stmt).unwrap().execute_seq(&mut arrays);
+        assert_eq!(arrays[0].to_dense(), expect);
+    }
+
+    #[test]
+    fn stale_plan_detected() {
+        let mut arrays = setup(32, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(32, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        assert!(plan.is_valid_for(&arrays));
+        // remap A1 to a different allocation → plan must refuse
+        let remapped = setup(32, 4, &[FormatSpec::Block, FormatSpec::Cyclic(1)]);
+        arrays[1] = remapped.into_iter().nth(1).unwrap();
+        assert!(!plan.is_valid_for(&arrays));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut a = arrays;
+            plan.execute_seq(&mut a);
+        }));
+        assert!(res.is_err(), "executing a stale plan must panic, not corrupt");
+    }
+
+    #[test]
+    fn replicated_lhs_keeps_copies_coherent() {
+        let dom = IndexDomain::of_shape(&[12]).unwrap();
+        let rep = Arc::new(hpf_core::EffectiveDist::Replicated {
+            domain: dom,
+            procs: hpf_core::ProcSet::all(3),
+        });
+        let mut ds = DataSpace::new(3);
+        let b = ds.declare("B", IndexDomain::of_shape(&[12]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        let mut arrays = vec![
+            DistArray::new("R", rep, 3, 0.0),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), 3, |i| (i[0] * 7) as f64),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 12)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 12)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let expect = dense_reference(&arrays, &stmt);
+        ExecPlan::inspect(&arrays, &stmt).unwrap().execute_seq(&mut arrays);
+        assert_eq!(arrays[0].to_dense(), expect);
+        // every replica holds the full updated copy
+        for p in (1..=3u32).map(ProcId) {
+            for i in arrays[0].domain().clone().iter() {
+                let off = arrays[0].local_offset(p, &i).unwrap();
+                assert_eq!(arrays[0].local(p.zero_based())[off], (i[0] * 7) as f64);
+            }
+        }
+    }
+}

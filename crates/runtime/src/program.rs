@@ -2,28 +2,38 @@
 //! shared set of distributed arrays, with cumulative communication and
 //! load statistics — the unit the E-series experiments price on the
 //! machine model.
+//!
+//! `Program::run` executes through a [`PlanCache`]: each statement is
+//! inspected into an [`crate::ExecPlan`] the first time it runs and
+//! replayed from the cache on every later timestep, so iterated solvers
+//! pay inspection (ownership lookups, comm analysis) once, and O(elements
+//! moved + computed) per iteration. Remapping an array (see
+//! [`Program::remap`]) changes its mapping identity and invalidates
+//! exactly the plans that involve it.
 
 use crate::assign::Assignment;
+use crate::cache::PlanCache;
 use crate::commsets::CommAnalysis;
-use crate::exec::SeqExecutor;
-use crate::par::ParExecutor;
+use crate::remap::{remap_analysis, RemapAnalysis};
 use crate::DistArray;
-use hpf_core::HpfError;
+use hpf_core::{EffectiveDist, HpfError};
 use hpf_machine::{CommStats, Machine, SuperstepReport};
+use std::sync::Arc;
 
 /// A program: distributed arrays plus an ordered statement list. Each
 /// statement executes as one BSP superstep (exchange, then compute).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     /// The arrays, referenced by position from the statements.
     pub arrays: Vec<DistArray<f64>>,
     stmts: Vec<Assignment>,
+    cache: PlanCache,
 }
 
 impl Program {
     /// Create over a set of arrays.
     pub fn new(arrays: Vec<DistArray<f64>>) -> Self {
-        Program { arrays, stmts: Vec::new() }
+        Program { arrays, stmts: Vec::new(), cache: PlanCache::new() }
     }
 
     /// Append a statement (validated against the arrays' domains).
@@ -46,23 +56,68 @@ impl Program {
     }
 
     /// Execute every statement in order with the sequential executor,
-    /// returning the per-statement analyses.
+    /// returning the per-statement analyses. Plans are cached: repeated
+    /// calls replay compiled schedules instead of re-inspecting.
     pub fn run(&mut self) -> Result<Vec<CommAnalysis>, HpfError> {
         let mut out = Vec::with_capacity(self.stmts.len());
         for stmt in &self.stmts {
-            out.push(SeqExecutor.execute(&mut self.arrays, stmt)?);
+            let plan = self.cache.plan_for(&self.arrays, stmt)?;
+            plan.execute_seq(&mut self.arrays);
+            out.push(plan.analysis().clone());
         }
         Ok(out)
     }
 
-    /// Execute in order with the parallel executor.
+    /// Execute in order with the parallel executor (same plan cache).
     pub fn run_parallel(&mut self, threads: usize) -> Result<Vec<CommAnalysis>, HpfError> {
-        let exec = ParExecutor::with_threads(threads);
         let mut out = Vec::with_capacity(self.stmts.len());
         for stmt in &self.stmts {
-            out.push(exec.execute(&mut self.arrays, stmt)?);
+            let plan = self.cache.plan_for(&self.arrays, stmt)?;
+            plan.execute_par(&mut self.arrays, threads);
+            out.push(plan.analysis().clone());
         }
         Ok(out)
+    }
+
+    /// Remap array `k` onto a new mapping: move every element value into
+    /// storage laid out by `new`, return the exact traffic of the move,
+    /// and (by replacing the mapping allocation) invalidate every cached
+    /// plan that involves the array.
+    pub fn remap(
+        &mut self,
+        k: usize,
+        new: Arc<EffectiveDist>,
+    ) -> Result<RemapAnalysis, HpfError> {
+        let old = self
+            .arrays
+            .get(k)
+            .ok_or_else(|| HpfError::UnknownArray(format!("array #{k}")))?;
+        if old.domain() != new.domain() {
+            return Err(HpfError::NotConforming(format!(
+                "remap of `{}` changes its index domain",
+                old.name()
+            )));
+        }
+        let np = old.np();
+        let analysis = remap_analysis(old.mapping(), &new, np);
+        let moved = DistArray::from_fn(old.name(), new, np, |i| old.get(i));
+        self.arrays[k] = moved;
+        Ok(analysis)
+    }
+
+    /// Cached-plan replays performed so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Fresh plan inspections performed so far (cold + invalidated).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Drop all cached plans (they will be re-inspected on the next run).
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// Price a set of per-statement analyses on a machine: the sum of the
@@ -235,5 +290,72 @@ mod tests {
         prog.push(s).unwrap();
         prog.run().unwrap();
         assert_eq!(prog.arrays[0].to_dense(), expect);
+    }
+
+    #[test]
+    fn timesteps_amortize_inspection() {
+        // the acceptance-criterion counter: 1 cold miss, then pure hits
+        let mut prog = setup();
+        let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+        let sweep = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, 32)]),
+            vec![
+                Term::new(0, Section::from_triplets(vec![span(1, 31)])),
+                Term::new(1, Section::from_triplets(vec![span(2, 32)])),
+            ],
+            Combine::Sum,
+            &doms,
+        )
+        .unwrap();
+        prog.push(sweep).unwrap();
+        let timesteps = 10u64;
+        for _ in 0..timesteps {
+            prog.run().unwrap();
+        }
+        assert_eq!(prog.cache_misses(), 1, "exactly one inspection");
+        assert_eq!(prog.cache_hits(), timesteps - 1, "every later timestep replays");
+    }
+
+    #[test]
+    fn remap_moves_values_and_invalidates_plans() {
+        let mut prog = setup();
+        let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+        let s = Assignment::new(
+            0,
+            full(32),
+            vec![Term::new(1, full(32))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        prog.push(s).unwrap();
+        prog.run().unwrap();
+        prog.run().unwrap();
+        assert_eq!((prog.cache_hits(), prog.cache_misses()), (1, 1));
+
+        // REDISTRIBUTE B: BLOCK now — values survive, plans invalidate
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::of_shape(&[32]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let before = prog.arrays[1].to_dense();
+        let r = prog.remap(1, ds.effective(b).unwrap()).unwrap();
+        assert_eq!(prog.arrays[1].to_dense(), before, "values must survive the move");
+        assert!(r.moved > 0, "BLOCK ↔ CYCLIC moves most elements");
+
+        prog.run().unwrap();
+        assert_eq!(prog.cache_misses(), 2, "remap forces re-inspection");
+        prog.run().unwrap();
+        assert_eq!(prog.cache_hits(), 2, "and the fresh plan is reused again");
+    }
+
+    #[test]
+    fn remap_rejects_domain_change() {
+        let mut prog = setup();
+        let mut ds = DataSpace::new(4);
+        let b = ds.declare("B", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        assert!(prog.remap(1, ds.effective(b).unwrap()).is_err());
+        assert!(prog.remap(9, prog.arrays[0].mapping().clone()).is_err());
     }
 }

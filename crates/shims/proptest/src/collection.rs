@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specifications accepted by [`vec`]: an exact `usize`, `a..b`,
+/// Length specifications accepted by [`vec()`]: an exact `usize`, `a..b`,
 /// or `a..=b`.
 pub trait SizeRange {
     /// Sample a length.

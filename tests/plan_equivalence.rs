@@ -1,0 +1,198 @@
+//! Property tests for the compiled-plan runtime: plan-based sequential and
+//! parallel execution are bit-identical to the naive element-wise reference
+//! executor across random block / cyclic / general-block / replicated
+//! mappings, and a cached plan replay equals a freshly inspected one —
+//! including across a remap invalidation.
+
+use hpf::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random GENERAL_BLOCK sizes: `np` non-negative lengths summing to `n`.
+fn gb_sizes(n: usize, np: usize, seed: u64) -> Vec<i64> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cuts: Vec<i64> = (0..np.saturating_sub(1))
+        .map(|_| rng.random_range(0..=n as u64) as i64)
+        .collect();
+    cuts.sort_unstable();
+    cuts.push(n as i64);
+    let mut prev = 0i64;
+    cuts.into_iter()
+        .map(|c| {
+            let s = c - prev;
+            prev = c;
+            s
+        })
+        .collect()
+}
+
+/// One of the paper's mapping families, selected by `kind`.
+fn mapping_of(kind: u8, n: usize, np: usize, seed: u64) -> Arc<EffectiveDist> {
+    if kind % 6 == 5 {
+        return Arc::new(EffectiveDist::Replicated {
+            domain: IndexDomain::of_shape(&[n]).unwrap(),
+            procs: ProcSet::all(np),
+        });
+    }
+    let fmt = match kind % 6 {
+        0 => FormatSpec::Block,
+        1 => FormatSpec::BlockBalanced,
+        2 => FormatSpec::Cyclic(1),
+        3 => FormatSpec::Cyclic(3),
+        _ => FormatSpec::GeneralBlockSizes(gb_sizes(n, np, seed)),
+    };
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("M", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![fmt])).unwrap();
+    ds.effective(a).unwrap()
+}
+
+fn build_arrays(n: usize, np: usize, ka: u8, kb: u8, seed: u64) -> Vec<DistArray<f64>> {
+    vec![
+        DistArray::from_fn("A", mapping_of(ka, n, np, seed), np, |i| i[0] as f64),
+        DistArray::from_fn("B", mapping_of(kb, n, np, seed ^ 0x9e37), np, |i| {
+            (i[0] * 13 - 5) as f64
+        }),
+    ]
+}
+
+/// `A(2:n) = combine(B(1:n-1)[, A(1:n-1)])` — LHS aliasing included.
+fn build_stmt(n: i64, combine_k: u8, arrays: &[DistArray<f64>]) -> Assignment {
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+    let rhs = Section::from_triplets(vec![span(1, n - 1)]);
+    let (combine, terms) = match combine_k % 4 {
+        0 => (Combine::Copy, vec![Term::new(1, rhs)]),
+        1 => (Combine::Sum, vec![Term::new(1, rhs.clone()), Term::new(0, rhs)]),
+        2 => (Combine::Average, vec![Term::new(1, rhs.clone()), Term::new(0, rhs)]),
+        _ => (Combine::Max, vec![Term::new(1, rhs.clone()), Term::new(0, rhs)]),
+    };
+    Assignment::new(0, Section::from_triplets(vec![span(2, n)]), terms, combine, &doms)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Plan-based Seq and Par execution are bit-identical to the naive
+    /// element-wise reference, for every mapping family combination.
+    #[test]
+    fn plan_execution_matches_naive_reference(
+        n in 16usize..48,
+        np in 1usize..5,
+        ka in 0u8..6,
+        kb in 0u8..6,
+        seed in 0u64..1000,
+        threads in 1usize..5,
+        combine_k in 0u8..4,
+    ) {
+        let mut seq = build_arrays(n, np, ka, kb, seed);
+        let mut par = build_arrays(n, np, ka, kb, seed);
+        let stmt = build_stmt(n as i64, combine_k, &seq);
+        let expect = dense_reference(&seq, &stmt);
+        SeqExecutor.execute(&mut seq, &stmt).unwrap();
+        ParExecutor::with_threads(threads).execute(&mut par, &stmt).unwrap();
+        prop_assert_eq!(seq[0].to_dense(), expect);
+        prop_assert_eq!(seq[0].to_dense(), par[0].to_dense());
+        prop_assert_eq!(seq[1].to_dense(), par[1].to_dense());
+    }
+
+    /// A cached plan replay equals a freshly inspected plan on every
+    /// timestep — before and after a remap invalidation.
+    #[test]
+    fn cached_replay_equals_fresh_inspection_across_remap(
+        n in 16usize..48,
+        np in 1usize..5,
+        ka in 0u8..6,
+        kb in 0u8..6,
+        seed in 0u64..1000,
+        combine_k in 0u8..4,
+    ) {
+        let mk_prog = || {
+            let mut p = Program::new(build_arrays(n, np, ka, kb, seed));
+            let stmt = build_stmt(n as i64, combine_k, &p.arrays);
+            p.push(stmt).unwrap();
+            p
+        };
+        let mut cached = mk_prog();
+        let mut fresh = mk_prog();
+        for _ in 0..3 {
+            cached.run().unwrap();
+            fresh.clear_plan_cache(); // force re-inspection every timestep
+            fresh.run().unwrap();
+            prop_assert_eq!(cached.arrays[0].to_dense(), fresh.arrays[0].to_dense());
+        }
+        prop_assert_eq!(cached.cache_misses(), 1);
+        prop_assert_eq!(cached.cache_hits(), 2);
+
+        // REDISTRIBUTE B to a different mapping family (same allocation
+        // shared by both programs) — the cached program must re-inspect
+        let new_map = mapping_of(kb + 1, n, np, seed ^ 0xbeef);
+        cached.remap(1, new_map.clone()).unwrap();
+        fresh.remap(1, new_map).unwrap();
+        prop_assert_eq!(cached.arrays[1].to_dense(), fresh.arrays[1].to_dense());
+        for _ in 0..2 {
+            cached.run().unwrap();
+            fresh.clear_plan_cache();
+            fresh.run().unwrap();
+            prop_assert_eq!(cached.arrays[0].to_dense(), fresh.arrays[0].to_dense());
+        }
+        prop_assert_eq!(cached.cache_misses(), 2, "remap invalidates exactly once");
+        prop_assert_eq!(cached.cache_hits(), 3);
+    }
+}
+
+/// Deterministic acceptance check: an iterated 2-D stencil program replays
+/// its compiled plans (hit counter), the plan's ghost volumes agree with
+/// the region-algebraic ghost analysis, and numerics match the reference.
+#[test]
+fn iterated_stencil_amortizes_inspection() {
+    let n = 16i64;
+    let np = 4usize;
+    let mut ds = DataSpace::new(np);
+    ds.declare_processors("G", IndexDomain::of_shape(&[2, 2]).unwrap()).unwrap();
+    let p = ds.declare("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+    let u = ds.declare("U", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+    for id in [p, u] {
+        ds.distribute(id, &DistributeSpec::to(vec![FormatSpec::Block, FormatSpec::Block], "G"))
+            .unwrap();
+    }
+    let mut prog = Program::new(vec![
+        DistArray::new("P", ds.effective(p).unwrap(), np, 0.0),
+        DistArray::from_fn("U", ds.effective(u).unwrap(), np, |i| (i[0] * 100 + i[1]) as f64),
+    ]);
+    let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+    let stmt = Assignment::new(
+        0,
+        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+        vec![
+            Term::new(1, Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)])),
+            Term::new(1, Section::from_triplets(vec![span(3, n), span(2, n - 1)])),
+            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(1, n - 2)])),
+            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(3, n)])),
+        ],
+        Combine::Sum,
+        &doms,
+    )
+    .unwrap();
+
+    // the plan's gather schedules see exactly the SUPERB overlap areas
+    let maps: Vec<Arc<EffectiveDist>> =
+        prog.arrays.iter().map(|a| a.mapping().clone()).collect();
+    let plan = ExecPlan::inspect(&prog.arrays, &stmt).unwrap();
+    let ghosts = ghost_regions(&maps, np, &stmt);
+    for (pp, g) in plan.per_proc().iter().zip(&ghosts) {
+        assert_eq!(pp.ghost_elements(), g.volume, "{}", pp.proc);
+    }
+    assert_eq!(plan.ghost_elements() as u64, plan.analysis().remote_reads);
+
+    prog.push(stmt.clone()).unwrap();
+    let timesteps = 25u64;
+    for _ in 0..timesteps {
+        let expect = dense_reference(&prog.arrays, &stmt);
+        prog.run().unwrap();
+        assert_eq!(prog.arrays[0].to_dense(), expect);
+    }
+    assert_eq!(prog.cache_misses(), 1, "one inspection for the whole loop");
+    assert_eq!(prog.cache_hits(), timesteps - 1);
+}
