@@ -30,15 +30,15 @@ fn bench(c: &mut Criterion) {
             let mut arr = base.clone();
             b.iter(|| black_box(SeqExecutor.execute(&mut arr, &stmt).unwrap()))
         });
-        // warm: one inspection, then cached-plan replays
+        // warm: one inspection, then zero-allocation cached replays into
+        // the cache's per-plan workspace
         g.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
             let mut arr = base.clone();
             let mut cache = PlanCache::new();
-            cache.plan_for(&arr, &stmt).unwrap(); // populate
+            cache.replay_seq(&mut arr, &stmt).unwrap(); // populate
             b.iter(|| {
-                let plan = cache.plan_for(&arr, &stmt).unwrap();
-                plan.execute_seq(&mut arr);
-                black_box(plan.analysis().remote_reads)
+                let analysis = cache.replay_seq(&mut arr, &stmt).unwrap();
+                black_box(analysis.remote_reads)
             })
         });
     }

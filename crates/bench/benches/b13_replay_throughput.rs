@@ -1,0 +1,237 @@
+//! B13 — warm replay throughput of the run-length compressed schedules.
+//!
+//! Measures elements/second of a warm (cached-plan, preallocated
+//! workspace, zero-allocation) replay for three statement shapes — 1-D
+//! shift, 2-D 5-point stencil, and a block↔cyclic redistribution copy
+//! ("cyclic transpose") — each under BLOCK and CYCLIC(1) distributions, to
+//! show the coalescing spread: block mappings compress to a handful of
+//! `copy_from_slice` runs per processor, while CYCLIC(1) degenerates to
+//! length-1 runs. The `elementwise` variants replay the *same plans*
+//! through the expanded per-element path
+//! ([`ExecPlan::execute_seq_uncompressed`]) — the pre-compression
+//! baseline the acceptance criterion compares against.
+//!
+//! [`ExecPlan::execute_seq_uncompressed`]: hpf_runtime::ExecPlan::execute_seq_uncompressed
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+use hpf_index::{span, IndexDomain, Section};
+use hpf_runtime::{Assignment, Combine, DistArray, ExecPlan, PlanWorkspace, Term};
+use std::time::Instant;
+
+fn arrays_1d(n: i64, np: usize, fmt: &FormatSpec) -> Vec<DistArray<f64>> {
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    for id in [a, b] {
+        ds.distribute(id, &DistributeSpec::new(vec![fmt.clone()])).unwrap();
+    }
+    vec![
+        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+        DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 3) as f64),
+    ]
+}
+
+fn shift_1d(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+    Assignment::new(
+        0,
+        Section::from_triplets(vec![span(2, n)]),
+        vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
+        Combine::Copy,
+        &doms,
+    )
+    .unwrap()
+}
+
+fn arrays_2d(n: i64, np_side: usize, fmt: &FormatSpec) -> Vec<DistArray<f64>> {
+    let np = np_side * np_side;
+    let mut ds = DataSpace::new(np);
+    ds.declare_processors("G", IndexDomain::of_shape(&[np_side, np_side]).unwrap())
+        .unwrap();
+    let p = ds.declare("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+    let u = ds.declare("U", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+    for id in [p, u] {
+        ds.distribute(id, &DistributeSpec::to(vec![fmt.clone(), fmt.clone()], "G"))
+            .unwrap();
+    }
+    vec![
+        DistArray::new("P", ds.effective(p).unwrap(), np, 0.0),
+        DistArray::from_fn("U", ds.effective(u).unwrap(), np, |i| {
+            (i[0] * 100 + i[1]) as f64
+        }),
+    ]
+}
+
+fn stencil_2d(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+    Assignment::new(
+        0,
+        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+        vec![
+            Term::new(1, Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)])),
+            Term::new(1, Section::from_triplets(vec![span(3, n), span(2, n - 1)])),
+            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(1, n - 2)])),
+            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(3, n)])),
+        ],
+        Combine::Sum,
+        &doms,
+    )
+    .unwrap()
+}
+
+/// Block array reading a CYCLIC(1) array over the full domain: every
+/// cyclic period scatters across all processors — the worst case for
+/// coalescing, the analogue of a transpose's all-to-all.
+fn cyclic_transpose(n: i64, np: usize) -> (Vec<DistArray<f64>>, Assignment) {
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+    ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+    let arrays = vec![
+        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+        DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 7) as f64),
+    ];
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+    let stmt = Assignment::new(
+        0,
+        Section::from_triplets(vec![span(1, n)]),
+        vec![Term::new(1, Section::from_triplets(vec![span(1, n)]))],
+        Combine::Copy,
+        &doms,
+    )
+    .unwrap();
+    (arrays, stmt)
+}
+
+/// Elements computed per replay.
+fn replay_elements(plan: &ExecPlan) -> usize {
+    plan.per_proc().iter().map(|pp| pp.volume).sum()
+}
+
+/// Headline numbers for the CI log: warm compressed vs uncompressed
+/// replay of the block-distributed 2-D stencil (the acceptance-criterion
+/// comparison), plus the per-format compression ratios.
+fn print_summary() {
+    let smoke = std::env::args().any(|a| a == "--test")
+        || std::env::var_os("CRITERION_SMOKE").is_some();
+    let iters = if smoke { 3 } else { 300 };
+    let n = 192i64;
+    let mut arrays = arrays_2d(n, 2, &FormatSpec::Block);
+    let stmt = stencil_2d(n, &arrays);
+    let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+    let mut ws = PlanWorkspace::for_plan(&plan);
+    let elems = replay_elements(&plan);
+
+    plan.execute_seq_with(&mut arrays, &mut ws); // warm
+    let t = Instant::now();
+    for _ in 0..iters {
+        plan.execute_seq_with(&mut arrays, &mut ws);
+    }
+    let compressed = t.elapsed();
+
+    plan.execute_seq_uncompressed(&mut arrays); // warm
+    let t = Instant::now();
+    for _ in 0..iters {
+        plan.execute_seq_uncompressed(&mut arrays);
+    }
+    let elementwise = t.elapsed();
+
+    let rate = |d: std::time::Duration| {
+        (elems as f64 * iters as f64) / d.as_secs_f64() / 1.0e6
+    };
+    println!(
+        "b13 summary: 2-D block stencil n={n} — compressed {:.0} Melem/s, \
+         elementwise {:.0} Melem/s, speedup {:.1}x, \
+         schedule {} runs for {} element entries ({:.0} elems/run, {} B vs {} B)",
+        rate(compressed),
+        rate(elementwise),
+        elementwise.as_secs_f64() / compressed.as_secs_f64(),
+        plan.schedule_runs(),
+        plan.schedule_elements(),
+        plan.compression_ratio(),
+        plan.schedule_bytes(),
+        plan.uncompressed_bytes(),
+    );
+    for fmt in [FormatSpec::Block, FormatSpec::Cyclic(1)] {
+        let arrays = arrays_2d(n, 2, &fmt);
+        let plan = ExecPlan::inspect(&arrays, &stencil_2d(n, &arrays)).unwrap();
+        println!(
+            "b13 summary: stencil {fmt:?} compression ratio {:.1} elems/run",
+            plan.compression_ratio()
+        );
+        let n1 = 65_536i64;
+        let a1 = arrays_1d(n1, 8, &fmt);
+        let p1 = ExecPlan::inspect(&a1, &shift_1d(n1, &a1)).unwrap();
+        println!(
+            "b13 summary: shift_1d {fmt:?} compression ratio {:.1} elems/run",
+            p1.compression_ratio()
+        );
+    }
+    let (arrays, stmt) = cyclic_transpose(65_536, 8);
+    let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+    println!(
+        "b13 summary: block←cyclic(1) copy compression ratio {:.1} elems/run",
+        plan.compression_ratio()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_summary();
+    let mut g = c.benchmark_group("replay_throughput");
+    g.sample_size(20);
+
+    // 1-D shift and 2-D stencil, block vs cyclic(1): the coalescing spread
+    for (fmt, tag) in [(FormatSpec::Block, "block"), (FormatSpec::Cyclic(1), "cyclic1")] {
+        let n1 = 65_536i64;
+        let mut a1 = arrays_1d(n1, 8, &fmt);
+        let s1 = shift_1d(n1, &a1);
+        let p1 = ExecPlan::inspect(&a1, &s1).unwrap();
+        let mut w1 = PlanWorkspace::for_plan(&p1);
+        g.bench_function(BenchmarkId::new("shift_1d", tag), |b| {
+            b.iter(|| {
+                p1.execute_seq_with(&mut a1, &mut w1);
+                black_box(());
+            })
+        });
+
+        let n2 = 192i64;
+        let mut a2 = arrays_2d(n2, 2, &fmt);
+        let s2 = stencil_2d(n2, &a2);
+        let p2 = ExecPlan::inspect(&a2, &s2).unwrap();
+        let mut w2 = PlanWorkspace::for_plan(&p2);
+        g.bench_function(BenchmarkId::new("stencil_2d", tag), |b| {
+            b.iter(|| {
+                p2.execute_seq_with(&mut a2, &mut w2);
+                black_box(());
+            })
+        });
+        // the uncompressed per-element baseline on the same plans
+        g.bench_function(BenchmarkId::new("stencil_2d_elementwise", tag), |b| {
+            b.iter(|| p2.execute_seq_uncompressed(&mut a2))
+        });
+    }
+
+    // block ← cyclic(1) redistribution copy: all-to-all, length-1 runs
+    let n = 65_536i64;
+    let (mut arrays, stmt) = cyclic_transpose(n, 8);
+    let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+    let mut ws = PlanWorkspace::for_plan(&plan);
+    g.bench_function(BenchmarkId::new("cyclic_transpose", "compressed"), |b| {
+        b.iter(|| {
+            plan.execute_seq_with(&mut arrays, &mut ws);
+            black_box(());
+        })
+    });
+    g.bench_function(BenchmarkId::new("cyclic_transpose", "elementwise"), |b| {
+        b.iter(|| plan.execute_seq_uncompressed(&mut arrays))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+}

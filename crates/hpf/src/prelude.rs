@@ -31,7 +31,8 @@ pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
     comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Combine,
-    CommAnalysis, DistArray, ExecPlan, GhostReport, ParExecutor, PlanCache, Program,
-    RemapAnalysis, SeqExecutor, StatementTrace, Term,
+    CommAnalysis, CopyRun, DistArray, ExecPlan, GatherRef, GhostReport, ParExecutor,
+    PlanCache, PlanWorkspace, ProcPlan, Program, RemapAnalysis, SeqExecutor,
+    StatementTrace, StoreRun, Term, TermSchedule,
 };
 pub use hpf_template::{TemplateError, TemplateModel};

@@ -94,7 +94,8 @@ impl<T: Clone> DistArray<T> {
     /// Position of global index `i` within `p`'s local buffer: the
     /// precomputed base offset of the containing rect plus the column-major
     /// position inside it — O(rank) per rect checked, no volume re-summing.
-    pub(crate) fn local_offset(&self, p: ProcId, i: &Idx) -> Option<usize> {
+    /// Returns `None` if `p` does not own `i`.
+    pub fn local_offset(&self, p: ProcId, i: &Idx) -> Option<usize> {
         let region = &self.regions[p.zero_based()];
         let bases = &self.rect_bases[p.zero_based()];
         for (rect, &base) in region.rects().iter().zip(bases) {
@@ -134,8 +135,34 @@ impl<T: Clone> DistArray<T> {
     }
 
     /// Snapshot the whole array in column-major global order.
+    ///
+    /// Walks each processor's region rects in local-buffer fill order and
+    /// scatters the values to their linearized global positions — one pass
+    /// over the distributed storage, no per-element owner lookups or rect
+    /// scans (this is the oracle of every equivalence test, so its cost
+    /// dominates test time on large domains). Replicated mappings write
+    /// each element once per copy; the copies are coherent, so the
+    /// snapshot is the same whichever owner lands last.
+    ///
+    /// # Panics
+    /// Panics if the mapping leaves some element of the domain unowned.
     pub fn to_dense(&self) -> Vec<T> {
-        self.domain().clone().iter().map(|i| self.get(&i)).collect()
+        let dom = self.domain();
+        let mut dense: Vec<Option<T>> = vec![None; dom.size()];
+        for (region, buf) in self.regions.iter().zip(&self.locals) {
+            let mut k = 0usize;
+            for rect in region.rects() {
+                for i in rect.iter() {
+                    let lin = dom.linearize(&i).expect("owned region is in the domain");
+                    dense[lin] = Some(buf[k].clone());
+                    k += 1;
+                }
+            }
+        }
+        dense
+            .into_iter()
+            .map(|v| v.expect("every element of the domain has an owner"))
+            .collect()
     }
 
     /// Per-processor `(region, mutable local buffer)` views, for the

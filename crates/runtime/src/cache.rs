@@ -3,29 +3,47 @@
 //! Iterative solvers (red–black sweeps, stencil timesteps) execute the
 //! *same* statements over the *same* mappings thousands of times. A
 //! [`PlanCache`] keys each statement's compiled [`ExecPlan`] by the
-//! statement's structure plus the [`MappingId`] of every involved array,
-//! so a repeated statement replays its schedule — no re-validation, no
-//! re-inspection, no re-running the region-algebraic communication
-//! analysis — while a `REDISTRIBUTE`/`REALIGN` (which produces new mapping
-//! allocations) invalidates exactly the affected entries.
+//! statement's structure plus the [`MappingId`](hpf_core::MappingId) of
+//! every involved array, so a repeated statement replays its schedule — no
+//! re-validation, no re-inspection, no re-running the region-algebraic
+//! communication analysis — while a `REDISTRIBUTE`/`REALIGN` (which
+//! produces new mapping allocations) invalidates exactly the affected
+//! entries.
+//!
+//! Each entry also keeps a [`PlanWorkspace`] sized for its plan, so
+//! [`PlanCache::replay_seq`] performs **zero heap allocations** on a warm
+//! hit: one cache lookup, block-copy pack into the preallocated buffers,
+//! slice-kernel compute, and an `Arc`-handle return of the frozen
+//! analysis. [`PlanCache::replay_par`] reuses the same buffers but pays
+//! the scoped-thread spawn cost (and its allocations) per replay.
 
 use crate::array::DistArray;
 use crate::assign::Assignment;
+use crate::commsets::CommAnalysis;
 use crate::plan::ExecPlan;
+use crate::workspace::PlanWorkspace;
 use hpf_core::HpfError;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A cached plan plus its preallocated replay scratch.
+#[derive(Debug, Clone)]
+struct Entry {
+    plan: Arc<ExecPlan>,
+    ws: PlanWorkspace,
+}
 
 /// A cache of compiled execution plans, keyed by statement shape and
 /// mapping identity.
 ///
 /// At most one entry is kept per distinct statement (statements hash and
 /// compare structurally): when a statement's mappings change (an array was
-/// remapped), the stale plan is replaced in place, so the cache never
-/// grows beyond the program's statement count.
+/// remapped), the stale plan is replaced in place — without re-cloning the
+/// statement key — so the cache never grows beyond the program's statement
+/// count.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
-    entries: HashMap<Assignment, Arc<ExecPlan>>,
+    entries: HashMap<Assignment, Entry>,
     hits: u64,
     misses: u64,
 }
@@ -44,16 +62,77 @@ impl PlanCache {
         arrays: &[DistArray<f64>],
         stmt: &Assignment,
     ) -> Result<Arc<ExecPlan>, HpfError> {
-        if let Some(plan) = self.entries.get(stmt) {
-            if plan.is_valid_for(arrays) {
+        if let Some(e) = self.entries.get_mut(stmt) {
+            if e.plan.is_valid_for(arrays) {
                 self.hits += 1;
-                return Ok(plan.clone());
+                return Ok(e.plan.clone());
             }
+            // stale: re-inspect and replace in place — no Assignment
+            // clone (the key is owned by the map) and no workspace
+            // reallocation when the new plan's buffer shape is unchanged
+            // (the common remap-rebalance pattern)
+            self.misses += 1;
+            let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
+            e.ws.ensure(&plan);
+            e.plan = plan.clone();
+            return Ok(plan);
         }
         self.misses += 1;
         let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
-        self.entries.insert(stmt.clone(), plan.clone());
+        let ws = PlanWorkspace::for_plan(&plan);
+        self.entries.insert(stmt.clone(), Entry { plan: plan.clone(), ws });
         Ok(plan)
+    }
+
+    /// Execute `stmt` sequentially through the cache: resolve (or inspect)
+    /// the plan, replay it into the entry's own workspace, and return the
+    /// frozen analysis as a shared handle. On a warm hit this performs no
+    /// heap allocation at all — and exactly one cache lookup.
+    pub fn replay_seq(
+        &mut self,
+        arrays: &mut [DistArray<f64>],
+        stmt: &Assignment,
+    ) -> Result<Arc<CommAnalysis>, HpfError> {
+        self.replay_with(arrays, stmt, |plan, arrays, ws| {
+            plan.execute_seq_with(arrays, ws)
+        })
+    }
+
+    /// [`PlanCache::replay_seq`] with parallel pack and compute phases
+    /// spread over at most `threads` OS threads (capped at the simulated
+    /// processor count). The workspace is reused, but the per-replay
+    /// thread spawns do allocate — the zero-allocation contract is the
+    /// sequential path's.
+    pub fn replay_par(
+        &mut self,
+        arrays: &mut [DistArray<f64>],
+        stmt: &Assignment,
+        threads: usize,
+    ) -> Result<Arc<CommAnalysis>, HpfError> {
+        self.replay_with(arrays, stmt, |plan, arrays, ws| {
+            plan.execute_par_with(arrays, threads, ws)
+        })
+    }
+
+    /// Shared replay driver: one lookup on the warm path; cold and stale
+    /// statements fall through to [`PlanCache::plan_for`] for inspection.
+    fn replay_with(
+        &mut self,
+        arrays: &mut [DistArray<f64>],
+        stmt: &Assignment,
+        exec: impl Fn(&ExecPlan, &mut [DistArray<f64>], &mut PlanWorkspace),
+    ) -> Result<Arc<CommAnalysis>, HpfError> {
+        if let Some(e) = self.entries.get_mut(stmt) {
+            if e.plan.is_valid_for(arrays) {
+                self.hits += 1;
+                exec(&e.plan, arrays, &mut e.ws);
+                return Ok(e.plan.shared_analysis());
+            }
+        }
+        self.plan_for(arrays, stmt)?; // cold or stale: inspect + cache
+        let e = self.entries.get_mut(stmt).expect("plan_for caches the entry");
+        exec(&e.plan, arrays, &mut e.ws);
+        Ok(e.plan.shared_analysis())
     }
 
     /// Cached-replay count.
@@ -74,6 +153,18 @@ impl PlanCache {
     /// True iff no plan is cached.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Bytes held by the compressed schedules of every cached plan (see
+    /// [`ExecPlan::schedule_bytes`]) — what the run-length compression
+    /// makes observable.
+    pub fn schedule_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.plan.schedule_bytes()).sum()
+    }
+
+    /// Total `f64` elements preallocated across all cached workspaces.
+    pub fn workspace_elements(&self) -> usize {
+        self.entries.values().map(|e| e.ws.buffer_elements()).sum()
     }
 
     /// Drop every cached plan (counters are kept).
@@ -153,7 +244,28 @@ mod tests {
         cache.plan_for(&arrs, &s2).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.misses(), 2);
+        assert!(cache.schedule_bytes() > 0);
+        assert_eq!(cache.workspace_elements(), 32 + 16);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.schedule_bytes(), 0);
+    }
+
+    #[test]
+    fn replay_through_cache_matches_reference() {
+        let mut cache = PlanCache::new();
+        let mut seq = arrays(40, 4, FormatSpec::Cyclic(3));
+        let mut par = seq.clone();
+        let stmt = copy_stmt(40, &seq);
+        for _ in 0..3 {
+            let expect = crate::exec::dense_reference(&seq, &stmt);
+            let a1 = cache.replay_seq(&mut seq, &stmt).unwrap();
+            let a2 = cache.replay_par(&mut par, &stmt, 8).unwrap();
+            assert_eq!(seq[0].to_dense(), expect);
+            assert_eq!(par[0].to_dense(), expect);
+            assert!(Arc::ptr_eq(&a1, &a2), "both replays share the frozen analysis");
+        }
+        assert_eq!(cache.misses(), 1, "one inspection for both executors");
+        assert_eq!(cache.hits(), 5);
     }
 }

@@ -1,6 +1,7 @@
 use crate::assign::Assignment;
 use crate::commsets::CommAnalysis;
 use crate::plan::ExecPlan;
+use crate::workspace::PlanWorkspace;
 use crate::DistArray;
 use hpf_core::HpfError;
 
@@ -31,13 +32,30 @@ impl SeqExecutor {
     }
 
     /// Replay an already-inspected plan (the executor half of the
-    /// inspector–executor split).
+    /// inspector–executor split). Allocates a throwaway workspace; hot
+    /// loops should use [`SeqExecutor::execute_plan_with`].
     ///
     /// # Panics
     /// Panics if `plan` is stale for `arrays` (see
     /// [`ExecPlan::is_valid_for`]).
     pub fn execute_plan(&self, arrays: &mut [DistArray<f64>], plan: &ExecPlan) {
         plan.execute_seq(arrays);
+    }
+
+    /// Replay an already-inspected plan into a reusable
+    /// [`PlanWorkspace`] — zero heap allocations once the workspace is
+    /// warm.
+    ///
+    /// # Panics
+    /// Panics if `plan` is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_plan_with(
+        &self,
+        arrays: &mut [DistArray<f64>],
+        plan: &ExecPlan,
+        ws: &mut PlanWorkspace,
+    ) {
+        plan.execute_seq_with(arrays, ws);
     }
 }
 

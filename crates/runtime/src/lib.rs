@@ -15,9 +15,12 @@
 //!   regular-section algebra (no per-element enumeration for affine
 //!   mappings);
 //! * [`ExecPlan`] / [`PlanCache`] — the inspector–executor split: a
-//!   statement is lowered **once** into per-processor flat offsets and
-//!   ghost gather schedules, then replayed every timestep from a cache
-//!   keyed by statement shape and mapping identity;
+//!   statement is lowered **once** into per-processor *run-length
+//!   compressed* store/gather schedules ([`StoreRun`]/[`CopyRun`] block
+//!   transfers instead of per-element entries), then replayed every
+//!   timestep from a cache keyed by statement shape and mapping identity;
+//!   each cached plan carries a preallocated [`PlanWorkspace`], making
+//!   warm replays zero-allocation;
 //! * [`SeqExecutor`] / [`ParExecutor`] — sequential and
 //!   crossbeam-parallel owner-computes execution, thin drivers over the
 //!   same compiled plans, verified element-for-element against a dense
@@ -42,6 +45,7 @@ mod plan;
 mod program;
 mod remap;
 mod trace;
+mod workspace;
 
 pub use array::DistArray;
 pub use assign::{Assignment, Combine, Term};
@@ -50,7 +54,8 @@ pub use commsets::{comm_analysis, CommAnalysis};
 pub use exec::{dense_reference, SeqExecutor};
 pub use ghost::{ghost_regions, GhostReport};
 pub use par::ParExecutor;
-pub use plan::{ExecPlan, GatherRef, ProcPlan, TermSchedule};
+pub use plan::{CopyRun, ExecPlan, GatherRef, ProcPlan, StoreRun, TermSchedule};
 pub use program::Program;
 pub use remap::{remap_analysis, RemapAnalysis};
 pub use trace::StatementTrace;
+pub use workspace::PlanWorkspace;

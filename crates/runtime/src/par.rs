@@ -1,14 +1,19 @@
 use crate::assign::Assignment;
 use crate::commsets::CommAnalysis;
 use crate::plan::ExecPlan;
+use crate::workspace::PlanWorkspace;
 use crate::DistArray;
 use hpf_core::HpfError;
 
 /// Parallel owner-computes executor: a thin driver over the same compiled
-/// [`ExecPlan`] the sequential executor replays, with the per-processor
+/// [`ExecPlan`] the sequential executor replays, with both the pack and
 /// compute phases spread over real threads (crossbeam scoped threads), one
-/// simulated processor's local buffer per unit of work — the same
-/// decomposition a real SPMD node program would have.
+/// simulated processor's buffers per unit of work — the same decomposition
+/// a real SPMD node program would have.
+///
+/// The effective thread count is capped at the simulated processor count
+/// at execution time (spawning 16 OS threads for `np = 4` would only pay
+/// scope-setup cost), so `threads` is an upper bound, not a demand.
 ///
 /// Produces bit-identical results to [`crate::SeqExecutor`] (verified by
 /// the test suite): each simulated processor writes only its own local
@@ -17,7 +22,8 @@ use hpf_core::HpfError;
 /// locally).
 #[derive(Debug, Clone, Copy)]
 pub struct ParExecutor {
-    /// Number of OS threads to spread the simulated processors over.
+    /// Maximum number of OS threads to spread the simulated processors
+    /// over (capped at the processor count per plan).
     pub threads: usize,
 }
 
@@ -48,13 +54,31 @@ impl ParExecutor {
         Ok(plan.analysis().clone())
     }
 
-    /// Replay an already-inspected plan with a parallel compute phase.
+    /// Replay an already-inspected plan with parallel pack and compute
+    /// phases. Allocates a throwaway workspace; hot loops should use
+    /// [`ParExecutor::execute_plan_with`].
     ///
     /// # Panics
     /// Panics if `plan` is stale for `arrays` (see
     /// [`ExecPlan::is_valid_for`]).
     pub fn execute_plan(&self, arrays: &mut [DistArray<f64>], plan: &ExecPlan) {
         plan.execute_par(arrays, self.threads);
+    }
+
+    /// Replay an already-inspected plan into a reusable
+    /// [`PlanWorkspace`] — no per-replay buffer allocation (the scoped
+    /// thread spawns are the only setup cost).
+    ///
+    /// # Panics
+    /// Panics if `plan` is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_plan_with(
+        &self,
+        arrays: &mut [DistArray<f64>],
+        plan: &ExecPlan,
+        ws: &mut PlanWorkspace,
+    ) {
+        plan.execute_par_with(arrays, self.threads, ws);
     }
 }
 

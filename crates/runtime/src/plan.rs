@@ -7,32 +7,46 @@
 //! do: an [`ExecPlan`] is inspected **once** from an [`Assignment`] and the
 //! arrays' [`EffectiveDist`] mappings, and then replayed every timestep.
 //!
-//! A plan contains, per simulated processor:
+//! Schedules are **run-length compressed**. Block and general-block
+//! mappings own rectangular regions, so the element sequence a processor
+//! reads from one peer is overwhelmingly made of contiguous stretches of
+//! that peer's local buffer. Instead of one `(src, offset)` entry per
+//! element, a plan stores:
 //!
-//! * the **precomputed flat offsets** into the LHS local buffer of every
-//!   element the processor computes (owner-computes rule), and
-//! * per RHS term, a **gather schedule**: for each element read, the owning
-//!   processor and flat offset in that owner's local buffer — local reads
-//!   point back into the processor's own segment, remote reads are the
-//!   statement's *ghost elements* (SUPERB-style overlap areas, the paper's
-//!   reference \[11\]).
+//! * per RHS term, a list of [`CopyRun`]s — `len` consecutive elements of
+//!   one source processor's buffer, landing at a contiguous position range
+//!   of the packed operand buffer (remote runs are exactly the statement's
+//!   SUPERB-style ghost blocks, the paper's reference \[11\]); and
+//! * for the LHS, a list of [`StoreRun`]s — contiguous slices of the
+//!   owner's local buffer that receive consecutive computed elements.
 //!
-//! Execution is then pack → exchange → compute: each processor's operand
-//! buffers are assembled from its own local segment plus ghost data only —
-//! there is **no dense global snapshot** anywhere on the path, so the cost
-//! per replay is O(elements computed + elements read), independent of how
-//! many ownership lookups inspection needed. The frozen [`CommAnalysis`]
-//! rides along, so replays also skip the region-algebraic analysis.
+//! A replay therefore moves data with `copy_from_slice` block transfers
+//! and combines operands with slice kernels specialized by
+//! `(Combine, term count)`, instead of per-element indexed loads. With a
+//! reusable [`PlanWorkspace`](crate::PlanWorkspace) holding the packed
+//! operand buffers, a warm replay performs **zero heap allocations**:
+//! pack → exchange → compute touches only preallocated storage. The frozen
+//! [`CommAnalysis`] rides along, so replays also skip the region-algebraic
+//! analysis.
+//!
+//! [`EffectiveDist`]: hpf_core::EffectiveDist
 
 use crate::array::DistArray;
 use crate::assign::{Assignment, Combine};
 use crate::commsets::{comm_analysis, project_region, CommAnalysis};
+use crate::workspace::PlanWorkspace;
 use hpf_core::{HpfError, MappingId};
 use hpf_index::IndexDomain;
 use hpf_procs::ProcId;
 use std::sync::Arc;
 
 /// One gather source: which processor's local buffer to read, and where.
+///
+/// This is the *uncompressed* schedule element. Plans store [`CopyRun`]s
+/// instead; [`TermSchedule::iter_refs`] expands a compressed schedule back
+/// into this per-element form (tests assert the expansion is exact, and
+/// [`ExecPlan::execute_seq_uncompressed`] replays through it as the
+/// benchmark baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GatherRef {
     /// Zero-based source processor.
@@ -41,26 +55,70 @@ pub struct GatherRef {
     pub offset: usize,
 }
 
+/// A run-length compressed gather: `len` consecutive elements of one
+/// source processor's local buffer, copied to a contiguous range of the
+/// packed operand buffer with a single `copy_from_slice`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyRun {
+    /// Zero-based source processor.
+    pub src: u32,
+    /// Starting flat offset into the source processor's local buffer.
+    pub src_off: usize,
+    /// Starting position in the packed operand buffer (element order).
+    pub dst_off: usize,
+    /// Number of consecutive elements moved.
+    pub len: usize,
+}
+
+/// A run-length compressed store: `len` consecutive computed elements
+/// (packed-buffer positions `pos..pos+len`) written to a contiguous slice
+/// of the LHS owner's local buffer starting at `dst_off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRun {
+    /// Starting element position in the packed operand buffers.
+    pub pos: usize,
+    /// Starting flat offset into the LHS local buffer.
+    pub dst_off: usize,
+    /// Number of consecutive elements stored.
+    pub len: usize,
+}
+
 /// The gather schedule of one processor for one RHS term.
 #[derive(Debug, Clone)]
 pub struct TermSchedule {
     /// Index of the operand array.
     pub array: usize,
-    /// One source per element computed, in the processor's element order.
-    pub sources: Vec<GatherRef>,
-    /// How many of the sources are remote — the term's ghost volume on
-    /// this processor.
+    /// Compressed gather runs, covering the processor's element order
+    /// exactly (`dst_off` ranges tile `0..elements` in order).
+    pub runs: Vec<CopyRun>,
+    /// Total elements gathered (the processor's computed volume).
+    pub elements: usize,
+    /// How many of the gathered elements are remote — the term's ghost
+    /// volume on this processor.
     pub ghost_elements: usize,
 }
 
+impl TermSchedule {
+    /// Expand the compressed runs into the exact per-element
+    /// `(src, offset)` sequence an uncompressed schedule would hold.
+    pub fn iter_refs(&self) -> impl Iterator<Item = GatherRef> + '_ {
+        self.runs.iter().flat_map(|r| {
+            (0..r.len).map(move |i| GatherRef { src: r.src, offset: r.src_off + i })
+        })
+    }
+}
+
 /// Everything one processor must do to execute the statement: which LHS
-/// slots it fills and where each operand element comes from.
+/// slices it fills and where each operand block comes from.
 #[derive(Debug, Clone)]
 pub struct ProcPlan {
     /// The processor.
     pub proc: ProcId,
-    /// Flat offsets into the LHS local buffer, one per computed element.
-    pub lhs_offsets: Vec<usize>,
+    /// Number of elements this processor computes.
+    pub volume: usize,
+    /// Compressed store runs into the LHS local buffer (`pos` ranges tile
+    /// `0..volume` in order).
+    pub lhs_runs: Vec<StoreRun>,
     /// Per-term gather schedules (parallel to the statement's terms).
     pub terms: Vec<TermSchedule>,
 }
@@ -70,30 +128,39 @@ impl ProcPlan {
     pub fn ghost_elements(&self) -> usize {
         self.terms.iter().map(|t| t.ghost_elements).sum()
     }
+
+    /// Expand the compressed store runs into the per-element flat LHS
+    /// offset sequence an uncompressed schedule would hold.
+    pub fn iter_lhs_offsets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lhs_runs.iter().flat_map(|r| (0..r.len).map(move |i| r.dst_off + i))
+    }
 }
 
 /// A compiled execution plan for one assignment under fixed mappings.
 ///
 /// Built by [`ExecPlan::inspect`]; replayed by [`ExecPlan::execute_seq`] /
-/// [`ExecPlan::execute_par`]. A plan is bound to the exact
-/// `Arc<EffectiveDist>` allocations it was inspected from (see
-/// [`MappingId`]); [`ExecPlan::is_valid_for`] checks that binding, and the
-/// executors assert it, so a remapped array can never be driven through a
-/// stale schedule.
+/// [`ExecPlan::execute_par`] (or their `_with` variants, which reuse a
+/// caller-owned [`PlanWorkspace`] so warm replays allocate nothing). A
+/// plan is bound to the exact `Arc<EffectiveDist>` allocations it was
+/// inspected from (see [`MappingId`]); [`ExecPlan::is_valid_for`] checks
+/// that binding, and the executors assert it, so a remapped array can
+/// never be driven through a stale schedule.
+///
+/// [`EffectiveDist`]: hpf_core::EffectiveDist
 #[derive(Debug, Clone)]
 pub struct ExecPlan {
     lhs: usize,
     combine: Combine,
     per_proc: Vec<ProcPlan>,
-    analysis: CommAnalysis,
+    analysis: Arc<CommAnalysis>,
     /// Identity of every involved array's mapping at inspection time.
     mappings: Vec<(usize, MappingId)>,
 }
 
 impl ExecPlan {
     /// Inspect `stmt` over `arrays`: validate conformance, lower the
-    /// owner-computes iteration into per-processor flat offsets and gather
-    /// schedules, and freeze the exact communication analysis.
+    /// owner-computes iteration into per-processor compressed store/gather
+    /// runs, and freeze the exact communication analysis.
     pub fn inspect(
         arrays: &[DistArray<f64>],
         stmt: &Assignment,
@@ -108,20 +175,23 @@ impl ExecPlan {
             // the section-relative positions this processor computes
             let positions = project_region(lhs_arr.region_of(p), &stmt.lhs_section);
             let volume = positions.volume_disjoint();
-            let mut lhs_offsets = Vec::with_capacity(volume);
-            for rel in positions.iter() {
+            let mut lhs_runs: Vec<StoreRun> = Vec::new();
+            for (pos, rel) in positions.iter().enumerate() {
                 let gi = stmt.lhs_index(&rel);
-                lhs_offsets.push(
-                    lhs_arr.local_offset(p, &gi).expect("owner holds its region"),
-                );
+                let off =
+                    lhs_arr.local_offset(p, &gi).expect("owner holds its region");
+                match lhs_runs.last_mut() {
+                    Some(r) if r.dst_off + r.len == off => r.len += 1,
+                    _ => lhs_runs.push(StoreRun { pos, dst_off: off, len: 1 }),
+                }
             }
             let mut terms = Vec::with_capacity(stmt.terms.len());
             for (t, term) in stmt.terms.iter().enumerate() {
                 let src_arr = &arrays[term.array];
                 let own = src_arr.region_of(p);
-                let mut sources = Vec::with_capacity(volume);
+                let mut runs: Vec<CopyRun> = Vec::new();
                 let mut ghost_elements = 0usize;
-                for rel in positions.iter() {
+                for (k, rel) in positions.iter().enumerate() {
                     let ri = stmt.rhs_index(t, &rel);
                     // prefer the processor's own copy (replication makes
                     // ownership non-exclusive); otherwise gather from the
@@ -135,16 +205,32 @@ impl ExecPlan {
                     let offset = src_arr
                         .local_offset(src, &ri)
                         .expect("owner holds its region");
-                    sources.push(GatherRef { src: src.zero_based() as u32, offset });
+                    let src0 = src.zero_based() as u32;
+                    match runs.last_mut() {
+                        Some(r) if r.src == src0 && r.src_off + r.len == offset => {
+                            r.len += 1
+                        }
+                        _ => runs.push(CopyRun {
+                            src: src0,
+                            src_off: offset,
+                            dst_off: k,
+                            len: 1,
+                        }),
+                    }
                 }
-                terms.push(TermSchedule { array: term.array, sources, ghost_elements });
+                terms.push(TermSchedule {
+                    array: term.array,
+                    runs,
+                    elements: volume,
+                    ghost_elements,
+                });
             }
-            per_proc.push(ProcPlan { proc: p, lhs_offsets, terms });
+            per_proc.push(ProcPlan { proc: p, volume, lhs_runs, terms });
         }
 
         let maps: Vec<Arc<hpf_core::EffectiveDist>> =
             arrays.iter().map(|a| a.mapping().clone()).collect();
-        let analysis = comm_analysis(&maps, np, stmt);
+        let analysis = Arc::new(comm_analysis(&maps, np, stmt));
 
         let mut involved = vec![stmt.lhs];
         involved.extend(stmt.terms.iter().map(|t| t.array));
@@ -161,6 +247,13 @@ impl ExecPlan {
     /// The frozen communication analysis of the statement.
     pub fn analysis(&self) -> &CommAnalysis {
         &self.analysis
+    }
+
+    /// The frozen analysis as a shared handle (cloning it is a refcount
+    /// bump, not a heap allocation — what the zero-allocation replay path
+    /// returns to callers).
+    pub fn shared_analysis(&self) -> Arc<CommAnalysis> {
+        self.analysis.clone()
     }
 
     /// The per-processor schedules.
@@ -183,6 +276,69 @@ impl ExecPlan {
         self.per_proc.iter().map(ProcPlan::ghost_elements).sum()
     }
 
+    /// Number of compressed runs in the schedule (store runs + copy runs,
+    /// over all processors and terms).
+    pub fn schedule_runs(&self) -> usize {
+        self.per_proc
+            .iter()
+            .map(|pp| {
+                pp.lhs_runs.len()
+                    + pp.terms.iter().map(|t| t.runs.len()).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Number of element entries an uncompressed schedule would hold (one
+    /// LHS offset per computed element plus one gather ref per element
+    /// read).
+    pub fn schedule_elements(&self) -> usize {
+        self.per_proc
+            .iter()
+            .map(|pp| pp.volume + pp.terms.iter().map(|t| t.elements).sum::<usize>())
+            .sum()
+    }
+
+    /// Memory held by the compressed schedule entries, in bytes.
+    pub fn schedule_bytes(&self) -> usize {
+        self.per_proc
+            .iter()
+            .map(|pp| {
+                pp.lhs_runs.len() * std::mem::size_of::<StoreRun>()
+                    + pp.terms
+                        .iter()
+                        .map(|t| t.runs.len() * std::mem::size_of::<CopyRun>())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Memory the equivalent uncompressed per-element schedule would hold,
+    /// in bytes — the denominator of the compression win.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.per_proc
+            .iter()
+            .map(|pp| {
+                pp.volume * std::mem::size_of::<usize>()
+                    + pp.terms
+                        .iter()
+                        .map(|t| t.elements * std::mem::size_of::<GatherRef>())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Element entries per compressed run — how much the run-length
+    /// compression collapsed the schedule (1.0 = no compression, e.g.
+    /// CYCLIC(1) gathers; ≫ 1 for block mappings).
+    pub fn compression_ratio(&self) -> f64 {
+        let runs = self.schedule_runs();
+        if runs == 0 {
+            1.0
+        } else {
+            self.schedule_elements() as f64 / runs as f64
+        }
+    }
+
     /// True iff every involved array still carries the exact mapping
     /// allocation the plan was inspected from.
     pub fn is_valid_for(&self, arrays: &[DistArray<f64>]) -> bool {
@@ -191,70 +347,113 @@ impl ExecPlan {
             .all(|(k, id)| arrays.get(*k).is_some_and(|a| id.is(a.mapping())))
     }
 
-    /// Pack phase for one processor: assemble its per-term operand buffers
-    /// from its own local segment plus ghost data.
-    fn pack(&self, arrays: &[DistArray<f64>], pp: &ProcPlan) -> Vec<Vec<f64>> {
-        pp.terms
-            .iter()
-            .map(|ts| {
-                let src_arr = &arrays[ts.array];
-                ts.sources
-                    .iter()
-                    .map(|g| src_arr.local(g.src as usize)[g.offset])
-                    .collect()
-            })
-            .collect()
-    }
-
     /// Replay the plan sequentially: pack/exchange every processor's
     /// operand buffers (reads only — Fortran 90 semantics even when the
     /// LHS appears on the RHS), then compute into the LHS local buffers.
+    ///
+    /// Allocates a throwaway [`PlanWorkspace`]; hot loops should hold one
+    /// and call [`ExecPlan::execute_seq_with`] (or replay through a
+    /// [`crate::PlanCache`], which keeps a workspace per plan) so warm
+    /// replays allocate nothing.
     ///
     /// # Panics
     /// Panics if the plan is stale for `arrays` (see
     /// [`ExecPlan::is_valid_for`]).
     pub fn execute_seq(&self, arrays: &mut [DistArray<f64>]) {
+        let mut ws = PlanWorkspace::for_plan(self);
+        self.execute_seq_with(arrays, &mut ws);
+    }
+
+    /// Replay the plan sequentially into a reusable workspace. When `ws`
+    /// was built for this plan (or has already been used with it), the
+    /// replay performs **zero heap allocations**: block copies into the
+    /// preallocated pack buffers, then slice-kernel compute into the LHS
+    /// local storage.
+    ///
+    /// # Panics
+    /// Panics if the plan is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_seq_with(&self, arrays: &mut [DistArray<f64>], ws: &mut PlanWorkspace) {
         assert!(self.is_valid_for(arrays), "stale plan: an involved array was remapped");
-        let packed: Vec<Vec<Vec<f64>>> =
-            self.per_proc.iter().map(|pp| self.pack(arrays, pp)).collect();
+        ws.ensure(self);
+        for (pp, bufs) in self.per_proc.iter().zip(ws.bufs.iter_mut()) {
+            pack_proc(arrays, pp, bufs);
+        }
         let (_, locals) = arrays[self.lhs].parts_mut();
-        for (pp, bufs) in self.per_proc.iter().zip(&packed) {
+        for (pp, bufs) in self.per_proc.iter().zip(&ws.bufs) {
             compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, self.combine);
         }
     }
 
-    /// Replay the plan with the compute phase spread over `threads` OS
-    /// threads, one simulated processor's local buffer per unit of work —
-    /// bit-identical to [`ExecPlan::execute_seq`].
+    /// Replay the plan with both the pack and compute phases spread over
+    /// OS threads — bit-identical to [`ExecPlan::execute_seq`]. Allocates
+    /// a throwaway [`PlanWorkspace`]; see [`ExecPlan::execute_par_with`].
     ///
     /// # Panics
     /// Panics if the plan is stale for `arrays` (see
     /// [`ExecPlan::is_valid_for`]).
     pub fn execute_par(&self, arrays: &mut [DistArray<f64>], threads: usize) {
+        let mut ws = PlanWorkspace::for_plan(self);
+        self.execute_par_with(arrays, threads, &mut ws);
+    }
+
+    /// Replay the plan with both phases parallel, into a reusable
+    /// workspace. `threads` is capped at the simulated processor count —
+    /// one simulated processor's buffers are the unit of work, so extra OS
+    /// threads would only pay spawn cost. The pack phase runs as its own
+    /// parallel wave (all packs read the arrays immutably and write
+    /// disjoint workspace buffers), then a barrier, then the compute wave
+    /// (disjoint LHS local buffers) — a BSP superstep, bit-identical to
+    /// the sequential replay.
+    ///
+    /// # Panics
+    /// Panics if the plan is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_par_with(
+        &self,
+        arrays: &mut [DistArray<f64>],
+        threads: usize,
+        ws: &mut PlanWorkspace,
+    ) {
         assert!(self.is_valid_for(arrays), "stale plan: an involved array was remapped");
-        let threads = threads.max(1);
-        let packed: Vec<Vec<Vec<f64>>> =
-            self.per_proc.iter().map(|pp| self.pack(arrays, pp)).collect();
-        let (_, locals) = arrays[self.lhs].parts_mut();
-        // per_proc is ordered 1..=np, matching the local-buffer order
-        let mut work: Vec<ProcWork<'_>> = self
-            .per_proc
-            .iter()
-            .zip(&packed)
-            .zip(locals.iter_mut())
-            .map(|((pp, bufs), local)| (pp, bufs, local))
-            .collect();
-        let chunk = work.len().div_ceil(threads).max(1);
-        let mut batches: Vec<Vec<ProcWork<'_>>> = Vec::new();
-        while !work.is_empty() {
-            let rest = work.split_off(chunk.min(work.len()));
-            batches.push(std::mem::replace(&mut work, rest));
+        ws.ensure(self);
+        let np = self.per_proc.len();
+        let threads = threads.clamp(1, np.max(1));
+        if threads == 1 {
+            // no spawn cost for the degenerate case
+            return self.execute_seq_with(arrays, ws);
         }
-        let combine = self.combine;
+        // plain chunked partition: ceil(np / threads) processors per thread.
+        // Pack and compute are two separate spawn waves rather than one
+        // wave with a barrier: pack holds a shared borrow of *all* arrays
+        // (the statement may read the LHS), so safe Rust cannot also hand
+        // the compute half a mutable borrow of the LHS locals within the
+        // same scope.
+        let chunk = np.div_ceil(threads);
+        let arrays_ref: &[DistArray<f64>] = arrays;
         crossbeam::thread::scope(|scope| {
-            for mut batch in batches {
+            for (pps, bufss) in self.per_proc.chunks(chunk).zip(ws.bufs.chunks_mut(chunk))
+            {
                 scope.spawn(move |_| {
-                    for (pp, bufs, local) in batch.iter_mut() {
+                    for (pp, bufs) in pps.iter().zip(bufss) {
+                        pack_proc(arrays_ref, pp, bufs);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let combine = self.combine;
+        // per_proc is ordered 1..=np, matching the local-buffer order
+        let (_, locals) = arrays[self.lhs].parts_mut();
+        crossbeam::thread::scope(|scope| {
+            for ((pps, bufss), locs) in self
+                .per_proc
+                .chunks(chunk)
+                .zip(ws.bufs.chunks(chunk))
+                .zip(locals.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| {
+                    for ((pp, bufs), local) in pps.iter().zip(bufss).zip(locs) {
                         compute_proc(pp, local, bufs, combine);
                     }
                 });
@@ -262,21 +461,134 @@ impl ExecPlan {
         })
         .expect("worker thread panicked");
     }
+
+    /// Replay through the *uncompressed* per-element schedule (expanding
+    /// every run back into `(src, offset)` loads and per-element combine
+    /// calls, with per-replay buffer allocation). Semantically identical
+    /// to [`ExecPlan::execute_seq`]; exists as the baseline the
+    /// `b13_replay_throughput` benchmark measures the compression win
+    /// against.
+    ///
+    /// # Panics
+    /// Panics if the plan is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn execute_seq_uncompressed(&self, arrays: &mut [DistArray<f64>]) {
+        assert!(self.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        let packed: Vec<Vec<Vec<f64>>> = self
+            .per_proc
+            .iter()
+            .map(|pp| {
+                pp.terms
+                    .iter()
+                    .map(|ts| {
+                        let src_arr = &arrays[ts.array];
+                        ts.iter_refs()
+                            .map(|g| src_arr.local(g.src as usize)[g.offset])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let (_, locals) = arrays[self.lhs].parts_mut();
+        for (pp, bufs) in self.per_proc.iter().zip(&packed) {
+            let local = &mut locals[pp.proc.zero_based()];
+            let mut vals = vec![0.0f64; bufs.len()];
+            for (k, off) in pp.iter_lhs_offsets().enumerate() {
+                for (v, b) in vals.iter_mut().zip(bufs) {
+                    *v = b[k];
+                }
+                local[off] = self.combine.apply(&vals);
+            }
+        }
+    }
 }
 
-/// One unit of parallel compute work: a processor's schedule, its packed
-/// operand buffers, and its LHS local buffer.
-type ProcWork<'a> = (&'a ProcPlan, &'a Vec<Vec<f64>>, &'a mut Vec<f64>);
+/// Pack phase for one processor: assemble its per-term operand buffers
+/// from its own local segment plus ghost data, one block copy per
+/// compressed run.
+pub(crate) fn pack_proc(
+    arrays: &[DistArray<f64>],
+    pp: &ProcPlan,
+    bufs: &mut [Vec<f64>],
+) {
+    for (ts, buf) in pp.terms.iter().zip(bufs) {
+        let src_arr = &arrays[ts.array];
+        for r in &ts.runs {
+            let src = &src_arr.local(r.src as usize)[r.src_off..r.src_off + r.len];
+            buf[r.dst_off..r.dst_off + r.len].copy_from_slice(src);
+        }
+    }
+}
 
 /// Compute phase for one processor: combine the packed operand buffers
-/// element by element into the precomputed LHS slots.
-fn compute_proc(pp: &ProcPlan, local: &mut [f64], bufs: &[Vec<f64>], combine: Combine) {
-    let mut vals = vec![0.0f64; bufs.len()];
-    for (k, &off) in pp.lhs_offsets.iter().enumerate() {
-        for (v, b) in vals.iter_mut().zip(bufs) {
-            *v = b[k];
+/// into the LHS local buffer, one contiguous slice per store run.
+///
+/// Kernels are specialized by `(Combine, term count)` — 1-term copy is a
+/// block move, the 2-term sum is a vectorizable slice loop, and the n-term
+/// fallback accumulates directly into the LHS slice (safe because the pack
+/// phase already snapshotted every operand).
+pub(crate) fn compute_proc(
+    pp: &ProcPlan,
+    local: &mut [f64],
+    bufs: &[Vec<f64>],
+    combine: Combine,
+) {
+    match (combine, bufs) {
+        (Combine::Copy, [b]) => {
+            for r in &pp.lhs_runs {
+                local[r.dst_off..r.dst_off + r.len]
+                    .copy_from_slice(&b[r.pos..r.pos + r.len]);
+            }
         }
-        local[off] = combine.apply(&vals);
+        (Combine::Sum, [a, b]) => {
+            for r in &pp.lhs_runs {
+                let out = &mut local[r.dst_off..r.dst_off + r.len];
+                let (xs, ys) = (&a[r.pos..r.pos + r.len], &b[r.pos..r.pos + r.len]);
+                for ((o, x), y) in out.iter_mut().zip(xs).zip(ys) {
+                    *o = x + y;
+                }
+            }
+        }
+        _ => {
+            let (first, rest) = bufs.split_first().expect("validated: ≥ 1 term");
+            for r in &pp.lhs_runs {
+                let out = &mut local[r.dst_off..r.dst_off + r.len];
+                match combine {
+                    Combine::Copy => unreachable!(
+                        "1-term Copy takes the specialized arm; validation \
+                         rejects multi-term Copy"
+                    ),
+                    Combine::Sum | Combine::Average => {
+                        out.copy_from_slice(&first[r.pos..r.pos + r.len]);
+                        for b in rest {
+                            for (o, x) in out.iter_mut().zip(&b[r.pos..r.pos + r.len])
+                            {
+                                *o += x;
+                            }
+                        }
+                        if matches!(combine, Combine::Average) {
+                            let n = bufs.len() as f64;
+                            for o in out.iter_mut() {
+                                *o /= n;
+                            }
+                        }
+                    }
+                    Combine::Max => {
+                        // fold from −∞ exactly like `Combine::apply`
+                        for (o, x) in out.iter_mut().zip(&first[r.pos..r.pos + r.len])
+                        {
+                            *o = f64::NEG_INFINITY.max(*x);
+                        }
+                        for b in rest {
+                            for (o, x) in out.iter_mut().zip(&b[r.pos..r.pos + r.len])
+                            {
+                                *o = o.max(*x);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -330,6 +642,82 @@ mod tests {
         let expect2 = dense_reference(&arrays, &stmt);
         plan.execute_seq(&mut arrays);
         assert_eq!(arrays[0].to_dense(), expect2);
+    }
+
+    #[test]
+    fn block_schedule_compresses_to_few_runs() {
+        // BLOCK → BLOCK shift: each processor's gather is at most two
+        // contiguous stretches (own block + one ghost cell)
+        let arrays = setup(64, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(64, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        for pp in plan.per_proc() {
+            assert!(pp.lhs_runs.len() <= 2, "{}: {:?}", pp.proc, pp.lhs_runs);
+            for ts in &pp.terms {
+                assert!(ts.runs.len() <= 2, "{}: {:?}", pp.proc, ts.runs);
+            }
+        }
+        assert!(plan.compression_ratio() > 10.0, "{}", plan.compression_ratio());
+        assert!(plan.schedule_bytes() < plan.uncompressed_bytes());
+    }
+
+    #[test]
+    fn cyclic_schedule_expands_exactly() {
+        // CYCLIC(1) source: every gather run has length 1, and the
+        // expansion tiles the element order exactly
+        let arrays = setup(32, 4, &[FormatSpec::Block, FormatSpec::Cyclic(1)]);
+        let stmt = shift_stmt(32, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        for pp in plan.per_proc() {
+            assert_eq!(pp.iter_lhs_offsets().count(), pp.volume);
+            for ts in &pp.terms {
+                assert_eq!(ts.elements, pp.volume);
+                let refs: Vec<GatherRef> = ts.iter_refs().collect();
+                assert_eq!(refs.len(), ts.elements);
+                // dst_off ranges tile 0..elements in order
+                let mut k = 0usize;
+                for r in &ts.runs {
+                    assert_eq!(r.dst_off, k);
+                    k += r.len;
+                }
+                assert_eq!(k, ts.elements);
+            }
+        }
+    }
+
+    #[test]
+    fn uncompressed_baseline_matches_compressed() {
+        let mut a = setup(48, 4, &[FormatSpec::Cyclic(2), FormatSpec::Block]);
+        let mut b = a.clone();
+        let stmt = shift_stmt(48, &a);
+        let plan = ExecPlan::inspect(&a, &stmt).unwrap();
+        plan.execute_seq(&mut a);
+        plan.execute_seq_uncompressed(&mut b);
+        assert_eq!(a[0].to_dense(), b[0].to_dense());
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable() {
+        let mut arrays = setup(40, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(40, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        assert!(ws.matches(&plan));
+        for _ in 0..3 {
+            let expect = dense_reference(&arrays, &stmt);
+            plan.execute_seq_with(&mut arrays, &mut ws);
+            assert_eq!(arrays[0].to_dense(), expect);
+        }
+        // a workspace built for another plan is resized, not trusted
+        let other = setup(24, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt2 = shift_stmt(24, &other);
+        let plan2 = ExecPlan::inspect(&other, &stmt2).unwrap();
+        assert!(!ws.matches(&plan2));
+        let mut other = other;
+        let expect = dense_reference(&other, &stmt2);
+        plan2.execute_seq_with(&mut other, &mut ws);
+        assert!(ws.matches(&plan2));
+        assert_eq!(other[0].to_dense(), expect);
     }
 
     #[test]

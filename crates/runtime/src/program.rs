@@ -7,9 +7,15 @@
 //! inspected into an [`crate::ExecPlan`] the first time it runs and
 //! replayed from the cache on every later timestep, so iterated solvers
 //! pay inspection (ownership lookups, comm analysis) once, and O(elements
-//! moved + computed) per iteration. Remapping an array (see
-//! [`Program::remap`]) changes its mapping identity and invalidates
-//! exactly the plans that involve it.
+//! moved + computed) per iteration. Warm [`Program::run`] timesteps are
+//! **allocation-free**: the cache replays each plan into its own
+//! preallocated [`crate::PlanWorkspace`], the per-statement analyses come
+//! back as `Arc` handles into the frozen plans, and the result buffer is
+//! reused across calls (asserted by the `zero_alloc_replay` integration
+//! test). [`Program::run_parallel`] reuses the same workspaces but pays
+//! scoped-thread spawn cost (and its allocations) per timestep. Remapping
+//! an array (see [`Program::remap`]) changes its mapping identity and
+//! invalidates exactly the plans that involve it.
 
 use crate::assign::Assignment;
 use crate::cache::PlanCache;
@@ -28,12 +34,15 @@ pub struct Program {
     pub arrays: Vec<DistArray<f64>>,
     stmts: Vec<Assignment>,
     cache: PlanCache,
+    /// Reused per-run analysis handles — retains its capacity so warm
+    /// timesteps push into it without allocating.
+    last: Vec<Arc<CommAnalysis>>,
 }
 
 impl Program {
     /// Create over a set of arrays.
     pub fn new(arrays: Vec<DistArray<f64>>) -> Self {
-        Program { arrays, stmts: Vec::new(), cache: PlanCache::new() }
+        Program { arrays, stmts: Vec::new(), cache: PlanCache::new(), last: Vec::new() }
     }
 
     /// Append a statement (validated against the arrays' domains).
@@ -56,27 +65,41 @@ impl Program {
     }
 
     /// Execute every statement in order with the sequential executor,
-    /// returning the per-statement analyses. Plans are cached: repeated
-    /// calls replay compiled schedules instead of re-inspecting.
-    pub fn run(&mut self) -> Result<Vec<CommAnalysis>, HpfError> {
-        let mut out = Vec::with_capacity(self.stmts.len());
+    /// returning the per-statement analyses (shared handles into the
+    /// frozen plans). Plans are cached: repeated calls replay compiled
+    /// schedules instead of re-inspecting, and a fully-warm call performs
+    /// **zero heap allocations** — block-copy pack into cached workspaces,
+    /// slice-kernel compute, `Arc` bumps for the analyses.
+    pub fn run(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.last.clear();
+        self.last.reserve(self.stmts.len()); // no-op once warmed
         for stmt in &self.stmts {
-            let plan = self.cache.plan_for(&self.arrays, stmt)?;
-            plan.execute_seq(&mut self.arrays);
-            out.push(plan.analysis().clone());
+            let analysis = self.cache.replay_seq(&mut self.arrays, stmt)?;
+            self.last.push(analysis);
         }
-        Ok(out)
+        Ok(&self.last)
     }
 
-    /// Execute in order with the parallel executor (same plan cache).
-    pub fn run_parallel(&mut self, threads: usize) -> Result<Vec<CommAnalysis>, HpfError> {
-        let mut out = Vec::with_capacity(self.stmts.len());
+    /// Execute in order with pack and compute phases spread over at most
+    /// `threads` OS threads (same plan cache, same semantics as
+    /// [`Program::run`]).
+    pub fn run_parallel(
+        &mut self,
+        threads: usize,
+    ) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.last.clear();
+        self.last.reserve(self.stmts.len());
         for stmt in &self.stmts {
-            let plan = self.cache.plan_for(&self.arrays, stmt)?;
-            plan.execute_par(&mut self.arrays, threads);
-            out.push(plan.analysis().clone());
+            let analysis = self.cache.replay_par(&mut self.arrays, stmt, threads)?;
+            self.last.push(analysis);
         }
-        Ok(out)
+        Ok(&self.last)
+    }
+
+    /// The analyses of the most recent [`Program::run`] /
+    /// [`Program::run_parallel`] call.
+    pub fn last_analyses(&self) -> &[Arc<CommAnalysis>] {
+        &self.last
     }
 
     /// Remap array `k` onto a new mapping: move every element value into
@@ -120,13 +143,24 @@ impl Program {
         self.cache.clear();
     }
 
+    /// Bytes held by the compressed schedules of every cached plan.
+    pub fn plan_schedule_bytes(&self) -> usize {
+        self.cache.schedule_bytes()
+    }
+
     /// Price a set of per-statement analyses on a machine: the sum of the
-    /// per-superstep estimates plus the merged traffic matrix.
-    pub fn price(analyses: &[CommAnalysis], machine: &Machine) -> (f64, CommStats, Vec<SuperstepReport>) {
+    /// per-superstep estimates plus the merged traffic matrix. Accepts
+    /// both owned analyses and the shared handles [`Program::run`]
+    /// returns.
+    pub fn price<A: std::borrow::Borrow<CommAnalysis>>(
+        analyses: &[A],
+        machine: &Machine,
+    ) -> (f64, CommStats, Vec<SuperstepReport>) {
         let mut total = 0.0;
         let mut traffic = CommStats::new();
         let mut reports = Vec::with_capacity(analyses.len());
         for a in analyses {
+            let a = a.borrow();
             let rep = machine.superstep_time(&a.loads, &a.comm);
             total += rep.total_time();
             traffic.merge(&a.comm);
@@ -243,7 +277,7 @@ mod tests {
         prog.push(s).unwrap();
         let analyses = prog.run().unwrap();
         let machine = Machine::simple(4);
-        let (total, traffic, reports) = Program::price(&analyses, &machine);
+        let (total, traffic, reports) = Program::price(analyses, &machine);
         assert_eq!(reports.len(), 2);
         assert!((total - (reports[0].total_time() + reports[1].total_time())).abs() < 1e-9);
         assert_eq!(

@@ -1,0 +1,131 @@
+//! Reusable execution scratch — the zero-allocation warm-replay contract.
+//!
+//! A [`PlanWorkspace`] owns the per-processor, per-term packed operand
+//! buffers a plan replay fills during its pack phase. Building one costs
+//! the allocations once; every subsequent
+//! [`ExecPlan::execute_seq_with`](crate::ExecPlan::execute_seq_with) /
+//! [`ExecPlan::execute_par_with`](crate::ExecPlan::execute_par_with)
+//! against the same plan reuses the buffers, so a **warm replay performs
+//! zero heap allocations** (asserted by the `zero_alloc_replay`
+//! integration test with a counting global allocator).
+//!
+//! [`crate::PlanCache`] keeps one workspace per cached plan, which is how
+//! [`crate::Program::run`] gets allocation-free timesteps without callers
+//! managing workspaces themselves.
+
+use crate::plan::ExecPlan;
+
+/// Preallocated pack buffers for one [`ExecPlan`]: `bufs[p][t]` is the
+/// packed operand buffer of simulated processor `p` for RHS term `t`,
+/// sized to exactly the processor's computed volume.
+#[derive(Debug, Clone, Default)]
+pub struct PlanWorkspace {
+    pub(crate) bufs: Vec<Vec<Vec<f64>>>,
+}
+
+impl PlanWorkspace {
+    /// An empty workspace; the first replay through it sizes it for its
+    /// plan (allocating once).
+    pub fn new() -> Self {
+        PlanWorkspace::default()
+    }
+
+    /// A workspace preallocated for `plan` — replays through it allocate
+    /// nothing.
+    pub fn for_plan(plan: &ExecPlan) -> Self {
+        let mut ws = PlanWorkspace::new();
+        ws.ensure(plan);
+        ws
+    }
+
+    /// True iff the buffers already have exactly the shape `plan`'s replay
+    /// needs (in which case a replay reuses them without allocating).
+    pub fn matches(&self, plan: &ExecPlan) -> bool {
+        let per_proc = plan.per_proc();
+        self.bufs.len() == per_proc.len()
+            && self.bufs.iter().zip(per_proc).all(|(bufs, pp)| {
+                bufs.len() == pp.terms.len()
+                    && bufs.iter().zip(&pp.terms).all(|(b, ts)| b.len() == ts.elements)
+            })
+    }
+
+    /// Resize for `plan` if the shape differs (the only point where a
+    /// replay path may allocate).
+    pub(crate) fn ensure(&mut self, plan: &ExecPlan) {
+        if self.matches(plan) {
+            return;
+        }
+        self.bufs = plan
+            .per_proc()
+            .iter()
+            .map(|pp| pp.terms.iter().map(|ts| vec![0.0f64; ts.elements]).collect())
+            .collect();
+    }
+
+    /// Total `f64` elements held across all pack buffers (the workspace's
+    /// memory footprint in elements).
+    pub fn buffer_elements(&self) -> usize {
+        self.bufs.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::DistArray;
+    use crate::assign::{Assignment, Combine, Term};
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+
+    fn plan_of(n: usize, np: usize) -> (Vec<DistArray<f64>>, ExecPlan) {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        let arrays = vec![
+            DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 2) as f64),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, n as i64)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n as i64)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        (arrays, plan)
+    }
+
+    #[test]
+    fn sized_exactly_for_plan() {
+        let (_, plan) = plan_of(20, 4);
+        let ws = PlanWorkspace::for_plan(&plan);
+        assert!(ws.matches(&plan));
+        // one term, full domain computed → 20 buffered elements
+        assert_eq!(ws.buffer_elements(), 20);
+    }
+
+    #[test]
+    fn empty_workspace_resizes_once() {
+        let (_, plan) = plan_of(12, 3);
+        let mut ws = PlanWorkspace::new();
+        assert!(!ws.matches(&plan));
+        ws.ensure(&plan);
+        assert!(ws.matches(&plan));
+        let before = ws.buffer_elements();
+        ws.ensure(&plan); // idempotent
+        assert_eq!(ws.buffer_elements(), before);
+    }
+
+    #[test]
+    fn mismatched_shape_detected() {
+        let (_, p1) = plan_of(20, 4);
+        let (_, p2) = plan_of(24, 4);
+        let ws = PlanWorkspace::for_plan(&p1);
+        assert!(!ws.matches(&p2));
+    }
+}

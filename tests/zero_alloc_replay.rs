@@ -1,0 +1,159 @@
+//! A warm `Program::run` timestep performs **zero heap allocations**.
+//!
+//! The plan cache keeps a preallocated `PlanWorkspace` per compiled plan,
+//! the compressed schedules replay with `copy_from_slice` block moves and
+//! slice kernels, and the per-statement analyses come back as `Arc`
+//! handles into the frozen plans — so once the first timestep has
+//! populated the cache, later timesteps touch no allocator at all. This
+//! test pins that contract with a counting global allocator.
+//!
+//! Kept as its own integration binary so no concurrently running test can
+//! pollute the counter between the snapshots.
+
+use hpf::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocator entry point (allocations and reallocations —
+/// frees are irrelevant to the contract) on top of the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// counter bump, which cannot violate the GlobalAlloc contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The test harness runs `#[test]`s concurrently; the counter is global,
+/// so each test holds this lock across its measurement window.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// A 2-statement iterated program: a 2-D 5-point-flavored stencil sweep
+/// plus a 1-D-sectioned copy-back, over block-distributed arrays on a
+/// 2 × 2 grid — the `b12`/`b13` warm-replay shape.
+fn stencil_program() -> Program {
+    let n = 24i64;
+    let np = 4usize;
+    let mut ds = DataSpace::new(np);
+    ds.declare_processors("G", IndexDomain::of_shape(&[2, 2]).unwrap()).unwrap();
+    let p = ds.declare("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+    let u = ds.declare("U", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+    for id in [p, u] {
+        ds.distribute(
+            id,
+            &DistributeSpec::to(vec![FormatSpec::Block, FormatSpec::Block], "G"),
+        )
+        .unwrap();
+    }
+    let mut prog = Program::new(vec![
+        DistArray::new("P", ds.effective(p).unwrap(), np, 0.0),
+        DistArray::from_fn("U", ds.effective(u).unwrap(), np, |i| {
+            (i[0] * 100 + i[1]) as f64
+        }),
+    ]);
+    let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+    let sweep = Assignment::new(
+        0,
+        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+        vec![
+            Term::new(1, Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)])),
+            Term::new(1, Section::from_triplets(vec![span(3, n), span(2, n - 1)])),
+            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(1, n - 2)])),
+            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(3, n)])),
+        ],
+        Combine::Sum,
+        &doms,
+    )
+    .unwrap();
+    let copy_back = Assignment::new(
+        1,
+        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+        vec![Term::new(0, Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]))],
+        Combine::Copy,
+        &doms,
+    )
+    .unwrap();
+    prog.push(sweep).unwrap();
+    prog.push(copy_back).unwrap();
+    prog
+}
+
+#[test]
+fn warm_program_run_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    let mut prog = stencil_program();
+    // cold timesteps: inspection, workspace construction, result-buffer
+    // growth — all allocation happens here
+    prog.run().unwrap();
+    prog.run().unwrap();
+    assert_eq!(prog.cache_misses(), 2, "one inspection per statement");
+
+    // warm timesteps: zero heap allocations, several in a row
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..5 {
+        prog.run().unwrap();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm Program::run must not touch the heap ({} allocations in 5 timesteps)",
+        after - before
+    );
+
+    // the replays were real work, not an optimized-out no-op
+    assert_eq!(prog.cache_hits(), 2 + 5 * 2);
+    let analyses = prog.last_analyses();
+    assert_eq!(analyses.len(), 2);
+    assert!(analyses[0].remote_reads > 0, "the stencil communicates");
+}
+
+#[test]
+fn warm_cache_replay_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    // the same contract one level down: PlanCache::replay_seq on a hit
+    let mut prog = stencil_program();
+    let mut arrays = std::mem::take(&mut prog.arrays);
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+    let n = 24i64;
+    let stmt = Assignment::new(
+        0,
+        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+        vec![Term::new(1, Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)]))],
+        Combine::Copy,
+        &doms,
+    )
+    .unwrap();
+    let mut cache = PlanCache::new();
+    cache.replay_seq(&mut arrays, &stmt).unwrap();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..3 {
+        cache.replay_seq(&mut arrays, &stmt).unwrap();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "warm replay_seq must not allocate");
+    assert_eq!((cache.hits(), cache.misses()), (3, 1));
+}
