@@ -14,101 +14,12 @@
 //! [`ExecPlan::execute_seq_uncompressed`]: hpf_runtime::ExecPlan::execute_seq_uncompressed
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
-use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
-use hpf_index::{span, IndexDomain, Section};
-use hpf_runtime::{Assignment, Combine, DistArray, ExecPlan, PlanWorkspace, Term};
+use hpf_bench::replay::{
+    arrays_1d, arrays_2d, cyclic_transpose, replay_elements, shift_1d, stencil_2d,
+};
+use hpf_core::FormatSpec;
+use hpf_runtime::{ExecPlan, PlanWorkspace};
 use std::time::Instant;
-
-fn arrays_1d(n: i64, np: usize, fmt: &FormatSpec) -> Vec<DistArray<f64>> {
-    let mut ds = DataSpace::new(np);
-    let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
-    let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
-    for id in [a, b] {
-        ds.distribute(id, &DistributeSpec::new(vec![fmt.clone()])).unwrap();
-    }
-    vec![
-        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
-        DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 3) as f64),
-    ]
-}
-
-fn shift_1d(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
-    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
-    Assignment::new(
-        0,
-        Section::from_triplets(vec![span(2, n)]),
-        vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
-        Combine::Copy,
-        &doms,
-    )
-    .unwrap()
-}
-
-fn arrays_2d(n: i64, np_side: usize, fmt: &FormatSpec) -> Vec<DistArray<f64>> {
-    let np = np_side * np_side;
-    let mut ds = DataSpace::new(np);
-    ds.declare_processors("G", IndexDomain::of_shape(&[np_side, np_side]).unwrap())
-        .unwrap();
-    let p = ds.declare("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
-    let u = ds.declare("U", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
-    for id in [p, u] {
-        ds.distribute(id, &DistributeSpec::to(vec![fmt.clone(), fmt.clone()], "G"))
-            .unwrap();
-    }
-    vec![
-        DistArray::new("P", ds.effective(p).unwrap(), np, 0.0),
-        DistArray::from_fn("U", ds.effective(u).unwrap(), np, |i| {
-            (i[0] * 100 + i[1]) as f64
-        }),
-    ]
-}
-
-fn stencil_2d(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
-    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
-    Assignment::new(
-        0,
-        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
-        vec![
-            Term::new(1, Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)])),
-            Term::new(1, Section::from_triplets(vec![span(3, n), span(2, n - 1)])),
-            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(1, n - 2)])),
-            Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(3, n)])),
-        ],
-        Combine::Sum,
-        &doms,
-    )
-    .unwrap()
-}
-
-/// Block array reading a CYCLIC(1) array over the full domain: every
-/// cyclic period scatters across all processors — the worst case for
-/// coalescing, the analogue of a transpose's all-to-all.
-fn cyclic_transpose(n: i64, np: usize) -> (Vec<DistArray<f64>>, Assignment) {
-    let mut ds = DataSpace::new(np);
-    let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
-    let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
-    ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
-    ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
-    let arrays = vec![
-        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
-        DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 7) as f64),
-    ];
-    let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
-    let stmt = Assignment::new(
-        0,
-        Section::from_triplets(vec![span(1, n)]),
-        vec![Term::new(1, Section::from_triplets(vec![span(1, n)]))],
-        Combine::Copy,
-        &doms,
-    )
-    .unwrap();
-    (arrays, stmt)
-}
-
-/// Elements computed per replay.
-fn replay_elements(plan: &ExecPlan) -> usize {
-    plan.per_proc().iter().map(|pp| pp.volume).sum()
-}
 
 /// Headline numbers for the CI log: warm compressed vs uncompressed
 /// replay of the block-distributed 2-D stencil (the acceptance-criterion

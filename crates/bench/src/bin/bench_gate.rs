@@ -1,0 +1,307 @@
+//! CI perf-regression gate for the replay benchmarks.
+//!
+//! Measures warm-replay throughput (Melem/s) of the `b13` workload set
+//! (compressed sequential replay) and the `b14` set (the same plans
+//! through both exchange backends) — the workloads come from
+//! [`hpf_bench::replay`], the same builders the benches use, so the gate
+//! always polices exactly what the benches report. Emits
+//! `BENCH_b13.json` / `BENCH_b14.json` and compares each entry against
+//! the committed baselines under `crates/bench/baselines/` with a
+//! relative tolerance (`BENCH_TOLERANCE`, default 0.30 = ±30%). A
+//! measurement below `baseline × (1 − tolerance)` is a regression and
+//! fails the process with a non-zero exit code.
+//!
+//! Each report also carries **hardware-neutral ratio entries** (e.g.
+//! compressed vs per-element replay speedup, channels vs shared-mem) so
+//! the gate keeps a machine-independent signal even when absolute
+//! Melem/s baselines were recorded on different hardware than the CI
+//! runner; on a slower machine the absolute floors can be relaxed via
+//! `BENCH_TOLERANCE` while the ratios still bind.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p hpf-bench --bin bench_gate                  # gate
+//! cargo run --release -p hpf-bench --bin bench_gate -- --write-baseline
+//! ```
+//!
+//! Honors `CRITERION_SMOKE=1` (shorter measurement budget, tolerance
+//! still enforced) and `BENCH_OUT_DIR` (where the JSON reports land,
+//! default `.`).
+
+use hpf_bench::replay::{
+    arrays_1d, arrays_2d, cyclic_transpose, replay_elements, shift_1d, stencil_2d,
+};
+use hpf_core::FormatSpec;
+use hpf_runtime::{
+    ChannelsBackend, ExchangeBackend, ExecPlan, PlanWorkspace, SharedMemBackend,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Throughput of one warm replay routine in Melem/s: warm up once, then
+/// take the best of `reps` bounded measurement windows (best-of dampens
+/// scheduler noise, which only ever slows a run down).
+fn measure(elems: usize, budget: Duration, reps: usize, mut replay: impl FnMut()) -> f64 {
+    replay(); // warm: plans, workspaces, worker fleets
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            replay();
+            iters += 1;
+        }
+        let rate = (elems as f64 * iters as f64) / start.elapsed().as_secs_f64() / 1.0e6;
+        best = best.max(rate);
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+}
+
+impl Entry {
+    fn rate(name: &'static str, value: f64) -> Entry {
+        Entry { name, value, unit: "Melem/s" }
+    }
+
+    fn ratio(name: &'static str, value: f64) -> Entry {
+        Entry { name, value, unit: "ratio" }
+    }
+}
+
+/// The b13 set: warm compressed sequential replays, plus the
+/// hardware-neutral compression-speedup ratio on the block stencil.
+fn measure_b13(budget: Duration, reps: usize) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let n1 = 65_536i64;
+    for (fmt, name) in [
+        (FormatSpec::Block, "shift_1d_block"),
+        (FormatSpec::Cyclic(1), "shift_1d_cyclic1"),
+    ] {
+        let mut a = arrays_1d(n1, 8, &fmt);
+        let s = shift_1d(n1, &a);
+        let plan = ExecPlan::inspect(&a, &s).unwrap();
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        let elems = replay_elements(&plan);
+        let rate = measure(elems, budget, reps, || plan.execute_seq_with(&mut a, &mut ws));
+        out.push(Entry::rate(name, rate));
+    }
+    let n2 = 192i64;
+    for (fmt, name) in [
+        (FormatSpec::Block, "stencil_2d_block"),
+        (FormatSpec::Cyclic(1), "stencil_2d_cyclic1"),
+    ] {
+        let mut a = arrays_2d(n2, 2, &fmt);
+        let s = stencil_2d(n2, &a);
+        let plan = ExecPlan::inspect(&a, &s).unwrap();
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        let elems = replay_elements(&plan);
+        let rate = measure(elems, budget, reps, || plan.execute_seq_with(&mut a, &mut ws));
+        if matches!(fmt, FormatSpec::Block) {
+            // hardware-neutral: compressed replay vs the per-element
+            // baseline of the *same plan*, on the same machine
+            let elementwise =
+                measure(elems, budget, reps, || plan.execute_seq_uncompressed(&mut a));
+            out.push(Entry::ratio(
+                "stencil_2d_block_compress_speedup",
+                rate / elementwise,
+            ));
+        }
+        out.push(Entry::rate(name, rate));
+    }
+    let (mut a, s) = cyclic_transpose(65_536, 8);
+    let plan = ExecPlan::inspect(&a, &s).unwrap();
+    let mut ws = PlanWorkspace::for_plan(&plan);
+    let elems = replay_elements(&plan);
+    let rate = measure(elems, budget, reps, || plan.execute_seq_with(&mut a, &mut ws));
+    out.push(Entry::rate("cyclic_transpose", rate));
+    out
+}
+
+/// The b14 set: the same plans through both exchange backends, plus the
+/// hardware-neutral channels/shared-mem ratio on the block stencil.
+fn measure_b14(budget: Duration, reps: usize) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let n1 = 65_536i64;
+    let a1 = arrays_1d(n1, 8, &FormatSpec::Block);
+    let s1 = shift_1d(n1, &a1);
+    let n2 = 192i64;
+    let a2 = arrays_2d(n2, 2, &FormatSpec::Block);
+    let s2 = stencil_2d(n2, &a2);
+    let (a3, s3) = cyclic_transpose(65_536, 8);
+    let names: [(&str, &'static str, &'static str); 3] = [
+        ("shift_1d_block", "shift_1d_block_shared_mem", "shift_1d_block_channels"),
+        ("stencil_2d_block", "stencil_2d_block_shared_mem", "stencil_2d_block_channels"),
+        ("cyclic_transpose", "cyclic_transpose_shared_mem", "cyclic_transpose_channels"),
+    ];
+    for ((tag, shared_name, channels_name), (mut arrays, stmt)) in
+        names.into_iter().zip([(a1, s1), (a2, s2), (a3, s3)])
+    {
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        let elems = replay_elements(&plan);
+        let mut shared = SharedMemBackend::new();
+        let shared_rate =
+            measure(elems, budget, reps, || shared.step(&plan, &mut arrays, &mut ws));
+        let mut channels = ChannelsBackend::new();
+        let channels_rate =
+            measure(elems, budget, reps, || channels.step(&plan, &mut arrays, &mut ws));
+        out.push(Entry::rate(shared_name, shared_rate));
+        out.push(Entry::rate(channels_name, channels_rate));
+        if tag == "stencil_2d_block" {
+            out.push(Entry::ratio(
+                "stencil_2d_block_channels_vs_shared",
+                channels_rate / shared_rate,
+            ));
+        }
+    }
+    out
+}
+
+fn render_json(bench: &str, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"bench\": \"{bench}\",").unwrap();
+    writeln!(s, "  \"entries\": [").unwrap();
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"value\": {:.2}, \"unit\": \"{}\" }}{comma}",
+            e.name, e.value, e.unit
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Minimal line-oriented parser for the JSON this binary writes: one
+/// entry per line, `"name"` and `"value"` keys.
+fn parse_entries(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(npos) = line.find("\"name\"") else { continue };
+        let rest = &line[npos + 6..];
+        let Some(q1) = rest.find('"') else { continue };
+        let Some(q2) = rest[q1 + 1..].find('"') else { continue };
+        let name = rest[q1 + 1..q1 + 1 + q2].to_string();
+        let Some(vpos) = line.find("\"value\"") else { continue };
+        let val: String = line[vpos + 7..]
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit() && *c != '-' && *c != '.')
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = val.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Compare measured entries against a baseline file. Returns the
+/// regression descriptions (empty = gate passes).
+fn gate(
+    bench: &str,
+    entries: &[Entry],
+    baseline_path: &std::path::Path,
+    tolerance: f64,
+) -> Vec<String> {
+    let Ok(json) = std::fs::read_to_string(baseline_path) else {
+        return vec![format!(
+            "{bench}: missing baseline {} (run with --write-baseline to create it)",
+            baseline_path.display()
+        )];
+    };
+    let baseline = parse_entries(&json);
+    let mut regressions = Vec::new();
+    for e in entries {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == e.name) else {
+            regressions.push(format!(
+                "{bench}/{}: no baseline entry (regenerate the baseline)",
+                e.name
+            ));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let status = if e.value < floor {
+            regressions.push(format!(
+                "{bench}/{}: {:.2} {} < floor {:.2} (baseline {:.2}, −{:.0}%)",
+                e.name,
+                e.value,
+                e.unit,
+                floor,
+                base,
+                (1.0 - e.value / base) * 100.0
+            ));
+            "REGRESSION"
+        } else if e.value > base * (1.0 + tolerance) {
+            "improved (consider refreshing the baseline)"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate {bench}/{:<36} {:>9.2} {} (baseline {:>9.2})  {status}",
+            e.name, e.value, e.unit, base
+        );
+    }
+    regressions
+}
+
+fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let smoke = std::env::var_os("CRITERION_SMOKE").is_some();
+    let (budget, reps) = if smoke {
+        (Duration::from_millis(40), 2)
+    } else {
+        (Duration::from_millis(120), 3)
+    };
+    let tolerance: f64 = std::env::var("BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let baseline_dir = std::env::var("BENCH_BASELINE_DIR")
+        .unwrap_or_else(|_| "crates/bench/baselines".into());
+
+    let b13 = measure_b13(budget, reps);
+    let b14 = measure_b14(budget, reps);
+
+    let mut regressions = Vec::new();
+    for (bench, entries) in [("b13", &b13), ("b14", &b14)] {
+        let json = render_json(bench, entries);
+        let out = std::path::Path::new(&out_dir).join(format!("BENCH_{bench}.json"));
+        std::fs::write(&out, &json).expect("write bench report");
+        println!("bench_gate: wrote {}", out.display());
+        let baseline =
+            std::path::Path::new(&baseline_dir).join(format!("BENCH_{bench}.json"));
+        if write_baseline {
+            std::fs::create_dir_all(&baseline_dir).expect("create baseline dir");
+            std::fs::write(&baseline, &json).expect("write baseline");
+            println!("bench_gate: baseline refreshed at {}", baseline.display());
+        } else {
+            regressions.extend(gate(bench, entries, &baseline, tolerance));
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("bench_gate: PERF REGRESSION (tolerance ±{:.0}%):", tolerance * 100.0);
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    if !write_baseline {
+        println!(
+            "bench_gate: all {} entries within ±{:.0}% of baseline",
+            b13.len() + b14.len(),
+            tolerance * 100.0
+        );
+    }
+}

@@ -113,3 +113,108 @@ pub fn random_weights(n: usize, max_w: u64, seed: u64) -> Vec<u64> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.random_range(1..=max_w)).collect()
 }
+
+/// The b13/b14 replay workload set, shared by `b13_replay_throughput`,
+/// `b14_backend_exchange`, and the `bench_gate` CI harness so the gate
+/// always measures exactly what the benches report.
+pub mod replay {
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+    use hpf_runtime::{Assignment, Combine, DistArray, ExecPlan, Term};
+
+    /// Two 1-D arrays of extent `n`, both distributed with `fmt`.
+    pub fn arrays_1d(n: i64, np: usize, fmt: &FormatSpec) -> Vec<DistArray<f64>> {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        for id in [a, b] {
+            ds.distribute(id, &DistributeSpec::new(vec![fmt.clone()])).unwrap();
+        }
+        vec![
+            DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 3) as f64),
+        ]
+    }
+
+    /// `A(2:N) = B(1:N-1)` — the 1-D shift.
+    pub fn shift_1d(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap()
+    }
+
+    /// Two `n × n` arrays over an `np_side × np_side` grid, both
+    /// distributed `(fmt, fmt)`.
+    pub fn arrays_2d(n: i64, np_side: usize, fmt: &FormatSpec) -> Vec<DistArray<f64>> {
+        let np = np_side * np_side;
+        let mut ds = DataSpace::new(np);
+        ds.declare_processors("G", IndexDomain::of_shape(&[np_side, np_side]).unwrap())
+            .unwrap();
+        let p = ds.declare("P", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+        let u = ds.declare("U", IndexDomain::standard(&[(1, n), (1, n)]).unwrap()).unwrap();
+        for id in [p, u] {
+            ds.distribute(id, &DistributeSpec::to(vec![fmt.clone(), fmt.clone()], "G"))
+                .unwrap();
+        }
+        vec![
+            DistArray::new("P", ds.effective(p).unwrap(), np, 0.0),
+            DistArray::from_fn("U", ds.effective(u).unwrap(), np, |i| {
+                (i[0] * 100 + i[1]) as f64
+            }),
+        ]
+    }
+
+    /// The 2-D 5-point stencil sum over `P(2:N-1, 2:N-1)`.
+    pub fn stencil_2d(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+            vec![
+                Term::new(1, Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)])),
+                Term::new(1, Section::from_triplets(vec![span(3, n), span(2, n - 1)])),
+                Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(1, n - 2)])),
+                Term::new(1, Section::from_triplets(vec![span(2, n - 1), span(3, n)])),
+            ],
+            Combine::Sum,
+            &doms,
+        )
+        .unwrap()
+    }
+
+    /// Block array reading a CYCLIC(1) array over the full domain: every
+    /// cyclic period scatters across all processors — the worst case for
+    /// coalescing, the analogue of a transpose's all-to-all.
+    pub fn cyclic_transpose(n: i64, np: usize) -> (Vec<DistArray<f64>>, Assignment) {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        let arrays = vec![
+            DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 7) as f64),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        (arrays, stmt)
+    }
+
+    /// Elements computed per replay of `plan`.
+    pub fn replay_elements(plan: &ExecPlan) -> usize {
+        plan.per_proc().iter().map(|pp| pp.volume).sum()
+    }
+}

@@ -30,9 +30,10 @@ pub use hpf_index::{
 pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
-    comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Combine,
-    CommAnalysis, CopyRun, DistArray, ExecPlan, GatherRef, GhostReport, ParExecutor,
-    PlanCache, PlanWorkspace, ProcPlan, Program, RemapAnalysis, SeqExecutor,
-    StatementTrace, StoreRun, Term, TermSchedule,
+    comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Backend,
+    ChannelsBackend, Combine, CommAnalysis, CopyRun, DistArray, ExchangeBackend,
+    ExecPlan, GatherRef, GhostReport, MessagePlan, MsgSegment, PairSchedule,
+    ParExecutor, PlanCache, PlanWorkspace, ProcPlan, Program, RemapAnalysis,
+    SeqExecutor, SharedMemBackend, StatementTrace, StoreRun, Term, TermSchedule,
 };
 pub use hpf_template::{TemplateError, TemplateModel};

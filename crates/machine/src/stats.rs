@@ -55,6 +55,13 @@ impl CommStats {
         self.pairs.iter().map(|(&(s, d), &v)| (ProcId(s), ProcId(d), v))
     }
 
+    /// Elements flowing `src → dst` (0 when the pair never communicates) —
+    /// the per-pair lookup the exchange backends cross-check their measured
+    /// wire traffic against.
+    pub fn elements_between(&self, src: ProcId, dst: ProcId) -> u64 {
+        self.pairs.get(&(src.0, dst.0)).copied().unwrap_or(0)
+    }
+
     /// Elements received by each processor, as `(proc, elements)` with the
     /// heaviest receiver first.
     pub fn inbound_by_proc(&self) -> Vec<(ProcId, u64)> {
@@ -117,6 +124,8 @@ mod tests {
         s.record(p(1), p(3), 10);
         s.record(p(2), p(3), 20);
         s.record(p(3), p(1), 5);
+        assert_eq!(s.elements_between(p(2), p(3)), 20);
+        assert_eq!(s.elements_between(p(3), p(2)), 0);
         assert_eq!(s.max_inbound(), 30);
         assert_eq!(s.inbound_by_proc()[0], (p(3), 30));
         assert_eq!(s.degree(p(3)), 3);

@@ -170,6 +170,31 @@ impl<T: Clone> DistArray<T> {
     pub(crate) fn parts_mut(&mut self) -> (&[Region], &mut [Vec<T>]) {
         (&self.regions, &mut self.locals)
     }
+
+    /// Move processor `p0`'s (zero-based) local buffer out of the array —
+    /// the ownership handoff to an SPMD worker. The array keeps an empty
+    /// placeholder until [`DistArray::put_local`] restores the shard; any
+    /// access in between (even a read of a supposedly untouched element)
+    /// fails loudly instead of returning stale data.
+    pub(crate) fn take_local(&mut self, p0: usize) -> Vec<T> {
+        std::mem::take(&mut self.locals[p0])
+    }
+
+    /// Re-install a shard moved out by [`DistArray::take_local`].
+    ///
+    /// # Panics
+    /// Panics if `buf` does not have exactly the owned-region volume — a
+    /// worker returning the wrong shard must not silently corrupt storage.
+    pub(crate) fn put_local(&mut self, p0: usize, buf: Vec<T>) {
+        assert_eq!(
+            buf.len(),
+            self.regions[p0].volume_disjoint(),
+            "{}: returned shard has the wrong volume for processor {}",
+            self.name,
+            p0 + 1
+        );
+        self.locals[p0] = buf;
+    }
 }
 
 /// Column-major position of `i` within a rect (assumes membership).

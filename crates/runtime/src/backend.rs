@@ -1,0 +1,472 @@
+//! Pluggable exchange backends — the transport-neutral boundary between
+//! compiled schedules and the wire.
+//!
+//! PR 2–3 compiled statements into per-processor [`CopyRun`] schedules but
+//! still *executed* them by indexing directly into every processor's
+//! buffer from one shared address space, so nothing validated that the
+//! schedules are sufficient for a real distributed-memory machine. This
+//! module closes that gap:
+//!
+//! * at inspect time, each plan's remote `CopyRun`s are **regrouped into
+//!   per-`(sender, receiver)` message schedules** — a [`MessagePlan`]
+//!   holding one [`PairSchedule`] per communicating processor pair, each a
+//!   list of [`MsgSegment`]s (what the sender packs, where the receiver
+//!   unpacks). This is exactly the vectorized-message aggregation the
+//!   machine model prices: one message per pair per statement;
+//! * [`ExchangeBackend`] abstracts *how* those messages move. A replay is
+//!   always the same BSP superstep — local pack → exchange → compute —
+//!   but the exchange leg is backend-owned;
+//! * [`SharedMemBackend`] keeps today's direct-copy semantics (stage each
+//!   pair's segments through a persistent, preallocated buffer in the
+//!   [`PlanWorkspace`], then unpack into the receiver's operand buffers),
+//!   preserving the **zero-allocation warm-replay contract**;
+//! * [`ChannelsBackend`](crate::ChannelsBackend) (see [`crate::spmd`]) is
+//!   a true message-passing SPMD executor: one long-lived worker per
+//!   simulated processor, owning only its local shards, exchanging packed
+//!   messages over channels — no worker ever reads another's buffer.
+//!
+//! Every backend cross-checks the bytes it actually moves per pair
+//! against the frozen schedules, and [`MessagePlan::matches_analysis`]
+//! records (verified at inspect time) that for partitioning mappings the
+//! wire traffic is *exactly* the frozen [`CommAnalysis`] — the paper's
+//! statically-computed communication sets are sufficient for a real
+//! distributed-memory exchange.
+//!
+//! [`CopyRun`]: crate::CopyRun
+
+use crate::array::DistArray;
+use crate::commsets::CommAnalysis;
+use crate::plan::{compute_proc, ExecPlan, ProcPlan};
+use crate::workspace::PlanWorkspace;
+use hpf_procs::ProcId;
+use std::sync::Arc;
+
+/// One contiguous piece of a pair's message: `len` elements read from the
+/// sender's local buffer of array `array` at `src_off`, landing in the
+/// receiver's packed operand buffer for term `term` at `dst_off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSegment {
+    /// RHS term index the data feeds (selects the receiver's operand
+    /// buffer).
+    pub term: usize,
+    /// Operand array index (selects the sender's local buffer).
+    pub array: usize,
+    /// Flat offset into the sender's local buffer.
+    pub src_off: usize,
+    /// Position in the receiver's packed operand buffer for `term`.
+    pub dst_off: usize,
+    /// Elements moved.
+    pub len: usize,
+}
+
+/// Everything one ordered processor pair exchanges for one statement: the
+/// segments are packed into a single message in order (the standard
+/// vectorized-message aggregation), so `elements` is both the message
+/// length and the pair's wire traffic in elements.
+#[derive(Debug, Clone)]
+pub struct PairSchedule {
+    /// Zero-based sending processor.
+    pub sender: u32,
+    /// Zero-based receiving processor.
+    pub receiver: u32,
+    /// Total elements in the message (= sum of segment lengths).
+    pub elements: usize,
+    /// The message layout, in pack order.
+    pub segments: Vec<MsgSegment>,
+}
+
+/// A plan's remote traffic regrouped by processor pair — the message-level
+/// view of the same schedule the per-processor [`CopyRun`]s describe
+/// element-wise. Built once at inspect time; pairs are sorted by
+/// `(sender, receiver)`.
+///
+/// [`CopyRun`]: crate::CopyRun
+#[derive(Debug, Clone, Default)]
+pub struct MessagePlan {
+    pairs: Vec<PairSchedule>,
+    wire_elements: u64,
+    matches_analysis: bool,
+}
+
+impl MessagePlan {
+    /// Regroup the remote runs of `per_proc` into per-pair message
+    /// schedules and verify them against the statement's frozen
+    /// communication analysis.
+    pub(crate) fn build(per_proc: &[ProcPlan], analysis: &CommAnalysis) -> MessagePlan {
+        let mut map: std::collections::BTreeMap<(u32, u32), Vec<MsgSegment>> =
+            std::collections::BTreeMap::new();
+        for pp in per_proc {
+            let me = pp.proc.zero_based() as u32;
+            for (t, ts) in pp.terms.iter().enumerate() {
+                for r in ts.runs.iter().filter(|r| r.src != me) {
+                    map.entry((r.src, me)).or_default().push(MsgSegment {
+                        term: t,
+                        array: ts.array,
+                        src_off: r.src_off,
+                        dst_off: r.dst_off,
+                        len: r.len,
+                    });
+                }
+            }
+        }
+        let pairs: Vec<PairSchedule> = map
+            .into_iter()
+            .map(|((sender, receiver), segments)| PairSchedule {
+                sender,
+                receiver,
+                elements: segments.iter().map(|s| s.len).sum(),
+                segments,
+            })
+            .collect();
+        let wire_elements: u64 = pairs.iter().map(|p| p.elements as u64).sum();
+        // Exact-match cross-check against the region-algebraic analysis:
+        // for partitioning mappings the gather schedule *is* the
+        // communication set, pair for pair. Replication deliberately
+        // diverges (the analysis models first-owner-computes plus result
+        // broadcast; execution has every replica compute), so the flag
+        // records whether the strict contract applies.
+        let matches_analysis = analysis.comm.messages() == pairs.len()
+            && wire_elements == analysis.comm.total_elements()
+            && pairs.iter().all(|p| {
+                analysis.comm.elements_between(
+                    ProcId(p.sender + 1),
+                    ProcId(p.receiver + 1),
+                ) == p.elements as u64
+            });
+        MessagePlan { pairs, wire_elements, matches_analysis }
+    }
+
+    /// The per-pair message schedules, sorted by `(sender, receiver)`.
+    pub fn pairs(&self) -> &[PairSchedule] {
+        &self.pairs
+    }
+
+    /// The schedule for `sender → receiver`, if that pair communicates.
+    pub fn pair(&self, sender: u32, receiver: u32) -> Option<&PairSchedule> {
+        self.pairs
+            .binary_search_by_key(&(sender, receiver), |p| (p.sender, p.receiver))
+            .ok()
+            .map(|i| &self.pairs[i])
+    }
+
+    /// Total elements crossing processor boundaries per replay.
+    pub fn wire_elements(&self) -> u64 {
+        self.wire_elements
+    }
+
+    /// Total bytes crossing processor boundaries per replay.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_elements * std::mem::size_of::<f64>() as u64
+    }
+
+    /// True iff the message schedules match the frozen [`CommAnalysis`]
+    /// exactly, pair for pair (always the case when every involved
+    /// mapping partitions its array; replication deliberately diverges).
+    pub fn matches_analysis(&self) -> bool {
+        self.matches_analysis
+    }
+}
+
+/// How a replay's exchange phase moves data between simulated processors.
+///
+/// Select one with [`Backend`] or instantiate directly. The contract:
+/// `step` executes one full BSP superstep of `plan` over `arrays`
+/// (semantically identical across backends — the backend-equivalence
+/// property suite pins `Channels` ≡ `SharedMem` ≡ the dense reference),
+/// and [`ExchangeBackend::bytes_sent`] reports the cumulative bytes the
+/// backend actually put on its wire, which every implementation must
+/// cross-check against the plan's frozen [`MessagePlan`].
+pub trait ExchangeBackend {
+    /// Human-readable backend name (for reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Execute one superstep: local pack → exchange → compute.
+    ///
+    /// # Panics
+    /// Panics if `plan` is stale for `arrays` (see
+    /// [`ExecPlan::is_valid_for`]) or if the measured wire traffic
+    /// diverges from the frozen schedule.
+    fn step(
+        &mut self,
+        plan: &Arc<ExecPlan>,
+        arrays: &mut [DistArray<f64>],
+        ws: &mut PlanWorkspace,
+    );
+
+    /// Cumulative bytes this backend has moved between processors.
+    fn bytes_sent(&self) -> u64;
+}
+
+/// Backend selector, threaded through the executors and [`crate::Program`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Direct copies within one address space, staged through persistent
+    /// per-pair buffers — today's semantics, zero-allocation warm replays.
+    #[default]
+    SharedMem,
+    /// True message-passing SPMD: one long-lived worker per simulated
+    /// processor, packed messages over channels, disjoint ownership.
+    Channels,
+}
+
+impl Backend {
+    /// Instantiate the selected backend.
+    pub fn instantiate(self) -> Box<dyn ExchangeBackend + Send> {
+        match self {
+            Backend::SharedMem => Box::new(SharedMemBackend::new()),
+            Backend::Channels => Box::new(crate::spmd::ChannelsBackend::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::SharedMem => write!(f, "shared-mem"),
+            Backend::Channels => write!(f, "channels"),
+        }
+    }
+}
+
+/// The shared-address-space backend: every pair's message is packed from
+/// the sender's local buffers into a persistent, preallocated staging
+/// buffer in the [`PlanWorkspace`] (the pair's send/recv buffer), then
+/// unpacked into the receiver's packed operand buffers — the same
+/// two-sided message discipline as the `Channels` backend, minus the
+/// threads. The elements physically staged are counted and asserted
+/// equal to the frozen schedule every step, so
+/// [`ExchangeBackend::bytes_sent`] is measured, not assumed. Warm steps
+/// perform **zero heap allocations**.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedMemBackend {
+    bytes_sent: u64,
+    steps: u64,
+}
+
+impl SharedMemBackend {
+    /// A fresh backend with zeroed counters.
+    pub fn new() -> Self {
+        SharedMemBackend::default()
+    }
+
+    /// Supersteps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Pack phase for one processor restricted to its *own* data: copy the
+/// local runs (`src == me`) into the packed operand buffers, leaving the
+/// remote positions for the exchange phase to fill.
+pub(crate) fn pack_local_runs(
+    arrays: &[DistArray<f64>],
+    pp: &ProcPlan,
+    bufs: &mut [Vec<f64>],
+) {
+    let me = pp.proc.zero_based() as u32;
+    for (ts, buf) in pp.terms.iter().zip(bufs) {
+        let src_arr = &arrays[ts.array];
+        for r in ts.runs.iter().filter(|r| r.src == me) {
+            let src = &src_arr.local(r.src as usize)[r.src_off..r.src_off + r.len];
+            buf[r.dst_off..r.dst_off + r.len].copy_from_slice(src);
+        }
+    }
+}
+
+impl ExchangeBackend for SharedMemBackend {
+    fn name(&self) -> &'static str {
+        "shared-mem"
+    }
+
+    fn step(
+        &mut self,
+        plan: &Arc<ExecPlan>,
+        arrays: &mut [DistArray<f64>],
+        ws: &mut PlanWorkspace,
+    ) {
+        assert!(plan.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        ws.ensure(plan);
+        for (pp, bufs) in plan.per_proc().iter().zip(ws.bufs.iter_mut()) {
+            pack_local_runs(arrays, pp, bufs);
+        }
+        // exchange: pack each pair's message into its persistent staging
+        // buffer from the sender's locals, then unpack into the
+        // receiver's packed operand buffers. The schedules were already
+        // cross-checked against the independent region-algebraic analysis
+        // at inspect time (see `ExecPlan::inspect`); here the physically
+        // staged elements are measured and held to that schedule.
+        let msgs = plan.message_plan();
+        let mut staged = 0u64;
+        for (pair, stage) in msgs.pairs().iter().zip(ws.stage.iter_mut()) {
+            let mut off = 0usize;
+            for seg in &pair.segments {
+                let src = &arrays[seg.array].local(pair.sender as usize)
+                    [seg.src_off..seg.src_off + seg.len];
+                stage[off..off + seg.len].copy_from_slice(src);
+                off += seg.len;
+            }
+            staged += off as u64;
+            let bufs = &mut ws.bufs[pair.receiver as usize];
+            let mut off = 0usize;
+            for seg in &pair.segments {
+                bufs[seg.term][seg.dst_off..seg.dst_off + seg.len]
+                    .copy_from_slice(&stage[off..off + seg.len]);
+                off += seg.len;
+            }
+        }
+        assert_eq!(
+            staged,
+            msgs.wire_elements(),
+            "measured wire traffic diverged from the frozen schedule"
+        );
+        self.bytes_sent += staged * std::mem::size_of::<f64>() as u64;
+        self.steps += 1;
+        let combine = plan.combine();
+        let (_, locals) = arrays[plan.lhs()].parts_mut();
+        for (pp, bufs) in plan.per_proc().iter().zip(&ws.bufs) {
+            compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, combine);
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Assignment, Combine, Term};
+    use crate::exec::dense_reference;
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+
+    fn setup(n: usize, np: usize, fmts: &[FormatSpec]) -> Vec<DistArray<f64>> {
+        let mut ds = DataSpace::new(np);
+        let mut out = Vec::new();
+        for (k, f) in fmts.iter().enumerate() {
+            let name = format!("A{k}");
+            let id = ds.declare(&name, IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+            ds.distribute(id, &DistributeSpec::new(vec![f.clone()])).unwrap();
+            out.push(DistArray::from_fn(
+                &name,
+                ds.effective(id).unwrap(),
+                np,
+                |i| (i[0] * (k as i64 + 2)) as f64,
+            ));
+        }
+        out
+    }
+
+    fn shift_stmt(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn message_plan_matches_comm_analysis_exactly() {
+        let arrays = setup(64, 4, &[FormatSpec::Block, FormatSpec::Cyclic(3)]);
+        let stmt = shift_stmt(64, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let msgs = plan.message_plan();
+        assert!(msgs.matches_analysis(), "partitioned mappings must match exactly");
+        assert_eq!(msgs.wire_elements(), plan.analysis().comm.total_elements());
+        assert_eq!(msgs.wire_bytes(), plan.analysis().total_bytes());
+        assert_eq!(msgs.pairs().len(), plan.analysis().comm.messages());
+        for p in msgs.pairs() {
+            assert_ne!(p.sender, p.receiver, "local data never rides the wire");
+            assert!(p.elements > 0);
+            assert_eq!(p.elements, p.segments.iter().map(|s| s.len).sum::<usize>());
+            assert!(msgs.pair(p.sender, p.receiver).is_some());
+        }
+        assert!(msgs.pair(63, 64).is_none());
+    }
+
+    #[test]
+    fn collocated_statement_has_empty_message_plan() {
+        let arrays = setup(32, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 32)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 32)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let msgs = plan.message_plan();
+        assert!(msgs.pairs().is_empty());
+        assert_eq!(msgs.wire_bytes(), 0);
+        assert!(msgs.matches_analysis());
+    }
+
+    #[test]
+    fn shared_mem_backend_matches_direct_replay() {
+        let mut direct = setup(48, 4, &[FormatSpec::Block, FormatSpec::Cyclic(2)]);
+        let mut staged = direct.clone();
+        let stmt = shift_stmt(48, &direct);
+        let plan = Arc::new(ExecPlan::inspect(&direct, &stmt).unwrap());
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        let mut backend = SharedMemBackend::new();
+        for _ in 0..3 {
+            let expect = dense_reference(&direct, &stmt);
+            plan.execute_seq(&mut direct);
+            backend.step(&plan, &mut staged, &mut ws);
+            assert_eq!(direct[0].to_dense(), expect);
+            assert_eq!(staged[0].to_dense(), expect);
+        }
+        assert_eq!(backend.steps(), 3);
+        assert_eq!(backend.bytes_sent(), 3 * plan.message_plan().wire_bytes());
+        assert_eq!(backend.name(), "shared-mem");
+    }
+
+    #[test]
+    fn replicated_mapping_diverges_from_analysis_but_executes() {
+        // replicated LHS: every replica computes, so the wire traffic is
+        // legitimately different from the analysis's broadcast model
+        let dom = IndexDomain::of_shape(&[12]).unwrap();
+        let rep = Arc::new(hpf_core::EffectiveDist::Replicated {
+            domain: dom,
+            procs: hpf_core::ProcSet::all(3),
+        });
+        let mut ds = DataSpace::new(3);
+        let b = ds.declare("B", IndexDomain::of_shape(&[12]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let mut arrays = vec![
+            DistArray::new("R", rep, 3, 0.0),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), 3, |i| (i[0] * 5) as f64),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 12)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 12)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        assert!(!plan.message_plan().matches_analysis());
+        let expect = dense_reference(&arrays, &stmt);
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        SharedMemBackend::new().step(&plan, &mut arrays, &mut ws);
+        assert_eq!(arrays[0].to_dense(), expect);
+    }
+
+    #[test]
+    fn backend_selector_instantiates() {
+        assert_eq!(Backend::default(), Backend::SharedMem);
+        assert_eq!(Backend::SharedMem.to_string(), "shared-mem");
+        assert_eq!(Backend::Channels.to_string(), "channels");
+        assert_eq!(Backend::SharedMem.instantiate().name(), "shared-mem");
+        assert_eq!(Backend::Channels.instantiate().name(), "channels");
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::array::DistArray;
 use crate::assign::Assignment;
+use crate::backend::ExchangeBackend;
 use crate::commsets::CommAnalysis;
 use crate::plan::ExecPlan;
 use crate::workspace::PlanWorkspace;
@@ -114,13 +115,29 @@ impl PlanCache {
         })
     }
 
+    /// Execute `stmt` through the cache on an explicit
+    /// [`ExchangeBackend`]: resolve (or inspect) the plan, run one
+    /// superstep on the backend with the entry's own workspace, and
+    /// return the frozen analysis as a shared handle. With the
+    /// `SharedMem` backend a warm hit stays allocation-free (the entry's
+    /// message staging buffers are preallocated); the `Channels` backend
+    /// reuses its persistent workers across hits.
+    pub fn replay_on(
+        &mut self,
+        arrays: &mut [DistArray<f64>],
+        stmt: &Assignment,
+        backend: &mut dyn ExchangeBackend,
+    ) -> Result<Arc<CommAnalysis>, HpfError> {
+        self.replay_with(arrays, stmt, |plan, arrays, ws| backend.step(plan, arrays, ws))
+    }
+
     /// Shared replay driver: one lookup on the warm path; cold and stale
     /// statements fall through to [`PlanCache::plan_for`] for inspection.
     fn replay_with(
         &mut self,
         arrays: &mut [DistArray<f64>],
         stmt: &Assignment,
-        exec: impl Fn(&ExecPlan, &mut [DistArray<f64>], &mut PlanWorkspace),
+        mut exec: impl FnMut(&Arc<ExecPlan>, &mut [DistArray<f64>], &mut PlanWorkspace),
     ) -> Result<Arc<CommAnalysis>, HpfError> {
         if let Some(e) = self.entries.get_mut(stmt) {
             if e.plan.is_valid_for(arrays) {

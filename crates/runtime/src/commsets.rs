@@ -19,9 +19,22 @@ pub struct CommAnalysis {
     pub local_reads: u64,
     /// Operand reads requiring a transfer.
     pub remote_reads: u64,
+    /// True iff the region-algebraic path produced this analysis (every
+    /// involved mapping partitions its array). When set, the traffic
+    /// matrix is an *independent* computation of the statement's exact
+    /// communication sets, and plan inspection cross-checks its message
+    /// schedules against it pair for pair.
+    pub region_exact: bool,
 }
 
 impl CommAnalysis {
+    /// Total bytes the statement moves between processors per execution
+    /// (`f64` elements × 8) — the figure the exchange backends' measured
+    /// wire traffic is cross-checked against.
+    pub fn total_bytes(&self) -> u64 {
+        self.comm.total_elements() * std::mem::size_of::<f64>() as u64
+    }
+
     /// Fraction of operand reads that were remote (0.0 = fully collocated —
     /// the paper's ideal).
     pub fn remote_fraction(&self) -> f64 {
@@ -115,7 +128,7 @@ fn region_analysis(
             }
         }
     }
-    CommAnalysis { comm, loads, local_reads, remote_reads }
+    CommAnalysis { comm, loads, local_reads, remote_reads, region_exact: true }
 }
 
 fn elementwise_analysis(
@@ -150,7 +163,7 @@ fn elementwise_analysis(
             }
         }
     }
-    CommAnalysis { comm, loads, local_reads, remote_reads }
+    CommAnalysis { comm, loads, local_reads, remote_reads, region_exact: false }
 }
 
 /// Intersect a global region with a section and rewrite into

@@ -1,9 +1,11 @@
 use crate::assign::Assignment;
+use crate::backend::ExchangeBackend;
 use crate::commsets::CommAnalysis;
 use crate::plan::ExecPlan;
 use crate::workspace::PlanWorkspace;
 use crate::DistArray;
 use hpf_core::HpfError;
+use std::sync::Arc;
 
 /// Sequential owner-computes executor: a thin driver that inspects a fresh
 /// [`ExecPlan`] and replays it once.
@@ -56,6 +58,24 @@ impl SeqExecutor {
         ws: &mut PlanWorkspace,
     ) {
         plan.execute_seq_with(arrays, ws);
+    }
+
+    /// Execute `stmt` through an explicit [`ExchangeBackend`]: inspect a
+    /// fresh plan and run one superstep on the backend (which cross-checks
+    /// its measured wire traffic against the plan's frozen schedules).
+    /// For repeated statements, resolve plans through a
+    /// [`crate::PlanCache`] and use [`crate::PlanCache::replay_on`]
+    /// instead.
+    pub fn execute_on(
+        &self,
+        arrays: &mut [DistArray<f64>],
+        stmt: &Assignment,
+        backend: &mut dyn ExchangeBackend,
+    ) -> Result<CommAnalysis, HpfError> {
+        let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
+        let mut ws = PlanWorkspace::new();
+        backend.step(&plan, arrays, &mut ws);
+        Ok(plan.analysis().clone())
     }
 }
 

@@ -21,6 +21,16 @@
 //!   timestep from a cache keyed by statement shape and mapping identity;
 //!   each cached plan carries a preallocated [`PlanWorkspace`], making
 //!   warm replays zero-allocation;
+//! * [`ExchangeBackend`] — the transport-neutral boundary between
+//!   compiled schedules and the wire: each plan's remote runs are
+//!   regrouped at inspect time into per-(sender, receiver)
+//!   [`MessagePlan`] schedules, and a backend decides how those messages
+//!   move — [`SharedMemBackend`] (direct copies staged through persistent
+//!   buffers, zero-allocation warm) or [`ChannelsBackend`] (a true
+//!   message-passing SPMD executor: one long-lived worker per simulated
+//!   processor owning only its local shards, packed messages over
+//!   channels, measured wire bytes cross-checked against the frozen
+//!   analysis);
 //! * [`SeqExecutor`] / [`ParExecutor`] — sequential and
 //!   crossbeam-parallel owner-computes execution, thin drivers over the
 //!   same compiled plans, verified element-for-element against a dense
@@ -36,6 +46,7 @@
 
 mod array;
 mod assign;
+mod backend;
 mod cache;
 mod commsets;
 mod exec;
@@ -44,11 +55,15 @@ mod par;
 mod plan;
 mod program;
 mod remap;
+mod spmd;
 mod trace;
 mod workspace;
 
 pub use array::DistArray;
 pub use assign::{Assignment, Combine, Term};
+pub use backend::{
+    Backend, ExchangeBackend, MessagePlan, MsgSegment, PairSchedule, SharedMemBackend,
+};
 pub use cache::PlanCache;
 pub use commsets::{comm_analysis, CommAnalysis};
 pub use exec::{dense_reference, SeqExecutor};
@@ -57,5 +72,6 @@ pub use par::ParExecutor;
 pub use plan::{CopyRun, ExecPlan, GatherRef, ProcPlan, StoreRun, TermSchedule};
 pub use program::Program;
 pub use remap::{remap_analysis, RemapAnalysis};
+pub use spmd::ChannelsBackend;
 pub use trace::StatementTrace;
 pub use workspace::PlanWorkspace;

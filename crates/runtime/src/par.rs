@@ -1,4 +1,5 @@
 use crate::assign::Assignment;
+use crate::backend::ExchangeBackend;
 use crate::commsets::CommAnalysis;
 use crate::plan::ExecPlan;
 use crate::workspace::PlanWorkspace;
@@ -79,6 +80,25 @@ impl ParExecutor {
         ws: &mut PlanWorkspace,
     ) {
         plan.execute_par_with(arrays, self.threads, ws);
+    }
+
+    /// Execute `stmt` through an explicit [`ExchangeBackend`] (one fresh
+    /// inspection, one superstep). The backend decides the execution
+    /// shape — with a [`ChannelsBackend`](crate::ChannelsBackend) this
+    /// *is* parallel execution (one worker per simulated processor,
+    /// `self.threads` does not apply) without the per-call scoped-thread
+    /// spawn waves of [`ParExecutor::execute`]; iterated timesteps should
+    /// hold the backend (its workers persist) and replay through a
+    /// [`crate::PlanCache`]. Identical to
+    /// [`SeqExecutor::execute_on`](crate::SeqExecutor::execute_on), to
+    /// which it delegates.
+    pub fn execute_on(
+        &self,
+        arrays: &mut [DistArray<f64>],
+        stmt: &Assignment,
+        backend: &mut dyn ExchangeBackend,
+    ) -> Result<CommAnalysis, HpfError> {
+        crate::SeqExecutor.execute_on(arrays, stmt, backend)
     }
 }
 

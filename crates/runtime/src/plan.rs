@@ -33,6 +33,7 @@
 
 use crate::array::DistArray;
 use crate::assign::{Assignment, Combine};
+use crate::backend::MessagePlan;
 use crate::commsets::{comm_analysis, project_region, CommAnalysis};
 use crate::workspace::PlanWorkspace;
 use hpf_core::{HpfError, MappingId};
@@ -153,6 +154,9 @@ pub struct ExecPlan {
     combine: Combine,
     per_proc: Vec<ProcPlan>,
     analysis: Arc<CommAnalysis>,
+    /// The remote runs regrouped into per-(sender, receiver) message
+    /// schedules — what the exchange backends move.
+    msgs: MessagePlan,
     /// Identity of every involved array's mapping at inspection time.
     mappings: Vec<(usize, MappingId)>,
 }
@@ -231,6 +235,19 @@ impl ExecPlan {
         let maps: Vec<Arc<hpf_core::EffectiveDist>> =
             arrays.iter().map(|a| a.mapping().clone()).collect();
         let analysis = Arc::new(comm_analysis(&maps, np, stmt));
+        let msgs = MessagePlan::build(&per_proc, &analysis);
+        // The real wire cross-check: the message schedules come from
+        // per-element gather enumeration, the analysis from region
+        // algebra — two independent computations of the same
+        // communication sets. For partitioning mappings they must agree
+        // pair for pair; a divergence is a schedule bug, caught here
+        // before anything executes. (Replication legitimately differs:
+        // the analysis models first-owner-computes plus result broadcast,
+        // execution has every replica compute.)
+        assert!(
+            !analysis.region_exact || msgs.matches_analysis(),
+            "message schedules diverge from the region-algebraic analysis"
+        );
 
         let mut involved = vec![stmt.lhs];
         involved.extend(stmt.terms.iter().map(|t| t.array));
@@ -241,7 +258,14 @@ impl ExecPlan {
             .map(|k| (k, MappingId::of(arrays[k].mapping())))
             .collect();
 
-        Ok(ExecPlan { lhs: stmt.lhs, combine: stmt.combine, per_proc, analysis, mappings })
+        Ok(ExecPlan {
+            lhs: stmt.lhs,
+            combine: stmt.combine,
+            per_proc,
+            analysis,
+            msgs,
+            mappings,
+        })
     }
 
     /// The frozen communication analysis of the statement.
@@ -264,6 +288,17 @@ impl ExecPlan {
     /// Index of the LHS array.
     pub fn lhs(&self) -> usize {
         self.lhs
+    }
+
+    /// How the computed operand values combine.
+    pub fn combine(&self) -> Combine {
+        self.combine
+    }
+
+    /// The remote runs regrouped into per-(sender, receiver) message
+    /// schedules — the unit the exchange backends move and account.
+    pub fn message_plan(&self) -> &MessagePlan {
+        &self.msgs
     }
 
     /// Identity of every involved array's mapping at inspection time.

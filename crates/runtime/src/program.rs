@@ -18,9 +18,11 @@
 //! invalidates exactly the plans that involve it.
 
 use crate::assign::Assignment;
+use crate::backend::{Backend, ExchangeBackend, SharedMemBackend};
 use crate::cache::PlanCache;
 use crate::commsets::CommAnalysis;
 use crate::remap::{remap_analysis, RemapAnalysis};
+use crate::spmd::ChannelsBackend;
 use crate::DistArray;
 use hpf_core::{EffectiveDist, HpfError};
 use hpf_machine::{CommStats, Machine, SuperstepReport};
@@ -28,21 +30,50 @@ use std::sync::Arc;
 
 /// A program: distributed arrays plus an ordered statement list. Each
 /// statement executes as one BSP superstep (exchange, then compute).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Program {
     /// The arrays, referenced by position from the statements.
     pub arrays: Vec<DistArray<f64>>,
     stmts: Vec<Assignment>,
     cache: PlanCache,
+    /// The shared-address-space exchange backend (cheap, always present).
+    shared: SharedMemBackend,
+    /// The message-passing SPMD backend, created lazily on the first
+    /// [`Program::run_on`]`(Channels)` / [`Program::run_parallel`] call;
+    /// its worker fleet then persists across timesteps.
+    channels: Option<ChannelsBackend>,
     /// Reused per-run analysis handles — retains its capacity so warm
     /// timesteps push into it without allocating.
     last: Vec<Arc<CommAnalysis>>,
 }
 
+impl Clone for Program {
+    /// Clones the arrays, statements, and plan cache. Backend state
+    /// (worker fleets, byte counters) is per-instance and starts fresh in
+    /// the clone.
+    fn clone(&self) -> Self {
+        Program {
+            arrays: self.arrays.clone(),
+            stmts: self.stmts.clone(),
+            cache: self.cache.clone(),
+            shared: SharedMemBackend::new(),
+            channels: None,
+            last: self.last.clone(),
+        }
+    }
+}
+
 impl Program {
     /// Create over a set of arrays.
     pub fn new(arrays: Vec<DistArray<f64>>) -> Self {
-        Program { arrays, stmts: Vec::new(), cache: PlanCache::new(), last: Vec::new() }
+        Program {
+            arrays,
+            stmts: Vec::new(),
+            cache: PlanCache::new(),
+            shared: SharedMemBackend::new(),
+            channels: None,
+            last: Vec::new(),
+        }
     }
 
     /// Append a statement (validated against the arrays' domains).
@@ -64,34 +95,78 @@ impl Program {
         self.stmts.is_empty()
     }
 
-    /// Execute every statement in order with the sequential executor,
-    /// returning the per-statement analyses (shared handles into the
-    /// frozen plans). Plans are cached: repeated calls replay compiled
-    /// schedules instead of re-inspecting, and a fully-warm call performs
-    /// **zero heap allocations** — block-copy pack into cached workspaces,
-    /// slice-kernel compute, `Arc` bumps for the analyses.
+    /// Execute every statement in order through the `SharedMem` exchange
+    /// backend, returning the per-statement analyses (shared handles into
+    /// the frozen plans). Plans are cached: repeated calls replay
+    /// compiled schedules instead of re-inspecting, and a fully-warm call
+    /// performs **zero heap allocations** — block-copy pack into cached
+    /// workspaces, staged per-pair exchange through preallocated message
+    /// buffers, slice-kernel compute, `Arc` bumps for the analyses.
+    /// Equivalent to [`Program::run_on`]`(Backend::SharedMem)`.
     pub fn run(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.run_on(Backend::SharedMem)
+    }
+
+    /// Execute every statement in order on the selected
+    /// [`Backend`] (same plan cache, same semantics — the
+    /// backend-equivalence suite pins bit-identical results). The
+    /// `Channels` backend's SPMD worker fleet is created on first use and
+    /// persists across timesteps, and every backend cross-checks its
+    /// measured per-pair wire traffic against the frozen schedules.
+    pub fn run_on(&mut self, backend: Backend) -> Result<&[Arc<CommAnalysis>], HpfError> {
         self.last.clear();
         self.last.reserve(self.stmts.len()); // no-op once warmed
+        let exchange: &mut dyn ExchangeBackend = match backend {
+            Backend::SharedMem => &mut self.shared,
+            Backend::Channels => self.channels.get_or_insert_with(ChannelsBackend::new),
+        };
         for stmt in &self.stmts {
-            let analysis = self.cache.replay_seq(&mut self.arrays, stmt)?;
-            self.last.push(analysis);
+            match self.cache.replay_on(&mut self.arrays, stmt, exchange) {
+                Ok(analysis) => self.last.push(analysis),
+                Err(e) => {
+                    // don't leave a truncated prefix masquerading as a
+                    // successful run's analyses
+                    self.last.clear();
+                    return Err(e);
+                }
+            }
         }
         Ok(&self.last)
     }
 
-    /// Execute in order with pack and compute phases spread over at most
+    /// Execute in order with the statements' work spread over at most
     /// `threads` OS threads (same plan cache, same semantics as
     /// [`Program::run`]).
+    ///
+    /// When `threads` covers the simulated processor count this replays
+    /// through the persistent `Channels` SPMD workers — one long-lived
+    /// worker per simulated processor — so repeated parallel timesteps
+    /// stop paying per-timestep thread-spawn cost (the fleet is spawned
+    /// once; `zero_alloc_replay` pins the spawn count). With
+    /// `1 < threads < np` the upper bound is honored by falling back to
+    /// the scoped-thread executor (`threads` workers per superstep), and
+    /// `threads <= 1` degenerates to the sequential replay.
     pub fn run_parallel(
         &mut self,
         threads: usize,
     ) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        if threads <= 1 {
+            return self.run();
+        }
+        let np = self.arrays.iter().map(DistArray::np).max().unwrap_or(0);
+        if threads >= np {
+            return self.run_on(Backend::Channels);
+        }
         self.last.clear();
         self.last.reserve(self.stmts.len());
         for stmt in &self.stmts {
-            let analysis = self.cache.replay_par(&mut self.arrays, stmt, threads)?;
-            self.last.push(analysis);
+            match self.cache.replay_par(&mut self.arrays, stmt, threads) {
+                Ok(analysis) => self.last.push(analysis),
+                Err(e) => {
+                    self.last.clear();
+                    return Err(e);
+                }
+            }
         }
         Ok(&self.last)
     }
@@ -126,6 +201,23 @@ impl Program {
         let moved = DistArray::from_fn(old.name(), new, np, |i| old.get(i));
         self.arrays[k] = moved;
         Ok(analysis)
+    }
+
+    /// Bytes the exchange backends have moved between simulated
+    /// processors over the program's lifetime (both backends combined) —
+    /// the measured wire truth the frozen analyses are cross-checked
+    /// against.
+    pub fn backend_bytes_sent(&self) -> u64 {
+        self.shared.bytes_sent()
+            + self.channels.as_ref().map_or(0, |c| c.bytes_sent())
+    }
+
+    /// SPMD worker threads spawned over the program's lifetime: 0 before
+    /// the first `Channels` run, then the simulated processor count —
+    /// staying there across warm parallel timesteps is the
+    /// persistent-worker contract.
+    pub fn spmd_workers_spawned(&self) -> u64 {
+        self.channels.as_ref().map_or(0, |c| c.workers_spawned())
     }
 
     /// Cached-plan replays performed so far.

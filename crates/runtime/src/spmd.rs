@@ -1,0 +1,461 @@
+//! A true message-passing SPMD executor: the [`ChannelsBackend`].
+//!
+//! Each simulated processor runs as a **long-lived worker thread** that
+//! owns only its local shards (one buffer per array) plus its ghost
+//! regions for the statement being executed. Data moves between workers
+//! exclusively as packed messages over channels — no worker ever reads
+//! another worker's buffer, which is what finally *validates* that the
+//! compiled schedules (and the paper's statically-computed communication
+//! sets behind them) are sufficient for a real distributed-memory
+//! machine.
+//!
+//! One superstep ([`ChannelsBackend::step`] via the
+//! [`ExchangeBackend`] trait):
+//!
+//! 1. the driver moves each processor's local buffers *by value* into its
+//!    worker (an ownership handoff — pointer moves, no copying);
+//! 2. every worker packs its local gather runs from its own shards, then
+//!    packs **one message per outgoing pair** from the plan's
+//!    [`MessagePlan`] and ships it; spent message buffers are recycled
+//!    through a shared free-list, so warm steps reuse wire buffers
+//!    instead of growing the heap;
+//! 3. every worker receives exactly the messages the frozen schedule says
+//!    it must (asserting each physically received buffer's length against
+//!    its schedule — sender and receiver executing different plans fails
+//!    loudly), unpacks them into its packed operand buffers (kept across
+//!    steps, per worker), and computes into its own LHS shard;
+//! 4. the driver collects the shards back and reinstalls them. The
+//!    schedule itself was already cross-checked pair for pair against the
+//!    independent region-algebraic [`CommAnalysis`](crate::CommAnalysis)
+//!    at inspect time (see [`ExecPlan::inspect`]).
+//!
+//! Workers persist across supersteps (and across plans — any plan with
+//! the same processor count reuses them), so iterated programs pay thread
+//! spawn cost **once**, not per timestep: this is what
+//! [`crate::Program::run_parallel`] replays through once warm.
+
+use crate::array::DistArray;
+use crate::backend::ExchangeBackend;
+use crate::plan::{compute_proc, ExecPlan};
+use crate::workspace::PlanWorkspace;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One superstep's work order for a worker: the compiled plan plus the
+/// worker's own shards (local buffer of every array), moved in by value.
+#[derive(Debug)]
+struct Step {
+    plan: Arc<ExecPlan>,
+    shards: Vec<Vec<f64>>,
+}
+
+/// A worker's completed superstep: its shards, moved back to the driver.
+#[derive(Debug)]
+struct Done {
+    proc: usize,
+    shards: Vec<Vec<f64>>,
+}
+
+/// A packed message on the wire.
+#[derive(Debug)]
+struct Msg {
+    from: u32,
+    data: Vec<f64>,
+}
+
+/// Shared free-list of spent message buffers: receivers return unpacked
+/// buffers here, senders take them back before allocating fresh ones —
+/// the message-passing analogue of persistent MPI requests.
+type BufferPool = Arc<Mutex<Vec<Vec<f64>>>>;
+
+/// How long the driver waits for a worker's superstep before concluding
+/// the fleet is wedged (a schedule bug, not back-pressure: channels are
+/// unbounded, so a correct superstep cannot deadlock).
+const WORKER_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn worker_loop(
+    me: usize,
+    cmds: Receiver<Step>,
+    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Msg>>,
+    done: Sender<Done>,
+    pool: BufferPool,
+    shutdown: Arc<AtomicBool>,
+) {
+    // per-worker packed operand buffers, reused across supersteps
+    let mut packed: Vec<Vec<f64>> = Vec::new();
+    while let Ok(Step { plan, mut shards }) = cmds.recv() {
+        let pp = &plan.per_proc()[me];
+        let me32 = me as u32;
+        if packed.len() != pp.terms.len()
+            || packed.iter().zip(&pp.terms).any(|(b, t)| b.len() != t.elements)
+        {
+            packed = pp.terms.iter().map(|t| vec![0.0f64; t.elements]).collect();
+        }
+        // phase 1: pack local runs from this worker's own shards
+        for (ts, buf) in pp.terms.iter().zip(packed.iter_mut()) {
+            for r in ts.runs.iter().filter(|r| r.src == me32) {
+                buf[r.dst_off..r.dst_off + r.len]
+                    .copy_from_slice(&shards[ts.array][r.src_off..r.src_off + r.len]);
+            }
+        }
+        // phase 2a: pack and ship one message per outgoing pair
+        let msgs = plan.message_plan();
+        for pair in msgs.pairs().iter().filter(|p| p.sender == me32) {
+            let mut data =
+                pool.lock().expect("pool lock").pop().unwrap_or_default();
+            data.clear();
+            data.reserve(pair.elements);
+            for seg in &pair.segments {
+                data.extend_from_slice(
+                    &shards[seg.array][seg.src_off..seg.src_off + seg.len],
+                );
+            }
+            peers[pair.receiver as usize]
+                .send(Msg { from: me32, data })
+                .expect("receiving worker is alive");
+        }
+        // phase 2b: receive exactly the messages the schedule promises.
+        // Bounded waits: if the fleet is shutting down (backend dropped,
+        // or unwinding after a peer died), abandon the superstep instead
+        // of blocking forever on a message that will never arrive. The
+        // shutdown flag is a dedicated signal — probing the command
+        // channel here could swallow a queued command.
+        let expected = msgs.pairs().iter().filter(|p| p.receiver == me32).count();
+        let mut abandoned = false;
+        for _ in 0..expected {
+            let msg = loop {
+                match inbox.recv_timeout(Duration::from_millis(50)) {
+                    Ok(m) => break Some(m),
+                    Err(_) if shutdown.load(Ordering::Relaxed) => break None,
+                    Err(_) => continue,
+                }
+            };
+            let Some(Msg { from, data }) = msg else {
+                abandoned = true;
+                break;
+            };
+            let pair = msgs
+                .pair(from, me32)
+                .expect("every arriving message has a schedule");
+            // a physically received buffer whose length disagrees with
+            // the receiver's schedule means sender and receiver executed
+            // different plans — fail loudly, never unpack garbage
+            assert_eq!(
+                data.len(),
+                pair.elements,
+                "worker {}: message from {} has {} elements, schedule says {}",
+                me + 1,
+                from + 1,
+                data.len(),
+                pair.elements
+            );
+            let mut off = 0usize;
+            for seg in &pair.segments {
+                packed[seg.term][seg.dst_off..seg.dst_off + seg.len]
+                    .copy_from_slice(&data[off..off + seg.len]);
+                off += seg.len;
+            }
+            pool.lock().expect("pool lock").push(data);
+        }
+        if abandoned {
+            return; // shutdown mid-superstep: exit without a Done
+        }
+        // phase 3: compute into this worker's own LHS shard
+        compute_proc(pp, &mut shards[plan.lhs()], &packed, plan.combine());
+        done.send(Done { proc: me, shards }).expect("driver is alive");
+    }
+}
+
+/// The message-passing SPMD backend (see module docs). Workers are
+/// spawned lazily on the first superstep and persist until the backend is
+/// dropped; a plan over a different processor count replaces the fleet.
+pub struct ChannelsBackend {
+    np: usize,
+    cmd_txs: Vec<Sender<Step>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    done_rx: Option<Receiver<Done>>,
+    pool: BufferPool,
+    /// Set (before the command channels drop) when the fleet is being
+    /// torn down, so a worker blocked mid-superstep on its inbox abandons
+    /// instead of waiting for a message that will never arrive.
+    shutdown: Arc<AtomicBool>,
+    bytes_sent: u64,
+    workers_spawned: u64,
+    steps: u64,
+}
+
+impl Default for ChannelsBackend {
+    fn default() -> Self {
+        ChannelsBackend::new()
+    }
+}
+
+impl std::fmt::Debug for ChannelsBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelsBackend")
+            .field("workers", &self.cmd_txs.len())
+            .field("workers_spawned", &self.workers_spawned)
+            .field("steps", &self.steps)
+            .field("bytes_sent", &self.bytes_sent)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChannelsBackend {
+    /// A backend with no workers yet (they spawn on the first superstep).
+    pub fn new() -> Self {
+        ChannelsBackend {
+            np: 0,
+            cmd_txs: Vec::new(),
+            handles: Vec::new(),
+            done_rx: None,
+            pool: Arc::new(Mutex::new(Vec::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            bytes_sent: 0,
+            workers_spawned: 0,
+            steps: 0,
+        }
+    }
+
+    /// Worker threads spawned over the backend's lifetime — stays at the
+    /// processor count across warm supersteps (the persistent-worker
+    /// contract `zero_alloc_replay` pins).
+    pub fn workers_spawned(&self) -> u64 {
+        self.workers_spawned
+    }
+
+    /// Supersteps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Live worker count (0 before the first superstep).
+    pub fn workers(&self) -> usize {
+        self.cmd_txs.len()
+    }
+
+    fn ensure_workers(&mut self, np: usize) {
+        if self.np == np && !self.cmd_txs.is_empty() {
+            return;
+        }
+        self.shutdown();
+        self.shutdown = Arc::new(AtomicBool::new(false));
+        let (done_tx, done_rx) = unbounded();
+        let mut inbox_rxs = Vec::with_capacity(np);
+        let mut peer_txs = Vec::with_capacity(np);
+        for _ in 0..np {
+            let (tx, rx) = unbounded();
+            peer_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+        for (me, inbox) in inbox_rxs.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let peers = peer_txs.clone();
+            let done = done_tx.clone();
+            let pool = self.pool.clone();
+            let stop = self.shutdown.clone();
+            self.handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hpf-spmd-{}", me + 1))
+                    .spawn(move || worker_loop(me, cmd_rx, inbox, peers, done, pool, stop))
+                    .expect("spawn SPMD worker"),
+            );
+            self.cmd_txs.push(cmd_tx);
+        }
+        self.done_rx = Some(done_rx);
+        self.np = np;
+        self.workers_spawned += np as u64;
+    }
+
+    /// Stop and join the worker fleet: raise the shutdown flag (so a
+    /// worker blocked mid-superstep abandons), then drop the command
+    /// channels (ending each idle worker's loop) and join.
+    fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.cmd_txs.clear();
+        self.done_rx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.np = 0;
+    }
+}
+
+impl Drop for ChannelsBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ExchangeBackend for ChannelsBackend {
+    fn name(&self) -> &'static str {
+        "channels"
+    }
+
+    /// One SPMD superstep. The [`PlanWorkspace`] is unused — each worker
+    /// keeps its own packed operand buffers — but accepted so backends are
+    /// interchangeable behind the trait.
+    fn step(
+        &mut self,
+        plan: &Arc<ExecPlan>,
+        arrays: &mut [DistArray<f64>],
+        _ws: &mut PlanWorkspace,
+    ) {
+        assert!(plan.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        let np = plan.per_proc().len();
+        self.ensure_workers(np);
+        // ownership handoff: every worker gets exactly its own shards
+        for (p, cmd) in self.cmd_txs.iter().enumerate() {
+            let shards: Vec<Vec<f64>> =
+                arrays.iter_mut().map(|a| a.take_local(p)).collect();
+            cmd.send(Step { plan: plan.clone(), shards })
+                .expect("worker is alive");
+        }
+        let done_rx = self.done_rx.as_ref().expect("workers are running");
+        let deadline = Instant::now() + WORKER_TIMEOUT;
+        let mut reported = vec![false; np];
+        for _ in 0..np {
+            // poll in short slices so a crashed worker is reported
+            // promptly by name instead of stalling the full timeout
+            let done = loop {
+                match done_rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(d) => break d,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("every SPMD worker died mid-superstep")
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        // a finished handle while its Done is outstanding
+                        // means the worker panicked (idle workers block on
+                        // their command channel, they never exit)
+                        if let Some(dead) = self
+                            .handles
+                            .iter()
+                            .position(|h| h.is_finished())
+                            .filter(|&i| !reported[i])
+                        {
+                            panic!("SPMD worker {} died mid-superstep", dead + 1);
+                        }
+                        assert!(
+                            Instant::now() < deadline,
+                            "SPMD superstep wedged (no worker progress within {:?})",
+                            WORKER_TIMEOUT
+                        );
+                    }
+                }
+            };
+            for (a, buf) in arrays.iter_mut().zip(done.shards) {
+                a.put_local(done.proc, buf);
+            }
+            reported[done.proc] = true;
+        }
+        // schedule ≡ analysis was already cross-checked at inspect time
+        // (ExecPlan::inspect); the wire accounting here is the schedule's
+        self.bytes_sent += plan.message_plan().wire_bytes();
+        self.steps += 1;
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Assignment, Combine, Term};
+    use crate::exec::dense_reference;
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+
+    fn setup(n: usize, np: usize, fmts: &[FormatSpec]) -> Vec<DistArray<f64>> {
+        let mut ds = DataSpace::new(np);
+        let mut out = Vec::new();
+        for (k, f) in fmts.iter().enumerate() {
+            let name = format!("A{k}");
+            let id = ds.declare(&name, IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+            ds.distribute(id, &DistributeSpec::new(vec![f.clone()])).unwrap();
+            out.push(DistArray::from_fn(
+                &name,
+                ds.effective(id).unwrap(),
+                np,
+                |i| (i[0] * (k as i64 + 3) - 7) as f64,
+            ));
+        }
+        out
+    }
+
+    fn shift_stmt(n: i64, arrays: &[DistArray<f64>]) -> Assignment {
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn channels_matches_reference_and_counts_bytes() {
+        let mut arrays = setup(48, 4, &[FormatSpec::Block, FormatSpec::Cyclic(3)]);
+        let stmt = shift_stmt(48, &arrays);
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let mut ws = PlanWorkspace::new();
+        let mut backend = ChannelsBackend::new();
+        for step in 1..=4u64 {
+            let expect = dense_reference(&arrays, &stmt);
+            backend.step(&plan, &mut arrays, &mut ws);
+            assert_eq!(arrays[0].to_dense(), expect, "step {step}");
+            assert_eq!(backend.bytes_sent(), step * plan.message_plan().wire_bytes());
+        }
+        assert_eq!(backend.steps(), 4);
+        assert_eq!(backend.workers(), 4);
+        assert_eq!(backend.workers_spawned(), 4, "workers persist across steps");
+    }
+
+    #[test]
+    fn different_processor_count_respawns_fleet() {
+        let mut backend = ChannelsBackend::new();
+        let mut ws = PlanWorkspace::new();
+        let mut a4 = setup(32, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let s4 = shift_stmt(32, &a4);
+        let p4 = Arc::new(ExecPlan::inspect(&a4, &s4).unwrap());
+        backend.step(&p4, &mut a4, &mut ws);
+        assert_eq!(backend.workers(), 4);
+        let mut a3 = setup(32, 3, &[FormatSpec::Cyclic(1), FormatSpec::Block]);
+        let s3 = shift_stmt(32, &a3);
+        let p3 = Arc::new(ExecPlan::inspect(&a3, &s3).unwrap());
+        let expect = dense_reference(&a3, &s3);
+        backend.step(&p3, &mut a3, &mut ws);
+        assert_eq!(a3[0].to_dense(), expect);
+        assert_eq!(backend.workers(), 3);
+        assert_eq!(backend.workers_spawned(), 7, "4 then 3");
+        // and back on the first plan the fleet respawns again
+        backend.step(&p4, &mut a4, &mut ws);
+        assert_eq!(backend.workers_spawned(), 11);
+    }
+
+    #[test]
+    fn aliasing_shift_is_bsp_safe_over_channels() {
+        // A(2:16) = A(1:15): every worker ships its messages before
+        // computing, so receivers see pre-assignment values
+        let mut arrays = setup(16, 4, &[FormatSpec::Block]);
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, 16)]),
+            vec![Term::new(0, Section::from_triplets(vec![span(1, 15)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let expect = dense_reference(&arrays, &stmt);
+        ChannelsBackend::new().step(&plan, &mut arrays, &mut PlanWorkspace::new());
+        assert_eq!(arrays[0].to_dense(), expect);
+    }
+}

@@ -65,6 +65,7 @@ mod tests {
             loads: vec![5, 5],
             local_reads: 30,
             remote_reads: 10,
+            region_exact: true,
         };
         let m = Machine::simple(2);
         let t = StatementTrace::new("test-scheme", analysis, &m);

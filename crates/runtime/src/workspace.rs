@@ -17,10 +17,15 @@ use crate::plan::ExecPlan;
 
 /// Preallocated pack buffers for one [`ExecPlan`]: `bufs[p][t]` is the
 /// packed operand buffer of simulated processor `p` for RHS term `t`,
-/// sized to exactly the processor's computed volume.
+/// sized to exactly the processor's computed volume. `stage[k]` is the
+/// persistent message staging buffer for the plan's `k`-th communicating
+/// processor pair (in [`MessagePlan`](crate::MessagePlan) order), sized
+/// to exactly that pair's message length — the shared-memory backend's
+/// send/recv buffer.
 #[derive(Debug, Clone, Default)]
 pub struct PlanWorkspace {
     pub(crate) bufs: Vec<Vec<Vec<f64>>>,
+    pub(crate) stage: Vec<Vec<f64>>,
 }
 
 impl PlanWorkspace {
@@ -42,11 +47,14 @@ impl PlanWorkspace {
     /// needs (in which case a replay reuses them without allocating).
     pub fn matches(&self, plan: &ExecPlan) -> bool {
         let per_proc = plan.per_proc();
+        let pairs = plan.message_plan().pairs();
         self.bufs.len() == per_proc.len()
             && self.bufs.iter().zip(per_proc).all(|(bufs, pp)| {
                 bufs.len() == pp.terms.len()
                     && bufs.iter().zip(&pp.terms).all(|(b, ts)| b.len() == ts.elements)
             })
+            && self.stage.len() == pairs.len()
+            && self.stage.iter().zip(pairs).all(|(s, p)| s.len() == p.elements)
     }
 
     /// Resize for `plan` if the shape differs (the only point where a
@@ -60,12 +68,25 @@ impl PlanWorkspace {
             .iter()
             .map(|pp| pp.terms.iter().map(|ts| vec![0.0f64; ts.elements]).collect())
             .collect();
+        self.stage = plan
+            .message_plan()
+            .pairs()
+            .iter()
+            .map(|p| vec![0.0f64; p.elements])
+            .collect();
     }
 
     /// Total `f64` elements held across all pack buffers (the workspace's
-    /// memory footprint in elements).
+    /// memory footprint in elements, excluding the message staging
+    /// buffers — see [`PlanWorkspace::stage_elements`]).
     pub fn buffer_elements(&self) -> usize {
         self.bufs.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Total `f64` elements held across the per-pair message staging
+    /// buffers (= the plan's wire traffic per replay).
+    pub fn stage_elements(&self) -> usize {
+        self.stage.iter().map(Vec::len).sum()
     }
 }
 
@@ -127,5 +148,15 @@ mod tests {
         let (_, p2) = plan_of(24, 4);
         let ws = PlanWorkspace::for_plan(&p1);
         assert!(!ws.matches(&p2));
+    }
+
+    #[test]
+    fn message_plan_pairs_present_for_mismatched_mappings() {
+        // BLOCK ← CYCLIC(1) copy communicates heavily: the plan the
+        // workspace serves carries one message schedule per pair
+        let (_, plan) = plan_of(20, 4);
+        let msgs = plan.message_plan();
+        assert!(!msgs.pairs().is_empty());
+        assert!(msgs.wire_elements() > 0);
     }
 }

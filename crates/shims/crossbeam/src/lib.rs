@@ -1,14 +1,107 @@
 //! Offline shim for the `crossbeam` crate.
 //!
 //! The build environment has no network access to crates.io, so this
-//! workspace ships a minimal, API-compatible implementation of the one
-//! `crossbeam` facility `hpf-runtime` uses: `crossbeam::thread::scope`
-//! with `scope.spawn(|_| ...)`. It is implemented on top of
-//! `std::thread::scope`, which provides the same structured-concurrency
-//! guarantee (all spawned threads join before `scope` returns).
+//! workspace ships a minimal, API-compatible implementation of the two
+//! `crossbeam` facilities `hpf-runtime` uses:
+//!
+//! * `crossbeam::thread::scope` with `scope.spawn(|_| ...)`, implemented
+//!   on top of `std::thread::scope`, which provides the same
+//!   structured-concurrency guarantee (all spawned threads join before
+//!   `scope` returns); and
+//! * `crossbeam::channel::unbounded` MPSC channels (the message wire of
+//!   the SPMD `Channels` exchange backend), implemented over
+//!   `std::sync::mpsc` with the crossbeam method surface the runtime
+//!   needs (`send`, `recv`, `recv_timeout`, `try_recv`, cloneable
+//!   senders).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Multi-producer channels (see crate docs).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// The sending half of an unbounded channel. Cloneable, so any number
+    /// of producers can feed one receiver.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; fails only when the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Block with an upper bound on the wait.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// The receiver disconnected before the message was sent.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Every sender disconnected with the channel empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a bounded-wait receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message within the timeout.
+        Timeout,
+        /// Every sender disconnected with the channel empty.
+        Disconnected,
+    }
+
+    /// Outcome of a non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Every sender disconnected with the channel empty.
+        Disconnected,
+    }
+
+    /// Create an unbounded FIFO channel, mirroring
+    /// `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
 
 /// Scoped threads (see crate docs).
 pub mod thread {
@@ -50,6 +143,27 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn channel_mpsc_roundtrip() {
+        let (tx, rx) = super::channel::unbounded::<u64>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+            drop(tx2);
+        });
+        tx.send(35).unwrap();
+        drop(tx);
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 35]);
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
+        h.join().unwrap();
+    }
+
     #[test]
     fn scoped_threads_join_and_share() {
         let data = vec![1u64, 2, 3, 4];

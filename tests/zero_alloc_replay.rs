@@ -131,6 +131,46 @@ fn warm_program_run_allocates_nothing() {
 }
 
 #[test]
+fn warm_parallel_run_reuses_spmd_workers() {
+    let _serial = SERIAL.lock().unwrap();
+    let mut prog = stencil_program();
+    // cold parallel timesteps: plan inspection plus the one-time spawn of
+    // the persistent SPMD worker fleet (one worker per simulated processor)
+    prog.run_parallel(4).unwrap();
+    prog.run_parallel(4).unwrap();
+    assert_eq!(prog.spmd_workers_spawned(), 4, "the fleet spawns exactly once");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let timesteps = 5u64;
+    for _ in 0..timesteps {
+        prog.run_parallel(4).unwrap();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        prog.spmd_workers_spawned(),
+        4,
+        "warm parallel timesteps must reuse the persistent workers, not respawn"
+    );
+    // Unlike the old scoped-thread executor (two spawn waves per statement
+    // per timestep), a warm superstep only pays bounded channel traffic:
+    // command/done handoffs and recycled message buffers. Pin that the
+    // per-timestep allocation count stays a small constant — far below
+    // what per-timestep thread spawning plus workspace rebuilds would cost.
+    let per_timestep = (after - before) / timesteps;
+    assert!(
+        per_timestep < 600,
+        "warm run_parallel allocates {per_timestep} times per timestep — \
+         persistent workers should keep this a small constant"
+    );
+
+    // the replays were real work with real exchange on the wire
+    assert!(prog.backend_bytes_sent() > 0);
+    let analyses = prog.last_analyses();
+    assert_eq!(analyses.len(), 2);
+    assert!(analyses[0].remote_reads > 0, "the stencil communicates");
+}
+
+#[test]
 fn warm_cache_replay_allocates_nothing() {
     let _serial = SERIAL.lock().unwrap();
     // the same contract one level down: PlanCache::replay_seq on a hit
