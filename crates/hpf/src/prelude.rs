@@ -30,10 +30,12 @@ pub use hpf_index::{
 pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
-    comm_analysis, dense_reference, ghost_regions, remap_analysis, Assignment, Backend,
-    ChannelsBackend, Combine, CommAnalysis, CopyRun, DistArray, ExchangeBackend,
-    ExecPlan, GatherRef, GhostReport, MessagePlan, MsgSegment, PairSchedule,
-    ParExecutor, PlanCache, PlanWorkspace, ProcPlan, Program, RemapAnalysis,
-    SeqExecutor, SharedMemBackend, StatementTrace, StoreRun, Term, TermSchedule,
+    comm_analysis, dense_reference, ghost_regions, remap_analysis, verify_plan,
+    AnalysisVerdict, Assignment, Backend, ChannelsBackend, Combine, CommAnalysis,
+    CopyRun, Diagnostic, DiagnosticKind, DistArray, ExchangeBackend, ExecPlan,
+    GatherRef, GhostReport, MessagePlan, MsgSegment, PairSchedule, ParExecutor,
+    PlanCache, PlanWorkspace, ProcPlan, Program, Property, RemapAnalysis, SeqExecutor,
+    SharedMemBackend, StatementReport, StatementTrace, StoreRun, Term, TermSchedule,
+    VerifyReport, VerifyStats,
 };
 pub use hpf_template::{TemplateError, TemplateModel};

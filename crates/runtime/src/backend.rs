@@ -75,6 +75,40 @@ pub struct PairSchedule {
     pub segments: Vec<MsgSegment>,
 }
 
+/// How a [`MessagePlan`]'s wire traffic relates to the statement's frozen
+/// region-algebraic [`CommAnalysis`] — the two are computed independently
+/// (per-element gather enumeration vs. region algebra), so their agreement
+/// is a meaningful cross-check, and their *disagreement* has two very
+/// different causes that used to be conflated in a single silent boolean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AnalysisVerdict {
+    /// The schedules match the analysis pair for pair — the strict
+    /// contract that holds whenever every involved mapping partitions its
+    /// array.
+    #[default]
+    Exact,
+    /// An involved mapping replicates, so the comparison is inapplicable
+    /// *by design*: the analysis models first-owner-computes plus a
+    /// result broadcast, while execution has every replica compute its
+    /// own copy (no broadcast ever rides the wire). Expected, documented
+    /// divergence — not a schedule bug.
+    ReplicatedDivergence,
+    /// All mappings partition yet the schedules still disagree with the
+    /// analysis — a genuine schedule or analysis bug.
+    /// [`ExecPlan::inspect`] refuses to freeze such a plan.
+    Divergent,
+}
+
+impl std::fmt::Display for AnalysisVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisVerdict::Exact => write!(f, "exact"),
+            AnalysisVerdict::ReplicatedDivergence => write!(f, "replicated-divergence"),
+            AnalysisVerdict::Divergent => write!(f, "divergent"),
+        }
+    }
+}
+
 /// A plan's remote traffic regrouped by processor pair — the message-level
 /// view of the same schedule the per-processor [`CopyRun`]s describe
 /// element-wise. Built once at inspect time; pairs are sorted by
@@ -85,7 +119,7 @@ pub struct PairSchedule {
 pub struct MessagePlan {
     pairs: Vec<PairSchedule>,
     wire_elements: u64,
-    matches_analysis: bool,
+    verdict: AnalysisVerdict,
 }
 
 impl MessagePlan {
@@ -121,11 +155,10 @@ impl MessagePlan {
         let wire_elements: u64 = pairs.iter().map(|p| p.elements as u64).sum();
         // Exact-match cross-check against the region-algebraic analysis:
         // for partitioning mappings the gather schedule *is* the
-        // communication set, pair for pair. Replication deliberately
-        // diverges (the analysis models first-owner-computes plus result
-        // broadcast; execution has every replica compute), so the flag
-        // records whether the strict contract applies.
-        let matches_analysis = analysis.comm.messages() == pairs.len()
+        // communication set, pair for pair. When they disagree, the
+        // verdict separates the expected replication case from a genuine
+        // schedule bug instead of collapsing both into one boolean.
+        let exact = analysis.comm.messages() == pairs.len()
             && wire_elements == analysis.comm.total_elements()
             && pairs.iter().all(|p| {
                 analysis.comm.elements_between(
@@ -133,7 +166,14 @@ impl MessagePlan {
                     ProcId(p.receiver + 1),
                 ) == p.elements as u64
             });
-        MessagePlan { pairs, wire_elements, matches_analysis }
+        let verdict = if exact {
+            AnalysisVerdict::Exact
+        } else if analysis.region_exact {
+            AnalysisVerdict::Divergent
+        } else {
+            AnalysisVerdict::ReplicatedDivergence
+        };
+        MessagePlan { pairs, wire_elements, verdict }
     }
 
     /// The per-pair message schedules, sorted by `(sender, receiver)`.
@@ -161,9 +201,32 @@ impl MessagePlan {
 
     /// True iff the message schedules match the frozen [`CommAnalysis`]
     /// exactly, pair for pair (always the case when every involved
-    /// mapping partitions its array; replication deliberately diverges).
+    /// mapping partitions its array). Shorthand for
+    /// `analysis_verdict() == AnalysisVerdict::Exact`; callers that need
+    /// to distinguish the expected replication divergence from a genuine
+    /// bug should use [`MessagePlan::analysis_verdict`].
     pub fn matches_analysis(&self) -> bool {
-        self.matches_analysis
+        self.verdict == AnalysisVerdict::Exact
+    }
+
+    /// How the schedules relate to the frozen analysis — exact match,
+    /// expected replication divergence, or a genuine mismatch.
+    pub fn analysis_verdict(&self) -> AnalysisVerdict {
+        self.verdict
+    }
+
+    /// Mutable pair schedules — only for the verifier's mutation tests,
+    /// which corrupt frozen plans to prove the diagnostics fire.
+    #[cfg(test)]
+    pub(crate) fn pairs_mut(&mut self) -> &mut Vec<PairSchedule> {
+        &mut self.pairs
+    }
+
+    /// Overwrite the cached wire total — only for the verifier's mutation
+    /// tests.
+    #[cfg(test)]
+    pub(crate) fn set_wire_elements(&mut self, n: u64) {
+        self.wire_elements = n;
     }
 }
 
@@ -377,6 +440,7 @@ mod tests {
         let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
         let msgs = plan.message_plan();
         assert!(msgs.matches_analysis(), "partitioned mappings must match exactly");
+        assert_eq!(msgs.analysis_verdict(), AnalysisVerdict::Exact);
         assert_eq!(msgs.wire_elements(), plan.analysis().comm.total_elements());
         assert_eq!(msgs.wire_bytes(), plan.analysis().total_bytes());
         assert_eq!(msgs.pairs().len(), plan.analysis().comm.messages());
@@ -455,6 +519,11 @@ mod tests {
         .unwrap();
         let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
         assert!(!plan.message_plan().matches_analysis());
+        assert_eq!(
+            plan.message_plan().analysis_verdict(),
+            AnalysisVerdict::ReplicatedDivergence,
+            "replication must be reported as the expected divergence, not a bug"
+        );
         let expect = dense_reference(&arrays, &stmt);
         let mut ws = PlanWorkspace::for_plan(&plan);
         SharedMemBackend::new().step(&plan, &mut arrays, &mut ws);

@@ -34,6 +34,26 @@ struct Entry {
     ws: PlanWorkspace,
 }
 
+/// Statically verify a plan at the moment it enters the cache — the five
+/// properties of [`crate::verify::verify_plan`], asserted hard: a plan
+/// that cannot be proven safe must never be handed to a replay loop.
+///
+/// Runs in every debug build and, behind the `verify` feature, in release
+/// too. Verification happens only at insertion (cold miss or remap
+/// invalidation), so the warm replay path is untouched — `verify` off has
+/// zero warm-replay overhead by construction.
+#[cfg(any(debug_assertions, feature = "verify"))]
+fn verify_inserted(arrays: &[DistArray<f64>], stmt: &Assignment, plan: &ExecPlan) {
+    let report = crate::verify::verify_plan(arrays, stmt, plan);
+    assert!(
+        report.is_clean(),
+        "statically invalid plan inserted into the cache:\n{report}"
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "verify")))]
+fn verify_inserted(_: &[DistArray<f64>], _: &Assignment, _: &ExecPlan) {}
+
 /// A cache of compiled execution plans, keyed by statement shape and
 /// mapping identity.
 ///
@@ -74,12 +94,14 @@ impl PlanCache {
             // (the common remap-rebalance pattern)
             self.misses += 1;
             let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
+            verify_inserted(arrays, stmt, &plan);
             e.ws.ensure(&plan);
             e.plan = plan.clone();
             return Ok(plan);
         }
         self.misses += 1;
         let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
+        verify_inserted(arrays, stmt, &plan);
         let ws = PlanWorkspace::for_plan(&plan);
         self.entries.insert(stmt.clone(), Entry { plan: plan.clone(), ws });
         Ok(plan)

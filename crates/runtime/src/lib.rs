@@ -39,7 +39,12 @@
 //!   event (§4.2/§5.2) and of §7 copy-in/copy-out;
 //! * [`ghost_regions`] — SUPERB-style overlap areas per processor and
 //!   operand (the paper's reference \[11\]);
-//! * [`Program`] — multi-statement execution with cumulative statistics.
+//! * [`Program`] — multi-statement execution with cumulative statistics;
+//! * [`verify_plan`] — static schedule verification: prove (or refute
+//!   with precise diagnostics) write coverage, bounds, race freedom,
+//!   deadlock freedom, and analysis conservation of a compiled plan
+//!   before it runs. [`PlanCache`] runs it on every insertion in debug
+//!   builds and behind the `verify` feature in release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,12 +62,14 @@ mod program;
 mod remap;
 mod spmd;
 mod trace;
+pub mod verify;
 mod workspace;
 
 pub use array::DistArray;
 pub use assign::{Assignment, Combine, Term};
 pub use backend::{
-    Backend, ExchangeBackend, MessagePlan, MsgSegment, PairSchedule, SharedMemBackend,
+    AnalysisVerdict, Backend, ExchangeBackend, MessagePlan, MsgSegment, PairSchedule,
+    SharedMemBackend,
 };
 pub use cache::PlanCache;
 pub use commsets::{comm_analysis, CommAnalysis};
@@ -74,4 +81,8 @@ pub use program::Program;
 pub use remap::{remap_analysis, RemapAnalysis};
 pub use spmd::ChannelsBackend;
 pub use trace::StatementTrace;
+pub use verify::{
+    verify_plan, Diagnostic, DiagnosticKind, Property, StatementReport, VerifyReport,
+    VerifyStats,
+};
 pub use workspace::PlanWorkspace;

@@ -51,6 +51,14 @@ impl ParExecutor {
         stmt: &Assignment,
     ) -> Result<CommAnalysis, HpfError> {
         let plan = ExecPlan::inspect(arrays, stmt)?;
+        // With the `verify` feature, even uncached one-shot plans are
+        // statically proven safe before the parallel replay (cached plans
+        // are covered by the PlanCache insertion hook).
+        #[cfg(feature = "verify")]
+        {
+            let report = crate::verify::verify_plan(arrays, stmt, &plan);
+            assert!(report.is_clean(), "statically invalid plan:\n{report}");
+        }
         plan.execute_par(arrays, self.threads);
         Ok(plan.analysis().clone())
     }

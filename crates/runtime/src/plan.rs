@@ -241,11 +241,11 @@ impl ExecPlan {
         // algebra — two independent computations of the same
         // communication sets. For partitioning mappings they must agree
         // pair for pair; a divergence is a schedule bug, caught here
-        // before anything executes. (Replication legitimately differs:
-        // the analysis models first-owner-computes plus result broadcast,
-        // execution has every replica compute.)
+        // before anything executes. (Replication legitimately differs —
+        // an expected `AnalysisVerdict::ReplicatedDivergence`, never
+        // `Divergent`.)
         assert!(
-            !analysis.region_exact || msgs.matches_analysis(),
+            msgs.analysis_verdict() != crate::backend::AnalysisVerdict::Divergent,
             "message schedules diverge from the region-algebraic analysis"
         );
 
@@ -304,6 +304,19 @@ impl ExecPlan {
     /// Identity of every involved array's mapping at inspection time.
     pub fn mappings(&self) -> &[(usize, MappingId)] {
         &self.mappings
+    }
+
+    /// Mutable per-processor schedules — only for the verifier's mutation
+    /// tests, which corrupt frozen plans to prove the diagnostics fire.
+    #[cfg(test)]
+    pub(crate) fn per_proc_mut(&mut self) -> &mut Vec<ProcPlan> {
+        &mut self.per_proc
+    }
+
+    /// Mutable message plan — only for the verifier's mutation tests.
+    #[cfg(test)]
+    pub(crate) fn message_plan_mut(&mut self) -> &mut MessagePlan {
+        &mut self.msgs
     }
 
     /// Total ghost elements exchanged per replay, over all processors.
@@ -451,6 +464,10 @@ impl ExecPlan {
         ws: &mut PlanWorkspace,
     ) {
         assert!(self.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        debug_assert!(
+            crate::verify::workers_disjoint(&self.per_proc),
+            "two workers drive the same processor: store sets would race"
+        );
         ws.ensure(self);
         let np = self.per_proc.len();
         let threads = threads.clamp(1, np.max(1));

@@ -177,6 +177,25 @@ impl Program {
         &self.last
     }
 
+    /// Statically verify every statement's compiled plan — prove (or
+    /// refute with precise diagnostics) write coverage, bounds, race
+    /// freedom, deadlock freedom, and analysis conservation *before*
+    /// anything executes (see [`crate::verify::verify_plan`]).
+    ///
+    /// Statements not yet cached are inspected through the plan cache, so
+    /// a later [`Program::run`] replays the very plans that were just
+    /// proven safe. No array data moves. Returns `Err` only when a
+    /// statement cannot be compiled at all; schedule defects come back as
+    /// diagnostics in the [`VerifyReport`](crate::VerifyReport).
+    pub fn verify_all(&mut self) -> Result<crate::VerifyReport, HpfError> {
+        let mut statements = Vec::with_capacity(self.stmts.len());
+        for stmt in &self.stmts {
+            let plan = self.cache.plan_for(&self.arrays, stmt)?;
+            statements.push(crate::verify::verify_plan(&self.arrays, stmt, &plan));
+        }
+        Ok(crate::VerifyReport { statements })
+    }
+
     /// Remap array `k` onto a new mapping: move every element value into
     /// storage laid out by `new`, return the exact traffic of the move,
     /// and (by replacing the mapping allocation) invalidate every cached

@@ -1,0 +1,1590 @@
+//! Static schedule verification — prove a compiled plan safe before it
+//! runs.
+//!
+//! The paper's central claim is that distribution/alignment mappings make
+//! communication sets *statically computable*. The flip side: once a
+//! statement is frozen into an [`ExecPlan`]/[`MessagePlan`](crate::MessagePlan), every safety
+//! property of its execution is statically **decidable** from the plan
+//! alone, before a single element moves. This module decides five of
+//! them, per statement:
+//!
+//! 1. **Write coverage** — the union of all [`StoreRun`](crate::StoreRun)s
+//!    equals exactly the LHS owned region (∩ the statement's section) of
+//!    every processor: no gap, no overlapping or duplicate write, no write
+//!    landing at an offset the owner-computes rule did not assign.
+//! 2. **Bounds** — every [`CopyRun`](crate::CopyRun) / [`MsgSegment`](crate::MsgSegment)
+//!    source addresses the statement-named element *inside the owning
+//!    shard*, and every destination stays inside the pack-buffer extents.
+//! 3. **Race freedom** — the parallel executor's partitioning gives every
+//!    simulated processor to exactly one worker (store sets cannot
+//!    intersect), and the pack → exchange → compute happens-before order
+//!    is sound: every pack-buffer position is filled exactly once before
+//!    compute reads it, and no remote read bypasses the exchange (the
+//!    RAW/WAR hazard check that makes LHS-aliasing statements under
+//!    shifted sections safe).
+//! 4. **Deadlock freedom** — the per-pair [`PairSchedule`](crate::PairSchedule)s form a
+//!    schedulable BSP superstep: no self-message, a strict total order
+//!    over pairs, every send matched by the receive the receiver's gather
+//!    schedule expects, with equal byte counts — no orphan message, no
+//!    cyclic wait.
+//! 5. **Conservation** — the wire bytes summed over pairs equal the
+//!    frozen [`CommAnalysis`](crate::CommAnalysis) totals, pair for pair (promoting the
+//!    scattered ad-hoc asserts into one reusable analysis). Replicated
+//!    mappings legitimately diverge from the analysis's
+//!    first-owner-computes model; that case is an explicit
+//!    [`AnalysisVerdict::ReplicatedDivergence`] verdict, reported rather
+//!    than silently skipped.
+//!
+//! The pass is a *re-derivation*: it recomputes, from the mappings and the
+//! statement, what every schedule entry must say, and diagnoses any
+//! divergence with exact processor/run/segment coordinates — so a plan
+//! rewritten by a future fusion pass either provably preserves the
+//! statement's semantics or fails loudly before executing. Entry points:
+//! [`verify_plan`] for one statement,
+//! [`Program::verify_all`](crate::Program::verify_all) for a whole
+//! program, the `hpf-lint` binary (in the `hpf-verify` crate) for the
+//! command line, and [`crate::PlanCache`], which runs the pass on every
+//! plan insertion in debug builds and, behind the `verify` feature, in
+//! release builds too.
+
+use crate::array::DistArray;
+use crate::assign::Assignment;
+use crate::backend::AnalysisVerdict;
+use crate::commsets::project_region;
+use crate::plan::{ExecPlan, ProcPlan};
+use hpf_index::Idx;
+use hpf_procs::ProcId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The five statically-decidable safety properties of a compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// Store runs tile each processor's owned LHS section exactly.
+    WriteCoverage,
+    /// Every source/destination offset stays inside the owning shard and
+    /// pack-buffer extents, and addresses the statement-named element.
+    Bounds,
+    /// Disjoint worker store sets and a sound pack → exchange → compute
+    /// happens-before order (RAW/WAR hazard freedom).
+    RaceFreedom,
+    /// The pair schedules form a schedulable BSP superstep with matched
+    /// sends and receives.
+    DeadlockFreedom,
+    /// Wire bytes over pairs equal the frozen analysis totals.
+    Conservation,
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Property::WriteCoverage => "write-coverage",
+            Property::Bounds => "bounds",
+            Property::RaceFreedom => "race-freedom",
+            Property::DeadlockFreedom => "deadlock-freedom",
+            Property::Conservation => "conservation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What exactly diverged, with processor/run/segment coordinates.
+///
+/// Processors are reported zero-based (`p0`, matching
+/// [`PairSchedule`](crate::PairSchedule) sender/receiver numbering); offsets are flat positions
+/// into the named buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiagnosticKind {
+    /// An involved array no longer carries the mapping allocation the
+    /// plan was inspected from — nothing else can be decided.
+    StaleMapping {
+        /// Index of the remapped array.
+        array: usize,
+    },
+    /// A processor with a non-empty owned LHS section has no schedule.
+    WorkerMissing {
+        /// Zero-based processor.
+        proc: u32,
+        /// Elements the owner-computes rule assigns it.
+        expected_volume: usize,
+    },
+    /// A schedule names a processor outside the machine.
+    WorkerOutOfRange {
+        /// Zero-based processor as recorded in the plan.
+        proc: u32,
+        /// Machine size.
+        np: usize,
+    },
+    /// Two per-processor schedules drive the same processor — their store
+    /// sets alias the same local buffer.
+    DuplicateWorker {
+        /// Zero-based processor.
+        proc: u32,
+    },
+    /// A processor's declared compute volume differs from the owned
+    /// section volume.
+    VolumeMismatch {
+        /// Zero-based processor.
+        proc: u32,
+        /// Volume recorded in the plan.
+        declared: usize,
+        /// Volume the mapping assigns.
+        expected: usize,
+    },
+    /// Owned LHS offsets that no store run writes.
+    CoverageGap {
+        /// Zero-based processor.
+        proc: u32,
+        /// First uncovered flat offset of the LHS local buffer.
+        offset: usize,
+        /// Consecutive uncovered offsets.
+        len: usize,
+    },
+    /// LHS offsets (or computed positions) written more than once.
+    CoverageOverlap {
+        /// Zero-based processor.
+        proc: u32,
+        /// First duplicated flat offset.
+        offset: usize,
+        /// Consecutive duplicated offsets.
+        len: usize,
+    },
+    /// A store run writes an offset the owner-computes rule assigned to a
+    /// different computed position (or none at all).
+    StrayWrite {
+        /// Zero-based processor.
+        proc: u32,
+        /// Store-run index within the processor's schedule.
+        run: usize,
+        /// Offset actually written.
+        offset: usize,
+        /// Offset the statement assigns to that position.
+        expected: usize,
+    },
+    /// A store run's computed positions exceed the processor's volume.
+    StoreRunBeyondVolume {
+        /// Zero-based processor.
+        proc: u32,
+        /// Store-run index.
+        run: usize,
+        /// One-past-the-end position of the run.
+        end: usize,
+        /// The processor's computed volume.
+        volume: usize,
+    },
+    /// A store run writes past the end of the LHS local buffer.
+    StoreRunOutOfBounds {
+        /// Zero-based processor.
+        proc: u32,
+        /// Store-run index.
+        run: usize,
+        /// One-past-the-end offset of the run.
+        end: usize,
+        /// The LHS local buffer length.
+        extent: usize,
+    },
+    /// A gather run names a source processor outside the machine.
+    InvalidSourceProc {
+        /// Zero-based gathering processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Gather-run index.
+        run: usize,
+        /// The invalid source.
+        src: u32,
+        /// Machine size.
+        np: usize,
+    },
+    /// A gather run reads past the end of the source shard.
+    CopyRunOutOfBounds {
+        /// Zero-based gathering processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Gather-run index.
+        run: usize,
+        /// One-past-the-end source offset.
+        end: usize,
+        /// The source shard length.
+        extent: usize,
+    },
+    /// A gather run lands past the end of the packed operand buffer.
+    PackRunOutOfBounds {
+        /// Zero-based gathering processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Gather-run index.
+        run: usize,
+        /// One-past-the-end pack position.
+        end: usize,
+        /// The pack buffer length.
+        extent: usize,
+    },
+    /// A term's pack buffer is not sized to the processor's volume — the
+    /// compute kernels would read out of extent.
+    TermBufferMismatch {
+        /// Zero-based processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Buffer length recorded in the plan.
+        elements: usize,
+        /// The processor's computed volume.
+        volume: usize,
+    },
+    /// A term schedule names a different array than the statement's term.
+    TermArrayMismatch {
+        /// Zero-based processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Array index recorded in the plan.
+        declared: usize,
+        /// Array index the statement names.
+        expected: usize,
+    },
+    /// A gather run reads an address that is not the statement-named
+    /// element inside the source's owned shard (wrong element, or the
+    /// source does not own it).
+    GatherWrongElement {
+        /// Zero-based gathering processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Packed position whose read is wrong.
+        pos: usize,
+        /// The source processor the run names.
+        src: u32,
+        /// The source offset the run names.
+        offset: usize,
+    },
+    /// Pack-buffer positions never filled by any gather run or message —
+    /// compute would read uninitialized (or stale) operand data.
+    PackGap {
+        /// Zero-based processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// First unfilled pack position.
+        offset: usize,
+        /// Consecutive unfilled positions.
+        len: usize,
+    },
+    /// Pack-buffer positions filled more than once — two transfers race
+    /// on the same slot.
+    PackOverlap {
+        /// Zero-based processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// First doubly-filled pack position.
+        offset: usize,
+        /// Consecutive doubly-filled positions.
+        len: usize,
+    },
+    /// A remote gather has no delivering message: on a message-passing
+    /// backend the position would be read before any exchange wrote it —
+    /// a read-after-write hazard across the superstep phases.
+    ReadBeforeExchange {
+        /// Zero-based receiving processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// The remote source the gather expects data from.
+        src: u32,
+        /// Source offset of the unmatched gather run.
+        src_off: usize,
+        /// Elements expected.
+        len: usize,
+    },
+    /// A pair schedule sends a processor data from itself.
+    SelfMessage {
+        /// Pair index within the message plan.
+        pair: usize,
+        /// The processor (zero-based).
+        proc: u32,
+    },
+    /// A pair schedule names a processor outside the machine.
+    InvalidPairProc {
+        /// Pair index within the message plan.
+        pair: usize,
+        /// The invalid processor (zero-based).
+        proc: u32,
+        /// Machine size.
+        np: usize,
+    },
+    /// Pair schedules are not strictly ordered by `(sender, receiver)` —
+    /// a duplicate or out-of-order pair breaks the superstep's total
+    /// order (and the binary-searched pair lookup).
+    UnorderedPairs {
+        /// Index of the offending pair.
+        pair: usize,
+    },
+    /// A pair schedule carries no data — an empty send the receiver still
+    /// has to wait for.
+    EmptyMessage {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+    },
+    /// A pair's declared message length differs from the sum of its
+    /// segments — sender and receiver disagree on the byte count.
+    PairByteMismatch {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+        /// Elements the pair schedule declares.
+        declared: usize,
+        /// Elements its segments actually carry.
+        actual: usize,
+    },
+    /// A message segment out of a pair-schedule extent check: the sender
+    /// would read past the end of its shard.
+    SegmentOutOfBounds {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+        /// Segment index within the pair schedule.
+        segment: usize,
+        /// One-past-the-end source offset.
+        end: usize,
+        /// The sender's shard length.
+        extent: usize,
+    },
+    /// A message segment lands past the end of the receiver's pack buffer.
+    SegmentPackOutOfBounds {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+        /// Segment index within the pair schedule.
+        segment: usize,
+        /// One-past-the-end destination position.
+        end: usize,
+        /// The receiver's pack buffer length.
+        extent: usize,
+    },
+    /// A message segment's term/array pairing contradicts the statement.
+    SegmentTermMismatch {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+        /// Segment index within the pair schedule.
+        segment: usize,
+        /// Term index the segment names.
+        term: usize,
+        /// Array index the segment names.
+        array: usize,
+    },
+    /// A message no gather run expects — a send nobody receives, which a
+    /// matched-pair exchange can never schedule.
+    OrphanMessage {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+        /// Segment index within the pair schedule.
+        segment: usize,
+    },
+    /// The message plan's cached wire total differs from the sum of its
+    /// pair schedules.
+    WireTotalMismatch {
+        /// Cached total (elements).
+        declared: u64,
+        /// Actual sum over pairs (elements).
+        actual: u64,
+    },
+    /// The plan's total ghost (remote-read) volume differs from the
+    /// frozen analysis's remote reads.
+    GhostTotalMismatch {
+        /// Remote elements the schedules gather.
+        planned: u64,
+        /// Remote reads the analysis froze.
+        analysis: u64,
+    },
+    /// A term's declared ghost count differs from its runs' remote volume.
+    TermGhostMismatch {
+        /// Zero-based processor.
+        proc: u32,
+        /// RHS term index.
+        term: usize,
+        /// Ghost elements the term schedule declares.
+        declared: usize,
+        /// Remote elements its runs actually gather.
+        actual: usize,
+    },
+    /// One pair's wire traffic differs from the frozen analysis entry.
+    AnalysisPairMismatch {
+        /// Zero-based sender.
+        sender: u32,
+        /// Zero-based receiver.
+        receiver: u32,
+        /// Elements the message plan moves.
+        planned: u64,
+        /// Elements the analysis froze.
+        analysis: u64,
+    },
+    /// Total wire elements differ from the frozen analysis total.
+    AnalysisTotalMismatch {
+        /// Elements the message plan moves.
+        planned: u64,
+        /// Elements the analysis froze.
+        analysis: u64,
+    },
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use DiagnosticKind::*;
+        match self {
+            StaleMapping { array } => {
+                write!(f, "array #{array} was remapped since inspection; plan is stale")
+            }
+            WorkerMissing { proc, expected_volume } => write!(
+                f,
+                "p{proc}: no schedule, but its owned section holds {expected_volume} \
+                 element(s)"
+            ),
+            WorkerOutOfRange { proc, np } => {
+                write!(f, "schedule drives p{proc}, outside the {np}-processor machine")
+            }
+            DuplicateWorker { proc } => {
+                write!(f, "p{proc}: two schedules drive the same processor")
+            }
+            VolumeMismatch { proc, declared, expected } => write!(
+                f,
+                "p{proc}: declared volume {declared} ≠ owned-section volume {expected}"
+            ),
+            CoverageGap { proc, offset, len } => write!(
+                f,
+                "p{proc}: owned offset(s) {offset}..{} never written",
+                offset + len
+            ),
+            CoverageOverlap { proc, offset, len } => write!(
+                f,
+                "p{proc}: offset(s)/position(s) {offset}..{} written more than once",
+                offset + len
+            ),
+            StrayWrite { proc, run, offset, expected } => write!(
+                f,
+                "p{proc} store run {run}: writes offset {offset} where the statement \
+                 assigns {expected}"
+            ),
+            StoreRunBeyondVolume { proc, run, end, volume } => write!(
+                f,
+                "p{proc} store run {run}: positions end at {end}, beyond volume {volume}"
+            ),
+            StoreRunOutOfBounds { proc, run, end, extent } => write!(
+                f,
+                "p{proc} store run {run}: writes end at {end}, beyond the LHS shard \
+                 extent {extent}"
+            ),
+            InvalidSourceProc { proc, term, run, src, np } => write!(
+                f,
+                "p{proc} term {term} run {run}: source p{src} outside the \
+                 {np}-processor machine"
+            ),
+            CopyRunOutOfBounds { proc, term, run, end, extent } => write!(
+                f,
+                "p{proc} term {term} run {run}: reads end at {end}, beyond the source \
+                 shard extent {extent}"
+            ),
+            PackRunOutOfBounds { proc, term, run, end, extent } => write!(
+                f,
+                "p{proc} term {term} run {run}: pack positions end at {end}, beyond \
+                 the buffer extent {extent}"
+            ),
+            TermBufferMismatch { proc, term, elements, volume } => write!(
+                f,
+                "p{proc} term {term}: pack buffer holds {elements} element(s) but the \
+                 processor computes {volume}"
+            ),
+            TermArrayMismatch { proc, term, declared, expected } => write!(
+                f,
+                "p{proc} term {term}: schedule reads array #{declared}, statement \
+                 names #{expected}"
+            ),
+            GatherWrongElement { proc, term, pos, src, offset } => write!(
+                f,
+                "p{proc} term {term} position {pos}: p{src}[{offset}] is not the \
+                 statement-named element inside the owning shard"
+            ),
+            PackGap { proc, term, offset, len } => write!(
+                f,
+                "p{proc} term {term}: pack position(s) {offset}..{} never filled \
+                 before compute reads them",
+                offset + len
+            ),
+            PackOverlap { proc, term, offset, len } => write!(
+                f,
+                "p{proc} term {term}: pack position(s) {offset}..{} filled more than \
+                 once",
+                offset + len
+            ),
+            ReadBeforeExchange { proc, term, src, src_off, len } => write!(
+                f,
+                "p{proc} term {term}: remote gather of {len} element(s) from \
+                 p{src}[{src_off}] has no delivering message — read precedes the \
+                 exchange"
+            ),
+            SelfMessage { pair, proc } => {
+                write!(f, "pair {pair}: p{proc} sends a message to itself")
+            }
+            InvalidPairProc { pair, proc, np } => write!(
+                f,
+                "pair {pair}: processor p{proc} outside the {np}-processor machine"
+            ),
+            UnorderedPairs { pair } => write!(
+                f,
+                "pair {pair}: schedules not strictly ordered by (sender, receiver)"
+            ),
+            EmptyMessage { sender, receiver } => {
+                write!(f, "pair {sender}→{receiver}: empty message")
+            }
+            PairByteMismatch { sender, receiver, declared, actual } => write!(
+                f,
+                "pair {sender}→{receiver}: declares {declared} element(s) but its \
+                 segments carry {actual} — send/receive byte counts disagree"
+            ),
+            SegmentOutOfBounds { sender, receiver, segment, end, extent } => write!(
+                f,
+                "pair {sender}→{receiver} segment {segment}: send reads end at {end}, \
+                 beyond the sender shard extent {extent}"
+            ),
+            SegmentPackOutOfBounds { sender, receiver, segment, end, extent } => write!(
+                f,
+                "pair {sender}→{receiver} segment {segment}: unpack ends at {end}, \
+                 beyond the pack buffer extent {extent}"
+            ),
+            SegmentTermMismatch { sender, receiver, segment, term, array } => write!(
+                f,
+                "pair {sender}→{receiver} segment {segment}: term {term} / array \
+                 #{array} pairing contradicts the statement"
+            ),
+            OrphanMessage { sender, receiver, segment } => write!(
+                f,
+                "pair {sender}→{receiver} segment {segment}: send matches no gather \
+                 run — nobody receives it"
+            ),
+            WireTotalMismatch { declared, actual } => write!(
+                f,
+                "message plan caches {declared} wire element(s) but its pairs carry \
+                 {actual}"
+            ),
+            GhostTotalMismatch { planned, analysis } => write!(
+                f,
+                "schedules gather {planned} remote element(s), analysis froze \
+                 {analysis} remote reads"
+            ),
+            TermGhostMismatch { proc, term, declared, actual } => write!(
+                f,
+                "p{proc} term {term}: declares {declared} ghost element(s), runs \
+                 gather {actual}"
+            ),
+            AnalysisPairMismatch { sender, receiver, planned, analysis } => write!(
+                f,
+                "pair {sender}→{receiver}: plan moves {planned} element(s), analysis \
+                 froze {analysis}"
+            ),
+            AnalysisTotalMismatch { planned, analysis } => write!(
+                f,
+                "plan moves {planned} wire element(s), analysis froze {analysis}"
+            ),
+        }
+    }
+}
+
+/// One verified divergence: which property failed and exactly where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The safety property the finding refutes.
+    pub property: Property,
+    /// What diverged, with coordinates.
+    pub kind: DiagnosticKind,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.property, self.kind)
+    }
+}
+
+/// What the verifier examined — the denominators of a clean report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Simulated processors.
+    pub procs: usize,
+    /// Store runs checked.
+    pub store_runs: usize,
+    /// Gather runs checked.
+    pub copy_runs: usize,
+    /// Communicating pairs checked.
+    pub pairs: usize,
+    /// Message segments checked.
+    pub segments: usize,
+    /// Wire elements accounted.
+    pub wire_elements: u64,
+}
+
+/// The verifier's result for one statement: a verdict on the
+/// analysis-conservation contract plus zero or more refuting diagnostics.
+///
+/// A report with no diagnostics is a *proof* (by exhaustive re-derivation
+/// from the mappings) that the five properties hold for this plan. A
+/// [`AnalysisVerdict::ReplicatedDivergence`] verdict is clean: it records
+/// that the conservation comparison is inapplicable by design, not that it
+/// failed.
+#[derive(Debug, Clone)]
+pub struct StatementReport {
+    /// The statement, rendered.
+    pub statement: String,
+    /// How the message plan relates to the frozen analysis.
+    pub verdict: AnalysisVerdict,
+    /// Every property violation found (empty = all five properties hold).
+    pub diagnostics: Vec<Diagnostic>,
+    /// What was examined.
+    pub stats: VerifyStats,
+}
+
+impl StatementReport {
+    /// True iff no property was refuted.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings refuting one specific property.
+    pub fn findings_for(&self, property: Property) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.property == property)
+    }
+}
+
+impl fmt::Display for StatementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}  [{}; {} procs, {} store runs, {} copy runs, {} pairs, {} \
+             segments, {} wire elements]",
+            self.statement,
+            self.verdict,
+            self.stats.procs,
+            self.stats.store_runs,
+            self.stats.copy_runs,
+            self.stats.pairs,
+            self.stats.segments,
+            self.stats.wire_elements,
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A whole program's verification: one [`StatementReport`] per statement.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Per-statement reports, in program order.
+    pub statements: Vec<StatementReport>,
+}
+
+impl VerifyReport {
+    /// True iff every statement verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.statements.iter().all(StatementReport::is_clean)
+    }
+
+    /// Total findings over all statements.
+    pub fn finding_count(&self) -> usize {
+        self.statements.iter().map(|s| s.diagnostics.len()).sum()
+    }
+
+    /// Statements whose conservation comparison was inapplicable because
+    /// a mapping replicates (reported, not skipped).
+    pub fn replicated_statements(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| s.verdict == AnalysisVerdict::ReplicatedDivergence)
+            .count()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, s) in self.statements.iter().enumerate() {
+            write!(f, "#{k} {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True iff every per-processor schedule drives a distinct processor — the
+/// precondition for the parallel executor's store sets being disjoint.
+pub fn workers_disjoint(per_proc: &[ProcPlan]) -> bool {
+    let mut seen = vec![false; per_proc.len()];
+    per_proc.iter().all(|pp| {
+        let z = pp.proc.zero_based();
+        z < seen.len() && !std::mem::replace(&mut seen[z], true)
+    })
+}
+
+/// Coalesce a sorted-deduplicated index list into `(start, len)` ranges so
+/// a contiguous corruption yields one diagnostic, not one per element.
+fn coalesce(mut xs: Vec<usize>) -> Vec<(usize, usize)> {
+    xs.sort_unstable();
+    xs.dedup();
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for x in xs {
+        match out.last_mut() {
+            Some((s, l)) if *s + *l == x => *l += 1,
+            _ => out.push((x, 1)),
+        }
+    }
+    out
+}
+
+/// Statically verify `plan` against the statement and mappings it claims
+/// to implement: prove (or refute, with precise coordinates) write
+/// coverage, bounds, race freedom, deadlock freedom, and conservation.
+///
+/// The pass re-derives every schedule entry from `arrays`' mappings and
+/// `stmt`, so it costs about as much as one inspection — run it at plan
+/// build/insertion time (as [`crate::PlanCache`] does), never on the warm
+/// replay path.
+pub fn verify_plan(
+    arrays: &[DistArray<f64>],
+    stmt: &Assignment,
+    plan: &ExecPlan,
+) -> StatementReport {
+    let statement = stmt.to_string();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let push = |property: Property, kind: DiagnosticKind, diags: &mut Vec<Diagnostic>| {
+        diags.push(Diagnostic { property, kind });
+    };
+
+    // Precondition: the plan must still be bound to these mappings —
+    // otherwise none of the extents below mean anything.
+    for (k, id) in plan.mappings() {
+        if !arrays.get(*k).is_some_and(|a| id.is(a.mapping())) {
+            push(Property::Bounds, DiagnosticKind::StaleMapping { array: *k }, &mut diags);
+        }
+    }
+    if !diags.is_empty() {
+        return StatementReport {
+            statement,
+            verdict: AnalysisVerdict::Divergent,
+            diagnostics: diags,
+            stats: VerifyStats::default(),
+        };
+    }
+
+    let lhs_arr = &arrays[plan.lhs()];
+    let np = lhs_arr.np();
+    let mut stats = VerifyStats { procs: np, ..VerifyStats::default() };
+
+    // ---- race freedom (a): worker partition --------------------------------
+    let mut driven = vec![false; np];
+    for pp in plan.per_proc() {
+        let z = pp.proc.zero_based();
+        if z >= np {
+            push(
+                Property::Bounds,
+                DiagnosticKind::WorkerOutOfRange { proc: z as u32, np },
+                &mut diags,
+            );
+        } else if std::mem::replace(&mut driven[z], true) {
+            push(
+                Property::RaceFreedom,
+                DiagnosticKind::DuplicateWorker { proc: z as u32 },
+                &mut diags,
+            );
+        }
+    }
+    for (z, has) in driven.iter().enumerate() {
+        if !has {
+            let vol = project_region(lhs_arr.region_of(ProcId(z as u32 + 1)), &stmt.lhs_section)
+                .volume_disjoint();
+            if vol > 0 {
+                push(
+                    Property::WriteCoverage,
+                    DiagnosticKind::WorkerMissing { proc: z as u32, expected_volume: vol },
+                    &mut diags,
+                );
+            }
+        }
+    }
+
+    // Remote gathers, keyed for the send/receive matching below:
+    // (sender, receiver, term, src_off, dst_off, len) → outstanding count.
+    type XchgKey = (u32, u32, usize, usize, usize, usize);
+    let mut remote_runs: HashMap<XchgKey, i64> = HashMap::new();
+    // Per-processor computed volume, for segment unpack extents.
+    let mut volumes: HashMap<u32, usize> = HashMap::new();
+    let mut planned_ghosts = 0u64;
+
+    // ---- per-processor schedules -------------------------------------------
+    for pp in plan.per_proc() {
+        let p = pp.proc;
+        let me = p.zero_based() as u32;
+        if p.zero_based() >= np {
+            continue; // already diagnosed above; extents below would panic
+        }
+        let positions = project_region(lhs_arr.region_of(p), &stmt.lhs_section);
+        let rels: Vec<Idx> = positions.iter().collect();
+        let volume = rels.len();
+        volumes.insert(me, volume);
+        if pp.volume != volume {
+            push(
+                Property::WriteCoverage,
+                DiagnosticKind::VolumeMismatch {
+                    proc: me,
+                    declared: pp.volume,
+                    expected: volume,
+                },
+                &mut diags,
+            );
+        }
+
+        // -- write coverage + store bounds --
+        let expected: Vec<usize> = rels
+            .iter()
+            .map(|rel| {
+                lhs_arr
+                    .local_offset(p, &stmt.lhs_index(rel))
+                    .expect("owner holds its owned section")
+            })
+            .collect();
+        let extent = lhs_arr.local_len(p);
+        let mut seen_pos = vec![false; volume];
+        let mut wrote = vec![false; extent];
+        let mut overlaps = Vec::new();
+        for (ri, r) in pp.lhs_runs.iter().enumerate() {
+            stats.store_runs += 1;
+            if r.pos + r.len > volume {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::StoreRunBeyondVolume {
+                        proc: me,
+                        run: ri,
+                        end: r.pos + r.len,
+                        volume,
+                    },
+                    &mut diags,
+                );
+                continue;
+            }
+            if r.dst_off + r.len > extent {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::StoreRunOutOfBounds {
+                        proc: me,
+                        run: ri,
+                        end: r.dst_off + r.len,
+                        extent,
+                    },
+                    &mut diags,
+                );
+                continue;
+            }
+            let mut strayed = false;
+            for i in 0..r.len {
+                let (pos, off) = (r.pos + i, r.dst_off + i);
+                if std::mem::replace(&mut seen_pos[pos], true)
+                    | std::mem::replace(&mut wrote[off], true)
+                {
+                    overlaps.push(off);
+                }
+                if expected[pos] != off && !strayed {
+                    strayed = true; // one stray diagnostic per run
+                    push(
+                        Property::WriteCoverage,
+                        DiagnosticKind::StrayWrite {
+                            proc: me,
+                            run: ri,
+                            offset: off,
+                            expected: expected[pos],
+                        },
+                        &mut diags,
+                    );
+                }
+            }
+        }
+        for (offset, len) in coalesce(overlaps) {
+            push(
+                Property::WriteCoverage,
+                DiagnosticKind::CoverageOverlap { proc: me, offset, len },
+                &mut diags,
+            );
+        }
+        let gaps: Vec<usize> = (0..volume).filter(|&k| !seen_pos[k]).map(|k| expected[k]).collect();
+        for (offset, len) in coalesce(gaps) {
+            push(
+                Property::WriteCoverage,
+                DiagnosticKind::CoverageGap { proc: me, offset, len },
+                &mut diags,
+            );
+        }
+
+        // -- gather bounds + correctness + pack happens-before --
+        for (t, ts) in pp.terms.iter().enumerate() {
+            let Some(term) = stmt.terms.get(t) else { continue };
+            if ts.array != term.array {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::TermArrayMismatch {
+                        proc: me,
+                        term: t,
+                        declared: ts.array,
+                        expected: term.array,
+                    },
+                    &mut diags,
+                );
+                continue;
+            }
+            if ts.elements != volume {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::TermBufferMismatch {
+                        proc: me,
+                        term: t,
+                        elements: ts.elements,
+                        volume,
+                    },
+                    &mut diags,
+                );
+            }
+            let src_arr = &arrays[ts.array];
+            let mut filled = vec![false; ts.elements];
+            let mut pack_overlaps = Vec::new();
+            let mut remote = 0usize;
+            for (ri, r) in ts.runs.iter().enumerate() {
+                stats.copy_runs += 1;
+                if (r.src as usize) >= np {
+                    push(
+                        Property::Bounds,
+                        DiagnosticKind::InvalidSourceProc {
+                            proc: me,
+                            term: t,
+                            run: ri,
+                            src: r.src,
+                            np,
+                        },
+                        &mut diags,
+                    );
+                    continue;
+                }
+                let src = ProcId(r.src + 1);
+                if r.src_off + r.len > src_arr.local_len(src) {
+                    push(
+                        Property::Bounds,
+                        DiagnosticKind::CopyRunOutOfBounds {
+                            proc: me,
+                            term: t,
+                            run: ri,
+                            end: r.src_off + r.len,
+                            extent: src_arr.local_len(src),
+                        },
+                        &mut diags,
+                    );
+                    continue;
+                }
+                if r.dst_off + r.len > ts.elements {
+                    push(
+                        Property::Bounds,
+                        DiagnosticKind::PackRunOutOfBounds {
+                            proc: me,
+                            term: t,
+                            run: ri,
+                            end: r.dst_off + r.len,
+                            extent: ts.elements,
+                        },
+                        &mut diags,
+                    );
+                    continue;
+                }
+                if r.src != me {
+                    remote += r.len;
+                    planned_ghosts += r.len as u64;
+                    *remote_runs
+                        .entry((r.src, me, t, r.src_off, r.dst_off, r.len))
+                        .or_insert(0) += 1;
+                }
+                let mut wrong = false;
+                for i in 0..r.len {
+                    let k = r.dst_off + i;
+                    if std::mem::replace(&mut filled[k], true) {
+                        pack_overlaps.push(k);
+                    }
+                    if !wrong && k < volume {
+                        let gi = stmt.rhs_index(t, &rels[k]);
+                        if src_arr.local_offset(src, &gi) != Some(r.src_off + i) {
+                            wrong = true; // one wrong-element diagnostic per run
+                            push(
+                                Property::Bounds,
+                                DiagnosticKind::GatherWrongElement {
+                                    proc: me,
+                                    term: t,
+                                    pos: k,
+                                    src: r.src,
+                                    offset: r.src_off + i,
+                                },
+                                &mut diags,
+                            );
+                        }
+                    }
+                }
+            }
+            if remote != ts.ghost_elements {
+                push(
+                    Property::Conservation,
+                    DiagnosticKind::TermGhostMismatch {
+                        proc: me,
+                        term: t,
+                        declared: ts.ghost_elements,
+                        actual: remote,
+                    },
+                    &mut diags,
+                );
+            }
+            for (offset, len) in coalesce(pack_overlaps) {
+                push(
+                    Property::RaceFreedom,
+                    DiagnosticKind::PackOverlap { proc: me, term: t, offset, len },
+                    &mut diags,
+                );
+            }
+            let gaps: Vec<usize> = (0..ts.elements).filter(|&k| !filled[k]).collect();
+            for (offset, len) in coalesce(gaps) {
+                push(
+                    Property::RaceFreedom,
+                    DiagnosticKind::PackGap { proc: me, term: t, offset, len },
+                    &mut diags,
+                );
+            }
+        }
+    }
+
+    // ---- deadlock freedom: the pair schedules ------------------------------
+    let msgs = plan.message_plan();
+    let mut prev: Option<(u32, u32)> = None;
+    let mut wire = 0u64;
+    for (pi, pair) in msgs.pairs().iter().enumerate() {
+        stats.pairs += 1;
+        let mut ok = true;
+        for proc in [pair.sender, pair.receiver] {
+            if proc as usize >= np {
+                push(
+                    Property::DeadlockFreedom,
+                    DiagnosticKind::InvalidPairProc { pair: pi, proc, np },
+                    &mut diags,
+                );
+                ok = false;
+            }
+        }
+        if pair.sender == pair.receiver {
+            push(
+                Property::DeadlockFreedom,
+                DiagnosticKind::SelfMessage { pair: pi, proc: pair.sender },
+                &mut diags,
+            );
+            ok = false;
+        }
+        let key = (pair.sender, pair.receiver);
+        if prev.is_some_and(|p| p >= key) {
+            push(
+                Property::DeadlockFreedom,
+                DiagnosticKind::UnorderedPairs { pair: pi },
+                &mut diags,
+            );
+        }
+        prev = Some(key);
+        let actual: usize = pair.segments.iter().map(|s| s.len).sum();
+        if actual != pair.elements {
+            push(
+                Property::DeadlockFreedom,
+                DiagnosticKind::PairByteMismatch {
+                    sender: pair.sender,
+                    receiver: pair.receiver,
+                    declared: pair.elements,
+                    actual,
+                },
+                &mut diags,
+            );
+        }
+        if pair.elements == 0 && pair.segments.is_empty() {
+            push(
+                Property::DeadlockFreedom,
+                DiagnosticKind::EmptyMessage { sender: pair.sender, receiver: pair.receiver },
+                &mut diags,
+            );
+        }
+        wire += actual as u64;
+        if !ok {
+            continue; // extent lookups below would index outside the machine
+        }
+        let recv_volume = volumes.get(&pair.receiver).copied().unwrap_or(0);
+        for (si, seg) in pair.segments.iter().enumerate() {
+            stats.segments += 1;
+            let named = stmt.terms.get(seg.term).map(|t| t.array);
+            if named != Some(seg.array) {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::SegmentTermMismatch {
+                        sender: pair.sender,
+                        receiver: pair.receiver,
+                        segment: si,
+                        term: seg.term,
+                        array: seg.array,
+                    },
+                    &mut diags,
+                );
+                continue;
+            }
+            let shard = arrays[seg.array].local_len(ProcId(pair.sender + 1));
+            if seg.src_off + seg.len > shard {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::SegmentOutOfBounds {
+                        sender: pair.sender,
+                        receiver: pair.receiver,
+                        segment: si,
+                        end: seg.src_off + seg.len,
+                        extent: shard,
+                    },
+                    &mut diags,
+                );
+            }
+            if seg.dst_off + seg.len > recv_volume {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::SegmentPackOutOfBounds {
+                        sender: pair.sender,
+                        receiver: pair.receiver,
+                        segment: si,
+                        end: seg.dst_off + seg.len,
+                        extent: recv_volume,
+                    },
+                    &mut diags,
+                );
+            }
+            // send/receive matching: this segment must be a gather some
+            // receiver run expects
+            let key: XchgKey =
+                (pair.sender, pair.receiver, seg.term, seg.src_off, seg.dst_off, seg.len);
+            match remote_runs.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => push(
+                    Property::DeadlockFreedom,
+                    DiagnosticKind::OrphanMessage {
+                        sender: pair.sender,
+                        receiver: pair.receiver,
+                        segment: si,
+                    },
+                    &mut diags,
+                ),
+            }
+        }
+    }
+    // gathers still waiting for a message that never comes
+    let mut unmatched: Vec<XchgKey> = remote_runs
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(k, _)| k)
+        .collect();
+    unmatched.sort_unstable();
+    for (src, me, term, src_off, _dst_off, len) in unmatched {
+        push(
+            Property::RaceFreedom,
+            DiagnosticKind::ReadBeforeExchange { proc: me, term, src, src_off, len },
+            &mut diags,
+        );
+    }
+
+    // ---- conservation ------------------------------------------------------
+    stats.wire_elements = wire;
+    if msgs.wire_elements() != wire {
+        push(
+            Property::Conservation,
+            DiagnosticKind::WireTotalMismatch {
+                declared: msgs.wire_elements(),
+                actual: wire,
+            },
+            &mut diags,
+        );
+    }
+    let analysis = plan.analysis();
+    let verdict = if !analysis.region_exact {
+        // Replication: the analysis models first-owner-computes plus a
+        // result broadcast while execution has every replica compute, so
+        // the comparison is inapplicable by design. Reported, not skipped.
+        AnalysisVerdict::ReplicatedDivergence
+    } else {
+        let before = diags.len();
+        for pair in msgs.pairs() {
+            let froze = analysis
+                .comm
+                .elements_between(ProcId(pair.sender + 1), ProcId(pair.receiver + 1));
+            if froze != pair.elements as u64 {
+                push(
+                    Property::Conservation,
+                    DiagnosticKind::AnalysisPairMismatch {
+                        sender: pair.sender,
+                        receiver: pair.receiver,
+                        planned: pair.elements as u64,
+                        analysis: froze,
+                    },
+                    &mut diags,
+                );
+            }
+        }
+        for (src, dst, n) in analysis.comm.iter() {
+            if msgs.pair(src.zero_based() as u32, dst.zero_based() as u32).is_none() {
+                push(
+                    Property::Conservation,
+                    DiagnosticKind::AnalysisPairMismatch {
+                        sender: src.zero_based() as u32,
+                        receiver: dst.zero_based() as u32,
+                        planned: 0,
+                        analysis: n,
+                    },
+                    &mut diags,
+                );
+            }
+        }
+        if wire != analysis.comm.total_elements() {
+            push(
+                Property::Conservation,
+                DiagnosticKind::AnalysisTotalMismatch {
+                    planned: wire,
+                    analysis: analysis.comm.total_elements(),
+                },
+                &mut diags,
+            );
+        }
+        if planned_ghosts != analysis.remote_reads {
+            push(
+                Property::Conservation,
+                DiagnosticKind::GhostTotalMismatch {
+                    planned: planned_ghosts,
+                    analysis: analysis.remote_reads,
+                },
+                &mut diags,
+            );
+        }
+        if diags.len() == before {
+            AnalysisVerdict::Exact
+        } else {
+            AnalysisVerdict::Divergent
+        }
+    };
+
+    StatementReport { statement, verdict, diagnostics: diags, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Combine, Term};
+    use crate::backend::{MsgSegment, PairSchedule};
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, IndexDomain, Section};
+
+    /// BLOCK → CYCLIC(3) shift: plenty of remote traffic, several pairs.
+    fn setup(n: usize, np: usize) -> (Vec<DistArray<f64>>, Assignment) {
+        let mut ds = DataSpace::new(np);
+        let a = ds.declare("A", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        let b = ds.declare("B", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Cyclic(3)])).unwrap();
+        let arrays = vec![
+            DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] * 7) as f64),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+        let ni = n as i64;
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, ni)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, ni - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        (arrays, stmt)
+    }
+
+    fn kinds(report: &StatementReport) -> Vec<&DiagnosticKind> {
+        report.diagnostics.iter().map(|d| &d.kind).collect()
+    }
+
+    #[test]
+    fn clean_plan_proves_all_five_properties() {
+        let (arrays, stmt) = setup(40, 4);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.verdict, AnalysisVerdict::Exact);
+        assert_eq!(report.stats.procs, 4);
+        assert!(report.stats.store_runs > 0);
+        assert!(report.stats.copy_runs > 0);
+        assert!(report.stats.pairs > 0);
+        assert!(report.stats.wire_elements > 0);
+        // Display renders the statement plus the stats line, no findings
+        let shown = report.to_string();
+        assert!(shown.contains("exact"), "{shown}");
+    }
+
+    #[test]
+    fn dropped_store_run_is_a_coverage_gap() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let pp = plan.per_proc_mut().iter_mut().find(|pp| !pp.lhs_runs.is_empty()).unwrap();
+        pp.lhs_runs.pop().unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report).iter().any(|k| matches!(k, DiagnosticKind::CoverageGap { .. })),
+            "{report}"
+        );
+        assert!(report
+            .findings_for(Property::WriteCoverage)
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn duplicated_store_run_is_a_coverage_overlap() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let pp = plan.per_proc_mut().iter_mut().find(|pp| !pp.lhs_runs.is_empty()).unwrap();
+        let dup = pp.lhs_runs[0];
+        pp.lhs_runs.push(dup);
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::CoverageOverlap { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn store_run_past_shard_extent_is_caught() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let pp = plan.per_proc_mut().iter_mut().find(|pp| !pp.lhs_runs.is_empty()).unwrap();
+        pp.lhs_runs[0].dst_off = usize::MAX / 2; // far past any extent
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::StoreRunOutOfBounds { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn copy_run_shifted_out_of_bounds_is_caught() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let r = plan.per_proc_mut()[0].terms[0].runs.first_mut().unwrap();
+        r.src_off = usize::MAX / 2;
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::CopyRunOutOfBounds { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn copy_run_shifted_within_bounds_reads_wrong_element() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        // pick a local run with room to shift down: stays inside the
+        // shard, but no longer addresses the statement-named element
+        let shifted = plan
+            .per_proc_mut()
+            .iter_mut()
+            .flat_map(|pp| {
+                let me = pp.proc.zero_based() as u32;
+                pp.terms[0].runs.iter_mut().filter(move |r| r.src == me)
+            })
+            .find(|r| r.src_off > 0)
+            .expect("some local gather starts past offset 0");
+        shifted.src_off -= 1;
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::GatherWrongElement { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn orphaned_pair_schedule_is_caught() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        plan.message_plan_mut().pairs_mut().push(PairSchedule {
+            sender: 3,
+            receiver: 0,
+            elements: 2,
+            segments: vec![MsgSegment { term: 0, array: 1, src_off: 0, dst_off: 0, len: 2 }],
+        });
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::OrphanMessage { .. })),
+            "{report}"
+        );
+        assert_eq!(report.verdict, AnalysisVerdict::Divergent);
+    }
+
+    #[test]
+    fn dropped_pair_schedule_is_a_read_before_exchange() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        assert!(!plan.message_plan().pairs().is_empty());
+        plan.message_plan_mut().pairs_mut().remove(0);
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::ReadBeforeExchange { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn skewed_byte_count_is_caught() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        plan.message_plan_mut().pairs_mut()[0].elements += 1;
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::PairByteMismatch { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn skewed_wire_total_is_caught() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let declared = plan.message_plan().wire_elements();
+        plan.message_plan_mut().set_wire_elements(declared + 7);
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(
+                    k,
+                    DiagnosticKind::WireTotalMismatch { declared: _, actual: _ }
+                )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn duplicate_worker_is_a_race() {
+        let (arrays, stmt) = setup(40, 4);
+        let mut plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let dup = plan.per_proc()[1].clone();
+        plan.per_proc_mut().push(dup);
+        assert!(!workers_disjoint(plan.per_proc()));
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::DuplicateWorker { proc: 1 })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn stale_mapping_is_reported_not_dereferenced() {
+        let (mut arrays, stmt) = setup(40, 4);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        // remap B to a different allocation → verification must stop at
+        // the precondition instead of checking meaningless extents
+        let (fresh, _) = setup(40, 4);
+        arrays[1] = fresh.into_iter().nth(1).unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::StaleMapping { array: 1 })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn replication_verdict_is_reported_and_clean() {
+        let dom = IndexDomain::of_shape(&[12]).unwrap();
+        let rep = std::sync::Arc::new(hpf_core::EffectiveDist::Replicated {
+            domain: dom,
+            procs: hpf_core::ProcSet::all(3),
+        });
+        let mut ds = DataSpace::new(3);
+        let b = ds.declare("B", IndexDomain::of_shape(&[12]).unwrap()).unwrap();
+        ds.distribute(b, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let arrays = vec![
+            DistArray::new("R", rep, 3, 0.0),
+            DistArray::from_fn("B", ds.effective(b).unwrap(), 3, |i| (i[0] * 5) as f64),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(1, 12)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, 12)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.verdict, AnalysisVerdict::ReplicatedDivergence);
+    }
+
+    #[test]
+    fn aliasing_shift_verifies_clean() {
+        // A(2:16) = A(1:15): the LHS aliases the RHS under a shifted
+        // section — the RAW/WAR case the happens-before check exists for
+        let mut ds = DataSpace::new(4);
+        let a = ds.declare("A", IndexDomain::of_shape(&[16]).unwrap()).unwrap();
+        ds.distribute(a, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        let arrays =
+            vec![DistArray::from_fn("A", ds.effective(a).unwrap(), 4, |i| i[0] as f64)];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+        let stmt = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, 16)]),
+            vec![Term::new(0, Section::from_triplets(vec![span(1, 15)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.verdict, AnalysisVerdict::Exact);
+    }
+
+    #[test]
+    fn coalesce_merges_contiguous_indices() {
+        assert_eq!(coalesce(vec![]), vec![]);
+        assert_eq!(coalesce(vec![5, 3, 4, 9, 4]), vec![(3, 3), (9, 1)]);
+        assert_eq!(coalesce(vec![0]), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,91 @@
+//! `hpf-lint` — run the static schedule verifier over example programs.
+//!
+//! ```text
+//! hpf-lint                     verify every scenario
+//! hpf-lint quickstart ...      verify the named scenarios
+//! hpf-lint --list              list scenario names
+//! ```
+//!
+//! Exit status: 0 when every verified plan is clean (an expected
+//! replicated-divergence verdict is reported as a note, not a failure),
+//! 1 when any statement carries a diagnostic, 2 on usage errors.
+
+use hpf_verify::scenarios::{self, Scenario};
+use hpf_verify::AnalysisVerdict;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for s in scenarios::all() {
+            println!("{:<22} {}", s.name, s.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let picked: Vec<Scenario> = if args.is_empty() {
+        scenarios::all()
+    } else {
+        let mut picked = Vec::with_capacity(args.len());
+        for name in &args {
+            match scenarios::by_name(name) {
+                Some(s) => picked.push(s),
+                None => {
+                    eprintln!("hpf-lint: unknown scenario `{name}`");
+                    usage();
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let mut findings = 0usize;
+    let mut statements = 0usize;
+    for scenario in &picked {
+        println!("== {} — {}", scenario.name, scenario.summary);
+        let mut prog = (scenario.build)();
+        let report = match prog.verify_all() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hpf-lint: {}: planning failed: {e}", scenario.name);
+                return ExitCode::from(2);
+            }
+        };
+        statements += report.statements.len();
+        for stmt in &report.statements {
+            print!("{stmt}");
+            if stmt.verdict == AnalysisVerdict::ReplicatedDivergence {
+                println!(
+                    "   note: replicated operand — analysis totals legitimately \
+                     diverge (every replica computes locally)"
+                );
+            }
+        }
+        findings += report.finding_count();
+        println!();
+    }
+
+    if findings == 0 {
+        println!(
+            "hpf-lint: {statements} statement plan(s) across {} scenario(s): \
+             all five properties hold",
+            picked.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hpf-lint: {findings} finding(s) — plans are NOT proven safe");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: hpf-lint [--list] [scenario ...]\n\
+         verifies compiled plans for the example programs; with no names, all of them"
+    );
+}

@@ -1,0 +1,43 @@
+//! # hpf-verify — prove compiled plans safe before they run
+//!
+//! The public surface of the static schedule verifier: the analysis pass
+//! itself lives in `hpf-runtime` (so the [`PlanCache`] can run it on every
+//! plan insertion without a dependency cycle); this crate re-exports it,
+//! packages the workspace's example programs as verifiable
+//! [`scenarios`], and ships the `hpf-lint` binary that runs the full pass
+//! from the command line:
+//!
+//! ```text
+//! cargo run --release -p hpf-verify --bin hpf-lint          # all scenarios
+//! cargo run --release -p hpf-verify --bin hpf-lint -- quickstart
+//! ```
+//!
+//! Five properties are decided per statement, each refutation carrying
+//! exact processor/run/segment coordinates:
+//!
+//! 1. **write coverage** — store runs tile every processor's owned LHS
+//!    section exactly (no gap, overlap, or stray write);
+//! 2. **bounds** — every [`CopyRun`](hpf_runtime::CopyRun) /
+//!    [`MsgSegment`](hpf_runtime::MsgSegment) source and destination stays
+//!    inside the owning shard and pack-buffer extents, and addresses the
+//!    statement-named element;
+//! 3. **race freedom** — disjoint worker store sets, and a sound
+//!    pack → exchange → compute happens-before order (RAW/WAR hazards);
+//! 4. **deadlock freedom** — the pair schedules form a schedulable BSP
+//!    superstep with matched sends/receives and equal byte counts;
+//! 5. **conservation** — wire bytes over pairs equal the frozen
+//!    [`CommAnalysis`](hpf_runtime::CommAnalysis) totals, with replicated
+//!    mappings reported as an explicit
+//!    [`AnalysisVerdict::ReplicatedDivergence`] instead of being skipped.
+//!
+//! [`PlanCache`]: hpf_runtime::PlanCache
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+pub use hpf_runtime::{
+    verify_plan, AnalysisVerdict, Diagnostic, DiagnosticKind, Property, StatementReport,
+    VerifyReport, VerifyStats,
+};

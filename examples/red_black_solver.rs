@@ -68,6 +68,20 @@ fn solve(fmt: FormatSpec, label: &str) -> (usize, u64) {
     let mut prog = Program::new(arrays);
     prog.push(red).unwrap();
     prog.push(black).unwrap();
+
+    // prove the compiled sweeps safe before the first timestep runs: the
+    // static verifier checks write coverage, bounds, race freedom,
+    // deadlock freedom, and conservation on the cached plans
+    let report = prog.verify_all().unwrap();
+    assert!(report.is_clean(), "sweep plans failed static verification:\n{report}");
+    let (runs, pairs) = report.statements.iter().fold((0, 0), |(r, p), s| {
+        (r + s.stats.store_runs + s.stats.copy_runs, p + s.stats.pairs)
+    });
+    println!(
+        "  {label:<8} plans verified safe before running \
+         ({runs} schedule runs, {pairs} message pairs checked)"
+    );
+
     let mut sweeps = 0usize;
     let mut comm_per_iter;
     loop {

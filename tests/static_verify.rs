@@ -1,0 +1,240 @@
+//! Static schedule verification across the whole mapping space: every plan
+//! the inspector compiles for random block / cyclic / general-block /
+//! replicated mappings (1-D and 2-D) must *prove* the five safety
+//! properties — write coverage, bounds, race freedom, deadlock freedom,
+//! conservation — and every packaged example scenario must lint clean,
+//! with replication reported as the explicit divergence verdict rather
+//! than silently skipped.
+
+use hpf::prelude::*;
+use hpf::verify::scenarios;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random GENERAL_BLOCK sizes: `np` non-negative lengths summing to `n`.
+fn gb_sizes(n: usize, np: usize, seed: u64) -> Vec<i64> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cuts: Vec<i64> = (0..np.saturating_sub(1))
+        .map(|_| rng.random_range(0..=n as u64) as i64)
+        .collect();
+    cuts.sort_unstable();
+    cuts.push(n as i64);
+    let mut prev = 0i64;
+    cuts.into_iter()
+        .map(|c| {
+            let s = c - prev;
+            prev = c;
+            s
+        })
+        .collect()
+}
+
+/// One of the paper's 1-D mapping families, selected by `kind` (5 =
+/// replicated).
+fn mapping_of(kind: u8, n: usize, np: usize, seed: u64) -> Arc<EffectiveDist> {
+    if kind % 6 == 5 {
+        return Arc::new(EffectiveDist::Replicated {
+            domain: IndexDomain::of_shape(&[n]).unwrap(),
+            procs: ProcSet::all(np),
+        });
+    }
+    let fmt = match kind % 6 {
+        0 => FormatSpec::Block,
+        1 => FormatSpec::BlockBalanced,
+        2 => FormatSpec::Cyclic(1),
+        3 => FormatSpec::Cyclic(3),
+        _ => FormatSpec::GeneralBlockSizes(gb_sizes(n, np, seed)),
+    };
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("M", IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+    ds.distribute(a, &DistributeSpec::new(vec![fmt])).unwrap();
+    ds.effective(a).unwrap()
+}
+
+fn build_arrays(n: usize, np: usize, ka: u8, kb: u8, seed: u64) -> Vec<DistArray<f64>> {
+    vec![
+        DistArray::from_fn("A", mapping_of(ka, n, np, seed), np, |i| i[0] as f64),
+        DistArray::from_fn("B", mapping_of(kb, n, np, seed ^ 0x9e37), np, |i| {
+            (i[0] * 13 - 5) as f64
+        }),
+    ]
+}
+
+/// A random 2-D mapping over an `np_side × np_side` grid (16 = replicated).
+fn mapping_2d(kind: u8, n: usize, np_side: usize, seed: u64) -> Arc<EffectiveDist> {
+    let np = np_side * np_side;
+    if kind >= 16 {
+        return Arc::new(EffectiveDist::Replicated {
+            domain: IndexDomain::of_shape(&[n, n]).unwrap(),
+            procs: ProcSet::all(np),
+        });
+    }
+    let fmt = |k: u8, s: u64| match k % 4 {
+        0 => FormatSpec::Block,
+        1 => FormatSpec::Cyclic(1),
+        2 => FormatSpec::Cyclic(2),
+        _ => FormatSpec::GeneralBlockSizes(gb_sizes(n, np_side, s)),
+    };
+    let mut ds = DataSpace::new(np);
+    ds.declare_processors("G", IndexDomain::of_shape(&[np_side, np_side]).unwrap())
+        .unwrap();
+    let a = ds.declare("M", IndexDomain::of_shape(&[n, n]).unwrap()).unwrap();
+    ds.distribute(
+        a,
+        &DistributeSpec::to(vec![fmt(kind % 4, seed), fmt(kind / 4, seed ^ 0x55)], "G"),
+    )
+    .unwrap();
+    ds.effective(a).unwrap()
+}
+
+/// `A(2:n) = combine(B(1:n-1)[, A(1:n-1)])` — LHS aliasing included.
+fn build_stmt(n: i64, combine_k: u8, arrays: &[DistArray<f64>]) -> Assignment {
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+    let rhs = Section::from_triplets(vec![span(1, n - 1)]);
+    let (combine, terms) = match combine_k % 4 {
+        0 => (Combine::Copy, vec![Term::new(1, rhs)]),
+        1 => (Combine::Sum, vec![Term::new(1, rhs.clone()), Term::new(0, rhs)]),
+        2 => (Combine::Average, vec![Term::new(1, rhs.clone()), Term::new(0, rhs)]),
+        _ => (Combine::Max, vec![Term::new(1, rhs.clone()), Term::new(0, rhs)]),
+    };
+    Assignment::new(0, Section::from_triplets(vec![span(2, n)]), terms, combine, &doms)
+        .unwrap()
+}
+
+/// A 2-D stencil statement over `A(2:n-1, 2:n-1)` with shifted `B` reads.
+fn build_stmt_2d(n: i64, combine_k: u8, arrays: &[DistArray<f64>]) -> Assignment {
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+    let west = Section::from_triplets(vec![span(1, n - 2), span(2, n - 1)]);
+    let east = Section::from_triplets(vec![span(3, n), span(2, n - 1)]);
+    let south = Section::from_triplets(vec![span(2, n - 1), span(1, n - 2)]);
+    let (combine, terms) = match combine_k % 4 {
+        0 => (Combine::Copy, vec![Term::new(1, west)]),
+        1 => (
+            Combine::Sum,
+            vec![
+                Term::new(1, west),
+                Term::new(1, east.clone()),
+                Term::new(1, south),
+                Term::new(0, east),
+            ],
+        ),
+        2 => (Combine::Average, vec![Term::new(1, west), Term::new(1, east)]),
+        _ => (Combine::Max, vec![Term::new(1, west), Term::new(0, south)]),
+    };
+    Assignment::new(
+        0,
+        Section::from_triplets(vec![span(2, n - 1), span(2, n - 1)]),
+        terms,
+        combine,
+        &doms,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every plan the inspector compiles for a random pair of 1-D mappings
+    /// proves all five properties, and partitioning mappings get the
+    /// `Exact` conservation verdict (replication gets the explicit
+    /// `ReplicatedDivergence` verdict — reported, never a finding).
+    #[test]
+    fn random_1d_plans_verify_clean(
+        n in 16usize..48,
+        np in 1usize..5,
+        ka in 0u8..6,
+        kb in 0u8..6,
+        seed in 0u64..1000,
+        combine_k in 0u8..4,
+    ) {
+        let arrays = build_arrays(n, np, ka, kb, seed);
+        let stmt = build_stmt(n as i64, combine_k, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        prop_assert!(report.is_clean(), "{report}");
+        let replicated = ka % 6 == 5 || kb % 6 == 5;
+        if !replicated {
+            prop_assert_eq!(report.verdict, AnalysisVerdict::Exact, "{}", report);
+        }
+        prop_assert!(report.verdict != AnalysisVerdict::Divergent);
+    }
+
+    /// Same for 2-D grids: random per-dimension formats and replication.
+    #[test]
+    fn random_2d_plans_verify_clean(
+        n in 6usize..14,
+        np_side in 1usize..3,
+        ka in 0u8..17,
+        kb in 0u8..17,
+        seed in 0u64..1000,
+        combine_k in 0u8..4,
+    ) {
+        let np = np_side * np_side;
+        let arrays = vec![
+            DistArray::from_fn("A", mapping_2d(ka, n, np_side, seed), np, |i| {
+                (i[0] * 31 + i[1]) as f64
+            }),
+            DistArray::from_fn("B", mapping_2d(kb, n, np_side, seed ^ 0x77), np, |i| {
+                (i[0] - 2 * i[1]) as f64
+            }),
+        ];
+        let stmt = build_stmt_2d(n as i64, combine_k, &arrays);
+        let plan = ExecPlan::inspect(&arrays, &stmt).unwrap();
+        let report = verify_plan(&arrays, &stmt, &plan);
+        prop_assert!(report.is_clean(), "{report}");
+        if ka < 16 && kb < 16 {
+            prop_assert_eq!(report.verdict, AnalysisVerdict::Exact, "{}", report);
+        }
+    }
+}
+
+/// Every packaged example scenario lints clean end to end through
+/// `Program::verify_all` — zero findings over all existing mappings.
+#[test]
+fn all_example_scenarios_verify_clean() {
+    for scenario in scenarios::all() {
+        let mut prog = (scenario.build)();
+        let report = prog.verify_all().unwrap();
+        assert!(!report.statements.is_empty(), "{}: empty program", scenario.name);
+        assert!(report.is_clean(), "{}:\n{report}", scenario.name);
+        for stmt in &report.statements {
+            assert_ne!(
+                stmt.verdict,
+                AnalysisVerdict::Divergent,
+                "{}: {stmt}",
+                scenario.name
+            );
+        }
+    }
+}
+
+/// The replicated-operand scenario carries the explicit
+/// `ReplicatedDivergence` verdict — the once-silent analysis divergence is
+/// now a documented, queryable outcome.
+#[test]
+fn replicated_scenario_reports_divergence_verdict() {
+    let mut prog = (scenarios::by_name("directive_tour").unwrap().build)();
+    let report = prog.verify_all().unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.statements[0].verdict, AnalysisVerdict::ReplicatedDivergence);
+    assert_eq!(report.replicated_statements(), 1);
+
+    // and a fully-partitioned scenario is Exact
+    let mut prog = (scenarios::by_name("quickstart").unwrap().build)();
+    let report = prog.verify_all().unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.statements[0].verdict, AnalysisVerdict::Exact);
+    assert_eq!(report.replicated_statements(), 0);
+}
+
+/// Verification runs on the *re-inspected* plan after a mid-program
+/// REDISTRIBUTE: the rebalance scenario has already executed and remapped
+/// by the time `verify_all` sees it.
+#[test]
+fn rebalanced_program_verifies_clean_after_remap() {
+    let mut prog = (scenarios::by_name("dynamic_rebalance").unwrap().build)();
+    let report = prog.verify_all().unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.statements[0].verdict, AnalysisVerdict::Exact);
+}

@@ -10,6 +10,10 @@
 //! Kept as its own integration binary so no concurrently running test can
 //! pollute the counter between the snapshots.
 
+// The workspace denies unsafe code; a `#[global_allocator]` is the one
+// thing that cannot be written without it, so this test opts out locally.
+#![allow(unsafe_code)]
+
 use hpf::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
