@@ -1,11 +1,13 @@
 //! CI perf-regression gate for the replay benchmarks.
 //!
 //! Measures warm-replay throughput (Melem/s) of the `b13` workload set
-//! (compressed sequential replay) and the `b14` set (the same plans
-//! through both exchange backends) — the workloads come from
-//! [`hpf_bench::replay`], the same builders the benches use, so the gate
-//! always polices exactly what the benches report. Emits
-//! `BENCH_b13.json` / `BENCH_b14.json` and compares each entry against
+//! (compressed sequential replay), the `b14` set (the same plans through
+//! both exchange backends), and the `b15` set (the whole-timestep fusion
+//! workload: fused program plan vs per-statement replay) — the workloads
+//! come from [`hpf_bench::replay`], the same builders the benches use, so
+//! the gate always polices exactly what the benches report. Emits
+//! `BENCH_b13.json` / `BENCH_b14.json` / `BENCH_b15.json` and compares
+//! each entry against
 //! the committed baselines under `crates/bench/baselines/` with a
 //! relative tolerance (`BENCH_TOLERANCE`, default 0.30 = ±30%). A
 //! measurement below `baseline × (1 − tolerance)` is a regression and
@@ -164,6 +166,64 @@ fn measure_b14(budget: Duration, reps: usize) -> Vec<Entry> {
     out
 }
 
+/// The b15 set: the whole-timestep fusion workload through the fused
+/// program plan vs the pre-fusion per-statement path, plus the
+/// hardware-neutral fused/unfused warm-replay speedup — the entry that
+/// pins the tentpole's payoff (coalesced messages + clean cyclic ghosts
+/// never re-sent) independently of runner hardware.
+fn measure_b15(budget: Duration, reps: usize) -> Vec<Entry> {
+    use hpf_bench::replay::fusion_timestep;
+    use hpf_runtime::Program;
+
+    let mut out = Vec::new();
+    let n = 65_536i64;
+    let np = 8usize;
+    let build = || {
+        let (arrays, stmts) = fusion_timestep(n, np);
+        let mut prog = Program::new(arrays);
+        for s in stmts {
+            prog.push(s).unwrap();
+        }
+        prog
+    };
+    // elements computed per timestep: every statement's full volume
+    let elems = 3 * (n as usize - 2);
+
+    let mut fused = build();
+    let fused_rate = measure(elems, budget, reps, || {
+        fused.run().unwrap();
+    });
+    let fs = fused.fusion_stats();
+    assert!(
+        fs.ghost_bytes_avoided() > 0,
+        "warm fused timesteps must skip the clean cyclic ghosts: {fs}"
+    );
+    assert!(
+        fs.messages_after < fs.messages_before,
+        "the shared cyclic pairs must coalesce: {fs}"
+    );
+
+    let mut unfused = build();
+    let unfused_rate = measure(elems, budget, reps, || {
+        unfused.run_unfused().unwrap();
+    });
+
+    // absolute floor, independent of the committed baseline: warm fused
+    // replay must beat the per-statement path by a clear margin or the
+    // fusion layer is not paying for itself
+    let ratio = fused_rate / unfused_rate;
+    assert!(
+        ratio >= 1.3,
+        "fused warm replay must be >= 1.3x the unfused path, got {ratio:.2}x \
+         (fused {fused_rate:.2} vs unfused {unfused_rate:.2} Melem/s)"
+    );
+
+    out.push(Entry::rate("fusion_timestep_fused", fused_rate));
+    out.push(Entry::rate("fusion_timestep_unfused", unfused_rate));
+    out.push(Entry::ratio("fusion_timestep_fused_vs_unfused", ratio));
+    out
+}
+
 fn render_json(bench: &str, entries: &[Entry]) -> String {
     let mut s = String::new();
     writeln!(s, "{{").unwrap();
@@ -273,9 +333,10 @@ fn main() {
 
     let b13 = measure_b13(budget, reps);
     let b14 = measure_b14(budget, reps);
+    let b15 = measure_b15(budget, reps);
 
     let mut regressions = Vec::new();
-    for (bench, entries) in [("b13", &b13), ("b14", &b14)] {
+    for (bench, entries) in [("b13", &b13), ("b14", &b14), ("b15", &b15)] {
         let json = render_json(bench, entries);
         let out = std::path::Path::new(&out_dir).join(format!("BENCH_{bench}.json"));
         std::fs::write(&out, &json).expect("write bench report");

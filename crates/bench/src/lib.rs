@@ -217,4 +217,77 @@ pub mod replay {
     pub fn replay_elements(plan: &ExecPlan) -> usize {
         plan.per_proc().iter().map(|pp| pp.volume).sum()
     }
+
+    /// The b15 program-fusion timestep: three independent statements in
+    /// one superstep over BLOCK state arrays `U`, `V`, `W` and a
+    /// CYCLIC(1) coefficient array `C` that is *never written*.
+    ///
+    /// ```text
+    /// U(2:N-1) = (U(1:N-2) + U(3:N)) / 2     ! stencil: ghosts stay hot
+    /// V(2:N-1) = V(2:N-1) + C(1:N-2)         ! cyclic reads: all-to-all
+    /// W(2:N-1) = W(2:N-1) + C(3:N)           ! same pairs → coalesce
+    /// ```
+    ///
+    /// The cyclic `C` reads dominate the wire; both consumers share every
+    /// `(sender, receiver)` pair, so fusion coalesces their messages —
+    /// and since no statement writes `C`, every one of those segments is
+    /// clean after the cold timestep and warm fused replays skip the
+    /// entire all-to-all, leaving only the stencil's boundary ghosts.
+    pub fn fusion_timestep(
+        n: i64,
+        np: usize,
+    ) -> (Vec<DistArray<f64>>, Vec<Assignment>) {
+        let mut ds = DataSpace::new(np);
+        let ids: Vec<_> = ["U", "V", "W", "C"]
+            .iter()
+            .map(|name| {
+                ds.declare(name, IndexDomain::standard(&[(1, n)]).unwrap()).unwrap()
+            })
+            .collect();
+        for (k, &id) in ids.iter().enumerate() {
+            let fmt = if k == 3 { FormatSpec::Cyclic(1) } else { FormatSpec::Block };
+            ds.distribute(id, &DistributeSpec::new(vec![fmt])).unwrap();
+        }
+        let arrays: Vec<DistArray<f64>> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                let name = ["U", "V", "W", "C"][k];
+                DistArray::from_fn(name, ds.effective(id).unwrap(), np, move |i| {
+                    (i[0] * (k as i64 + 1) % 101) as f64
+                })
+            })
+            .collect();
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let mid = Section::from_triplets(vec![span(2, n - 1)]);
+        let lo = Section::from_triplets(vec![span(1, n - 2)]);
+        let hi = Section::from_triplets(vec![span(3, n)]);
+        let stmts = vec![
+            Assignment::new(
+                0,
+                mid.clone(),
+                vec![Term::new(0, lo.clone()), Term::new(0, hi.clone())],
+                Combine::Average,
+                &doms,
+            )
+            .unwrap(),
+            Assignment::new(
+                1,
+                mid.clone(),
+                vec![Term::new(1, mid.clone()), Term::new(3, lo)],
+                Combine::Sum,
+                &doms,
+            )
+            .unwrap(),
+            Assignment::new(
+                2,
+                mid.clone(),
+                vec![Term::new(2, mid), Term::new(3, hi)],
+                Combine::Sum,
+                &doms,
+            )
+            .unwrap(),
+        ];
+        (arrays, stmts)
+    }
 }

@@ -31,11 +31,12 @@ pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
     comm_analysis, dense_reference, ghost_regions, remap_analysis, verify_plan,
-    AnalysisVerdict, Assignment, Backend, ChannelsBackend, Combine, CommAnalysis,
-    CopyRun, Diagnostic, DiagnosticKind, DistArray, ExchangeBackend, ExecPlan,
+    verify_program_plan, AnalysisVerdict, Assignment, Backend, ChannelsBackend, Combine,
+    CommAnalysis, CopyRun, Diagnostic, DiagnosticKind, DistArray, ExchangeBackend,
+    ExecPlan, FusedPair, FusedSegment, FusedWorkspace, FusionReport, FusionStats,
     GatherRef, GhostReport, MessagePlan, MsgSegment, PairSchedule, ParExecutor,
-    PlanCache, PlanWorkspace, ProcPlan, Program, Property, RemapAnalysis, SeqExecutor,
-    SharedMemBackend, StatementReport, StatementTrace, StoreRun, Term, TermSchedule,
-    VerifyReport, VerifyStats,
+    PlanCache, PlanWorkspace, ProcPlan, Program, ProgramPlan, Property, RemapAnalysis,
+    SeqExecutor, SharedMemBackend, StatementReport, StatementTrace, StoreRun, Superstep,
+    Term, TermSchedule, UnitMeta, VerifyReport, VerifyStats,
 };
 pub use hpf_template::{TemplateError, TemplateModel};

@@ -19,6 +19,11 @@ pub struct DistArray<T> {
     /// the local buffer, so addressing never re-sums preceding rect volumes.
     rect_bases: Vec<Vec<usize>>,
     locals: Vec<Vec<T>>,
+    /// Per-shard write epochs: bumped on every mutable access to a shard
+    /// (element writes, executor stores, SPMD shard restores). The fused
+    /// program path snapshots these to detect out-of-band writes that
+    /// would invalidate ghost data cached on the receiving side.
+    versions: Vec<u64>,
 }
 
 impl<T: Clone> DistArray<T> {
@@ -53,7 +58,8 @@ impl<T: Clone> DistArray<T> {
             rect_bases.push(bases);
             locals.push(buf);
         }
-        DistArray { name: name.to_string(), mapping, np, regions, rect_bases, locals }
+        let versions = vec![0u64; np];
+        DistArray { name: name.to_string(), mapping, np, regions, rect_bases, locals, versions }
     }
 
     /// Array name.
@@ -131,6 +137,7 @@ impl<T: Clone> DistArray<T> {
                 .local_offset(p, i)
                 .unwrap_or_else(|| panic!("{}: owner {p} does not hold {i}", self.name));
             self.locals[p.zero_based()][off] = v.clone();
+            self.versions[p.zero_based()] += 1;
         }
     }
 
@@ -166,9 +173,18 @@ impl<T: Clone> DistArray<T> {
     }
 
     /// Per-processor `(region, mutable local buffer)` views, for the
-    /// parallel executor.
+    /// parallel executor. Every shard epoch is bumped: the caller gets
+    /// mutable access to all of them, so all must be assumed written.
     pub(crate) fn parts_mut(&mut self) -> (&[Region], &mut [Vec<T>]) {
+        for v in &mut self.versions {
+            *v += 1;
+        }
         (&self.regions, &mut self.locals)
+    }
+
+    /// Current write epoch of processor `p0`'s (zero-based) shard.
+    pub(crate) fn shard_version(&self, p0: usize) -> u64 {
+        self.versions[p0]
     }
 
     /// Move processor `p0`'s (zero-based) local buffer out of the array —
@@ -194,6 +210,7 @@ impl<T: Clone> DistArray<T> {
             p0 + 1
         );
         self.locals[p0] = buf;
+        self.versions[p0] += 1;
     }
 }
 

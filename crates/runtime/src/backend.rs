@@ -316,6 +316,27 @@ impl SharedMemBackend {
     pub fn steps(&self) -> u64 {
         self.steps
     }
+
+    /// Execute one whole fused timestep (see [`crate::ProgramPlan`]):
+    /// per superstep, pack local runs, stage the *effective* segments of
+    /// every fused pair hoisted to the phase (clean units are skipped —
+    /// their receiver-side data is still current from an earlier
+    /// timestep), and compute. Returns the elements actually staged,
+    /// which the caller cross-checks against the dirty-tracking state's
+    /// prediction. Warm calls perform zero heap allocations. Counts one
+    /// step per timestep.
+    pub(crate) fn step_fused(
+        &mut self,
+        plan: &crate::fuse::ProgramPlan,
+        arrays: &mut [DistArray<f64>],
+        state: &crate::fuse::FusedState,
+        ws: &mut crate::workspace::FusedWorkspace,
+    ) -> u64 {
+        let staged = crate::fuse::execute_fused_seq(plan, arrays, state, ws);
+        self.bytes_sent += staged * std::mem::size_of::<f64>() as u64;
+        self.steps += 1;
+        staged
+    }
 }
 
 /// Pack phase for one processor restricted to its *own* data: copy the

@@ -19,10 +19,12 @@
 
 use crate::array::DistArray;
 use crate::assign::Assignment;
-use crate::backend::ExchangeBackend;
+use crate::backend::{ExchangeBackend, SharedMemBackend};
 use crate::commsets::CommAnalysis;
+use crate::fuse::{execute_fused_par, BufferDomain, FusedState, FusionStats, ProgramPlan};
 use crate::plan::ExecPlan;
-use crate::workspace::PlanWorkspace;
+use crate::spmd::ChannelsBackend;
+use crate::workspace::{FusedWorkspace, PlanWorkspace};
 use hpf_core::HpfError;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,6 +34,32 @@ use std::sync::Arc;
 struct Entry {
     plan: Arc<ExecPlan>,
     ws: PlanWorkspace,
+}
+
+/// The cached fused timestep: the statement sequence it was compiled
+/// from (the cache key — structural equality, compared without
+/// allocating), the compiled [`ProgramPlan`], its dirty-tracking replay
+/// state, and the preallocated fused scratch.
+#[derive(Debug, Clone)]
+struct FusedEntry {
+    stmts: Vec<Assignment>,
+    plan: Arc<ProgramPlan>,
+    state: FusedState,
+    ws: FusedWorkspace,
+}
+
+/// Which executor a fused timestep runs on — the fused analogue of
+/// choosing a [`Backend`](crate::Backend) / thread count for the
+/// per-statement paths.
+#[derive(Debug)]
+pub enum FusedTarget<'a> {
+    /// The shared-address-space backend (zero-allocation warm replays).
+    Shared(&'a mut SharedMemBackend),
+    /// Scoped threads, at most this many (for thread caps below the
+    /// simulated processor count).
+    Par(usize),
+    /// The message-passing SPMD worker fleet.
+    Channels(&'a mut ChannelsBackend),
 }
 
 /// Statically verify a plan at the moment it enters the cache — the five
@@ -54,6 +82,27 @@ fn verify_inserted(arrays: &[DistArray<f64>], stmt: &Assignment, plan: &ExecPlan
 #[cfg(not(any(debug_assertions, feature = "verify")))]
 fn verify_inserted(_: &[DistArray<f64>], _: &Assignment, _: &ExecPlan) {}
 
+/// Statically verify a fused plan at the moment it enters the cache —
+/// the fused properties of [`crate::verify::verify_program_plan`]
+/// (superstep hazard freedom, segment conservation across coalescing,
+/// pack-phase soundness, dirty-flag consistency), asserted hard under the
+/// same gating as [`verify_inserted`].
+#[cfg(any(debug_assertions, feature = "verify"))]
+fn verify_fused_inserted(
+    arrays: &[DistArray<f64>],
+    stmts: &[Assignment],
+    plan: &ProgramPlan,
+) {
+    let report = crate::verify::verify_program_plan(arrays, stmts, plan);
+    assert!(
+        report.is_clean(),
+        "statically invalid fused plan inserted into the cache:\n{report}"
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "verify")))]
+fn verify_fused_inserted(_: &[DistArray<f64>], _: &[Assignment], _: &ProgramPlan) {}
+
 /// A cache of compiled execution plans, keyed by statement shape and
 /// mapping identity.
 ///
@@ -65,6 +114,7 @@ fn verify_inserted(_: &[DistArray<f64>], _: &Assignment, _: &ExecPlan) {}
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
     entries: HashMap<Assignment, Entry>,
+    fused: Option<FusedEntry>,
     hits: u64,
     misses: u64,
 }
@@ -174,6 +224,107 @@ impl PlanCache {
         Ok(e.plan.shared_analysis())
     }
 
+    /// Execute one whole timestep — every statement of `stmts`, in
+    /// program order — through the cached fused [`ProgramPlan`] on the
+    /// chosen [`FusedTarget`], compiling (and statically verifying) the
+    /// fused plan first if the statement sequence changed or any involved
+    /// array was remapped.
+    ///
+    /// Counter semantics match the per-statement paths exactly: a warm
+    /// fused timestep counts one hit per statement; a rebuild resolves
+    /// each constituent plan through [`PlanCache::plan_for`], which
+    /// charges hits for statements whose per-statement plans are still
+    /// valid and misses for cold or invalidated ones.
+    ///
+    /// Warm timesteps on the `Shared` target perform **zero heap
+    /// allocations**: the dirty bits, effective-send mask, fused staging
+    /// buffers, and per-statement operand buffers are all reused in
+    /// place, and the elements physically staged are asserted equal to
+    /// the mask's prediction.
+    pub fn replay_fused_on(
+        &mut self,
+        arrays: &mut [DistArray<f64>],
+        stmts: &[Assignment],
+        target: FusedTarget<'_>,
+    ) -> Result<Arc<ProgramPlan>, HpfError> {
+        let warm = self
+            .fused
+            .as_ref()
+            .is_some_and(|e| e.stmts == stmts && e.plan.is_valid_for(arrays));
+        if warm {
+            self.hits += stmts.len() as u64;
+        } else {
+            let plans = stmts
+                .iter()
+                .map(|s| self.plan_for(arrays, s))
+                .collect::<Result<Vec<_>, _>>()?;
+            let plan = Arc::new(ProgramPlan::compile(stmts, plans));
+            verify_fused_inserted(arrays, stmts, &plan);
+            let ws = FusedWorkspace::for_plan(&plan);
+            let mut state = FusedState::new(&plan, arrays);
+            if let Some(old) = &self.fused {
+                state.carry_counters(&old.state);
+            }
+            self.fused = Some(FusedEntry { stmts: stmts.to_vec(), plan, state, ws });
+        }
+        let FusedEntry { plan, state, ws, .. } =
+            self.fused.as_mut().expect("fused entry was just ensured");
+        match target {
+            FusedTarget::Shared(backend) => {
+                state.begin_timestep(plan, arrays, BufferDomain::Workspace);
+                let staged = backend.step_fused(plan, arrays, state, ws);
+                assert_eq!(
+                    staged,
+                    state.last_sent(),
+                    "staged ghost elements diverged from the dirty-tracking mask"
+                );
+            }
+            FusedTarget::Par(threads) => {
+                state.begin_timestep(plan, arrays, BufferDomain::Workspace);
+                let staged = execute_fused_par(plan, arrays, state, ws, threads);
+                assert_eq!(
+                    staged,
+                    state.last_sent(),
+                    "staged ghost elements diverged from the dirty-tracking mask"
+                );
+            }
+            FusedTarget::Channels(backend) => {
+                // worker fleet first: a respawn (processor-count change
+                // elsewhere) empties the workers' persistent buffers, and
+                // the generation stamp forces an all-dirty mask
+                let generation = backend.prepare(plan.np());
+                state.begin_timestep(plan, arrays, BufferDomain::Channels(generation));
+                backend.step_fused(
+                    plan,
+                    arrays,
+                    state.eff_arc(),
+                    state.eff_version(),
+                    state.last_sent(),
+                );
+            }
+        }
+        state.finish_timestep(plan, arrays);
+        Ok(plan.clone())
+    }
+
+    /// Observability snapshot of the fused path: DAG shape of the current
+    /// fused plan plus lifetime-cumulative reuse counters (carried across
+    /// rebuilds). Zeroed before the first fused timestep.
+    pub fn fusion_stats(&self) -> FusionStats {
+        match &self.fused {
+            None => FusionStats::default(),
+            Some(e) => FusionStats {
+                statements: e.stmts.len(),
+                supersteps: e.plan.supersteps().len(),
+                messages_before: e.plan.messages_before(),
+                messages_after: e.plan.messages_after(),
+                fused_timesteps: e.state.timesteps(),
+                ghost_elements_sent: e.state.sent_elements(),
+                ghost_elements_avoided: e.state.avoided_elements(),
+            },
+        }
+    }
+
     /// Cached-replay count.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -206,9 +357,11 @@ impl PlanCache {
         self.entries.values().map(|e| e.ws.buffer_elements()).sum()
     }
 
-    /// Drop every cached plan (counters are kept).
+    /// Drop every cached plan, including the fused program plan
+    /// (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.fused = None;
     }
 }
 

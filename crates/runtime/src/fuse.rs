@@ -1,0 +1,953 @@
+//! Program-level plan fusion: superstep DAG construction, cross-statement
+//! message coalescing, and ghost-region reuse for warm replay.
+//!
+//! Per-statement plans ([`ExecPlan`]) treat every statement as its own
+//! island: an iterated solver re-exchanges its full ghost sets every
+//! timestep even when the overlap data has not changed, and back-to-back
+//! statements reading the same operand pack the same bytes twice. This
+//! module lifts the inspector–executor boundary from *statement* to
+//! *program*:
+//!
+//! 1. **Superstep DAG** — the timestep's statements are level-scheduled at
+//!    array granularity: statement `s` must run after an earlier statement
+//!    `r` iff `s` reads `r`'s LHS array (RAW) or writes the same array
+//!    (WAW). WAR is *not* a conflict: the pack phase snapshots every
+//!    operand before any same-superstep store (Fortran 90 array-assignment
+//!    semantics), so an earlier reader and a later writer fuse safely into
+//!    one superstep.
+//! 2. **Message coalescing** — within a superstep, every constituent
+//!    plan's [`PairSchedule`](crate::PairSchedule)s for the same
+//!    `(sender, receiver)` pair merge into one [`FusedPair`]: one
+//!    vectorized message per pair per superstep instead of one per pair
+//!    per statement.
+//! 3. **Ghost-region reuse** — each coalesced segment is a dirty-tracking
+//!    *unit*. At compile time the fused plan computes, from store-run /
+//!    source-interval intersections, which statements overwrite each
+//!    unit's source data; at run time a [`FusedState`] combines that with
+//!    per-shard write epochs (see `DistArray::shard_version`) to skip
+//!    re-sending units whose receiver-side copy is still current. The
+//!    receiving buffers persist across timesteps, so a skipped unit's data
+//!    is simply still there.
+//! 4. **Pack/compute overlap** — a fused pair's message is packed and
+//!    shipped at its `pack_phase`, the earliest superstep at which its
+//!    source data is final. A pair whose operands no earlier superstep
+//!    writes is hoisted to phase 0, so its exchange overlaps the compute
+//!    of every earlier superstep (the `Channels` workers run phases
+//!    without global barriers; they block only on the arrivals the next
+//!    kernel actually reads).
+//!
+//! A [`ProgramPlan`] is immutable once compiled; `PlanCache` keeps one per
+//! statement sequence and invalidates it exactly like the per-statement
+//! plans — structural statement equality plus `MappingId` identity of
+//! every involved mapping (so `Program::remap` invalidates it).
+
+use crate::array::DistArray;
+use crate::assign::Assignment;
+use crate::backend::pack_local_runs;
+use crate::plan::{compute_proc, ExecPlan};
+use crate::workspace::FusedWorkspace;
+use std::sync::Arc;
+
+/// One contiguous piece of a coalesced message, tied back to the
+/// statement it feeds: `len` elements from shard `sender` of array
+/// `array` at `src_off`, landing in statement `stmt`'s packed operand
+/// buffer for term `term` at `dst_off` on the receiver. Also the
+/// granularity of ghost dirty tracking (`unit` indexes the plan's
+/// [`UnitMeta`] table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedSegment {
+    /// Index of the statement (and constituent plan) this segment feeds.
+    pub stmt: usize,
+    /// RHS term index within that statement.
+    pub term: usize,
+    /// Operand array index (selects the sender's local buffer).
+    pub array: usize,
+    /// Flat offset into the sender's local shard.
+    pub src_off: usize,
+    /// Position in the receiver's packed operand buffer for `term`.
+    pub dst_off: usize,
+    /// Elements moved.
+    pub len: usize,
+    /// Index into [`ProgramPlan::units`] — the segment's dirty-tracking
+    /// unit (1:1 with segments).
+    pub unit: usize,
+}
+
+/// Everything one ordered processor pair exchanges for one superstep,
+/// coalesced across every statement of that superstep: the fused
+/// analogue of [`PairSchedule`](crate::PairSchedule).
+#[derive(Debug, Clone)]
+pub struct FusedPair {
+    /// Zero-based sending processor.
+    pub sender: u32,
+    /// Zero-based receiving processor.
+    pub receiver: u32,
+    /// The superstep whose kernels read this message (its *home*).
+    pub superstep: usize,
+    /// The phase at which the message is packed and shipped: the earliest
+    /// superstep index at which no earlier-superstep statement can still
+    /// write the source data. `pack_phase ≤ superstep`; a strict
+    /// inequality is the pack/compute overlap window.
+    pub pack_phase: usize,
+    /// Total elements when every segment is sent (= sum of segment
+    /// lengths). The actual wire traffic of a warm timestep is the sum
+    /// over *effective* (dirty) segments only.
+    pub elements: usize,
+    /// The message layout, in pack order.
+    pub segments: Vec<FusedSegment>,
+}
+
+/// Compile-time dirty-tracking metadata for one coalesced segment: where
+/// its source data lives and which program statements overwrite it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitMeta {
+    /// Source array index.
+    pub array: usize,
+    /// Zero-based source shard (the sending processor).
+    pub shard: usize,
+    /// Flat source interval start within the shard.
+    pub src_off: usize,
+    /// Source interval length in elements.
+    pub len: usize,
+    /// Home superstep of the pair the unit belongs to.
+    pub superstep: usize,
+    /// True iff some statement in a superstep *before* the unit's pack
+    /// phase writes its source interval: the unit must then be re-sent
+    /// every timestep regardless of its cross-timestep dirty bit, because
+    /// the current timestep changes the data before it is staged.
+    pub intra_dirty: bool,
+    /// True iff some statement at or after the unit's home superstep
+    /// writes its source interval: the receiver's copy is stale *after*
+    /// the timestep, so the unit re-enters the next timestep dirty.
+    pub post_dirty: bool,
+}
+
+/// One level of the fused timestep: the statements (by index) that
+/// execute together, pairwise free of RAW/WAW conflicts.
+#[derive(Debug, Clone)]
+pub struct Superstep {
+    /// Statement indices, in program order.
+    pub stmts: Vec<usize>,
+}
+
+/// A whole timestep compiled as one fused schedule: the constituent
+/// per-statement plans, the superstep DAG flattened to levels, the
+/// coalesced per-pair messages, and the dirty-tracking unit table.
+/// Immutable once compiled; see the module docs for invalidation rules.
+#[derive(Debug, Clone)]
+pub struct ProgramPlan {
+    plans: Vec<Arc<ExecPlan>>,
+    supersteps: Vec<Superstep>,
+    pairs: Vec<FusedPair>,
+    units: Vec<UnitMeta>,
+    messages_before: usize,
+    messages_after: usize,
+}
+
+/// Merge possibly-overlapping `(start, end)` intervals into a sorted
+/// disjoint list.
+pub(crate) fn merge_intervals(mut iv: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    iv.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Does any interval of the sorted disjoint list intersect `[start, end)`?
+pub(crate) fn intersects(iv: &[(usize, usize)], start: usize, end: usize) -> bool {
+    let i = iv.partition_point(|&(_, e)| e <= start);
+    i < iv.len() && iv[i].0 < end
+}
+
+impl ProgramPlan {
+    /// Compile the fused schedule for one timestep: level-schedule the
+    /// statements, coalesce their message plans per superstep, and derive
+    /// the static dirty/phase metadata from store-run intersections.
+    ///
+    /// `plans[s]` must be the compiled plan of `stmts[s]` against the
+    /// current mappings (the `PlanCache` resolves them; direct callers can
+    /// use [`ExecPlan::inspect`]).
+    ///
+    /// # Panics
+    /// Panics if `stmts` and `plans` disagree in length.
+    pub fn compile(stmts: &[Assignment], plans: Vec<Arc<ExecPlan>>) -> ProgramPlan {
+        assert_eq!(stmts.len(), plans.len(), "one plan per statement");
+        let n = stmts.len();
+
+        // 1. greedy level scheduling at array granularity: s conflicts
+        // with an earlier r iff s reads r's LHS (RAW) or writes the same
+        // array (WAW). WAR fuses (pack snapshots operands before stores).
+        let mut level = vec![0usize; n];
+        for s in 0..n {
+            let mut lv = 0usize;
+            for r in 0..s {
+                let raw = stmts[s].terms.iter().any(|t| t.array == stmts[r].lhs);
+                let waw = stmts[s].lhs == stmts[r].lhs;
+                if raw || waw {
+                    lv = lv.max(level[r] + 1);
+                }
+            }
+            level[s] = lv;
+        }
+        let depth = level.iter().map(|l| l + 1).max().unwrap_or(0);
+        let mut supersteps: Vec<Superstep> =
+            (0..depth).map(|_| Superstep { stmts: Vec::new() }).collect();
+        for (s, &lv) in level.iter().enumerate() {
+            supersteps[lv].stmts.push(s);
+        }
+
+        // 2. per-statement store intervals in flat shard-offset space:
+        // writes[s][q] = what statement s stores into shard q of its LHS.
+        let np = plans.iter().map(|p| p.per_proc().len()).max().unwrap_or(0);
+        let writes: Vec<Vec<Vec<(usize, usize)>>> = plans
+            .iter()
+            .map(|p| {
+                let mut per: Vec<Vec<(usize, usize)>> = vec![Vec::new(); np];
+                for pp in p.per_proc() {
+                    per[pp.proc.zero_based()] = merge_intervals(
+                        pp.lhs_runs.iter().map(|r| (r.dst_off, r.dst_off + r.len)).collect(),
+                    );
+                }
+                per
+            })
+            .collect();
+
+        // 3. coalesce messages: all constituent segments of one
+        // superstep's statements sharing a (sender, receiver) pair merge
+        // into one fused message, in (superstep, sender, receiver) order.
+        // Each constituent segment is split at the boundaries of the
+        // statically-known store intervals on its source shard, so a
+        // never-written stretch (e.g. a fixed boundary element a stencil
+        // reads but no sweep updates) gets its own dirty-tracking unit —
+        // ghost validity is decided per homogeneous stretch, not per
+        // whole gather run.
+        let mut messages_before = 0usize;
+        let mut map: std::collections::BTreeMap<(usize, u32, u32), Vec<FusedSegment>> =
+            std::collections::BTreeMap::new();
+        let mut cuts: Vec<usize> = Vec::new();
+        for (s, plan) in plans.iter().enumerate() {
+            let msgs = plan.message_plan();
+            messages_before += msgs.pairs().len();
+            for pair in msgs.pairs() {
+                let bucket = map.entry((level[s], pair.sender, pair.receiver)).or_default();
+                for seg in &pair.segments {
+                    let (start, end) = (seg.src_off, seg.src_off + seg.len);
+                    cuts.clear();
+                    cuts.push(start);
+                    for (w, stmt) in stmts.iter().enumerate() {
+                        if stmt.lhs != seg.array {
+                            continue;
+                        }
+                        for &(ws, we) in &writes[w][pair.sender as usize] {
+                            for c in [ws, we] {
+                                if c > start && c < end {
+                                    cuts.push(c);
+                                }
+                            }
+                        }
+                    }
+                    cuts.push(end);
+                    cuts.sort_unstable();
+                    cuts.dedup();
+                    for w in cuts.windows(2) {
+                        bucket.push(FusedSegment {
+                            stmt: s,
+                            term: seg.term,
+                            array: seg.array,
+                            src_off: w[0],
+                            dst_off: seg.dst_off + (w[0] - start),
+                            len: w[1] - w[0],
+                            unit: 0, // assigned below
+                        });
+                    }
+                }
+            }
+        }
+
+        // 4. units, dirty flags, and pack phases. A unit's writers split
+        // by superstep relative to the pair's home: writers strictly
+        // before the home push the pack phase past them (and force a
+        // same-timestep re-send); writers at or after the home happen
+        // after staging, so they leave the receiver's copy stale for the
+        // *next* timestep.
+        let mut pairs = Vec::with_capacity(map.len());
+        let mut units = Vec::new();
+        for ((superstep, sender, receiver), mut segments) in map {
+            let mut pack_phase = 0usize;
+            for seg in &mut segments {
+                seg.unit = units.len();
+                let (mut intra, mut post) = (false, false);
+                for (w, stmt) in stmts.iter().enumerate() {
+                    if stmt.lhs != seg.array
+                        || !intersects(
+                            &writes[w][sender as usize],
+                            seg.src_off,
+                            seg.src_off + seg.len,
+                        )
+                    {
+                        continue;
+                    }
+                    if level[w] < superstep {
+                        intra = true;
+                        pack_phase = pack_phase.max(level[w] + 1);
+                    } else {
+                        post = true;
+                    }
+                }
+                units.push(UnitMeta {
+                    array: seg.array,
+                    shard: sender as usize,
+                    src_off: seg.src_off,
+                    len: seg.len,
+                    superstep,
+                    intra_dirty: intra,
+                    post_dirty: post,
+                });
+            }
+            let elements = segments.iter().map(|s| s.len).sum();
+            pairs.push(FusedPair { sender, receiver, superstep, pack_phase, elements, segments });
+        }
+        let messages_after = pairs.len();
+
+        ProgramPlan { plans, supersteps, pairs, units, messages_before, messages_after }
+    }
+
+    /// The constituent per-statement plans, in program order.
+    pub fn plans(&self) -> &[Arc<ExecPlan>] {
+        &self.plans
+    }
+
+    /// The superstep levels, each pairwise free of RAW/WAW conflicts.
+    pub fn supersteps(&self) -> &[Superstep] {
+        &self.supersteps
+    }
+
+    /// The coalesced messages, sorted by `(superstep, sender, receiver)`.
+    pub fn pairs(&self) -> &[FusedPair] {
+        &self.pairs
+    }
+
+    /// The dirty-tracking unit table (1:1 with coalesced segments).
+    pub fn units(&self) -> &[UnitMeta] {
+        &self.units
+    }
+
+    /// Constituent `(sender, receiver)` messages before coalescing (one
+    /// per pair per statement).
+    pub fn messages_before(&self) -> usize {
+        self.messages_before
+    }
+
+    /// Coalesced messages after fusion (one per pair per superstep).
+    pub fn messages_after(&self) -> usize {
+        self.messages_after
+    }
+
+    /// Simulated processor count the fused schedule drives.
+    pub fn np(&self) -> usize {
+        self.plans.iter().map(|p| p.per_proc().len()).max().unwrap_or(0)
+    }
+
+    /// True iff every constituent plan is still valid for `arrays` (same
+    /// `MappingId` for every involved mapping — see
+    /// [`ExecPlan::is_valid_for`]).
+    pub fn is_valid_for(&self, arrays: &[DistArray<f64>]) -> bool {
+        self.plans.iter().all(|p| p.is_valid_for(arrays))
+    }
+
+    /// Elements pair `k` actually ships under the effective-send mask
+    /// `eff` (indexed by unit).
+    pub(crate) fn pair_eff_elements(&self, k: usize, eff: &[bool]) -> usize {
+        self.pairs[k].segments.iter().filter(|s| eff[s.unit]).map(|s| s.len).sum()
+    }
+
+    /// Mutable access to the coalesced pairs.
+    ///
+    /// Only for mutation tests that corrupt a frozen fused schedule to
+    /// prove [`verify_program_plan`](crate::verify::verify_program_plan)
+    /// catches it — never mutate a plan that will execute.
+    #[doc(hidden)]
+    pub fn pairs_mut(&mut self) -> &mut Vec<FusedPair> {
+        &mut self.pairs
+    }
+}
+
+/// Which executor family currently owns the receiver-side packed operand
+/// buffers that clean-unit skipping relies on. The workspace executors
+/// (shared-mem and the scoped-thread parallel path) share one
+/// [`FusedWorkspace`]; the `Channels` workers keep their own buffers, and
+/// a respawned fleet starts empty — the generation stamp detects that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BufferDomain {
+    /// No fused timestep has run yet.
+    None,
+    /// The `FusedWorkspace` buffers (shared-mem / scoped-thread paths).
+    Workspace,
+    /// The `Channels` worker fleet with the given spawn generation.
+    Channels(u64),
+}
+
+/// Mutable per-`ProgramPlan` replay state: the cross-timestep dirty bits,
+/// the per-timestep effective-send mask, per-shard write-epoch snapshots
+/// for out-of-band-write detection, and the reuse counters behind
+/// [`FusionStats`](crate::FusionStats). Warm timesteps mutate it without
+/// allocating.
+#[derive(Debug, Clone)]
+pub struct FusedState {
+    dirty: Vec<bool>,
+    /// Effective-send mask of the current timestep; `Arc` so the
+    /// `Channels` driver can ship it to the workers without copying.
+    eff: Arc<Vec<bool>>,
+    /// Effective elements per coalesced pair under the current mask —
+    /// the executors' O(1) whole-pair skip (a cyclic gather degrades to
+    /// per-element segments, so anything per-segment is the hot path).
+    pair_eff: Vec<u64>,
+    /// Bumped whenever the mask is rebuilt, so `Channels` workers can
+    /// cache their per-pair filter results across steady warm timesteps.
+    eff_version: u64,
+    /// True while `eff`/`pair_eff` match `dirty` — steady warm timesteps
+    /// skip every per-unit pass.
+    eff_current: bool,
+    /// True while `dirty` equals the static `post_dirty` column, which is
+    /// the steady-state fixpoint `finish_timestep` drives it to.
+    dirty_is_post: bool,
+    /// Per-pair `(start, end)` ranges into `eff_segs`.
+    eff_ranges: Vec<(u32, u32)>,
+    /// Flat per-pair lists of effective segment indices (into each
+    /// [`FusedPair::segments`]), so the staging loops touch only the
+    /// segments that actually ship instead of filtering the full
+    /// coalesced list every timestep. Capacity is reserved up front so
+    /// mask rebuilds never allocate.
+    eff_segs: Vec<u32>,
+    /// `snaps[a][q]` = shard version of array `a`, shard `q` at the end
+    /// of the last fused timestep.
+    snaps: Vec<Vec<u64>>,
+    domain: BufferDomain,
+    last_sent: u64,
+    last_avoided: u64,
+    sent_elements: u64,
+    avoided_elements: u64,
+    timesteps: u64,
+}
+
+impl FusedState {
+    /// Fresh state for `plan`: everything dirty, so the first timestep
+    /// ships the full schedule and populates the receiver-side buffers.
+    pub(crate) fn new(plan: &ProgramPlan, arrays: &[DistArray<f64>]) -> FusedState {
+        let nseg = plan.pairs.iter().map(|p| p.segments.len()).sum();
+        FusedState {
+            dirty: vec![true; plan.units.len()],
+            eff: Arc::new(vec![false; plan.units.len()]),
+            pair_eff: vec![0; plan.pairs.len()],
+            eff_version: 0,
+            eff_current: false,
+            dirty_is_post: false,
+            eff_ranges: vec![(0, 0); plan.pairs.len()],
+            eff_segs: Vec::with_capacity(nseg),
+            snaps: arrays.iter().map(|a| vec![0u64; a.np()]).collect(),
+            domain: BufferDomain::None,
+            last_sent: 0,
+            last_avoided: 0,
+            sent_elements: 0,
+            avoided_elements: 0,
+            timesteps: 0,
+        }
+    }
+
+    /// Open a timestep: dirty everything if the buffer domain changed
+    /// (different executor family or respawned worker fleet), fold in
+    /// out-of-band shard writes detected via the write epochs, and build
+    /// the effective-send mask (`dirty ∨ intra_dirty`).
+    ///
+    /// The expensive passes here are all O(units), and a cyclic gather
+    /// degrades to per-element units — so the steady warm state must not
+    /// touch them. The out-of-band probe is O(arrays × shards); when it
+    /// is quiet, the domain is unchanged, and the mask already matches
+    /// the dirty bits, the previous timestep's mask, per-pair totals and
+    /// segment lists are all still exact and the call returns
+    /// immediately.
+    pub(crate) fn begin_timestep(
+        &mut self,
+        plan: &ProgramPlan,
+        arrays: &[DistArray<f64>],
+        domain: BufferDomain,
+    ) {
+        let mut event = self.domain != domain;
+        if event {
+            self.dirty.iter_mut().for_each(|d| *d = true);
+            self.domain = domain;
+            self.dirty_is_post = false;
+        }
+        let quiet = self.snaps.iter().zip(arrays).all(|(snap, arr)| {
+            snap.iter().enumerate().all(|(q, &s)| arr.shard_version(q) == s)
+        });
+        if !quiet {
+            for (d, meta) in self.dirty.iter_mut().zip(&plan.units) {
+                if arrays[meta.array].shard_version(meta.shard)
+                    != self.snaps[meta.array][meta.shard]
+                {
+                    *d = true;
+                }
+            }
+            self.dirty_is_post = false;
+            event = true;
+        }
+        if !event && self.eff_current {
+            return; // steady state: mask, counters and segment lists hold
+        }
+        let eff = Arc::make_mut(&mut self.eff);
+        let (mut sent, mut avoided) = (0u64, 0u64);
+        for ((e, &d), meta) in eff.iter_mut().zip(&self.dirty).zip(&plan.units) {
+            *e = d || meta.intra_dirty;
+            if *e {
+                sent += meta.len as u64;
+            } else {
+                avoided += meta.len as u64;
+            }
+        }
+        self.last_sent = sent;
+        self.last_avoided = avoided;
+        self.eff_segs.clear();
+        let mut start = 0u32;
+        for ((range, elems), pair) in
+            self.eff_ranges.iter_mut().zip(self.pair_eff.iter_mut()).zip(&plan.pairs)
+        {
+            let mut n = 0u64;
+            for (i, seg) in pair.segments.iter().enumerate() {
+                if eff[seg.unit] {
+                    self.eff_segs.push(i as u32);
+                    n += seg.len as u64;
+                }
+            }
+            let end = self.eff_segs.len() as u32;
+            *range = (start, end);
+            *elems = n;
+            start = end;
+        }
+        self.eff_version = self.eff_version.wrapping_add(1);
+        self.eff_current = true;
+    }
+
+    /// The effective segment indices of pair `k` under the current mask.
+    pub(crate) fn eff_segments(&self, k: usize) -> &[u32] {
+        let (lo, hi) = self.eff_ranges[k];
+        &self.eff_segs[lo as usize..hi as usize]
+    }
+
+    /// Monotone stamp of the current mask, bumped on every rebuild — lets
+    /// the `Channels` workers cache their per-pair filter results across
+    /// steady warm timesteps.
+    pub(crate) fn eff_version(&self) -> u64 {
+        self.eff_version
+    }
+
+    /// The mask as a shareable handle (for the `Channels` driver).
+    pub(crate) fn eff_arc(&self) -> Arc<Vec<bool>> {
+        self.eff.clone()
+    }
+
+    /// Elements the current timestep's mask ships.
+    pub(crate) fn last_sent(&self) -> u64 {
+        self.last_sent
+    }
+
+    /// Close a timestep: a unit re-enters dirty iff some statement at or
+    /// after its pack point overwrote its source this timestep (the
+    /// static `post_dirty` — sound because units the mask skipped had no
+    /// writers at all, and units it shipped were staged past every
+    /// earlier writer). Then resync the write-epoch snapshots.
+    pub(crate) fn finish_timestep(&mut self, plan: &ProgramPlan, arrays: &[DistArray<f64>]) {
+        if !self.dirty_is_post {
+            let mut changed = false;
+            for (d, meta) in self.dirty.iter_mut().zip(&plan.units) {
+                if *d != meta.post_dirty {
+                    *d = meta.post_dirty;
+                    changed = true;
+                }
+            }
+            self.dirty_is_post = true;
+            if changed {
+                self.eff_current = false;
+            }
+        }
+        for (snap, arr) in self.snaps.iter_mut().zip(arrays) {
+            for (q, s) in snap.iter_mut().enumerate() {
+                *s = arr.shard_version(q);
+            }
+        }
+        self.sent_elements += self.last_sent;
+        self.avoided_elements += self.last_avoided;
+        self.timesteps += 1;
+    }
+
+    /// Cumulative ghost elements shipped across fused timesteps.
+    pub(crate) fn sent_elements(&self) -> u64 {
+        self.sent_elements
+    }
+
+    /// Cumulative ghost elements skipped as clean across fused timesteps.
+    pub(crate) fn avoided_elements(&self) -> u64 {
+        self.avoided_elements
+    }
+
+    /// Fused timesteps executed through this state.
+    pub(crate) fn timesteps(&self) -> u64 {
+        self.timesteps
+    }
+
+    /// Carry the cumulative observability counters over from the state
+    /// of an invalidated plan, so `fusion_stats` stays lifetime-cumulative
+    /// across remaps and statement-list changes.
+    pub(crate) fn carry_counters(&mut self, old: &FusedState) {
+        self.sent_elements = old.sent_elements;
+        self.avoided_elements = old.avoided_elements;
+        self.timesteps = old.timesteps;
+    }
+}
+
+/// Observability snapshot of the fused program path — what
+/// [`Program::fusion_stats`](crate::Program::fusion_stats) returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Statements in the fused plan.
+    pub statements: usize,
+    /// Superstep levels the DAG flattened to.
+    pub supersteps: usize,
+    /// Constituent per-statement messages before coalescing.
+    pub messages_before: usize,
+    /// Coalesced messages after fusion.
+    pub messages_after: usize,
+    /// Timesteps replayed through the fused plan.
+    pub fused_timesteps: u64,
+    /// Ghost elements actually shipped across those timesteps.
+    pub ghost_elements_sent: u64,
+    /// Ghost elements skipped because their receiver-side copy was still
+    /// current (never re-packed, never re-sent).
+    pub ghost_elements_avoided: u64,
+}
+
+impl FusionStats {
+    /// Ghost bytes actually shipped.
+    pub fn ghost_bytes_sent(&self) -> u64 {
+        self.ghost_elements_sent * std::mem::size_of::<f64>() as u64
+    }
+
+    /// Ghost bytes avoided by clean-unit reuse.
+    pub fn ghost_bytes_avoided(&self) -> u64 {
+        self.ghost_elements_avoided * std::mem::size_of::<f64>() as u64
+    }
+}
+
+impl std::fmt::Display for FusionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} statements in {} supersteps, {} messages coalesced to {}, \
+             {} timesteps: {} ghost bytes sent, {} avoided by reuse",
+            self.statements,
+            self.supersteps,
+            self.messages_before,
+            self.messages_after,
+            self.fused_timesteps,
+            self.ghost_bytes_sent(),
+            self.ghost_bytes_avoided(),
+        )
+    }
+}
+
+/// Stage the effective segments of every fused pair hoisted to `phase`
+/// into its staging buffer and deliver them into the per-statement packed
+/// operand buffers — the workspace executors' exchange leg. Returns the
+/// elements staged.
+fn stage_phase(
+    plan: &ProgramPlan,
+    arrays: &[DistArray<f64>],
+    state: &FusedState,
+    ws: &mut FusedWorkspace,
+    phase: usize,
+) -> u64 {
+    let mut staged_total = 0u64;
+    for (k, pair) in plan.pairs.iter().enumerate() {
+        if pair.pack_phase != phase || state.pair_eff[k] == 0 {
+            continue;
+        }
+        let segs = state.eff_segments(k);
+        let stage = &mut ws.stage[k];
+        let mut off = 0usize;
+        for &i in segs {
+            let seg = &pair.segments[i as usize];
+            let src =
+                &arrays[seg.array].local(pair.sender as usize)[seg.src_off..seg.src_off + seg.len];
+            stage[off..off + seg.len].copy_from_slice(src);
+            off += seg.len;
+        }
+        staged_total += off as u64;
+        let mut off = 0usize;
+        for &i in segs {
+            let seg = &pair.segments[i as usize];
+            ws.per_stmt[seg.stmt].bufs[pair.receiver as usize][seg.term]
+                [seg.dst_off..seg.dst_off + seg.len]
+                .copy_from_slice(&stage[off..off + seg.len]);
+            off += seg.len;
+        }
+    }
+    staged_total
+}
+
+/// Sequential fused timestep over one address space: per phase, pack the
+/// superstep's local runs, stage the effective segments of every pair
+/// hoisted to the phase, then compute the superstep's statements. Returns
+/// the elements staged (the timestep's wire traffic). Warm calls perform
+/// zero heap allocations.
+pub(crate) fn execute_fused_seq(
+    plan: &ProgramPlan,
+    arrays: &mut [DistArray<f64>],
+    state: &FusedState,
+    ws: &mut FusedWorkspace,
+) -> u64 {
+    assert!(plan.is_valid_for(arrays), "stale fused plan: an involved array was remapped");
+    ws.ensure(plan);
+    let mut staged_total = 0u64;
+    for phase in 0..plan.supersteps.len() {
+        for &s in &plan.supersteps[phase].stmts {
+            let sp = &plan.plans[s];
+            for (pp, bufs) in sp.per_proc().iter().zip(ws.per_stmt[s].bufs.iter_mut()) {
+                pack_local_runs(arrays, pp, bufs);
+            }
+        }
+        staged_total += stage_phase(plan, arrays, state, ws, phase);
+        for &s in &plan.supersteps[phase].stmts {
+            let sp = &plan.plans[s];
+            let combine = sp.combine();
+            let (_, locals) = arrays[sp.lhs()].parts_mut();
+            for (pp, bufs) in sp.per_proc().iter().zip(&ws.per_stmt[s].bufs) {
+                compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, combine);
+            }
+        }
+    }
+    staged_total
+}
+
+/// Scoped-thread fused timestep honoring a thread cap below the simulated
+/// processor count: each statement's pack and compute phases spread over
+/// `threads` scoped threads (chunked by processor, like
+/// [`ExecPlan::execute_par_with`]); staging stays serial — it is exactly
+/// the leg clean-unit skipping shrinks. Returns the elements staged.
+pub(crate) fn execute_fused_par(
+    plan: &ProgramPlan,
+    arrays: &mut [DistArray<f64>],
+    state: &FusedState,
+    ws: &mut FusedWorkspace,
+    threads: usize,
+) -> u64 {
+    assert!(plan.is_valid_for(arrays), "stale fused plan: an involved array was remapped");
+    ws.ensure(plan);
+    let np = plan.np();
+    let threads = threads.clamp(1, np.max(1));
+    if threads == 1 {
+        return execute_fused_seq(plan, arrays, state, ws);
+    }
+    let chunk = np.div_ceil(threads);
+    let mut staged_total = 0u64;
+    for phase in 0..plan.supersteps.len() {
+        for &s in &plan.supersteps[phase].stmts {
+            let sp = &plan.plans[s];
+            let per_proc = sp.per_proc();
+            let arrays_ref: &[DistArray<f64>] = arrays;
+            crossbeam::thread::scope(|scope| {
+                for (pps, bufss) in
+                    per_proc.chunks(chunk).zip(ws.per_stmt[s].bufs.chunks_mut(chunk))
+                {
+                    scope.spawn(move |_| {
+                        for (pp, bufs) in pps.iter().zip(bufss) {
+                            pack_local_runs(arrays_ref, pp, bufs);
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+        staged_total += stage_phase(plan, arrays, state, ws, phase);
+        for &s in &plan.supersteps[phase].stmts {
+            let sp = &plan.plans[s];
+            let combine = sp.combine();
+            let per_proc = sp.per_proc();
+            let bufs_all = &ws.per_stmt[s].bufs;
+            let (_, locals) = arrays[sp.lhs()].parts_mut();
+            crossbeam::thread::scope(|scope| {
+                for ((pps, bufss), locs) in per_proc
+                    .chunks(chunk)
+                    .zip(bufs_all.chunks(chunk))
+                    .zip(locals.chunks_mut(chunk))
+                {
+                    scope.spawn(move |_| {
+                        for ((pp, bufs), local) in pps.iter().zip(bufss).zip(locs) {
+                            compute_proc(pp, local, bufs, combine);
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+    }
+    staged_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Combine, Term};
+    use hpf_core::{DataSpace, DistributeSpec, FormatSpec};
+    use hpf_index::{span, triplet, IndexDomain, Section};
+
+    fn arrays_1d(n: usize, np: usize, fmts: &[FormatSpec]) -> Vec<DistArray<f64>> {
+        let mut ds = DataSpace::new(np);
+        let mut out = Vec::new();
+        for (k, f) in fmts.iter().enumerate() {
+            let name = format!("A{k}");
+            let id = ds.declare(&name, IndexDomain::of_shape(&[n]).unwrap()).unwrap();
+            ds.distribute(id, &DistributeSpec::new(vec![f.clone()])).unwrap();
+            out.push(DistArray::from_fn(&name, ds.effective(id).unwrap(), np, |i| {
+                (i[0] * (k as i64 + 2)) as f64
+            }));
+        }
+        out
+    }
+
+    fn compile(arrays: &[DistArray<f64>], stmts: &[Assignment]) -> ProgramPlan {
+        let plans = stmts
+            .iter()
+            .map(|s| Arc::new(ExecPlan::inspect(arrays, s).unwrap()))
+            .collect();
+        ProgramPlan::compile(stmts, plans)
+    }
+
+    #[test]
+    fn independent_statements_fuse_into_one_superstep() {
+        let n = 32i64;
+        let arrays =
+            arrays_1d(32, 4, &[FormatSpec::Block, FormatSpec::Block, FormatSpec::Cyclic(1)]);
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        // A0 and A1 both read the cyclic A2: independent at array level
+        let mk = |lhs: usize| {
+            Assignment::new(
+                lhs,
+                Section::from_triplets(vec![span(1, n)]),
+                vec![Term::new(2, Section::from_triplets(vec![span(1, n)]))],
+                Combine::Copy,
+                &doms,
+            )
+            .unwrap()
+        };
+        let stmts = vec![mk(0), mk(1)];
+        let plan = compile(&arrays, &stmts);
+        assert_eq!(plan.supersteps().len(), 1);
+        assert_eq!(plan.supersteps()[0].stmts, vec![0, 1]);
+        // both statements' pairs coalesce: strictly fewer fused messages
+        assert!(plan.messages_after() < plan.messages_before());
+        // A2 is never written → every unit is clean in steady state
+        assert!(plan.units().iter().all(|u| !u.intra_dirty && !u.post_dirty));
+        assert!(plan.pairs().iter().all(|p| p.pack_phase == 0));
+    }
+
+    #[test]
+    fn raw_dependence_forces_a_later_superstep() {
+        let n = 32i64;
+        let arrays = arrays_1d(32, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let s0 = Assignment::new(
+            0,
+            Section::from_triplets(vec![span(2, n)]),
+            vec![Term::new(1, Section::from_triplets(vec![span(1, n - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        // reads A0, which s0 writes → RAW → superstep 1
+        let s1 = Assignment::new(
+            1,
+            Section::from_triplets(vec![span(2, n)]),
+            vec![Term::new(0, Section::from_triplets(vec![span(1, n - 1)]))],
+            Combine::Copy,
+            &doms,
+        )
+        .unwrap();
+        let plan = compile(&arrays, &[s0, s1]);
+        assert_eq!(plan.supersteps().len(), 2);
+        assert_eq!(plan.supersteps()[0].stmts, vec![0]);
+        assert_eq!(plan.supersteps()[1].stmts, vec![1]);
+        // s1's ghost units read A0 data that s0 rewrites *earlier in the
+        // same timestep*: the pack phase is hoisted past the write and the
+        // unit re-sends every timestep (intra). The write precedes the
+        // pack, so the staged copy is current at timestep end — no
+        // post-dirty carryover is needed on top.
+        for pair in plan.pairs().iter().filter(|p| p.superstep == 1) {
+            assert_eq!(pair.pack_phase, 1, "{} → {}", pair.sender, pair.receiver);
+        }
+        for u in plan.units().iter().filter(|u| u.superstep == 1) {
+            assert!(u.intra_dirty, "rewritten before its pack phase → intra");
+            assert!(!u.post_dirty, "packed after the write → current at timestep end");
+        }
+    }
+
+    #[test]
+    fn red_black_boundary_units_stay_clean() {
+        // the red/black sweeps under CYCLIC(1): interior ghosts are
+        // rewritten by the opposite sweep every timestep, but the
+        // boundary elements U(0) and U(n+1) are never written — their
+        // units must be statically clean (post_dirty = false)
+        let n = 31i64;
+        let np = 4usize;
+        let mut ds = DataSpace::new(np);
+        let u = ds.declare("U", IndexDomain::standard(&[(0, n + 1)]).unwrap()).unwrap();
+        ds.distribute(u, &DistributeSpec::new(vec![FormatSpec::Cyclic(1)])).unwrap();
+        let arrays =
+            vec![DistArray::from_fn("U", ds.effective(u).unwrap(), np, |i| i[0] as f64)];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let red = Assignment::new(
+            0,
+            Section::from_triplets(vec![triplet(2, n, 2)]),
+            vec![
+                Term::new(0, Section::from_triplets(vec![triplet(1, n - 1, 2)])),
+                Term::new(0, Section::from_triplets(vec![triplet(3, n + 1, 2)])),
+            ],
+            Combine::Average,
+            &doms,
+        )
+        .unwrap();
+        let black = Assignment::new(
+            0,
+            Section::from_triplets(vec![triplet(1, n, 2)]),
+            vec![
+                Term::new(0, Section::from_triplets(vec![triplet(0, n - 1, 2)])),
+                Term::new(0, Section::from_triplets(vec![triplet(2, n + 1, 2)])),
+            ],
+            Combine::Average,
+            &doms,
+        )
+        .unwrap();
+        let plan = compile(&arrays, &[red, black]);
+        assert_eq!(plan.supersteps().len(), 2, "black reads what red writes");
+        let clean: Vec<&UnitMeta> =
+            plan.units().iter().filter(|u| !u.post_dirty && !u.intra_dirty).collect();
+        // exactly the units sourcing the never-written boundary elements
+        assert!(!clean.is_empty(), "U(0)/U(n+1) ghost units must be clean");
+        let total_clean: usize = clean.iter().map(|u| u.len).sum();
+        assert_eq!(total_clean, 2, "one element each for U(0) and U(n+1)");
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let merged = merge_intervals(vec![(5, 8), (0, 2), (2, 4), (7, 10)]);
+        assert_eq!(merged, vec![(0, 4), (5, 10)]);
+        assert!(intersects(&merged, 3, 5));
+        assert!(!intersects(&merged, 4, 5));
+        assert!(intersects(&merged, 9, 20));
+        assert!(!intersects(&merged, 10, 20));
+    }
+}

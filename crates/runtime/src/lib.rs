@@ -39,7 +39,18 @@
 //!   event (§4.2/§5.2) and of §7 copy-in/copy-out;
 //! * [`ghost_regions`] — SUPERB-style overlap areas per processor and
 //!   operand (the paper's reference \[11\]);
-//! * [`Program`] — multi-statement execution with cumulative statistics;
+//! * [`ProgramPlan`] — program-level plan fusion: the statements of a
+//!   timestep scheduled into a superstep DAG (level scheduling over
+//!   RAW/WAW hazards — Fortran 90 copy-in/copy-out semantics make WAR
+//!   safe inside a superstep), their [`MessagePlan`]s coalesced into one
+//!   aggregated schedule per (sender, receiver, superstep), and every
+//!   coalesced segment bound to a dirty-tracking unit so ghost data whose
+//!   source shard no statement wrote is never re-packed or re-sent on
+//!   warm timesteps;
+//! * [`Program`] — multi-statement execution with cumulative statistics,
+//!   routing whole timesteps through the fused plan (with
+//!   [`FusionStats`] counting supersteps, coalesced messages, and ghost
+//!   bytes avoided);
 //! * [`verify_plan`] — static schedule verification: prove (or refute
 //!   with precise diagnostics) write coverage, bounds, race freedom,
 //!   deadlock freedom, and analysis conservation of a compiled plan
@@ -55,6 +66,7 @@ mod backend;
 mod cache;
 mod commsets;
 mod exec;
+mod fuse;
 mod ghost;
 mod par;
 mod plan;
@@ -71,9 +83,10 @@ pub use backend::{
     AnalysisVerdict, Backend, ExchangeBackend, MessagePlan, MsgSegment, PairSchedule,
     SharedMemBackend,
 };
-pub use cache::PlanCache;
+pub use cache::{FusedTarget, PlanCache};
 pub use commsets::{comm_analysis, CommAnalysis};
 pub use exec::{dense_reference, SeqExecutor};
+pub use fuse::{FusedPair, FusedSegment, FusionStats, ProgramPlan, Superstep, UnitMeta};
 pub use ghost::{ghost_regions, GhostReport};
 pub use par::ParExecutor;
 pub use plan::{CopyRun, ExecPlan, GatherRef, ProcPlan, StoreRun, TermSchedule};
@@ -82,7 +95,7 @@ pub use remap::{remap_analysis, RemapAnalysis};
 pub use spmd::ChannelsBackend;
 pub use trace::StatementTrace;
 pub use verify::{
-    verify_plan, Diagnostic, DiagnosticKind, Property, StatementReport, VerifyReport,
-    VerifyStats,
+    verify_plan, verify_program_plan, Diagnostic, DiagnosticKind, FusionReport, Property,
+    StatementReport, VerifyReport, VerifyStats,
 };
-pub use workspace::PlanWorkspace;
+pub use workspace::{FusedWorkspace, PlanWorkspace};

@@ -19,8 +19,9 @@
 
 use crate::assign::Assignment;
 use crate::backend::{Backend, ExchangeBackend, SharedMemBackend};
-use crate::cache::PlanCache;
+use crate::cache::{FusedTarget, PlanCache};
 use crate::commsets::CommAnalysis;
+use crate::fuse::FusionStats;
 use crate::remap::{remap_analysis, RemapAnalysis};
 use crate::spmd::ChannelsBackend;
 use crate::DistArray;
@@ -109,17 +110,39 @@ impl Program {
 
     /// Execute every statement in order on the selected
     /// [`Backend`] (same plan cache, same semantics — the
-    /// backend-equivalence suite pins bit-identical results). The
+    /// backend-equivalence suite pins bit-identical results). The whole
+    /// timestep runs through the **fused program plan** (see
+    /// [`crate::ProgramPlan`]): statements are level-scheduled into
+    /// supersteps, same-pair messages coalesce, and ghost units whose
+    /// receiver-side data is still current are skipped entirely. The
     /// `Channels` backend's SPMD worker fleet is created on first use and
     /// persists across timesteps, and every backend cross-checks its
-    /// measured per-pair wire traffic against the frozen schedules.
+    /// measured per-pair wire traffic against the dirty-tracking mask.
     pub fn run_on(&mut self, backend: Backend) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        if self.stmts.is_empty() {
+            self.last.clear();
+            return Ok(&self.last);
+        }
+        let target = match backend {
+            Backend::SharedMem => FusedTarget::Shared(&mut self.shared),
+            Backend::Channels => {
+                FusedTarget::Channels(self.channels.get_or_insert_with(ChannelsBackend::new))
+            }
+        };
+        let result = self.cache.replay_fused_on(&mut self.arrays, &self.stmts, target);
+        self.finish_fused(result)
+    }
+
+    /// Execute the statements exactly as the pre-fusion runtime did: one
+    /// per-statement BSP superstep each, full ghost exchange every
+    /// timestep, through the `SharedMem` backend. The per-statement
+    /// plans come from the same cache the fused path builds on. This is
+    /// the baseline the `b15_program_fusion` bench and the fusion
+    /// equivalence suite compare against.
+    pub fn run_unfused(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
         self.last.clear();
         self.last.reserve(self.stmts.len()); // no-op once warmed
-        let exchange: &mut dyn ExchangeBackend = match backend {
-            Backend::SharedMem => &mut self.shared,
-            Backend::Channels => self.channels.get_or_insert_with(ChannelsBackend::new),
-        };
+        let exchange: &mut dyn ExchangeBackend = &mut self.shared;
         for stmt in &self.stmts {
             match self.cache.replay_on(&mut self.arrays, stmt, exchange) {
                 Ok(analysis) => self.last.push(analysis),
@@ -136,16 +159,16 @@ impl Program {
 
     /// Execute in order with the statements' work spread over at most
     /// `threads` OS threads (same plan cache, same semantics as
-    /// [`Program::run`]).
+    /// [`Program::run`]), through the fused program plan.
     ///
     /// When `threads` covers the simulated processor count this replays
     /// through the persistent `Channels` SPMD workers — one long-lived
     /// worker per simulated processor — so repeated parallel timesteps
     /// stop paying per-timestep thread-spawn cost (the fleet is spawned
     /// once; `zero_alloc_replay` pins the spawn count). With
-    /// `1 < threads < np` the upper bound is honored by falling back to
-    /// the scoped-thread executor (`threads` workers per superstep), and
-    /// `threads <= 1` degenerates to the sequential replay.
+    /// `1 < threads < np` the upper bound is honored by the fused
+    /// scoped-thread executor (`threads` workers per pack/compute wave),
+    /// and `threads <= 1` degenerates to the sequential replay.
     pub fn run_parallel(
         &mut self,
         threads: usize,
@@ -157,18 +180,32 @@ impl Program {
         if threads >= np {
             return self.run_on(Backend::Channels);
         }
-        self.last.clear();
-        self.last.reserve(self.stmts.len());
-        for stmt in &self.stmts {
-            match self.cache.replay_par(&mut self.arrays, stmt, threads) {
-                Ok(analysis) => self.last.push(analysis),
-                Err(e) => {
-                    self.last.clear();
-                    return Err(e);
-                }
-            }
+        if self.stmts.is_empty() {
+            self.last.clear();
+            return Ok(&self.last);
         }
-        Ok(&self.last)
+        let result =
+            self.cache.replay_fused_on(&mut self.arrays, &self.stmts, FusedTarget::Par(threads));
+        self.finish_fused(result)
+    }
+
+    /// Rebuild the per-statement analysis handles from a fused timestep's
+    /// outcome (`Arc` bumps only — allocation-free once `last` is at
+    /// capacity), clearing them on failure so a truncated run never
+    /// masquerades as a successful one.
+    fn finish_fused(
+        &mut self,
+        result: Result<Arc<crate::ProgramPlan>, HpfError>,
+    ) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.last.clear();
+        match result {
+            Ok(plan) => {
+                self.last.reserve(self.stmts.len()); // no-op once warmed
+                self.last.extend(plan.plans().iter().map(|p| p.shared_analysis()));
+                Ok(&self.last)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The analyses of the most recent [`Program::run`] /
@@ -237,6 +274,15 @@ impl Program {
     /// persistent-worker contract.
     pub fn spmd_workers_spawned(&self) -> u64 {
         self.channels.as_ref().map_or(0, |c| c.workers_spawned())
+    }
+
+    /// Observability snapshot of the fused program path: supersteps
+    /// formed, messages before/after coalescing, and the ghost traffic
+    /// dirty-tracking avoided — alongside the existing
+    /// [`Program::cache_hits`] / [`Program::backend_bytes_sent`]
+    /// counters. Zeroed until the first fused timestep runs.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.cache.fusion_stats()
     }
 
     /// Cached-plan replays performed so far.

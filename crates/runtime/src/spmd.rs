@@ -36,6 +36,7 @@
 
 use crate::array::DistArray;
 use crate::backend::ExchangeBackend;
+use crate::fuse::ProgramPlan;
 use crate::plan::{compute_proc, ExecPlan};
 use crate::workspace::PlanWorkspace;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -43,11 +44,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// A work order for a worker.
+#[derive(Debug)]
+enum Cmd {
+    /// One per-statement BSP superstep.
+    Step(Step),
+    /// One whole fused timestep (every superstep of a [`ProgramPlan`]).
+    Fused(FusedStep),
+}
+
 /// One superstep's work order for a worker: the compiled plan plus the
 /// worker's own shards (local buffer of every array), moved in by value.
 #[derive(Debug)]
 struct Step {
     plan: Arc<ExecPlan>,
+    shards: Vec<Vec<f64>>,
+}
+
+/// One fused timestep's work order: the fused plan, the timestep's
+/// effective-send mask (shared by every worker, so sender and receiver
+/// agree on which units ride the wire), and the worker's shards.
+#[derive(Debug)]
+struct FusedStep {
+    plan: Arc<ProgramPlan>,
+    eff: Arc<Vec<bool>>,
+    /// Mask rebuild stamp from [`crate::fuse::FusedState`] — workers
+    /// re-derive their per-pair effective totals only when it moves.
+    eff_version: u64,
     shards: Vec<Vec<f64>>,
 }
 
@@ -58,10 +81,18 @@ struct Done {
     shards: Vec<Vec<f64>>,
 }
 
+/// Identifies an unfused message, which the receiver matches to its
+/// schedule by sender (one pair per sender per statement). Fused
+/// messages instead carry their [`FusedPair`](crate::FusedPair) index.
+const UNFUSED: u32 = u32::MAX;
+
 /// A packed message on the wire.
 #[derive(Debug)]
 struct Msg {
     from: u32,
+    /// [`UNFUSED`] for a per-statement message; otherwise the index of
+    /// the fused pair the payload belongs to.
+    pair: u32,
     data: Vec<f64>,
 }
 
@@ -75,9 +106,250 @@ type BufferPool = Arc<Mutex<Vec<Vec<f64>>>>;
 /// unbounded, so a correct superstep cannot deadlock).
 const WORKER_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Per-worker fused-replay scratch, persistent across timesteps: the
+/// per-statement packed operand buffers ghost-region reuse relies on
+/// (`packed[s][t]` mirrors the shared path's `FusedWorkspace`), keyed by
+/// the plan's allocation so a new fused plan rebuilds them (the driver
+/// starts every new plan all-dirty, so the fresh zeros never reach a
+/// kernel), plus per-timestep arrival bookkeeping.
+#[derive(Debug, Default)]
+struct FusedScratch {
+    key: usize,
+    packed: Vec<Vec<Vec<f64>>>,
+    arrived: Vec<bool>,
+    eff_elems: Vec<usize>,
+    /// `(plan key, mask version)` the cached `eff_elems` were computed
+    /// for — steady warm timesteps reuse them without rescanning the
+    /// fused segments.
+    eff_key: (usize, u64),
+}
+
+/// One unfused BSP superstep on a worker (see the module docs). Returns
+/// `false` iff the superstep was abandoned on shutdown — the caller must
+/// then exit without sending a `Done`.
+#[allow(clippy::too_many_arguments)]
+fn run_unfused_step(
+    me: usize,
+    plan: &Arc<ExecPlan>,
+    shards: &mut [Vec<f64>],
+    packed: &mut Vec<Vec<f64>>,
+    inbox: &Receiver<Msg>,
+    peers: &[Sender<Msg>],
+    pool: &BufferPool,
+    shutdown: &Arc<AtomicBool>,
+) -> bool {
+    let pp = &plan.per_proc()[me];
+    let me32 = me as u32;
+    if packed.len() != pp.terms.len()
+        || packed.iter().zip(&pp.terms).any(|(b, t)| b.len() != t.elements)
+    {
+        *packed = pp.terms.iter().map(|t| vec![0.0f64; t.elements]).collect();
+    }
+    // phase 1: pack local runs from this worker's own shards
+    for (ts, buf) in pp.terms.iter().zip(packed.iter_mut()) {
+        for r in ts.runs.iter().filter(|r| r.src == me32) {
+            buf[r.dst_off..r.dst_off + r.len]
+                .copy_from_slice(&shards[ts.array][r.src_off..r.src_off + r.len]);
+        }
+    }
+    // phase 2a: pack and ship one message per outgoing pair
+    let msgs = plan.message_plan();
+    for pair in msgs.pairs().iter().filter(|p| p.sender == me32) {
+        let mut data = pool.lock().expect("pool lock").pop().unwrap_or_default();
+        data.clear();
+        data.reserve(pair.elements);
+        for seg in &pair.segments {
+            data.extend_from_slice(&shards[seg.array][seg.src_off..seg.src_off + seg.len]);
+        }
+        peers[pair.receiver as usize]
+            .send(Msg { from: me32, pair: UNFUSED, data })
+            .expect("receiving worker is alive");
+    }
+    // phase 2b: receive exactly the messages the schedule promises.
+    // Bounded waits: if the fleet is shutting down (backend dropped,
+    // or unwinding after a peer died), abandon the superstep instead
+    // of blocking forever on a message that will never arrive. The
+    // shutdown flag is a dedicated signal — probing the command
+    // channel here could swallow a queued command.
+    let expected = msgs.pairs().iter().filter(|p| p.receiver == me32).count();
+    for _ in 0..expected {
+        let msg = loop {
+            match inbox.recv_timeout(Duration::from_millis(50)) {
+                Ok(m) => break Some(m),
+                Err(_) if shutdown.load(Ordering::Relaxed) => break None,
+                Err(_) => continue,
+            }
+        };
+        let Some(Msg { from, data, .. }) = msg else {
+            return false; // shutdown mid-superstep
+        };
+        let pair = msgs.pair(from, me32).expect("every arriving message has a schedule");
+        // a physically received buffer whose length disagrees with
+        // the receiver's schedule means sender and receiver executed
+        // different plans — fail loudly, never unpack garbage
+        assert_eq!(
+            data.len(),
+            pair.elements,
+            "worker {}: message from {} has {} elements, schedule says {}",
+            me + 1,
+            from + 1,
+            data.len(),
+            pair.elements
+        );
+        let mut off = 0usize;
+        for seg in &pair.segments {
+            packed[seg.term][seg.dst_off..seg.dst_off + seg.len]
+                .copy_from_slice(&data[off..off + seg.len]);
+            off += seg.len;
+        }
+        pool.lock().expect("pool lock").push(data);
+    }
+    // phase 3: compute into this worker's own LHS shard
+    compute_proc(pp, &mut shards[plan.lhs()], packed, plan.combine());
+    true
+}
+
+/// One whole fused timestep on a worker: run the [`ProgramPlan`]'s
+/// supersteps **without global barriers** — pack the superstep's local
+/// runs, ship every outgoing fused pair *hoisted* to this phase (only its
+/// effective segments; an all-clean pair sends nothing and the receiver,
+/// holding the same mask, skips it too), unpack whatever has arrived
+/// (messages for later supersteps are welcome early — remote and local
+/// runs fill disjoint buffer positions), block only on the arrivals this
+/// superstep's kernels actually read, then compute. A pair packed at an
+/// earlier phase than its home superstep is therefore in flight while
+/// the intervening supersteps compute — the pack/exchange-overlap leg of
+/// the fusion design. Returns `false` iff abandoned on shutdown.
+#[allow(clippy::too_many_arguments)]
+fn run_fused_step(
+    me: usize,
+    plan: &Arc<ProgramPlan>,
+    eff: &[bool],
+    eff_version: u64,
+    shards: &mut [Vec<f64>],
+    scratch: &mut FusedScratch,
+    inbox: &Receiver<Msg>,
+    peers: &[Sender<Msg>],
+    pool: &BufferPool,
+    shutdown: &Arc<AtomicBool>,
+) -> bool {
+    let me32 = me as u32;
+    let key = Arc::as_ptr(plan) as usize;
+    if scratch.key != key {
+        scratch.packed = plan
+            .plans()
+            .iter()
+            .map(|p| {
+                p.per_proc()[me].terms.iter().map(|t| vec![0.0f64; t.elements]).collect()
+            })
+            .collect();
+        scratch.key = key;
+    }
+    scratch.arrived.clear();
+    scratch.arrived.resize(plan.pairs().len(), false);
+    if scratch.eff_key != (key, eff_version) {
+        scratch.eff_elems.clear();
+        scratch
+            .eff_elems
+            .extend((0..plan.pairs().len()).map(|k| plan.pair_eff_elements(k, eff)));
+        scratch.eff_key = (key, eff_version);
+    }
+
+    for phase in 0..plan.supersteps().len() {
+        // pack this superstep's local runs from this worker's own shards
+        for &s in &plan.supersteps()[phase].stmts {
+            let pp = &plan.plans()[s].per_proc()[me];
+            for (ts, buf) in pp.terms.iter().zip(scratch.packed[s].iter_mut()) {
+                for r in ts.runs.iter().filter(|r| r.src == me32) {
+                    buf[r.dst_off..r.dst_off + r.len]
+                        .copy_from_slice(&shards[ts.array][r.src_off..r.src_off + r.len]);
+                }
+            }
+        }
+        // ship every outgoing pair hoisted to this phase
+        for (k, pair) in plan.pairs().iter().enumerate() {
+            if pair.pack_phase != phase || pair.sender != me32 || scratch.eff_elems[k] == 0 {
+                continue;
+            }
+            let mut data = pool.lock().expect("pool lock").pop().unwrap_or_default();
+            data.clear();
+            data.reserve(scratch.eff_elems[k]);
+            for seg in pair.segments.iter().filter(|s| eff[s.unit]) {
+                data.extend_from_slice(&shards[seg.array][seg.src_off..seg.src_off + seg.len]);
+            }
+            peers[pair.receiver as usize]
+                .send(Msg { from: me32, pair: k as u32, data })
+                .expect("receiving worker is alive");
+        }
+        // block until every pair this superstep's kernels read has
+        // arrived, unpacking arrivals (from any phase) as they come in
+        loop {
+            let waiting = plan.pairs().iter().enumerate().any(|(k, p)| {
+                p.superstep == phase
+                    && p.receiver == me32
+                    && scratch.eff_elems[k] > 0
+                    && !scratch.arrived[k]
+            });
+            if !waiting {
+                break;
+            }
+            let msg = loop {
+                match inbox.recv_timeout(Duration::from_millis(50)) {
+                    Ok(m) => break Some(m),
+                    Err(_) if shutdown.load(Ordering::Relaxed) => break None,
+                    Err(_) => continue,
+                }
+            };
+            let Some(Msg { from, pair: k, data }) = msg else {
+                return false; // shutdown mid-timestep
+            };
+            let k = k as usize;
+            assert_ne!(k, UNFUSED as usize, "unfused message during a fused timestep");
+            let pair = &plan.pairs()[k];
+            assert_eq!(
+                (pair.sender, pair.receiver),
+                (from, me32),
+                "worker {}: fused pair {} routed to the wrong worker",
+                me + 1,
+                k
+            );
+            // sender and receiver hold the same mask, so a length
+            // mismatch means they executed different fused plans
+            assert_eq!(
+                data.len(),
+                scratch.eff_elems[k],
+                "worker {}: fused message from {} has {} elements, mask says {}",
+                me + 1,
+                from + 1,
+                data.len(),
+                scratch.eff_elems[k]
+            );
+            let mut off = 0usize;
+            for seg in pair.segments.iter().filter(|s| eff[s.unit]) {
+                scratch.packed[seg.stmt][seg.term][seg.dst_off..seg.dst_off + seg.len]
+                    .copy_from_slice(&data[off..off + seg.len]);
+                off += seg.len;
+            }
+            scratch.arrived[k] = true;
+            pool.lock().expect("pool lock").push(data);
+        }
+        // compute this superstep's statements into this worker's shards
+        for &s in &plan.supersteps()[phase].stmts {
+            let sp = &plan.plans()[s];
+            compute_proc(
+                &sp.per_proc()[me],
+                &mut shards[sp.lhs()],
+                &scratch.packed[s],
+                sp.combine(),
+            );
+        }
+    }
+    true
+}
+
 fn worker_loop(
     me: usize,
-    cmds: Receiver<Step>,
+    cmds: Receiver<Cmd>,
     inbox: Receiver<Msg>,
     peers: Vec<Sender<Msg>>,
     done: Sender<Done>,
@@ -86,85 +358,27 @@ fn worker_loop(
 ) {
     // per-worker packed operand buffers, reused across supersteps
     let mut packed: Vec<Vec<f64>> = Vec::new();
-    while let Ok(Step { plan, mut shards }) = cmds.recv() {
-        let pp = &plan.per_proc()[me];
-        let me32 = me as u32;
-        if packed.len() != pp.terms.len()
-            || packed.iter().zip(&pp.terms).any(|(b, t)| b.len() != t.elements)
-        {
-            packed = pp.terms.iter().map(|t| vec![0.0f64; t.elements]).collect();
-        }
-        // phase 1: pack local runs from this worker's own shards
-        for (ts, buf) in pp.terms.iter().zip(packed.iter_mut()) {
-            for r in ts.runs.iter().filter(|r| r.src == me32) {
-                buf[r.dst_off..r.dst_off + r.len]
-                    .copy_from_slice(&shards[ts.array][r.src_off..r.src_off + r.len]);
-            }
-        }
-        // phase 2a: pack and ship one message per outgoing pair
-        let msgs = plan.message_plan();
-        for pair in msgs.pairs().iter().filter(|p| p.sender == me32) {
-            let mut data =
-                pool.lock().expect("pool lock").pop().unwrap_or_default();
-            data.clear();
-            data.reserve(pair.elements);
-            for seg in &pair.segments {
-                data.extend_from_slice(
-                    &shards[seg.array][seg.src_off..seg.src_off + seg.len],
-                );
-            }
-            peers[pair.receiver as usize]
-                .send(Msg { from: me32, data })
-                .expect("receiving worker is alive");
-        }
-        // phase 2b: receive exactly the messages the schedule promises.
-        // Bounded waits: if the fleet is shutting down (backend dropped,
-        // or unwinding after a peer died), abandon the superstep instead
-        // of blocking forever on a message that will never arrive. The
-        // shutdown flag is a dedicated signal — probing the command
-        // channel here could swallow a queued command.
-        let expected = msgs.pairs().iter().filter(|p| p.receiver == me32).count();
-        let mut abandoned = false;
-        for _ in 0..expected {
-            let msg = loop {
-                match inbox.recv_timeout(Duration::from_millis(50)) {
-                    Ok(m) => break Some(m),
-                    Err(_) if shutdown.load(Ordering::Relaxed) => break None,
-                    Err(_) => continue,
+    let mut fused = FusedScratch::default();
+    while let Ok(cmd) = cmds.recv() {
+        let shards = match cmd {
+            Cmd::Step(Step { plan, mut shards }) => {
+                if !run_unfused_step(
+                    me, &plan, &mut shards, &mut packed, &inbox, &peers, &pool, &shutdown,
+                ) {
+                    return; // shutdown mid-superstep: exit without a Done
                 }
-            };
-            let Some(Msg { from, data }) = msg else {
-                abandoned = true;
-                break;
-            };
-            let pair = msgs
-                .pair(from, me32)
-                .expect("every arriving message has a schedule");
-            // a physically received buffer whose length disagrees with
-            // the receiver's schedule means sender and receiver executed
-            // different plans — fail loudly, never unpack garbage
-            assert_eq!(
-                data.len(),
-                pair.elements,
-                "worker {}: message from {} has {} elements, schedule says {}",
-                me + 1,
-                from + 1,
-                data.len(),
-                pair.elements
-            );
-            let mut off = 0usize;
-            for seg in &pair.segments {
-                packed[seg.term][seg.dst_off..seg.dst_off + seg.len]
-                    .copy_from_slice(&data[off..off + seg.len]);
-                off += seg.len;
+                shards
             }
-            pool.lock().expect("pool lock").push(data);
-        }
-        if abandoned {
-            return; // shutdown mid-superstep: exit without a Done
-        }
-        // phase 3: compute into this worker's own LHS shard
-        compute_proc(pp, &mut shards[plan.lhs()], &packed, plan.combine());
+            Cmd::Fused(FusedStep { plan, eff, eff_version, mut shards }) => {
+                if !run_fused_step(
+                    me, &plan, &eff, eff_version, &mut shards, &mut fused, &inbox, &peers,
+                    &pool, &shutdown,
+                ) {
+                    return;
+                }
+                shards
+            }
+        };
         done.send(Done { proc: me, shards }).expect("driver is alive");
     }
 }
@@ -174,7 +388,7 @@ fn worker_loop(
 /// dropped; a plan over a different processor count replaces the fleet.
 pub struct ChannelsBackend {
     np: usize,
-    cmd_txs: Vec<Sender<Step>>,
+    cmd_txs: Vec<Sender<Cmd>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     done_rx: Option<Receiver<Done>>,
     pool: BufferPool,
@@ -270,6 +484,92 @@ impl ChannelsBackend {
         self.workers_spawned += np as u64;
     }
 
+    /// Ensure a fleet of `np` workers is running and return the spawn
+    /// generation (cumulative workers spawned). The fused replay path
+    /// calls this *before* computing its effective-send mask: a changed
+    /// generation means the workers' persistent packed buffers are gone,
+    /// so every ghost unit must be re-sent (see
+    /// [`crate::fuse::FusedState`]).
+    pub(crate) fn prepare(&mut self, np: usize) -> u64 {
+        self.ensure_workers(np);
+        self.workers_spawned
+    }
+
+    /// Execute one whole fused timestep across the worker fleet: hand
+    /// each worker its shards plus the shared effective-send mask,
+    /// collect the shards back, and account the masked wire traffic
+    /// (`wire_elements` is the mask's element count — sender-side
+    /// measured lengths are asserted against it inside every worker).
+    /// Counts one step per timestep.
+    pub(crate) fn step_fused(
+        &mut self,
+        plan: &Arc<ProgramPlan>,
+        arrays: &mut [DistArray<f64>],
+        eff: Arc<Vec<bool>>,
+        eff_version: u64,
+        wire_elements: u64,
+    ) {
+        assert!(plan.is_valid_for(arrays), "stale fused plan: an involved array was remapped");
+        let np = plan.np();
+        self.ensure_workers(np);
+        for (p, cmd) in self.cmd_txs.iter().enumerate() {
+            let shards: Vec<Vec<f64>> =
+                arrays.iter_mut().map(|a| a.take_local(p)).collect();
+            cmd.send(Cmd::Fused(FusedStep {
+                plan: plan.clone(),
+                eff: eff.clone(),
+                eff_version,
+                shards,
+            }))
+            .expect("worker is alive");
+        }
+        self.collect_done(arrays, np);
+        self.bytes_sent += wire_elements * std::mem::size_of::<f64>() as u64;
+        self.steps += 1;
+    }
+
+    /// Collect `np` completed work orders and reinstall their shards,
+    /// reporting a crashed worker promptly by name.
+    fn collect_done(&mut self, arrays: &mut [DistArray<f64>], np: usize) {
+        let done_rx = self.done_rx.as_ref().expect("workers are running");
+        let deadline = Instant::now() + WORKER_TIMEOUT;
+        let mut reported = vec![false; np];
+        for _ in 0..np {
+            // poll in short slices so a crashed worker is reported
+            // promptly by name instead of stalling the full timeout
+            let done = loop {
+                match done_rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(d) => break d,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("every SPMD worker died mid-superstep")
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        // a finished handle while its Done is outstanding
+                        // means the worker panicked (idle workers block on
+                        // their command channel, they never exit)
+                        if let Some(dead) = self
+                            .handles
+                            .iter()
+                            .position(|h| h.is_finished())
+                            .filter(|&i| !reported[i])
+                        {
+                            panic!("SPMD worker {} died mid-superstep", dead + 1);
+                        }
+                        assert!(
+                            Instant::now() < deadline,
+                            "SPMD superstep wedged (no worker progress within {:?})",
+                            WORKER_TIMEOUT
+                        );
+                    }
+                }
+            };
+            for (a, buf) in arrays.iter_mut().zip(done.shards) {
+                a.put_local(done.proc, buf);
+            }
+            reported[done.proc] = true;
+        }
+    }
+
     /// Stop and join the worker fleet: raise the shutdown flag (so a
     /// worker blocked mid-superstep abandons), then drop the command
     /// channels (ending each idle worker's loop) and join.
@@ -311,46 +611,10 @@ impl ExchangeBackend for ChannelsBackend {
         for (p, cmd) in self.cmd_txs.iter().enumerate() {
             let shards: Vec<Vec<f64>> =
                 arrays.iter_mut().map(|a| a.take_local(p)).collect();
-            cmd.send(Step { plan: plan.clone(), shards })
+            cmd.send(Cmd::Step(Step { plan: plan.clone(), shards }))
                 .expect("worker is alive");
         }
-        let done_rx = self.done_rx.as_ref().expect("workers are running");
-        let deadline = Instant::now() + WORKER_TIMEOUT;
-        let mut reported = vec![false; np];
-        for _ in 0..np {
-            // poll in short slices so a crashed worker is reported
-            // promptly by name instead of stalling the full timeout
-            let done = loop {
-                match done_rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(d) => break d,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        panic!("every SPMD worker died mid-superstep")
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        // a finished handle while its Done is outstanding
-                        // means the worker panicked (idle workers block on
-                        // their command channel, they never exit)
-                        if let Some(dead) = self
-                            .handles
-                            .iter()
-                            .position(|h| h.is_finished())
-                            .filter(|&i| !reported[i])
-                        {
-                            panic!("SPMD worker {} died mid-superstep", dead + 1);
-                        }
-                        assert!(
-                            Instant::now() < deadline,
-                            "SPMD superstep wedged (no worker progress within {:?})",
-                            WORKER_TIMEOUT
-                        );
-                    }
-                }
-            };
-            for (a, buf) in arrays.iter_mut().zip(done.shards) {
-                a.put_local(done.proc, buf);
-            }
-            reported[done.proc] = true;
-        }
+        self.collect_done(arrays, np);
         // schedule ≡ analysis was already cross-checked at inspect time
         // (ExecPlan::inspect); the wire accounting here is the schedule's
         self.bytes_sent += plan.message_plan().wire_bytes();

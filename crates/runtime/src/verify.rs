@@ -438,6 +438,96 @@ pub enum DiagnosticKind {
         /// Elements the analysis froze.
         analysis: u64,
     },
+    /// A fused plan's constituent plan list disagrees with the statement
+    /// list it claims to implement.
+    FusedShapeMismatch {
+        /// Statements the program has.
+        statements: usize,
+        /// Constituent plans the fused plan carries.
+        plans: usize,
+    },
+    /// Two statements fused into the same superstep have a RAW or WAW
+    /// conflict — their kernels would race on the shared array.
+    FusedHazard {
+        /// The superstep holding both statements.
+        superstep: usize,
+        /// Statement index of the earlier conflicting statement.
+        earlier: usize,
+        /// Statement index of the later conflicting statement.
+        later: usize,
+        /// The array both touch hazardously.
+        array: usize,
+    },
+    /// A coalesced segment that no constituent per-statement message
+    /// schedule produces — a fused send nobody's gather expects.
+    FusedSegmentOrphan {
+        /// Fused pair index.
+        pair: usize,
+        /// Segment index within the fused pair.
+        segment: usize,
+    },
+    /// A constituent message segment the fused schedule dropped — data a
+    /// statement's gather needs would never ride the wire.
+    FusedSegmentMissing {
+        /// Statement whose message was dropped.
+        stmt: usize,
+        /// Zero-based sender of the dropped segment.
+        sender: u32,
+        /// Zero-based receiver of the dropped segment.
+        receiver: u32,
+        /// Elements dropped.
+        len: usize,
+    },
+    /// A fused pair's declared element count differs from the sum of its
+    /// segments — conservation across coalescing is broken.
+    FusedPairMismatch {
+        /// Fused pair index.
+        pair: usize,
+        /// Elements the fused pair declares.
+        declared: usize,
+        /// Elements its coalesced segments actually carry.
+        actual: usize,
+    },
+    /// A fused pair's pack phase is unsound: it differs from the earliest
+    /// superstep at which every earlier in-timestep writer of the pair's
+    /// source data has completed, or lies after the pair's home superstep
+    /// — either way a kernel could read data packed too early or still
+    /// in flight.
+    FusedPhaseRace {
+        /// Fused pair index.
+        pair: usize,
+        /// Pack phase the fused plan declares.
+        declared: usize,
+        /// Pack phase re-derived from the store schedules.
+        required: usize,
+        /// The pair's home superstep.
+        superstep: usize,
+    },
+    /// A dirty-tracking unit's static flags disagree with the store
+    /// schedules: ghost reuse would skip data a statement rewrites (or
+    /// re-send data nothing writes).
+    FusedDirtyUnsound {
+        /// Unit index.
+        unit: usize,
+        /// `intra_dirty` the fused plan declares.
+        intra: bool,
+        /// `post_dirty` the fused plan declares.
+        post: bool,
+        /// `intra_dirty` re-derived from the store schedules.
+        expected_intra: bool,
+        /// `post_dirty` re-derived from the store schedules.
+        expected_post: bool,
+    },
+    /// A coalesced segment and its dirty-tracking unit disagree about
+    /// what data the segment moves.
+    FusedUnitMismatch {
+        /// Fused pair index.
+        pair: usize,
+        /// Segment index within the fused pair.
+        segment: usize,
+        /// The unit index the segment names.
+        unit: usize,
+    },
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -596,6 +686,48 @@ impl fmt::Display for DiagnosticKind {
             AnalysisTotalMismatch { planned, analysis } => write!(
                 f,
                 "plan moves {planned} wire element(s), analysis froze {analysis}"
+            ),
+            FusedShapeMismatch { statements, plans } => write!(
+                f,
+                "fused plan carries {plans} constituent plan(s) for {statements} \
+                 statement(s)"
+            ),
+            FusedHazard { superstep, earlier, later, array } => write!(
+                f,
+                "superstep {superstep}: statements #{earlier} and #{later} conflict \
+                 on array #{array} (RAW/WAW) yet fused into one level"
+            ),
+            FusedSegmentOrphan { pair, segment } => write!(
+                f,
+                "fused pair {pair} segment {segment}: no constituent message \
+                 schedule produces it — a send nobody's gather expects"
+            ),
+            FusedSegmentMissing { stmt, sender, receiver, len } => write!(
+                f,
+                "statement #{stmt} pair {sender}→{receiver}: {len} element(s) of its \
+                 message schedule missing from the fused plan"
+            ),
+            FusedPairMismatch { pair, declared, actual } => write!(
+                f,
+                "fused pair {pair}: declares {declared} element(s) but its coalesced \
+                 segments carry {actual}"
+            ),
+            FusedPhaseRace { pair, declared, required, superstep } => write!(
+                f,
+                "fused pair {pair}: pack phase {declared} but store schedules \
+                 require {required} (home superstep {superstep})"
+            ),
+            FusedDirtyUnsound { unit, intra, post, expected_intra, expected_post } => {
+                write!(
+                    f,
+                    "unit {unit}: declares intra/post dirty {intra}/{post}, store \
+                     schedules derive {expected_intra}/{expected_post}"
+                )
+            }
+            FusedUnitMismatch { pair, segment, unit } => write!(
+                f,
+                "fused pair {pair} segment {segment}: disagrees with its \
+                 dirty-tracking unit {unit} about source array/shard/interval"
             ),
         }
     }
@@ -1285,6 +1417,372 @@ pub fn verify_plan(
     };
 
     StatementReport { statement, verdict, diagnostics: diags, stats }
+}
+
+/// The verifier's result for one fused [`ProgramPlan`](crate::ProgramPlan): the DAG's
+/// denominators plus zero or more refuting diagnostics. A report with no
+/// diagnostics proves (by re-derivation from the constituent schedules)
+/// that the fusion preserved the per-statement semantics: no
+/// same-superstep hazard, segment-for-segment conservation across
+/// coalescing, sound pack phases, and dirty flags that exactly match the
+/// store schedules.
+#[derive(Debug, Clone, Default)]
+pub struct FusionReport {
+    /// Statements in the fused plan.
+    pub statements: usize,
+    /// Superstep levels.
+    pub supersteps: usize,
+    /// Coalesced pairs checked.
+    pub pairs: usize,
+    /// Coalesced segments checked.
+    pub segments: usize,
+    /// Every property violation found.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FusionReport {
+    /// True iff no property was refuted.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings refuting one specific property.
+    pub fn findings_for(&self, property: Property) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.property == property)
+    }
+}
+
+impl fmt::Display for FusionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fused program [{} statements, {} supersteps, {} pairs, {} segments]",
+            self.statements, self.supersteps, self.pairs, self.segments,
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Statically verify a fused [`ProgramPlan`](crate::ProgramPlan) against the statements and
+/// mappings it claims to implement — the fused layer *on top of*
+/// [`verify_plan`] (which [`crate::PlanCache`] has already run on every
+/// constituent plan at its own insertion):
+///
+/// * **race freedom** — no two statements fused into one superstep have a
+///   RAW or WAW conflict; every pair's pack phase equals the earliest
+///   superstep past all of its in-timestep writers and does not exceed
+///   its home superstep; every dirty-tracking unit's static
+///   `intra_dirty`/`post_dirty` flags match a re-derivation from the
+///   store schedules (unsound flags would let ghost reuse skip data a
+///   statement rewrites);
+/// * **deadlock freedom** — the coalesced segments are exactly (as a
+///   multiset) the constituent [`MessagePlan`](crate::MessagePlan)
+///   segments: no orphan fused send, no dropped constituent message;
+/// * **conservation** — each fused pair's declared element count equals
+///   the sum of its coalesced segments, summed across the statements the
+///   pair serves;
+/// * **bounds** — every coalesced segment reads inside the sending shard
+///   and agrees with its dirty-tracking unit about the source interval.
+///
+/// Like [`verify_plan`], this is a re-derivation pass run at plan
+/// insertion (see [`crate::PlanCache`]), never on the warm replay path.
+pub fn verify_program_plan(
+    arrays: &[DistArray<f64>],
+    stmts: &[Assignment],
+    plan: &crate::fuse::ProgramPlan,
+) -> FusionReport {
+    use crate::fuse::{intersects, merge_intervals};
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let push = |property: Property, kind: DiagnosticKind, diags: &mut Vec<Diagnostic>| {
+        diags.push(Diagnostic { property, kind });
+    };
+    let mut report = FusionReport {
+        statements: stmts.len(),
+        supersteps: plan.supersteps().len(),
+        pairs: plan.pairs().len(),
+        segments: 0,
+        ..FusionReport::default()
+    };
+
+    if plan.plans().len() != stmts.len() {
+        push(
+            Property::Bounds,
+            DiagnosticKind::FusedShapeMismatch {
+                statements: stmts.len(),
+                plans: plan.plans().len(),
+            },
+            &mut diags,
+        );
+        report.diagnostics = diags;
+        return report;
+    }
+    // the constituent plans must still be bound to these mappings —
+    // otherwise none of the extents or store schedules mean anything
+    for p in plan.plans() {
+        for (k, id) in p.mappings() {
+            if !arrays.get(*k).is_some_and(|a| id.is(a.mapping())) {
+                push(
+                    Property::Bounds,
+                    DiagnosticKind::StaleMapping { array: *k },
+                    &mut diags,
+                );
+            }
+        }
+    }
+    if !diags.is_empty() {
+        report.diagnostics = diags;
+        return report;
+    }
+
+    // ---- re-derive the level schedule and per-statement store intervals ----
+    let n = stmts.len();
+    let mut level = vec![0usize; n];
+    for s in 0..n {
+        for r in 0..s {
+            let raw = stmts[s].terms.iter().any(|t| t.array == stmts[r].lhs);
+            let waw = stmts[s].lhs == stmts[r].lhs;
+            if raw || waw {
+                level[s] = level[s].max(level[r] + 1);
+            }
+        }
+    }
+    let np = plan.np();
+    let writes: Vec<Vec<Vec<(usize, usize)>>> = plan
+        .plans()
+        .iter()
+        .map(|p| {
+            let mut per: Vec<Vec<(usize, usize)>> = vec![Vec::new(); np];
+            for pp in p.per_proc() {
+                per[pp.proc.zero_based()] = merge_intervals(
+                    pp.lhs_runs.iter().map(|r| (r.dst_off, r.dst_off + r.len)).collect(),
+                );
+            }
+            per
+        })
+        .collect();
+
+    // ---- race freedom (a): no same-superstep RAW/WAW --------------------
+    for (j, step) in plan.supersteps().iter().enumerate() {
+        for (i, &s) in step.stmts.iter().enumerate() {
+            if level[s] != j {
+                // a statement on the wrong level conflicts with whatever
+                // forced its re-derived level
+                push(
+                    Property::RaceFreedom,
+                    DiagnosticKind::FusedHazard {
+                        superstep: j,
+                        earlier: s,
+                        later: s,
+                        array: stmts[s].lhs,
+                    },
+                    &mut diags,
+                );
+            }
+            for &r in &step.stmts[..i] {
+                let raw = stmts[s].terms.iter().any(|t| t.array == stmts[r].lhs);
+                let waw = stmts[s].lhs == stmts[r].lhs;
+                if raw || waw {
+                    push(
+                        Property::RaceFreedom,
+                        DiagnosticKind::FusedHazard {
+                            superstep: j,
+                            earlier: r,
+                            later: s,
+                            array: if waw { stmts[s].lhs } else { stmts[r].lhs },
+                        },
+                        &mut diags,
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- deadlock freedom: fused segments ≡ constituent segments --------
+    // the fused plan may regroup and *split* constituent message segments
+    // (dirty-tracking units are per homogeneous write stretch), but the
+    // element flow must be identical — so both sides are normalized to
+    // maximal contiguous (src → dst) runs per (stmt, sender, receiver,
+    // term) and compared as multisets
+    type RunKey = (usize, u32, u32, usize);
+    /// `(src_off, dst_off, len, pair, segment)` — the trailing pair/segment
+    /// coordinates ride along for diagnostics and are ignored by merging.
+    type Run = (usize, usize, usize, usize, usize);
+    fn normalize(mut runs: Vec<Run>) -> Vec<Run> {
+        runs.sort_unstable();
+        let mut out: Vec<Run> = Vec::new();
+        for r in runs {
+            if let Some(last) = out.last_mut() {
+                if last.0 + last.2 == r.0 && last.1 + last.2 == r.1 {
+                    last.2 += r.2;
+                    continue;
+                }
+            }
+            out.push(r);
+        }
+        out
+    }
+    let mut expected_runs: HashMap<RunKey, Vec<Run>> = HashMap::new();
+    for (s, p) in plan.plans().iter().enumerate() {
+        for pair in p.message_plan().pairs() {
+            for seg in &pair.segments {
+                expected_runs
+                    .entry((s, pair.sender, pair.receiver, seg.term))
+                    .or_default()
+                    .push((seg.src_off, seg.dst_off, seg.len, 0, 0));
+            }
+        }
+    }
+    let mut fused_runs: HashMap<RunKey, Vec<Run>> = HashMap::new();
+    for (k, pair) in plan.pairs().iter().enumerate() {
+        let actual: usize = pair.segments.iter().map(|s| s.len).sum();
+        if actual != pair.elements {
+            push(
+                Property::Conservation,
+                DiagnosticKind::FusedPairMismatch { pair: k, declared: pair.elements, actual },
+                &mut diags,
+            );
+        }
+        let mut required_phase = 0usize;
+        for (si, seg) in pair.segments.iter().enumerate() {
+            report.segments += 1;
+            fused_runs
+                .entry((seg.stmt, pair.sender, pair.receiver, seg.term))
+                .or_default()
+                .push((seg.src_off, seg.dst_off, seg.len, k, si));
+            // bounds: the sender must be able to read the interval
+            if let Some(arr) = arrays.get(seg.array) {
+                let extent = arr.local_len(ProcId(pair.sender + 1));
+                if seg.src_off + seg.len > extent {
+                    push(
+                        Property::Bounds,
+                        DiagnosticKind::SegmentOutOfBounds {
+                            sender: pair.sender,
+                            receiver: pair.receiver,
+                            segment: si,
+                            end: seg.src_off + seg.len,
+                            extent,
+                        },
+                        &mut diags,
+                    );
+                }
+            }
+            // the unit table must describe this segment's source data
+            let (expected_intra, expected_post, unit_ok) = match plan.units().get(seg.unit)
+            {
+                Some(u)
+                    if u.array == seg.array
+                        && u.shard == pair.sender as usize
+                        && u.src_off == seg.src_off
+                        && u.len == seg.len
+                        && u.superstep == pair.superstep =>
+                {
+                    // re-derive the writer split from the store schedules
+                    let (mut intra, mut post) = (false, false);
+                    for (w, stmt) in stmts.iter().enumerate() {
+                        if stmt.lhs != seg.array
+                            || !intersects(
+                                &writes[w][pair.sender as usize],
+                                seg.src_off,
+                                seg.src_off + seg.len,
+                            )
+                        {
+                            continue;
+                        }
+                        if level[w] < pair.superstep {
+                            intra = true;
+                            required_phase = required_phase.max(level[w] + 1);
+                        } else {
+                            post = true;
+                        }
+                    }
+                    if u.intra_dirty != intra || u.post_dirty != post {
+                        push(
+                            Property::RaceFreedom,
+                            DiagnosticKind::FusedDirtyUnsound {
+                                unit: seg.unit,
+                                intra: u.intra_dirty,
+                                post: u.post_dirty,
+                                expected_intra: intra,
+                                expected_post: post,
+                            },
+                            &mut diags,
+                        );
+                    }
+                    (intra, post, true)
+                }
+                _ => {
+                    push(
+                        Property::Bounds,
+                        DiagnosticKind::FusedUnitMismatch {
+                            pair: k,
+                            segment: si,
+                            unit: seg.unit,
+                        },
+                        &mut diags,
+                    );
+                    (false, false, false)
+                }
+            };
+            let _ = (expected_intra, expected_post, unit_ok);
+        }
+        // pack phase: exactly past every in-timestep writer, never past
+        // the home superstep
+        if pair.pack_phase != required_phase || pair.pack_phase > pair.superstep {
+            push(
+                Property::RaceFreedom,
+                DiagnosticKind::FusedPhaseRace {
+                    pair: k,
+                    declared: pair.pack_phase,
+                    required: required_phase,
+                    superstep: pair.superstep,
+                },
+                &mut diags,
+            );
+        }
+    }
+    // normalized comparison: every fused run must be a constituent run,
+    // every constituent run must be shipped
+    let mut expected_norm: HashMap<(RunKey, usize, usize, usize), usize> = HashMap::new();
+    for (key, runs) in expected_runs {
+        for (src, dst, len, _, _) in normalize(runs) {
+            *expected_norm.entry((key, src, dst, len)).or_insert(0) += 1;
+        }
+    }
+    let mut fused_keys: Vec<RunKey> = fused_runs.keys().copied().collect();
+    fused_keys.sort_unstable();
+    for key in fused_keys {
+        for (src, dst, len, pair_k, seg_si) in normalize(fused_runs.remove(&key).unwrap()) {
+            match expected_norm.get_mut(&(key, src, dst, len)) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => push(
+                    Property::DeadlockFreedom,
+                    DiagnosticKind::FusedSegmentOrphan { pair: pair_k, segment: seg_si },
+                    &mut diags,
+                ),
+            }
+        }
+    }
+    // constituent runs the fused plan never ships
+    let mut missing: Vec<(RunKey, usize, usize, usize)> = expected_norm
+        .into_iter()
+        .filter(|&(_, c)| c > 0)
+        .map(|(k, _)| k)
+        .collect();
+    missing.sort_unstable();
+    for ((stmt, sender, receiver, _term), _src, _dst, len) in missing {
+        push(
+            Property::DeadlockFreedom,
+            DiagnosticKind::FusedSegmentMissing { stmt, sender, receiver, len },
+            &mut diags,
+        );
+    }
+
+    report.diagnostics = diags;
+    report
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! [`crate::Program::run`] gets allocation-free timesteps without callers
 //! managing workspaces themselves.
 
+use crate::fuse::ProgramPlan;
 use crate::plan::ExecPlan;
 
 /// Preallocated pack buffers for one [`ExecPlan`]: `bufs[p][t]` is the
@@ -85,6 +86,64 @@ impl PlanWorkspace {
 
     /// Total `f64` elements held across the per-pair message staging
     /// buffers (= the plan's wire traffic per replay).
+    pub fn stage_elements(&self) -> usize {
+        self.stage.iter().map(Vec::len).sum()
+    }
+}
+
+/// Preallocated scratch for a fused timestep (see [`crate::ProgramPlan`]):
+/// one [`PlanWorkspace`] per constituent statement — the persistent
+/// receiver-side packed operand buffers that ghost-region reuse relies on
+/// — plus one message staging buffer per *fused* pair, sized for the
+/// pair's full coalesced message (a warm timestep may stage any subset of
+/// its segments, never more). Warm fused replays through a matching
+/// workspace perform **zero heap allocations**.
+#[derive(Debug, Clone, Default)]
+pub struct FusedWorkspace {
+    pub(crate) per_stmt: Vec<PlanWorkspace>,
+    pub(crate) stage: Vec<Vec<f64>>,
+}
+
+impl FusedWorkspace {
+    /// An empty workspace; the first fused replay sizes it (allocating
+    /// once).
+    pub fn new() -> Self {
+        FusedWorkspace::default()
+    }
+
+    /// A workspace preallocated for `plan`.
+    pub fn for_plan(plan: &ProgramPlan) -> Self {
+        let mut ws = FusedWorkspace::new();
+        ws.ensure(plan);
+        ws
+    }
+
+    /// True iff the buffers already have exactly the shape `plan`'s fused
+    /// replay needs.
+    pub fn matches(&self, plan: &ProgramPlan) -> bool {
+        self.per_stmt.len() == plan.plans().len()
+            && self.per_stmt.iter().zip(plan.plans()).all(|(ws, p)| ws.matches(p))
+            && self.stage.len() == plan.pairs().len()
+            && self.stage.iter().zip(plan.pairs()).all(|(s, p)| s.len() == p.elements)
+    }
+
+    /// Resize for `plan` if the shape differs (the only point where a
+    /// fused replay may allocate).
+    pub(crate) fn ensure(&mut self, plan: &ProgramPlan) {
+        if self.matches(plan) {
+            return;
+        }
+        self.per_stmt = plan.plans().iter().map(|p| PlanWorkspace::for_plan(p)).collect();
+        self.stage = plan.pairs().iter().map(|p| vec![0.0f64; p.elements]).collect();
+    }
+
+    /// Total `f64` elements held across every statement's pack buffers.
+    pub fn buffer_elements(&self) -> usize {
+        self.per_stmt.iter().map(PlanWorkspace::buffer_elements).sum()
+    }
+
+    /// Total `f64` elements held across the fused per-pair staging
+    /// buffers (= the fused timestep's worst-case wire traffic).
     pub fn stage_elements(&self) -> usize {
         self.stage.iter().map(Vec::len).sum()
     }
