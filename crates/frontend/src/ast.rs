@@ -1,5 +1,7 @@
 //! Abstract syntax of the directive sub-language.
 
+use crate::token::Span;
+
 /// An integer specification/alignment expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
@@ -222,15 +224,58 @@ pub enum Stmt {
         /// Summed terms.
         terms: Vec<ArrayRef>,
     },
+    /// A scalar-valued fill `LHS = expr` (e.g. `A = 0`, `A(1:N) = 2*N`):
+    /// every selected element takes the expression's value.
+    ScalarAssign {
+        /// Left-hand side reference.
+        lhs: ArrayRef,
+        /// The (dummyless) value expression.
+        value: Expr,
+    },
+    /// `FORALL (I = l:u[:s], ...) LHS(subs) = rhs` — an element-wise
+    /// assignment over the cartesian product of the index ranges.
+    Forall {
+        /// The forall index variables with their ranges.
+        indices: Vec<ForallIndex>,
+        /// Left-hand side reference (subscripts may use the indices).
+        lhs: ArrayRef,
+        /// Right-hand side.
+        rhs: ForallRhs,
+    },
 }
 
-/// A parsed statement with its source line.
+/// One `I = lower : upper [: stride]` control of a `FORALL` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForallIndex {
+    /// Index variable name.
+    pub name: String,
+    /// Lower bound.
+    pub lower: Expr,
+    /// Upper bound.
+    pub upper: Expr,
+    /// Stride (defaults to 1).
+    pub stride: Option<Expr>,
+}
+
+/// The right-hand side of a `FORALL` assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForallRhs {
+    /// `T1(subs) + T2(subs) + ...` — array references whose subscripts
+    /// are affine in the forall indices (lowers to a section assignment).
+    Refs(Vec<ArrayRef>),
+    /// A scalar expression over the forall indices (an evaluated fill).
+    Scalar(Expr),
+}
+
+/// A parsed statement with its source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpannedStmt {
     /// The statement.
     pub stmt: Stmt,
-    /// Source line.
+    /// Source line (1-based) — shorthand for `span.line`.
     pub line: usize,
+    /// Span of the statement's first token.
+    pub span: Span,
 }
 
 /// A program unit: the main program or one subroutine.

@@ -1,13 +1,13 @@
 use crate::ast::*;
 use crate::error::FrontendError;
 use crate::eval::Env;
-use crate::parser::parse;
-use crate::report::{AssignEvent, ElaborationReport, Event};
+use crate::parser::parse_recover;
+use crate::report::{AssignEvent, ElaborationReport, Event, FillEvent, SourceDiagnostic};
 use hpf_core::{
-    Actual, AligneeAxis, AlignSpec, ArrayId, BaseSubscript, CallFrame, DataSpace,
-    DistributeSpec, Dummy, DummySpec, FormatSpec, ProcedureDef, TargetSpec,
+    Actual, AligneeAxis, AlignSpec, ArrayId, BaseSubscript, CallFrame,
+    DataSpace, DistributeSpec, Dummy, DummySpec, FormatSpec, ProcedureDef, TargetSpec,
 };
-use hpf_index::{IndexDomain, Section};
+use hpf_index::{Idx, IndexDomain, Section, SectionDim, Triplet};
 use std::collections::HashMap;
 
 /// The result of elaborating a source file: the final data space, the
@@ -68,9 +68,26 @@ impl Elaborator {
         self
     }
 
-    /// Parse and elaborate a source text.
+    /// Parse and elaborate a source text, failing on the first error.
+    ///
+    /// This is the fail-fast wrapper around [`Elaborator::run_recover`]:
+    /// the first accumulated diagnostic (lexical, then syntactic, then
+    /// semantic, in statement order) becomes the `Err`.
     pub fn run(&self, src: &str) -> Result<Elaboration, FrontendError> {
-        let file = parse(src)?;
+        let (elab, diags) = self.run_recover(src);
+        match diags.into_iter().next() {
+            Some(d) => Err(d.error),
+            None => Ok(elab),
+        }
+    }
+
+    /// Parse and elaborate a source text, recovering from errors: every
+    /// problem — lexical, syntactic, or semantic — is accumulated as a
+    /// span-carrying [`SourceDiagnostic`] while the remaining statements
+    /// keep elaborating, so one pass reports them all. The returned
+    /// [`Elaboration`] reflects every statement that succeeded.
+    pub fn run_recover(&self, src: &str) -> (Elaboration, Vec<SourceDiagnostic>) {
+        let (file, mut diags) = parse_recover(src);
         let mut ctx = Ctx {
             space: DataSpace::new(self.np),
             env: Env {
@@ -89,9 +106,14 @@ impl Elaborator {
             interface_blocks: self.interface_blocks,
         };
         for s in &file.main.stmts {
-            ctx.statement(s)?;
+            if let Err(e) = ctx.statement(s) {
+                diags.push(SourceDiagnostic::new(e, s.span));
+            }
         }
-        Ok(Elaboration { space: ctx.space, report: ctx.report, arrays: ctx.arrays })
+        (
+            Elaboration { space: ctx.space, report: ctx.report, arrays: ctx.arrays },
+            diags,
+        )
     }
 }
 
@@ -271,10 +293,290 @@ impl Ctx {
                     lhs: lhs_id,
                     lhs_section: lhs_sec,
                     terms: rterms,
+                    span: s.span,
+                }));
+                Ok(())
+            }
+            Stmt::ScalarAssign { lhs, value } => {
+                self.check_scalar_expr(value, line)?;
+                let v = self.env.eval(value)? as f64;
+                let (id, sec) = self.resolve_ref(lhs, line)?;
+                let elements: Vec<(Idx, f64)> = sec.iter_parent().map(|i| (i, v)).collect();
+                self.report.events.push(Event::Fill(FillEvent {
+                    name: lhs.name.clone(),
+                    array: id,
+                    elements,
+                    span: s.span,
+                }));
+                Ok(())
+            }
+            Stmt::Forall { indices, lhs, rhs } => self.forall(indices, lhs, rhs, line, s.span),
+        }
+    }
+
+    /// Reject array references inside a scalar-valued expression: the
+    /// statement surface keeps array terms (`A = B + C`) and scalar fills
+    /// (`A = 2*N`) as disjoint forms, so a name in a scalar position must
+    /// be a parameter, a `READ` binding, or a FORALL index.
+    fn check_scalar_expr(&self, e: &Expr, line: usize) -> Result<(), FrontendError> {
+        match e {
+            Expr::Int(_) => Ok(()),
+            Expr::Name(n) => {
+                if self.arrays.contains_key(n) && !self.env.params.contains_key(n) {
+                    Err(FrontendError::Parse {
+                        line,
+                        what: format!(
+                            "`{n}` names an array — array references cannot appear in a \
+                             scalar expression (use an array assignment `LHS = {n}` instead)"
+                        ),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Max(a, b)
+            | Expr::Min(a, b) => {
+                self.check_scalar_expr(a, line)?;
+                self.check_scalar_expr(b, line)
+            }
+            Expr::Neg(a) => self.check_scalar_expr(a, line),
+            Expr::LBound(_, d) | Expr::UBound(_, d) | Expr::Size(_, d) => {
+                self.check_scalar_expr(d, line)
+            }
+        }
+    }
+
+    /// Elaborate a `FORALL`. Reference right-hand sides lower to a section
+    /// assignment (§5.1: affine subscripts become subscript triplets);
+    /// scalar right-hand sides evaluate to an element-by-element fill.
+    fn forall(
+        &mut self,
+        indices: &[ForallIndex],
+        lhs: &ArrayRef,
+        rhs: &ForallRhs,
+        line: usize,
+        span: crate::token::Span,
+    ) -> Result<(), FrontendError> {
+        let mut dummies: HashMap<String, usize> = HashMap::new();
+        let mut ranges: Vec<Triplet> = Vec::with_capacity(indices.len());
+        for (k, ix) in indices.iter().enumerate() {
+            if dummies.insert(ix.name.clone(), k).is_some() {
+                return Err(FrontendError::Parse {
+                    line,
+                    what: format!("duplicate FORALL index `{}`", ix.name),
+                });
+            }
+            let lo = self.env.eval(&ix.lower)?;
+            let up = self.env.eval(&ix.upper)?;
+            let st = match &ix.stride {
+                Some(e) => self.env.eval(e)?,
+                None => 1,
+            };
+            let t = Triplet::new(lo, up, st).map_err(|e| FrontendError::Eval(e.to_string()))?;
+            if t.is_empty() {
+                return Err(FrontendError::Eval(format!(
+                    "FORALL index `{}` has an empty range {lo}:{up}:{st}",
+                    ix.name
+                )));
+            }
+            ranges.push(t);
+        }
+        match rhs {
+            ForallRhs::Refs(terms) => {
+                let (lhs_id, lhs_sec, lhs_order) =
+                    self.forall_section(lhs, &dummies, indices, &ranges, line)?;
+                let mut rterms = Vec::with_capacity(terms.len());
+                for t in terms {
+                    let (id, sec, order) =
+                        self.forall_section(t, &dummies, indices, &ranges, line)?;
+                    if let (Some(lo), Some(to)) = (&lhs_order, &order) {
+                        if lo != to {
+                            return Err(FrontendError::Parse {
+                                line,
+                                what: format!(
+                                    "FORALL indices must appear in the same order on `{}` \
+                                     as on the left-hand side (transposes are not supported)",
+                                    t.name
+                                ),
+                            });
+                        }
+                    }
+                    rterms.push((t.name.clone(), id, sec));
+                }
+                self.report.events.push(Event::Assignment(AssignEvent {
+                    lhs_name: lhs.name.clone(),
+                    lhs: lhs_id,
+                    lhs_section: lhs_sec,
+                    terms: rterms,
+                    span,
+                }));
+                Ok(())
+            }
+            ForallRhs::Scalar(value) => {
+                self.check_scalar_expr(value, line)?;
+                let id = self.array(&lhs.name, line)?;
+                let dom = self.space.domain(id).cloned().ok_or_else(|| {
+                    FrontendError::Semantic(hpf_core::HpfError::NotAllocated(lhs.name.clone()))
+                })?;
+                let subs = lhs.section.as_deref().ok_or_else(|| FrontendError::Parse {
+                    line,
+                    what: format!(
+                        "FORALL left-hand side `{}` needs explicit subscripts",
+                        lhs.name
+                    ),
+                })?;
+                if subs.len() != dom.rank() {
+                    return Err(FrontendError::Eval(format!(
+                        "`{}` has rank {} but {} subscripts were given",
+                        lhs.name,
+                        dom.rank(),
+                        subs.len()
+                    )));
+                }
+                let sets: Vec<Vec<i64>> = ranges.iter().map(|t| t.iter().collect()).collect();
+                let lens: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+                let total: usize = lens.iter().product();
+                let mut elements = Vec::with_capacity(total);
+                for flat in 0..total {
+                    let mut rem = flat;
+                    let mut overlay = HashMap::new();
+                    for (k, ix) in indices.iter().enumerate() {
+                        overlay.insert(ix.name.clone(), sets[k][rem % lens[k]]);
+                        rem /= lens[k];
+                    }
+                    let mut idx = Idx::SCALAR;
+                    for sd in subs {
+                        let v = match sd {
+                            SectionDimAst::Scalar(e) => self.env.eval_with(e, &overlay)?,
+                            SectionDimAst::Triplet { .. } => {
+                                return Err(FrontendError::Parse {
+                                    line,
+                                    what: "subscript triplets are not allowed in a FORALL \
+                                           assignment"
+                                        .into(),
+                                })
+                            }
+                        };
+                        idx.push(v);
+                    }
+                    if !dom.contains(&idx) {
+                        return Err(FrontendError::Eval(format!(
+                            "FORALL writes `{}{}` outside its domain {}",
+                            lhs.name, idx, dom
+                        )));
+                    }
+                    elements.push((idx, self.env.eval_with(value, &overlay)? as f64));
+                }
+                self.report.events.push(Event::Fill(FillEvent {
+                    name: lhs.name.clone(),
+                    array: id,
+                    elements,
+                    span,
                 }));
                 Ok(())
             }
         }
+    }
+
+    /// Resolve one FORALL array reference into a concrete section by
+    /// classifying each subscript: a constant becomes a scalar selector, an
+    /// expression affine in exactly one FORALL index `I = l:u:s` with
+    /// positive coefficient `a` (so `a*I + c`) becomes the triplet
+    /// `a·l+c : a·u+c : a·s`. Also returns the order in which the FORALL
+    /// indices appear across the dimensions (`None` for a bare reference,
+    /// which imposes no order constraint).
+    #[allow(clippy::type_complexity)]
+    fn forall_section(
+        &self,
+        r: &ArrayRef,
+        dummies: &HashMap<String, usize>,
+        indices: &[ForallIndex],
+        ranges: &[Triplet],
+        line: usize,
+    ) -> Result<(ArrayId, Section, Option<Vec<usize>>), FrontendError> {
+        let id = self.array(&r.name, line)?;
+        let dom = self.space.domain(id).cloned().ok_or_else(|| {
+            FrontendError::Semantic(hpf_core::HpfError::NotAllocated(r.name.clone()))
+        })?;
+        let subs = match &r.section {
+            None => return Ok((id, Section::full(&dom), None)),
+            Some(s) => s,
+        };
+        if subs.len() != dom.rank() {
+            return Err(FrontendError::Eval(format!(
+                "`{}` has rank {} but {} subscripts were given",
+                r.name,
+                dom.rank(),
+                subs.len()
+            )));
+        }
+        let mut dims = Vec::with_capacity(subs.len());
+        let mut order = Vec::new();
+        for sd in subs {
+            let e = match sd {
+                SectionDimAst::Scalar(e) => e,
+                SectionDimAst::Triplet { .. } => {
+                    return Err(FrontendError::Parse {
+                        line,
+                        what: "subscript triplets are not allowed in a FORALL assignment"
+                            .into(),
+                    })
+                }
+            };
+            let ax = self.env.to_align_expr(e, dummies)?;
+            let mut hit: Option<(usize, i64, i64)> = None;
+            let mut constant: Option<i64> = None;
+            for k in 0..ranges.len() {
+                if let Some((a, c)) = ax.linear_in(k) {
+                    if a != 0 {
+                        hit = Some((k, a, c));
+                        break;
+                    }
+                    constant = Some(c);
+                }
+            }
+            match hit {
+                Some((k, a, c)) => {
+                    if a < 0 {
+                        return Err(FrontendError::Parse {
+                            line,
+                            what: format!(
+                                "FORALL subscript on `{}` runs backwards in index `{}` — \
+                                 only increasing affine subscripts are supported",
+                                r.name, indices[k].name
+                            ),
+                        });
+                    }
+                    let t = &ranges[k];
+                    let sec_t =
+                        Triplet::new(a * t.lower() + c, a * t.upper() + c, a * t.stride())
+                            .map_err(|e| FrontendError::Eval(e.to_string()))?;
+                    dims.push(SectionDim::Triplet(sec_t));
+                    order.push(k);
+                }
+                None => match constant {
+                    Some(c) => dims.push(SectionDim::Scalar(c)),
+                    None => {
+                        return Err(FrontendError::Parse {
+                            line,
+                            what: format!(
+                                "subscript on `{}` must be affine in at most one FORALL \
+                                 index",
+                                r.name
+                            ),
+                        })
+                    }
+                },
+            }
+        }
+        let sec = Section::new(dims);
+        sec.validate(&dom)
+            .map_err(|e| FrontendError::Eval(format!("`{}`: {e}", r.name)))?;
+        Ok((id, sec, Some(order)))
     }
 
     fn declare_entity(

@@ -59,6 +59,42 @@ impl Env {
         }
     }
 
+    /// Evaluate an expression with an overlay of extra named values (the
+    /// `FORALL` index variables): overlay names shadow parameters.
+    pub fn eval_with(
+        &self,
+        e: &Expr,
+        overlay: &HashMap<String, i64>,
+    ) -> Result<i64, FrontendError> {
+        match e {
+            Expr::Name(n) => {
+                if let Some(v) = overlay.get(n) {
+                    return Ok(*v);
+                }
+                self.eval(e)
+            }
+            Expr::Int(_) => self.eval(e),
+            Expr::Add(a, b) => Ok(self.eval_with(a, overlay)? + self.eval_with(b, overlay)?),
+            Expr::Sub(a, b) => Ok(self.eval_with(a, overlay)? - self.eval_with(b, overlay)?),
+            Expr::Mul(a, b) => Ok(self.eval_with(a, overlay)? * self.eval_with(b, overlay)?),
+            Expr::Div(a, b) => {
+                let d = self.eval_with(b, overlay)?;
+                if d == 0 {
+                    return Err(FrontendError::Eval("division by zero".into()));
+                }
+                Ok(self.eval_with(a, overlay)? / d)
+            }
+            Expr::Neg(a) => Ok(-self.eval_with(a, overlay)?),
+            Expr::Max(a, b) => {
+                Ok(self.eval_with(a, overlay)?.max(self.eval_with(b, overlay)?))
+            }
+            Expr::Min(a, b) => {
+                Ok(self.eval_with(a, overlay)?.min(self.eval_with(b, overlay)?))
+            }
+            Expr::LBound(..) | Expr::UBound(..) | Expr::Size(..) => self.eval(e),
+        }
+    }
+
     /// Translate an alignment expression into a core [`AlignExpr`]: names
     /// that match a declared align-dummy become [`AlignExpr::Dummy`];
     /// everything else is folded to constants (`LBOUND`/`UBOUND`/`SIZE`

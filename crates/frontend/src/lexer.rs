@@ -1,45 +1,78 @@
 use crate::error::FrontendError;
-use crate::token::{Spanned, Tok};
+use crate::report::SourceDiagnostic;
+use crate::token::{Span, Spanned, Tok};
 
-/// Tokenize a directive-language source text.
+/// Tokenize a directive-language source text, failing on the first
+/// lexical error.
 ///
 /// Line structure follows free-form Fortran: one statement per line,
 /// `!`-to-end-of-line comments, with the special prefix `!HPF$` marking a
-/// directive statement rather than a comment.
+/// directive statement rather than a comment. This is the fail-fast
+/// wrapper around [`lex_recover`]; drivers that want *every* problem in
+/// one pass use the recovering form directly.
 pub fn lex(src: &str) -> Result<Vec<Spanned>, FrontendError> {
+    let (toks, diags) = lex_recover(src);
+    match diags.into_iter().next() {
+        Some(d) => Err(d.error),
+        None => Ok(toks),
+    }
+}
+
+/// Tokenize a source text, recovering from lexical errors: an offending
+/// character (or out-of-range literal) is reported as a span-carrying
+/// diagnostic and skipped, and lexing continues so one pass surfaces
+/// every problem. The returned token stream always ends with
+/// [`Tok::Eof`].
+pub fn lex_recover(src: &str) -> (Vec<Spanned>, Vec<SourceDiagnostic>) {
     let mut out = Vec::new();
+    let mut diags = Vec::new();
     for (lineno, raw) in src.lines().enumerate() {
         let line = lineno + 1;
         let mut s = raw.trim();
         if s.is_empty() {
             continue;
         }
+        // column (1-based) where the trimmed text starts in the raw line
+        let mut col0 = raw.len() - raw.trim_start().len() + 1;
         // directive sigil or comment?
         let upper5 = s.get(..5).map(|p| p.to_ascii_uppercase());
         if upper5.as_deref() == Some("!HPF$") {
-            out.push(Spanned { tok: Tok::Directive, line });
-            s = s[5..].trim_start();
+            out.push(Spanned { tok: Tok::Directive, span: Span::new(line, col0, 5) });
+            let rest = s[5..].trim_start();
+            col0 += s.len() - rest.len();
+            s = rest;
         } else if s.starts_with('!') {
             continue; // plain comment line
         }
-        let produced = lex_line(s, line, &mut out)?;
+        let produced = lex_line(s, line, col0, &mut out, &mut diags);
         if produced {
-            out.push(Spanned { tok: Tok::Newline, line });
+            out.push(Spanned { tok: Tok::Newline, span: Span::line_start(line) });
         } else if matches!(out.last(), Some(Spanned { tok: Tok::Directive, .. })) {
             out.pop(); // bare "!HPF$" with nothing after it
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line: src.lines().count() + 1 });
-    Ok(out)
+    out.push(Spanned {
+        tok: Tok::Eof,
+        span: Span::line_start(src.lines().count() + 1),
+    });
+    (out, diags)
 }
 
 /// Lex one statement body; returns whether any token was produced.
-fn lex_line(s: &str, line: usize, out: &mut Vec<Spanned>) -> Result<bool, FrontendError> {
+/// `col0` is the 1-based source column of `s`'s first byte.
+fn lex_line(
+    s: &str,
+    line: usize,
+    col0: usize,
+    out: &mut Vec<Spanned>,
+    diags: &mut Vec<SourceDiagnostic>,
+) -> bool {
     let bytes = s.as_bytes();
     let mut k = 0usize;
     let mut any = false;
     while k < bytes.len() {
         let c = bytes[k] as char;
+        let start = k;
         let tok = match c {
             ' ' | '\t' | '\r' => {
                 k += 1;
@@ -88,19 +121,25 @@ fn lex_line(s: &str, line: usize, out: &mut Vec<Spanned>) -> Result<bool, Fronte
                 }
             }
             '0'..='9' => {
-                let start = k;
                 while k < bytes.len() && bytes[k].is_ascii_digit() {
                     k += 1;
                 }
                 let text = &s[start..k];
-                let v: i64 = text.parse().map_err(|_| FrontendError::Lex {
-                    line,
-                    what: format!("integer literal `{text}` out of range"),
-                })?;
-                Tok::Int(v)
+                match text.parse::<i64>() {
+                    Ok(v) => Tok::Int(v),
+                    Err(_) => {
+                        diags.push(SourceDiagnostic::new(
+                            FrontendError::Lex {
+                                line,
+                                what: format!("integer literal `{text}` out of range"),
+                            },
+                            Span::new(line, col0 + start, k - start),
+                        ));
+                        continue; // skip the bad literal and keep lexing
+                    }
+                }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
-                let start = k;
                 while k < bytes.len()
                     && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'_' || bytes[k] == b'$')
                 {
@@ -109,16 +148,21 @@ fn lex_line(s: &str, line: usize, out: &mut Vec<Spanned>) -> Result<bool, Fronte
                 Tok::Ident(s[start..k].to_ascii_uppercase())
             }
             other => {
-                return Err(FrontendError::Lex {
-                    line,
-                    what: format!("unexpected character `{other}`"),
-                })
+                diags.push(SourceDiagnostic::new(
+                    FrontendError::Lex {
+                        line,
+                        what: format!("unexpected character `{other}`"),
+                    },
+                    Span::new(line, col0 + start, other.len_utf8().max(1)),
+                ));
+                k += other.len_utf8(); // skip the bad character and keep lexing
+                continue;
             }
         };
-        out.push(Spanned { tok, line });
+        out.push(Spanned { tok, span: Span::new(line, col0 + start, k - start) });
         any = true;
     }
-    Ok(any)
+    any
 }
 
 #[cfg(test)]
@@ -199,5 +243,47 @@ mod tests {
         let t = toks("\n\n!HPF$\nREAL A(2)");
         assert_eq!(t.iter().filter(|t| matches!(t, Tok::Directive)).count(), 0);
         assert_eq!(t.iter().filter(|t| matches!(t, Tok::Newline)).count(), 1);
+    }
+
+    #[test]
+    fn spans_carry_columns() {
+        let (t, diags) = lex_recover("  REAL A(4)");
+        assert!(diags.is_empty());
+        assert_eq!(t[0].span, Span::new(1, 3, 4)); // REAL
+        assert_eq!(t[1].span, Span::new(1, 8, 1)); // A
+        assert_eq!(t[2].span, Span::new(1, 9, 1)); // (
+    }
+
+    #[test]
+    fn directive_spans_offset_past_sigil() {
+        let (t, _) = lex_recover("!HPF$ DISTRIBUTE A(BLOCK)");
+        assert_eq!(t[0].span, Span::new(1, 1, 5)); // !HPF$
+        assert_eq!(t[1].span, Span::new(1, 7, 10)); // DISTRIBUTE
+    }
+
+    #[test]
+    fn recovery_skips_bad_characters_and_reports_all() {
+        let (t, diags) = lex_recover("A @ B\nC # D");
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].span.line, 1);
+        assert_eq!(diags[0].span.col, 3);
+        assert_eq!(diags[1].span.line, 2);
+        // the good tokens survive
+        let idents: Vec<_> = t
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn recovery_skips_overflowing_literal() {
+        let (t, diags) = lex_recover("A(99999999999999999999)");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].error.to_string().contains("out of range"));
+        assert!(t.iter().any(|s| s.tok == Tok::RParen));
     }
 }

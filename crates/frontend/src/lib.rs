@@ -41,6 +41,7 @@ mod elaborate;
 mod error;
 mod eval;
 mod lexer;
+pub mod lower;
 mod parser;
 mod report;
 mod token;
@@ -48,7 +49,10 @@ mod token;
 pub use elaborate::{Elaboration, Elaborator};
 pub use error::FrontendError;
 pub use eval::Env;
-pub use lexer::lex;
-pub use parser::parse;
-pub use report::{AssignEvent, ElaborationReport, Event};
-pub use token::{Spanned, Tok};
+pub use lexer::{lex, lex_recover};
+pub use lower::{LoweredProgram, Lowerer};
+pub use parser::{parse, parse_recover};
+pub use report::{
+    render_diagnostics, AssignEvent, ElaborationReport, Event, FillEvent, SourceDiagnostic,
+};
+pub use token::{Span, Spanned, Tok};

@@ -1,17 +1,40 @@
 use crate::ast::*;
 use crate::error::FrontendError;
-use crate::lexer::lex;
-use crate::token::{Spanned, Tok};
+use crate::lexer::lex_recover;
+use crate::report::SourceDiagnostic;
+use crate::token::{Span, Spanned, Tok};
 
-/// Parse a source text into a [`SourceFile`].
+/// Parse a source text into a [`SourceFile`], failing on the first error.
+///
+/// This is the fail-fast wrapper around [`parse_recover`]: the first
+/// accumulated diagnostic (lexical errors first, then syntax errors in
+/// statement order) becomes the `Err`.
 pub fn parse(src: &str) -> Result<SourceFile, FrontendError> {
-    let toks = lex(src)?;
-    Parser { toks, pos: 0 }.source_file()
+    let (file, diags) = parse_recover(src);
+    match diags.into_iter().next() {
+        Some(d) => Err(d.error),
+        None => Ok(file),
+    }
+}
+
+/// Parse a source text, recovering from errors: a malformed statement is
+/// reported as a span-carrying diagnostic, the parser resynchronizes at
+/// the next statement boundary (line break), and parsing continues. The
+/// returned [`SourceFile`] contains every statement that *did* parse, so
+/// later phases can keep going too.
+pub fn parse_recover(src: &str) -> (SourceFile, Vec<SourceDiagnostic>) {
+    let (toks, mut diags) = lex_recover(src);
+    let mut p = Parser { toks, pos: 0, last_err_span: None };
+    let file = p.source_file(&mut diags);
+    (file, diags)
 }
 
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    /// Span of the most recent error produced by [`Parser::err`] — read
+    /// back (taken) when a failed statement is turned into a diagnostic.
+    last_err_span: Option<Span>,
 }
 
 /// The three optional expressions of a subscript triplet `l:u:s`.
@@ -27,7 +50,11 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks[self.pos].line
+        self.toks[self.pos].span.line
+    }
+
+    fn cur_span(&self) -> Span {
+        self.toks[self.pos].span
     }
 
     fn bump(&mut self) -> Tok {
@@ -38,8 +65,27 @@ impl Parser {
         t
     }
 
-    fn err<T>(&self, what: impl Into<String>) -> Result<T, FrontendError> {
+    fn err<T>(&mut self, what: impl Into<String>) -> Result<T, FrontendError> {
+        self.last_err_span = Some(self.cur_span());
         Err(FrontendError::Parse { line: self.line(), what: what.into() })
+    }
+
+    /// Skip to the next statement boundary after a failed statement, so
+    /// parsing can continue. Consumes at least one token unless already at
+    /// end of input — guaranteeing progress for the recovery loop.
+    fn resync(&mut self) {
+        loop {
+            match self.peek() {
+                Tok::Newline => {
+                    self.bump();
+                    return;
+                }
+                Tok::Eof => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
     }
 
     fn expect(&mut self, t: Tok) -> Result<(), FrontendError> {
@@ -83,7 +129,7 @@ impl Parser {
 
     // -------------------------------------------------------------- units
 
-    fn source_file(&mut self) -> Result<SourceFile, FrontendError> {
+    fn source_file(&mut self, diags: &mut Vec<SourceDiagnostic>) -> SourceFile {
         let mut main_stmts: Vec<SpannedStmt> = Vec::new();
         let mut main_name = "MAIN".to_string();
         let mut subroutines = Vec::new();
@@ -100,7 +146,16 @@ impl Parser {
                 _ => {}
             }
             let line = self.line();
-            let stmt = self.statement()?;
+            let span = self.cur_span();
+            let stmt = match self.statement() {
+                Ok(s) => s,
+                Err(e) => {
+                    let at = self.last_err_span.take().unwrap_or(span);
+                    diags.push(SourceDiagnostic::new(e, at));
+                    self.resync();
+                    continue;
+                }
+            };
             match stmt {
                 Stmt::Program(name) if in_main => {
                     main_name = name;
@@ -122,14 +177,17 @@ impl Parser {
                 }
                 s => {
                     if let Some(sub) = current_sub.as_mut() {
-                        sub.stmts.push(SpannedStmt { stmt: s, line });
+                        sub.stmts.push(SpannedStmt { stmt: s, line, span });
                     } else if in_main {
-                        main_stmts.push(SpannedStmt { stmt: s, line });
+                        main_stmts.push(SpannedStmt { stmt: s, line, span });
                     } else {
-                        return Err(FrontendError::Parse {
-                            line,
-                            what: "statement outside any program unit".into(),
-                        });
+                        diags.push(SourceDiagnostic::new(
+                            FrontendError::Parse {
+                                line,
+                                what: "statement outside any program unit".into(),
+                            },
+                            span,
+                        ));
                     }
                 }
             }
@@ -137,10 +195,10 @@ impl Parser {
         if let Some(sub) = current_sub.take() {
             subroutines.push(sub);
         }
-        Ok(SourceFile {
+        SourceFile {
             main: Unit { name: main_name, dummies: Vec::new(), stmts: main_stmts },
             subroutines,
-        })
+        }
     }
 
     // ---------------------------------------------------------- statements
@@ -271,11 +329,13 @@ impl Parser {
                 self.end_stmt()?;
                 Ok(Stmt::Subroutine { name, dummies })
             }
+            "FORALL" => self.forall(),
             _ => self.array_assignment(),
         }
     }
 
     fn directive(&mut self) -> Result<Stmt, FrontendError> {
+        let kw_span = self.cur_span();
         let kw = self.expect_ident()?;
         match kw.as_str() {
             "PROCESSORS" => {
@@ -311,7 +371,10 @@ impl Parser {
                 self.end_stmt()?;
                 Ok(Stmt::Dynamic(names))
             }
-            "TEMPLATE" => Err(FrontendError::TemplateDirective { line: self.line() }),
+            "TEMPLATE" => {
+                self.last_err_span = Some(kw_span);
+                Err(FrontendError::TemplateDirective { line: kw_span.line })
+            }
             other => self.err(format!("unknown directive `{other}`")),
         }
     }
@@ -613,13 +676,78 @@ impl Parser {
     fn array_assignment(&mut self) -> Result<Stmt, FrontendError> {
         let lhs = self.array_ref()?;
         self.expect(Tok::Equals)?;
+        // try `T1 + T2 + ...` as array references first; on failure,
+        // re-parse the right-hand side as a scalar expression (a fill)
+        let save = self.pos;
+        match self.ref_sum() {
+            Ok(terms) => Ok(Stmt::ArrayAssign { lhs, terms }),
+            Err(_) => {
+                self.pos = save;
+                let value = self.expr()?;
+                self.end_stmt()?;
+                Ok(Stmt::ScalarAssign { lhs, value })
+            }
+        }
+    }
+
+    /// `T1 [+ T2 ...]` up to and including the end of statement.
+    fn ref_sum(&mut self) -> Result<Vec<ArrayRef>, FrontendError> {
         let mut terms = vec![self.array_ref()?];
         while *self.peek() == Tok::Plus {
             self.bump();
             terms.push(self.array_ref()?);
         }
         self.end_stmt()?;
-        Ok(Stmt::ArrayAssign { lhs, terms })
+        Ok(terms)
+    }
+
+    /// `FORALL (I = l:u[:s], ...) LHS(subs) = rhs`
+    fn forall(&mut self) -> Result<Stmt, FrontendError> {
+        self.bump(); // FORALL
+        self.expect(Tok::LParen)?;
+        let mut indices = vec![self.forall_index()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            indices.push(self.forall_index()?);
+        }
+        self.expect(Tok::RParen)?;
+        let lhs = self.array_ref()?;
+        self.expect(Tok::Equals)?;
+        let save = self.pos;
+        let rhs = match self.ref_sum() {
+            // a bare forall index on the right (`A(I) = I`) is a value,
+            // not an array reference — fall through to the scalar parse
+            Ok(terms)
+                if !terms.iter().any(|t| {
+                    t.section.is_none() && indices.iter().any(|ix| ix.name == t.name)
+                }) =>
+            {
+                ForallRhs::Refs(terms)
+            }
+            _ => {
+                self.pos = save;
+                let e = self.expr()?;
+                self.end_stmt()?;
+                ForallRhs::Scalar(e)
+            }
+        };
+        Ok(Stmt::Forall { indices, lhs, rhs })
+    }
+
+    /// One `I = lower : upper [: stride]` control of a FORALL header.
+    fn forall_index(&mut self) -> Result<ForallIndex, FrontendError> {
+        let name = self.expect_ident()?;
+        self.expect(Tok::Equals)?;
+        let lower = self.expr()?;
+        self.expect(Tok::Colon)?;
+        let upper = self.expr()?;
+        let stride = if *self.peek() == Tok::Colon {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(ForallIndex { name, lower, upper, stride })
     }
 
     fn declaration(&mut self, ty: String) -> Result<Stmt, FrontendError> {
@@ -1050,5 +1178,80 @@ END
     #[test]
     fn unknown_directive_rejected() {
         assert!(parse("!HPF$ FROBNICATE A").is_err());
+    }
+
+    #[test]
+    fn forall_with_reference_rhs() {
+        match one("FORALL (I = 1:N) A(I) = B(I-1)") {
+            Stmt::Forall { indices, lhs, rhs } => {
+                assert_eq!(indices.len(), 1);
+                assert_eq!(indices[0].name, "I");
+                assert!(indices[0].stride.is_none());
+                assert_eq!(lhs.name, "A");
+                match rhs {
+                    ForallRhs::Refs(terms) => {
+                        assert_eq!(terms.len(), 1);
+                        assert_eq!(terms[0].name, "B");
+                    }
+                    r => panic!("{r:?}"),
+                }
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_with_scalar_rhs_and_stride() {
+        match one("FORALL (I = 1:N, J = 1:M:2) A(I, J) = I + J") {
+            Stmt::Forall { indices, rhs, .. } => {
+                assert_eq!(indices.len(), 2);
+                assert_eq!(indices[1].name, "J");
+                assert_eq!(indices[1].stride, Some(Expr::Int(2)));
+                assert!(matches!(rhs, ForallRhs::Scalar(Expr::Add(_, _))));
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_bare_index_rhs_is_a_value_not_a_reference() {
+        // `A(I) = I` must not read `I` as a zero-section array term
+        match one("FORALL (I = 1:N) A(I) = I") {
+            Stmt::Forall { rhs, .. } => {
+                assert_eq!(rhs, ForallRhs::Scalar(Expr::Name("I".into())));
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_fill_backtracks_from_the_reference_parse() {
+        // `2*N` fails the ref-sum parse, so the RHS re-parses as a value
+        match one("A = 2*N") {
+            Stmt::ScalarAssign { lhs, value } => {
+                assert_eq!(lhs.name, "A");
+                assert!(lhs.section.is_none());
+                assert!(matches!(value, Expr::Mul(_, _)));
+            }
+            s => panic!("{s:?}"),
+        }
+        match one("A(1:4) = 3") {
+            Stmt::ScalarAssign { lhs, value } => {
+                assert!(lhs.section.is_some());
+                assert_eq!(value, Expr::Int(3));
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_reference_sum_is_still_an_array_assignment() {
+        match one("A = B + C") {
+            Stmt::ArrayAssign { lhs, terms } => {
+                assert_eq!(lhs.name, "A");
+                assert_eq!(terms.len(), 2);
+            }
+            s => panic!("{s:?}"),
+        }
     }
 }

@@ -1,5 +1,7 @@
+use crate::error::FrontendError;
+use crate::token::Span;
 use hpf_core::{ArrayId, CallReport};
-use hpf_index::Section;
+use hpf_index::{Idx, Section};
 use std::fmt;
 
 /// One elaboration event — the narrative of what the directives did.
@@ -79,6 +81,8 @@ pub enum Event {
     Call(CallReport),
     /// An array assignment was recognized (to be executed by the runtime).
     Assignment(AssignEvent),
+    /// A scalar-valued fill was evaluated (to initialize runtime storage).
+    Fill(FillEvent),
 }
 
 /// An array-assignment statement in resolved form: array ids plus concrete
@@ -93,6 +97,23 @@ pub struct AssignEvent {
     pub lhs_section: Section,
     /// RHS terms: `(name, id, section)`.
     pub terms: Vec<(String, ArrayId, Section)>,
+    /// Source span of the statement (for lowering-time diagnostics).
+    pub span: Span,
+}
+
+/// A fill statement (`A = expr` or `FORALL (...) A(...) = expr`) in
+/// evaluated form: the exact element values, ready to initialize a
+/// `DistArray`. Fills run once, before the timestep loop.
+#[derive(Debug, Clone)]
+pub struct FillEvent {
+    /// Target array name.
+    pub name: String,
+    /// Target array id in the elaborated space.
+    pub array: ArrayId,
+    /// `(index, value)` pairs, in evaluation order.
+    pub elements: Vec<(Idx, f64)>,
+    /// Source span of the statement.
+    pub span: Span,
 }
 
 impl fmt::Display for Event {
@@ -137,6 +158,9 @@ impl fmt::Display for Event {
                 }
                 Ok(())
             }
+            Event::Fill(fl) => {
+                write!(f, "fill {} ({} elements)", fl.name, fl.elements.len())
+            }
         }
     }
 }
@@ -155,6 +179,17 @@ impl ElaborationReport {
             .iter()
             .filter_map(|e| match e {
                 Event::Assignment(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All evaluated fills, in order.
+    pub fn fills(&self) -> Vec<&FillEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Fill(fl) => Some(fl),
                 _ => None,
             })
             .collect()
@@ -191,5 +226,115 @@ impl fmt::Display for ElaborationReport {
             writeln!(f, "  {e}")?;
         }
         Ok(())
+    }
+}
+
+// ------------------------------------------------------------ diagnostics
+
+/// A frontend problem with the source span it was detected at.
+///
+/// The recovering entry points ([`crate::lex_recover`],
+/// [`crate::parse_recover`], [`crate::Elaborator::run_recover`])
+/// accumulate these instead of failing on the first error, so a malformed
+/// program produces one batch of readable reports. Render a batch against
+/// the source with [`render_diagnostics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDiagnostic {
+    /// What went wrong.
+    pub error: FrontendError,
+    /// Where.
+    pub span: Span,
+}
+
+impl SourceDiagnostic {
+    /// Pair an error with its span.
+    pub fn new(error: FrontendError, span: Span) -> Self {
+        SourceDiagnostic { error, span }
+    }
+
+    /// The error message without any location prefix (the span carries
+    /// the location).
+    pub fn message(&self) -> String {
+        let s = self.error.to_string();
+        // FrontendError prefixes some variants with "line N: " — the span
+        // already says where, so strip the redundant prefix for rendering.
+        match s.split_once(": ") {
+            Some((head, rest)) if head.starts_with("line ") => rest.to_string(),
+            _ => s,
+        }
+    }
+}
+
+impl fmt::Display for SourceDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message())
+    }
+}
+
+/// Render a batch of diagnostics against the source text, `rustc`-style:
+/// each diagnostic shows its message, position, the offending source
+/// line, and a caret marker under the span.
+///
+/// ```text
+/// error: expected `)`, found `,`
+///   --> 3:19
+///    |
+///  3 | !HPF$ DISTRIBUTE A,BLOCK)
+///    |                   ^
+/// ```
+pub fn render_diagnostics(src: &str, diags: &[SourceDiagnostic]) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("error: {}\n", d.message()));
+        out.push_str(&format!("  --> {}\n", d.span));
+        if d.span.line >= 1 && d.span.line <= lines.len() {
+            let text = lines[d.span.line - 1];
+            let num = d.span.line.to_string();
+            let pad = " ".repeat(num.len());
+            out.push_str(&format!(" {pad} |\n"));
+            out.push_str(&format!(" {num} | {text}\n"));
+            let underline_at = d.span.col.saturating_sub(1).min(text.len());
+            let carets = "^".repeat(d.span.len.max(1));
+            out.push_str(&format!(" {pad} | {}{carets}\n", " ".repeat(underline_at)));
+        }
+    }
+    if !diags.is_empty() {
+        out.push_str(&format!(
+            "{} error{} found\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    #[test]
+    fn renderer_underlines_the_span() {
+        let src = "REAL A(4)\nREAL B(]";
+        let diags = vec![SourceDiagnostic::new(
+            FrontendError::Parse { line: 2, what: "expected expression, found `]`".into() },
+            Span::new(2, 8, 1),
+        )];
+        let r = render_diagnostics(src, &diags);
+        assert!(r.contains("error: expected expression"), "{r}");
+        assert!(r.contains("--> 2:8"), "{r}");
+        assert!(r.contains("2 | REAL B(]"), "{r}");
+        assert!(r.contains("|        ^"), "{r}");
+        assert!(r.contains("1 error found"), "{r}");
+    }
+
+    #[test]
+    fn message_strips_line_prefix() {
+        let d = SourceDiagnostic::new(
+            FrontendError::Parse { line: 7, what: "bad thing".into() },
+            Span::new(7, 3, 2),
+        );
+        assert_eq!(d.message(), "bad thing");
+        assert_eq!(d.to_string(), "7:3: bad thing");
     }
 }

@@ -60,11 +60,51 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token plus its source line (1-based), for diagnostics.
+/// A half-open region of the source text, for diagnostics: 1-based line
+/// and column plus the length in characters. Rendering (see
+/// [`crate::render_diagnostics`]) underlines exactly `[col, col+len)` of
+/// `line`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Source line, 1-based.
+    pub line: usize,
+    /// Source column, 1-based.
+    pub col: usize,
+    /// Length in characters (0 for end-of-line/end-of-input positions).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` characters at `line`:`col`.
+    pub fn new(line: usize, col: usize, len: usize) -> Self {
+        Span { line, col, len }
+    }
+
+    /// A zero-width span at the start of a line — used for synthesized
+    /// positions (end of statement, end of input).
+    pub fn line_start(line: usize) -> Self {
+        Span { line, col: 1, len: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A token plus its source span, for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
     pub tok: Tok,
-    /// Source line number.
-    pub line: usize,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Spanned {
+    /// Source line number (1-based) — shorthand for `.span.line`.
+    pub fn line(&self) -> usize {
+        self.span.line
+    }
 }

@@ -23,14 +23,17 @@ pub use hpf_core::{
     EffectiveDist, FormatSpec, GeneralBlock, HpfError, MappingId, ProcSet, ProcedureDef,
     TargetSpec,
 };
-pub use hpf_frontend::{Elaboration, Elaborator};
+pub use hpf_frontend::{
+    render_diagnostics, Elaboration, Elaborator, FrontendError, LoweredProgram, Lowerer,
+    SourceDiagnostic, Span,
+};
 pub use hpf_index::{
     span, triplet, Idx, IndexDomain, Rect, Region, Section, SectionDim, Triplet,
 };
 pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
-    comm_analysis, dense_reference, ghost_regions, remap_analysis, verify_plan,
+    apply_dense, comm_analysis, dense_reference, ghost_regions, remap_analysis, verify_plan,
     verify_program_plan, AnalysisVerdict, Assignment, Backend, ChannelsBackend, Combine,
     CommAnalysis, CopyRun, Diagnostic, DiagnosticKind, DistArray, ExchangeBackend,
     ExecPlan, FusedPair, FusedSegment, FusedWorkspace, FusionReport, FusionStats,

@@ -5,6 +5,7 @@ use crate::plan::ExecPlan;
 use crate::workspace::PlanWorkspace;
 use crate::DistArray;
 use hpf_core::HpfError;
+use hpf_index::IndexDomain;
 use std::sync::Arc;
 
 /// Sequential owner-computes executor: a thin driver that inspects a fresh
@@ -98,6 +99,30 @@ pub fn dense_reference(arrays: &[DistArray<f64>], stmt: &Assignment) -> Vec<f64>
         dense[lhs_dom.linearize(&gi).expect("validated sections stay in bounds")] = v;
     }
     dense
+}
+
+/// Apply `stmt` to a set of dense mirrors in place — the multi-timestep
+/// companion of [`dense_reference`]. `dense[k]` holds array `k` in
+/// column-major global order over `domains[k]`; repeating this over every
+/// statement of a program, timestep after timestep, yields the oracle the
+/// end-to-end pipeline (`hpfrun --verify`) compares distributed results
+/// against. Same aliasing discipline as [`dense_reference`]: all updates
+/// are computed from the pre-statement values, then stored.
+pub fn apply_dense(dense: &mut [Vec<f64>], domains: &[IndexDomain], stmt: &Assignment) {
+    let mut vals = vec![0.0f64; stmt.terms.len()];
+    let mut updates = Vec::with_capacity(stmt.element_count());
+    for rel in stmt.positions() {
+        for (t, term) in stmt.terms.iter().enumerate() {
+            let gi = stmt.rhs_index(t, &rel);
+            vals[t] = dense[term.array]
+                [domains[term.array].linearize(&gi).expect("validated sections stay in bounds")];
+        }
+        updates.push((stmt.lhs_index(&rel), stmt.combine.apply(&vals)));
+    }
+    let lhs_dom = &domains[stmt.lhs];
+    for (gi, v) in updates {
+        dense[stmt.lhs][lhs_dom.linearize(&gi).expect("validated sections stay in bounds")] = v;
+    }
 }
 
 #[cfg(test)]

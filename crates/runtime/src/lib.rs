@@ -85,7 +85,7 @@ pub use backend::{
 };
 pub use cache::{FusedTarget, PlanCache};
 pub use commsets::{comm_analysis, CommAnalysis};
-pub use exec::{dense_reference, SeqExecutor};
+pub use exec::{apply_dense, dense_reference, SeqExecutor};
 pub use fuse::{FusedPair, FusedSegment, FusionStats, ProgramPlan, Superstep, UnitMeta};
 pub use ghost::{ghost_regions, GhostReport};
 pub use par::ParExecutor;

@@ -1,15 +1,24 @@
 //! `hpf-lint` — run the static schedule verifier over example programs.
 //!
 //! ```text
-//! hpf-lint                     verify every scenario
+//! hpf-lint                     verify every built-in scenario
 //! hpf-lint quickstart ...      verify the named scenarios
+//! hpf-lint prog.hpf ...        elaborate + lower a source file, verify its plans
+//! hpf-lint --np 8 prog.hpf     ... over 8 abstract processors
 //! hpf-lint --list              list scenario names
 //! ```
 //!
+//! Source files go through the whole frontend pipeline: the recovering
+//! elaborator and the lowerer accumulate every diagnostic (rendered
+//! against the source), and only a clean program's compiled plans reach
+//! the verifier.
+//!
 //! Exit status: 0 when every verified plan is clean (an expected
 //! replicated-divergence verdict is reported as a note, not a failure),
-//! 1 when any statement carries a diagnostic, 2 on usage errors.
+//! 1 when any statement carries a diagnostic or a source fails to lower,
+//! 2 on usage errors.
 
+use hpf_frontend::{render_diagnostics, Elaborator, Lowerer};
 use hpf_verify::scenarios::{self, Scenario};
 use hpf_verify::AnalysisVerdict;
 use std::process::ExitCode;
@@ -27,11 +36,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let picked: Vec<Scenario> = if args.is_empty() {
+    // Split the arguments: `.hpf` paths are source files for the pipeline,
+    // everything else names a built-in scenario. `--np` applies to files.
+    let mut np = 4usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--np" {
+            np = match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => {
+                    usage();
+                    return ExitCode::from(2);
+                }
+            };
+        } else if a.ends_with(".hpf") {
+            files.push(a);
+        } else {
+            names.push(a);
+        }
+    }
+
+    let picked: Vec<Scenario> = if names.is_empty() && !files.is_empty() {
+        Vec::new()
+    } else if names.is_empty() {
         scenarios::all()
     } else {
-        let mut picked = Vec::with_capacity(args.len());
-        for name in &args {
+        let mut picked = Vec::with_capacity(names.len());
+        for name in &names {
             match scenarios::by_name(name) {
                 Some(s) => picked.push(s),
                 None => {
@@ -46,6 +79,8 @@ fn main() -> ExitCode {
 
     let mut findings = 0usize;
     let mut statements = 0usize;
+    let mut units = 0usize;
+
     for scenario in &picked {
         println!("== {} — {}", scenario.name, scenario.summary);
         let mut prog = (scenario.build)();
@@ -57,6 +92,46 @@ fn main() -> ExitCode {
             }
         };
         statements += report.statements.len();
+        units += 1;
+        for stmt in &report.statements {
+            print!("{stmt}");
+            if stmt.verdict == AnalysisVerdict::ReplicatedDivergence {
+                println!(
+                    "   note: replicated operand — analysis totals legitimately \
+                     diverge (every replica computes locally)"
+                );
+            }
+        }
+        findings += report.finding_count();
+        println!();
+    }
+
+    for file in &files {
+        println!("== {file} — lowered over {np} abstract processors");
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hpf-lint: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (elab, mut diags) = Elaborator::new(np).run_recover(&src);
+        let (mut lowered, lower_diags) = Lowerer::lower(&elab);
+        diags.extend(lower_diags);
+        if !diags.is_empty() {
+            eprint!("{}", render_diagnostics(&src, &diags));
+            findings += diags.len();
+            continue;
+        }
+        let report = match lowered.program.verify_all() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hpf-lint: {file}: planning failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        statements += report.statements.len();
+        units += 1;
         for stmt in &report.statements {
             print!("{stmt}");
             if stmt.verdict == AnalysisVerdict::ReplicatedDivergence {
@@ -72,9 +147,8 @@ fn main() -> ExitCode {
 
     if findings == 0 {
         println!(
-            "hpf-lint: {statements} statement plan(s) across {} scenario(s): \
-             all five properties hold",
-            picked.len()
+            "hpf-lint: {statements} statement plan(s) across {units} unit(s): \
+             all five properties hold"
         );
         ExitCode::SUCCESS
     } else {
@@ -85,7 +159,8 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: hpf-lint [--list] [scenario ...]\n\
-         verifies compiled plans for the example programs; with no names, all of them"
+        "usage: hpf-lint [--list] [--np N] [scenario | file.hpf ...]\n\
+         verifies compiled plans for built-in scenarios and/or lowered .hpf\n\
+         source files; with no names, all built-in scenarios"
     );
 }
