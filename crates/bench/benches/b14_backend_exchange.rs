@@ -35,18 +35,18 @@ fn print_summary() {
     let elems = replay_elements(&plan);
 
     let mut shared = SharedMemBackend::new();
-    shared.step(&plan, &mut arrays, &mut ws); // warm
+    shared.step(&plan, &mut arrays, &mut ws).unwrap(); // warm
     let t = Instant::now();
     for _ in 0..iters {
-        shared.step(&plan, &mut arrays, &mut ws);
+        shared.step(&plan, &mut arrays, &mut ws).unwrap();
     }
     let shared_t = t.elapsed();
 
     let mut channels = ChannelsBackend::new();
-    channels.step(&plan, &mut arrays, &mut ws); // warm (spawns the fleet)
+    channels.step(&plan, &mut arrays, &mut ws).unwrap(); // warm (spawns the fleet)
     let t = Instant::now();
     for _ in 0..iters {
-        channels.step(&plan, &mut arrays, &mut ws);
+        channels.step(&plan, &mut arrays, &mut ws).unwrap();
     }
     let channels_t = t.elapsed();
 
@@ -88,15 +88,15 @@ fn bench(c: &mut Criterion) {
         let mut shared = SharedMemBackend::new();
         g.bench_function(BenchmarkId::new(tag, "shared_mem"), |b| {
             b.iter(|| {
-                shared.step(&plan, &mut arrays, &mut ws);
+                shared.step(&plan, &mut arrays, &mut ws).unwrap();
                 black_box(());
             })
         });
         let mut channels = ChannelsBackend::new();
-        channels.step(&plan, &mut arrays, &mut ws); // spawn the fleet untimed
+        channels.step(&plan, &mut arrays, &mut ws).unwrap(); // spawn the fleet untimed
         g.bench_function(BenchmarkId::new(tag, "channels"), |b| {
             b.iter(|| {
-                channels.step(&plan, &mut arrays, &mut ws);
+                channels.step(&plan, &mut arrays, &mut ws).unwrap();
                 black_box(());
             })
         });

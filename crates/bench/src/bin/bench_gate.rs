@@ -149,11 +149,13 @@ fn measure_b14(budget: Duration, reps: usize) -> Vec<Entry> {
         let mut ws = PlanWorkspace::for_plan(&plan);
         let elems = replay_elements(&plan);
         let mut shared = SharedMemBackend::new();
-        let shared_rate =
-            measure(elems, budget, reps, || shared.step(&plan, &mut arrays, &mut ws));
+        let shared_rate = measure(elems, budget, reps, || {
+            shared.step(&plan, &mut arrays, &mut ws).expect("no faults injected")
+        });
         let mut channels = ChannelsBackend::new();
-        let channels_rate =
-            measure(elems, budget, reps, || channels.step(&plan, &mut arrays, &mut ws));
+        let channels_rate = measure(elems, budget, reps, || {
+            channels.step(&plan, &mut arrays, &mut ws).expect("no faults injected")
+        });
         out.push(Entry::rate(shared_name, shared_rate));
         out.push(Entry::rate(channels_name, channels_rate));
         if tag == "stencil_2d_block" {

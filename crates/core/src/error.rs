@@ -167,6 +167,22 @@ pub enum HpfError {
     },
     /// Generic non-conformance with a rule reference.
     NotConforming(String),
+
+    // ---- execution faults ----
+    /// A runtime exchange failed mid-superstep (worker death, dropped or
+    /// corrupted message, wedged fleet). What used to be a process abort:
+    /// carries the failing rank when one could be identified so recovery
+    /// can target it, and the backend's superstep counter at detection
+    /// time so a replay knows where the trajectory broke.
+    Exchange {
+        /// Zero-based rank the failure was pinned to, if identifiable.
+        rank: Option<u32>,
+        /// The backend's superstep counter when the failure was detected.
+        step: u64,
+        /// Rendered failure description (the runtime's typed
+        /// `ExchangeError`, stringified at the crate boundary).
+        reason: String,
+    },
 }
 
 impl fmt::Display for HpfError {
@@ -274,6 +290,7 @@ impl fmt::Display for HpfError {
                 "dummy `{dummy}` has rank {expected} but the actual has rank {found}"
             ),
             NotConforming(r) => write!(f, "program not conforming: {r}"),
+            Exchange { reason, .. } => write!(f, "exchange fault: {reason}"),
         }
     }
 }

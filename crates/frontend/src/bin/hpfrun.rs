@@ -9,10 +9,20 @@
 //! ```text
 //! hpfrun FILE.hpf [--np N] [--steps N] [--backend shared-mem|channels]
 //!                 [--threads N] [--set NAME=VALUE]... [--verify] [--stats]
+//!                 [--checkpoint-dir D] [--checkpoint-every N] [--resume]
+//!                 [--inject SPEC]... [--step-timeout-ms N]
 //! ```
 //!
 //! All frontend and lowering problems are reported together, rendered
 //! against the source with spans — one run shows every defect.
+//!
+//! With `--checkpoint-dir` the run goes through the fault-tolerant
+//! trajectory driver ([`hpf_runtime::run_trajectory`]): distributed
+//! snapshots on a cadence, and on an exchange fault (injected via
+//! `--inject` or real) restore-and-replay recovery with bounded
+//! retries. `--resume` restores the newest snapshot first and runs
+//! only the remaining timesteps — even under a different `--np` or
+//! distribution than the checkpoint was written with.
 //!
 //! Example:
 //! ```text
@@ -21,8 +31,10 @@
 //! ```
 
 use hpf_frontend::{render_diagnostics, Elaborator, Lowerer};
-use hpf_runtime::Backend;
+use hpf_runtime::{Backend, CheckpointSpec, FaultPlan, RecoveryPolicy};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     file: String,
@@ -33,6 +45,11 @@ struct Args {
     sets: Vec<(String, i64)>,
     verify: bool,
     stats: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume: bool,
+    inject: Vec<String>,
+    step_timeout_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -50,7 +67,17 @@ fn usage() -> ! {
          --verify     statically verify every compiled plan, then check the\n\
          \x20            distributed result element-for-element against the\n\
          \x20            dense oracle\n\
-         --stats      print plan-cache, fusion, and wire-traffic statistics"
+         --stats      print plan-cache, fusion, and wire-traffic statistics\n\
+         --checkpoint-dir D   run fault-tolerantly, snapshotting distributed\n\
+         \x20            state into D (restore-and-replay on exchange faults)\n\
+         --checkpoint-every N checkpoint cadence in timesteps (default 1;\n\
+         \x20            0 = only the baseline and final snapshots)\n\
+         --resume     restore the newest checkpoint under D first and run\n\
+         \x20            only the remaining timesteps (any --np/distribution)\n\
+         --inject SPEC        arm deterministic fault injection, e.g.\n\
+         \x20            'kill:rank=1,step=2' or 'drop:from=0,to=2,step=1';\n\
+         \x20            repeatable\n\
+         --step-timeout-ms N  channels wedge-detection timeout"
     );
     std::process::exit(2);
 }
@@ -65,6 +92,11 @@ fn parse_args() -> Args {
         sets: Vec::new(),
         verify: false,
         stats: false,
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: false,
+        inject: Vec::new(),
+        step_timeout_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,12 +125,33 @@ fn parse_args() -> Args {
             }
             "--verify" => args.verify = true,
             "--stats" => args.stats = true,
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--resume" => args.resume = true,
+            "--inject" => args.inject.push(it.next().unwrap_or_else(|| usage())),
+            "--step-timeout-ms" => {
+                args.step_timeout_ms =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
             "--help" | "-h" => usage(),
             f if args.file.is_empty() && !f.starts_with('-') => args.file = f.to_string(),
             _ => usage(),
         }
     }
     if args.file.is_empty() {
+        usage();
+    }
+    if args.resume && args.checkpoint_dir.is_none() {
+        eprintln!("hpfrun: --resume requires --checkpoint-dir");
+        usage();
+    }
+    if args.verify && (args.resume || args.checkpoint_dir.is_some()) {
+        eprintln!("hpfrun: --verify compares against the dense oracle of the *initial* values; it cannot be combined with --checkpoint-dir/--resume");
         usage();
     }
     args
@@ -136,6 +189,20 @@ fn main() -> ExitCode {
         args.np
     );
 
+    // Fault tolerance knobs: armed before anything executes.
+    if !args.inject.is_empty() {
+        match FaultPlan::parse(&args.inject.join("; ")) {
+            Ok(plan) => lowered.program.inject_faults(plan),
+            Err(e) => {
+                eprintln!("hpfrun: bad --inject spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(ms) = args.step_timeout_ms {
+        lowered.program.set_exchange_timeout(Duration::from_millis(ms));
+    }
+
     // Back half: verify (static plans + dense oracle) or just run.
     if args.verify {
         match lowered.program.verify_all() {
@@ -163,6 +230,64 @@ fn main() -> ExitCode {
             args.steps,
             backend_name(args.backend)
         );
+    } else if let Some(dir) = &args.checkpoint_dir {
+        // Fault-tolerant trajectory: checkpoint on a cadence, and on an
+        // exchange fault restore the newest snapshot and replay forward.
+        let start = if args.resume {
+            match lowered.program.restore_latest(Path::new(dir)) {
+                Ok(r) => {
+                    println!(
+                        "resumed from checkpoint at timestep {} ({} array(s), {})",
+                        r.timestep,
+                        r.arrays,
+                        if r.remapped > 0 {
+                            "scattered into the current distribution"
+                        } else {
+                            "fast path"
+                        }
+                    );
+                    r.timestep
+                }
+                Err(e) => {
+                    eprintln!("hpfrun: resume failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            0
+        };
+        let spec = CheckpointSpec::new(dir, args.checkpoint_every);
+        match hpf_runtime::run_trajectory(
+            &mut lowered.program,
+            args.backend,
+            args.steps as u64,
+            start.min(args.steps as u64),
+            Some(&spec),
+            &RecoveryPolicy::default(),
+        ) {
+            Ok(rep) => {
+                print!(
+                    "ran {} timestep(s) on {} — {} checkpoint(s) written",
+                    rep.timesteps,
+                    backend_name(args.backend),
+                    rep.checkpoints
+                );
+                if rep.failures > 0 {
+                    print!(
+                        ", {} fault(s) survived, {} timestep(s) replayed",
+                        rep.failures, rep.replayed
+                    );
+                }
+                if rep.degraded {
+                    print!(", degraded to shared-mem");
+                }
+                println!();
+            }
+            Err(e) => {
+                eprintln!("hpfrun: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         for _ in 0..args.steps {
             let r = if args.threads > 1 && args.backend == Backend::SharedMem {

@@ -33,13 +33,16 @@ pub use hpf_index::{
 pub use hpf_machine::{CommStats, CostModel, Machine, Topology};
 pub use hpf_procs::{ProcId, ProcSpace, ProcTarget, ScalarPolicy};
 pub use hpf_runtime::{
-    apply_dense, comm_analysis, dense_reference, ghost_regions, remap_analysis, verify_plan,
-    verify_program_plan, AnalysisVerdict, Assignment, Backend, ChannelsBackend, Combine,
-    CommAnalysis, CopyRun, Diagnostic, DiagnosticKind, DistArray, ExchangeBackend,
-    ExecPlan, FusedPair, FusedSegment, FusedWorkspace, FusionReport, FusionStats,
-    GatherRef, GhostReport, MessagePlan, MsgSegment, PairSchedule, ParExecutor,
-    PlanCache, PlanWorkspace, ProcPlan, Program, ProgramPlan, Property, RemapAnalysis,
-    SeqExecutor, SharedMemBackend, StatementReport, StatementTrace, StoreRun, Superstep,
-    Term, TermSchedule, UnitMeta, VerifyReport, VerifyStats,
+    apply_dense, comm_analysis, dense_reference, ghost_regions, latest_checkpoint,
+    remap_analysis, restore_checkpoint, run_trajectory, save_checkpoint, verify_plan,
+    verify_program_plan, AnalysisVerdict, Assignment, Backend, ChannelsBackend,
+    CheckpointSpec, CkptError, CkptReport, Combine, CommAnalysis, CopyRun, Diagnostic,
+    DiagnosticKind, DistArray, ExchangeBackend, ExchangeError, ExecPlan, Fault, FaultPlan,
+    FusedPair, FusedSegment, FusedWorkspace, FusionReport, FusionStats, GatherRef,
+    GhostReport, MessagePlan, MsgSegment, PairSchedule, ParExecutor, PlanCache,
+    PlanWorkspace, ProcPlan, Program, ProgramPlan, Property, RecoveryPolicy,
+    RemapAnalysis, RestoreReport, SeqExecutor, SharedMemBackend, StatementReport,
+    StatementTrace, StoreRun, Superstep, Term, TermSchedule, TrajectoryReport, UnitMeta,
+    VerifyReport, VerifyStats,
 };
 pub use hpf_template::{TemplateError, TemplateModel};

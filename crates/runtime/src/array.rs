@@ -212,6 +212,27 @@ impl<T: Clone> DistArray<T> {
         self.locals[p0] = buf;
         self.versions[p0] += 1;
     }
+
+    /// Re-establish the storage invariant after a fault: any local buffer
+    /// whose length disagrees with its owned-region volume (a dead worker
+    /// took its shard with it, leaving the empty [`DistArray::take_local`]
+    /// placeholder) is rebuilt zero-filled, with its write epoch bumped so
+    /// dirty tracking sees the loss. The *values* are garbage by
+    /// construction — callers must overwrite them from a checkpoint
+    /// before anything reads the array (see [`crate::ckpt`]).
+    pub(crate) fn heal_locals(&mut self)
+    where
+        T: Default,
+    {
+        for (p0, buf) in self.locals.iter_mut().enumerate() {
+            let want = self.regions[p0].volume_disjoint();
+            if buf.len() != want {
+                buf.clear();
+                buf.resize(want, T::default());
+                self.versions[p0] += 1;
+            }
+        }
+    }
 }
 
 /// Column-major position of `i` within a rect (assumes membership).

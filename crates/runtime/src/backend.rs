@@ -36,10 +36,136 @@
 
 use crate::array::DistArray;
 use crate::commsets::CommAnalysis;
+use crate::fault::{Fault, FaultPlan, FaultSwitch};
 use crate::plan::{compute_proc, ExecPlan, ProcPlan};
 use crate::workspace::PlanWorkspace;
+use hpf_core::HpfError;
 use hpf_procs::ProcId;
 use std::sync::Arc;
+
+/// A typed exchange failure — what used to be a mid-superstep panic.
+///
+/// Every variant carries the backend's superstep counter at detection
+/// time, and [`ExchangeError::rank`] pins the failure to a zero-based
+/// rank when one could be identified. Crossing the crate boundary it
+/// becomes [`HpfError::Exchange`] (via `From`), which
+/// [`crate::ckpt::run_trajectory`] matches on to drive
+/// restore-and-replay recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// A worker thread died mid-superstep without completing its work
+    /// order (crash, injected kill).
+    WorkerDied {
+        /// Zero-based rank of the dead worker.
+        rank: u32,
+        /// Superstep counter at detection.
+        step: u64,
+    },
+    /// Every worker (and with them the completion channel) is gone.
+    FleetDied {
+        /// Superstep counter at detection.
+        step: u64,
+    },
+    /// No worker progress within the step timeout — a dropped message or
+    /// a schedule bug has the fleet waiting on data that will never
+    /// arrive (a correct superstep cannot deadlock: channels are
+    /// unbounded).
+    Wedged {
+        /// Superstep counter at detection.
+        step: u64,
+        /// How long the driver waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A physically received message's length disagrees with the frozen
+    /// schedule — the payload was damaged in flight, or sender and
+    /// receiver executed different plans. Detected *before* unpacking,
+    /// so garbage never reaches a kernel.
+    CorruptMessage {
+        /// Zero-based sending rank.
+        sender: u32,
+        /// Zero-based receiving rank (where the damage was detected).
+        receiver: u32,
+        /// Superstep counter at detection.
+        step: u64,
+        /// Elements physically received.
+        got: usize,
+        /// Elements the receiver's schedule promises.
+        expected: usize,
+    },
+    /// A message arrived at a worker whose schedule has no entry for it.
+    Misrouted {
+        /// Zero-based rank that received the stray message.
+        rank: u32,
+        /// Superstep counter at detection.
+        step: u64,
+    },
+}
+
+impl ExchangeError {
+    /// The zero-based rank the failure is pinned to, if identifiable
+    /// (corruption is pinned to the receiving rank, where it was
+    /// detected).
+    pub fn rank(&self) -> Option<u32> {
+        match *self {
+            ExchangeError::WorkerDied { rank, .. }
+            | ExchangeError::Misrouted { rank, .. } => Some(rank),
+            ExchangeError::CorruptMessage { receiver, .. } => Some(receiver),
+            ExchangeError::FleetDied { .. } | ExchangeError::Wedged { .. } => None,
+        }
+    }
+
+    /// The backend's superstep counter when the failure was detected.
+    pub fn step(&self) -> u64 {
+        match *self {
+            ExchangeError::WorkerDied { step, .. }
+            | ExchangeError::FleetDied { step }
+            | ExchangeError::Wedged { step, .. }
+            | ExchangeError::CorruptMessage { step, .. }
+            | ExchangeError::Misrouted { step, .. } => step,
+        }
+    }
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ExchangeError::WorkerDied { rank, step } => {
+                write!(f, "SPMD worker {} died mid-superstep (step {step})", rank + 1)
+            }
+            ExchangeError::FleetDied { step } => {
+                write!(f, "every SPMD worker died mid-superstep (step {step})")
+            }
+            ExchangeError::Wedged { step, waited_ms } => write!(
+                f,
+                "superstep {step} wedged: no worker progress within {waited_ms}ms \
+                 (a message was lost, or the schedule is wrong)"
+            ),
+            ExchangeError::CorruptMessage { sender, receiver, step, got, expected } => {
+                write!(
+                    f,
+                    "worker {}: message from {} at step {step} has {got} element(s), \
+                     schedule says {expected}",
+                    receiver + 1,
+                    sender + 1
+                )
+            }
+            ExchangeError::Misrouted { rank, step } => write!(
+                f,
+                "worker {}: received a message its schedule has no entry for \
+                 (step {step})",
+                rank + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+impl From<ExchangeError> for HpfError {
+    fn from(e: ExchangeError) -> HpfError {
+        HpfError::Exchange { rank: e.rank(), step: e.step(), reason: e.to_string() }
+    }
+}
 
 /// One contiguous piece of a pair's message: `len` elements read from the
 /// sender's local buffer of array `array` at `src_off`, landing in the
@@ -245,19 +371,39 @@ pub trait ExchangeBackend {
 
     /// Execute one superstep: local pack → exchange → compute.
     ///
+    /// Exchange failures (worker death, lost or damaged messages, a
+    /// wedged fleet) come back as a typed [`ExchangeError`] — the arrays
+    /// may then hold a partial timestep (a dead worker takes its shards
+    /// with it) and must be reloaded from a checkpoint before the
+    /// trajectory continues (see [`crate::ckpt`]).
+    ///
     /// # Panics
     /// Panics if `plan` is stale for `arrays` (see
-    /// [`ExecPlan::is_valid_for`]) or if the measured wire traffic
-    /// diverges from the frozen schedule.
+    /// [`ExecPlan::is_valid_for`]) — staleness is a caller bug, not a
+    /// runtime fault.
     fn step(
         &mut self,
         plan: &Arc<ExecPlan>,
         arrays: &mut [DistArray<f64>],
         ws: &mut PlanWorkspace,
-    );
+    ) -> Result<(), ExchangeError>;
 
     /// Cumulative bytes this backend has moved between processors.
     fn bytes_sent(&self) -> u64;
+
+    /// Arm deterministic fault injection (see [`FaultPlan`]): each
+    /// fault in `plan` fires once when its superstep comes around. The
+    /// default implementation ignores the plan — backends that support
+    /// injection override it.
+    fn inject(&mut self, plan: FaultPlan) {
+        let _ = plan;
+    }
+
+    /// Injected faults that have fired so far (0 for backends without
+    /// injection support).
+    fn faults_fired(&self) -> usize {
+        0
+    }
 }
 
 /// Backend selector, threaded through the executors and [`crate::Program`].
@@ -300,10 +446,16 @@ impl std::fmt::Display for Backend {
 /// equal to the frozen schedule every step, so
 /// [`ExchangeBackend::bytes_sent`] is measured, not assumed. Warm steps
 /// perform **zero heap allocations**.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SharedMemBackend {
     bytes_sent: u64,
     steps: u64,
+    /// Armed fault injection, if any. This backend has no threads, wire,
+    /// or locks, so it simulates each fault's *detection outcome* at the
+    /// step boundary (same typed errors, arrays untouched) instead of
+    /// physically provoking it — see [`crate::fault`]. `None` on the
+    /// warm path: one branch, no lock.
+    faults: Option<Arc<FaultSwitch>>,
 }
 
 impl SharedMemBackend {
@@ -315,6 +467,42 @@ impl SharedMemBackend {
     /// Supersteps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Simulate every injected fault scheduled for the current step:
+    /// delays sleep, a pool poison is a no-op (there is no pool), and
+    /// kill/drop/corrupt return the typed error their physical form
+    /// would be detected as — before any array data moves, so the
+    /// timestep simply did not happen.
+    fn injected_failure(&mut self) -> Result<(), ExchangeError> {
+        let Some(switch) = &self.faults else {
+            return Ok(());
+        };
+        let step = self.steps;
+        while let Some(fault) = switch.at_step(step) {
+            match fault {
+                Fault::DelayMessage { millis, .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                Fault::PoisonPool { .. } => {}
+                Fault::KillWorker { rank, .. } => {
+                    return Err(ExchangeError::WorkerDied { rank, step });
+                }
+                Fault::DropMessage { .. } => {
+                    return Err(ExchangeError::Wedged { step, waited_ms: 0 });
+                }
+                Fault::CorruptMessage { sender, receiver, .. } => {
+                    return Err(ExchangeError::CorruptMessage {
+                        sender,
+                        receiver,
+                        step,
+                        got: 0,
+                        expected: 1,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Execute one whole fused timestep (see [`crate::ProgramPlan`]):
@@ -331,11 +519,12 @@ impl SharedMemBackend {
         arrays: &mut [DistArray<f64>],
         state: &crate::fuse::FusedState,
         ws: &mut crate::workspace::FusedWorkspace,
-    ) -> u64 {
+    ) -> Result<u64, ExchangeError> {
+        self.injected_failure()?;
         let staged = crate::fuse::execute_fused_seq(plan, arrays, state, ws);
         self.bytes_sent += staged * std::mem::size_of::<f64>() as u64;
         self.steps += 1;
-        staged
+        Ok(staged)
     }
 }
 
@@ -367,8 +556,9 @@ impl ExchangeBackend for SharedMemBackend {
         plan: &Arc<ExecPlan>,
         arrays: &mut [DistArray<f64>],
         ws: &mut PlanWorkspace,
-    ) {
+    ) -> Result<(), ExchangeError> {
         assert!(plan.is_valid_for(arrays), "stale plan: an involved array was remapped");
+        self.injected_failure()?;
         ws.ensure(plan);
         for (pp, bufs) in plan.per_proc().iter().zip(ws.bufs.iter_mut()) {
             pack_local_runs(arrays, pp, bufs);
@@ -410,10 +600,19 @@ impl ExchangeBackend for SharedMemBackend {
         for (pp, bufs) in plan.per_proc().iter().zip(&ws.bufs) {
             compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, combine);
         }
+        Ok(())
     }
 
     fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    fn inject(&mut self, plan: FaultPlan) {
+        self.faults = Some(Arc::new(FaultSwitch::arm(plan)));
+    }
+
+    fn faults_fired(&self) -> usize {
+        self.faults.as_ref().map_or(0, |s| s.fired())
     }
 }
 
@@ -504,7 +703,7 @@ mod tests {
         for _ in 0..3 {
             let expect = dense_reference(&direct, &stmt);
             plan.execute_seq(&mut direct);
-            backend.step(&plan, &mut staged, &mut ws);
+            backend.step(&plan, &mut staged, &mut ws).unwrap();
             assert_eq!(direct[0].to_dense(), expect);
             assert_eq!(staged[0].to_dense(), expect);
         }
@@ -547,8 +746,32 @@ mod tests {
         );
         let expect = dense_reference(&arrays, &stmt);
         let mut ws = PlanWorkspace::for_plan(&plan);
-        SharedMemBackend::new().step(&plan, &mut arrays, &mut ws);
+        SharedMemBackend::new().step(&plan, &mut arrays, &mut ws).unwrap();
         assert_eq!(arrays[0].to_dense(), expect);
+    }
+
+    #[test]
+    fn shared_mem_simulates_injected_faults_at_step_boundary() {
+        let mut arrays = setup(48, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(48, &arrays);
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let mut ws = PlanWorkspace::for_plan(&plan);
+        let mut backend = SharedMemBackend::new();
+        backend.inject(FaultPlan::parse("kill:rank=2,step=1").unwrap());
+        backend.step(&plan, &mut arrays, &mut ws).unwrap();
+        let before = arrays[0].to_dense();
+        let err = backend.step(&plan, &mut arrays, &mut ws).unwrap_err();
+        assert_eq!(err, ExchangeError::WorkerDied { rank: 2, step: 1 });
+        assert_eq!(err.rank(), Some(2));
+        assert_eq!(err.step(), 1);
+        // the failed timestep never happened: arrays untouched, step not
+        // counted, and the one-shot fault is spent
+        assert_eq!(arrays[0].to_dense(), before, "failed step must not move data");
+        assert_eq!(backend.steps(), 1);
+        assert_eq!(backend.faults_fired(), 1);
+        backend.step(&plan, &mut arrays, &mut ws).unwrap();
+        assert_eq!(backend.steps(), 2);
+        assert_eq!(backend.faults_fired(), 1, "one-shot faults must not re-fire");
     }
 
     #[test]

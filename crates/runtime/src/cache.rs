@@ -19,7 +19,7 @@
 
 use crate::array::DistArray;
 use crate::assign::Assignment;
-use crate::backend::{ExchangeBackend, SharedMemBackend};
+use crate::backend::{ExchangeBackend, ExchangeError, SharedMemBackend};
 use crate::commsets::CommAnalysis;
 use crate::fuse::{execute_fused_par, BufferDomain, FusedState, FusionStats, ProgramPlan};
 use crate::plan::ExecPlan;
@@ -167,7 +167,8 @@ impl PlanCache {
         stmt: &Assignment,
     ) -> Result<Arc<CommAnalysis>, HpfError> {
         self.replay_with(arrays, stmt, |plan, arrays, ws| {
-            plan.execute_seq_with(arrays, ws)
+            plan.execute_seq_with(arrays, ws);
+            Ok(())
         })
     }
 
@@ -183,7 +184,8 @@ impl PlanCache {
         threads: usize,
     ) -> Result<Arc<CommAnalysis>, HpfError> {
         self.replay_with(arrays, stmt, |plan, arrays, ws| {
-            plan.execute_par_with(arrays, threads, ws)
+            plan.execute_par_with(arrays, threads, ws);
+            Ok(())
         })
     }
 
@@ -193,7 +195,10 @@ impl PlanCache {
     /// return the frozen analysis as a shared handle. With the
     /// `SharedMem` backend a warm hit stays allocation-free (the entry's
     /// message staging buffers are preallocated); the `Channels` backend
-    /// reuses its persistent workers across hits.
+    /// reuses its persistent workers across hits. An exchange failure
+    /// (worker death, lost or damaged message) surfaces as
+    /// [`HpfError::Exchange`]; the cached plan stays valid — only the
+    /// array *data* needs restoring before a replay.
     pub fn replay_on(
         &mut self,
         arrays: &mut [DistArray<f64>],
@@ -209,18 +214,22 @@ impl PlanCache {
         &mut self,
         arrays: &mut [DistArray<f64>],
         stmt: &Assignment,
-        mut exec: impl FnMut(&Arc<ExecPlan>, &mut [DistArray<f64>], &mut PlanWorkspace),
+        mut exec: impl FnMut(
+            &Arc<ExecPlan>,
+            &mut [DistArray<f64>],
+            &mut PlanWorkspace,
+        ) -> Result<(), ExchangeError>,
     ) -> Result<Arc<CommAnalysis>, HpfError> {
         if let Some(e) = self.entries.get_mut(stmt) {
             if e.plan.is_valid_for(arrays) {
                 self.hits += 1;
-                exec(&e.plan, arrays, &mut e.ws);
+                exec(&e.plan, arrays, &mut e.ws)?;
                 return Ok(e.plan.shared_analysis());
             }
         }
         self.plan_for(arrays, stmt)?; // cold or stale: inspect + cache
         let e = self.entries.get_mut(stmt).expect("plan_for caches the entry");
-        exec(&e.plan, arrays, &mut e.ws);
+        exec(&e.plan, arrays, &mut e.ws)?;
         Ok(e.plan.shared_analysis())
     }
 
@@ -272,7 +281,15 @@ impl PlanCache {
         match target {
             FusedTarget::Shared(backend) => {
                 state.begin_timestep(plan, arrays, BufferDomain::Workspace);
-                let staged = backend.step_fused(plan, arrays, state, ws);
+                let staged = match backend.step_fused(plan, arrays, state, ws) {
+                    Ok(staged) => staged,
+                    Err(e) => {
+                        // the timestep is torn: the mask's assumptions
+                        // about receiver-side ghost data no longer hold
+                        state.poison();
+                        return Err(e.into());
+                    }
+                };
                 assert_eq!(
                     staged,
                     state.last_sent(),
@@ -294,13 +311,20 @@ impl PlanCache {
                 // the generation stamp forces an all-dirty mask
                 let generation = backend.prepare(plan.np());
                 state.begin_timestep(plan, arrays, BufferDomain::Channels(generation));
-                backend.step_fused(
+                if let Err(e) = backend.step_fused(
                     plan,
                     arrays,
                     state.eff_arc(),
                     state.eff_version(),
                     state.last_sent(),
-                );
+                ) {
+                    // a failed fused timestep leaves the fleet torn down
+                    // (its ghost buffers are gone) and the arrays partial:
+                    // distrust every dirty assumption until data is
+                    // restored and the next begin_timestep re-derives them
+                    state.poison();
+                    return Err(e.into());
+                }
             }
         }
         state.finish_timestep(plan, arrays);

@@ -75,7 +75,7 @@ impl SeqExecutor {
     ) -> Result<CommAnalysis, HpfError> {
         let plan = Arc::new(ExecPlan::inspect(arrays, stmt)?);
         let mut ws = PlanWorkspace::new();
-        backend.step(&plan, arrays, &mut ws);
+        backend.step(&plan, arrays, &mut ws)?;
         Ok(plan.analysis().clone())
     }
 }

@@ -600,6 +600,20 @@ impl FusedState {
         self.timesteps
     }
 
+    /// Distrust everything after a failed timestep: an exchange fault
+    /// left the arrays partial (and, on `Channels`, the fleet torn down
+    /// with its receiver-side ghost buffers), so every unit must re-ship
+    /// on the next attempt. Setting the domain to `None` also forces
+    /// `begin_timestep`'s domain-change path, which re-dirties and
+    /// rebuilds the mask no matter which executor retries — checkpoint
+    /// restore then replays through a state with no stale assumptions.
+    pub(crate) fn poison(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = true);
+        self.dirty_is_post = false;
+        self.eff_current = false;
+        self.domain = BufferDomain::None;
+    }
+
     /// Carry the cumulative observability counters over from the state
     /// of an invalidated plan, so `fusion_stats` stays lifetime-cumulative
     /// across remaps and statement-list changes.

@@ -55,7 +55,15 @@
 //!   with precise diagnostics) write coverage, bounds, race freedom,
 //!   deadlock freedom, and analysis conservation of a compiled plan
 //!   before it runs. [`PlanCache`] runs it on every insertion in debug
-//!   builds and behind the `verify` feature in release.
+//!   builds and behind the `verify` feature in release;
+//! * [`ckpt`] / [`FaultPlan`] — fault-tolerant execution: exchange
+//!   faults surface as typed [`ExchangeError`]s instead of panics,
+//!   deterministic fault injection (worker kills, dropped/corrupted/
+//!   delayed messages, pool poisoning) exercises the failure paths,
+//!   and distribution-aware checkpoints restore across *different*
+//!   mappings and processor counts ([`run_trajectory`] ties it into a
+//!   restore-and-replay recovery loop with bounded retries and
+//!   graceful degradation to `SharedMem`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,8 +72,10 @@ mod array;
 mod assign;
 mod backend;
 mod cache;
+pub mod ckpt;
 mod commsets;
 mod exec;
+mod fault;
 mod fuse;
 mod ghost;
 mod par;
@@ -80,10 +90,15 @@ mod workspace;
 pub use array::DistArray;
 pub use assign::{Assignment, Combine, Term};
 pub use backend::{
-    AnalysisVerdict, Backend, ExchangeBackend, MessagePlan, MsgSegment, PairSchedule,
-    SharedMemBackend,
+    AnalysisVerdict, Backend, ExchangeBackend, ExchangeError, MessagePlan, MsgSegment,
+    PairSchedule, SharedMemBackend,
 };
 pub use cache::{FusedTarget, PlanCache};
+pub use ckpt::{
+    latest_checkpoint, restore_checkpoint, run_trajectory, save_checkpoint, CheckpointSpec,
+    CkptError, CkptReport, RecoveryPolicy, RestoreReport, TrajectoryReport,
+};
+pub use fault::{Fault, FaultPlan};
 pub use commsets::{comm_analysis, CommAnalysis};
 pub use exec::{apply_dense, dense_reference, SeqExecutor};
 pub use fuse::{FusedPair, FusedSegment, FusionStats, ProgramPlan, Superstep, UnitMeta};

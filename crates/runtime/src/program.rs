@@ -20,14 +20,18 @@
 use crate::assign::Assignment;
 use crate::backend::{Backend, ExchangeBackend, SharedMemBackend};
 use crate::cache::{FusedTarget, PlanCache};
+use crate::ckpt::{self, CkptError, CkptReport, RestoreReport};
 use crate::commsets::CommAnalysis;
+use crate::fault::FaultPlan;
 use crate::fuse::FusionStats;
 use crate::remap::{remap_analysis, RemapAnalysis};
 use crate::spmd::ChannelsBackend;
 use crate::DistArray;
 use hpf_core::{EffectiveDist, HpfError};
 use hpf_machine::{CommStats, Machine, SuperstepReport};
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A program: distributed arrays plus an ordered statement list. Each
 /// statement executes as one BSP superstep (exchange, then compute).
@@ -46,12 +50,18 @@ pub struct Program {
     /// Reused per-run analysis handles — retains its capacity so warm
     /// timesteps push into it without allocating.
     last: Vec<Arc<CommAnalysis>>,
+    /// Fault plan waiting to be armed on whichever backend the next run
+    /// selects (arming only the selected backend keeps a one-shot fault
+    /// from firing twice when recovery degrades to the other backend).
+    pending_faults: Option<FaultPlan>,
+    /// Wedge-detection timeout for the `Channels` driver, if overridden.
+    step_timeout: Option<Duration>,
 }
 
 impl Clone for Program {
     /// Clones the arrays, statements, and plan cache. Backend state
-    /// (worker fleets, byte counters) is per-instance and starts fresh in
-    /// the clone.
+    /// (worker fleets, byte counters) and armed fault injection are
+    /// per-instance and start fresh in the clone.
     fn clone(&self) -> Self {
         Program {
             arrays: self.arrays.clone(),
@@ -60,6 +70,8 @@ impl Clone for Program {
             shared: SharedMemBackend::new(),
             channels: None,
             last: self.last.clone(),
+            pending_faults: None,
+            step_timeout: self.step_timeout,
         }
     }
 }
@@ -74,6 +86,8 @@ impl Program {
             shared: SharedMemBackend::new(),
             channels: None,
             last: Vec::new(),
+            pending_faults: None,
+            step_timeout: None,
         }
     }
 
@@ -123,14 +137,35 @@ impl Program {
             self.last.clear();
             return Ok(&self.last);
         }
+        self.arm_pending(backend);
         let target = match backend {
             Backend::SharedMem => FusedTarget::Shared(&mut self.shared),
             Backend::Channels => {
-                FusedTarget::Channels(self.channels.get_or_insert_with(ChannelsBackend::new))
+                let ch = self.channels.get_or_insert_with(ChannelsBackend::new);
+                if let Some(t) = self.step_timeout {
+                    ch.set_step_timeout(t);
+                }
+                FusedTarget::Channels(ch)
             }
         };
         let result = self.cache.replay_fused_on(&mut self.arrays, &self.stmts, target);
         self.finish_fused(result)
+    }
+
+    /// Move a pending [`FaultPlan`] onto the backend this run selected —
+    /// and only that one, so a degraded retry on the other backend
+    /// replays clean instead of re-arming the same faults against a
+    /// fresh step counter.
+    fn arm_pending(&mut self, backend: Backend) {
+        let Some(plan) = self.pending_faults.take() else {
+            return;
+        };
+        match backend {
+            Backend::SharedMem => self.shared.inject(plan),
+            Backend::Channels => {
+                self.channels.get_or_insert_with(ChannelsBackend::new).inject(plan)
+            }
+        }
     }
 
     /// Execute the statements exactly as the pre-fusion runtime did: one
@@ -140,6 +175,7 @@ impl Program {
     /// the baseline the `b15_program_fusion` bench and the fusion
     /// equivalence suite compare against.
     pub fn run_unfused(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.arm_pending(Backend::SharedMem);
         self.last.clear();
         self.last.reserve(self.stmts.len()); // no-op once warmed
         let exchange: &mut dyn ExchangeBackend = &mut self.shared;
@@ -257,6 +293,59 @@ impl Program {
         let moved = DistArray::from_fn(old.name(), new, np, |i| old.get(i));
         self.arrays[k] = moved;
         Ok(analysis)
+    }
+
+    /// Arm deterministic fault injection (see [`crate::FaultPlan`]) on
+    /// whichever exchange backend the *next* run selects. Each fault
+    /// fires once when its superstep comes around; an affected run
+    /// returns [`HpfError::Exchange`] and the array data must be
+    /// restored from a checkpoint before replaying (see
+    /// [`Program::restore_latest`] and [`ckpt::run_trajectory`]).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.pending_faults = Some(plan);
+    }
+
+    /// Injected faults that have fired so far, across both backends.
+    pub fn faults_fired(&self) -> usize {
+        ExchangeBackend::faults_fired(&self.shared)
+            + self.channels.as_ref().map_or(0, |c| c.faults_fired())
+    }
+
+    /// Override the `Channels` driver's wedge-detection timeout (how long
+    /// it waits without worker progress before declaring the superstep
+    /// lost — default 120s). Fault-injection tests dial this down so a
+    /// dropped message surfaces in milliseconds.
+    pub fn set_exchange_timeout(&mut self, timeout: Duration) {
+        self.step_timeout = Some(timeout);
+        if let Some(ch) = &mut self.channels {
+            ch.set_step_timeout(timeout);
+        }
+    }
+
+    /// Snapshot every array's distributed shards into
+    /// `dir/step-<timestep>/` — each simulated processor's owned rects
+    /// serialized independently, with a manifest recording shapes,
+    /// layouts, mapping identity, and per-shard checksums. See
+    /// [`crate::ckpt`] for the format and [`ckpt::save_checkpoint`] for
+    /// the parallel writer this delegates to.
+    pub fn checkpoint(&self, dir: &Path, timestep: u64) -> Result<CkptReport, CkptError> {
+        ckpt::save_checkpoint(&self.arrays, timestep, dir)
+    }
+
+    /// Restore array values from the checkpoint at `step_dir` (a
+    /// `step-<T>` directory), verifying every shard checksum. Mappings
+    /// need not match the checkpoint's: shards from a different layout or
+    /// processor count are scattered element-wise through the manifest's
+    /// rect descriptions into the current distribution.
+    pub fn restore_checkpoint(&mut self, step_dir: &Path) -> Result<RestoreReport, CkptError> {
+        ckpt::restore_checkpoint(&mut self.arrays, step_dir)
+    }
+
+    /// Restore from the newest `step-<T>` checkpoint under `dir`.
+    pub fn restore_latest(&mut self, dir: &Path) -> Result<RestoreReport, CkptError> {
+        let step = ckpt::latest_checkpoint(dir)?
+            .ok_or_else(|| CkptError::NoCheckpoint { dir: dir.to_path_buf() })?;
+        ckpt::restore_checkpoint(&mut self.arrays, &step)
     }
 
     /// Bytes the exchange backends have moved between simulated

@@ -20,10 +20,12 @@
 //!    through a shared free-list, so warm steps reuse wire buffers
 //!    instead of growing the heap;
 //! 3. every worker receives exactly the messages the frozen schedule says
-//!    it must (asserting each physically received buffer's length against
-//!    its schedule — sender and receiver executing different plans fails
-//!    loudly), unpacks them into its packed operand buffers (kept across
-//!    steps, per worker), and computes into its own LHS shard;
+//!    it must (checking each physically received buffer's length against
+//!    its schedule — a damaged payload, or sender and receiver executing
+//!    different plans, surfaces as a typed [`ExchangeError`] before any
+//!    garbage is unpacked), unpacks them into its packed operand buffers
+//!    (kept across steps, per worker), and computes into its own LHS
+//!    shard;
 //! 4. the driver collects the shards back and reinstalls them. The
 //!    schedule itself was already cross-checked pair for pair against the
 //!    independent region-algebraic [`CommAnalysis`](crate::CommAnalysis)
@@ -33,15 +35,35 @@
 //! the same processor count reuses them), so iterated programs pay thread
 //! spawn cost **once**, not per timestep: this is what
 //! [`crate::Program::run_parallel`] replays through once warm.
+//!
+//! ## Failure handling
+//!
+//! A superstep that cannot complete — a worker died (crash or injected
+//! kill), a message was lost or arrived damaged, the fleet wedged — no
+//! longer aborts the process. The worker that *detects* the problem
+//! reports it to the driver as a typed [`ExchangeError`] (a worker whose
+//! peer vanished reports that peer's rank; the driver's completion scan
+//! pins silent deaths by polling thread handles); the driver then raises
+//! the shutdown flag so blocked peers abandon, drains whatever completed
+//! shards still come back during a short grace window, tears the fleet
+//! down, and returns the error. The next superstep respawns a fresh
+//! fleet automatically — the spawn-generation bump tells the fused
+//! dirty-tracking state its workers' ghost buffers are gone (see
+//! [`ChannelsBackend::prepare`]) — and the caller restores array state
+//! from a checkpoint and replays (see [`crate::ckpt::run_trajectory`]).
+//! A dead worker takes the shards in its custody with it, which is
+//! exactly what a crashed distributed-memory node does: recovery is
+//! restore-and-replay, never patch-up.
 
 use crate::array::DistArray;
-use crate::backend::ExchangeBackend;
+use crate::backend::{ExchangeBackend, ExchangeError};
+use crate::fault::{FaultPlan, FaultSwitch, SendAction};
 use crate::fuse::ProgramPlan;
 use crate::plan::{compute_proc, ExecPlan};
 use crate::workspace::PlanWorkspace;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A work order for a worker.
@@ -53,12 +75,25 @@ enum Cmd {
     Fused(FusedStep),
 }
 
+impl Cmd {
+    /// The backend superstep counter stamped on this work order (workers
+    /// use it to stamp errors and to match injected faults).
+    fn step(&self) -> u64 {
+        match self {
+            Cmd::Step(s) => s.step,
+            Cmd::Fused(s) => s.step,
+        }
+    }
+}
+
 /// One superstep's work order for a worker: the compiled plan plus the
 /// worker's own shards (local buffer of every array), moved in by value.
 #[derive(Debug)]
 struct Step {
     plan: Arc<ExecPlan>,
     shards: Vec<Vec<f64>>,
+    /// Backend superstep counter at dispatch.
+    step: u64,
 }
 
 /// One fused timestep's work order: the fused plan, the timestep's
@@ -72,13 +107,17 @@ struct FusedStep {
     /// re-derive their per-pair effective totals only when it moves.
     eff_version: u64,
     shards: Vec<Vec<f64>>,
+    /// Backend superstep counter at dispatch.
+    step: u64,
 }
 
-/// A worker's completed superstep: its shards, moved back to the driver.
+/// A worker's completed superstep: its shards moved back to the driver,
+/// or the typed failure it detected (its own shards are then lost with
+/// it, exactly as a crashed node's would be).
 #[derive(Debug)]
 struct Done {
     proc: usize,
-    shards: Vec<Vec<f64>>,
+    result: Result<Vec<Vec<f64>>, ExchangeError>,
 }
 
 /// Identifies an unfused message, which the receiver matches to its
@@ -101,10 +140,40 @@ struct Msg {
 /// the message-passing analogue of persistent MPI requests.
 type BufferPool = Arc<Mutex<Vec<Vec<f64>>>>;
 
-/// How long the driver waits for a worker's superstep before concluding
-/// the fleet is wedged (a schedule bug, not back-pressure: channels are
-/// unbounded, so a correct superstep cannot deadlock).
+/// Lock the buffer pool, recovering from a poisoned `Mutex`. The pool
+/// holds only spent wire buffers (plain `Vec<f64>`s with no invariant
+/// between them), so the state behind a poisoned lock is always valid —
+/// recovering via [`PoisonError::into_inner`] keeps one worker panic
+/// (or an injected [`crate::Fault::PoisonPool`]) from cascading into
+/// every later pool access fleet-wide.
+fn pool_lock(pool: &BufferPool) -> MutexGuard<'_, Vec<Vec<f64>>> {
+    pool.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deliberately poison the buffer-pool `Mutex` for an injected
+/// [`crate::Fault::PoisonPool`]: panic while holding the guard, catching
+/// the unwind so only the lock — not the worker — is damaged. The panic
+/// message lands on stderr by design; it is the observable trace that
+/// the fault fired.
+fn poison_pool(pool: &BufferPool) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _guard = pool_lock(pool);
+        panic!("injected: poisoning the SPMD buffer pool");
+    }));
+}
+
+/// How long the driver waits for worker supersteps by default before
+/// concluding the fleet is wedged (a lost message or a schedule bug, not
+/// back-pressure: channels are unbounded, so a correct superstep cannot
+/// deadlock). Tunable per backend via
+/// [`ChannelsBackend::set_step_timeout`].
 const WORKER_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// After a failure is detected, how long the driver keeps draining
+/// completions so surviving workers' shards are reinstalled rather than
+/// dropped (blocked workers notice the shutdown flag within their 50ms
+/// poll slice, so this comfortably covers the stragglers).
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
 
 /// Per-worker fused-replay scratch, persistent across timesteps: the
 /// per-statement packed operand buffers ghost-region reuse relies on
@@ -124,20 +193,79 @@ struct FusedScratch {
     eff_key: (usize, u64),
 }
 
-/// One unfused BSP superstep on a worker (see the module docs). Returns
-/// `false` iff the superstep was abandoned on shutdown — the caller must
-/// then exit without sending a `Done`.
-#[allow(clippy::too_many_arguments)]
-fn run_unfused_step(
+/// Everything a worker thread needs besides the work order itself —
+/// bundled so the superstep bodies stay parameter-light.
+struct WorkerCtx {
     me: usize,
+    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Msg>>,
+    pool: BufferPool,
+    shutdown: Arc<AtomicBool>,
+    faults: Option<Arc<FaultSwitch>>,
+}
+
+impl WorkerCtx {
+    /// Consult the fault switch for this outgoing message.
+    fn send_action(&self, receiver: u32, step: u64) -> SendAction {
+        self.faults
+            .as_ref()
+            .map_or(SendAction::Deliver, |sw| sw.on_send(self.me as u32, receiver, step))
+    }
+
+    /// Receive one message, abandoning on fleet shutdown (`None`).
+    fn recv(&self) -> Option<Msg> {
+        loop {
+            match self.inbox.recv_timeout(Duration::from_millis(50)) {
+                Ok(m) => return Some(m),
+                Err(_) if self.shutdown.load(Ordering::Relaxed) => return None,
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Pack `data` for `receiver`, apply any injected message fault, and
+    /// ship. `Ok(false)` means the superstep must be abandoned (fleet
+    /// shutting down); an `Err` is a failure this worker detected (a
+    /// vanished peer is reported by rank — its inbox died with it).
+    fn ship(&self, receiver: u32, pair: u32, mut data: Vec<f64>, step: u64)
+        -> Result<bool, ExchangeError>
+    {
+        match self.send_action(receiver, step) {
+            SendAction::Drop => {
+                pool_lock(&self.pool).push(data);
+                return Ok(true); // silently lost: the receiver will wedge
+            }
+            SendAction::Corrupt => {
+                data.pop();
+            }
+            SendAction::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            SendAction::Deliver => {}
+        }
+        if self.peers[receiver as usize]
+            .send(Msg { from: self.me as u32, pair, data })
+            .is_err()
+        {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return Ok(false); // orderly teardown, not a death
+            }
+            return Err(ExchangeError::WorkerDied { rank: receiver, step });
+        }
+        Ok(true)
+    }
+}
+
+/// One unfused BSP superstep on a worker (see the module docs). Returns
+/// `Ok(false)` iff the superstep was abandoned on shutdown — the caller
+/// must then exit without sending a `Done`. An `Err` is a typed failure
+/// this worker detected; the caller reports it to the driver.
+fn run_unfused_step(
+    ctx: &WorkerCtx,
+    step: u64,
     plan: &Arc<ExecPlan>,
     shards: &mut [Vec<f64>],
     packed: &mut Vec<Vec<f64>>,
-    inbox: &Receiver<Msg>,
-    peers: &[Sender<Msg>],
-    pool: &BufferPool,
-    shutdown: &Arc<AtomicBool>,
-) -> bool {
+) -> Result<bool, ExchangeError> {
+    let me = ctx.me;
     let pp = &plan.per_proc()[me];
     let me32 = me as u32;
     if packed.len() != pp.terms.len()
@@ -155,15 +283,15 @@ fn run_unfused_step(
     // phase 2a: pack and ship one message per outgoing pair
     let msgs = plan.message_plan();
     for pair in msgs.pairs().iter().filter(|p| p.sender == me32) {
-        let mut data = pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let mut data = pool_lock(&ctx.pool).pop().unwrap_or_default();
         data.clear();
         data.reserve(pair.elements);
         for seg in &pair.segments {
             data.extend_from_slice(&shards[seg.array][seg.src_off..seg.src_off + seg.len]);
         }
-        peers[pair.receiver as usize]
-            .send(Msg { from: me32, pair: UNFUSED, data })
-            .expect("receiving worker is alive");
+        if !ctx.ship(pair.receiver, UNFUSED, data, step)? {
+            return Ok(false);
+        }
     }
     // phase 2b: receive exactly the messages the schedule promises.
     // Bounded waits: if the fleet is shutting down (backend dropped,
@@ -173,40 +301,36 @@ fn run_unfused_step(
     // channel here could swallow a queued command.
     let expected = msgs.pairs().iter().filter(|p| p.receiver == me32).count();
     for _ in 0..expected {
-        let msg = loop {
-            match inbox.recv_timeout(Duration::from_millis(50)) {
-                Ok(m) => break Some(m),
-                Err(_) if shutdown.load(Ordering::Relaxed) => break None,
-                Err(_) => continue,
-            }
+        let Some(Msg { from, data, .. }) = ctx.recv() else {
+            return Ok(false); // shutdown mid-superstep
         };
-        let Some(Msg { from, data, .. }) = msg else {
-            return false; // shutdown mid-superstep
+        let Some(pair) = msgs.pair(from, me32) else {
+            return Err(ExchangeError::Misrouted { rank: me32, step });
         };
-        let pair = msgs.pair(from, me32).expect("every arriving message has a schedule");
-        // a physically received buffer whose length disagrees with
-        // the receiver's schedule means sender and receiver executed
-        // different plans — fail loudly, never unpack garbage
-        assert_eq!(
-            data.len(),
-            pair.elements,
-            "worker {}: message from {} has {} elements, schedule says {}",
-            me + 1,
-            from + 1,
-            data.len(),
-            pair.elements
-        );
+        // a physically received buffer whose length disagrees with the
+        // receiver's schedule means the payload was damaged in flight or
+        // sender and receiver executed different plans — report it typed,
+        // never unpack garbage
+        if data.len() != pair.elements {
+            return Err(ExchangeError::CorruptMessage {
+                sender: from,
+                receiver: me32,
+                step,
+                got: data.len(),
+                expected: pair.elements,
+            });
+        }
         let mut off = 0usize;
         for seg in &pair.segments {
             packed[seg.term][seg.dst_off..seg.dst_off + seg.len]
                 .copy_from_slice(&data[off..off + seg.len]);
             off += seg.len;
         }
-        pool.lock().expect("pool lock").push(data);
+        pool_lock(&ctx.pool).push(data);
     }
     // phase 3: compute into this worker's own LHS shard
     compute_proc(pp, &mut shards[plan.lhs()], packed, plan.combine());
-    true
+    Ok(true)
 }
 
 /// One whole fused timestep on a worker: run the [`ProgramPlan`]'s
@@ -219,20 +343,18 @@ fn run_unfused_step(
 /// superstep's kernels actually read, then compute. A pair packed at an
 /// earlier phase than its home superstep is therefore in flight while
 /// the intervening supersteps compute — the pack/exchange-overlap leg of
-/// the fusion design. Returns `false` iff abandoned on shutdown.
-#[allow(clippy::too_many_arguments)]
+/// the fusion design. Returns `Ok(false)` iff abandoned on shutdown;
+/// `Err` is a detected failure.
 fn run_fused_step(
-    me: usize,
+    ctx: &WorkerCtx,
+    step: u64,
     plan: &Arc<ProgramPlan>,
     eff: &[bool],
     eff_version: u64,
     shards: &mut [Vec<f64>],
     scratch: &mut FusedScratch,
-    inbox: &Receiver<Msg>,
-    peers: &[Sender<Msg>],
-    pool: &BufferPool,
-    shutdown: &Arc<AtomicBool>,
-) -> bool {
+) -> Result<bool, ExchangeError> {
+    let me = ctx.me;
     let me32 = me as u32;
     let key = Arc::as_ptr(plan) as usize;
     if scratch.key != key {
@@ -271,15 +393,15 @@ fn run_fused_step(
             if pair.pack_phase != phase || pair.sender != me32 || scratch.eff_elems[k] == 0 {
                 continue;
             }
-            let mut data = pool.lock().expect("pool lock").pop().unwrap_or_default();
+            let mut data = pool_lock(&ctx.pool).pop().unwrap_or_default();
             data.clear();
             data.reserve(scratch.eff_elems[k]);
             for seg in pair.segments.iter().filter(|s| eff[s.unit]) {
                 data.extend_from_slice(&shards[seg.array][seg.src_off..seg.src_off + seg.len]);
             }
-            peers[pair.receiver as usize]
-                .send(Msg { from: me32, pair: k as u32, data })
-                .expect("receiving worker is alive");
+            if !ctx.ship(pair.receiver, k as u32, data, step)? {
+                return Ok(false);
+            }
         }
         // block until every pair this superstep's kernels read has
         // arrived, unpacking arrivals (from any phase) as they come in
@@ -293,37 +415,32 @@ fn run_fused_step(
             if !waiting {
                 break;
             }
-            let msg = loop {
-                match inbox.recv_timeout(Duration::from_millis(50)) {
-                    Ok(m) => break Some(m),
-                    Err(_) if shutdown.load(Ordering::Relaxed) => break None,
-                    Err(_) => continue,
-                }
-            };
-            let Some(Msg { from, pair: k, data }) = msg else {
-                return false; // shutdown mid-timestep
+            let Some(Msg { from, pair: k, data }) = ctx.recv() else {
+                return Ok(false); // shutdown mid-timestep
             };
             let k = k as usize;
-            assert_ne!(k, UNFUSED as usize, "unfused message during a fused timestep");
+            // an unfused message during a fused timestep, or a pair
+            // delivered to a worker whose schedule doesn't receive it,
+            // is a routing failure, not corruption
+            if k == UNFUSED as usize {
+                return Err(ExchangeError::Misrouted { rank: me32, step });
+            }
             let pair = &plan.pairs()[k];
-            assert_eq!(
-                (pair.sender, pair.receiver),
-                (from, me32),
-                "worker {}: fused pair {} routed to the wrong worker",
-                me + 1,
-                k
-            );
+            if (pair.sender, pair.receiver) != (from, me32) {
+                return Err(ExchangeError::Misrouted { rank: me32, step });
+            }
             // sender and receiver hold the same mask, so a length
-            // mismatch means they executed different fused plans
-            assert_eq!(
-                data.len(),
-                scratch.eff_elems[k],
-                "worker {}: fused message from {} has {} elements, mask says {}",
-                me + 1,
-                from + 1,
-                data.len(),
-                scratch.eff_elems[k]
-            );
+            // mismatch means the payload was damaged in flight or they
+            // executed different fused plans
+            if data.len() != scratch.eff_elems[k] {
+                return Err(ExchangeError::CorruptMessage {
+                    sender: from,
+                    receiver: me32,
+                    step,
+                    got: data.len(),
+                    expected: scratch.eff_elems[k],
+                });
+            }
             let mut off = 0usize;
             for seg in pair.segments.iter().filter(|s| eff[s.unit]) {
                 scratch.packed[seg.stmt][seg.term][seg.dst_off..seg.dst_off + seg.len]
@@ -331,7 +448,7 @@ fn run_fused_step(
                 off += seg.len;
             }
             scratch.arrived[k] = true;
-            pool.lock().expect("pool lock").push(data);
+            pool_lock(&ctx.pool).push(data);
         }
         // compute this superstep's statements into this worker's shards
         for &s in &plan.supersteps()[phase].stmts {
@@ -344,48 +461,58 @@ fn run_fused_step(
             );
         }
     }
-    true
+    Ok(true)
 }
 
-fn worker_loop(
-    me: usize,
-    cmds: Receiver<Cmd>,
-    inbox: Receiver<Msg>,
-    peers: Vec<Sender<Msg>>,
-    done: Sender<Done>,
-    pool: BufferPool,
-    shutdown: Arc<AtomicBool>,
-) {
+fn worker_loop(ctx: WorkerCtx, cmds: Receiver<Cmd>, done: Sender<Done>) {
     // per-worker packed operand buffers, reused across supersteps
     let mut packed: Vec<Vec<f64>> = Vec::new();
     let mut fused = FusedScratch::default();
     while let Ok(cmd) = cmds.recv() {
-        let shards = match cmd {
-            Cmd::Step(Step { plan, mut shards }) => {
-                if !run_unfused_step(
-                    me, &plan, &mut shards, &mut packed, &inbox, &peers, &pool, &shutdown,
-                ) {
-                    return; // shutdown mid-superstep: exit without a Done
-                }
-                shards
+        let step = cmd.step();
+        if let Some(sw) = &ctx.faults {
+            if sw.kill(ctx.me as u32, step) {
+                // injected crash: die silently, taking the shards just
+                // handed over with us — the driver's completion scan must
+                // detect the death, exactly as it would a real one
+                return;
             }
-            Cmd::Fused(FusedStep { plan, eff, eff_version, mut shards }) => {
-                if !run_fused_step(
-                    me, &plan, &eff, eff_version, &mut shards, &mut fused, &inbox, &peers,
-                    &pool, &shutdown,
-                ) {
-                    return;
+            if sw.poison(ctx.me as u32, step) {
+                poison_pool(&ctx.pool);
+            }
+        }
+        let result = match cmd {
+            Cmd::Step(Step { plan, mut shards, step }) => {
+                match run_unfused_step(&ctx, step, &plan, &mut shards, &mut packed) {
+                    Ok(true) => Ok(shards),
+                    Ok(false) => return, // shutdown mid-superstep: no Done
+                    Err(e) => Err(e),
                 }
-                shards
+            }
+            Cmd::Fused(FusedStep { plan, eff, eff_version, mut shards, step }) => {
+                match run_fused_step(
+                    &ctx, step, &plan, &eff, eff_version, &mut shards, &mut fused,
+                ) {
+                    Ok(true) => Ok(shards),
+                    Ok(false) => return,
+                    Err(e) => Err(e),
+                }
             }
         };
-        done.send(Done { proc: me, shards }).expect("driver is alive");
+        let failed = result.is_err();
+        if done.send(Done { proc: ctx.me, result }).is_err() || failed {
+            // driver gone, or this worker just reported a failure: its
+            // packed buffers may hold a half-unpacked step, and the
+            // driver tears the fleet down on any failure anyway
+            return;
+        }
     }
 }
 
 /// The message-passing SPMD backend (see module docs). Workers are
 /// spawned lazily on the first superstep and persist until the backend is
-/// dropped; a plan over a different processor count replaces the fleet.
+/// dropped; a plan over a different processor count replaces the fleet,
+/// as does the first superstep after a failed one.
 pub struct ChannelsBackend {
     np: usize,
     cmd_txs: Vec<Sender<Cmd>>,
@@ -396,6 +523,9 @@ pub struct ChannelsBackend {
     /// torn down, so a worker blocked mid-superstep on its inbox abandons
     /// instead of waiting for a message that will never arrive.
     shutdown: Arc<AtomicBool>,
+    /// Armed fault injection, cloned into every worker at spawn.
+    faults: Option<Arc<FaultSwitch>>,
+    timeout: Duration,
     bytes_sent: u64,
     workers_spawned: u64,
     steps: u64,
@@ -428,6 +558,8 @@ impl ChannelsBackend {
             done_rx: None,
             pool: Arc::new(Mutex::new(Vec::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
+            faults: None,
+            timeout: WORKER_TIMEOUT,
             bytes_sent: 0,
             workers_spawned: 0,
             steps: 0,
@@ -436,19 +568,33 @@ impl ChannelsBackend {
 
     /// Worker threads spawned over the backend's lifetime — stays at the
     /// processor count across warm supersteps (the persistent-worker
-    /// contract `zero_alloc_replay` pins).
+    /// contract `zero_alloc_replay` pins). Grows by `np` on every fleet
+    /// respawn: a different processor count, or recovery after a failed
+    /// superstep.
     pub fn workers_spawned(&self) -> u64 {
         self.workers_spawned
     }
 
-    /// Supersteps executed so far.
+    /// Supersteps *completed* so far (a failed superstep is not counted —
+    /// it never happened as far as the trajectory is concerned, and a
+    /// replay of the same timestep reuses its step number with the
+    /// one-shot fault already spent).
     pub fn steps(&self) -> u64 {
         self.steps
     }
 
-    /// Live worker count (0 before the first superstep).
+    /// Live worker count (0 before the first superstep, and 0 again
+    /// after a failure tears the fleet down).
     pub fn workers(&self) -> usize {
         self.cmd_txs.len()
+    }
+
+    /// Replace the wedge-detection timeout (default 120s): how long the
+    /// driver waits without any worker completing before declaring the
+    /// superstep [`ExchangeError::Wedged`]. Fault-injection tests dial
+    /// this down so a dropped message is detected in milliseconds.
+    pub fn set_step_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout.max(Duration::from_millis(1));
     }
 
     fn ensure_workers(&mut self, np: usize) {
@@ -467,14 +613,19 @@ impl ChannelsBackend {
         }
         for (me, inbox) in inbox_rxs.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = unbounded();
-            let peers = peer_txs.clone();
+            let ctx = WorkerCtx {
+                me,
+                inbox,
+                peers: peer_txs.clone(),
+                pool: self.pool.clone(),
+                shutdown: self.shutdown.clone(),
+                faults: self.faults.clone(),
+            };
             let done = done_tx.clone();
-            let pool = self.pool.clone();
-            let stop = self.shutdown.clone();
             self.handles.push(
                 std::thread::Builder::new()
                     .name(format!("hpf-spmd-{}", me + 1))
-                    .spawn(move || worker_loop(me, cmd_rx, inbox, peers, done, pool, stop))
+                    .spawn(move || worker_loop(ctx, cmd_rx, done))
                     .expect("spawn SPMD worker"),
             );
             self.cmd_txs.push(cmd_tx);
@@ -487,9 +638,9 @@ impl ChannelsBackend {
     /// Ensure a fleet of `np` workers is running and return the spawn
     /// generation (cumulative workers spawned). The fused replay path
     /// calls this *before* computing its effective-send mask: a changed
-    /// generation means the workers' persistent packed buffers are gone,
-    /// so every ghost unit must be re-sent (see
-    /// [`crate::fuse::FusedState`]).
+    /// generation means the workers' persistent packed buffers are gone
+    /// (processor-count change *or* post-failure respawn), so every ghost
+    /// unit must be re-sent (see [`crate::fuse::FusedState`]).
     pub(crate) fn prepare(&mut self, np: usize) -> u64 {
         self.ensure_workers(np);
         self.workers_spawned
@@ -499,7 +650,7 @@ impl ChannelsBackend {
     /// each worker its shards plus the shared effective-send mask,
     /// collect the shards back, and account the masked wire traffic
     /// (`wire_elements` is the mask's element count — sender-side
-    /// measured lengths are asserted against it inside every worker).
+    /// measured lengths are checked against it inside every worker).
     /// Counts one step per timestep.
     pub(crate) fn step_fused(
         &mut self,
@@ -508,65 +659,123 @@ impl ChannelsBackend {
         eff: Arc<Vec<bool>>,
         eff_version: u64,
         wire_elements: u64,
-    ) {
+    ) -> Result<(), ExchangeError> {
         assert!(plan.is_valid_for(arrays), "stale fused plan: an involved array was remapped");
         let np = plan.np();
         self.ensure_workers(np);
+        let step = self.steps;
         for (p, cmd) in self.cmd_txs.iter().enumerate() {
             let shards: Vec<Vec<f64>> =
                 arrays.iter_mut().map(|a| a.take_local(p)).collect();
-            cmd.send(Cmd::Fused(FusedStep {
+            // a send can only fail if the worker already died; the
+            // completion scan below pins and reports the death
+            let _ = cmd.send(Cmd::Fused(FusedStep {
                 plan: plan.clone(),
                 eff: eff.clone(),
                 eff_version,
                 shards,
-            }))
-            .expect("worker is alive");
+                step,
+            }));
         }
-        self.collect_done(arrays, np);
+        self.collect_done(arrays, np)?;
         self.bytes_sent += wire_elements * std::mem::size_of::<f64>() as u64;
         self.steps += 1;
+        Ok(())
     }
 
-    /// Collect `np` completed work orders and reinstall their shards,
-    /// reporting a crashed worker promptly by name.
-    fn collect_done(&mut self, arrays: &mut [DistArray<f64>], np: usize) {
-        let done_rx = self.done_rx.as_ref().expect("workers are running");
-        let deadline = Instant::now() + WORKER_TIMEOUT;
-        let mut reported = vec![false; np];
-        for _ in 0..np {
-            // poll in short slices so a crashed worker is reported
-            // promptly by name instead of stalling the full timeout
-            let done = loop {
-                match done_rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(d) => break d,
+    /// Collect `np` completed work orders and reinstall their shards.
+    ///
+    /// On the first sign of failure — a worker-reported [`ExchangeError`],
+    /// a thread found dead without a completion, a disconnected completion
+    /// channel, or no progress within the step timeout — the driver raises
+    /// the shutdown flag (so blocked peers abandon), keeps draining
+    /// completions for a short grace window to reinstall surviving
+    /// shards, tears the fleet down, and returns the failure. The arrays
+    /// then hold a *partial* timestep (dead workers' shards are gone) and
+    /// must be reloaded from a checkpoint — see [`crate::ckpt`].
+    fn collect_done(
+        &mut self,
+        arrays: &mut [DistArray<f64>],
+        np: usize,
+    ) -> Result<(), ExchangeError> {
+        let step = self.steps;
+        let mut failure: Option<ExchangeError> = None;
+        {
+            let done_rx = self.done_rx.as_ref().expect("workers are running");
+            let deadline = Instant::now() + self.timeout;
+            let mut grace: Option<Instant> = None;
+            let mut returned = vec![false; np];
+            let mut outstanding = np;
+            let fail = |e: ExchangeError,
+                            failure: &mut Option<ExchangeError>,
+                            grace: &mut Option<Instant>| {
+                if failure.is_none() {
+                    *failure = Some(e);
+                    self.shutdown.store(true, Ordering::Relaxed);
+                    *grace = Some(Instant::now() + DRAIN_GRACE);
+                }
+            };
+            while outstanding > 0 {
+                // poll in short slices so a crashed worker is reported
+                // promptly by name instead of stalling the full timeout
+                match done_rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(Done { proc, result }) => {
+                        returned[proc] = true;
+                        outstanding -= 1;
+                        match result {
+                            Ok(shards) => {
+                                for (a, buf) in arrays.iter_mut().zip(shards) {
+                                    a.put_local(proc, buf);
+                                }
+                            }
+                            Err(e) => fail(e, &mut failure, &mut grace),
+                        }
+                    }
                     Err(RecvTimeoutError::Disconnected) => {
-                        panic!("every SPMD worker died mid-superstep")
+                        fail(ExchangeError::FleetDied { step }, &mut failure, &mut grace);
+                        break;
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         // a finished handle while its Done is outstanding
-                        // means the worker panicked (idle workers block on
-                        // their command channel, they never exit)
+                        // means the worker died silently (idle workers
+                        // block on their command channel, they never exit)
                         if let Some(dead) = self
                             .handles
                             .iter()
                             .position(|h| h.is_finished())
-                            .filter(|&i| !reported[i])
+                            .filter(|&i| !returned[i])
                         {
-                            panic!("SPMD worker {} died mid-superstep", dead + 1);
+                            fail(
+                                ExchangeError::WorkerDied { rank: dead as u32, step },
+                                &mut failure,
+                                &mut grace,
+                            );
+                        } else if failure.is_none() && Instant::now() >= deadline {
+                            fail(
+                                ExchangeError::Wedged {
+                                    step,
+                                    waited_ms: self.timeout.as_millis() as u64,
+                                },
+                                &mut failure,
+                                &mut grace,
+                            );
                         }
-                        assert!(
-                            Instant::now() < deadline,
-                            "SPMD superstep wedged (no worker progress within {:?})",
-                            WORKER_TIMEOUT
-                        );
+                        if grace.is_some_and(|g| Instant::now() >= g) {
+                            break; // stragglers abandoned without a Done
+                        }
                     }
                 }
-            };
-            for (a, buf) in arrays.iter_mut().zip(done.shards) {
-                a.put_local(done.proc, buf);
             }
-            reported[done.proc] = true;
+        }
+        match failure {
+            None => Ok(()),
+            Some(e) => {
+                // tear the failed fleet down; the next superstep respawns
+                // a fresh one (and bumps the spawn generation, which the
+                // fused dirty-tracking state watches)
+                self.shutdown();
+                Err(e)
+            }
         }
     }
 
@@ -603,26 +812,40 @@ impl ExchangeBackend for ChannelsBackend {
         plan: &Arc<ExecPlan>,
         arrays: &mut [DistArray<f64>],
         _ws: &mut PlanWorkspace,
-    ) {
+    ) -> Result<(), ExchangeError> {
         assert!(plan.is_valid_for(arrays), "stale plan: an involved array was remapped");
         let np = plan.per_proc().len();
         self.ensure_workers(np);
+        let step = self.steps;
         // ownership handoff: every worker gets exactly its own shards
         for (p, cmd) in self.cmd_txs.iter().enumerate() {
             let shards: Vec<Vec<f64>> =
                 arrays.iter_mut().map(|a| a.take_local(p)).collect();
-            cmd.send(Cmd::Step(Step { plan: plan.clone(), shards }))
-                .expect("worker is alive");
+            let _ = cmd.send(Cmd::Step(Step { plan: plan.clone(), shards, step }));
         }
-        self.collect_done(arrays, np);
+        self.collect_done(arrays, np)?;
         // schedule ≡ analysis was already cross-checked at inspect time
         // (ExecPlan::inspect); the wire accounting here is the schedule's
         self.bytes_sent += plan.message_plan().wire_bytes();
         self.steps += 1;
+        Ok(())
     }
 
     fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    fn inject(&mut self, plan: FaultPlan) {
+        self.faults = Some(Arc::new(FaultSwitch::arm(plan)));
+        if !self.cmd_txs.is_empty() {
+            // the running fleet was spawned without the switch: replace
+            // it so every worker holds the armed plan
+            self.shutdown();
+        }
+    }
+
+    fn faults_fired(&self) -> usize {
+        self.faults.as_ref().map_or(0, |s| s.fired())
     }
 }
 
@@ -672,7 +895,7 @@ mod tests {
         let mut backend = ChannelsBackend::new();
         for step in 1..=4u64 {
             let expect = dense_reference(&arrays, &stmt);
-            backend.step(&plan, &mut arrays, &mut ws);
+            backend.step(&plan, &mut arrays, &mut ws).unwrap();
             assert_eq!(arrays[0].to_dense(), expect, "step {step}");
             assert_eq!(backend.bytes_sent(), step * plan.message_plan().wire_bytes());
         }
@@ -688,18 +911,18 @@ mod tests {
         let mut a4 = setup(32, 4, &[FormatSpec::Block, FormatSpec::Block]);
         let s4 = shift_stmt(32, &a4);
         let p4 = Arc::new(ExecPlan::inspect(&a4, &s4).unwrap());
-        backend.step(&p4, &mut a4, &mut ws);
+        backend.step(&p4, &mut a4, &mut ws).unwrap();
         assert_eq!(backend.workers(), 4);
         let mut a3 = setup(32, 3, &[FormatSpec::Cyclic(1), FormatSpec::Block]);
         let s3 = shift_stmt(32, &a3);
         let p3 = Arc::new(ExecPlan::inspect(&a3, &s3).unwrap());
         let expect = dense_reference(&a3, &s3);
-        backend.step(&p3, &mut a3, &mut ws);
+        backend.step(&p3, &mut a3, &mut ws).unwrap();
         assert_eq!(a3[0].to_dense(), expect);
         assert_eq!(backend.workers(), 3);
         assert_eq!(backend.workers_spawned(), 7, "4 then 3");
         // and back on the first plan the fleet respawns again
-        backend.step(&p4, &mut a4, &mut ws);
+        backend.step(&p4, &mut a4, &mut ws).unwrap();
         assert_eq!(backend.workers_spawned(), 11);
     }
 
@@ -719,7 +942,103 @@ mod tests {
         .unwrap();
         let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
         let expect = dense_reference(&arrays, &stmt);
-        ChannelsBackend::new().step(&plan, &mut arrays, &mut PlanWorkspace::new());
+        ChannelsBackend::new()
+            .step(&plan, &mut arrays, &mut PlanWorkspace::new())
+            .unwrap();
         assert_eq!(arrays[0].to_dense(), expect);
+    }
+
+    /// In the shift statement's schedule over block mappings, worker 3 is
+    /// a pure receiver (pairs are p→p+1), so killing it pins the death
+    /// deterministically: worker 2's send fails (rank 3's inbox died) and
+    /// the driver's handle scan sees rank 3 finished without a Done.
+    #[test]
+    fn injected_kill_surfaces_typed_error_and_replay_recovers() {
+        let mut arrays = setup(48, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(48, &arrays);
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let mut ws = PlanWorkspace::new();
+        let mut backend = ChannelsBackend::new();
+        backend.inject(FaultPlan::parse("kill:rank=3,step=1").unwrap());
+        backend.step(&plan, &mut arrays, &mut ws).unwrap(); // step 0
+        let ckpt = arrays.clone(); // stand-in for a real checkpoint
+        let expect = dense_reference(&arrays, &stmt);
+        let err = backend.step(&plan, &mut arrays, &mut ws).unwrap_err();
+        assert_eq!(err, ExchangeError::WorkerDied { rank: 3, step: 1 });
+        assert_eq!(err.rank(), Some(3));
+        assert_eq!(backend.workers(), 0, "failed fleet must be torn down");
+        assert_eq!(backend.steps(), 1, "a failed superstep never happened");
+        assert_eq!(backend.faults_fired(), 1);
+        // recovery: restore shards, replay — the one-shot fault is spent,
+        // the fleet respawns on its own, and the answer matches
+        arrays = ckpt;
+        backend.step(&plan, &mut arrays, &mut ws).unwrap();
+        assert_eq!(arrays[0].to_dense(), expect);
+        assert_eq!(backend.workers(), 4);
+        assert_eq!(backend.workers_spawned(), 8, "one respawn after the kill");
+        assert_eq!(backend.faults_fired(), 1, "replay runs clean");
+    }
+
+    #[test]
+    fn injected_drop_wedges_and_times_out() {
+        let mut arrays = setup(48, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(48, &arrays);
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let mut ws = PlanWorkspace::new();
+        let mut backend = ChannelsBackend::new();
+        backend.set_step_timeout(Duration::from_millis(300));
+        backend.inject(FaultPlan::parse("drop:from=2,to=3,step=0").unwrap());
+        let err = backend.step(&plan, &mut arrays, &mut ws).unwrap_err();
+        assert_eq!(err, ExchangeError::Wedged { step: 0, waited_ms: 300 });
+        assert_eq!(err.rank(), None, "a lost message pins no rank");
+        assert_eq!(backend.workers(), 0);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_before_unpacking() {
+        let mut arrays = setup(48, 4, &[FormatSpec::Block, FormatSpec::Block]);
+        let stmt = shift_stmt(48, &arrays);
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let expected = plan.message_plan().pair(1, 2).unwrap().elements;
+        let mut ws = PlanWorkspace::new();
+        let mut backend = ChannelsBackend::new();
+        backend.inject(FaultPlan::parse("corrupt:from=1,to=2,step=0").unwrap());
+        let err = backend.step(&plan, &mut arrays, &mut ws).unwrap_err();
+        assert_eq!(
+            err,
+            ExchangeError::CorruptMessage {
+                sender: 1,
+                receiver: 2,
+                step: 0,
+                got: expected - 1,
+                expected,
+            }
+        );
+        assert_eq!(err.rank(), Some(2), "corruption is pinned to the receiver");
+    }
+
+    #[test]
+    fn injected_delay_and_pool_poison_do_not_fail_the_step() {
+        // a delayed message is a slow link, and a poisoned pool lock is
+        // recovered via into_inner — both steps must still complete and
+        // match the reference (the poison recovery is satellite #1: one
+        // fault stays one fault)
+        let mut arrays = setup(48, 4, &[FormatSpec::Block, FormatSpec::Cyclic(3)]);
+        let stmt = shift_stmt(48, &arrays);
+        let plan = Arc::new(ExecPlan::inspect(&arrays, &stmt).unwrap());
+        let mut ws = PlanWorkspace::new();
+        let mut backend = ChannelsBackend::new();
+        backend.inject(
+            FaultPlan::parse("delay:from=0,to=1,step=0,ms=30; poison:rank=2,step=1")
+                .unwrap(),
+        );
+        for _ in 0..3 {
+            let expect = dense_reference(&arrays, &stmt);
+            backend.step(&plan, &mut arrays, &mut ws).unwrap();
+            assert_eq!(arrays[0].to_dense(), expect);
+        }
+        assert_eq!(backend.steps(), 3);
+        assert_eq!(backend.faults_fired(), 2);
+        assert_eq!(backend.workers_spawned(), 4, "no respawn: nothing failed");
     }
 }

@@ -156,12 +156,14 @@ mod tests {
         let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
         got.sort_unstable();
         assert_eq!(got, vec![7, 35]);
+        // join before asserting disconnection: a recv can complete before
+        // the sending thread reaches its `drop(tx2)`
+        h.join().unwrap();
         assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected));
         assert_eq!(
             rx.recv_timeout(std::time::Duration::from_millis(1)),
             Err(super::channel::RecvTimeoutError::Disconnected)
         );
-        h.join().unwrap();
     }
 
     #[test]

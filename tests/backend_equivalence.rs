@@ -157,9 +157,9 @@ fn assert_backends_agree(
 
     plan.execute_seq(&mut direct);
     let mut shared_be = SharedMemBackend::new();
-    shared_be.step(&plan, &mut shared, &mut PlanWorkspace::new());
+    shared_be.step(&plan, &mut shared, &mut PlanWorkspace::new()).unwrap();
     let mut channels_be = ChannelsBackend::new();
-    channels_be.step(&plan, &mut channels, &mut PlanWorkspace::new());
+    channels_be.step(&plan, &mut channels, &mut PlanWorkspace::new()).unwrap();
 
     assert_eq!(direct[0].to_dense(), expect, "direct replay ≡ oracle");
     assert_eq!(shared[0].to_dense(), expect, "SharedMem ≡ oracle");
