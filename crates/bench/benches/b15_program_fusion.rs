@@ -15,26 +15,23 @@
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hpf_bench::replay::fusion_timestep;
-use hpf_runtime::Program;
+use hpf_runtime::{Program, Session};
 use std::time::Instant;
 
 const N: i64 = 65_536;
 const NP: usize = 8;
 
-fn build(fused: bool) -> Program {
+fn build(fused: bool) -> Session {
     let (arrays, stmts) = fusion_timestep(N, NP);
     let mut prog = Program::new(arrays);
     for s in stmts {
         prog.push(s).unwrap();
     }
+    let mut sess = Session::new(prog).fused(fused);
     // warm: inspect the plans, build the fused schedule, run the cold
     // timestep that ships (and dirty-tracks) every ghost region
-    if fused {
-        prog.run().unwrap();
-    } else {
-        prog.run_unfused().unwrap();
-    }
-    prog
+    sess.run(1).unwrap();
+    sess
 }
 
 /// Headline numbers for the CI log: warm whole-timestep throughput of
@@ -42,23 +39,19 @@ fn build(fused: bool) -> Program {
 fn print_summary() {
     let smoke = std::env::args().any(|a| a == "--test")
         || std::env::var_os("CRITERION_SMOKE").is_some();
-    let iters = if smoke { 3 } else { 200 };
+    let iters: u64 = if smoke { 3 } else { 200 };
 
     let mut fused = build(true);
     let t = Instant::now();
-    for _ in 0..iters {
-        fused.run().unwrap();
-    }
+    fused.run(iters).unwrap();
     let fused_t = t.elapsed();
 
     let mut unfused = build(false);
     let t = Instant::now();
-    for _ in 0..iters {
-        unfused.run_unfused().unwrap();
-    }
+    unfused.run(iters).unwrap();
     let unfused_t = t.elapsed();
 
-    let fs = fused.fusion_stats();
+    let fs = fused.program().fusion_stats();
     assert!(
         fs.ghost_bytes_avoided() > 0,
         "warm fused timesteps must skip the clean cyclic ghosts: {fs}"
@@ -80,14 +73,14 @@ fn bench(c: &mut Criterion) {
     let mut fused = build(true);
     g.bench_function(BenchmarkId::new("fusion_timestep", "fused"), |b| {
         b.iter(|| {
-            fused.run().unwrap();
+            fused.run(1).unwrap();
             black_box(());
         })
     });
     let mut unfused = build(false);
     g.bench_function(BenchmarkId::new("fusion_timestep", "unfused"), |b| {
         b.iter(|| {
-            unfused.run_unfused().unwrap();
+            unfused.run(1).unwrap();
             black_box(());
         })
     });

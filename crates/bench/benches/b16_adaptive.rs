@@ -1,0 +1,111 @@
+//! B16 — self-adaptive redistribution on an irregular hotspot workload.
+//!
+//! Runs the [`adaptive_hotspot`] program — a deposit sweep confined to
+//! the first quarter of a BLOCK-distributed domain, so one of four
+//! processors does all the work — through an adaptive [`Session`]: the
+//! controller observes the imbalance over its sliding window, prices the
+//! candidate redistributions on the machine model, and performs a live
+//! remap onto a load-fitted `GENERAL_BLOCK` once the win amortizes the
+//! one-off remap traffic.
+//!
+//! The headline number is **machine-model-priced**: the modeled cost of
+//! a warm timestep before vs after the remap (`stay/candidate`), which
+//! is deterministic and hardware-neutral — the perf gate pins it in
+//! `BENCH_b16.json` with a hard `>= 1.3x` floor. Wall-clock throughput
+//! of the post-remap warm replay is benchmarked alongside as the
+//! regression signal for the controller's bookkeeping overhead.
+//!
+//! [`adaptive_hotspot`]: hpf_bench::replay::adaptive_hotspot
+//! [`Session`]: hpf_runtime::Session
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use hpf_bench::replay::adaptive_hotspot;
+use hpf_runtime::{AdaptPolicy, Program, Session};
+use std::time::Instant;
+
+const N: i64 = 65_536;
+const NP: usize = 4;
+
+fn build_program() -> Program {
+    let (arrays, stmts) = adaptive_hotspot(N, NP);
+    let mut prog = Program::new(arrays);
+    for s in stmts {
+        prog.push(s).unwrap();
+    }
+    prog
+}
+
+/// An adaptive session driven past its first remap, ready for warm
+/// post-adaptation timesteps.
+fn adapted_session() -> Session {
+    let mut sess = Session::new(build_program()).adapt(AdaptPolicy::default());
+    sess.run(6).unwrap();
+    let report = sess.adapt_report().expect("adapt configured");
+    assert!(
+        report.remaps >= 1,
+        "the hotspot must trigger a live remap: {report:?}"
+    );
+    sess
+}
+
+/// Headline numbers for the CI log: the remap decision, its modeled
+/// prices, and the wall-clock warm throughput of both paths.
+fn print_summary() {
+    let smoke = std::env::args().any(|a| a == "--test")
+        || std::env::var_os("CRITERION_SMOKE").is_some();
+    let iters: u64 = if smoke { 3 } else { 200 };
+
+    let mut adaptive = adapted_session();
+    let e = adaptive.adapt_report().unwrap().events[0].clone();
+    let t = Instant::now();
+    adaptive.run(iters).unwrap();
+    let adaptive_t = t.elapsed();
+
+    let mut statik = Session::new(build_program());
+    statik.run(6).unwrap();
+    let t = Instant::now();
+    statik.run(iters).unwrap();
+    let static_t = t.elapsed();
+
+    println!(
+        "b16 summary: adaptive hotspot n={N} np={NP} — remap at t={} to {} \
+         (modeled {:.1}us -> {:.1}us per warm step, {:.2}x); wall-clock warm \
+         replay: adaptive {:.3} ms/timestep, static {:.3} ms/timestep",
+        e.timestep,
+        e.candidate,
+        e.cost_stay,
+        e.cost_candidate,
+        e.cost_stay / e.cost_candidate,
+        adaptive_t.as_secs_f64() * 1e3 / iters as f64,
+        static_t.as_secs_f64() * 1e3 / iters as f64,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_summary();
+    let mut g = c.benchmark_group("adaptive");
+    g.sample_size(20);
+
+    let mut adaptive = adapted_session();
+    g.bench_function(BenchmarkId::new("hotspot", "adaptive_warm"), |b| {
+        b.iter(|| {
+            adaptive.run(1).unwrap();
+            black_box(());
+        })
+    });
+    let mut statik = Session::new(build_program());
+    statik.run(1).unwrap();
+    g.bench_function(BenchmarkId::new("hotspot", "static_warm"), |b| {
+        b.iter(|| {
+            statik.run(1).unwrap();
+            black_box(());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+}

@@ -2,11 +2,13 @@
 //!
 //! Measures warm-replay throughput (Melem/s) of the `b13` workload set
 //! (compressed sequential replay), the `b14` set (the same plans through
-//! both exchange backends), and the `b15` set (the whole-timestep fusion
-//! workload: fused program plan vs per-statement replay) — the workloads
+//! both exchange backends), the `b15` set (the whole-timestep fusion
+//! workload: fused program plan vs per-statement replay), and the `b16`
+//! set (the self-adaptive redistribution hotspot, with deterministic
+//! machine-model-priced before/after-remap entries) — the workloads
 //! come from [`hpf_bench::replay`], the same builders the benches use, so
 //! the gate always polices exactly what the benches report. Emits
-//! `BENCH_b13.json` / `BENCH_b14.json` / `BENCH_b15.json` and compares
+//! `BENCH_b13.json` through `BENCH_b16.json` and compares
 //! each entry against
 //! the committed baselines under `crates/bench/baselines/` with a
 //! relative tolerance (`BENCH_TOLERANCE`, default 0.30 = ±30%). A
@@ -175,7 +177,7 @@ fn measure_b14(budget: Duration, reps: usize) -> Vec<Entry> {
 /// never re-sent) independently of runner hardware.
 fn measure_b15(budget: Duration, reps: usize) -> Vec<Entry> {
     use hpf_bench::replay::fusion_timestep;
-    use hpf_runtime::Program;
+    use hpf_runtime::{Program, Session};
 
     let mut out = Vec::new();
     let n = 65_536i64;
@@ -191,11 +193,11 @@ fn measure_b15(budget: Duration, reps: usize) -> Vec<Entry> {
     // elements computed per timestep: every statement's full volume
     let elems = 3 * (n as usize - 2);
 
-    let mut fused = build();
+    let mut fused = Session::new(build());
     let fused_rate = measure(elems, budget, reps, || {
-        fused.run().unwrap();
+        fused.run(1).unwrap();
     });
-    let fs = fused.fusion_stats();
+    let fs = fused.program().fusion_stats();
     assert!(
         fs.ghost_bytes_avoided() > 0,
         "warm fused timesteps must skip the clean cyclic ghosts: {fs}"
@@ -205,9 +207,9 @@ fn measure_b15(budget: Duration, reps: usize) -> Vec<Entry> {
         "the shared cyclic pairs must coalesce: {fs}"
     );
 
-    let mut unfused = build();
+    let mut unfused = Session::new(build()).fused(false);
     let unfused_rate = measure(elems, budget, reps, || {
-        unfused.run_unfused().unwrap();
+        unfused.run(1).unwrap();
     });
 
     // absolute floor, independent of the committed baseline: warm fused
@@ -223,6 +225,72 @@ fn measure_b15(budget: Duration, reps: usize) -> Vec<Entry> {
     out.push(Entry::rate("fusion_timestep_fused", fused_rate));
     out.push(Entry::rate("fusion_timestep_unfused", unfused_rate));
     out.push(Entry::ratio("fusion_timestep_fused_vs_unfused", ratio));
+    out
+}
+
+/// The b16 set: the self-adaptive redistribution workload. The headline
+/// entries are **machine-model-priced** — the modeled cost of one warm
+/// timestep before vs after the controller's live remap, expressed as
+/// simulated throughput (elements per modeled µs ≡ Melem/s) — which is
+/// deterministic and hardware-neutral, so the `adaptive/static` ratio
+/// binds exactly on any runner. A wall-clock entry for the post-remap
+/// warm replay guards the controller's per-timestep bookkeeping.
+fn measure_b16(budget: Duration, reps: usize) -> Vec<Entry> {
+    use hpf_bench::replay::adaptive_hotspot;
+    use hpf_runtime::{AdaptPolicy, Program, Session};
+
+    let mut out = Vec::new();
+    let n = 65_536i64;
+    let np = 4usize;
+    let build = || {
+        let (arrays, stmts) = adaptive_hotspot(n, np);
+        let mut prog = Program::new(arrays);
+        for s in stmts {
+            prog.push(s).unwrap();
+        }
+        prog
+    };
+    // elements computed per timestep: the hot sweep's written volume
+    let elems = (n / 4 - 49) as usize;
+
+    let mut adaptive = Session::new(build()).adapt(AdaptPolicy::default());
+    adaptive.run(6).unwrap();
+    let report = adaptive.adapt_report().expect("adapt configured");
+    assert!(
+        report.remaps >= 1,
+        "the hotspot workload must trigger a live remap: {report:?}"
+    );
+    let e = report.events[0].clone();
+
+    // hard floor, independent of the committed baseline: the controller's
+    // chosen mapping must be priced >= 1.3x cheaper per warm step than
+    // staying on static BLOCK, or adaptation is not paying for itself
+    let ratio = e.cost_stay / e.cost_candidate;
+    assert!(
+        ratio >= 1.3,
+        "adaptive mapping must be >= 1.3x cheaper per warm step than static \
+         BLOCK on the machine model, got {ratio:.2}x \
+         (stay {:.1}us vs candidate {:.1}us)",
+        e.cost_stay,
+        e.cost_candidate
+    );
+
+    let adaptive_rate = measure(elems, budget, reps, || {
+        adaptive.run(1).unwrap();
+    });
+
+    out.push(Entry {
+        name: "hotspot_static_modeled",
+        value: elems as f64 / e.cost_stay,
+        unit: "Melem/s (modeled)",
+    });
+    out.push(Entry {
+        name: "hotspot_adaptive_modeled",
+        value: elems as f64 / e.cost_candidate,
+        unit: "Melem/s (modeled)",
+    });
+    out.push(Entry::ratio("hotspot_adaptive_vs_static_modeled", ratio));
+    out.push(Entry::rate("hotspot_adaptive_warm_replay", adaptive_rate));
     out
 }
 
@@ -336,9 +404,10 @@ fn main() {
     let b13 = measure_b13(budget, reps);
     let b14 = measure_b14(budget, reps);
     let b15 = measure_b15(budget, reps);
+    let b16 = measure_b16(budget, reps);
 
     let mut regressions = Vec::new();
-    for (bench, entries) in [("b13", &b13), ("b14", &b14), ("b15", &b15)] {
+    for (bench, entries) in [("b13", &b13), ("b14", &b14), ("b15", &b15), ("b16", &b16)] {
         let json = render_json(bench, entries);
         let out = std::path::Path::new(&out_dir).join(format!("BENCH_{bench}.json"));
         std::fs::write(&out, &json).expect("write bench report");
@@ -363,7 +432,7 @@ fn main() {
     if !write_baseline {
         println!(
             "bench_gate: all {} entries within ±{:.0}% of baseline",
-            b13.len() + b14.len(),
+            b13.len() + b14.len() + b15.len() + b16.len(),
             tolerance * 100.0
         );
     }

@@ -218,6 +218,50 @@ pub mod replay {
         plan.per_proc().iter().map(|pp| pp.volume).sum()
     }
 
+    /// The b16 adaptive-redistribution workload: a deposit sweep confined
+    /// to the first quarter of two BLOCK-distributed arrays, gathering 48
+    /// cells upwind.
+    ///
+    /// ```text
+    /// RHO(50:N/4) = RHO(2:N/4-48) + SRC(50:N/4)
+    /// ```
+    ///
+    /// Under BLOCK one of the `np` processors does all the work; the wide
+    /// gather makes CYCLIC re-blocking price out (most reads would cross
+    /// block boundaries), so the adaptive controller's winning candidate
+    /// is the load-fitted `GENERAL_BLOCK` — the §4.1.2 format the paper
+    /// motivates by exactly this workload class.
+    pub fn adaptive_hotspot(n: i64, np: usize) -> (Vec<DistArray<f64>>, Vec<Assignment>) {
+        let reach = 48;
+        let hot = n / 4;
+        let mut ds = DataSpace::new(np);
+        let rho = ds.declare("RHO", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        let src = ds.declare("SRC", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+        for id in [rho, src] {
+            ds.distribute(id, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+            ds.set_dynamic(id);
+        }
+        let arrays = vec![
+            DistArray::from_fn("RHO", ds.effective(rho).unwrap(), np, |i| i[0] as f64),
+            DistArray::from_fn("SRC", ds.effective(src).unwrap(), np, |i| {
+                (i[0] % 7) as f64
+            }),
+        ];
+        let doms: Vec<&IndexDomain> = arrays.iter().map(|a| a.domain()).collect();
+        let stmts = vec![Assignment::new(
+            0,
+            Section::from_triplets(vec![span(reach + 2, hot)]),
+            vec![
+                Term::new(0, Section::from_triplets(vec![span(2, hot - reach)])),
+                Term::new(1, Section::from_triplets(vec![span(reach + 2, hot)])),
+            ],
+            Combine::Sum,
+            &doms,
+        )
+        .unwrap()];
+        (arrays, stmts)
+    }
+
     /// The b15 program-fusion timestep: three independent statements in
     /// one superstep over BLOCK state arrays `U`, `V`, `W` and a
     /// CYCLIC(1) coefficient array `C` that is *never written*.

@@ -9,20 +9,23 @@
 //! ```text
 //! hpfrun FILE.hpf [--np N] [--steps N] [--backend shared-mem|channels]
 //!                 [--threads N] [--set NAME=VALUE]... [--verify] [--stats]
-//!                 [--checkpoint-dir D] [--checkpoint-every N] [--resume]
-//!                 [--inject SPEC]... [--step-timeout-ms N]
+//!                 [--adapt] [--checkpoint-dir D] [--checkpoint-every N]
+//!                 [--resume] [--inject SPEC]... [--step-timeout-ms N]
 //! ```
 //!
 //! All frontend and lowering problems are reported together, rendered
 //! against the source with spans — one run shows every defect.
 //!
-//! With `--checkpoint-dir` the run goes through the fault-tolerant
-//! trajectory driver ([`hpf_runtime::run_trajectory`]): distributed
-//! snapshots on a cadence, and on an exchange fault (injected via
-//! `--inject` or real) restore-and-replay recovery with bounded
-//! retries. `--resume` restores the newest snapshot first and runs
-//! only the remaining timesteps — even under a different `--np` or
-//! distribution than the checkpoint was written with.
+//! Execution is driven through a [`hpf_runtime::Session`]: with
+//! `--checkpoint-dir` the session writes distributed snapshots on a
+//! cadence, and on an exchange fault (injected via `--inject` or real)
+//! performs restore-and-replay recovery with bounded retries.
+//! `--resume` restores the newest snapshot first and runs only the
+//! remaining timesteps — even under a different `--np` or distribution
+//! than the checkpoint was written with. `--adapt` arms the adaptive
+//! redistribution controller: between timesteps it watches the
+//! measured per-rank load, prices candidate remappings on the machine
+//! model, and redistributes live when a remap pays for itself.
 //!
 //! Example:
 //! ```text
@@ -31,7 +34,7 @@
 //! ```
 
 use hpf_frontend::{render_diagnostics, Elaborator, Lowerer};
-use hpf_runtime::{Backend, CheckpointSpec, FaultPlan, RecoveryPolicy};
+use hpf_runtime::{AdaptPolicy, Backend, CheckpointSpec, FaultPlan, Session};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -45,6 +48,7 @@ struct Args {
     sets: Vec<(String, i64)>,
     verify: bool,
     stats: bool,
+    adapt: bool,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: u64,
     resume: bool,
@@ -68,6 +72,8 @@ fn usage() -> ! {
          \x20            distributed result element-for-element against the\n\
          \x20            dense oracle\n\
          --stats      print plan-cache, fusion, and wire-traffic statistics\n\
+         --adapt      adaptive redistribution: watch measured per-rank load\n\
+         \x20            and remap live when a rebalance pays for itself\n\
          --checkpoint-dir D   run fault-tolerantly, snapshotting distributed\n\
          \x20            state into D (restore-and-replay on exchange faults)\n\
          --checkpoint-every N checkpoint cadence in timesteps (default 1;\n\
@@ -92,6 +98,7 @@ fn parse_args() -> Args {
         sets: Vec::new(),
         verify: false,
         stats: false,
+        adapt: false,
         checkpoint_dir: None,
         checkpoint_every: 1,
         resume: false,
@@ -125,6 +132,7 @@ fn parse_args() -> Args {
             }
             "--verify" => args.verify = true,
             "--stats" => args.stats = true,
+            "--adapt" => args.adapt = true,
             "--checkpoint-dir" => {
                 args.checkpoint_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
             }
@@ -148,6 +156,10 @@ fn parse_args() -> Args {
     }
     if args.resume && args.checkpoint_dir.is_none() {
         eprintln!("hpfrun: --resume requires --checkpoint-dir");
+        usage();
+    }
+    if args.verify && args.adapt {
+        eprintln!("hpfrun: --verify runs the static pipeline; adaptive remaps are exercised without it (the controller's equivalence is pinned by the test suite)");
         usage();
     }
     if args.verify && (args.resume || args.checkpoint_dir.is_some()) {
@@ -230,48 +242,52 @@ fn main() -> ExitCode {
             args.steps,
             backend_name(args.backend)
         );
-    } else if let Some(dir) = &args.checkpoint_dir {
-        // Fault-tolerant trajectory: checkpoint on a cadence, and on an
-        // exchange fault restore the newest snapshot and replay forward.
-        let start = if args.resume {
-            match lowered.program.restore_latest(Path::new(dir)) {
-                Ok(r) => {
-                    println!(
-                        "resumed from checkpoint at timestep {} ({} array(s), {})",
-                        r.timestep,
-                        r.arrays,
-                        if r.remapped > 0 {
-                            "scattered into the current distribution"
-                        } else {
-                            "fast path"
-                        }
-                    );
-                    r.timestep
-                }
-                Err(e) => {
-                    eprintln!("hpfrun: resume failed: {e}");
-                    return ExitCode::FAILURE;
+    } else {
+        // Everything else is one Session: backend, thread bound,
+        // checkpoint cadence + recovery, and adaptive redistribution.
+        let mut session = Session::new(lowered.program).backend(args.backend);
+        if args.threads > 1 && args.backend == Backend::SharedMem {
+            session = session.threads(args.threads);
+        }
+        if args.adapt {
+            session = session.adapt(AdaptPolicy::default());
+        }
+        let mut start = 0u64;
+        if let Some(dir) = &args.checkpoint_dir {
+            if args.resume {
+                match session.program_mut().restore_latest(Path::new(dir)) {
+                    Ok(r) => {
+                        println!(
+                            "resumed from checkpoint at timestep {} ({} array(s), {})",
+                            r.timestep,
+                            r.arrays,
+                            if r.remapped > 0 {
+                                "scattered into the current distribution"
+                            } else {
+                                "fast path"
+                            }
+                        );
+                        start = r.timestep;
+                    }
+                    Err(e) => {
+                        eprintln!("hpfrun: resume failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
-        } else {
-            0
-        };
-        let spec = CheckpointSpec::new(dir, args.checkpoint_every);
-        match hpf_runtime::run_trajectory(
-            &mut lowered.program,
-            args.backend,
-            args.steps as u64,
-            start.min(args.steps as u64),
-            Some(&spec),
-            &RecoveryPolicy::default(),
-        ) {
+            session = session.checkpoint(CheckpointSpec::new(dir, args.checkpoint_every));
+        }
+        let remaining = (args.steps as u64).saturating_sub(start);
+        match session.run(remaining) {
             Ok(rep) => {
                 print!(
-                    "ran {} timestep(s) on {} — {} checkpoint(s) written",
+                    "ran {} timestep(s) on {}",
                     rep.timesteps,
-                    backend_name(args.backend),
-                    rep.checkpoints
+                    backend_name(rep.final_backend)
                 );
+                if args.checkpoint_dir.is_some() {
+                    print!(" — {} checkpoint(s) written", rep.checkpoints);
+                }
                 if rep.failures > 0 {
                     print!(
                         ", {} fault(s) survived, {} timestep(s) replayed",
@@ -288,19 +304,28 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-    } else {
-        for _ in 0..args.steps {
-            let r = if args.threads > 1 && args.backend == Backend::SharedMem {
-                lowered.program.run_parallel(args.threads).map(|_| ())
-            } else {
-                lowered.program.run_on(args.backend).map(|_| ())
-            };
-            if let Err(e) = r {
-                eprintln!("hpfrun: execution failed: {e}");
-                return ExitCode::FAILURE;
+        if args.adapt {
+            if let Some(rep) = session.adapt_report() {
+                println!(
+                    "adaptive: {} remap(s), {} element(s) moved, last imbalance {:.2}",
+                    rep.remaps, rep.remap_elements, rep.last_imbalance
+                );
+                for e in &rep.events {
+                    println!(
+                        "  t={}: {} -> {} (imbalance {:.2}, stay {:.1}us vs move {:.1}us+{:.1}us, predicted gain {:.1}us)",
+                        e.timestep,
+                        e.arrays.join(","),
+                        e.candidate,
+                        e.observed_imbalance,
+                        e.cost_stay,
+                        e.cost_candidate,
+                        e.remap_cost,
+                        e.predicted_gain
+                    );
+                }
             }
         }
-        println!("ran {} timestep(s) on {}", args.steps, backend_name(args.backend));
+        lowered.program = session.into_program();
     }
 
     // Result digest: one line per array so runs are comparable.

@@ -20,7 +20,7 @@ use crate::report::{Event, SourceDiagnostic};
 use crate::token::Span;
 use hpf_core::ArrayId;
 use hpf_index::IndexDomain;
-use hpf_runtime::{apply_dense, Assignment, Backend, Combine, DistArray, Program, Term};
+use hpf_runtime::{apply_dense, Assignment, Backend, Combine, DistArray, Program, Session, Term};
 use std::collections::HashMap;
 
 /// A lowered translation unit: the runtime program (arrays initialized
@@ -72,9 +72,11 @@ impl LoweredProgram {
     /// state).
     pub fn run_verified(&mut self, steps: usize, backend: Backend) -> Result<(), String> {
         let oracle = self.dense_oracle(steps);
-        for _ in 0..steps {
-            self.program.run_on(backend).map_err(|e| e.to_string())?;
-        }
+        let program = std::mem::replace(&mut self.program, Program::new(Vec::new()));
+        let mut session = Session::new(program).backend(backend);
+        let outcome = session.run(steps as u64);
+        self.program = session.into_program();
+        outcome.map_err(|e| e.to_string())?;
         for (k, want) in oracle.iter().enumerate() {
             let got = self.program.arrays[k].to_dense();
             if &got != want {

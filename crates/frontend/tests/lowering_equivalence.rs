@@ -8,7 +8,7 @@
 use hpf_core::{AlignExpr, AlignSpec, DataSpace, DistributeSpec, FormatSpec};
 use hpf_frontend::{Elaborator, Lowerer};
 use hpf_index::{IndexDomain, Section, Triplet};
-use hpf_runtime::{Assignment, Backend, Combine, DistArray, Program, Term};
+use hpf_runtime::{Assignment, Backend, Combine, DistArray, Program, Session, Term};
 use proptest::prelude::*;
 
 fn fmt_text(fmt: usize, cyc: i64) -> (String, FormatSpec) {
@@ -85,9 +85,9 @@ proptest! {
         // run both; the lowered side also checks itself against the oracle
         let backend = if channels == 1 { Backend::Channels } else { Backend::SharedMem };
         lowered.run_verified(steps, backend).expect("lowered matches its dense oracle");
-        for _ in 0..steps {
-            hand.run_on(backend).unwrap();
-        }
+        let mut hand = Session::new(hand).backend(backend);
+        hand.run(steps as u64).unwrap();
+        let hand = hand.into_program();
         for (name, k) in [("A", 0usize), ("B", 1usize)] {
             let li = lowered.array(name).expect("lowered array");
             prop_assert_eq!(

@@ -404,6 +404,14 @@ pub trait ExchangeBackend {
     fn faults_fired(&self) -> usize {
         0
     }
+
+    /// Measured wall-nanoseconds each simulated processor spent in its
+    /// compute kernels during the *last* superstep — the adaptive
+    /// controller's observed per-rank load vector. Empty for backends
+    /// that do not sample compute time.
+    fn rank_compute_ns(&self) -> &[u64] {
+        &[]
+    }
 }
 
 /// Backend selector, threaded through the executors and [`crate::Program`].
@@ -450,6 +458,11 @@ impl std::fmt::Display for Backend {
 pub struct SharedMemBackend {
     bytes_sent: u64,
     steps: u64,
+    /// Per-rank compute nanoseconds of the last step (see
+    /// [`ExchangeBackend::rank_compute_ns`]); resized only when the
+    /// simulated processor count changes, so warm steps stay
+    /// allocation-free.
+    rank_ns: Vec<u64>,
     /// Armed fault injection, if any. This backend has no threads, wire,
     /// or locks, so it simulates each fault's *detection outcome* at the
     /// step boundary (same typed errors, arrays untouched) instead of
@@ -524,6 +537,11 @@ impl SharedMemBackend {
         let staged = crate::fuse::execute_fused_seq(plan, arrays, state, ws);
         self.bytes_sent += staged * std::mem::size_of::<f64>() as u64;
         self.steps += 1;
+        // adopt the executor's per-rank compute-time sample
+        if self.rank_ns.len() != ws.rank_ns.len() {
+            self.rank_ns.resize(ws.rank_ns.len(), 0);
+        }
+        self.rank_ns.copy_from_slice(&ws.rank_ns);
         Ok(staged)
     }
 }
@@ -596,15 +614,25 @@ impl ExchangeBackend for SharedMemBackend {
         self.bytes_sent += staged * std::mem::size_of::<f64>() as u64;
         self.steps += 1;
         let combine = plan.combine();
+        if self.rank_ns.len() != plan.per_proc().len() {
+            self.rank_ns.resize(plan.per_proc().len(), 0);
+        }
+        self.rank_ns.fill(0);
         let (_, locals) = arrays[plan.lhs()].parts_mut();
         for (pp, bufs) in plan.per_proc().iter().zip(&ws.bufs) {
+            let t0 = std::time::Instant::now();
             compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, combine);
+            self.rank_ns[pp.proc.zero_based()] += t0.elapsed().as_nanos() as u64;
         }
         Ok(())
     }
 
     fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    fn rank_compute_ns(&self) -> &[u64] {
+        &self.rank_ns
     }
 
     fn inject(&mut self, plan: FaultPlan) {

@@ -955,6 +955,13 @@ pub struct TrajectoryReport {
 /// `max_retries` consecutive failures (or any fault with no checkpoint
 /// to restore) the fault is returned to the caller. Non-exchange
 /// errors propagate immediately.
+///
+/// Deprecated: drive the program through a
+/// [`Session`](crate::Session) instead —
+/// `Session::new(program).backend(b).checkpoint(spec).recovery(policy).run(steps)`
+/// executes the same recovery loop (and composes with adaptive
+/// redistribution).
+#[deprecated(note = "use `Session::new(program).checkpoint(spec).run(steps)` instead")]
 pub fn run_trajectory(
     program: &mut Program,
     backend: Backend,
@@ -981,7 +988,7 @@ pub fn run_trajectory(
         report.checkpoints += 1;
     }
     while t < steps {
-        match program.run_on(backend) {
+        match program.step_on(backend) {
             Ok(_) => {
                 t += 1;
                 consecutive = 0;

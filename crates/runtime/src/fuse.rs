@@ -726,6 +726,7 @@ pub(crate) fn execute_fused_seq(
 ) -> u64 {
     assert!(plan.is_valid_for(arrays), "stale fused plan: an involved array was remapped");
     ws.ensure(plan);
+    ws.rank_ns.fill(0);
     let mut staged_total = 0u64;
     for phase in 0..plan.supersteps.len() {
         for &s in &plan.supersteps[phase].stmts {
@@ -740,7 +741,12 @@ pub(crate) fn execute_fused_seq(
             let combine = sp.combine();
             let (_, locals) = arrays[sp.lhs()].parts_mut();
             for (pp, bufs) in sp.per_proc().iter().zip(&ws.per_stmt[s].bufs) {
+                // per-rank compute-time sample: what the simulated
+                // processor would spend on its kernels, measured — the
+                // adaptive controller's observed load vector
+                let t0 = std::time::Instant::now();
                 compute_proc(pp, &mut locals[pp.proc.zero_based()], bufs, combine);
+                ws.rank_ns[pp.proc.zero_based()] += t0.elapsed().as_nanos() as u64;
             }
         }
     }

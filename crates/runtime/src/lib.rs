@@ -63,11 +63,22 @@
 //!   and distribution-aware checkpoints restore across *different*
 //!   mappings and processor counts ([`run_trajectory`] ties it into a
 //!   restore-and-replay recovery loop with bounded retries and
-//!   graceful degradation to `SharedMem`).
+//!   graceful degradation to `SharedMem`);
+//! * [`Session`] — the unified execution-session API: one builder for
+//!   backend, thread bound, fusion, checkpoint cadence, fault recovery,
+//!   and adaptive redistribution, replacing the legacy `run`/`run_on`/
+//!   `run_parallel`/`run_unfused`/`run_trajectory` entry points;
+//! * [`adapt`] — self-adaptive redistribution: a controller that watches
+//!   the measured per-rank load of warm replay ([`Program::stats`]
+//!   exposes the per-processor breakdown), prices candidate remappings
+//!   (`GENERAL_BLOCK` fitted to observed load, re-blocking, grid
+//!   reshapes) against the machine model with an amortization horizon,
+//!   and performs live [`Program::remap`]s under hysteresis + cooldown.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 mod array;
 mod assign;
 mod backend;
@@ -82,6 +93,7 @@ mod par;
 mod plan;
 mod program;
 mod remap;
+mod session;
 mod spmd;
 mod trace;
 pub mod verify;
@@ -93,10 +105,13 @@ pub use backend::{
     AnalysisVerdict, Backend, ExchangeBackend, ExchangeError, MessagePlan, MsgSegment,
     PairSchedule, SharedMemBackend,
 };
+pub use adapt::{AdaptController, AdaptEvent, AdaptPolicy, AdaptReport};
 pub use cache::{FusedTarget, PlanCache};
+#[allow(deprecated)]
+pub use ckpt::run_trajectory;
 pub use ckpt::{
-    latest_checkpoint, restore_checkpoint, run_trajectory, save_checkpoint, CheckpointSpec,
-    CkptError, CkptReport, RecoveryPolicy, RestoreReport, TrajectoryReport,
+    latest_checkpoint, restore_checkpoint, save_checkpoint, CheckpointSpec, CkptError,
+    CkptReport, RecoveryPolicy, RestoreReport, TrajectoryReport,
 };
 pub use fault::{Fault, FaultPlan};
 pub use commsets::{comm_analysis, CommAnalysis};
@@ -105,8 +120,9 @@ pub use fuse::{FusedPair, FusedSegment, FusionStats, ProgramPlan, Superstep, Uni
 pub use ghost::{ghost_regions, GhostReport};
 pub use par::ParExecutor;
 pub use plan::{CopyRun, ExecPlan, GatherRef, ProcPlan, StoreRun, TermSchedule};
-pub use program::Program;
+pub use program::{Program, ProgramStats};
 pub use remap::{remap_analysis, RemapAnalysis};
+pub use session::{Session, SessionReport};
 pub use spmd::ChannelsBackend;
 pub use trace::StatementTrace;
 pub use verify::{

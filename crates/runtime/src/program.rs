@@ -3,19 +3,21 @@
 //! load statistics — the unit the E-series experiments price on the
 //! machine model.
 //!
-//! `Program::run` executes through a [`PlanCache`]: each statement is
-//! inspected into an [`crate::ExecPlan`] the first time it runs and
-//! replayed from the cache on every later timestep, so iterated solvers
-//! pay inspection (ownership lookups, comm analysis) once, and O(elements
-//! moved + computed) per iteration. Warm [`Program::run`] timesteps are
-//! **allocation-free**: the cache replays each plan into its own
-//! preallocated [`crate::PlanWorkspace`], the per-statement analyses come
-//! back as `Arc` handles into the frozen plans, and the result buffer is
-//! reused across calls (asserted by the `zero_alloc_replay` integration
-//! test). [`Program::run_parallel`] reuses the same workspaces but pays
+//! Programs execute through a [`PlanCache`], driven by a
+//! [`Session`](crate::Session): each statement is inspected into an
+//! [`crate::ExecPlan`] the first time it runs and replayed from the cache
+//! on every later timestep, so iterated solvers pay inspection (ownership
+//! lookups, comm analysis) once, and O(elements moved + computed) per
+//! iteration. Warm sequential timesteps are **allocation-free**: the
+//! cache replays each plan into its own preallocated
+//! [`crate::PlanWorkspace`], the per-statement analyses come back as
+//! `Arc` handles into the frozen plans, and the result buffer is reused
+//! across calls (asserted by the `zero_alloc_replay` integration test).
+//! The bounded-thread executor reuses the same workspaces but pays
 //! scoped-thread spawn cost (and its allocations) per timestep. Remapping
 //! an array (see [`Program::remap`]) changes its mapping identity and
-//! invalidates exactly the plans that involve it.
+//! invalidates exactly the plans that involve it — the primitive the
+//! adaptive controller (see [`crate::adapt`]) drives live.
 
 use crate::assign::Assignment;
 use crate::backend::{Backend, ExchangeBackend, SharedMemBackend};
@@ -32,6 +34,55 @@ use hpf_machine::{CommStats, Machine, SuperstepReport};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-processor breakdown of the last executed timestep — the
+/// observability surface the adaptive controller (and users) read.
+///
+/// `rank_loads` and `rank_bytes_sent` come from the frozen per-statement
+/// analyses (modeled element-ops computed and wire bytes originated per
+/// simulated processor, before dirty-tracking elides clean ghost units);
+/// `rank_compute_ns` is the *measured* wall-time each simulated processor
+/// spent in compute kernels during the last timestep, sampled by the
+/// exchange backends (all zeros when the last step ran on the
+/// scoped-thread executor, which does not sample).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Simulated processor count the vectors below are indexed by.
+    pub np: usize,
+    /// Modeled per-rank load (elements computed × RHS terms) of the last
+    /// timestep, summed over statements.
+    pub rank_loads: Vec<u64>,
+    /// Modeled wire bytes each rank *originated* in the last timestep
+    /// (sender-side, summed over statements).
+    pub rank_bytes_sent: Vec<u64>,
+    /// Measured wall-nanoseconds each rank spent in compute kernels
+    /// during the last timestep (zeros when unmeasured).
+    pub rank_compute_ns: Vec<u64>,
+    /// Lifetime bytes the exchange backends actually moved.
+    pub bytes_sent: u64,
+    /// Lifetime cached-plan replays.
+    pub cache_hits: u64,
+    /// Lifetime fresh plan inspections.
+    pub cache_misses: u64,
+}
+
+impl ProgramStats {
+    /// Measured load imbalance of the last timestep: `max/mean` of the
+    /// per-rank compute-time samples (falling back to the modeled loads
+    /// when the measured vector is all zeros). `1.0` means perfectly
+    /// balanced; returns `1.0` when nothing ran.
+    pub fn imbalance(&self) -> f64 {
+        let pick = |v: &[u64]| -> Option<f64> {
+            let sum: u64 = v.iter().sum();
+            if sum == 0 || v.is_empty() {
+                return None;
+            }
+            let max = *v.iter().max().unwrap() as f64;
+            Some(max / (sum as f64 / v.len() as f64))
+        };
+        pick(&self.rank_compute_ns).or_else(|| pick(&self.rank_loads)).unwrap_or(1.0)
+    }
+}
 
 /// A program: distributed arrays plus an ordered statement list. Each
 /// statement executes as one BSP superstep (exchange, then compute).
@@ -56,6 +107,11 @@ pub struct Program {
     pending_faults: Option<FaultPlan>,
     /// Wedge-detection timeout for the `Channels` driver, if overridden.
     step_timeout: Option<Duration>,
+    /// Which backend executed the last timestep — the source of the
+    /// measured per-rank compute-time sample [`Program::stats`] reports
+    /// (`None` when the last step ran on the scoped-thread executor,
+    /// which does not sample).
+    last_backend: Option<Backend>,
 }
 
 impl Clone for Program {
@@ -72,6 +128,7 @@ impl Clone for Program {
             last: self.last.clone(),
             pending_faults: None,
             step_timeout: self.step_timeout,
+            last_backend: None,
         }
     }
 }
@@ -88,6 +145,7 @@ impl Program {
             last: Vec::new(),
             pending_faults: None,
             step_timeout: None,
+            last_backend: None,
         }
     }
 
@@ -110,6 +168,26 @@ impl Program {
         self.stmts.is_empty()
     }
 
+    /// Execute one timestep through the `SharedMem` exchange backend.
+    ///
+    /// Deprecated: drive the program through a
+    /// [`Session`](crate::Session) instead —
+    /// `Session::new(program).run(steps)`.
+    #[deprecated(note = "use `Session::new(program).run(steps)` instead")]
+    pub fn run(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.step_seq()
+    }
+
+    /// Execute one timestep on the selected backend.
+    ///
+    /// Deprecated: drive the program through a
+    /// [`Session`](crate::Session) instead —
+    /// `Session::new(program).backend(backend).run(steps)`.
+    #[deprecated(note = "use `Session::new(program).backend(b).run(steps)` instead")]
+    pub fn run_on(&mut self, backend: Backend) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.step_on(backend)
+    }
+
     /// Execute every statement in order through the `SharedMem` exchange
     /// backend, returning the per-statement analyses (shared handles into
     /// the frozen plans). Plans are cached: repeated calls replay
@@ -117,9 +195,9 @@ impl Program {
     /// performs **zero heap allocations** — block-copy pack into cached
     /// workspaces, staged per-pair exchange through preallocated message
     /// buffers, slice-kernel compute, `Arc` bumps for the analyses.
-    /// Equivalent to [`Program::run_on`]`(Backend::SharedMem)`.
-    pub fn run(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
-        self.run_on(Backend::SharedMem)
+    /// Equivalent to [`Program::step_on`]`(Backend::SharedMem)`.
+    pub(crate) fn step_seq(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.step_on(Backend::SharedMem)
     }
 
     /// Execute every statement in order on the selected
@@ -132,12 +210,16 @@ impl Program {
     /// `Channels` backend's SPMD worker fleet is created on first use and
     /// persists across timesteps, and every backend cross-checks its
     /// measured per-pair wire traffic against the dirty-tracking mask.
-    pub fn run_on(&mut self, backend: Backend) -> Result<&[Arc<CommAnalysis>], HpfError> {
+    pub(crate) fn step_on(
+        &mut self,
+        backend: Backend,
+    ) -> Result<&[Arc<CommAnalysis>], HpfError> {
         if self.stmts.is_empty() {
             self.last.clear();
             return Ok(&self.last);
         }
         self.arm_pending(backend);
+        self.last_backend = Some(backend);
         let target = match backend {
             Backend::SharedMem => FusedTarget::Shared(&mut self.shared),
             Backend::Channels => {
@@ -168,14 +250,26 @@ impl Program {
         }
     }
 
+    /// Execute one unfused timestep (per-statement supersteps, full ghost
+    /// exchange).
+    ///
+    /// Deprecated: drive the program through a
+    /// [`Session`](crate::Session) instead —
+    /// `Session::new(program).fused(false).run(steps)`.
+    #[deprecated(note = "use `Session::new(program).fused(false).run(steps)` instead")]
+    pub fn run_unfused(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.step_unfused()
+    }
+
     /// Execute the statements exactly as the pre-fusion runtime did: one
     /// per-statement BSP superstep each, full ghost exchange every
     /// timestep, through the `SharedMem` backend. The per-statement
     /// plans come from the same cache the fused path builds on. This is
     /// the baseline the `b15_program_fusion` bench and the fusion
     /// equivalence suite compare against.
-    pub fn run_unfused(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
+    pub(crate) fn step_unfused(&mut self) -> Result<&[Arc<CommAnalysis>], HpfError> {
         self.arm_pending(Backend::SharedMem);
+        self.last_backend = Some(Backend::SharedMem);
         self.last.clear();
         self.last.reserve(self.stmts.len()); // no-op once warmed
         let exchange: &mut dyn ExchangeBackend = &mut self.shared;
@@ -193,9 +287,25 @@ impl Program {
         Ok(&self.last)
     }
 
+    /// Execute one timestep with work spread over at most `threads` OS
+    /// threads.
+    ///
+    /// Deprecated: drive the program through a
+    /// [`Session`](crate::Session) instead —
+    /// `Session::new(program).threads(t).run(steps)` (or
+    /// `.backend(Backend::Channels)` when `t` covers the simulated
+    /// processor count).
+    #[deprecated(note = "use `Session::new(program).threads(t).run(steps)` instead")]
+    pub fn run_parallel(
+        &mut self,
+        threads: usize,
+    ) -> Result<&[Arc<CommAnalysis>], HpfError> {
+        self.step_par(threads)
+    }
+
     /// Execute in order with the statements' work spread over at most
     /// `threads` OS threads (same plan cache, same semantics as
-    /// [`Program::run`]), through the fused program plan.
+    /// [`Program::step_seq`]), through the fused program plan.
     ///
     /// When `threads` covers the simulated processor count this replays
     /// through the persistent `Channels` SPMD workers — one long-lived
@@ -205,21 +315,23 @@ impl Program {
     /// `1 < threads < np` the upper bound is honored by the fused
     /// scoped-thread executor (`threads` workers per pack/compute wave),
     /// and `threads <= 1` degenerates to the sequential replay.
-    pub fn run_parallel(
+    pub(crate) fn step_par(
         &mut self,
         threads: usize,
     ) -> Result<&[Arc<CommAnalysis>], HpfError> {
         if threads <= 1 {
-            return self.run();
+            return self.step_seq();
         }
-        let np = self.arrays.iter().map(DistArray::np).max().unwrap_or(0);
+        let np = self.np();
         if threads >= np {
-            return self.run_on(Backend::Channels);
+            return self.step_on(Backend::Channels);
         }
         if self.stmts.is_empty() {
             self.last.clear();
             return Ok(&self.last);
         }
+        // the scoped-thread executor does not sample per-rank compute time
+        self.last_backend = None;
         let result =
             self.cache.replay_fused_on(&mut self.arrays, &self.stmts, FusedTarget::Par(threads));
         self.finish_fused(result)
@@ -244,10 +356,86 @@ impl Program {
         }
     }
 
-    /// The analyses of the most recent [`Program::run`] /
-    /// [`Program::run_parallel`] call.
+    /// The analyses of the most recent timestep.
     pub fn last_analyses(&self) -> &[Arc<CommAnalysis>] {
         &self.last
+    }
+
+    /// Simulated processor count (max over the arrays; 0 when empty).
+    pub fn np(&self) -> usize {
+        self.arrays.iter().map(DistArray::np).max().unwrap_or(0)
+    }
+
+    /// The current statement list, in execution order.
+    pub fn statements(&self) -> &[Assignment] {
+        &self.stmts
+    }
+
+    /// Replace the whole statement list (each statement re-validated
+    /// against the arrays' domains). Cached plans for statements that
+    /// survive the swap stay warm — the cache is keyed by statement
+    /// structure, so a drifting workload that re-lowers its stencil each
+    /// epoch only pays re-inspection for the statements that actually
+    /// changed.
+    pub fn set_statements(&mut self, stmts: Vec<Assignment>) -> Result<(), HpfError> {
+        let doms: Vec<&hpf_index::IndexDomain> =
+            self.arrays.iter().map(|a| a.domain()).collect();
+        for stmt in &stmts {
+            stmt.validate(&doms)?;
+        }
+        self.stmts = stmts;
+        Ok(())
+    }
+
+    /// Per-processor breakdown of the last executed timestep: modeled
+    /// per-rank loads and originated wire bytes (from the frozen
+    /// analyses), plus the backends' *measured* per-rank compute-time
+    /// samples — the vectors the adaptive controller feeds on. Allocates
+    /// fresh vectors; call off the warm path.
+    pub fn stats(&self) -> ProgramStats {
+        let np = self.np();
+        let mut rank_loads = vec![0u64; np];
+        let mut rank_bytes_sent = vec![0u64; np];
+        for a in &self.last {
+            for (p, l) in a.loads.iter().enumerate() {
+                if p < np {
+                    rank_loads[p] += l;
+                }
+            }
+            for (src, _dst, elems) in a.comm.iter() {
+                let s = src.zero_based();
+                if s < np {
+                    rank_bytes_sent[s] += elems * 8;
+                }
+            }
+        }
+        let mut rank_compute_ns = vec![0u64; np];
+        let measured = self.last_rank_compute_ns();
+        let n = measured.len().min(np);
+        rank_compute_ns[..n].copy_from_slice(&measured[..n]);
+        ProgramStats {
+            np,
+            rank_loads,
+            rank_bytes_sent,
+            rank_compute_ns,
+            bytes_sent: self.backend_bytes_sent(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+        }
+    }
+
+    /// The measured per-rank compute-time sample of the last timestep
+    /// (empty when the last step ran on the scoped-thread executor or
+    /// nothing ran yet). Borrowed straight from the backend — no
+    /// allocation, safe on the warm path.
+    pub fn last_rank_compute_ns(&self) -> &[u64] {
+        match self.last_backend {
+            Some(Backend::SharedMem) => self.shared.rank_compute_ns(),
+            Some(Backend::Channels) => {
+                self.channels.as_ref().map_or(&[][..], |c| c.rank_compute_ns())
+            }
+            None => &[],
+        }
     }
 
     /// Statically verify every statement's compiled plan — prove (or
@@ -465,7 +653,7 @@ mod tests {
         prog.push(s1).unwrap();
         prog.push(s2).unwrap();
         assert_eq!(prog.len(), 2);
-        let analyses = prog.run().unwrap();
+        let analyses = prog.step_seq().unwrap();
         assert_eq!(analyses.len(), 2);
         // A = B = 2i; then B = A + B = 4i
         for i in 1..=32i64 {
@@ -501,8 +689,8 @@ mod tests {
         build_stmts(&mut seq);
         let mut par = setup();
         build_stmts(&mut par);
-        seq.run().unwrap();
-        par.run_parallel(3).unwrap();
+        seq.step_seq().unwrap();
+        par.step_par(3).unwrap();
         assert_eq!(seq.arrays[0].to_dense(), par.arrays[0].to_dense());
         assert_eq!(seq.arrays[1].to_dense(), par.arrays[1].to_dense());
     }
@@ -521,7 +709,7 @@ mod tests {
         .unwrap();
         prog.push(s.clone()).unwrap();
         prog.push(s).unwrap();
-        let analyses = prog.run().unwrap();
+        let analyses = prog.step_seq().unwrap();
         let machine = Machine::simple(4);
         let (total, traffic, reports) = Program::price(analyses, &machine);
         assert_eq!(reports.len(), 2);
@@ -568,7 +756,7 @@ mod tests {
         .unwrap();
         let expect = dense_reference(&prog.arrays, &s);
         prog.push(s).unwrap();
-        prog.run().unwrap();
+        prog.step_seq().unwrap();
         assert_eq!(prog.arrays[0].to_dense(), expect);
     }
 
@@ -591,7 +779,7 @@ mod tests {
         prog.push(sweep).unwrap();
         let timesteps = 10u64;
         for _ in 0..timesteps {
-            prog.run().unwrap();
+            prog.step_seq().unwrap();
         }
         assert_eq!(prog.cache_misses(), 1, "exactly one inspection");
         assert_eq!(prog.cache_hits(), timesteps - 1, "every later timestep replays");
@@ -610,8 +798,8 @@ mod tests {
         )
         .unwrap();
         prog.push(s).unwrap();
-        prog.run().unwrap();
-        prog.run().unwrap();
+        prog.step_seq().unwrap();
+        prog.step_seq().unwrap();
         assert_eq!((prog.cache_hits(), prog.cache_misses()), (1, 1));
 
         // REDISTRIBUTE B: BLOCK now — values survive, plans invalidate
@@ -623,9 +811,9 @@ mod tests {
         assert_eq!(prog.arrays[1].to_dense(), before, "values must survive the move");
         assert!(r.moved > 0, "BLOCK ↔ CYCLIC moves most elements");
 
-        prog.run().unwrap();
+        prog.step_seq().unwrap();
         assert_eq!(prog.cache_misses(), 2, "remap forces re-inspection");
-        prog.run().unwrap();
+        prog.step_seq().unwrap();
         assert_eq!(prog.cache_hits(), 2, "and the fresh plan is reused again");
     }
 

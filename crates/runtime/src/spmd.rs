@@ -118,6 +118,10 @@ struct FusedStep {
 struct Done {
     proc: usize,
     result: Result<Vec<Vec<f64>>, ExchangeError>,
+    /// Wall-nanoseconds this worker spent in its compute kernels during
+    /// the step — the measured per-processor load sample the adaptive
+    /// controller consumes (see [`ExchangeBackend::rank_compute_ns`]).
+    compute_ns: u64,
 }
 
 /// Identifies an unfused message, which the receiver matches to its
@@ -264,6 +268,7 @@ fn run_unfused_step(
     plan: &Arc<ExecPlan>,
     shards: &mut [Vec<f64>],
     packed: &mut Vec<Vec<f64>>,
+    compute_ns: &mut u64,
 ) -> Result<bool, ExchangeError> {
     let me = ctx.me;
     let pp = &plan.per_proc()[me];
@@ -328,8 +333,11 @@ fn run_unfused_step(
         }
         pool_lock(&ctx.pool).push(data);
     }
-    // phase 3: compute into this worker's own LHS shard
+    // phase 3: compute into this worker's own LHS shard (timed — the
+    // per-processor load sample reported back with the completion)
+    let t0 = Instant::now();
     compute_proc(pp, &mut shards[plan.lhs()], packed, plan.combine());
+    *compute_ns += t0.elapsed().as_nanos() as u64;
     Ok(true)
 }
 
@@ -345,6 +353,7 @@ fn run_unfused_step(
 /// the intervening supersteps compute — the pack/exchange-overlap leg of
 /// the fusion design. Returns `Ok(false)` iff abandoned on shutdown;
 /// `Err` is a detected failure.
+#[allow(clippy::too_many_arguments)]
 fn run_fused_step(
     ctx: &WorkerCtx,
     step: u64,
@@ -353,6 +362,7 @@ fn run_fused_step(
     eff_version: u64,
     shards: &mut [Vec<f64>],
     scratch: &mut FusedScratch,
+    compute_ns: &mut u64,
 ) -> Result<bool, ExchangeError> {
     let me = ctx.me;
     let me32 = me as u32;
@@ -451,6 +461,9 @@ fn run_fused_step(
             pool_lock(&ctx.pool).push(data);
         }
         // compute this superstep's statements into this worker's shards
+        // (timed — the per-processor load sample reported back with the
+        // completion)
+        let t0 = Instant::now();
         for &s in &plan.supersteps()[phase].stmts {
             let sp = &plan.plans()[s];
             compute_proc(
@@ -460,6 +473,7 @@ fn run_fused_step(
                 sp.combine(),
             );
         }
+        *compute_ns += t0.elapsed().as_nanos() as u64;
     }
     Ok(true)
 }
@@ -481,9 +495,12 @@ fn worker_loop(ctx: WorkerCtx, cmds: Receiver<Cmd>, done: Sender<Done>) {
                 poison_pool(&ctx.pool);
             }
         }
+        let mut compute_ns = 0u64;
         let result = match cmd {
             Cmd::Step(Step { plan, mut shards, step }) => {
-                match run_unfused_step(&ctx, step, &plan, &mut shards, &mut packed) {
+                match run_unfused_step(
+                    &ctx, step, &plan, &mut shards, &mut packed, &mut compute_ns,
+                ) {
                     Ok(true) => Ok(shards),
                     Ok(false) => return, // shutdown mid-superstep: no Done
                     Err(e) => Err(e),
@@ -492,6 +509,7 @@ fn worker_loop(ctx: WorkerCtx, cmds: Receiver<Cmd>, done: Sender<Done>) {
             Cmd::Fused(FusedStep { plan, eff, eff_version, mut shards, step }) => {
                 match run_fused_step(
                     &ctx, step, &plan, &eff, eff_version, &mut shards, &mut fused,
+                    &mut compute_ns,
                 ) {
                     Ok(true) => Ok(shards),
                     Ok(false) => return,
@@ -500,7 +518,7 @@ fn worker_loop(ctx: WorkerCtx, cmds: Receiver<Cmd>, done: Sender<Done>) {
             }
         };
         let failed = result.is_err();
-        if done.send(Done { proc: ctx.me, result }).is_err() || failed {
+        if done.send(Done { proc: ctx.me, result, compute_ns }).is_err() || failed {
             // driver gone, or this worker just reported a failure: its
             // packed buffers may hold a half-unpacked step, and the
             // driver tears the fleet down on any failure anyway
@@ -529,6 +547,9 @@ pub struct ChannelsBackend {
     bytes_sent: u64,
     workers_spawned: u64,
     steps: u64,
+    /// Per-rank compute nanoseconds reported by the workers for the last
+    /// completed step (see [`ExchangeBackend::rank_compute_ns`]).
+    rank_ns: Vec<u64>,
 }
 
 impl Default for ChannelsBackend {
@@ -563,6 +584,7 @@ impl ChannelsBackend {
             bytes_sent: 0,
             workers_spawned: 0,
             steps: 0,
+            rank_ns: Vec::new(),
         }
     }
 
@@ -700,6 +722,13 @@ impl ChannelsBackend {
     ) -> Result<(), ExchangeError> {
         let step = self.steps;
         let mut failure: Option<ExchangeError> = None;
+        // moved out so the completion loop can fill it while `done_rx`
+        // borrows `self`; reused across steps (no warm-path allocation)
+        let mut rank_ns = std::mem::take(&mut self.rank_ns);
+        if rank_ns.len() != np {
+            rank_ns.resize(np, 0);
+        }
+        rank_ns.fill(0);
         {
             let done_rx = self.done_rx.as_ref().expect("workers are running");
             let deadline = Instant::now() + self.timeout;
@@ -719,9 +748,10 @@ impl ChannelsBackend {
                 // poll in short slices so a crashed worker is reported
                 // promptly by name instead of stalling the full timeout
                 match done_rx.recv_timeout(Duration::from_millis(20)) {
-                    Ok(Done { proc, result }) => {
+                    Ok(Done { proc, result, compute_ns }) => {
                         returned[proc] = true;
                         outstanding -= 1;
+                        rank_ns[proc] = compute_ns;
                         match result {
                             Ok(shards) => {
                                 for (a, buf) in arrays.iter_mut().zip(shards) {
@@ -767,6 +797,7 @@ impl ChannelsBackend {
                 }
             }
         }
+        self.rank_ns = rank_ns;
         match failure {
             None => Ok(()),
             Some(e) => {
@@ -846,6 +877,10 @@ impl ExchangeBackend for ChannelsBackend {
 
     fn faults_fired(&self) -> usize {
         self.faults.as_ref().map_or(0, |s| s.fired())
+    }
+
+    fn rank_compute_ns(&self) -> &[u64] {
+        &self.rank_ns
     }
 }
 

@@ -102,6 +102,11 @@ impl PlanWorkspace {
 pub struct FusedWorkspace {
     pub(crate) per_stmt: Vec<PlanWorkspace>,
     pub(crate) stage: Vec<Vec<f64>>,
+    /// Measured wall-nanoseconds each simulated processor spent in compute
+    /// kernels during the last fused replay through this workspace —
+    /// the adaptive controller's per-rank load sample. Preallocated here so
+    /// sampling never costs the warm path an allocation.
+    pub(crate) rank_ns: Vec<u64>,
 }
 
 impl FusedWorkspace {
@@ -125,6 +130,7 @@ impl FusedWorkspace {
             && self.per_stmt.iter().zip(plan.plans()).all(|(ws, p)| ws.matches(p))
             && self.stage.len() == plan.pairs().len()
             && self.stage.iter().zip(plan.pairs()).all(|(s, p)| s.len() == p.elements)
+            && self.rank_ns.len() == plan.np()
     }
 
     /// Resize for `plan` if the shape differs (the only point where a
@@ -135,6 +141,7 @@ impl FusedWorkspace {
         }
         self.per_stmt = plan.plans().iter().map(|p| PlanWorkspace::for_plan(p)).collect();
         self.stage = plan.pairs().iter().map(|p| vec![0.0f64; p.elements]).collect();
+        self.rank_ns = vec![0u64; plan.np()];
     }
 
     /// Total `f64` elements held across every statement's pack buffers.

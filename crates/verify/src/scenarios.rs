@@ -13,7 +13,7 @@ use hpf_core::{
     AlignExpr, AlignSpec, DataSpace, DistributeSpec, EffectiveDist, FormatSpec, ProcSet,
 };
 use hpf_index::{span, triplet, IndexDomain, Section};
-use hpf_runtime::{Assignment, Combine, DistArray, Program, Term};
+use hpf_runtime::{Assignment, Combine, DistArray, Program, Session, Term};
 use std::sync::Arc;
 
 /// A named, buildable program for the verifier to prove safe.
@@ -247,7 +247,9 @@ fn dynamic_rebalance() -> Program {
     .unwrap();
     let mut prog = Program::new(arrays);
     prog.push(stmt).unwrap();
-    prog.run().expect("pre-rebalance sweep");
+    let mut sess = Session::new(prog);
+    sess.run(1).expect("pre-rebalance sweep");
+    let mut prog = sess.into_program();
     // the rebalance: skewed GEN_BLOCK, new mapping allocation
     let mut ds2 = DataSpace::new(np);
     let x2 = ds2.declare("X", IndexDomain::of_shape(&[n as usize]).unwrap()).unwrap();

@@ -163,14 +163,14 @@ fn run_two_phase(
         fused.push(s.clone()).unwrap();
         unfused.push(s.clone()).unwrap();
     }
+    let mut fused = Session::new(fused);
+    let mut unfused = Session::new(unfused).fused(false);
 
-    const PHASE: usize = 3;
-    for _ in 0..PHASE {
-        fused.run().unwrap();
-        unfused.run_unfused().unwrap();
-    }
-    assert_eq!(fused.cache_misses(), 3, "one inspection per statement");
-    let fs = fused.fusion_stats();
+    const PHASE: u64 = 3;
+    fused.run(PHASE).unwrap();
+    unfused.run(PHASE).unwrap();
+    assert_eq!(fused.program().cache_misses(), 3, "one inspection per statement");
+    let fs = fused.program().fusion_stats();
     println!("phase 1 (BLOCK, {PHASE} timesteps): {fs}");
     assert!(
         fs.ghost_bytes_avoided() > 0,
@@ -181,29 +181,27 @@ fn run_two_phase(
     // mid-trajectory REDISTRIBUTE: every cached plan involving X is
     // invalidated (the fused program plan with them); Y+C's statement
     // survives untouched
-    let moved = fused.remap(0, balanced.clone()).unwrap();
-    unfused.remap(0, balanced).unwrap();
+    let moved = fused.program_mut().remap(0, balanced.clone()).unwrap();
+    unfused.program_mut().remap(0, balanced).unwrap();
     println!(
         "REDISTRIBUTE mid-trajectory: {} elements moved, fused plan rebuilt",
         moved.moved
     );
-    for _ in 0..PHASE {
-        fused.run().unwrap();
-        unfused.run_unfused().unwrap();
-    }
+    fused.run(PHASE).unwrap();
+    unfused.run(PHASE).unwrap();
     assert_eq!(
-        fused.cache_misses(),
+        fused.program().cache_misses(),
         5,
         "remap re-inspects the two X statements; the Y+C plan survives"
     );
     for k in 0..3 {
         assert_eq!(
-            fused.arrays[k].to_dense(),
-            unfused.arrays[k].to_dense(),
+            fused.program().arrays[k].to_dense(),
+            unfused.program().arrays[k].to_dense(),
             "fused and per-statement execution must agree bit for bit"
         );
     }
-    let fs = fused.fusion_stats();
+    let fs = fused.program().fusion_stats();
     println!("phase 2 (GENERAL_BLOCK, {PHASE} timesteps): {fs}");
     println!(
         "\nfused ≡ unfused across the whole remapped trajectory; \

@@ -83,12 +83,15 @@ fn solve(fmt: FormatSpec, label: &str) -> (usize, u64) {
          ({runs} schedule runs, {pairs} message pairs checked)"
     );
 
+    let mut sess = Session::new(prog);
     let mut sweeps = 0usize;
     let mut comm_per_iter;
     loop {
-        let analyses = prog.run().unwrap();
+        sess.run(1).unwrap();
+        let analyses = sess.last_analyses();
         comm_per_iter = analyses.iter().map(|a| a.comm.total_elements()).sum::<u64>();
         sweeps += 1;
+        let prog = sess.program();
         // convergence: max deviation from the exact line
         let err = prog.arrays[0]
             .domain()
@@ -107,6 +110,7 @@ fn solve(fmt: FormatSpec, label: &str) -> (usize, u64) {
             break;
         }
     }
+    let prog = sess.into_program();
     assert_eq!(prog.cache_misses(), 2, "one inspection per sweep statement");
 
     // the whole timestep ran through the fused program plan: both sweeps

@@ -1,0 +1,134 @@
+//! A moving refinement front: the controller re-adapts when the
+//! workload shifts (paper §4.2's `REDISTRIBUTE`, driven automatically).
+//!
+//! Adaptive mesh codes refine where the solution is interesting, and
+//! the interesting region *moves*: a shock front sweeps the domain, and
+//! whatever distribution was right for the last phase is wrong for the
+//! next. The paper's answer is dynamic redistribution (§4.2 — "the
+//! programmer may use dynamic ... redistribution of data"); this
+//! example shows the runtime deciding *when* on its own.
+//!
+//! Two phases over a `BLOCK`-distributed field:
+//!
+//! 1. the front occupies the left quarter — the controller observes the
+//!    skew and rebalances onto a load-fitted `GENERAL_BLOCK`;
+//! 2. the refinement front advances to the right quarter
+//!    (`Program::set_statements` swaps the sweep mid-session) — the
+//!    old `GENERAL_BLOCK` is now exactly wrong, and the controller
+//!    remaps *again* for the new phase.
+//!
+//! Run with: `cargo run --release --example refinement_front`
+
+use hpf::prelude::*;
+
+const N: i64 = 65_536;
+const NP: usize = 4;
+
+/// How far upwind the coarse-to-fine interpolation reaches. A wide
+/// gather makes `CYCLIC(k)` remappings price terribly (most reads cross
+/// block boundaries), so the controller's winning candidate is the
+/// front-fitted `GENERAL_BLOCK` — the one that goes stale when the
+/// front moves.
+const REACH: i64 = 48;
+
+/// A sweep statement refining only `lo..=hi` — the active front.
+fn front_sweep(prog: &Program, lo: i64, hi: i64) -> Assignment {
+    let doms: Vec<&IndexDomain> = prog.arrays.iter().map(|a| a.domain()).collect();
+    Assignment::new(
+        0,
+        Section::from_triplets(vec![span(lo, hi)]),
+        vec![
+            Term::new(0, Section::from_triplets(vec![span(lo - REACH, hi - REACH)])),
+            Term::new(1, Section::from_triplets(vec![span(lo, hi)])),
+        ],
+        Combine::Sum,
+        &doms,
+    )
+    .unwrap()
+}
+
+fn build_program() -> Program {
+    let mut ds = DataSpace::new(NP);
+    let u = ds.declare("U", IndexDomain::of_shape(&[N as usize]).unwrap()).unwrap();
+    let f = ds.declare("F", IndexDomain::of_shape(&[N as usize]).unwrap()).unwrap();
+    for id in [u, f] {
+        ds.distribute(id, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.set_dynamic(id);
+    }
+    let mut prog = Program::new(vec![
+        DistArray::from_fn("U", ds.effective(u).unwrap(), NP, |i| i[0] as f64),
+        DistArray::from_fn("F", ds.effective(f).unwrap(), NP, |i| (i[0] % 5) as f64),
+    ]);
+    let sweep = front_sweep(&prog, REACH + 2, N / 4);
+    prog.push(sweep).unwrap();
+    prog
+}
+
+fn phase_report(report: &AdaptReport, since: usize, label: &str) {
+    for e in &report.events[since..] {
+        println!(
+            "  [{label}] t={:>3}: {} -> {} (imbalance {:.2}, predicted gain {:.1}us)",
+            e.timestep,
+            e.arrays.join(","),
+            e.candidate,
+            e.observed_imbalance,
+            e.predicted_gain
+        );
+    }
+}
+
+fn main() {
+    // short cooldown so the controller may react again soon after the
+    // front moves; everything else is the default policy
+    let policy = AdaptPolicy { cooldown: 3, ..AdaptPolicy::default() };
+    let mut session = Session::new(build_program()).adapt(policy);
+
+    println!("refinement front: N = {N}, NP = {NP}\n");
+    println!("phase 1 — front at {}..{}", REACH + 2, N / 4);
+    session.run(12).unwrap();
+    let report = session.adapt_report().expect("adapt configured").clone();
+    phase_report(&report, 0, "phase 1");
+    assert!(
+        report.remaps >= 1,
+        "the left-quarter front must trigger a rebalance"
+    );
+    let phase1_events = report.events.len();
+
+    // the front advances: refine the right quarter now
+    let (lo, hi) = (3 * N / 4, N - 1);
+    println!("\nphase 2 — front advances to {lo}..{hi}");
+    let sweep = front_sweep(session.program(), lo, hi);
+    session.program_mut().set_statements(vec![sweep]).unwrap();
+    session.run(12).unwrap();
+    let report = session.adapt_report().expect("adapt configured").clone();
+    phase_report(&report, phase1_events, "phase 2");
+    assert!(
+        report.remaps >= 2,
+        "the moved front must trigger a second remap, got {}",
+        report.remaps
+    );
+
+    let stats = session.program().stats();
+    println!(
+        "\ntotal: {} remaps, {} elements moved; final per-rank loads {:?} \
+         (imbalance {:.2})",
+        report.remaps,
+        report.remap_elements,
+        stats.rank_loads,
+        stats.imbalance()
+    );
+
+    // adaptation is an optimization, not a semantic change: replay both
+    // phases statically and compare bit for bit
+    let mut twin = Session::new(build_program());
+    twin.run(12).unwrap();
+    let sweep = front_sweep(twin.program(), lo, hi);
+    twin.program_mut().set_statements(vec![sweep]).unwrap();
+    twin.run(12).unwrap();
+    assert_eq!(
+        session.program().arrays[0].to_dense(),
+        twin.program().arrays[0].to_dense(),
+        "adaptive execution must be bit-identical to the static run"
+    );
+    println!("adaptive ≡ static: dense results identical across both phases");
+}

@@ -1,0 +1,160 @@
+//! Adaptive-redistribution equivalence suite: a [`Session`] running
+//! under an [`AdaptPolicy`] — observing imbalance, pricing candidate
+//! redistributions, and performing live remaps mid-trajectory — must
+//! produce *exactly* the same values as a static session and as the
+//! dense naive oracle, timestep for timestep.
+//!
+//! This is the safety half of the self-adaptive controller's contract:
+//! adaptation may only ever change *where* elements live and *what the
+//! timestep costs*, never a single bit of the result. The property runs
+//! over random domain sizes, processor counts, hot-band placements,
+//! upwind reaches, and combine operators, with the hair-trigger
+//! [`AdaptPolicy::aggressive`] so the controller prices (and often
+//! takes) remaps constantly; the deterministic case pins that the
+//! canonical hotspot workload really does remap — onto the load-fitted
+//! `GENERAL_BLOCK` — while staying bit-identical to the oracle.
+
+use hpf::prelude::*;
+use proptest::prelude::*;
+
+/// A two-statement iterated program whose work is confined to the hot
+/// band `lo..=hi` of a BLOCK-distributed domain: an upwind gather that
+/// reaches `reach` cells back (wide reaches price CYCLIC re-blocking
+/// out, so the controller's load-fitted `GENERAL_BLOCK` wins), then a
+/// copy-back so timesteps compound and any divergence is permanent.
+fn hot_program(
+    n: i64,
+    np: usize,
+    lo: i64,
+    hi: i64,
+    reach: i64,
+    combine_k: u8,
+) -> (Program, Vec<Assignment>) {
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    for id in [a, b] {
+        ds.distribute(id, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.set_dynamic(id);
+    }
+    let arrays = vec![
+        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| (i[0] * 3 - 5) as f64),
+        DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] % 11) as f64),
+    ];
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+    let here = Section::from_triplets(vec![span(lo, hi)]);
+    let up = Section::from_triplets(vec![span(lo - reach, hi - reach)]);
+    let terms = vec![Term::new(0, up), Term::new(1, here.clone())];
+    let combine = match combine_k % 3 {
+        0 => Combine::Sum,
+        1 => Combine::Average,
+        _ => Combine::Max,
+    };
+    let sweep = Assignment::new(0, here.clone(), terms, combine, &doms).unwrap();
+    let copy_back =
+        Assignment::new(1, here.clone(), vec![Term::new(0, here)], Combine::Copy, &doms)
+            .unwrap();
+    let stmts = vec![sweep, copy_back];
+    let mut prog = Program::new(arrays);
+    for s in &stmts {
+        prog.push(s.clone()).unwrap();
+    }
+    (prog, stmts)
+}
+
+/// Drive an adaptive session, a static session, and the dense oracle in
+/// lockstep and require bit-for-bit agreement after every timestep —
+/// remaps and all.
+fn assert_adaptive_equivalent(
+    n: i64,
+    np: usize,
+    lo: i64,
+    hi: i64,
+    reach: i64,
+    combine_k: u8,
+    steps: u64,
+) -> Result<AdaptReport, TestCaseError> {
+    let (prog, stmts) = hot_program(n, np, lo, hi, reach, combine_k);
+    let domains: Vec<IndexDomain> =
+        prog.arrays.iter().map(|a| a.domain().clone()).collect();
+    let mut dense: Vec<Vec<f64>> = prog.arrays.iter().map(DistArray::to_dense).collect();
+
+    let mut adaptive = Session::new(prog).adapt(AdaptPolicy::aggressive());
+    let (statik_prog, _) = hot_program(n, np, lo, hi, reach, combine_k);
+    let mut statik = Session::new(statik_prog);
+
+    for t in 0..steps {
+        adaptive.run(1).unwrap();
+        statik.run(1).unwrap();
+        for s in &stmts {
+            apply_dense(&mut dense, &domains, s);
+        }
+        for (k, want) in dense.iter().enumerate() {
+            let name = adaptive.program().arrays[k].name().to_string();
+            prop_assert_eq!(
+                &adaptive.program().arrays[k].to_dense(),
+                want,
+                "adaptive {} ≡ oracle at t={}",
+                name,
+                t
+            );
+            prop_assert_eq!(
+                &statik.program().arrays[k].to_dense(),
+                want,
+                "static {} ≡ oracle at t={}",
+                name,
+                t
+            );
+        }
+    }
+    Ok(adaptive.adapt_report().expect("adapt configured").clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random hot bands, reaches, combine operators, and processor
+    /// counts under a hair-trigger policy: whatever the controller does
+    /// (remap, refuse, re-fit), adaptive ≡ static ≡ dense oracle after
+    /// every single timestep.
+    #[test]
+    fn adaptive_matches_static_and_oracle(
+        n in 96i64..256,
+        np in 2usize..5,
+        reach in 0i64..32,
+        lo_seed in 0i64..1000,
+        hi_seed in 0i64..1000,
+        combine_k in 0u8..3,
+        steps in 1u64..5,
+    ) {
+        let lo = reach + 1 + lo_seed % (n / 2);
+        let hi = (lo + 1 + hi_seed % (n / 2)).min(n);
+        let report = assert_adaptive_equivalent(n, np, lo, hi, reach, combine_k, steps)?;
+        prop_assert_eq!(report.steps_observed, steps);
+    }
+}
+
+/// Deterministic acceptance case: the canonical 65 536-element hotspot
+/// (work confined to the first quarter, 48-cell upwind gather) must
+/// actually trigger a live remap onto the load-fitted `GENERAL_BLOCK`
+/// — and stay bit-identical to the static run and the dense oracle
+/// through the remap and the warm steps after it.
+#[test]
+fn hotspot_remaps_and_stays_bit_identical() {
+    let (n, np) = (65_536i64, 4usize);
+    let report =
+        assert_adaptive_equivalent(n, np, 50, n / 4, 48, 0, 8).unwrap();
+    assert!(
+        report.remaps >= 1,
+        "the hotspot must trigger a live remap: {report:?}"
+    );
+    assert!(
+        report.events[0].candidate.starts_with("GENERAL_BLOCK"),
+        "wide upwind reach prices CYCLIC out: {}",
+        report.events[0].candidate
+    );
+    assert!(
+        report.events[0].remap_elements > 0,
+        "elements must physically move"
+    );
+}

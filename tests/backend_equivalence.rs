@@ -235,7 +235,7 @@ proptest! {
         assert_backends_agree(arrays, &stmt, ka < 16 && kb < 16);
     }
 
-    /// Iterated `Program` timesteps agree across `run_on` backends, with
+    /// Iterated session timesteps agree across exchange backends, with
     /// the plan cache shared and the per-statement wire bytes accumulated
     /// faithfully on both.
     #[test]
@@ -254,23 +254,25 @@ proptest! {
             p.push(stmt).unwrap();
             p
         };
-        let mut shared = mk_prog();
-        let mut channels = mk_prog();
+        let mut shared = Session::new(mk_prog()).backend(Backend::SharedMem);
+        let mut channels = Session::new(mk_prog()).backend(Backend::Channels);
         let mut per_step = 0u64;
         let mut prev_shared = 0u64;
         let mut prev_channels = 0u64;
         for t in 0..timesteps {
-            let a1 = shared.run_on(Backend::SharedMem).unwrap().to_vec();
-            let a2 = channels.run_on(Backend::Channels).unwrap().to_vec();
+            shared.run(1).unwrap();
+            channels.run(1).unwrap();
+            let a1 = shared.last_analyses().to_vec();
+            let a2 = channels.last_analyses().to_vec();
             prop_assert_eq!(a1[0].comm.clone(), a2[0].comm.clone());
             prop_assert_eq!(
-                shared.arrays[0].to_dense(),
-                channels.arrays[0].to_dense()
+                shared.program().arrays[0].to_dense(),
+                channels.program().arrays[0].to_dense()
             );
-            let step_shared = shared.backend_bytes_sent() - prev_shared;
-            let step_channels = channels.backend_bytes_sent() - prev_channels;
-            prev_shared = shared.backend_bytes_sent();
-            prev_channels = channels.backend_bytes_sent();
+            let step_shared = shared.program().backend_bytes_sent() - prev_shared;
+            let step_channels = channels.program().backend_bytes_sent() - prev_channels;
+            prev_shared = shared.program().backend_bytes_sent();
+            prev_channels = channels.program().backend_bytes_sent();
             // both backends drive the identical fused schedule and dirty
             // mask, so their wire accounting must agree byte for byte
             prop_assert_eq!(step_shared, step_channels);
@@ -290,9 +292,9 @@ proptest! {
                 );
             }
         }
-        prop_assert_eq!(channels.spmd_workers_spawned(), np as u64,
+        prop_assert_eq!(channels.program().spmd_workers_spawned(), np as u64,
             "worker fleet spawned once, reused every timestep");
-        prop_assert_eq!(shared.spmd_workers_spawned(), 0);
+        prop_assert_eq!(shared.program().spmd_workers_spawned(), 0);
     }
 }
 
@@ -336,12 +338,15 @@ fn stencil_program_identical_across_backends_and_remap() {
         prog.push(sweep).unwrap();
         prog
     };
-    let mut shared = mk();
-    let mut channels = mk();
+    let mut shared = Session::new(mk()).backend(Backend::SharedMem);
+    let mut channels = Session::new(mk()).backend(Backend::Channels);
     for _ in 0..3 {
-        shared.run_on(Backend::SharedMem).unwrap();
-        channels.run_on(Backend::Channels).unwrap();
-        assert_eq!(shared.arrays[0].to_dense(), channels.arrays[0].to_dense());
+        shared.run(1).unwrap();
+        channels.run(1).unwrap();
+        assert_eq!(
+            shared.program().arrays[0].to_dense(),
+            channels.program().arrays[0].to_dense()
+        );
     }
     // REDISTRIBUTE U to cyclic: plans invalidate, backends still agree
     let remap_target = || {
@@ -355,13 +360,17 @@ fn stencil_program_identical_across_backends_and_remap() {
         .unwrap();
         ds.effective(u).unwrap()
     };
-    shared.remap(1, remap_target()).unwrap();
-    channels.remap(1, remap_target()).unwrap();
+    shared.program_mut().remap(1, remap_target()).unwrap();
+    channels.program_mut().remap(1, remap_target()).unwrap();
     for _ in 0..2 {
-        shared.run_on(Backend::SharedMem).unwrap();
-        channels.run_on(Backend::Channels).unwrap();
-        assert_eq!(shared.arrays[0].to_dense(), channels.arrays[0].to_dense());
+        shared.run(1).unwrap();
+        channels.run(1).unwrap();
+        assert_eq!(
+            shared.program().arrays[0].to_dense(),
+            channels.program().arrays[0].to_dense()
+        );
     }
+    let channels = channels.into_program();
     assert_eq!(channels.cache_misses(), 2, "one cold miss + one remap invalidation");
     assert_eq!(
         channels.spmd_workers_spawned(),

@@ -13,10 +13,14 @@
 //!   diagnostics before a single element is written;
 //! * an injected worker death on the `Channels` SPMD backend surfaces
 //!   as a typed [`HpfError::Exchange`] (no panic, no hang), and
-//!   [`run_trajectory`]'s restore-and-replay recovery converges to the
-//!   exact state of an uninterrupted run;
+//!   a checkpointed [`Session`]'s restore-and-replay recovery converges
+//!   to the exact state of an uninterrupted run;
 //! * repeated fleet deaths degrade gracefully to `SharedMem` and the
-//!   trajectory still completes correctly.
+//!   trajectory still completes correctly;
+//! * a session running under an [`AdaptPolicy`] recovers from a kill
+//!   injected *after* its live remap: the checkpoint carries the
+//!   adapted layout through the restore, and the result still matches
+//!   the uninterrupted static run bit-for-bit.
 
 use hpf::prelude::*;
 use proptest::prelude::*;
@@ -140,10 +144,10 @@ proptest! {
     ) {
         let backend = if backend_k == 0 { Backend::SharedMem } else { Backend::Channels };
         let dir = tmpdir(&format!("traj-{ka}-{kb}-{backend_k}-{steps}"));
-        let mut prog = build_program((ka, kb), 29, 4);
-        let spec = CheckpointSpec::new(&dir, 1);
-        let rep = run_trajectory(&mut prog, backend, steps, 0, Some(&spec), &RecoveryPolicy::default())
-            .unwrap();
+        let mut sess = Session::new(build_program((ka, kb), 29, 4))
+            .backend(backend)
+            .checkpoint(CheckpointSpec::new(&dir, 1));
+        let rep = sess.run(steps).unwrap();
         prop_assert_eq!(rep.timesteps, steps);
         prop_assert_eq!(rep.failures, 0);
         // the newest snapshot must reproduce the live final state
@@ -151,7 +155,7 @@ proptest! {
         let mut mirror = build_program((ka, kb), 29, 4);
         let r = restore_checkpoint(&mut mirror.arrays, &latest).unwrap();
         prop_assert_eq!(r.timestep, steps);
-        for (a, b) in prog.arrays.iter().zip(&mirror.arrays) {
+        for (a, b) in sess.program().arrays.iter().zip(&mirror.arrays) {
             prop_assert_eq!(a.to_dense(), b.to_dense());
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -192,35 +196,27 @@ fn two_dim_checkpoint_scatters_across_process_grids() {
 }
 
 /// An injected worker kill on `Channels` surfaces as a typed error and
-/// `run_trajectory` recovers to the exact uninterrupted state — with
-/// the plan cache surviving (the restore preserves mapping identity).
+/// a checkpointed session recovers to the exact uninterrupted state —
+/// with the plan cache surviving (the restore preserves mapping identity).
 #[test]
 fn injected_worker_death_recovers_to_uninterrupted_state() {
     let dir = tmpdir("kill");
     let steps = 5u64;
-    let mut reference = build_program((0, 2), 41, 6);
-    for _ in 0..steps {
-        reference.run().unwrap();
-    }
+    let mut reference = Session::new(build_program((0, 2), 41, 6));
+    reference.run(steps).unwrap();
 
-    let mut prog = build_program((0, 2), 41, 6);
-    prog.inject_faults(FaultPlan::new().with(Fault::KillWorker { rank: 3, step: 2 }));
-    let spec = CheckpointSpec::new(&dir, 1);
-    let rep = run_trajectory(
-        &mut prog,
-        Backend::Channels,
-        steps,
-        0,
-        Some(&spec),
-        &RecoveryPolicy::default(),
-    )
-    .unwrap();
+    let mut sess = Session::new(build_program((0, 2), 41, 6))
+        .backend(Backend::Channels)
+        .checkpoint(CheckpointSpec::new(&dir, 1))
+        .inject_faults(FaultPlan::new().with(Fault::KillWorker { rank: 3, step: 2 }));
+    let rep = sess.run(steps).unwrap();
     assert_eq!(rep.timesteps, steps);
     assert_eq!(rep.failures, 1, "exactly the injected kill");
     assert!(!rep.degraded, "one fault must not trigger degradation");
     assert_eq!(rep.final_backend, Backend::Channels);
+    let prog = sess.into_program();
     assert_eq!(prog.faults_fired(), 1);
-    for (a, b) in prog.arrays.iter().zip(&reference.arrays) {
+    for (a, b) in prog.arrays.iter().zip(&reference.program().arrays) {
         assert_eq!(
             a.to_dense(),
             b.to_dense(),
@@ -234,6 +230,101 @@ fn injected_worker_death_recovers_to_uninterrupted_state() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The adaptive suite's hotspot workload: the sweep is confined to the
+/// first quarter of a BLOCK-distributed pair (declared DYNAMIC), with a
+/// 48-cell upwind gather so the controller's load-fitted
+/// `GENERAL_BLOCK` deterministically wins the candidate pricing; a
+/// copy-back compounds timesteps so a lost element diverges forever.
+fn hotspot_program(n: i64, np: usize) -> Program {
+    let mut ds = DataSpace::new(np);
+    let a = ds.declare("A", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    let b = ds.declare("B", IndexDomain::standard(&[(1, n)]).unwrap()).unwrap();
+    for id in [a, b] {
+        ds.distribute(id, &DistributeSpec::new(vec![FormatSpec::Block])).unwrap();
+        ds.set_dynamic(id);
+    }
+    let arrays = vec![
+        DistArray::from_fn("A", ds.effective(a).unwrap(), np, |i| i[0] as f64),
+        DistArray::from_fn("B", ds.effective(b).unwrap(), np, |i| (i[0] % 7) as f64),
+    ];
+    let doms: Vec<&IndexDomain> = arrays.iter().map(|x| x.domain()).collect();
+    let (reach, hot) = (48, n / 4);
+    let here = Section::from_triplets(vec![span(reach + 2, hot)]);
+    let sweep = Assignment::new(
+        0,
+        here.clone(),
+        vec![
+            Term::new(0, Section::from_triplets(vec![span(2, hot - reach)])),
+            Term::new(1, here.clone()),
+        ],
+        Combine::Sum,
+        &doms,
+    )
+    .unwrap();
+    let copy_back =
+        Assignment::new(1, here.clone(), vec![Term::new(0, here)], Combine::Copy, &doms)
+            .unwrap();
+    let mut prog = Program::new(arrays);
+    prog.push(sweep).unwrap();
+    prog.push(copy_back).unwrap();
+    prog
+}
+
+/// An injected kill *after* the adaptive controller's live remap: the
+/// recovery restores the checkpoint written under the adapted
+/// `GENERAL_BLOCK` layout, the trajectory converges to the
+/// uninterrupted static run bit-for-bit, and the adapted layout itself
+/// survives the restore — the controller never has to remap twice.
+#[test]
+fn adaptive_remap_survives_injected_kill() {
+    let dir = tmpdir("adapt-kill");
+    let steps = 6u64;
+    let (n, np) = (65_536i64, 4usize);
+    let mut reference = Session::new(hotspot_program(n, np));
+    reference.run(steps).unwrap();
+
+    let mut sess = Session::new(hotspot_program(n, np))
+        .backend(Backend::Channels)
+        .checkpoint(CheckpointSpec::new(&dir, 1))
+        .adapt(AdaptPolicy::aggressive())
+        .inject_faults(FaultPlan::new().with(Fault::KillWorker { rank: 2, step: 4 }));
+    let rep = sess.run(steps).unwrap();
+    assert_eq!(rep.timesteps, steps);
+    assert_eq!(rep.failures, 1, "exactly the injected kill");
+    assert!(!rep.degraded);
+
+    let report = sess.adapt_report().expect("adapt configured").clone();
+    assert!(report.remaps >= 1, "the hotspot must remap before the kill: {report:?}");
+    assert!(
+        report.events[0].candidate.starts_with("GENERAL_BLOCK"),
+        "wide upwind reach prices CYCLIC out: {}",
+        report.events[0].candidate
+    );
+    assert!(
+        report.events[0].timestep < 4,
+        "remap must land before the injected kill so the restore \
+         exercises the adapted layout: {report:?}"
+    );
+
+    let prog = sess.into_program();
+    assert_eq!(prog.faults_fired(), 1);
+    for (a, b) in prog.arrays.iter().zip(&reference.program().arrays) {
+        assert_eq!(
+            a.to_dense(),
+            b.to_dense(),
+            "{} must equal the uninterrupted static run bit-for-bit",
+            a.name()
+        );
+    }
+    // the checkpoint was written under the post-remap mappings, so the
+    // restore keeps the load-fitted layout in place
+    assert!(
+        format!("{:?}", prog.arrays[0].mapping()).contains("GeneralBlock"),
+        "adapted layout must survive restore-and-replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Three consecutive fleet deaths exhaust the `Channels` retry budget
 /// and the trajectory degrades to `SharedMem` — completing with the
 /// same result instead of failing.
@@ -241,36 +332,27 @@ fn injected_worker_death_recovers_to_uninterrupted_state() {
 fn repeated_fleet_death_degrades_to_shared_mem() {
     let dir = tmpdir("degrade");
     let steps = 4u64;
-    let mut reference = build_program((1, 3), 35, 5);
-    for _ in 0..steps {
-        reference.run().unwrap();
-    }
+    let mut reference = Session::new(build_program((1, 3), 35, 5));
+    reference.run(steps).unwrap();
 
-    let mut prog = build_program((1, 3), 35, 5);
     // a failed superstep does not advance the backend's step counter, so
     // each retry replays step 0 and consumes the next identical kill —
     // three *consecutive* failures
-    prog.inject_faults(
-        FaultPlan::new()
-            .with(Fault::KillWorker { rank: 1, step: 0 })
-            .with(Fault::KillWorker { rank: 1, step: 0 })
-            .with(Fault::KillWorker { rank: 1, step: 0 }),
-    );
-    let spec = CheckpointSpec::new(&dir, 1);
-    let rep = run_trajectory(
-        &mut prog,
-        Backend::Channels,
-        steps,
-        0,
-        Some(&spec),
-        &RecoveryPolicy::default(),
-    )
-    .unwrap();
+    let mut sess = Session::new(build_program((1, 3), 35, 5))
+        .backend(Backend::Channels)
+        .checkpoint(CheckpointSpec::new(&dir, 1))
+        .inject_faults(
+            FaultPlan::new()
+                .with(Fault::KillWorker { rank: 1, step: 0 })
+                .with(Fault::KillWorker { rank: 1, step: 0 })
+                .with(Fault::KillWorker { rank: 1, step: 0 }),
+        );
+    let rep = sess.run(steps).unwrap();
     assert_eq!(rep.timesteps, steps);
     assert_eq!(rep.failures, 3);
     assert!(rep.degraded, "three consecutive failures must degrade");
     assert_eq!(rep.final_backend, Backend::SharedMem);
-    for (a, b) in prog.arrays.iter().zip(&reference.arrays) {
+    for (a, b) in sess.program().arrays.iter().zip(&reference.program().arrays) {
         assert_eq!(a.to_dense(), b.to_dense(), "{} after degradation", a.name());
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -281,17 +363,10 @@ fn repeated_fleet_death_degrades_to_shared_mem() {
 /// and superstep.
 #[test]
 fn fault_without_checkpoint_is_a_typed_error() {
-    let mut prog = build_program((0, 1), 25, 4);
-    prog.inject_faults(FaultPlan::new().with(Fault::KillWorker { rank: 2, step: 0 }));
-    let err = run_trajectory(
-        &mut prog,
-        Backend::Channels,
-        3,
-        0,
-        None,
-        &RecoveryPolicy::default(),
-    )
-    .unwrap_err();
+    let mut sess = Session::new(build_program((0, 1), 25, 4))
+        .backend(Backend::Channels)
+        .inject_faults(FaultPlan::new().with(Fault::KillWorker { rank: 2, step: 0 }));
+    let err = sess.run(3).unwrap_err();
     match err {
         HpfError::Exchange { rank, step, ref reason } => {
             assert_eq!(rank, Some(2));
@@ -306,29 +381,30 @@ fn fault_without_checkpoint_is_a_typed_error() {
 /// it into a typed error in bounded time rather than hanging forever.
 #[test]
 fn dropped_message_times_out_with_typed_error() {
-    let mut prog = build_program((0, 0), 25, 4);
-    prog.set_exchange_timeout(Duration::from_millis(250));
-    prog.inject_faults(FaultPlan::new().with(Fault::DropMessage {
-        sender: 0,
-        receiver: 1,
-        step: 0,
-    }));
-    let err = prog.run_on(Backend::Channels).unwrap_err();
+    let mut sess = Session::new(build_program((0, 0), 25, 4))
+        .backend(Backend::Channels)
+        .exchange_timeout(Duration::from_millis(250))
+        .inject_faults(FaultPlan::new().with(Fault::DropMessage {
+            sender: 0,
+            receiver: 1,
+            step: 0,
+        }));
+    let err = sess.run(1).unwrap_err();
     assert!(
         matches!(err, HpfError::Exchange { rank: None, step: 0, .. }),
         "got {err}"
     );
     // the fleet was torn down and respawns clean: replay converges
-    let mut reference = build_program((0, 0), 25, 4);
-    reference.run().unwrap();
+    let mut reference = Session::new(build_program((0, 0), 25, 4));
+    reference.run(1).unwrap();
     // lost shards must be restored before replaying — use a checkpoint
     // of the initial state
     let dir = tmpdir("drop");
     let init = build_program((0, 0), 25, 4);
     save_checkpoint(&init.arrays, 0, &dir).unwrap();
-    prog.restore_latest(&dir).unwrap();
-    prog.run_on(Backend::Channels).unwrap();
-    for (a, b) in prog.arrays.iter().zip(&reference.arrays) {
+    sess.program_mut().restore_latest(&dir).unwrap();
+    sess.run(1).unwrap();
+    for (a, b) in sess.program().arrays.iter().zip(&reference.program().arrays) {
         assert_eq!(a.to_dense(), b.to_dense());
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -339,21 +415,19 @@ fn dropped_message_times_out_with_typed_error() {
 /// no error surfaces, and the fault counter proves they actually fired.
 #[test]
 fn delay_and_pool_poison_are_survived_in_place() {
-    let mut reference = build_program((2, 0), 31, 4);
-    for _ in 0..3 {
-        reference.run().unwrap();
-    }
-    let mut prog = build_program((2, 0), 31, 4);
-    prog.inject_faults(
-        FaultPlan::new()
-            .with(Fault::DelayMessage { sender: 0, receiver: 1, step: 0, millis: 30 })
-            .with(Fault::PoisonPool { rank: 1, step: 1 }),
-    );
-    for _ in 0..3 {
-        prog.run_on(Backend::Channels).unwrap();
-    }
+    let mut reference = Session::new(build_program((2, 0), 31, 4));
+    reference.run(3).unwrap();
+    let mut sess = Session::new(build_program((2, 0), 31, 4))
+        .backend(Backend::Channels)
+        .inject_faults(
+            FaultPlan::new()
+                .with(Fault::DelayMessage { sender: 0, receiver: 1, step: 0, millis: 30 })
+                .with(Fault::PoisonPool { rank: 1, step: 1 }),
+        );
+    sess.run(3).unwrap();
+    let prog = sess.into_program();
     assert_eq!(prog.faults_fired(), 2, "both faults must actually fire");
-    for (a, b) in prog.arrays.iter().zip(&reference.arrays) {
+    for (a, b) in prog.arrays.iter().zip(&reference.program().arrays) {
         assert_eq!(a.to_dense(), b.to_dense());
     }
 }

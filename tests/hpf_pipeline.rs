@@ -64,17 +64,11 @@ fn backends_agree_bit_for_bit() {
     for (name, src) in program_sources() {
         let run = |backend: Backend| {
             let elab = Elaborator::new(np_for(&name)).run(&src).expect("elaborates");
-            let (mut lowered, diags) = Lowerer::lower(&elab);
+            let (lowered, diags) = Lowerer::lower(&elab);
             assert!(diags.is_empty(), "{diags:?}");
-            for _ in 0..2 {
-                lowered.program.run_on(backend).expect("runs");
-            }
-            lowered
-                .program
-                .arrays
-                .iter()
-                .map(|a| a.to_dense())
-                .collect::<Vec<_>>()
+            let mut sess = Session::new(lowered.program).backend(backend);
+            sess.run(2).expect("runs");
+            sess.program().arrays.iter().map(|a| a.to_dense()).collect::<Vec<_>>()
         };
         assert_eq!(
             run(Backend::SharedMem),
@@ -91,14 +85,13 @@ fn warm_timesteps_replay_from_the_plan_cache() {
         .find(|(n, _)| n.contains("relaxation"))
         .expect("relaxation.hpf ships");
     let elab = Elaborator::new(np_for(&name)).run(&src).expect("elaborates");
-    let (mut lowered, diags) = Lowerer::lower(&elab);
+    let (lowered, diags) = Lowerer::lower(&elab);
     assert!(diags.is_empty(), "{diags:?}");
-    for _ in 0..5 {
-        lowered.program.run().expect("runs");
-    }
-    assert_eq!(lowered.program.cache_misses(), 2, "one inspection per statement");
-    assert_eq!(lowered.program.cache_hits(), 8, "4 warm timesteps × 2 statements");
-    let fs = lowered.program.fusion_stats();
+    let mut sess = Session::new(lowered.program);
+    sess.run(5).expect("runs");
+    assert_eq!(sess.program().cache_misses(), 2, "one inspection per statement");
+    assert_eq!(sess.program().cache_hits(), 8, "4 warm timesteps × 2 statements");
+    let fs = sess.program().fusion_stats();
     assert_eq!(fs.supersteps, 2, "RAW dependency forces two supersteps");
 }
 

@@ -321,31 +321,40 @@ proptest! {
             p.push(stmt).unwrap();
             p
         };
-        let mut cached = mk_prog();
-        let mut fresh = mk_prog();
+        let mut cached = Session::new(mk_prog());
+        let mut fresh = Session::new(mk_prog());
         for _ in 0..3 {
-            cached.run().unwrap();
-            fresh.clear_plan_cache(); // force re-inspection every timestep
-            fresh.run().unwrap();
-            prop_assert_eq!(cached.arrays[0].to_dense(), fresh.arrays[0].to_dense());
+            cached.run(1).unwrap();
+            fresh.program_mut().clear_plan_cache(); // force re-inspection every timestep
+            fresh.run(1).unwrap();
+            prop_assert_eq!(
+                cached.program().arrays[0].to_dense(),
+                fresh.program().arrays[0].to_dense()
+            );
         }
-        prop_assert_eq!(cached.cache_misses(), 1);
-        prop_assert_eq!(cached.cache_hits(), 2);
+        prop_assert_eq!(cached.program().cache_misses(), 1);
+        prop_assert_eq!(cached.program().cache_hits(), 2);
 
         // REDISTRIBUTE B to a different mapping family (same allocation
         // shared by both programs) — the cached program must re-inspect
         let new_map = mapping_of(kb + 1, n, np, seed ^ 0xbeef);
-        cached.remap(1, new_map.clone()).unwrap();
-        fresh.remap(1, new_map).unwrap();
-        prop_assert_eq!(cached.arrays[1].to_dense(), fresh.arrays[1].to_dense());
+        cached.program_mut().remap(1, new_map.clone()).unwrap();
+        fresh.program_mut().remap(1, new_map).unwrap();
+        prop_assert_eq!(
+            cached.program().arrays[1].to_dense(),
+            fresh.program().arrays[1].to_dense()
+        );
         for _ in 0..2 {
-            cached.run().unwrap();
-            fresh.clear_plan_cache();
-            fresh.run().unwrap();
-            prop_assert_eq!(cached.arrays[0].to_dense(), fresh.arrays[0].to_dense());
+            cached.run(1).unwrap();
+            fresh.program_mut().clear_plan_cache();
+            fresh.run(1).unwrap();
+            prop_assert_eq!(
+                cached.program().arrays[0].to_dense(),
+                fresh.program().arrays[0].to_dense()
+            );
         }
-        prop_assert_eq!(cached.cache_misses(), 2, "remap invalidates exactly once");
-        prop_assert_eq!(cached.cache_hits(), 3);
+        prop_assert_eq!(cached.program().cache_misses(), 2, "remap invalidates exactly once");
+        prop_assert_eq!(cached.program().cache_hits(), 3);
     }
 }
 
@@ -394,12 +403,13 @@ fn iterated_stencil_amortizes_inspection() {
     assert_eq!(plan.ghost_elements() as u64, plan.analysis().remote_reads);
 
     prog.push(stmt.clone()).unwrap();
+    let mut sess = Session::new(prog);
     let timesteps = 25u64;
     for _ in 0..timesteps {
-        let expect = dense_reference(&prog.arrays, &stmt);
-        prog.run().unwrap();
-        assert_eq!(prog.arrays[0].to_dense(), expect);
+        let expect = dense_reference(&sess.program().arrays, &stmt);
+        sess.run(1).unwrap();
+        assert_eq!(sess.program().arrays[0].to_dense(), expect);
     }
-    assert_eq!(prog.cache_misses(), 1, "one inspection for the whole loop");
-    assert_eq!(prog.cache_hits(), timesteps - 1);
+    assert_eq!(sess.program().cache_misses(), 1, "one inspection for the whole loop");
+    assert_eq!(sess.program().cache_hits(), timesteps - 1);
 }

@@ -143,18 +143,25 @@ proptest! {
         let stmts: Vec<Assignment> =
             shapes.iter().map(|&s| build_stmt(s, n as i64, &arrays)).collect();
         let mut oracle = arrays.clone();
-        let mut progs = programs(&arrays, &stmts, 4);
         let threads = (np / 2).max(2).min(np.saturating_sub(1)).max(2);
+        let mut paths: Vec<Session> = {
+            let mut ps = programs(&arrays, &stmts, 4).into_iter();
+            vec![
+                Session::new(ps.next().unwrap()),
+                Session::new(ps.next().unwrap()).backend(Backend::Channels),
+                Session::new(ps.next().unwrap()).threads(threads),
+                Session::new(ps.next().unwrap()).fused(false),
+            ]
+        };
         for _ in 0..timesteps {
             oracle_step(&mut oracle, &stmts);
-            progs[0].run().unwrap();
-            progs[1].run_on(Backend::Channels).unwrap();
-            progs[2].run_parallel(threads).unwrap();
-            progs[3].run_unfused().unwrap();
-            for (which, p) in progs.iter().enumerate() {
+            for path in paths.iter_mut() {
+                path.run(1).unwrap();
+            }
+            for (which, path) in paths.iter().enumerate() {
                 for (k, o) in oracle.iter().enumerate() {
                     prop_assert_eq!(
-                        p.arrays[k].to_dense(),
+                        path.program().arrays[k].to_dense(),
                         o.to_dense(),
                         "path {} array {} diverged from the dense oracle",
                         which,
@@ -167,7 +174,8 @@ proptest! {
         // the structurally-keyed cache entry), then every later timestep
         // replayed the fused plan warm
         let distinct: std::collections::HashSet<&Assignment> = stmts.iter().collect();
-        for p in &progs[..3] {
+        for path in &paths[..3] {
+            let p = path.program();
             prop_assert_eq!(p.cache_misses(), distinct.len() as u64);
             prop_assert_eq!(
                 p.cache_hits(),
@@ -197,14 +205,20 @@ proptest! {
         let stmts: Vec<Assignment> =
             shapes.iter().map(|&s| build_stmt(s, n as i64, &arrays)).collect();
         let mut oracle = arrays.clone();
-        let mut progs = programs(&arrays, &stmts, 2);
+        let mut progs = {
+            let mut ps = programs(&arrays, &stmts, 2).into_iter();
+            vec![
+                Session::new(ps.next().unwrap()),
+                Session::new(ps.next().unwrap()).fused(false),
+            ]
+        };
         for _ in 0..2 {
             oracle_step(&mut oracle, &stmts);
-            progs[0].run().unwrap();
-            progs[1].run_unfused().unwrap();
+            progs[0].run(1).unwrap();
+            progs[1].run(1).unwrap();
         }
         let distinct: std::collections::HashSet<&Assignment> = stmts.iter().collect();
-        let cold_misses = progs[0].cache_misses();
+        let cold_misses = progs[0].program().cache_misses();
         prop_assert_eq!(cold_misses, distinct.len() as u64);
 
         // remap one array onto a fresh allocation (same family is fine:
@@ -216,24 +230,24 @@ proptest! {
                 s.lhs == remap_which || s.terms.iter().any(|t| t.array == remap_which)
             })
             .count() as u64;
-        progs[0].remap(remap_which, new_map.clone()).unwrap();
-        progs[1].remap(remap_which, new_map).unwrap();
+        progs[0].program_mut().remap(remap_which, new_map.clone()).unwrap();
+        progs[1].program_mut().remap(remap_which, new_map).unwrap();
         for (k, o) in oracle.iter().enumerate() {
             // the remap moved values, not semantics
-            prop_assert_eq!(progs[0].arrays[k].to_dense(), o.to_dense());
+            prop_assert_eq!(progs[0].program().arrays[k].to_dense(), o.to_dense());
         }
         for _ in 0..2 {
             oracle_step(&mut oracle, &stmts);
-            progs[0].run().unwrap();
-            progs[1].run_unfused().unwrap();
+            progs[0].run(1).unwrap();
+            progs[1].run(1).unwrap();
             for (k, o) in oracle.iter().enumerate() {
-                prop_assert_eq!(progs[0].arrays[k].to_dense(), o.to_dense());
-                prop_assert_eq!(progs[1].arrays[k].to_dense(), o.to_dense());
+                prop_assert_eq!(progs[0].program().arrays[k].to_dense(), o.to_dense());
+                prop_assert_eq!(progs[1].program().arrays[k].to_dense(), o.to_dense());
             }
         }
         // exactly the statements touching the remapped array were
         // re-inspected; the rest replayed from the cache
-        prop_assert_eq!(progs[0].cache_misses(), cold_misses + stale);
+        prop_assert_eq!(progs[0].program().cache_misses(), cold_misses + stale);
     }
 }
 
@@ -276,7 +290,13 @@ fn clean_ghosts_are_not_resent_on_warm_timesteps() {
     .unwrap();
     let stmts = vec![red, black];
     let mut oracle = arrays.clone();
-    let mut progs = programs(&arrays, &stmts, 2);
+    let mut progs = {
+        let mut ps = programs(&arrays, &stmts, 2).into_iter();
+        vec![
+            Session::new(ps.next().unwrap()),
+            Session::new(ps.next().unwrap()).fused(false),
+        ]
+    };
 
     let timesteps = 4u64;
     let mut fused_cold = 0u64;
@@ -284,14 +304,14 @@ fn clean_ghosts_are_not_resent_on_warm_timesteps() {
     let (mut prev_fused, mut prev_unfused) = (0u64, 0u64);
     for t in 0..timesteps {
         oracle_step(&mut oracle, &stmts);
-        progs[0].run().unwrap();
-        progs[1].run_unfused().unwrap();
-        assert_eq!(progs[0].arrays[0].to_dense(), oracle[0].to_dense());
-        assert_eq!(progs[1].arrays[0].to_dense(), oracle[0].to_dense());
-        let fused_step = progs[0].backend_bytes_sent() - prev_fused;
-        let unfused_step = progs[1].backend_bytes_sent() - prev_unfused;
-        prev_fused = progs[0].backend_bytes_sent();
-        prev_unfused = progs[1].backend_bytes_sent();
+        progs[0].run(1).unwrap();
+        progs[1].run(1).unwrap();
+        assert_eq!(progs[0].program().arrays[0].to_dense(), oracle[0].to_dense());
+        assert_eq!(progs[1].program().arrays[0].to_dense(), oracle[0].to_dense());
+        let fused_step = progs[0].program().backend_bytes_sent() - prev_fused;
+        let unfused_step = progs[1].program().backend_bytes_sent() - prev_unfused;
+        prev_fused = progs[0].program().backend_bytes_sent();
+        prev_unfused = progs[1].program().backend_bytes_sent();
         if t == 0 {
             fused_cold = fused_step;
             unfused_cold = unfused_step;
@@ -309,7 +329,7 @@ fn clean_ghosts_are_not_resent_on_warm_timesteps() {
             );
         }
     }
-    let fs = progs[0].fusion_stats();
+    let fs = progs[0].program().fusion_stats();
     assert_eq!(fs.supersteps, 2);
     assert_eq!(
         fs.ghost_elements_avoided,
@@ -402,17 +422,19 @@ fn switching_executor_families_stays_correct() {
     let stmts: Vec<Assignment> =
         [1u8, 2].iter().map(|&s| build_stmt(s, n as i64, &arrays)).collect();
     let mut oracle = arrays.clone();
-    let mut progs = programs(&arrays, &stmts, 1);
+    let mut sess = Session::new(programs(&arrays, &stmts, 1).remove(0));
     for t in 0..6 {
         oracle_step(&mut oracle, &stmts);
-        if t % 2 == 0 {
-            progs[0].run().unwrap();
+        // a session can be re-pointed at another backend between steps
+        sess = sess.backend(if t % 2 == 0 {
+            Backend::SharedMem
         } else {
-            progs[0].run_on(Backend::Channels).unwrap();
-        }
+            Backend::Channels
+        });
+        sess.run(1).unwrap();
         for (k, o) in oracle.iter().enumerate() {
-            assert_eq!(progs[0].arrays[k].to_dense(), o.to_dense());
+            assert_eq!(sess.program().arrays[k].to_dense(), o.to_dense());
         }
     }
-    assert_eq!(progs[0].cache_misses(), stmts.len() as u64);
+    assert_eq!(sess.program().cache_misses(), stmts.len() as u64);
 }

@@ -1,4 +1,4 @@
-//! A warm `Program::run` timestep performs **zero heap allocations**.
+//! A warm [`Session::run`] timestep performs **zero heap allocations**.
 //!
 //! The plan cache keeps a preallocated `PlanWorkspace` per compiled plan,
 //! the compressed schedules replay with `copy_from_slice` block moves and
@@ -105,31 +105,31 @@ fn stencil_program() -> Program {
 }
 
 #[test]
-fn warm_program_run_allocates_nothing() {
+fn warm_session_run_allocates_nothing() {
     let _serial = SERIAL.lock().unwrap();
-    let mut prog = stencil_program();
+    let mut sess = Session::new(stencil_program()).threads(1);
     // cold timesteps: inspection, workspace construction, result-buffer
     // growth — all allocation happens here
-    prog.run().unwrap();
-    prog.run().unwrap();
-    assert_eq!(prog.cache_misses(), 2, "one inspection per statement");
+    sess.run(2).unwrap();
+    assert_eq!(sess.program().cache_misses(), 2, "one inspection per statement");
 
-    // warm timesteps: zero heap allocations, several in a row
+    // warm timesteps: zero heap allocations, several in a row — the
+    // session's own bookkeeping must stay plain field updates
     let before = ALLOCS.load(Ordering::Relaxed);
     for _ in 0..5 {
-        prog.run().unwrap();
+        sess.run(1).unwrap();
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(
         after - before,
         0,
-        "warm Program::run must not touch the heap ({} allocations in 5 timesteps)",
+        "warm Session::run must not touch the heap ({} allocations in 5 timesteps)",
         after - before
     );
 
     // the replays were real work, not an optimized-out no-op
-    assert_eq!(prog.cache_hits(), 2 + 5 * 2);
-    let analyses = prog.last_analyses();
+    assert_eq!(sess.program().cache_hits(), 2 + 5 * 2);
+    let analyses = sess.last_analyses();
     assert_eq!(analyses.len(), 2);
     assert!(analyses[0].remote_reads > 0, "the stencil communicates");
 }
@@ -137,21 +137,18 @@ fn warm_program_run_allocates_nothing() {
 #[test]
 fn warm_parallel_run_reuses_spmd_workers() {
     let _serial = SERIAL.lock().unwrap();
-    let mut prog = stencil_program();
+    let mut sess = Session::new(stencil_program()).threads(4);
     // cold parallel timesteps: plan inspection plus the one-time spawn of
     // the persistent SPMD worker fleet (one worker per simulated processor)
-    prog.run_parallel(4).unwrap();
-    prog.run_parallel(4).unwrap();
-    assert_eq!(prog.spmd_workers_spawned(), 4, "the fleet spawns exactly once");
+    sess.run(2).unwrap();
+    assert_eq!(sess.program().spmd_workers_spawned(), 4, "the fleet spawns exactly once");
 
     let before = ALLOCS.load(Ordering::Relaxed);
     let timesteps = 5u64;
-    for _ in 0..timesteps {
-        prog.run_parallel(4).unwrap();
-    }
+    sess.run(timesteps).unwrap();
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(
-        prog.spmd_workers_spawned(),
+        sess.program().spmd_workers_spawned(),
         4,
         "warm parallel timesteps must reuse the persistent workers, not respawn"
     );
@@ -163,13 +160,13 @@ fn warm_parallel_run_reuses_spmd_workers() {
     let per_timestep = (after - before) / timesteps;
     assert!(
         per_timestep < 600,
-        "warm run_parallel allocates {per_timestep} times per timestep — \
+        "a warm parallel session allocates {per_timestep} times per timestep — \
          persistent workers should keep this a small constant"
     );
 
     // the replays were real work with real exchange on the wire
-    assert!(prog.backend_bytes_sent() > 0);
-    let analyses = prog.last_analyses();
+    assert!(sess.program().backend_bytes_sent() > 0);
+    let analyses = sess.last_analyses();
     assert_eq!(analyses.len(), 2);
     assert!(analyses[0].remote_reads > 0, "the stencil communicates");
 }
